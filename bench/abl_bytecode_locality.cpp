@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: dynamic bytecode concentration — the locality argument of
+ * Section 4.3.
+ *
+ * The paper (citing its bytecode-characterization companion work [27])
+ * explains the interpreter's near-perfect I-cache behaviour by the
+ * concentration of the dynamic bytecode stream: "15 unique bytecodes
+ * accounted for 60% to 85% of the dynamic bytecode stream ... 22 to 48
+ * distinct bytecodes constituted 90%". This bench measures the same
+ * concentration curve for our suite, per workload and cumulative.
+ */
+#include <algorithm>
+
+#include "bench_util.h"
+
+using namespace jrs;
+
+namespace {
+
+/** Dynamic instructions covered by the top-k opcodes. */
+double
+coverage(const std::vector<std::uint64_t> &counts, std::size_t k)
+{
+    std::vector<std::uint64_t> sorted = counts;
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::uint64_t total = 0, top = 0;
+    for (std::uint64_t c : sorted)
+        total += c;
+    for (std::size_t i = 0; i < k && i < sorted.size(); ++i)
+        top += sorted[i];
+    return percent(top, total);
+}
+
+/** Distinct opcodes needed to reach @p pct of the stream. */
+std::size_t
+opsForCoverage(const std::vector<std::uint64_t> &counts, double pct)
+{
+    std::vector<std::uint64_t> sorted = counts;
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::uint64_t total = 0;
+    for (std::uint64_t c : sorted)
+        total += c;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        acc += sorted[i];
+        if (percent(acc, total) >= pct)
+            return i + 1;
+    }
+    return sorted.size();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Ablation — dynamic bytecode concentration (Sec. 4.3 locality "
+        "argument)",
+        "paper's companion data: top-15 bytecodes = 60-85% of the "
+        "stream; 22-48 distinct bytecodes = 90%");
+
+    Table t({"workload", "dyn_bytecodes", "distinct", "top5%",
+             "top15%", "ops_for_90%"});
+
+    std::vector<std::uint64_t> cumulative(kNumOpcodes, 0);
+    for (const WorkloadInfo *w : bench::suite(true)) {
+        RunSpec s;
+        s.workload = w;
+        s.policy = std::make_shared<NeverCompilePolicy>();
+        const RunResult r = runWorkload(s);
+        std::size_t distinct = 0;
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < r.bytecodeCounts.size(); ++i) {
+            cumulative[i] += r.bytecodeCounts[i];
+            total += r.bytecodeCounts[i];
+            distinct += r.bytecodeCounts[i] != 0 ? 1 : 0;
+        }
+        t.addRow({
+            w->name,
+            withCommas(total),
+            std::to_string(distinct),
+            fixed(coverage(r.bytecodeCounts, 5), 1),
+            fixed(coverage(r.bytecodeCounts, 15), 1),
+            std::to_string(opsForCoverage(r.bytecodeCounts, 90.0)),
+        });
+    }
+    t.addRow({
+        "ALL",
+        "-",
+        "-",
+        fixed(coverage(cumulative, 5), 1),
+        fixed(coverage(cumulative, 15), 1),
+        std::to_string(opsForCoverage(cumulative, 90.0)),
+    });
+    t.print(std::cout);
+    std::cout << "\n(the concentration explains the interpreter's "
+                 ">99.9% I-hit rates: the hot handlers fit in a few "
+                 "cache lines)\n";
+    return 0;
+}

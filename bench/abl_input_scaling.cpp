@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: input-size scaling — the paper's Section 2 remark.
+ *
+ * "We have also investigated the effect of larger datasets, s10 and
+ * s100. The increased method reuse resulted in expected results such
+ * as increased code locality, reduced time spent in compilation vs
+ * execution, etc. but all major conclusions from the experiments stay
+ * valid." This bench runs each workload at 1x, 4x and 16x its tiny
+ * size and reports the translate share and the oracle's savings: both
+ * must shrink with size while the JIT > interpreter conclusion holds.
+ */
+#include "bench_util.h"
+
+using namespace jrs;
+
+int
+main()
+{
+    bench::header(
+        "Ablation — input-size scaling (the paper's s1/s10/s100 note)",
+        "translate share and oracle savings shrink as method reuse "
+        "amortizes compilation; conclusions unchanged");
+
+    Table t({"workload", "scale", "arg", "translate%", "opt_saving%",
+             "interp/jit"});
+
+    for (const WorkloadInfo *w : bench::suite()) {
+        for (const int scale : {1, 4, 16}) {
+            const std::int32_t arg = w->tinyArg * scale;
+            const OracleOutcome o = runOracleExperiment(*w, arg);
+            const double jit_total =
+                static_cast<double>(o.jitRun.totalEvents);
+            t.addRow({
+                w->name,
+                scale == 1 ? "s1" : (scale == 4 ? "s4" : "s16"),
+                withCommas(static_cast<std::uint64_t>(arg)),
+                fixed(100.0 * o.jitRun.inPhase(Phase::Translate)
+                          / jit_total,
+                      1),
+                fixed(100.0
+                          * (1.0
+                             - static_cast<double>(
+                                   o.oracleRun.totalEvents)
+                                 / jit_total),
+                      1),
+                fixed(static_cast<double>(o.interpRun.totalEvents)
+                          / jit_total,
+                      2),
+            });
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: on-stack replacement completes the tiered-compilation
+ * story.
+ *
+ * abl_counter_threshold shows that invocation-counter policies strand
+ * long-running loop methods in the interpreter (they are invoked
+ * once). Adding a back-edge-triggered OSR transfer fixes exactly that:
+ * counter+OSR approaches the default JIT while still skipping the
+ * cold one-shot methods — which is the modern tiered-VM design the
+ * paper's Section 3 analysis was groping toward.
+ */
+#include "bench_util.h"
+
+using namespace jrs;
+
+namespace {
+
+RunResult
+run(const WorkloadInfo &w, std::shared_ptr<CompilationPolicy> policy,
+    std::uint64_t osr_threshold)
+{
+    const Program prog = w.build();
+    EngineConfig cfg;
+    cfg.policy = std::move(policy);
+    cfg.osrBackEdgeThreshold = osr_threshold;
+    ExecutionEngine engine(prog, cfg);
+    return engine.run(w.smallArg);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Ablation — counter policy with and without OSR",
+        "OSR rescues loop-dominated methods that invocation counters "
+        "never recompile");
+
+    Table t({"workload", "jit", "counter8", "counter8+osr",
+             "osr_transfers", "interp"});
+
+    for (const WorkloadInfo *w : bench::suite(true)) {
+        const RunResult jit =
+            run(*w, std::make_shared<AlwaysCompilePolicy>(), 0);
+        const RunResult counter =
+            run(*w, std::make_shared<CounterPolicy>(8), 0);
+        const RunResult tiered =
+            run(*w, std::make_shared<CounterPolicy>(8), 64);
+        const RunResult interp =
+            run(*w, std::make_shared<NeverCompilePolicy>(), 0);
+        if (jit.exitValue != tiered.exitValue)
+            throw VmError(std::string(w->name) + ": OSR diverged");
+        const double base = static_cast<double>(jit.totalEvents);
+        t.addRow({
+            w->name,
+            "1.000",
+            fixed(static_cast<double>(counter.totalEvents) / base, 3),
+            fixed(static_cast<double>(tiered.totalEvents) / base, 3),
+            withCommas(tiered.osrTransitions),
+            fixed(static_cast<double>(interp.totalEvents) / base, 3),
+        });
+    }
+    t.print(std::cout);
+    std::cout << "\n(normalized to the default JIT; lower is better)\n";
+    return 0;
+}

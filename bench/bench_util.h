@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures.
+ */
+#ifndef JRS_BENCH_BENCH_UTIL_H
+#define JRS_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+namespace jrs::bench {
+
+/** The seven SpecJVM98-like programs (hello excluded by default). */
+inline std::vector<const WorkloadInfo *>
+suite(bool include_hello = false)
+{
+    std::vector<const WorkloadInfo *> out;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (!include_hello && std::string(w.name) == "hello")
+            continue;
+        out.push_back(&w);
+    }
+    return out;
+}
+
+/** Print a standard bench header. */
+inline void
+header(const char *experiment, const char *paper_note)
+{
+    std::cout << "==================================================="
+                 "===========================\n"
+              << experiment << '\n'
+              << "paper: " << paper_note << '\n'
+              << "==================================================="
+                 "===========================\n";
+}
+
+} // namespace jrs::bench
+
+#endif // JRS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 2: dynamic native instruction mix, cumulative over the
+ * SpecJVM98-like suite, interpreter vs JIT mode.
+ *
+ * The paper's observations to reproduce: 25-40% memory accesses and
+ * 15-20% control transfers in both modes; the interpreter ~5% more
+ * memory-heavy (operand stack in memory) and much richer in indirect
+ * jumps (switch dispatch), while JIT code shifts toward branches and
+ * direct calls.
+ */
+#include "arch/mix/instruction_mix.h"
+#include "bench_util.h"
+
+using namespace jrs;
+
+int
+main()
+{
+    bench::header(
+        "Figure 2 — cumulative instruction mix, interp vs JIT",
+        "interp: more loads/stores + indirect jumps; JIT: stack ops "
+        "become register ops, virtual calls get inlined stubs");
+
+    InstructionMix interp_mix, jit_mix;
+    for (const WorkloadInfo *w : bench::suite()) {
+        (void)runBothModes(*w, 0, &interp_mix, &jit_mix);
+    }
+
+    Table t({"category", "interp%", "jit%"});
+    auto row = [&](const char *name, std::uint64_t i, std::uint64_t j) {
+        t.addRow({name, fixed(interp_mix.pct(i), 2),
+                  fixed(jit_mix.pct(j), 2)});
+    };
+    row("load", interp_mix.count(NKind::Load),
+        jit_mix.count(NKind::Load));
+    row("store", interp_mix.count(NKind::Store),
+        jit_mix.count(NKind::Store));
+    row("memory (total)", interp_mix.memoryOps(), jit_mix.memoryOps());
+    row("int alu/mul/div", interp_mix.intOps(), jit_mix.intOps());
+    row("fp ops", interp_mix.fpOps(), jit_mix.fpOps());
+    row("cond branch", interp_mix.count(NKind::Branch),
+        jit_mix.count(NKind::Branch));
+    row("direct jump", interp_mix.count(NKind::Jump),
+        jit_mix.count(NKind::Jump));
+    row("indirect jump", interp_mix.count(NKind::IndirectJump),
+        jit_mix.count(NKind::IndirectJump));
+    row("call", interp_mix.count(NKind::Call),
+        jit_mix.count(NKind::Call));
+    row("indirect call", interp_mix.count(NKind::IndirectCall),
+        jit_mix.count(NKind::IndirectCall));
+    row("ret", interp_mix.count(NKind::Ret), jit_mix.count(NKind::Ret));
+    row("control (total)", interp_mix.controlOps(),
+        jit_mix.controlOps());
+    row("indirect (total)", interp_mix.indirectOps(),
+        jit_mix.indirectOps());
+    t.print(std::cout);
+
+    std::cout << "\ntotal dynamic instructions: interp "
+              << withCommas(interp_mix.total()) << ", jit "
+              << withCommas(jit_mix.total()) << "\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: real (host) time per monitor
+ * operation for the three lock implementations, plus the end-to-end
+ * simulator throughput on a reference workload. These complement the
+ * simulated-cycle comparison of fig11 with wall-clock evidence that
+ * the thin-lock fast path does less work.
+ */
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.h"
+#include "vm/sync/monitor_cache.h"
+#include "vm/sync/thin_lock.h"
+
+using namespace jrs;
+
+namespace {
+
+template <typename SyncT>
+void
+BM_UncontendedEnterExit(benchmark::State &state)
+{
+    Heap heap(1 << 20);
+    TraceEmitter emitter(nullptr);
+    SyncT sync(heap, emitter);
+    const SimAddr obj = heap.allocObject(0, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sync.enter(1, obj));
+        sync.exit(1, obj);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename SyncT>
+void
+BM_RecursiveEnterExit(benchmark::State &state)
+{
+    Heap heap(1 << 20);
+    TraceEmitter emitter(nullptr);
+    SyncT sync(heap, emitter);
+    const SimAddr obj = heap.allocObject(0, 2);
+    (void)sync.enter(1, obj);  // outer hold
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sync.enter(1, obj));
+        sync.exit(1, obj);
+    }
+}
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    const WorkloadInfo *w = findWorkload("compress");
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        RunSpec s;
+        s.workload = w;
+        s.arg = 2000;
+        s.policy = std::make_shared<AlwaysCompilePolicy>();
+        const RunResult r = runWorkload(s);
+        events += r.totalEvents;
+        benchmark::DoNotOptimize(r.exitValue);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.SetLabel("simulated instructions/sec in items/sec");
+}
+
+} // namespace
+
+BENCHMARK(BM_UncontendedEnterExit<MonitorCacheSync>);
+BENCHMARK(BM_UncontendedEnterExit<ThinLockSync>);
+BENCHMARK(BM_UncontendedEnterExit<OneBitLockSync>);
+BENCHMARK(BM_RecursiveEnterExit<MonitorCacheSync>);
+BENCHMARK(BM_RecursiveEnterExit<ThinLockSync>);
+BENCHMARK(BM_SimulatorThroughput);
+
+BENCHMARK_MAIN();

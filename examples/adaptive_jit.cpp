@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Adaptive-compilation walkthrough (the paper's Section 3 as a demo).
+ *
+ * Runs one workload under the full policy spectrum — interpret-only,
+ * compile-on-first-invocation, several invocation-counter thresholds,
+ * and the profile-derived oracle — then prints the per-method oracle
+ * decisions so you can see WHICH methods a smart JIT should leave
+ * interpreted and why (their crossover N_i exceeds their use).
+ *
+ * Usage: adaptive_jit [workload] [arg]
+ */
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+using namespace jrs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "db";
+    const WorkloadInfo *w = findWorkload(name);
+    if (w == nullptr) {
+        std::cerr << "unknown workload " << name << "\n";
+        return 1;
+    }
+    const std::int32_t arg =
+        argc > 2 ? std::atoi(argv[2]) : w->smallArg;
+
+    std::cout << "adaptive compilation on '" << w->name
+              << "' (arg=" << arg << ")\n\n";
+
+    const OracleOutcome o = runOracleExperiment(*w, arg);
+
+    // --- policy comparison ------------------------------------------------
+    Table modes({"policy", "simulated_insts", "vs_jit", "compiled"});
+    auto add = [&](const char *label, const RunResult &r) {
+        modes.addRow({label, withCommas(r.totalEvents),
+                      fixed(static_cast<double>(r.totalEvents)
+                                / static_cast<double>(
+                                    o.jitRun.totalEvents),
+                            3),
+                      std::to_string(r.methodsCompiled)});
+    };
+    add("interpret", o.interpRun);
+    add("jit (1st invocation)", o.jitRun);
+    for (std::uint64_t thr : {4u, 16u}) {
+        RunSpec s;
+        s.workload = w;
+        s.arg = arg;
+        s.policy = std::make_shared<CounterPolicy>(thr);
+        const RunResult r = runWorkload(s);
+        add(thr == 4 ? "counter(4)" : "counter(16)", r);
+    }
+    add("oracle (opt)", o.oracleRun);
+    modes.print(std::cout);
+
+    // --- per-method oracle reasoning ---------------------------------------
+    std::cout << "\nper-method oracle decisions (top methods by "
+                 "interpreted cost):\n";
+    Table t({"method", "invocations", "I_total", "T_i", "E_total",
+             "decision"});
+    const Program prog = w->build();
+    std::vector<MethodId> order;
+    for (MethodId id = 0; id < prog.methods.size(); ++id)
+        order.push_back(id);
+    std::sort(order.begin(), order.end(), [&](MethodId a, MethodId b) {
+        return o.interpRun.profiles.of(a).interpEvents
+            > o.interpRun.profiles.of(b).interpEvents;
+    });
+    for (std::size_t i = 0; i < order.size() && i < 16; ++i) {
+        const MethodId id = order[i];
+        const MethodProfile &ip = o.interpRun.profiles.of(id);
+        const MethodProfile &jp = o.jitRun.profiles.of(id);
+        if (ip.invocations == 0)
+            continue;
+        t.addRow({prog.methods[id].name,
+                  withCommas(ip.invocations),
+                  withCommas(ip.interpEvents),
+                  withCommas(jp.translateEvents),
+                  withCommas(jp.nativeEvents),
+                  o.decisions[id] ? "compile" : "interpret"});
+    }
+    t.print(std::cout);
+    std::cout << "\noracle compiles " << o.methodsCompiledByOracle
+              << " of " << o.jitRun.methodsCompiled
+              << " methods; saving vs default JIT: "
+              << fixed(100.0
+                           * (1.0
+                              - static_cast<double>(
+                                    o.oracleRun.totalEvents)
+                                  / static_cast<double>(
+                                      o.jitRun.totalEvents)),
+                       1)
+              << "%\n";
+    return 0;
+}

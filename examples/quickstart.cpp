@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build a workload, run it under the interpreter and the
+ * JIT, and print what the runtime observed. This is the five-minute
+ * tour of the jrs public API.
+ */
+#include <iostream>
+
+#include "arch/mix/instruction_mix.h"
+#include "vm/engine/engine.h"
+#include "workloads/workload.h"
+
+using namespace jrs;
+
+namespace {
+
+void
+runOnce(const Program &prog, std::int32_t arg,
+        std::shared_ptr<CompilationPolicy> policy)
+{
+    InstructionMix mix;
+    EngineConfig cfg;
+    cfg.policy = std::move(policy);
+    cfg.sink = &mix;
+    ExecutionEngine engine(prog, cfg);
+    const RunResult res = engine.run(arg);
+
+    std::cout << "  policy=" << cfg.policy->name()
+              << "  completed=" << (res.completed ? "yes" : "no");
+    if (res.uncaughtException != nullptr)
+        std::cout << "  uncaught=" << res.uncaughtException;
+    std::cout << "  checksum=" << res.exitValue
+              << "\n    native instructions: " << res.totalEvents
+              << " (interp " << res.inPhase(Phase::Interpret)
+              << ", translate " << res.inPhase(Phase::Translate)
+              << ", native " << res.inPhase(Phase::NativeExec)
+              << ", runtime " << res.inPhase(Phase::Runtime) << ")"
+              << "\n    methods compiled: " << res.methodsCompiled
+              << "  bytecodes interpreted: " << res.bytecodesInterpreted
+              << "\n    mix: mem " << mix.pct(mix.memoryOps())
+              << "%  control " << mix.pct(mix.controlOps())
+              << "%  indirect " << mix.pct(mix.indirectOps()) << "%\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "compress";
+    const WorkloadInfo *info = findWorkload(name);
+    if (info == nullptr) {
+        std::cerr << "unknown workload: " << name << "\nknown:";
+        for (const auto &w : allWorkloads())
+            std::cerr << ' ' << w.name;
+        std::cerr << '\n';
+        return 1;
+    }
+
+    const Program prog = info->build();
+    std::cout << "workload " << info->name << " (" << info->description
+              << "), arg=" << info->tinyArg << "\n";
+
+    runOnce(prog, info->tinyArg, std::make_shared<NeverCompilePolicy>());
+    runOnce(prog, info->tinyArg, std::make_shared<AlwaysCompilePolicy>());
+    runOnce(prog, info->tinyArg, std::make_shared<CounterPolicy>(2));
+    return 0;
+}

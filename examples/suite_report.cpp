@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Suite report: run every workload at its bench size under interpreter
+ * and JIT, and print one summary row per (workload, mode) — dynamic
+ * instruction counts, phase split, mix, lock traffic, memory. Useful
+ * both as an API example and as a calibration check that the suite's
+ * shapes match the paper's qualitative profile.
+ */
+#include <iostream>
+
+#include "arch/mix/instruction_mix.h"
+#include "harness/experiment.h"
+#include "support/table.h"
+#include "support/statistics.h"
+
+using namespace jrs;
+
+int
+main(int argc, char **argv)
+{
+    const bool tiny = argc > 1 && std::string(argv[1]) == "--tiny";
+
+    Table table({"workload", "mode", "insts", "interp%", "trans%",
+                 "native%", "mem%", "ctrl%", "ind%", "locks",
+                 "mem_kb"});
+
+    for (const WorkloadInfo &w : allWorkloads()) {
+        const std::int32_t arg = tiny ? w.tinyArg : w.smallArg;
+        for (const bool jit : {false, true}) {
+            InstructionMix mix;
+            RunSpec spec;
+            spec.workload = &w;
+            spec.arg = arg;
+            spec.policy = jit
+                ? std::static_pointer_cast<CompilationPolicy>(
+                      std::make_shared<AlwaysCompilePolicy>())
+                : std::static_pointer_cast<CompilationPolicy>(
+                      std::make_shared<NeverCompilePolicy>());
+            spec.sink = &mix;
+            const RunResult res = runWorkload(spec);
+
+            const std::size_t mem_bytes = jit
+                ? res.memory.jitTotal()
+                : res.memory.interpreterTotal();
+            table.addRow({
+                w.name,
+                jit ? "jit" : "interp",
+                withCommas(res.totalEvents),
+                fixed(percent(res.inPhase(Phase::Interpret),
+                              res.totalEvents), 1),
+                fixed(percent(res.inPhase(Phase::Translate),
+                              res.totalEvents), 1),
+                fixed(percent(res.inPhase(Phase::NativeExec),
+                              res.totalEvents), 1),
+                fixed(mix.pct(mix.memoryOps()), 1),
+                fixed(mix.pct(mix.controlOps()), 1),
+                fixed(mix.pct(mix.indirectOps()), 2),
+                withCommas(res.lockStats.totalAccesses()),
+                withCommas(mem_bytes / 1024),
+            });
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

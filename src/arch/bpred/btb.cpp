@@ -1,0 +1,3 @@
+#include "arch/bpred/btb.h"
+
+// Btb is header-only.

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * History-based indirect-branch target cache.
+ *
+ * The paper concludes that interpreter-mode execution needs "a
+ * predictor well-tailored for indirect branches" (its refs [22], [26]
+ * — Chang/Hao/Patt target caches and Driesen/Hölzle's work). A plain
+ * BTB keeps ONE target per branch pc, which is hopeless for the
+ * interpreter's single dispatch jump with ~90 live targets. A target
+ * cache instead indexes its table with the pc XOR a hash of the most
+ * recent indirect TARGETS: for an interpreter, that history encodes
+ * "the last few opcodes executed", and since bytecode follows repeating
+ * patterns (loop bodies), the next handler is highly predictable given
+ * the path.
+ */
+#ifndef JRS_ARCH_BPRED_TARGET_CACHE_H
+#define JRS_ARCH_BPRED_TARGET_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace jrs {
+
+/** Path-history indexed target predictor. */
+class TargetCache {
+  public:
+    /**
+     * @param entries      Table size (power of two).
+     * @param history_bits Bits of folded target history in the index.
+     */
+    explicit TargetCache(std::size_t entries = 1024,
+                         std::uint32_t history_bits = 12)
+        : table_(entries), mask_(entries - 1),
+          histMask_((1u << history_bits) - 1) {}
+
+    /** Predicted target (0 when the entry is cold). */
+    std::uint64_t predict(std::uint64_t pc) const {
+        return table_[index(pc)];
+    }
+
+    /** Train with the actual target and extend the path history. */
+    void update(std::uint64_t pc, std::uint64_t target) {
+        table_[index(pc)] = target;
+        // Fold the low target bits into the path history.
+        history_ = ((history_ << 3)
+                    ^ static_cast<std::uint32_t>(target >> 4))
+            & histMask_;
+    }
+
+    std::size_t entries() const { return table_.size(); }
+
+  private:
+    std::size_t index(std::uint64_t pc) const {
+        return (static_cast<std::size_t>(pc >> 2)
+                ^ static_cast<std::size_t>(history_))
+            & mask_;
+    }
+
+    std::vector<std::uint64_t> table_;
+    std::size_t mask_;
+    std::uint32_t histMask_;
+    std::uint32_t history_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_ARCH_BPRED_TARGET_CACHE_H

@@ -1,0 +1,3 @@
+#include "arch/cache/time_series.h"
+
+// TimeSeriesCacheSink is header-only.

@@ -1,0 +1,3 @@
+#include "arch/mix/instruction_mix.h"
+
+// InstructionMix is header-only.

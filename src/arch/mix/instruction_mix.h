@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dynamic instruction-mix collector (Figure 2).
+ *
+ * Counts retired simulated instructions by NKind and by Phase, and
+ * aggregates them into the categories the paper plots: memory accesses,
+ * control transfers, integer ALU, FP, and other.
+ */
+#ifndef JRS_ARCH_MIX_INSTRUCTION_MIX_H
+#define JRS_ARCH_MIX_INSTRUCTION_MIX_H
+
+#include <array>
+
+#include "isa/trace.h"
+
+namespace jrs {
+
+/** Per-kind dynamic counts with category summaries. */
+class InstructionMix : public TraceSink {
+  public:
+    void onEvent(const TraceEvent &ev) override {
+        ++counts_[static_cast<std::size_t>(ev.kind)];
+        ++phase_[static_cast<std::size_t>(ev.phase)]
+                [static_cast<std::size_t>(ev.kind)];
+        ++total_;
+    }
+
+    /** Total dynamic instructions. */
+    std::uint64_t total() const { return total_; }
+
+    /** Count for one kind. */
+    std::uint64_t count(NKind kind) const {
+        return counts_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Count for one kind within one phase. */
+    std::uint64_t count(Phase phase, NKind kind) const {
+        return phase_[static_cast<std::size_t>(phase)]
+                     [static_cast<std::size_t>(kind)];
+    }
+
+    /** Loads + stores. */
+    std::uint64_t memoryOps() const {
+        return count(NKind::Load) + count(NKind::Store);
+    }
+
+    /** All control transfers (branches, jumps, calls, returns). */
+    std::uint64_t controlOps() const {
+        return count(NKind::Branch) + count(NKind::Jump)
+            + count(NKind::IndirectJump) + count(NKind::Call)
+            + count(NKind::IndirectCall) + count(NKind::Ret);
+    }
+
+    /** Register-indirect control transfers. */
+    std::uint64_t indirectOps() const {
+        return count(NKind::IndirectJump) + count(NKind::IndirectCall);
+    }
+
+    /** Conditional branches only. */
+    std::uint64_t conditionalBranches() const {
+        return count(NKind::Branch);
+    }
+
+    /** Integer computation (alu + mul + div). */
+    std::uint64_t intOps() const {
+        return count(NKind::IntAlu) + count(NKind::IntMul)
+            + count(NKind::IntDiv);
+    }
+
+    /** FP computation. */
+    std::uint64_t fpOps() const {
+        return count(NKind::FpAlu) + count(NKind::FpMul)
+            + count(NKind::FpDiv);
+    }
+
+    /** Percentage of total for a raw count. */
+    double pct(std::uint64_t part) const {
+        return total_ == 0 ? 0.0
+                           : 100.0 * static_cast<double>(part)
+                                 / static_cast<double>(total_);
+    }
+
+    void reset() {
+        counts_.fill(0);
+        for (auto &p : phase_)
+            p.fill(0);
+        total_ = 0;
+    }
+
+  private:
+    std::array<std::uint64_t, kNumNKinds> counts_{};
+    std::array<std::array<std::uint64_t, kNumNKinds>, kNumPhases>
+        phase_{};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_ARCH_MIX_INSTRUCTION_MIX_H

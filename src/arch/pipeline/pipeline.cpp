@@ -1,0 +1,141 @@
+#include "arch/pipeline/pipeline.h"
+
+#include <algorithm>
+
+namespace jrs {
+
+PipelineSim::PipelineSim(PipelineConfig cfg)
+    : cfg_(cfg), icache_(cfg.icache), dcache_(cfg.dcache)
+{
+    rob_.assign(cfg_.robSize, 0);
+}
+
+std::uint32_t
+PipelineSim::latencyOf(NKind kind)
+{
+    switch (kind) {
+      case NKind::IntAlu:       return 1;
+      case NKind::IntMul:       return 3;
+      case NKind::IntDiv:       return 12;
+      case NKind::FpAlu:        return 3;
+      case NKind::FpMul:        return 3;
+      case NKind::FpDiv:        return 12;
+      case NKind::Load:         return 2;
+      case NKind::Store:        return 1;
+      default:                  return 1;
+    }
+}
+
+void
+PipelineSim::onEvent(const TraceEvent &ev)
+{
+    ++insts_;
+
+    // ------------------------------------------------------------ fetch
+    if (fetchedThisCycle_ >= cfg_.issueWidth) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+    }
+    if (!icache_.access(ev.pc, false, ev.phase)) {
+        fetchCycle_ += cfg_.icacheMissPenalty;
+        fetchedThisCycle_ = 0;
+    }
+    const std::uint64_t fetch = fetchCycle_;
+    ++fetchedThisCycle_;
+
+    // ---------------------------------------------------------- dispatch
+    const std::uint64_t dispatch = fetch + cfg_.frontendDepth;
+
+    // ROB occupancy: this instruction's slot must have committed.
+    const std::uint64_t rob_free = rob_[robHead_];
+    std::uint64_t ready = std::max(dispatch, rob_free);
+
+    // Register dependences.
+    if (ev.rs1 != kNoReg)
+        ready = std::max(ready, regReady_[ev.rs1]);
+    if (ev.rs2 != kNoReg)
+        ready = std::max(ready, regReady_[ev.rs2]);
+
+    // Memory dependences through the store table.
+    if (ev.kind == NKind::Load) {
+        const StoreEntry &se =
+            stores_[static_cast<std::size_t>(ev.mem >> 2) & 4095];
+        if (se.addr == (ev.mem >> 2))
+            ready = std::max(ready, se.done);
+    }
+
+    // ----------------------------------------------------------- execute
+    std::uint32_t latency = latencyOf(ev.kind);
+    if (ev.kind == NKind::Load
+        && !dcache_.access(ev.mem, false, ev.phase)) {
+        // A miss needs a free MSHR: memory-level parallelism is
+        // bounded, so streams of misses serialize on the memory port.
+        ready = std::max(ready, mshr_[mshrHead_]);
+        latency += cfg_.dcacheMissPenalty;
+        mshr_[mshrHead_] = ready + latency;
+        mshrHead_ = (mshrHead_ + 1) % mshr_.size();
+    } else if (ev.kind == NKind::Store) {
+        if (!dcache_.access(ev.mem, true, ev.phase)) {
+            // Write-allocate fill occupies an MSHR but does not stall
+            // the store itself (write buffer).
+            mshr_[mshrHead_] =
+                std::max(mshr_[mshrHead_], ready)
+                + cfg_.dcacheMissPenalty;
+            mshrHead_ = (mshrHead_ + 1) % mshr_.size();
+        }
+    }
+    const std::uint64_t done = ready + latency;
+
+    if (ev.rd != kNoReg)
+        regReady_[ev.rd] = done;
+    if (ev.kind == NKind::Store) {
+        StoreEntry &se =
+            stores_[static_cast<std::size_t>(ev.mem >> 2) & 4095];
+        se.addr = ev.mem >> 2;
+        se.done = done;
+    }
+
+    // ---------------------------------------------------------- control
+    if (ev.kind == NKind::Branch) {
+        const bool pred = predictor_.predict(ev.pc);
+        predictor_.update(ev.pc, ev.taken);
+        if (pred != ev.taken) {
+            ++mispredicts_;
+            fetchCycle_ =
+                std::max(fetchCycle_, done + cfg_.mispredictPenalty);
+            fetchedThisCycle_ = 0;
+        }
+        // Correctly predicted taken branches fetch through: the BTB
+        // steers the front end with no bubble.
+    } else if (ev.kind == NKind::IndirectJump
+               || ev.kind == NKind::IndirectCall) {
+        const std::uint64_t pred = btb_.predict(ev.pc);
+        btb_.update(ev.pc, ev.target);
+        if (pred != ev.target) {
+            ++mispredicts_;
+            fetchCycle_ =
+                std::max(fetchCycle_, done + cfg_.mispredictPenalty);
+            fetchedThisCycle_ = 0;
+        }
+    }
+    // Direct jumps/calls/returns and predicted-taken branches are
+    // steered by the BTB without a fetch bubble.
+
+    // ----------------------------------------------------------- commit
+    std::uint64_t commit = std::max(done, lastCommit_);
+    if (commit == lastCommit_) {
+        if (commitsThisCycle_ >= cfg_.issueWidth) {
+            ++commit;
+            commitsThisCycle_ = 1;
+        } else {
+            ++commitsThisCycle_;
+        }
+    } else {
+        commitsThisCycle_ = 1;
+    }
+    lastCommit_ = commit;
+    rob_[robHead_] = commit;
+    robHead_ = (robHead_ + 1) % rob_.size();
+}
+
+} // namespace jrs

@@ -1,0 +1,97 @@
+#include "harness/experiment.h"
+
+namespace jrs {
+
+RunResult
+runWorkload(const RunSpec &spec)
+{
+    if (spec.workload == nullptr)
+        throw VmError("RunSpec without workload");
+    const Program prog = spec.workload->build();
+
+    EngineConfig cfg;
+    cfg.policy = spec.policy ? spec.policy
+                             : std::make_shared<AlwaysCompilePolicy>();
+    cfg.syncKind = spec.syncKind;
+    cfg.sink = spec.sink;
+    cfg.quantum = spec.quantum;
+
+    ExecutionEngine engine(prog, cfg);
+    const std::int32_t arg =
+        spec.arg != 0 ? spec.arg : spec.workload->smallArg;
+    RunResult res = engine.run(arg);
+    if (!res.completed) {
+        throw VmError(std::string(spec.workload->name)
+                      + " did not complete: "
+                      + (res.uncaughtException != nullptr
+                             ? res.uncaughtException
+                             : "unknown"));
+    }
+    return res;
+}
+
+ModePair
+runBothModes(const WorkloadInfo &w, std::int32_t arg,
+             TraceSink *interp_sink, TraceSink *jit_sink)
+{
+    ModePair out;
+    {
+        RunSpec s;
+        s.workload = &w;
+        s.arg = arg;
+        s.policy = std::make_shared<NeverCompilePolicy>();
+        s.sink = interp_sink;
+        out.interp = runWorkload(s);
+    }
+    {
+        RunSpec s;
+        s.workload = &w;
+        s.arg = arg;
+        s.policy = std::make_shared<AlwaysCompilePolicy>();
+        s.sink = jit_sink;
+        out.jit = runWorkload(s);
+    }
+    if (out.interp.exitValue != out.jit.exitValue) {
+        throw VmError(std::string(w.name)
+                      + ": interp/JIT checksum divergence");
+    }
+    return out;
+}
+
+OracleOutcome
+runOracleExperiment(const WorkloadInfo &w, std::int32_t arg,
+                    TraceSink *oracle_sink)
+{
+    OracleOutcome out;
+    {
+        RunSpec s;
+        s.workload = &w;
+        s.arg = arg;
+        s.policy = std::make_shared<NeverCompilePolicy>();
+        out.interpRun = runWorkload(s);
+    }
+    {
+        RunSpec s;
+        s.workload = &w;
+        s.arg = arg;
+        s.policy = std::make_shared<AlwaysCompilePolicy>();
+        out.jitRun = runWorkload(s);
+    }
+    out.decisions = computeOracleDecisions(out.interpRun.profiles,
+                                           out.jitRun.profiles);
+    auto oracle = std::make_shared<OraclePolicy>(out.decisions);
+    out.methodsCompiledByOracle = oracle->numCompiled();
+    {
+        RunSpec s;
+        s.workload = &w;
+        s.arg = arg;
+        s.policy = oracle;
+        s.sink = oracle_sink;
+        out.oracleRun = runWorkload(s);
+    }
+    if (out.oracleRun.exitValue != out.jitRun.exitValue)
+        throw VmError(std::string(w.name) + ": oracle run diverged");
+    return out;
+}
+
+} // namespace jrs

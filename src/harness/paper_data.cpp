@@ -1,0 +1,3 @@
+#include "harness/paper_data.h"
+
+// Reference constants are header-only.

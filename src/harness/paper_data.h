@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reference data points reported by the paper, for side-by-side
+ * comparison in bench output and EXPERIMENTS.md.
+ *
+ * These numbers are transcribed (and, where the figures are plots,
+ * read off the plots approximately) from Radhakrishnan et al.,
+ * "Architectural Issues in Java Runtime Systems", HPCA 2000. They
+ * describe the authors' UltraSPARC/Shade measurements and are printed
+ * purely as the "paper reported" column — our simulator is not
+ * expected to match them absolutely, only to reproduce the shapes.
+ */
+#ifndef JRS_HARNESS_PAPER_DATA_H
+#define JRS_HARNESS_PAPER_DATA_H
+
+namespace jrs::paper {
+
+/** Figure 4: average L1 miss rates (percent) per workload family. */
+struct MissRateRef {
+    const char *family;
+    double icachePct;
+    double dcachePct;
+};
+
+/** Paper Figure 4 reference series (approximate plot reads). */
+inline constexpr MissRateRef kFig4Reference[] = {
+    {"SPECint (C)", 1.5, 2.8},
+    {"C++ suite", 2.1, 3.0},
+    {"Java interp (paper)", 0.1, 1.2},
+    {"Java JIT (paper)", 1.2, 4.5},
+};
+
+/** Section 3: best-case savings from the opt oracle (percent). */
+inline constexpr double kOracleSavingsLowPct = 10.0;
+inline constexpr double kOracleSavingsHighPct = 15.0;
+
+/** Table 1: JIT memory overhead over interpreter (percent). */
+inline constexpr double kJitMemOverheadLowPct = 10.0;
+inline constexpr double kJitMemOverheadHighPct = 33.0;
+
+/** Table 2: GShare accuracy ranges (percent correct). */
+inline constexpr double kGshareInterpAccLow = 65.0;
+inline constexpr double kGshareInterpAccHigh = 87.0;
+inline constexpr double kGshareJitAccLow = 80.0;
+inline constexpr double kGshareJitAccHigh = 92.0;
+
+/** Section 5: thin-lock speedup over the monitor cache (~2x). */
+inline constexpr double kThinLockSpeedup = 2.0;
+
+/** Section 5: share of sync accesses that are case (a) (>80%). */
+inline constexpr double kCaseAFractionPct = 80.0;
+
+/** Section 4.3: translate-phase share of D-misses (40-80%),
+ *  and write-miss share within translate (~60%). */
+inline constexpr double kTranslateDMissShareLow = 40.0;
+inline constexpr double kTranslateDMissShareHigh = 80.0;
+inline constexpr double kTranslateWriteMissPct = 60.0;
+
+} // namespace jrs::paper
+
+#endif // JRS_HARNESS_PAPER_DATA_H

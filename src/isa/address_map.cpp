@@ -1,0 +1,4 @@
+#include "isa/address_map.h"
+
+// All address-map helpers are constexpr/inline; translation unit kept so
+// the module appears in the library target.

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Convenience wrapper for generating TraceEvents.
+ *
+ * The interpreter, JIT translator, native executor and runtime services
+ * all hold a TraceEmitter and call its typed helpers; a null sink makes
+ * every helper a cheap no-op so the VM can run untraced (functional
+ * tests, warm-up runs).
+ */
+#ifndef JRS_ISA_EMITTER_H
+#define JRS_ISA_EMITTER_H
+
+#include "isa/trace.h"
+
+namespace jrs {
+
+/** Thin helper around a TraceSink; copyable, non-owning. */
+class TraceEmitter {
+  public:
+    TraceEmitter() = default;
+    explicit TraceEmitter(TraceSink *sink) : sink_(sink) {}
+
+    /** Replace the sink (nullptr disables emission). */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+
+    /** Current sink (may be nullptr). */
+    TraceSink *sink() const { return sink_; }
+
+    /** True when events are being delivered. */
+    bool enabled() const { return sink_ != nullptr; }
+
+    /** Raw event emission. */
+    void emit(const TraceEvent &ev) {
+        if (sink_ != nullptr)
+            sink_->onEvent(ev);
+    }
+
+    /** Non-memory computational instruction. */
+    void alu(Phase phase, std::uint64_t pc, NKind kind = NKind::IntAlu,
+             Reg rd = kNoReg, Reg rs1 = kNoReg, Reg rs2 = kNoReg) {
+        if (sink_ == nullptr)
+            return;
+        TraceEvent ev;
+        ev.pc = pc;
+        ev.kind = kind;
+        ev.phase = phase;
+        ev.rd = rd;
+        ev.rs1 = rs1;
+        ev.rs2 = rs2;
+        sink_->onEvent(ev);
+    }
+
+    /** Memory read of @p size bytes at @p addr. */
+    void load(Phase phase, std::uint64_t pc, std::uint64_t addr,
+              std::uint8_t size = 4, Reg rd = kNoReg, Reg rs1 = kNoReg) {
+        if (sink_ == nullptr)
+            return;
+        TraceEvent ev;
+        ev.pc = pc;
+        ev.kind = NKind::Load;
+        ev.phase = phase;
+        ev.mem = addr;
+        ev.memSize = size;
+        ev.rd = rd;
+        ev.rs1 = rs1;
+        sink_->onEvent(ev);
+    }
+
+    /** Memory write of @p size bytes at @p addr. */
+    void store(Phase phase, std::uint64_t pc, std::uint64_t addr,
+               std::uint8_t size = 4, Reg rs1 = kNoReg,
+               Reg rs2 = kNoReg) {
+        if (sink_ == nullptr)
+            return;
+        TraceEvent ev;
+        ev.pc = pc;
+        ev.kind = NKind::Store;
+        ev.phase = phase;
+        ev.mem = addr;
+        ev.memSize = size;
+        ev.rs1 = rs1;
+        ev.rs2 = rs2;
+        sink_->onEvent(ev);
+    }
+
+    /** Conditional branch at @p pc with @p taken outcome. */
+    void branch(Phase phase, std::uint64_t pc, std::uint64_t target,
+                bool taken, Reg rs1 = kNoReg, Reg rs2 = kNoReg) {
+        if (sink_ == nullptr)
+            return;
+        TraceEvent ev;
+        ev.pc = pc;
+        ev.kind = NKind::Branch;
+        ev.phase = phase;
+        ev.target = target;
+        ev.taken = taken;
+        ev.rs1 = rs1;
+        ev.rs2 = rs2;
+        sink_->onEvent(ev);
+    }
+
+    /** Control transfer of kind Jump/IndirectJump/Call/IndirectCall/Ret. */
+    void control(Phase phase, std::uint64_t pc, NKind kind,
+                 std::uint64_t target, Reg rs1 = kNoReg) {
+        if (sink_ == nullptr)
+            return;
+        TraceEvent ev;
+        ev.pc = pc;
+        ev.kind = kind;
+        ev.phase = phase;
+        ev.target = target;
+        ev.taken = true;
+        ev.rs1 = rs1;
+        sink_->onEvent(ev);
+    }
+
+  private:
+    TraceSink *sink_ = nullptr;
+};
+
+} // namespace jrs
+
+#endif // JRS_ISA_EMITTER_H

@@ -1,0 +1,40 @@
+#include "isa/trace.h"
+
+namespace jrs {
+
+const char *
+nkindName(NKind kind)
+{
+    switch (kind) {
+      case NKind::IntAlu:       return "int_alu";
+      case NKind::IntMul:       return "int_mul";
+      case NKind::IntDiv:       return "int_div";
+      case NKind::FpAlu:        return "fp_alu";
+      case NKind::FpMul:        return "fp_mul";
+      case NKind::FpDiv:        return "fp_div";
+      case NKind::Load:         return "load";
+      case NKind::Store:        return "store";
+      case NKind::Branch:       return "branch";
+      case NKind::Jump:         return "jump";
+      case NKind::IndirectJump: return "indirect_jump";
+      case NKind::Call:         return "call";
+      case NKind::IndirectCall: return "indirect_call";
+      case NKind::Ret:          return "ret";
+      case NKind::Nop:          return "nop";
+    }
+    return "unknown";
+}
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Interpret:  return "interpret";
+      case Phase::Translate:  return "translate";
+      case Phase::NativeExec: return "native_exec";
+      case Phase::Runtime:    return "runtime";
+    }
+    return "unknown";
+}
+
+} // namespace jrs

@@ -1,0 +1,115 @@
+#include "isa/trace_io.h"
+
+#include <cstring>
+
+#include "vm/runtime/vm_error.h"
+
+namespace jrs {
+
+namespace {
+
+constexpr std::size_t kRecordBytes = 35;
+
+void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (file_ == nullptr)
+        throw VmError("cannot open trace file for writing: " + path);
+    std::uint8_t header[16] = {};
+    std::memcpy(header, kTraceMagic, sizeof(kTraceMagic));
+    header[8] = static_cast<std::uint8_t>(kTraceVersion);
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        throw VmError("trace header write failed");
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+TraceFileWriter::onEvent(const TraceEvent &ev)
+{
+    std::uint8_t rec[kRecordBytes];
+    putU64(rec + 0, ev.pc);
+    putU64(rec + 8, ev.mem);
+    putU64(rec + 16, ev.target);
+    rec[24] = static_cast<std::uint8_t>(ev.kind);
+    rec[25] = static_cast<std::uint8_t>(ev.phase);
+    rec[26] = ev.taken ? 1 : 0;
+    rec[27] = ev.memSize;
+    rec[28] = ev.rd;
+    rec[29] = ev.rs1;
+    rec[30] = ev.rs2;
+    rec[31] = rec[32] = rec[33] = rec[34] = 0;
+    if (std::fwrite(rec, 1, kRecordBytes, file_) != kRecordBytes)
+        throw VmError("trace record write failed");
+    ++events_;
+}
+
+void
+TraceFileWriter::onFinish()
+{
+    std::fflush(file_);
+}
+
+std::uint64_t
+replayTraceFile(const std::string &path, TraceSink &sink)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw VmError("cannot open trace file: " + path);
+
+    std::uint8_t header[16];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)
+        || std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+        std::fclose(f);
+        throw VmError("not a jrs trace file: " + path);
+    }
+    if (header[8] != kTraceVersion) {
+        std::fclose(f);
+        throw VmError("unsupported trace version");
+    }
+
+    std::uint64_t events = 0;
+    std::uint8_t rec[kRecordBytes];
+    while (std::fread(rec, 1, kRecordBytes, f) == kRecordBytes) {
+        TraceEvent ev;
+        ev.pc = getU64(rec + 0);
+        ev.mem = getU64(rec + 8);
+        ev.target = getU64(rec + 16);
+        ev.kind = static_cast<NKind>(rec[24]);
+        ev.phase = static_cast<Phase>(rec[25]);
+        ev.taken = rec[26] != 0;
+        ev.memSize = rec[27];
+        ev.rd = rec[28];
+        ev.rs1 = rec[29];
+        ev.rs2 = rec[30];
+        sink.onEvent(ev);
+        ++events;
+    }
+    std::fclose(f);
+    sink.onFinish();
+    return events;
+}
+
+} // namespace jrs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Binary trace files — the Shade workflow of recording a run once and
+ * analyzing it offline, as the paper's tool chain did.
+ *
+ * Format: a 16-byte header ("JRSTRACE", u32 version, u32 reserved)
+ * followed by fixed-width little-endian records:
+ *
+ *   u64 pc | u64 mem | u64 target | u8 kind | u8 phase | u8 flags
+ *   | u8 memSize | u8 rd | u8 rs1 | u8 rs2 | u8 pad        (35 bytes)
+ *
+ * flags bit 0 = branch taken. The format trades compactness for
+ * dead-simple streaming in both directions; a full small-workload
+ * interpreter run is a few hundred MB, so callers usually record
+ * reduced runs.
+ */
+#ifndef JRS_ISA_TRACE_IO_H
+#define JRS_ISA_TRACE_IO_H
+
+#include <cstdio>
+#include <string>
+
+#include "isa/trace.h"
+
+namespace jrs {
+
+/** Magic string at offset 0. */
+inline constexpr char kTraceMagic[8] = {'J', 'R', 'S', 'T',
+                                        'R', 'A', 'C', 'E'};
+
+/** Current format version. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Sink that streams events into a binary trace file. */
+class TraceFileWriter : public TraceSink {
+  public:
+    /** Opens @p path for writing; throws VmError on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void onEvent(const TraceEvent &ev) override;
+    void onFinish() override;
+
+    /** Events written so far. */
+    std::uint64_t eventsWritten() const { return events_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t events_ = 0;
+};
+
+/**
+ * Replay a trace file into @p sink (calling onFinish at EOF).
+ * @return the number of events replayed. Throws VmError on a missing
+ * file, bad magic, or version mismatch.
+ */
+std::uint64_t replayTraceFile(const std::string &path, TraceSink &sink);
+
+} // namespace jrs
+
+#endif // JRS_ISA_TRACE_IO_H

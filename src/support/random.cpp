@@ -1,0 +1,4 @@
+#include "support/random.h"
+
+// XorShift64 is fully inline; this translation unit exists so the module
+// has a home for future out-of-line distributions.

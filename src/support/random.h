@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * All stochastic behaviour in jrs flows through XorShift64 so that every
+ * experiment is exactly reproducible from a seed. We deliberately avoid
+ * std::mt19937 in workload code: the generator state is part of the
+ * simulated program's data, and a small, inlineable generator keeps the
+ * native-trace cost model honest.
+ */
+#ifndef JRS_SUPPORT_RANDOM_H
+#define JRS_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace jrs {
+
+/** xorshift64* generator (Vigna 2014 variant). Never yields 0 state. */
+class XorShift64 {
+  public:
+    explicit XorShift64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next() {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound) {
+        return next() % bound;
+    }
+
+    /** Uniform 32-bit signed value in [lo, hi]. */
+    std::int32_t nextInRange(std::int32_t lo, std::int32_t hi) {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo)
+            + 1;
+        return static_cast<std::int32_t>(lo
+            + static_cast<std::int64_t>(nextBounded(span)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble() {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Current internal state (for checkpoint-style tests). */
+    std::uint64_t state() const { return state_; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace jrs
+
+#endif // JRS_SUPPORT_RANDOM_H

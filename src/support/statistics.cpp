@@ -1,0 +1,94 @@
+#include "support/statistics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace jrs {
+
+double
+percent(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part)
+                            / static_cast<double>(whole);
+}
+
+double
+ratio(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : static_cast<double>(part)
+                            / static_cast<double>(whole);
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width == 0 ? 1 : bucket_width),
+      buckets_(num_buckets + 1, 0)
+{
+}
+
+void
+Histogram::add(std::uint64_t sample)
+{
+    std::size_t idx = static_cast<std::size_t>(sample / bucketWidth_);
+    if (idx >= buckets_.size() - 1)
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    ++count_;
+    sum_ += sample;
+    samplesSorted_.push_back(sample);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_)
+                             / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t index) const
+{
+    return index < buckets_.size() ? buckets_[index] : 0;
+}
+
+double
+Histogram::fractionBelow(std::uint64_t value) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::uint64_t s : samplesSorted_) {
+        if (s < value)
+            ++below;
+    }
+    return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+std::string
+withCommas(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int pos = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (pos != 0 && pos % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++pos;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace jrs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight statistics primitives shared by the VM and the
+ * architecture models: counters with ratio helpers and fixed-bucket
+ * histograms. Modeled loosely on simulator stats packages, but kept
+ * minimal — every experiment in bench/ ultimately prints plain rows.
+ */
+#ifndef JRS_SUPPORT_STATISTICS_H
+#define JRS_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrs {
+
+/** Percentage of @p part within @p whole; 0 when whole == 0. */
+double percent(std::uint64_t part, std::uint64_t whole);
+
+/** Ratio part/whole; 0 when whole == 0. */
+double ratio(std::uint64_t part, std::uint64_t whole);
+
+/**
+ * Fixed-width bucket histogram over unsigned samples.
+ *
+ * Used e.g. for method-size and lock-recursion-depth distributions.
+ * The last bucket is an overflow bucket capturing all samples at or
+ * above the configured maximum.
+ */
+class Histogram {
+  public:
+    /**
+     * @param bucket_width Width of each bucket (>0).
+     * @param num_buckets  Number of regular buckets before overflow.
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    /** Record one sample. */
+    void add(std::uint64_t sample);
+
+    /** Number of samples recorded so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Count in bucket @p index (the last index is the overflow bucket). */
+    std::uint64_t bucketCount(std::size_t index) const;
+
+    /** Total number of buckets including overflow. */
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Fraction of samples strictly below @p value. */
+    double fractionBelow(std::uint64_t value) const;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::vector<std::uint64_t> rawBelow_;  ///< exact counts per bucket start
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::vector<std::uint64_t> samplesSorted_;  // kept for exact quantiles
+};
+
+/** Format @p v with thousands separators, e.g. 1234567 -> "1,234,567". */
+std::string withCommas(std::uint64_t v);
+
+/** Format a double with @p decimals digits after the point. */
+std::string fixed(double v, int decimals = 2);
+
+} // namespace jrs
+
+#endif // JRS_SUPPORT_STATISTICS_H

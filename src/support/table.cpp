@@ -1,0 +1,74 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace jrs {
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.'
+            && c != '-' && c != '+' && c != ',' && c != '%' && c != 'x'
+            && c != 'e' && c != 'E') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c]
+                                                     : std::string();
+            const std::size_t pad = widths[c] - cell.size();
+            os << "  ";
+            if (looksNumeric(cell)) {
+                os << std::string(pad, ' ') << cell;
+            } else {
+                os << cell << std::string(pad, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace jrs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text table printer used by every bench binary to format the
+ * rows of the paper's tables and figures. Columns auto-size to the
+ * widest cell; numeric cells are right-aligned.
+ */
+#ifndef JRS_SUPPORT_TABLE_H
+#define JRS_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jrs {
+
+/** A growable text table with a header row and aligned output. */
+class Table {
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; missing cells render empty, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment to @p os, with a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace jrs
+
+#endif // JRS_SUPPORT_TABLE_H

@@ -1,0 +1,890 @@
+#include "vm/bytecode/assembler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#include "vm/bytecode/decode.h"
+#include "vm/bytecode/verifier.h"
+
+namespace jrs {
+
+// ---------------------------------------------------------------------
+// MethodBuilder
+// ---------------------------------------------------------------------
+
+MethodBuilder::MethodBuilder(ProgramBuilder *pb, std::string name,
+                             MethodId id)
+    : pb_(pb), name_(std::move(name)), id_(id)
+{
+}
+
+void
+MethodBuilder::emitOp(Op op)
+{
+    code_.push_back(static_cast<std::uint8_t>(op));
+}
+
+void
+MethodBuilder::emitU8(std::uint8_t v)
+{
+    code_.push_back(v);
+}
+
+void
+MethodBuilder::emitU16(std::uint16_t v)
+{
+    code_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    code_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+MethodBuilder::emitS32(std::int32_t v)
+{
+    const std::uint32_t u = static_cast<std::uint32_t>(v);
+    code_.push_back(static_cast<std::uint8_t>(u & 0xff));
+    code_.push_back(static_cast<std::uint8_t>((u >> 8) & 0xff));
+    code_.push_back(static_cast<std::uint8_t>((u >> 16) & 0xff));
+    code_.push_back(static_cast<std::uint8_t>((u >> 24) & 0xff));
+}
+
+MethodBuilder &
+MethodBuilder::locals(std::uint8_t n)
+{
+    if (n < numArgs_)
+        throw AssemblerError(name_ + ": locals() below argument count");
+    numLocals_ = n;
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::synchronized_()
+{
+    isSynchronized_ = true;
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::iconst(std::int32_t v)
+{
+    if (v >= -128 && v <= 127) {
+        emitOp(Op::Iconst8);
+        emitU8(static_cast<std::uint8_t>(static_cast<std::int8_t>(v)));
+    } else {
+        emitOp(Op::Iconst32);
+        emitS32(v);
+    }
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::fconst(float v)
+{
+    std::int32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    emitOp(Op::Fconst);
+    emitS32(bits);
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::aconstNull()
+{
+    emitOp(Op::AconstNull);
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::ldcStr(const std::string &s)
+{
+    const std::uint16_t idx = pb_->stringLiteral(s);
+    emitOp(Op::LdcStr);
+    emitU16(idx);
+    return *this;
+}
+
+#define JRS_LOCAL_OP(fn, OPC)                                           \
+    MethodBuilder &                                                     \
+    MethodBuilder::fn(std::uint8_t slot)                                \
+    {                                                                   \
+        emitOp(Op::OPC);                                                \
+        emitU8(slot);                                                   \
+        return *this;                                                   \
+    }
+
+JRS_LOCAL_OP(iload, Iload)
+JRS_LOCAL_OP(fload, Fload)
+JRS_LOCAL_OP(aload, Aload)
+JRS_LOCAL_OP(istore, Istore)
+JRS_LOCAL_OP(fstore, Fstore)
+JRS_LOCAL_OP(astore, Astore)
+#undef JRS_LOCAL_OP
+
+MethodBuilder &
+MethodBuilder::iinc(std::uint8_t slot, std::int8_t delta)
+{
+    emitOp(Op::Iinc);
+    emitU8(slot);
+    emitU8(static_cast<std::uint8_t>(delta));
+    return *this;
+}
+
+#define JRS_SIMPLE_OP(fn, OPC)                                          \
+    MethodBuilder &                                                     \
+    MethodBuilder::fn()                                                 \
+    {                                                                   \
+        emitOp(Op::OPC);                                                \
+        return *this;                                                   \
+    }
+
+JRS_SIMPLE_OP(pop, Pop)
+JRS_SIMPLE_OP(dup, Dup)
+JRS_SIMPLE_OP(dupX1, DupX1)
+JRS_SIMPLE_OP(swap, Swap)
+JRS_SIMPLE_OP(iadd, Iadd)
+JRS_SIMPLE_OP(isub, Isub)
+JRS_SIMPLE_OP(imul, Imul)
+JRS_SIMPLE_OP(idiv, Idiv)
+JRS_SIMPLE_OP(irem, Irem)
+JRS_SIMPLE_OP(ineg, Ineg)
+JRS_SIMPLE_OP(ishl, Ishl)
+JRS_SIMPLE_OP(ishr, Ishr)
+JRS_SIMPLE_OP(iushr, Iushr)
+JRS_SIMPLE_OP(iand, Iand)
+JRS_SIMPLE_OP(ior, Ior)
+JRS_SIMPLE_OP(ixor, Ixor)
+JRS_SIMPLE_OP(fadd, Fadd)
+JRS_SIMPLE_OP(fsub, Fsub)
+JRS_SIMPLE_OP(fmul, Fmul)
+JRS_SIMPLE_OP(fdiv, Fdiv)
+JRS_SIMPLE_OP(fneg, Fneg)
+JRS_SIMPLE_OP(fcmpl, Fcmpl)
+JRS_SIMPLE_OP(i2f, I2f)
+JRS_SIMPLE_OP(f2i, F2i)
+JRS_SIMPLE_OP(i2c, I2c)
+JRS_SIMPLE_OP(i2b, I2b)
+JRS_SIMPLE_OP(returnVoid, ReturnVoid)
+JRS_SIMPLE_OP(ireturn, Ireturn)
+JRS_SIMPLE_OP(freturn, Freturn)
+JRS_SIMPLE_OP(areturn, Areturn)
+JRS_SIMPLE_OP(arrayLength, ArrayLength)
+JRS_SIMPLE_OP(iaload, IAload)
+JRS_SIMPLE_OP(iastore, IAstore)
+JRS_SIMPLE_OP(faload, FAload)
+JRS_SIMPLE_OP(fastore, FAstore)
+JRS_SIMPLE_OP(caload, CAload)
+JRS_SIMPLE_OP(castore, CAstore)
+JRS_SIMPLE_OP(baload, BAload)
+JRS_SIMPLE_OP(bastore, BAstore)
+JRS_SIMPLE_OP(aaload, AAload)
+JRS_SIMPLE_OP(aastore, AAstore)
+JRS_SIMPLE_OP(monitorEnter, MonitorEnter)
+JRS_SIMPLE_OP(monitorExit, MonitorExit)
+JRS_SIMPLE_OP(athrow, Athrow)
+JRS_SIMPLE_OP(joinThread, JoinThread)
+JRS_SIMPLE_OP(nop, Nop)
+#undef JRS_SIMPLE_OP
+
+Label
+MethodBuilder::newLabel()
+{
+    labelPos_.push_back(-1);
+    return static_cast<Label>(labelPos_.size() - 1);
+}
+
+MethodBuilder &
+MethodBuilder::bind(Label label)
+{
+    if (label >= labelPos_.size())
+        throw AssemblerError(name_ + ": bind of unknown label");
+    if (labelPos_[label] != -1)
+        throw AssemblerError(name_ + ": label bound twice");
+    labelPos_[label] = static_cast<std::int64_t>(code_.size());
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::branch(Op op, Label l)
+{
+    const std::uint32_t opcode_at = here();
+    emitOp(op);
+    fixups_.push_back({here(), opcode_at, l});
+    emitU16(0);
+    return *this;
+}
+
+#define JRS_BRANCH_OP(fn, OPC)                                          \
+    MethodBuilder &                                                     \
+    MethodBuilder::fn(Label l)                                          \
+    {                                                                   \
+        return branch(Op::OPC, l);                                      \
+    }
+
+JRS_BRANCH_OP(gotoL, Goto)
+JRS_BRANCH_OP(ifeq, Ifeq)
+JRS_BRANCH_OP(ifne, Ifne)
+JRS_BRANCH_OP(iflt, Iflt)
+JRS_BRANCH_OP(ifge, Ifge)
+JRS_BRANCH_OP(ifgt, Ifgt)
+JRS_BRANCH_OP(ifle, Ifle)
+JRS_BRANCH_OP(ifIcmpeq, IfIcmpeq)
+JRS_BRANCH_OP(ifIcmpne, IfIcmpne)
+JRS_BRANCH_OP(ifIcmplt, IfIcmplt)
+JRS_BRANCH_OP(ifIcmpge, IfIcmpge)
+JRS_BRANCH_OP(ifIcmpgt, IfIcmpgt)
+JRS_BRANCH_OP(ifIcmple, IfIcmple)
+JRS_BRANCH_OP(ifAcmpeq, IfAcmpeq)
+JRS_BRANCH_OP(ifAcmpne, IfAcmpne)
+JRS_BRANCH_OP(ifnull, Ifnull)
+JRS_BRANCH_OP(ifnonnull, Ifnonnull)
+#undef JRS_BRANCH_OP
+
+MethodBuilder &
+MethodBuilder::tableSwitch(std::int32_t low,
+                           const std::vector<Label> &targets, Label deflt)
+{
+    if (targets.empty())
+        throw AssemblerError(name_ + ": empty tableswitch");
+    const std::uint32_t opcode_at = here();
+    emitOp(Op::TableSwitch);
+    fixups_.push_back({here(), opcode_at, deflt});
+    emitU16(0);
+    emitS32(low);
+    emitU16(static_cast<std::uint16_t>(targets.size()));
+    for (Label t : targets) {
+        fixups_.push_back({here(), opcode_at, t});
+        emitU16(0);
+    }
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::lookupSwitch(
+    const std::vector<std::pair<std::int32_t, Label>> &pairs, Label deflt)
+{
+    const std::uint32_t opcode_at = here();
+    emitOp(Op::LookupSwitch);
+    fixups_.push_back({here(), opcode_at, deflt});
+    emitU16(0);
+    emitU16(static_cast<std::uint16_t>(pairs.size()));
+    for (const auto &[key, target] : pairs) {
+        emitS32(key);
+        fixups_.push_back({here(), opcode_at, target});
+        emitU16(0);
+    }
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::symbolU16(Op op, std::uint8_t sym_kind,
+                         const std::string &symbol)
+{
+    emitOp(op);
+    symbols_.push_back({here(), sym_kind, symbol});
+    emitU16(0);
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::invokeStatic(const std::string &qualified)
+{
+    return symbolU16(Op::InvokeStatic, ProgramBuilder::kSymStaticMethod,
+                     qualified);
+}
+
+MethodBuilder &
+MethodBuilder::invokeVirtual(const std::string &qualified)
+{
+    return symbolU16(Op::InvokeVirtual, ProgramBuilder::kSymVirtualSlot,
+                     qualified);
+}
+
+MethodBuilder &
+MethodBuilder::invokeSpecial(const std::string &qualified)
+{
+    return symbolU16(Op::InvokeSpecial, ProgramBuilder::kSymSpecialMethod,
+                     qualified);
+}
+
+#define JRS_FIELD_OP(fn, OPC)                                           \
+    MethodBuilder &                                                     \
+    MethodBuilder::fn(const std::string &qualified)                     \
+    {                                                                   \
+        return symbolU16(Op::OPC, ProgramBuilder::kSymField, qualified);\
+    }
+
+JRS_FIELD_OP(getFieldI, GetFieldI)
+JRS_FIELD_OP(getFieldF, GetFieldF)
+JRS_FIELD_OP(getFieldA, GetFieldA)
+JRS_FIELD_OP(putFieldI, PutFieldI)
+JRS_FIELD_OP(putFieldF, PutFieldF)
+JRS_FIELD_OP(putFieldA, PutFieldA)
+#undef JRS_FIELD_OP
+
+#define JRS_STATIC_OP(fn, OPC)                                          \
+    MethodBuilder &                                                     \
+    MethodBuilder::fn(const std::string &name)                          \
+    {                                                                   \
+        return symbolU16(Op::OPC, ProgramBuilder::kSymStatic, name);    \
+    }
+
+JRS_STATIC_OP(getStaticI, GetStaticI)
+JRS_STATIC_OP(getStaticF, GetStaticF)
+JRS_STATIC_OP(getStaticA, GetStaticA)
+JRS_STATIC_OP(putStaticI, PutStaticI)
+JRS_STATIC_OP(putStaticF, PutStaticF)
+JRS_STATIC_OP(putStaticA, PutStaticA)
+#undef JRS_STATIC_OP
+
+MethodBuilder &
+MethodBuilder::newObject(const std::string &class_name)
+{
+    return symbolU16(Op::New, ProgramBuilder::kSymClass, class_name);
+}
+
+MethodBuilder &
+MethodBuilder::newArray(ArrayKind kind)
+{
+    emitOp(Op::NewArray);
+    emitU8(static_cast<std::uint8_t>(kind));
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::intrinsic(IntrinsicId id)
+{
+    emitOp(Op::Intrinsic);
+    emitU8(static_cast<std::uint8_t>(id));
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::spawnThread(const std::string &qualified)
+{
+    return symbolU16(Op::SpawnThread, ProgramBuilder::kSymSpawn,
+                     qualified);
+}
+
+MethodBuilder &
+MethodBuilder::addHandler(Label start, Label end, Label handler,
+                          const std::string &catch_class)
+{
+    pendingHandlers_.push_back({start, end, handler, catch_class});
+    return *this;
+}
+
+// ---------------------------------------------------------------------
+// ClassBuilder
+// ---------------------------------------------------------------------
+
+std::uint16_t
+ClassBuilder::field(const std::string &name)
+{
+    def_.fieldNames.push_back(name);
+    def_.numFields = static_cast<std::uint16_t>(def_.fieldNames.size());
+    return def_.numFields - 1;
+}
+
+MethodBuilder &
+ClassBuilder::staticMethod(const std::string &name,
+                           const std::vector<VType> &args, VType ret)
+{
+    return pb_->addMethod(*this, name, args, ret, /*is_static=*/true,
+                          /*is_special=*/false);
+}
+
+MethodBuilder &
+ClassBuilder::virtualMethod(const std::string &name,
+                            const std::vector<VType> &args, VType ret)
+{
+    return pb_->addMethod(*this, name, args, ret, /*is_static=*/false,
+                          /*is_special=*/false);
+}
+
+MethodBuilder &
+ClassBuilder::specialMethod(const std::string &name,
+                            const std::vector<VType> &args, VType ret)
+{
+    return pb_->addMethod(*this, name, args, ret, /*is_static=*/false,
+                          /*is_special=*/true);
+}
+
+// ---------------------------------------------------------------------
+// ProgramBuilder
+// ---------------------------------------------------------------------
+
+ProgramBuilder::ProgramBuilder(std::string program_name)
+    : name_(std::move(program_name))
+{
+}
+
+ProgramBuilder::~ProgramBuilder() = default;
+
+ClassBuilder &
+ProgramBuilder::cls(const std::string &name, const std::string &super_name)
+{
+    for (const auto &c : classes_) {
+        if (c->def_.name == name)
+            throw AssemblerError("duplicate class " + name);
+    }
+    ClassDef def;
+    def.name = name;
+    def.id = static_cast<ClassId>(classes_.size());
+    if (!super_name.empty()) {
+        const ClassBuilder *super = nullptr;
+        for (const auto &c : classes_) {
+            if (c->def_.name == super_name)
+                super = c.get();
+        }
+        if (super == nullptr) {
+            throw AssemblerError("superclass " + super_name
+                                 + " must be declared before " + name);
+        }
+        def.super = super->def_.id;
+        def.fieldNames = super->def_.fieldNames;  // inherited slots
+        def.numFields = super->def_.numFields;
+        def.vtable = super->def_.vtable;
+        def.vslots = super->def_.vslots;
+    }
+    classes_.push_back(
+        std::unique_ptr<ClassBuilder>(new ClassBuilder(this, def)));
+    return *classes_.back();
+}
+
+std::uint16_t
+ProgramBuilder::stringLiteral(const std::string &s)
+{
+    for (std::size_t i = 0; i < stringLiterals_.size(); ++i) {
+        if (stringLiterals_[i] == s)
+            return static_cast<std::uint16_t>(i);
+    }
+    stringLiterals_.push_back(s);
+    return static_cast<std::uint16_t>(stringLiterals_.size() - 1);
+}
+
+std::uint16_t
+ProgramBuilder::staticSlot(const std::string &name, VType type)
+{
+    for (std::size_t i = 0; i < statics_.size(); ++i) {
+        if (statics_[i].name == name)
+            throw AssemblerError("duplicate static " + name);
+    }
+    statics_.push_back({name, type});
+    return static_cast<std::uint16_t>(statics_.size() - 1);
+}
+
+MethodBuilder &
+ProgramBuilder::addMethod(ClassBuilder &cb, const std::string &name,
+                          const std::vector<VType> &args, VType ret,
+                          bool is_static, bool is_special)
+{
+    const std::string qualified = cb.def_.name + "." + name;
+    for (const auto &m : methods_) {
+        if (m->name_ == qualified)
+            throw AssemblerError("duplicate method " + qualified);
+    }
+    const MethodId id = static_cast<MethodId>(methods_.size());
+    methods_.push_back(std::unique_ptr<MethodBuilder>(
+        new MethodBuilder(this, qualified, id)));
+    MethodBuilder &mb = *methods_.back();
+    mb.owner_ = cb.def_.id;
+    mb.isStatic_ = is_static;
+    mb.returnType_ = ret;
+    std::size_t nargs = args.size() + (is_static ? 0 : 1);
+    if (nargs > 255)
+        throw AssemblerError(qualified + ": too many arguments");
+    mb.numArgs_ = static_cast<std::uint8_t>(nargs);
+    mb.numLocals_ = mb.numArgs_;
+    if (!is_static)
+        mb.argTypes_.push_back(VType::Ref);  // receiver
+    mb.argTypes_.insert(mb.argTypes_.end(), args.begin(), args.end());
+
+    if (!is_static && !is_special) {
+        // Virtual: override the inherited slot of the same name, or
+        // claim a fresh globally-unique slot (vtables are sparse).
+        const int existing = cb.def_.vslotOf(name);
+        std::uint16_t slot;
+        if (existing >= 0) {
+            slot = static_cast<std::uint16_t>(existing);
+        } else {
+            slot = nextVSlot_++;
+            cb.def_.vslots.emplace_back(name, slot);
+        }
+        if (cb.def_.vtable.size() <= slot)
+            cb.def_.vtable.resize(slot + 1, kNoMethod);
+        cb.def_.vtable[slot] = id;
+    }
+    return mb;
+}
+
+std::uint16_t
+ProgramBuilder::resolve(std::uint8_t kind, const std::string &symbol,
+                        const std::string &where)
+{
+    auto fail = [&](const std::string &msg) -> std::uint16_t {
+        throw AssemblerError(where + ": " + msg + " '" + symbol + "'");
+    };
+    auto find_method = [&]() -> std::uint16_t {
+        for (const auto &m : methods_) {
+            if (m->name_ == symbol)
+                return m->id_;
+        }
+        return fail("unknown method");
+    };
+    auto find_class = [&](const std::string &cls_name) -> ClassBuilder * {
+        for (const auto &c : classes_) {
+            if (c->def_.name == cls_name)
+                return c.get();
+        }
+        fail("unknown class");
+        return nullptr;
+    };
+
+    switch (kind) {
+      case kSymStaticMethod:
+      case kSymSpecialMethod:
+      case kSymSpawn:
+        return find_method();
+      case kSymVirtualSlot: {
+        const auto dot = symbol.find('.');
+        if (dot == std::string::npos)
+            return fail("virtual call needs Class.method");
+        ClassBuilder *cb = find_class(symbol.substr(0, dot));
+        const int slot = cb->def_.vslotOf(symbol.substr(dot + 1));
+        if (slot < 0)
+            return fail("no virtual slot");
+        return static_cast<std::uint16_t>(slot);
+      }
+      case kSymField: {
+        const auto dot = symbol.find('.');
+        if (dot == std::string::npos)
+            return fail("field ref needs Class.field");
+        ClassBuilder *cb = find_class(symbol.substr(0, dot));
+        const std::string fname = symbol.substr(dot + 1);
+        for (std::size_t i = 0; i < cb->def_.fieldNames.size(); ++i) {
+            if (cb->def_.fieldNames[i] == fname)
+                return static_cast<std::uint16_t>(i);
+        }
+        return fail("unknown field");
+      }
+      case kSymStatic:
+        for (std::size_t i = 0; i < statics_.size(); ++i) {
+            if (statics_[i].name == symbol)
+                return static_cast<std::uint16_t>(i);
+        }
+        return fail("unknown static");
+      case kSymClass: {
+        ClassBuilder *cb = find_class(symbol);
+        return cb->def_.id;
+      }
+      case kSymString:
+        return stringLiteral(symbol);
+    }
+    return fail("bad symbol kind");
+}
+
+namespace {
+
+/** Pops/pushes of the instruction at @p pc in a resolved method. */
+struct StackEffect {
+    int pops;
+    int pushes;
+};
+
+StackEffect
+stackEffect(const Method &m, const Program &prog, std::uint32_t pc)
+{
+    const Op op = m.opAt(pc);
+    switch (op) {
+      case Op::Nop:          return {0, 0};
+      case Op::Iconst8:
+      case Op::Iconst32:
+      case Op::Fconst:
+      case Op::AconstNull:
+      case Op::LdcStr:       return {0, 1};
+      case Op::Iload:
+      case Op::Fload:
+      case Op::Aload:        return {0, 1};
+      case Op::Istore:
+      case Op::Fstore:
+      case Op::Astore:       return {1, 0};
+      case Op::Iinc:         return {0, 0};
+      case Op::Pop:          return {1, 0};
+      case Op::Dup:          return {1, 2};
+      case Op::DupX1:        return {2, 3};
+      case Op::Swap:         return {2, 2};
+      case Op::Iadd: case Op::Isub: case Op::Imul: case Op::Idiv:
+      case Op::Irem: case Op::Ishl: case Op::Ishr: case Op::Iushr:
+      case Op::Iand: case Op::Ior: case Op::Ixor:
+      case Op::Fadd: case Op::Fsub: case Op::Fmul: case Op::Fdiv:
+      case Op::Fcmpl:        return {2, 1};
+      case Op::Ineg: case Op::Fneg:
+      case Op::I2f: case Op::F2i: case Op::I2c: case Op::I2b:
+        return {1, 1};
+      case Op::Goto:         return {0, 0};
+      case Op::Ifeq: case Op::Ifne: case Op::Iflt:
+      case Op::Ifge: case Op::Ifgt: case Op::Ifle:
+      case Op::Ifnull: case Op::Ifnonnull:
+        return {1, 0};
+      case Op::IfIcmpeq: case Op::IfIcmpne: case Op::IfIcmplt:
+      case Op::IfIcmpge: case Op::IfIcmpgt: case Op::IfIcmple:
+      case Op::IfAcmpeq: case Op::IfAcmpne:
+        return {2, 0};
+      case Op::TableSwitch:
+      case Op::LookupSwitch: return {1, 0};
+      case Op::InvokeStatic:
+      case Op::InvokeSpecial: {
+        const Method &callee = prog.methods[readU16(m.code, pc + 1)];
+        return {callee.numArgs,
+                callee.returnType == VType::Void ? 0 : 1};
+      }
+      case Op::InvokeVirtual: {
+        const std::uint16_t slot = readU16(m.code, pc + 1);
+        for (const auto &c : prog.classes) {
+            if (slot < c.vtable.size() && c.vtable[slot] != kNoMethod) {
+                const Method &callee = prog.methods[c.vtable[slot]];
+                return {callee.numArgs,
+                        callee.returnType == VType::Void ? 0 : 1};
+            }
+        }
+        throw AssemblerError(m.name + ": unresolvable vtable slot");
+      }
+      case Op::ReturnVoid:   return {0, 0};
+      case Op::Ireturn:
+      case Op::Freturn:
+      case Op::Areturn:      return {1, 0};
+      case Op::GetFieldI: case Op::GetFieldF: case Op::GetFieldA:
+        return {1, 1};
+      case Op::PutFieldI: case Op::PutFieldF: case Op::PutFieldA:
+        return {2, 0};
+      case Op::GetStaticI: case Op::GetStaticF: case Op::GetStaticA:
+        return {0, 1};
+      case Op::PutStaticI: case Op::PutStaticF: case Op::PutStaticA:
+        return {1, 0};
+      case Op::New:          return {0, 1};
+      case Op::NewArray:     return {1, 1};
+      case Op::ArrayLength:  return {1, 1};
+      case Op::IAload: case Op::FAload: case Op::CAload:
+      case Op::BAload: case Op::AAload:
+        return {2, 1};
+      case Op::IAstore: case Op::FAstore: case Op::CAstore:
+      case Op::BAstore: case Op::AAstore:
+        return {3, 0};
+      case Op::MonitorEnter:
+      case Op::MonitorExit:  return {1, 0};
+      case Op::Athrow:       return {1, 0};
+      case Op::Intrinsic:
+        switch (static_cast<IntrinsicId>(m.code[pc + 1])) {
+          case IntrinsicId::PrintInt:
+          case IntrinsicId::PrintChar: return {1, 0};
+          case IntrinsicId::FSqrt:
+          case IntrinsicId::FSin:
+          case IntrinsicId::FCos:      return {1, 1};
+          case IntrinsicId::ArrayCopy: return {5, 0};
+          default:
+            throw AssemblerError(m.name + ": bad intrinsic id");
+        }
+      case Op::SpawnThread:  return {1, 1};
+      case Op::JoinThread:   return {1, 0};
+      case Op::OpCount_:     break;
+    }
+    throw AssemblerError(m.name + ": bad opcode in stack analysis");
+}
+
+/** All successor pcs of the instruction at @p pc (fallthrough first). */
+std::vector<std::uint32_t>
+successors(const Method &m, std::uint32_t pc)
+{
+    const Op op = m.opAt(pc);
+    const std::uint32_t len = instrLength(m.code, pc);
+    std::vector<std::uint32_t> out;
+    if (op == Op::TableSwitch) {
+        out.push_back(pc + static_cast<std::uint32_t>(
+                               readS16(m.code, pc + 1)));  // default
+        const std::uint16_t count = readU16(m.code, pc + 7);
+        for (std::uint16_t i = 0; i < count; ++i) {
+            out.push_back(pc + static_cast<std::uint32_t>(
+                                   readS16(m.code, pc + 9 + 2u * i)));
+        }
+        return out;
+    }
+    if (op == Op::LookupSwitch) {
+        out.push_back(pc + static_cast<std::uint32_t>(
+                               readS16(m.code, pc + 1)));  // default
+        const std::uint16_t npairs = readU16(m.code, pc + 3);
+        for (std::uint16_t i = 0; i < npairs; ++i) {
+            out.push_back(pc + static_cast<std::uint32_t>(
+                                   readS16(m.code, pc + 5 + 6u * i + 4)));
+        }
+        return out;
+    }
+    if (!endsBasicBlock(op))
+        out.push_back(pc + len);
+    if (op == Op::Goto || isConditionalBranch(op)) {
+        out.push_back(pc + static_cast<std::uint32_t>(
+                               readS16(m.code, pc + 1)));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<int>
+computeStackDepths(const Method &m, const Program &prog)
+{
+    std::vector<int> depth(m.code.size() + 1, -1);
+    std::deque<std::uint32_t> work;
+
+    auto visit = [&](std::uint32_t pc, int d) {
+        if (pc > m.code.size())
+            throw AssemblerError(m.name + ": branch out of range");
+        if (depth[pc] == -1) {
+            depth[pc] = d;
+            work.push_back(pc);
+        } else if (depth[pc] != d) {
+            throw AssemblerError(m.name
+                                 + ": inconsistent stack depth at pc "
+                                 + std::to_string(pc));
+        }
+    };
+
+    visit(0, 0);
+    for (const auto &h : m.handlers)
+        visit(h.handlerPc, 1);  // handler entry holds the thrown ref
+
+    while (!work.empty()) {
+        const std::uint32_t pc = work.front();
+        work.pop_front();
+        if (pc >= m.code.size())
+            throw AssemblerError(m.name + ": fell off end of code");
+        const StackEffect eff = stackEffect(m, prog, pc);
+        const int d = depth[pc];
+        if (d < eff.pops) {
+            throw AssemblerError(m.name + ": stack underflow at pc "
+                                 + std::to_string(pc) + " ("
+                                 + opName(m.opAt(pc)) + ")");
+        }
+        const int after = d - eff.pops + eff.pushes;
+        if (after > 255)
+            throw AssemblerError(m.name + ": operand stack too deep");
+        for (std::uint32_t s : successors(m, pc))
+            visit(s, after);
+    }
+    return depth;
+}
+
+void
+ProgramBuilder::computeStackBounds(Method &m, const Program &prog) const
+{
+    const std::vector<int> depths = computeStackDepths(m, prog);
+    int max_depth = 0;
+    for (int d : depths)
+        max_depth = std::max(max_depth, d);
+    m.maxStack = static_cast<std::uint16_t>(max_depth);
+}
+
+Program
+ProgramBuilder::finish(const std::string &entry)
+{
+    if (finished_)
+        throw AssemblerError("finish() called twice");
+    finished_ = true;
+
+    Program prog;
+    prog.name = name_;
+    prog.stringLiterals = stringLiterals_;
+    prog.statics = statics_;
+
+    // Resolve all symbolic operands first (patching builder code), then
+    // seal methods.
+    for (auto &mb : methods_) {
+        for (const auto &sym : mb->symbols_) {
+            const std::uint16_t v = resolve(sym.kind, sym.symbol,
+                                            mb->name_);
+            mb->code_[sym.at] = static_cast<std::uint8_t>(v & 0xff);
+            mb->code_[sym.at + 1] = static_cast<std::uint8_t>(v >> 8);
+        }
+        for (const auto &fx : mb->fixups_) {
+            const std::int64_t pos = mb->labelPos_[fx.label];
+            if (pos < 0) {
+                throw AssemblerError(mb->name_
+                                     + ": branch to unbound label");
+            }
+            const std::int64_t rel = pos
+                - static_cast<std::int64_t>(fx.opcodeAt);
+            if (rel < -32768 || rel > 32767)
+                throw AssemblerError(mb->name_ + ": branch too far");
+            const std::uint16_t u =
+                static_cast<std::uint16_t>(static_cast<std::int16_t>(rel));
+            mb->code_[fx.at] = static_cast<std::uint8_t>(u & 0xff);
+            mb->code_[fx.at + 1] = static_cast<std::uint8_t>(u >> 8);
+        }
+    }
+
+    for (auto &cb : classes_)
+        prog.classes.push_back(cb->def_);
+
+    for (auto &mb : methods_) {
+        Method m;
+        m.name = mb->name_;
+        m.id = mb->id_;
+        m.owner = mb->owner_;
+        m.numArgs = mb->numArgs_;
+        m.numLocals = std::max(mb->numLocals_, mb->numArgs_);
+        m.returnType = mb->returnType_;
+        m.isStatic = mb->isStatic_;
+        m.isSynchronized = mb->isSynchronized_;
+        m.argTypes = mb->argTypes_;
+        m.code = std::move(mb->code_);
+        if (m.code.empty())
+            throw AssemblerError(m.name + ": empty method body");
+        for (const auto &ph : mb->pendingHandlers_) {
+            ExceptionEntry e;
+            auto pos_of = [&](Label l) -> std::uint32_t {
+                const std::int64_t p = mb->labelPos_[l];
+                if (p < 0) {
+                    throw AssemblerError(m.name
+                                         + ": handler label unbound");
+                }
+                return static_cast<std::uint32_t>(p);
+            };
+            e.startPc = pos_of(ph.start);
+            e.endPc = pos_of(ph.end);
+            e.handlerPc = pos_of(ph.handler);
+            e.catchType = ph.catchClass.empty()
+                ? kNoClass
+                : resolve(kSymClass, ph.catchClass, m.name);
+            m.handlers.push_back(e);
+        }
+        prog.methods.push_back(std::move(m));
+    }
+
+    // Address layout inside seg::kClassData: class metadata blocks,
+    // then bytecode streams, 16-byte aligned.
+    SimAddr cursor = seg::kClassData;
+    for (auto &c : prog.classes) {
+        c.metaAddr = cursor;
+        cursor += 16 + 4 * static_cast<SimAddr>(c.vtable.size());
+        cursor = (cursor + 15) & ~SimAddr{15};
+    }
+    for (auto &m : prog.methods) {
+        m.bytecodeAddr = cursor;
+        cursor += m.code.size();
+        cursor = (cursor + 15) & ~SimAddr{15};
+    }
+
+    // Stack bounds + structural verification, then the typed pass.
+    for (auto &m : prog.methods)
+        computeStackBounds(m, prog);
+    verifyProgram(prog);
+
+    const Method *e = prog.findMethod(entry);
+    if (e == nullptr)
+        throw AssemblerError("entry method " + entry + " not found");
+    if (!e->isStatic)
+        throw AssemblerError("entry method must be static");
+    prog.entry = e->id;
+    return prog;
+}
+
+} // namespace jrs

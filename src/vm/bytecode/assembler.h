@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Programmatic bytecode assembler.
+ *
+ * Workloads construct Programs through a fluent builder API:
+ *
+ * @code
+ *   ProgramBuilder pb("demo");
+ *   ClassBuilder &vec = pb.cls("Vector");
+ *   vec.field("size");
+ *   MethodBuilder &m = vec.virtualMethod("get", {VType::Ref, VType::Int},
+ *                                        VType::Int);
+ *   m.aload(0).getFieldI("Vector.size").ireturn();
+ *   Program prog = pb.finish("Main.run");
+ * @endcode
+ *
+ * Symbolic references (method names, field names, labels) are resolved
+ * in ProgramBuilder::finish(), which also verifies branch targets,
+ * computes per-method operand-stack bounds via abstract interpretation
+ * (a light form of the JVM verifier's type-less pass), lays out vtables
+ * and assigns simulated bytecode addresses.
+ */
+#ifndef JRS_VM_BYTECODE_ASSEMBLER_H
+#define JRS_VM_BYTECODE_ASSEMBLER_H
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vm/bytecode/class_def.h"
+#include "vm/bytecode/opcode.h"
+
+namespace jrs {
+
+class ProgramBuilder;
+class ClassBuilder;
+
+/** Error thrown on malformed input to the assembler. */
+class AssemblerError : public std::runtime_error {
+  public:
+    explicit AssemblerError(const std::string &what)
+        : std::runtime_error("assembler: " + what) {}
+};
+
+/** Opaque branch-target handle created by MethodBuilder::newLabel(). */
+using Label = std::uint32_t;
+
+/**
+ * Builds the bytecode of one method. Obtained from ClassBuilder /
+ * ProgramBuilder; never constructed directly.
+ */
+class MethodBuilder {
+  public:
+    /** Declare the total number of local slots (>= numArgs). */
+    MethodBuilder &locals(std::uint8_t n);
+
+    /** Mark the method synchronized (monitor on receiver / class). */
+    MethodBuilder &synchronized_();
+
+    // --- constants -----------------------------------------------------
+    MethodBuilder &iconst(std::int32_t v);   ///< picks 8/32-bit form
+    MethodBuilder &fconst(float v);
+    MethodBuilder &aconstNull();
+    MethodBuilder &ldcStr(const std::string &s);
+
+    // --- locals --------------------------------------------------------
+    MethodBuilder &iload(std::uint8_t slot);
+    MethodBuilder &fload(std::uint8_t slot);
+    MethodBuilder &aload(std::uint8_t slot);
+    MethodBuilder &istore(std::uint8_t slot);
+    MethodBuilder &fstore(std::uint8_t slot);
+    MethodBuilder &astore(std::uint8_t slot);
+    MethodBuilder &iinc(std::uint8_t slot, std::int8_t delta);
+
+    // --- stack ---------------------------------------------------------
+    MethodBuilder &pop();
+    MethodBuilder &dup();
+    MethodBuilder &dupX1();
+    MethodBuilder &swap();
+
+    // --- arithmetic ----------------------------------------------------
+    MethodBuilder &iadd();
+    MethodBuilder &isub();
+    MethodBuilder &imul();
+    MethodBuilder &idiv();
+    MethodBuilder &irem();
+    MethodBuilder &ineg();
+    MethodBuilder &ishl();
+    MethodBuilder &ishr();
+    MethodBuilder &iushr();
+    MethodBuilder &iand();
+    MethodBuilder &ior();
+    MethodBuilder &ixor();
+    MethodBuilder &fadd();
+    MethodBuilder &fsub();
+    MethodBuilder &fmul();
+    MethodBuilder &fdiv();
+    MethodBuilder &fneg();
+    MethodBuilder &fcmpl();
+    MethodBuilder &i2f();
+    MethodBuilder &f2i();
+    MethodBuilder &i2c();
+    MethodBuilder &i2b();
+
+    // --- control -------------------------------------------------------
+    /** Create a fresh unbound label. */
+    Label newLabel();
+    /** Bind @p label to the current bytecode position. */
+    MethodBuilder &bind(Label label);
+
+    MethodBuilder &gotoL(Label l);
+    MethodBuilder &ifeq(Label l);
+    MethodBuilder &ifne(Label l);
+    MethodBuilder &iflt(Label l);
+    MethodBuilder &ifge(Label l);
+    MethodBuilder &ifgt(Label l);
+    MethodBuilder &ifle(Label l);
+    MethodBuilder &ifIcmpeq(Label l);
+    MethodBuilder &ifIcmpne(Label l);
+    MethodBuilder &ifIcmplt(Label l);
+    MethodBuilder &ifIcmpge(Label l);
+    MethodBuilder &ifIcmpgt(Label l);
+    MethodBuilder &ifIcmple(Label l);
+    MethodBuilder &ifAcmpeq(Label l);
+    MethodBuilder &ifAcmpne(Label l);
+    MethodBuilder &ifnull(Label l);
+    MethodBuilder &ifnonnull(Label l);
+
+    /**
+     * Emit a tableswitch over [low, low + targets.size() - 1].
+     * Pops the index; out-of-range goes to @p deflt.
+     */
+    MethodBuilder &tableSwitch(std::int32_t low,
+                               const std::vector<Label> &targets,
+                               Label deflt);
+
+    /** Emit a lookupswitch over (key, target) pairs. */
+    MethodBuilder &lookupSwitch(
+        const std::vector<std::pair<std::int32_t, Label>> &pairs,
+        Label deflt);
+
+    // --- calls ---------------------------------------------------------
+    /** Call a static method by qualified name "Class.method". */
+    MethodBuilder &invokeStatic(const std::string &qualified);
+    /** Virtual dispatch by qualified name (slot from named class). */
+    MethodBuilder &invokeVirtual(const std::string &qualified);
+    /** Direct (non-virtual) instance call, e.g. constructors. */
+    MethodBuilder &invokeSpecial(const std::string &qualified);
+    MethodBuilder &returnVoid();
+    MethodBuilder &ireturn();
+    MethodBuilder &freturn();
+    MethodBuilder &areturn();
+
+    // --- fields --------------------------------------------------------
+    MethodBuilder &getFieldI(const std::string &qualified);
+    MethodBuilder &getFieldF(const std::string &qualified);
+    MethodBuilder &getFieldA(const std::string &qualified);
+    MethodBuilder &putFieldI(const std::string &qualified);
+    MethodBuilder &putFieldF(const std::string &qualified);
+    MethodBuilder &putFieldA(const std::string &qualified);
+    MethodBuilder &getStaticI(const std::string &name);
+    MethodBuilder &getStaticF(const std::string &name);
+    MethodBuilder &getStaticA(const std::string &name);
+    MethodBuilder &putStaticI(const std::string &name);
+    MethodBuilder &putStaticF(const std::string &name);
+    MethodBuilder &putStaticA(const std::string &name);
+
+    // --- objects and arrays --------------------------------------------
+    MethodBuilder &newObject(const std::string &class_name);
+    MethodBuilder &newArray(ArrayKind kind);
+    MethodBuilder &arrayLength();
+    MethodBuilder &iaload();
+    MethodBuilder &iastore();
+    MethodBuilder &faload();
+    MethodBuilder &fastore();
+    MethodBuilder &caload();
+    MethodBuilder &castore();
+    MethodBuilder &baload();
+    MethodBuilder &bastore();
+    MethodBuilder &aaload();
+    MethodBuilder &aastore();
+
+    // --- sync / exceptions / runtime ------------------------------------
+    MethodBuilder &monitorEnter();
+    MethodBuilder &monitorExit();
+    MethodBuilder &athrow();
+    MethodBuilder &intrinsic(IntrinsicId id);
+    MethodBuilder &spawnThread(const std::string &qualified);
+    MethodBuilder &joinThread();
+    MethodBuilder &nop();
+
+    /**
+     * Register an exception handler covering [start, end) with entry at
+     * @p handler. Empty @p catch_class catches everything.
+     */
+    MethodBuilder &addHandler(Label start, Label end, Label handler,
+                              const std::string &catch_class = "");
+
+    /** Current bytecode offset (next instruction position). */
+    std::uint32_t here() const {
+        return static_cast<std::uint32_t>(code_.size());
+    }
+
+    /** Qualified method name being built. */
+    const std::string &name() const { return name_; }
+
+    /** Global id this method will have in the finished Program. */
+    MethodId id() const { return id_; }
+
+  private:
+    friend class ProgramBuilder;
+    friend class ClassBuilder;
+
+    MethodBuilder(ProgramBuilder *pb, std::string name, MethodId id);
+
+    void emitOp(Op op);
+    void emitU8(std::uint8_t v);
+    void emitU16(std::uint16_t v);
+    void emitS32(std::int32_t v);
+    MethodBuilder &branch(Op op, Label l);
+    MethodBuilder &symbolU16(Op op, std::uint8_t sym_kind,
+                             const std::string &symbol);
+
+    struct Fixup {
+        std::uint32_t at;       ///< offset of the s16 to patch
+        std::uint32_t opcodeAt; ///< offset of the owning opcode
+        Label label;
+    };
+    struct SymbolRef {
+        std::uint32_t at;   ///< offset of the u16 to patch
+        std::uint8_t kind;  ///< see ProgramBuilder::resolve
+        std::string symbol;
+    };
+    struct PendingHandler {
+        Label start, end, handler;
+        std::string catchClass;
+    };
+
+    ProgramBuilder *pb_;
+    std::string name_;
+    MethodId id_;
+    std::vector<std::uint8_t> code_;
+    std::vector<std::int64_t> labelPos_;  ///< -1 while unbound
+    std::vector<Fixup> fixups_;
+    std::vector<SymbolRef> symbols_;
+    std::vector<PendingHandler> pendingHandlers_;
+    std::uint8_t numArgs_ = 0;
+    std::uint8_t numLocals_ = 0;
+    std::vector<VType> argTypes_;
+    VType returnType_ = VType::Void;
+    bool isStatic_ = true;
+    bool isSynchronized_ = false;
+    ClassId owner_ = kNoClass;
+};
+
+/** Builds one class: fields and methods. */
+class ClassBuilder {
+  public:
+    /** Add an instance field (4-byte slot); returns its slot index. */
+    std::uint16_t field(const std::string &name);
+
+    /**
+     * Add a static method. @p args lists parameter types (no receiver).
+     */
+    MethodBuilder &staticMethod(const std::string &name,
+                                const std::vector<VType> &args,
+                                VType ret = VType::Void);
+
+    /**
+     * Add a virtual method (receiver is arg 0 implicitly). Overrides an
+     * inherited slot of the same name when present.
+     */
+    MethodBuilder &virtualMethod(const std::string &name,
+                                 const std::vector<VType> &args,
+                                 VType ret = VType::Void);
+
+    /** Add a constructor-like direct instance method. */
+    MethodBuilder &specialMethod(const std::string &name,
+                                 const std::vector<VType> &args,
+                                 VType ret = VType::Void);
+
+    /** Class name. */
+    const std::string &name() const { return def_.name; }
+
+    /** Class id within the program being built. */
+    ClassId id() const { return def_.id; }
+
+  private:
+    friend class ProgramBuilder;
+    ClassBuilder(ProgramBuilder *pb, ClassDef def) : pb_(pb),
+        def_(std::move(def)) {}
+
+    ProgramBuilder *pb_;
+    ClassDef def_;
+};
+
+/** Builds a whole Program. */
+class ProgramBuilder {
+  public:
+    explicit ProgramBuilder(std::string program_name);
+    ~ProgramBuilder();
+
+    ProgramBuilder(const ProgramBuilder &) = delete;
+    ProgramBuilder &operator=(const ProgramBuilder &) = delete;
+
+    /**
+     * Create a class. @p super_name must already exist when non-empty
+     * (single inheritance, superclass-first ordering).
+     */
+    ClassBuilder &cls(const std::string &name,
+                      const std::string &super_name = "");
+
+    /** Intern a string literal; returns its index. */
+    std::uint16_t stringLiteral(const std::string &s);
+
+    /** Declare a static variable slot; returns its index. */
+    std::uint16_t staticSlot(const std::string &name,
+                             VType type = VType::Int);
+
+    /**
+     * Resolve all symbols, verify, compute stack bounds, lay out
+     * addresses and return the finished Program. The builder must not
+     * be used afterwards.
+     *
+     * @param entry Qualified name of the entry method — must be static
+     *              with signature (int) -> void or int.
+     */
+    Program finish(const std::string &entry);
+
+  private:
+    friend class MethodBuilder;
+    friend class ClassBuilder;
+
+    /** Symbol kinds for late-bound u16 operands. */
+    enum SymKind : std::uint8_t {
+        kSymStaticMethod,   ///< method id of "Class.name"
+        kSymVirtualSlot,    ///< vtable slot of "Class.name"
+        kSymSpecialMethod,  ///< method id of "Class.name"
+        kSymField,          ///< field slot of "Class.field"
+        kSymStatic,         ///< static slot by bare name
+        kSymClass,          ///< class id
+        kSymString,         ///< string literal index
+        kSymSpawn,          ///< method id for SpawnThread
+    };
+
+    MethodBuilder &addMethod(ClassBuilder &cb, const std::string &name,
+                             const std::vector<VType> &args, VType ret,
+                             bool is_static, bool is_special);
+    std::uint16_t resolve(std::uint8_t kind, const std::string &symbol,
+                          const std::string &where);
+    void computeStackBounds(Method &m, const Program &prog) const;
+
+    std::string name_;
+    std::vector<std::unique_ptr<ClassBuilder>> classes_;
+    std::vector<std::unique_ptr<MethodBuilder>> methods_;
+    std::vector<std::string> stringLiterals_;
+    std::vector<StaticSlot> statics_;
+    std::uint16_t nextVSlot_ = 0;  ///< global vtable slot allocator
+    bool finished_ = false;
+};
+
+/**
+ * Compute the operand-stack depth at every bytecode offset of a sealed
+ * method (-1 for unreachable offsets). Shared with the JIT translator,
+ * which assigns registers to stack positions from this map.
+ */
+std::vector<int> computeStackDepths(const Method &m, const Program &prog);
+
+} // namespace jrs
+
+#endif // JRS_VM_BYTECODE_ASSEMBLER_H

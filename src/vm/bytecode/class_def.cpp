@@ -1,0 +1,55 @@
+#include "vm/bytecode/class_def.h"
+
+namespace jrs {
+
+int
+ClassDef::vslotOf(const std::string &method_name) const
+{
+    for (const auto &[name, slot] : vslots) {
+        if (name == method_name)
+            return static_cast<int>(slot);
+    }
+    return -1;
+}
+
+std::size_t
+Program::totalBytecodeBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &m : methods)
+        total += m.code.size();
+    return total;
+}
+
+const Method *
+Program::findMethod(const std::string &name) const
+{
+    for (const auto &m : methods) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+const ClassDef *
+Program::findClass(const std::string &name) const
+{
+    for (const auto &c : classes) {
+        if (c.name == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+bool
+isSubclassOf(const Program &prog, ClassId sub, ClassId ancestor)
+{
+    while (sub != kNoClass) {
+        if (sub == ancestor)
+            return true;
+        sub = prog.classes[sub].super;
+    }
+    return false;
+}
+
+} // namespace jrs

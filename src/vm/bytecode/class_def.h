@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Static program structure: methods, classes, and whole programs.
+ *
+ * A Program is the analogue of a set of loaded .class files: class
+ * definitions with instance-field layouts and vtables, a global method
+ * table, string literals, and static-variable slots. Programs are built
+ * with the Assembler (vm/bytecode/assembler.h) and registered with a
+ * ClassRegistry at run time.
+ */
+#ifndef JRS_VM_BYTECODE_CLASS_DEF_H
+#define JRS_VM_BYTECODE_CLASS_DEF_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/address_map.h"
+#include "vm/bytecode/opcode.h"
+
+namespace jrs {
+
+/** Global method identifier (index into Program::methods). */
+using MethodId = std::uint16_t;
+
+/** Class identifier (index into Program::classes). */
+using ClassId = std::uint16_t;
+
+/** Sentinel for "no class" (e.g. root superclass). */
+inline constexpr ClassId kNoClass = 0xffff;
+
+/**
+ * Sentinel for an empty vtable entry. Slots are allocated globally
+ * (unique across hierarchies), so vtables are sparse: a class's vtable
+ * holds kNoMethod at slots belonging to other hierarchies.
+ */
+inline constexpr MethodId kNoMethod = 0xffff;
+
+/** One entry of a method's exception-handler table. */
+struct ExceptionEntry {
+    std::uint32_t startPc;    ///< inclusive bytecode range start
+    std::uint32_t endPc;      ///< exclusive range end
+    std::uint32_t handlerPc;  ///< handler entry bytecode pc
+    ClassId catchType;        ///< kNoClass catches everything
+};
+
+/** Value type of an argument / return. */
+enum class VType : std::uint8_t { Void, Int, Float, Ref };
+
+/** A method: metadata plus its bytecode. */
+struct Method {
+    std::string name;          ///< "Class.method" for diagnostics
+    MethodId id = 0;
+    ClassId owner = kNoClass;
+    std::uint8_t numArgs = 0;  ///< incl. receiver for instance methods
+    std::uint8_t numLocals = 0;
+    std::uint16_t maxStack = 0;   ///< computed by the assembler
+    VType returnType = VType::Void;
+    bool isStatic = true;
+    bool isSynchronized = false;
+    /** Argument value types, receiver (Ref) first for instance methods. */
+    std::vector<VType> argTypes;
+    std::vector<std::uint8_t> code;
+    std::vector<ExceptionEntry> handlers;
+    /** Simulated address of code[0] inside seg::kClassData. */
+    SimAddr bytecodeAddr = 0;
+
+    /** Read the opcode at bytecode offset @p pc. */
+    Op opAt(std::uint32_t pc) const {
+        return static_cast<Op>(code[pc]);
+    }
+};
+
+/** A class: superclass link, field layout, vtable. */
+struct ClassDef {
+    std::string name;
+    ClassId id = 0;
+    ClassId super = kNoClass;
+    /** Instance field slot count including inherited fields. */
+    std::uint16_t numFields = 0;
+    /** Field names, slot-indexed (inherited slots included). */
+    std::vector<std::string> fieldNames;
+    /** vtable: slot -> global MethodId (inherited + overridden). */
+    std::vector<MethodId> vtable;
+    /** Virtual method name -> vtable slot (for assembler resolution). */
+    std::vector<std::pair<std::string, std::uint16_t>> vslots;
+    /** Simulated address of this class's metadata (vtable) block. */
+    SimAddr metaAddr = 0;
+
+    /** Look up a vtable slot by method name; -1 if absent. */
+    int vslotOf(const std::string &method_name) const;
+};
+
+/** A static variable slot. */
+struct StaticSlot {
+    std::string name;
+    VType type = VType::Int;
+};
+
+/** A complete program: classes, methods, literals, statics, entry. */
+struct Program {
+    std::string name;
+    std::vector<ClassDef> classes;
+    std::vector<Method> methods;
+    std::vector<std::string> stringLiterals;
+    std::vector<StaticSlot> statics;
+    MethodId entry = 0;  ///< static method taking one int arg
+
+    /** Total bytecode bytes across all methods. */
+    std::size_t totalBytecodeBytes() const;
+
+    /** Find a method by name; nullptr when absent. */
+    const Method *findMethod(const std::string &name) const;
+
+    /** Find a class by name; nullptr when absent. */
+    const ClassDef *findClass(const std::string &name) const;
+};
+
+/** True iff @p sub equals @p ancestor or inherits from it. */
+bool isSubclassOf(const Program &prog, ClassId sub, ClassId ancestor);
+
+} // namespace jrs
+
+#endif // JRS_VM_BYTECODE_CLASS_DEF_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Little-endian operand decoding helpers shared by the interpreter,
+ * the JIT translator, the disassembler and the verifier.
+ */
+#ifndef JRS_VM_BYTECODE_DECODE_H
+#define JRS_VM_BYTECODE_DECODE_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace jrs {
+
+/** Read an unsigned byte at @p at. */
+inline std::uint8_t
+readU8(const std::vector<std::uint8_t> &code, std::uint32_t at)
+{
+    return code[at];
+}
+
+/** Read a signed byte at @p at. */
+inline std::int8_t
+readS8(const std::vector<std::uint8_t> &code, std::uint32_t at)
+{
+    return static_cast<std::int8_t>(code[at]);
+}
+
+/** Read an unsigned 16-bit little-endian value at @p at. */
+inline std::uint16_t
+readU16(const std::vector<std::uint8_t> &code, std::uint32_t at)
+{
+    return static_cast<std::uint16_t>(code[at])
+        | static_cast<std::uint16_t>(code[at + 1]) << 8;
+}
+
+/** Read a signed 16-bit little-endian value at @p at. */
+inline std::int16_t
+readS16(const std::vector<std::uint8_t> &code, std::uint32_t at)
+{
+    return static_cast<std::int16_t>(readU16(code, at));
+}
+
+/** Read a signed 32-bit little-endian value at @p at. */
+inline std::int32_t
+readS32(const std::vector<std::uint8_t> &code, std::uint32_t at)
+{
+    std::uint32_t v = static_cast<std::uint32_t>(code[at])
+        | static_cast<std::uint32_t>(code[at + 1]) << 8
+        | static_cast<std::uint32_t>(code[at + 2]) << 16
+        | static_cast<std::uint32_t>(code[at + 3]) << 24;
+    return static_cast<std::int32_t>(v);
+}
+
+/** Read a 32-bit float (raw IEEE bits, little-endian) at @p at. */
+inline float
+readF32(const std::vector<std::uint8_t> &code, std::uint32_t at)
+{
+    std::int32_t bits = readS32(code, at);
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+} // namespace jrs
+
+#endif // JRS_VM_BYTECODE_DECODE_H

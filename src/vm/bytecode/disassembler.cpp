@@ -1,0 +1,90 @@
+#include "vm/bytecode/disassembler.h"
+
+#include <sstream>
+
+#include "vm/bytecode/decode.h"
+#include "vm/bytecode/opcode.h"
+
+namespace jrs {
+
+std::string
+disassembleAt(const Method &m, std::uint32_t pc)
+{
+    std::ostringstream os;
+    const Op op = m.opAt(pc);
+    os << pc << ": " << opName(op);
+    switch (op) {
+      case Op::Iconst8:
+        os << ' ' << static_cast<int>(readS8(m.code, pc + 1));
+        break;
+      case Op::Iconst32:
+        os << ' ' << readS32(m.code, pc + 1);
+        break;
+      case Op::Fconst:
+        os << ' ' << readF32(m.code, pc + 1);
+        break;
+      case Op::Iload: case Op::Fload: case Op::Aload:
+      case Op::Istore: case Op::Fstore: case Op::Astore:
+      case Op::NewArray:
+        os << ' ' << static_cast<int>(readU8(m.code, pc + 1));
+        break;
+      case Op::Iinc:
+        os << ' ' << static_cast<int>(readU8(m.code, pc + 1)) << " by "
+           << static_cast<int>(readS8(m.code, pc + 2));
+        break;
+      case Op::Goto:
+      case Op::Ifeq: case Op::Ifne: case Op::Iflt:
+      case Op::Ifge: case Op::Ifgt: case Op::Ifle:
+      case Op::IfIcmpeq: case Op::IfIcmpne: case Op::IfIcmplt:
+      case Op::IfIcmpge: case Op::IfIcmpgt: case Op::IfIcmple:
+      case Op::IfAcmpeq: case Op::IfAcmpne:
+      case Op::Ifnull: case Op::Ifnonnull:
+        os << " -> " << (pc + readS16(m.code, pc + 1));
+        break;
+      case Op::TableSwitch: {
+        const std::uint16_t count = readU16(m.code, pc + 7);
+        os << " low=" << readS32(m.code, pc + 3) << " count=" << count
+           << " default->" << (pc + readS16(m.code, pc + 1));
+        break;
+      }
+      case Op::LookupSwitch: {
+        const std::uint16_t n = readU16(m.code, pc + 3);
+        os << " npairs=" << n << " default->"
+           << (pc + readS16(m.code, pc + 1));
+        break;
+      }
+      case Op::LdcStr:
+      case Op::InvokeStatic: case Op::InvokeVirtual:
+      case Op::InvokeSpecial:
+      case Op::GetFieldI: case Op::GetFieldF: case Op::GetFieldA:
+      case Op::PutFieldI: case Op::PutFieldF: case Op::PutFieldA:
+      case Op::GetStaticI: case Op::GetStaticF: case Op::GetStaticA:
+      case Op::PutStaticI: case Op::PutStaticF: case Op::PutStaticA:
+      case Op::New: case Op::SpawnThread:
+        os << " #" << readU16(m.code, pc + 1);
+        break;
+      case Op::Intrinsic:
+        os << " id=" << static_cast<int>(readU8(m.code, pc + 1));
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Method &m)
+{
+    std::ostringstream os;
+    os << m.name << " (args=" << static_cast<int>(m.numArgs)
+       << " locals=" << static_cast<int>(m.numLocals)
+       << " maxStack=" << m.maxStack << ")\n";
+    std::uint32_t pc = 0;
+    while (pc < m.code.size()) {
+        os << "  " << disassembleAt(m, pc) << '\n';
+        pc += instrLength(m.code, pc);
+    }
+    return os.str();
+}
+
+} // namespace jrs

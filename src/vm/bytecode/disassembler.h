@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Bytecode disassembler for diagnostics and tests.
+ */
+#ifndef JRS_VM_BYTECODE_DISASSEMBLER_H
+#define JRS_VM_BYTECODE_DISASSEMBLER_H
+
+#include <string>
+
+#include "vm/bytecode/class_def.h"
+
+namespace jrs {
+
+/** Render one instruction at @p pc, e.g. "12: if_icmplt -> 4". */
+std::string disassembleAt(const Method &m, std::uint32_t pc);
+
+/** Render a whole method, one instruction per line. */
+std::string disassemble(const Method &m);
+
+} // namespace jrs
+
+#endif // JRS_VM_BYTECODE_DISASSEMBLER_H

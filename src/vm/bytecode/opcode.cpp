@@ -1,0 +1,229 @@
+#include "vm/bytecode/opcode.h"
+
+#include "vm/bytecode/decode.h"
+
+namespace jrs {
+
+std::uint32_t
+arrayElemSize(ArrayKind kind)
+{
+    switch (kind) {
+      case ArrayKind::Int:   return 4;
+      case ArrayKind::Float: return 4;
+      case ArrayKind::Char:  return 2;
+      case ArrayKind::Byte:  return 1;
+      case ArrayKind::Ref:   return 4;
+    }
+    return 4;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop:          return "nop";
+      case Op::Iconst8:      return "iconst8";
+      case Op::Iconst32:     return "iconst32";
+      case Op::Fconst:       return "fconst";
+      case Op::AconstNull:   return "aconst_null";
+      case Op::LdcStr:       return "ldc_str";
+      case Op::Iload:        return "iload";
+      case Op::Fload:        return "fload";
+      case Op::Aload:        return "aload";
+      case Op::Istore:       return "istore";
+      case Op::Fstore:       return "fstore";
+      case Op::Astore:       return "astore";
+      case Op::Iinc:         return "iinc";
+      case Op::Pop:          return "pop";
+      case Op::Dup:          return "dup";
+      case Op::DupX1:        return "dup_x1";
+      case Op::Swap:         return "swap";
+      case Op::Iadd:         return "iadd";
+      case Op::Isub:         return "isub";
+      case Op::Imul:         return "imul";
+      case Op::Idiv:         return "idiv";
+      case Op::Irem:         return "irem";
+      case Op::Ineg:         return "ineg";
+      case Op::Ishl:         return "ishl";
+      case Op::Ishr:         return "ishr";
+      case Op::Iushr:        return "iushr";
+      case Op::Iand:         return "iand";
+      case Op::Ior:          return "ior";
+      case Op::Ixor:         return "ixor";
+      case Op::Fadd:         return "fadd";
+      case Op::Fsub:         return "fsub";
+      case Op::Fmul:         return "fmul";
+      case Op::Fdiv:         return "fdiv";
+      case Op::Fneg:         return "fneg";
+      case Op::Fcmpl:        return "fcmpl";
+      case Op::I2f:          return "i2f";
+      case Op::F2i:          return "f2i";
+      case Op::I2c:          return "i2c";
+      case Op::I2b:          return "i2b";
+      case Op::Goto:         return "goto";
+      case Op::Ifeq:         return "ifeq";
+      case Op::Ifne:         return "ifne";
+      case Op::Iflt:         return "iflt";
+      case Op::Ifge:         return "ifge";
+      case Op::Ifgt:         return "ifgt";
+      case Op::Ifle:         return "ifle";
+      case Op::IfIcmpeq:     return "if_icmpeq";
+      case Op::IfIcmpne:     return "if_icmpne";
+      case Op::IfIcmplt:     return "if_icmplt";
+      case Op::IfIcmpge:     return "if_icmpge";
+      case Op::IfIcmpgt:     return "if_icmpgt";
+      case Op::IfIcmple:     return "if_icmple";
+      case Op::IfAcmpeq:     return "if_acmpeq";
+      case Op::IfAcmpne:     return "if_acmpne";
+      case Op::Ifnull:       return "ifnull";
+      case Op::Ifnonnull:    return "ifnonnull";
+      case Op::TableSwitch:  return "tableswitch";
+      case Op::LookupSwitch: return "lookupswitch";
+      case Op::InvokeStatic: return "invokestatic";
+      case Op::InvokeVirtual:return "invokevirtual";
+      case Op::InvokeSpecial:return "invokespecial";
+      case Op::ReturnVoid:   return "return";
+      case Op::Ireturn:      return "ireturn";
+      case Op::Freturn:      return "freturn";
+      case Op::Areturn:      return "areturn";
+      case Op::GetFieldI:    return "getfield_i";
+      case Op::GetFieldF:    return "getfield_f";
+      case Op::GetFieldA:    return "getfield_a";
+      case Op::PutFieldI:    return "putfield_i";
+      case Op::PutFieldF:    return "putfield_f";
+      case Op::PutFieldA:    return "putfield_a";
+      case Op::GetStaticI:   return "getstatic_i";
+      case Op::GetStaticF:   return "getstatic_f";
+      case Op::GetStaticA:   return "getstatic_a";
+      case Op::PutStaticI:   return "putstatic_i";
+      case Op::PutStaticF:   return "putstatic_f";
+      case Op::PutStaticA:   return "putstatic_a";
+      case Op::New:          return "new";
+      case Op::NewArray:     return "newarray";
+      case Op::ArrayLength:  return "arraylength";
+      case Op::IAload:       return "iaload";
+      case Op::IAstore:      return "iastore";
+      case Op::FAload:       return "faload";
+      case Op::FAstore:      return "fastore";
+      case Op::CAload:       return "caload";
+      case Op::CAstore:      return "castore";
+      case Op::BAload:       return "baload";
+      case Op::BAstore:      return "bastore";
+      case Op::AAload:       return "aaload";
+      case Op::AAstore:      return "aastore";
+      case Op::MonitorEnter: return "monitorenter";
+      case Op::MonitorExit:  return "monitorexit";
+      case Op::Athrow:       return "athrow";
+      case Op::Intrinsic:    return "intrinsic";
+      case Op::SpawnThread:  return "spawnthread";
+      case Op::JoinThread:   return "jointhread";
+      case Op::OpCount_:     break;
+    }
+    return "invalid";
+}
+
+int
+operandBytes(Op op)
+{
+    switch (op) {
+      case Op::Iconst8:
+        return 1;
+      case Op::Iconst32:
+      case Op::Fconst:
+        return 4;
+      case Op::LdcStr:
+        return 2;
+      case Op::Iload:
+      case Op::Fload:
+      case Op::Aload:
+      case Op::Istore:
+      case Op::Fstore:
+      case Op::Astore:
+        return 1;
+      case Op::Iinc:
+        return 2;
+      case Op::Goto:
+      case Op::Ifeq: case Op::Ifne: case Op::Iflt:
+      case Op::Ifge: case Op::Ifgt: case Op::Ifle:
+      case Op::IfIcmpeq: case Op::IfIcmpne: case Op::IfIcmplt:
+      case Op::IfIcmpge: case Op::IfIcmpgt: case Op::IfIcmple:
+      case Op::IfAcmpeq: case Op::IfAcmpne:
+      case Op::Ifnull: case Op::Ifnonnull:
+        return 2;
+      case Op::TableSwitch:
+      case Op::LookupSwitch:
+        return -1;
+      case Op::InvokeStatic:
+      case Op::InvokeVirtual:
+      case Op::InvokeSpecial:
+        return 2;
+      case Op::GetFieldI: case Op::GetFieldF: case Op::GetFieldA:
+      case Op::PutFieldI: case Op::PutFieldF: case Op::PutFieldA:
+      case Op::GetStaticI: case Op::GetStaticF: case Op::GetStaticA:
+      case Op::PutStaticI: case Op::PutStaticF: case Op::PutStaticA:
+        return 2;
+      case Op::New:
+        return 2;
+      case Op::NewArray:
+        return 1;
+      case Op::Intrinsic:
+        return 1;
+      case Op::SpawnThread:
+        return 2;
+      default:
+        return 0;
+    }
+}
+
+bool
+isConditionalBranch(Op op)
+{
+    switch (op) {
+      case Op::Ifeq: case Op::Ifne: case Op::Iflt:
+      case Op::Ifge: case Op::Ifgt: case Op::Ifle:
+      case Op::IfIcmpeq: case Op::IfIcmpne: case Op::IfIcmplt:
+      case Op::IfIcmpge: case Op::IfIcmpgt: case Op::IfIcmple:
+      case Op::IfAcmpeq: case Op::IfAcmpne:
+      case Op::Ifnull: case Op::Ifnonnull:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+endsBasicBlock(Op op)
+{
+    switch (op) {
+      case Op::Goto:
+      case Op::TableSwitch:
+      case Op::LookupSwitch:
+      case Op::ReturnVoid:
+      case Op::Ireturn:
+      case Op::Freturn:
+      case Op::Areturn:
+      case Op::Athrow:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint32_t
+instrLength(const std::vector<std::uint8_t> &code, std::uint32_t pc)
+{
+    const Op op = static_cast<Op>(code[pc]);
+    const int fixed = operandBytes(op);
+    if (fixed >= 0)
+        return 1 + static_cast<std::uint32_t>(fixed);
+    if (op == Op::TableSwitch) {
+        // [op][s16 default][s32 low][u16 count][count * s16]
+        const std::uint16_t count = readU16(code, pc + 7);
+        return 1 + 2 + 4 + 2 + count * 2u;
+    }
+    // LookupSwitch: [op][s16 default][u16 npairs][npairs * (s32, s16)]
+    const std::uint16_t npairs = readU16(code, pc + 3);
+    return 1 + 2 + 2 + npairs * 6u;
+}
+
+} // namespace jrs

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The jrs bytecode instruction set.
+ *
+ * A compact stack-machine ISA modeled on the JVM specification: typed
+ * arithmetic over int/float, local-variable slots, an operand stack,
+ * fields, virtual dispatch through per-class vtables, arrays of four
+ * element widths, monitors, exceptions, and a handful of runtime
+ * intrinsics. Around ninety opcodes — a faithful subset of the ~220
+ * cases the paper's interpreter switch decodes.
+ *
+ * Encoding: one opcode byte followed by fixed-width little-endian
+ * operands (see operandBytes()); TableSwitch/LookupSwitch are the only
+ * variable-length instructions.
+ */
+#ifndef JRS_VM_BYTECODE_OPCODE_H
+#define JRS_VM_BYTECODE_OPCODE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrs {
+
+/** Bytecode opcodes. Values are stable; the trace model keys off them. */
+enum class Op : std::uint8_t {
+    Nop = 0,
+
+    // Constants
+    Iconst8,     ///< push sign-extended s8 immediate
+    Iconst32,    ///< push s32 immediate
+    Fconst,      ///< push f32 immediate (raw bits)
+    AconstNull,  ///< push null reference
+    LdcStr,      ///< u16 string-literal index -> push char[] ref
+
+    // Locals
+    Iload,   ///< u8 slot
+    Fload,   ///< u8 slot
+    Aload,   ///< u8 slot
+    Istore,  ///< u8 slot
+    Fstore,  ///< u8 slot
+    Astore,  ///< u8 slot
+    Iinc,    ///< u8 slot, s8 delta
+
+    // Operand stack
+    Pop,
+    Dup,
+    DupX1,  ///< duplicate top and insert below next-to-top
+    Swap,
+
+    // Integer arithmetic
+    Iadd, Isub, Imul, Idiv, Irem, Ineg,
+    Ishl, Ishr, Iushr, Iand, Ior, Ixor,
+
+    // Float arithmetic
+    Fadd, Fsub, Fmul, Fdiv, Fneg,
+    Fcmpl,  ///< push -1/0/1 (NaN -> -1)
+
+    // Conversions
+    I2f, F2i, I2c, I2b,
+
+    // Control transfer (s16 signed byte offset from opcode address)
+    Goto,
+    Ifeq, Ifne, Iflt, Ifge, Ifgt, Ifle,
+    IfIcmpeq, IfIcmpne, IfIcmplt, IfIcmpge, IfIcmpgt, IfIcmple,
+    IfAcmpeq, IfAcmpne,
+    Ifnull, Ifnonnull,
+
+    /**
+     * TableSwitch: s16 default, s32 low, u16 count, count * s16 offsets.
+     * Pops index; jumps to offsets[index-low] or default.
+     */
+    TableSwitch,
+    /**
+     * LookupSwitch: s16 default, u16 npairs, npairs * (s32 key, s16 off).
+     * Pops key; jumps to matching offset or default.
+     */
+    LookupSwitch,
+
+    // Calls and returns
+    InvokeStatic,   ///< u16 global method id
+    InvokeVirtual,  ///< u16 vtable slot; receiver under args
+    InvokeSpecial,  ///< u16 global method id (ctors, private)
+    ReturnVoid,
+    Ireturn,
+    Freturn,
+    Areturn,
+
+    // Fields (u16 instance-field slot / global static slot)
+    GetFieldI, GetFieldF, GetFieldA,
+    PutFieldI, PutFieldF, PutFieldA,
+    GetStaticI, GetStaticF, GetStaticA,
+    PutStaticI, PutStaticF, PutStaticA,
+
+    // Objects and arrays
+    New,          ///< u16 class id
+    NewArray,     ///< u8 ArrayKind; pops length
+    ArrayLength,
+    IAload, IAstore,
+    FAload, FAstore,
+    CAload, CAstore,  ///< 2-byte char elements
+    BAload, BAstore,  ///< 1-byte byte elements
+    AAload, AAstore,
+
+    // Synchronization
+    MonitorEnter,
+    MonitorExit,
+
+    // Exceptions
+    Athrow,
+
+    // Runtime services
+    Intrinsic,     ///< u8 IntrinsicId; stack effect per intrinsic
+    SpawnThread,   ///< u16 static method id; pops 1 int arg, pushes tid
+    JoinThread,    ///< pops tid; blocks until that thread finishes
+
+    OpCount_,  ///< number of opcodes (not an instruction)
+};
+
+/** Number of opcodes. */
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Op::OpCount_);
+
+/** Array element kinds for NewArray and the xAload/xAstore families. */
+enum class ArrayKind : std::uint8_t {
+    Int = 0,   ///< 4-byte
+    Float = 1, ///< 4-byte
+    Char = 2,  ///< 2-byte
+    Byte = 3,  ///< 1-byte
+    Ref = 4,   ///< 4-byte (stores a 32-bit heap offset)
+};
+
+/** Element size in bytes for an array kind. */
+std::uint32_t arrayElemSize(ArrayKind kind);
+
+/** Runtime intrinsics invoked via Op::Intrinsic. */
+enum class IntrinsicId : std::uint8_t {
+    PrintInt = 0,  ///< pops int, appends decimal + '\n' to run output
+    PrintChar,     ///< pops int, appends the char to run output
+    FSqrt,         ///< pops float, pushes sqrtf
+    FSin,          ///< pops float, pushes sinf
+    FCos,          ///< pops float, pushes cosf
+    ArrayCopy,     ///< pops (srcRef, srcPos, dstRef, dstPos, len)
+    IntrinsicCount_,
+};
+
+/** Human-readable mnemonic of an opcode. */
+const char *opName(Op op);
+
+/**
+ * Fixed operand byte count following the opcode byte.
+ * Returns -1 for variable-length instructions (the switches).
+ */
+int operandBytes(Op op);
+
+/** True for the conditional branch family (Ifeq..Ifnonnull). */
+bool isConditionalBranch(Op op);
+
+/** True for instructions that never fall through. */
+bool endsBasicBlock(Op op);
+
+/**
+ * Total encoded length (opcode + operands) of the instruction starting
+ * at @p pc, including variable-length switch forms.
+ */
+std::uint32_t instrLength(const std::vector<std::uint8_t> &code,
+                          std::uint32_t pc);
+
+} // namespace jrs
+
+#endif // JRS_VM_BYTECODE_OPCODE_H

@@ -1,0 +1,617 @@
+#include "vm/bytecode/verifier.h"
+
+#include <deque>
+#include <vector>
+
+#include "vm/bytecode/decode.h"
+#include "vm/bytecode/opcode.h"
+
+namespace jrs {
+
+const char *
+vtyName(VTy t)
+{
+    switch (t) {
+      case VTy::Top:   return "top";
+      case VTy::Int:   return "int";
+      case VTy::Float: return "float";
+      case VTy::Ref:   return "ref";
+      case VTy::Null:  return "null";
+    }
+    return "?";
+}
+
+VTy
+joinVTy(VTy a, VTy b)
+{
+    if (a == b)
+        return a;
+    const bool a_ref = a == VTy::Ref || a == VTy::Null;
+    const bool b_ref = b == VTy::Ref || b == VTy::Null;
+    if (a_ref && b_ref)
+        return VTy::Ref;
+    return VTy::Top;
+}
+
+namespace {
+
+VTy
+vtyOf(VType t)
+{
+    switch (t) {
+      case VType::Float: return VTy::Float;
+      case VType::Ref:   return VTy::Ref;
+      default:           return VTy::Int;
+    }
+}
+
+bool
+isRefLike(VTy t)
+{
+    return t == VTy::Ref || t == VTy::Null;
+}
+
+/** Typed machine state at one instruction boundary. */
+struct State {
+    std::vector<VTy> locals;
+    std::vector<VTy> stack;
+
+    bool operator==(const State &o) const {
+        return locals == o.locals && stack == o.stack;
+    }
+};
+
+/** Per-method verification context. */
+class MethodVerifier {
+  public:
+    MethodVerifier(const Method &m, const Program &prog)
+        : m_(m), prog_(prog), states_(m.code.size()) {}
+
+    void run();
+
+  private:
+    [[noreturn]] void fail(std::uint32_t pc, const std::string &msg) {
+        throw VerifyError(m_.name + " @" + std::to_string(pc) + " ("
+                          + opName(m_.opAt(pc)) + "): " + msg);
+    }
+
+    VTy pop(std::uint32_t pc, State &s) {
+        if (s.stack.empty())
+            fail(pc, "typed stack underflow");
+        const VTy t = s.stack.back();
+        s.stack.pop_back();
+        return t;
+    }
+    void expect(std::uint32_t pc, State &s, VTy want) {
+        const VTy got = pop(pc, s);
+        const bool ok = want == VTy::Ref ? isRefLike(got) : got == want;
+        if (!ok) {
+            fail(pc, std::string("expected ") + vtyName(want) + ", got "
+                         + vtyName(got));
+        }
+    }
+    void push(VTy t, State &s) { s.stack.push_back(t); }
+
+    VTy localAt(std::uint32_t pc, const State &s, std::uint32_t slot) {
+        if (slot >= s.locals.size())
+            fail(pc, "local slot out of range");
+        return s.locals[slot];
+    }
+
+    void flow(std::uint32_t pc, State s);  ///< transfer + propagate
+    void propagate(std::uint32_t pc, std::uint32_t target,
+                   const State &s);
+    void propagateToHandlers(std::uint32_t pc, const State &s);
+
+    const Method &m_;
+    const Program &prog_;
+    std::vector<State> states_;  ///< empty locals == not yet visited
+    std::deque<std::uint32_t> work_;
+};
+
+void
+MethodVerifier::propagate(std::uint32_t pc, std::uint32_t target,
+                          const State &s)
+{
+    if (target >= m_.code.size())
+        fail(pc, "control transfer out of range");
+    State &dst = states_[target];
+    if (dst.locals.empty()) {
+        dst = s;
+        work_.push_back(target);
+        return;
+    }
+    if (dst.stack.size() != s.stack.size())
+        fail(pc, "typed stack depth mismatch at merge");
+    bool changed = false;
+    for (std::size_t i = 0; i < s.stack.size(); ++i) {
+        const VTy j = joinVTy(dst.stack[i], s.stack[i]);
+        if (j != dst.stack[i]) {
+            dst.stack[i] = j;
+            changed = true;
+        }
+    }
+    for (std::size_t i = 0; i < s.locals.size(); ++i) {
+        const VTy j = joinVTy(dst.locals[i], s.locals[i]);
+        if (j != dst.locals[i]) {
+            dst.locals[i] = j;
+            changed = true;
+        }
+    }
+    if (changed)
+        work_.push_back(target);
+}
+
+void
+MethodVerifier::propagateToHandlers(std::uint32_t pc, const State &s)
+{
+    for (const ExceptionEntry &h : m_.handlers) {
+        if (pc < h.startPc || pc >= h.endPc)
+            continue;
+        State hs;
+        hs.locals = s.locals;
+        hs.stack = {VTy::Ref};  // the thrown exception
+        propagate(pc, h.handlerPc, hs);
+    }
+}
+
+void
+MethodVerifier::flow(std::uint32_t pc, State s)
+{
+    const Op op = m_.opAt(pc);
+    const std::uint32_t len = instrLength(m_.code, pc);
+    const std::uint32_t next = pc + len;
+    const auto &code = m_.code;
+
+    // Anything that can raise propagates its pre-state to handlers;
+    // doing it unconditionally for every covered pc is conservative
+    // and matches the JVM spec's "any point in the range".
+    propagateToHandlers(pc, s);
+
+    auto fallthrough = [&]() { propagate(pc, next, s); };
+    auto branch_to = [&](std::uint32_t target) {
+        propagate(pc, target, s);
+    };
+    auto rel16 = [&]() {
+        return pc + static_cast<std::uint32_t>(readS16(code, pc + 1));
+    };
+
+    switch (op) {
+      case Op::Nop:
+        fallthrough();
+        return;
+
+      case Op::Iconst8:
+      case Op::Iconst32:
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+      case Op::Fconst:
+        push(VTy::Float, s);
+        fallthrough();
+        return;
+      case Op::AconstNull:
+        push(VTy::Null, s);
+        fallthrough();
+        return;
+      case Op::LdcStr:
+        push(VTy::Ref, s);
+        fallthrough();
+        return;
+
+      case Op::Iload:
+      case Op::Fload:
+      case Op::Aload: {
+        const std::uint32_t slot = readU8(code, pc + 1);
+        const VTy have = localAt(pc, s, slot);
+        const VTy want = op == Op::Iload
+            ? VTy::Int
+            : (op == Op::Fload ? VTy::Float : VTy::Ref);
+        const bool ok =
+            want == VTy::Ref ? isRefLike(have) : have == want;
+        if (!ok) {
+            fail(pc, std::string("local ") + std::to_string(slot)
+                         + " holds " + vtyName(have));
+        }
+        push(have == VTy::Null ? VTy::Null : want, s);
+        fallthrough();
+        return;
+      }
+      case Op::Istore:
+      case Op::Fstore:
+      case Op::Astore: {
+        const std::uint32_t slot = readU8(code, pc + 1);
+        if (slot >= s.locals.size())
+            fail(pc, "local slot out of range");
+        const VTy want = op == Op::Istore
+            ? VTy::Int
+            : (op == Op::Fstore ? VTy::Float : VTy::Ref);
+        const VTy got = pop(pc, s);
+        const bool ok =
+            want == VTy::Ref ? isRefLike(got) : got == want;
+        if (!ok)
+            fail(pc, std::string("cannot store ") + vtyName(got));
+        s.locals[slot] = got == VTy::Null ? VTy::Null : want;
+        fallthrough();
+        return;
+      }
+      case Op::Iinc: {
+        const std::uint32_t slot = readU8(code, pc + 1);
+        if (localAt(pc, s, slot) != VTy::Int)
+            fail(pc, "iinc of non-int local");
+        fallthrough();
+        return;
+      }
+
+      case Op::Pop:
+        if (pop(pc, s) == VTy::Top)
+            fail(pc, "pop of merge conflict");
+        fallthrough();
+        return;
+      case Op::Dup: {
+        if (s.stack.empty())
+            fail(pc, "dup on empty stack");
+        push(s.stack.back(), s);
+        fallthrough();
+        return;
+      }
+      case Op::DupX1: {
+        const VTy b = pop(pc, s);
+        const VTy a = pop(pc, s);
+        push(b, s);
+        push(a, s);
+        push(b, s);
+        fallthrough();
+        return;
+      }
+      case Op::Swap: {
+        const VTy b = pop(pc, s);
+        const VTy a = pop(pc, s);
+        push(b, s);
+        push(a, s);
+        fallthrough();
+        return;
+      }
+
+      case Op::Iadd: case Op::Isub: case Op::Imul: case Op::Idiv:
+      case Op::Irem: case Op::Ishl: case Op::Ishr: case Op::Iushr:
+      case Op::Iand: case Op::Ior: case Op::Ixor:
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Int);
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+      case Op::Ineg:
+      case Op::I2c:
+      case Op::I2b:
+        expect(pc, s, VTy::Int);
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+      case Op::Fadd: case Op::Fsub: case Op::Fmul: case Op::Fdiv:
+        expect(pc, s, VTy::Float);
+        expect(pc, s, VTy::Float);
+        push(VTy::Float, s);
+        fallthrough();
+        return;
+      case Op::Fneg:
+        expect(pc, s, VTy::Float);
+        push(VTy::Float, s);
+        fallthrough();
+        return;
+      case Op::Fcmpl:
+        expect(pc, s, VTy::Float);
+        expect(pc, s, VTy::Float);
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+      case Op::I2f:
+        expect(pc, s, VTy::Int);
+        push(VTy::Float, s);
+        fallthrough();
+        return;
+      case Op::F2i:
+        expect(pc, s, VTy::Float);
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+
+      case Op::Goto:
+        branch_to(rel16());
+        return;
+      case Op::Ifeq: case Op::Ifne: case Op::Iflt:
+      case Op::Ifge: case Op::Ifgt: case Op::Ifle:
+        expect(pc, s, VTy::Int);
+        branch_to(rel16());
+        fallthrough();
+        return;
+      case Op::IfIcmpeq: case Op::IfIcmpne: case Op::IfIcmplt:
+      case Op::IfIcmpge: case Op::IfIcmpgt: case Op::IfIcmple:
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Int);
+        branch_to(rel16());
+        fallthrough();
+        return;
+      case Op::IfAcmpeq: case Op::IfAcmpne:
+        expect(pc, s, VTy::Ref);
+        expect(pc, s, VTy::Ref);
+        branch_to(rel16());
+        fallthrough();
+        return;
+      case Op::Ifnull: case Op::Ifnonnull:
+        expect(pc, s, VTy::Ref);
+        branch_to(rel16());
+        fallthrough();
+        return;
+
+      case Op::TableSwitch: {
+        expect(pc, s, VTy::Int);
+        branch_to(pc + static_cast<std::uint32_t>(
+                           readS16(code, pc + 1)));
+        const std::uint16_t count = readU16(code, pc + 7);
+        for (std::uint16_t i = 0; i < count; ++i) {
+            branch_to(pc + static_cast<std::uint32_t>(
+                               readS16(code, pc + 9 + 2u * i)));
+        }
+        return;
+      }
+      case Op::LookupSwitch: {
+        expect(pc, s, VTy::Int);
+        branch_to(pc + static_cast<std::uint32_t>(
+                           readS16(code, pc + 1)));
+        const std::uint16_t n = readU16(code, pc + 3);
+        for (std::uint16_t i = 0; i < n; ++i) {
+            branch_to(pc + static_cast<std::uint32_t>(
+                               readS16(code, pc + 5 + 6u * i + 4)));
+        }
+        return;
+      }
+
+      case Op::InvokeStatic:
+      case Op::InvokeSpecial:
+      case Op::InvokeVirtual: {
+        const Method *callee;
+        if (op == Op::InvokeVirtual) {
+            const std::uint16_t slot = readU16(code, pc + 1);
+            callee = nullptr;
+            for (const auto &c : prog_.classes) {
+                if (slot < c.vtable.size()
+                    && c.vtable[slot] != kNoMethod) {
+                    callee = &prog_.methods[c.vtable[slot]];
+                    break;
+                }
+            }
+            if (callee == nullptr)
+                fail(pc, "unresolvable vtable slot");
+        } else {
+            const MethodId id = readU16(code, pc + 1);
+            if (id >= prog_.methods.size())
+                fail(pc, "bad method id");
+            callee = &prog_.methods[id];
+        }
+        for (int i = callee->numArgs - 1; i >= 0; --i)
+            expect(pc, s, vtyOf(callee->argTypes[i]));
+        if (callee->returnType != VType::Void)
+            push(vtyOf(callee->returnType), s);
+        fallthrough();
+        return;
+      }
+      case Op::ReturnVoid:
+        if (m_.returnType != VType::Void)
+            fail(pc, "void return from value-returning method");
+        return;
+      case Op::Ireturn:
+        if (m_.returnType != VType::Int)
+            fail(pc, "ireturn type mismatch");
+        expect(pc, s, VTy::Int);
+        return;
+      case Op::Freturn:
+        if (m_.returnType != VType::Float)
+            fail(pc, "freturn type mismatch");
+        expect(pc, s, VTy::Float);
+        return;
+      case Op::Areturn:
+        if (m_.returnType != VType::Ref)
+            fail(pc, "areturn type mismatch");
+        expect(pc, s, VTy::Ref);
+        return;
+
+      case Op::GetFieldI:
+      case Op::GetFieldF:
+      case Op::GetFieldA:
+        expect(pc, s, VTy::Ref);
+        push(op == Op::GetFieldI
+                 ? VTy::Int
+                 : (op == Op::GetFieldF ? VTy::Float : VTy::Ref),
+             s);
+        fallthrough();
+        return;
+      case Op::PutFieldI:
+      case Op::PutFieldF:
+      case Op::PutFieldA:
+        expect(pc, s,
+               op == Op::PutFieldI
+                   ? VTy::Int
+                   : (op == Op::PutFieldF ? VTy::Float : VTy::Ref));
+        expect(pc, s, VTy::Ref);
+        fallthrough();
+        return;
+
+      case Op::GetStaticI:
+      case Op::GetStaticF:
+      case Op::GetStaticA: {
+        const std::uint16_t slot = readU16(code, pc + 1);
+        if (slot >= prog_.statics.size())
+            fail(pc, "bad static slot");
+        const VTy declared = vtyOf(prog_.statics[slot].type);
+        const VTy accessed = op == Op::GetStaticI
+            ? VTy::Int
+            : (op == Op::GetStaticF ? VTy::Float : VTy::Ref);
+        if (declared != accessed)
+            fail(pc, "static type mismatch");
+        push(accessed, s);
+        fallthrough();
+        return;
+      }
+      case Op::PutStaticI:
+      case Op::PutStaticF:
+      case Op::PutStaticA: {
+        const std::uint16_t slot = readU16(code, pc + 1);
+        if (slot >= prog_.statics.size())
+            fail(pc, "bad static slot");
+        const VTy declared = vtyOf(prog_.statics[slot].type);
+        const VTy accessed = op == Op::PutStaticI
+            ? VTy::Int
+            : (op == Op::PutStaticF ? VTy::Float : VTy::Ref);
+        if (declared != accessed)
+            fail(pc, "static type mismatch");
+        expect(pc, s, accessed);
+        fallthrough();
+        return;
+      }
+
+      case Op::New:
+        if (readU16(code, pc + 1) >= prog_.classes.size())
+            fail(pc, "bad class id");
+        push(VTy::Ref, s);
+        fallthrough();
+        return;
+      case Op::NewArray:
+        expect(pc, s, VTy::Int);
+        push(VTy::Ref, s);
+        fallthrough();
+        return;
+      case Op::ArrayLength:
+        expect(pc, s, VTy::Ref);
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+
+      case Op::IAload: case Op::CAload: case Op::BAload:
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Ref);
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+      case Op::FAload:
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Ref);
+        push(VTy::Float, s);
+        fallthrough();
+        return;
+      case Op::AAload:
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Ref);
+        push(VTy::Ref, s);
+        fallthrough();
+        return;
+      case Op::IAstore: case Op::CAstore: case Op::BAstore:
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Ref);
+        fallthrough();
+        return;
+      case Op::FAstore:
+        expect(pc, s, VTy::Float);
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Ref);
+        fallthrough();
+        return;
+      case Op::AAstore:
+        expect(pc, s, VTy::Ref);
+        expect(pc, s, VTy::Int);
+        expect(pc, s, VTy::Ref);
+        fallthrough();
+        return;
+
+      case Op::MonitorEnter:
+      case Op::MonitorExit:
+        expect(pc, s, VTy::Ref);
+        fallthrough();
+        return;
+      case Op::Athrow:
+        expect(pc, s, VTy::Ref);
+        return;
+
+      case Op::Intrinsic:
+        switch (static_cast<IntrinsicId>(readU8(code, pc + 1))) {
+          case IntrinsicId::PrintInt:
+          case IntrinsicId::PrintChar:
+            expect(pc, s, VTy::Int);
+            break;
+          case IntrinsicId::FSqrt:
+          case IntrinsicId::FSin:
+          case IntrinsicId::FCos:
+            expect(pc, s, VTy::Float);
+            push(VTy::Float, s);
+            break;
+          case IntrinsicId::ArrayCopy:
+            expect(pc, s, VTy::Int);   // len
+            expect(pc, s, VTy::Int);   // dstPos
+            expect(pc, s, VTy::Ref);   // dst
+            expect(pc, s, VTy::Int);   // srcPos
+            expect(pc, s, VTy::Ref);   // src
+            break;
+          default:
+            fail(pc, "bad intrinsic id");
+        }
+        fallthrough();
+        return;
+      case Op::SpawnThread: {
+        const MethodId id = readU16(code, pc + 1);
+        if (id >= prog_.methods.size())
+            fail(pc, "bad spawn target");
+        const Method &t = prog_.methods[id];
+        if (!t.isStatic || t.numArgs != 1
+            || t.argTypes[0] != VType::Int) {
+            fail(pc, "spawn target must be static(int)");
+        }
+        expect(pc, s, VTy::Int);
+        push(VTy::Int, s);
+        fallthrough();
+        return;
+      }
+      case Op::JoinThread:
+        expect(pc, s, VTy::Int);
+        fallthrough();
+        return;
+
+      case Op::OpCount_:
+        break;
+    }
+    fail(pc, "invalid opcode");
+}
+
+void
+MethodVerifier::run()
+{
+    State entry;
+    entry.locals.assign(m_.numLocals, VTy::Int);  // VM zero-init
+    for (std::uint8_t i = 0; i < m_.numArgs; ++i)
+        entry.locals[i] = vtyOf(m_.argTypes[i]);
+    states_[0] = entry;
+    work_.push_back(0);
+
+    while (!work_.empty()) {
+        const std::uint32_t pc = work_.front();
+        work_.pop_front();
+        flow(pc, states_[pc]);
+    }
+}
+
+} // namespace
+
+void
+verifyMethod(const Method &m, const Program &prog)
+{
+    MethodVerifier(m, prog).run();
+}
+
+void
+verifyProgram(const Program &prog)
+{
+    for (const Method &m : prog.methods)
+        verifyMethod(m, prog);
+}
+
+} // namespace jrs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Typed bytecode verifier.
+ *
+ * The structural pass in the assembler only checks stack *depths*; this
+ * verifier performs the JVM verifier's dataflow with a type lattice:
+ *
+ *       Top (unknown / conflict)
+ *      /   |   \
+ *    Int Float Ref
+ *              |
+ *            Null
+ *
+ * Every reachable instruction is checked against typed stack and local
+ * states; states merge at control-flow joins (Ref ∨ Null = Ref;
+ * anything else unequal = Top, which no instruction may consume).
+ * Locals start as declared argument types, with non-argument slots
+ * Top-but-writable (the VM zero-initializes them, but a typed read
+ * before a typed write is almost always a workload bug, so reads of
+ * never-written slots are permitted only via the matching typed load).
+ *
+ * ProgramBuilder::finish runs this on every method; a violation throws
+ * VerifyError at assembly time — long before a tagged-Value assertion
+ * could trip inside the interpreter.
+ */
+#ifndef JRS_VM_BYTECODE_VERIFIER_H
+#define JRS_VM_BYTECODE_VERIFIER_H
+
+#include <stdexcept>
+#include <string>
+
+#include "vm/bytecode/class_def.h"
+
+namespace jrs {
+
+/** Thrown when a method fails type verification. */
+class VerifyError : public std::runtime_error {
+  public:
+    explicit VerifyError(const std::string &what)
+        : std::runtime_error("verify: " + what) {}
+};
+
+/** Verification type lattice. */
+enum class VTy : std::uint8_t {
+    Top,    ///< unknown / merge conflict — unusable
+    Int,
+    Float,
+    Ref,
+    Null,   ///< aconst_null: a Ref assignable to any Ref slot
+};
+
+/** Printable lattice element name. */
+const char *vtyName(VTy t);
+
+/** Lattice join of two types. */
+VTy joinVTy(VTy a, VTy b);
+
+/** Verify one method of a resolved program. Throws VerifyError. */
+void verifyMethod(const Method &m, const Program &prog);
+
+/** Verify every method. Throws VerifyError on the first failure. */
+void verifyProgram(const Program &prog);
+
+} // namespace jrs
+
+#endif // JRS_VM_BYTECODE_VERIFIER_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared execution context and the engine-services callback interface.
+ *
+ * The interpreter and the native-code executor are both steppers: they
+ * advance the top activation of a thread by one instruction and report
+ * what happened. Anything that crosses frames or engines — invoking a
+ * method (which may trigger compilation), spawning threads — goes
+ * through EngineServices, implemented by ExecutionEngine.
+ */
+#ifndef JRS_VM_ENGINE_CONTEXT_H
+#define JRS_VM_ENGINE_CONTEXT_H
+
+#include "isa/emitter.h"
+#include "vm/runtime/class_registry.h"
+#include "vm/runtime/heap.h"
+#include "vm/runtime/runtime_support.h"
+#include "vm/runtime/thread.h"
+#include "vm/sync/sync_system.h"
+
+namespace jrs {
+
+/** What a single step did. */
+enum class StepAction : std::uint8_t {
+    Continue,  ///< one instruction retired; frame unchanged
+    Invoked,   ///< a callee frame was pushed
+    Returned,  ///< the frame returned (and was popped by the stepper)
+    Blocked,   ///< monitor unavailable; pc not advanced — retry later
+    Thrown,    ///< guest exception raised; engine must unwind
+};
+
+/** Step outcome. */
+struct StepResult {
+    StepAction action = StepAction::Continue;
+    bool hasValue = false;  ///< Returned with a value
+    Value value;            ///< valid when hasValue
+    SimAddr thrown = 0;     ///< exception ref when action == Thrown
+    const char *thrownName = nullptr;  ///< builtin diagnostic name
+};
+
+/** Engine callbacks available to the steppers. */
+class EngineServices {
+  public:
+    virtual ~EngineServices() = default;
+
+    /**
+     * Invoke @p target with @p args: decides interpret-vs-native
+     * (possibly compiling first) and pushes the callee activation.
+     * The caller must already have advanced its own pc/ip.
+     */
+    virtual void invokeMethod(VmThread &thread, MethodId target,
+                              const Value *args, std::uint8_t nargs) = 0;
+
+    /** Spawn a green thread running static @p target with one int arg. */
+    virtual std::uint32_t spawnThread(MethodId target, Value arg) = 0;
+
+    /** True when thread @p tid has finished. */
+    virtual bool threadDone(std::uint32_t tid) const = 0;
+
+    /** Number of native events delivered to the sink so far. */
+    virtual std::uint64_t eventCount() const = 0;
+};
+
+/** Everything a stepper needs. All references outlive the stepper. */
+struct VmContext {
+    ClassRegistry &registry;
+    Heap &heap;
+    SyncSystem &sync;
+    RuntimeSupport &runtime;
+    TraceEmitter &emitter;
+    EngineServices &services;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_ENGINE_CONTEXT_H

@@ -1,0 +1,498 @@
+#include "vm/engine/engine.h"
+
+#include "vm/sync/monitor_cache.h"
+#include "vm/sync/thin_lock.h"
+
+namespace jrs {
+
+namespace {
+
+std::unique_ptr<SyncSystem>
+makeSync(SyncKind kind, Heap &heap, TraceEmitter &emitter)
+{
+    switch (kind) {
+      case SyncKind::MonitorCache:
+        return std::make_unique<MonitorCacheSync>(heap, emitter);
+      case SyncKind::ThinLock:
+        return std::make_unique<ThinLockSync>(heap, emitter);
+      case SyncKind::OneBitLock:
+        return std::make_unique<OneBitLockSync>(heap, emitter);
+    }
+    throw VmError("bad sync kind");
+}
+
+} // namespace
+
+ExecutionEngine::ExecutionEngine(const Program &prog, EngineConfig cfg)
+    : prog_(prog), cfg_(std::move(cfg))
+{
+    if (!cfg_.policy)
+        cfg_.policy = std::make_shared<AlwaysCompilePolicy>();
+
+    heap_ = std::make_unique<Heap>(cfg_.heapBytes);
+    registry_ = std::make_unique<ClassRegistry>(prog_, *heap_);
+
+    internalSink_.add(&counting_);
+    if (cfg_.sink != nullptr)
+        internalSink_.add(cfg_.sink);
+    emitter_.setSink(&internalSink_);
+
+    sync_ = makeSync(cfg_.syncKind, *heap_, emitter_);
+    runtime_ =
+        std::make_unique<RuntimeSupport>(*registry_, *heap_, emitter_);
+    cache_ = std::make_unique<CodeCache>();
+    translator_ =
+        std::make_unique<Translator>(*registry_, *cache_, emitter_);
+    translator_->setInlining(cfg_.jitInlining);
+    ctx_.reset(new VmContext{*registry_, *heap_, *sync_, *runtime_,
+                             emitter_, *this});
+    interp_ = std::make_unique<Interpreter>(*ctx_);
+    interp_->setFolding(cfg_.interpreterFolding);
+    exec_ = std::make_unique<NativeExecutor>(*ctx_);
+
+    profiles_ = ProfileTable(prog_.methods.size());
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+std::uint64_t
+ExecutionEngine::eventCount() const
+{
+    return counting_.total();
+}
+
+void
+ExecutionEngine::invokeMethod(VmThread &thread, MethodId target,
+                              const Value *args, std::uint8_t nargs)
+{
+    const Method &m = registry_->method(target);
+    if (nargs != m.numArgs)
+        throw VmError("arity mismatch calling " + m.name);
+
+    MethodProfile &prof = profiles_.of(target);
+    ++prof.invocations;
+
+    const NativeMethod *nm = cache_->lookup(target);
+    if (nm == nullptr && uncompilable_.count(target) == 0
+        && cfg_.policy->shouldCompile(target, prof.invocations)) {
+        const std::uint64_t before = counting_.total();
+        nm = translator_->translate(target);
+        const std::uint64_t delta = counting_.total() - before;
+        prof.translateEvents += delta;
+        translateEventsThisStep_ += delta;
+        if (nm == nullptr)
+            uncompilable_.insert(target);
+    }
+
+    SimAddr sync_obj = 0;
+    if (m.isSynchronized) {
+        sync_obj = m.isStatic ? registry_->classObject(m.owner)
+                              : args[0].asRef();
+        if (sync_obj == 0)
+            runtime_->throwBuiltin(BuiltinEx::NullPointer);
+    }
+
+    if (nm != nullptr) {
+        ++prof.nativeInvocations;
+        NativeFrame f;
+        f.nm = nm;
+        f.ip = 0;
+        try {
+            f.base = thread.pushFrameSpace(nm->numSpills + 8u);
+        } catch (const VmError &) {
+            runtime_->throwBuiltin(BuiltinEx::StackOverflow);
+        }
+        f.spills.assign(nm->numSpills, 0);
+        for (std::uint8_t i = 0; i < nargs; ++i)
+            f.regs[kArgRegBase + i] = args[i].raw();
+        f.syncObj = sync_obj;
+        f.monitorPending = sync_obj != 0;
+        thread.frames.emplace_back(std::move(f));
+    } else {
+        ++prof.interpInvocations;
+        InterpFrame f;
+        f.method = &m;
+        f.pc = 0;
+        try {
+            f.base = thread.pushFrameSpace(m.numLocals + m.maxStack);
+        } catch (const VmError &) {
+            runtime_->throwBuiltin(BuiltinEx::StackOverflow);
+        }
+        f.locals.assign(m.numLocals, Value());
+        for (std::uint8_t i = 0; i < nargs; ++i)
+            f.locals[i] = args[i];
+        f.stack.reserve(m.maxStack);
+        f.syncObj = sync_obj;
+        f.monitorPending = sync_obj != 0;
+        // Frame setup traffic: locals install.
+        for (std::uint8_t i = 0; i < nargs; ++i) {
+            emitter_.store(Phase::Runtime,
+                           seg::kRuntimeCode + 0x40 + 4u * (i % 8),
+                           f.localAddr(i), 4);
+        }
+        thread.frames.emplace_back(std::move(f));
+    }
+    thread.noteHighWater();
+}
+
+std::uint32_t
+ExecutionEngine::spawnThread(MethodId target, Value arg)
+{
+    const Method &m = registry_->method(target);
+    if (!m.isStatic || m.numArgs != 1)
+        throw VmError("thread entry must be static(int): " + m.name);
+    const std::uint32_t tid =
+        static_cast<std::uint32_t>(threads_.size());
+    threads_.push_back(std::make_unique<VmThread>(tid));
+    invokeMethod(*threads_.back(), target, &arg, 1);
+    return tid;
+}
+
+bool
+ExecutionEngine::threadDone(std::uint32_t tid) const
+{
+    if (tid >= threads_.size())
+        throw VmError("join of unknown thread");
+    return threads_[tid]->state == ThreadState::Done;
+}
+
+void
+ExecutionEngine::unwind(VmThread &thread, SimAddr exception,
+                        const char *name)
+{
+    const ClassId ex_cls = heap_->klassOf(exception);
+    auto matches = [&](ClassId catch_type) {
+        if (catch_type == kNoClass)
+            return true;  // catch-all
+        if (ex_cls >= kBuiltinExClassBase)
+            return false;  // builtins only match catch-all
+        return isSubclassOf(prog_, ex_cls, catch_type);
+    };
+
+    // The faulting (top) frame's pc points AT the faulting
+    // instruction; caller frames have already advanced their pc past
+    // the invoke, so their effective pc for range checks is "just
+    // inside" the preceding instruction.
+    bool top_frame = true;
+    while (!thread.frames.empty()) {
+        Activation &act = thread.frames.back();
+        if (auto *f = std::get_if<InterpFrame>(&act)) {
+            for (const ExceptionEntry &h : f->method->handlers) {
+                const bool in_range = top_frame
+                    ? f->pc >= h.startPc && f->pc < h.endPc
+                    : f->pc > h.startPc && f->pc <= h.endPc;
+                if (in_range && matches(h.catchType)) {
+                    f->stack.clear();
+                    f->stack.push_back(Value::makeRef(exception));
+                    f->pc = h.handlerPc;
+                    return;
+                }
+            }
+            if (f->syncObj != 0 && !f->monitorPending)
+                sync_->exit(thread.tid(), f->syncObj);
+        } else {
+            auto &nf = std::get<NativeFrame>(act);
+            for (const NativeHandler &h : nf.nm->handlers) {
+                const bool in_range = top_frame
+                    ? nf.ip >= h.startIdx && nf.ip < h.endIdx
+                    : nf.ip > h.startIdx && nf.ip <= h.endIdx;
+                if (in_range && matches(h.catchType)) {
+                    nf.ip = h.handlerIdx;
+                    nf.regs[kStackRegBase] = exception;
+                    return;
+                }
+            }
+            if (nf.syncObj != 0 && !nf.monitorPending)
+                sync_->exit(thread.tid(), nf.syncObj);
+        }
+        thread.frames.pop_back();
+        thread.popFrameSpace();
+        top_frame = false;
+    }
+    // Uncaught: the thread dies.
+    thread.state = ThreadState::Done;
+    thread.uncaughtName = name != nullptr ? name : "Exception";
+}
+
+bool
+ExecutionEngine::tryOsr(VmThread &thread)
+{
+    auto *f = std::get_if<InterpFrame>(&thread.frames.back());
+    if (f == nullptr || f->backEdges < cfg_.osrBackEdgeThreshold)
+        return false;
+    if (f->monitorPending)
+        return false;  // entry monitor not yet acquired
+    const MethodId id = f->method->id;
+    if (uncompilable_.count(id) != 0) {
+        f->backEdges = 0;
+        return false;
+    }
+
+    const NativeMethod *nm = cache_->lookup(id);
+    if (nm == nullptr) {
+        const std::uint64_t before = counting_.total();
+        nm = translator_->translate(id);
+        const std::uint64_t delta = counting_.total() - before;
+        profiles_.of(id).translateEvents += delta;
+        translateEventsThisStep_ += delta;
+        if (nm == nullptr) {
+            uncompilable_.insert(id);
+            f->backEdges = 0;
+            return false;
+        }
+    }
+    if (f->pc >= nm->bc2n.size() || nm->bc2n[f->pc] < 0) {
+        f->backEdges = 0;
+        return false;
+    }
+
+    // Map the live interpreter state onto the compiled method's frame
+    // layout: locals and operand-stack positions go to the registers /
+    // spill slots the translator assigned them statically.
+    const Method &m = *f->method;
+    NativeFrame nf;
+    nf.nm = nm;
+    nf.ip = static_cast<std::uint32_t>(nm->bc2n[f->pc]);
+    nf.spills.assign(nm->numSpills, 0);
+    const std::size_t spilled_locals =
+        m.numLocals > kNumLocalRegs ? m.numLocals - kNumLocalRegs : 0;
+    for (std::size_t i = 0; i < f->locals.size(); ++i) {
+        const std::uint64_t raw = f->locals[i].raw();
+        if (i < kNumLocalRegs)
+            nf.regs[kLocalRegBase + i] = raw;
+        else
+            nf.spills[i - kNumLocalRegs] = raw;
+    }
+    for (std::size_t j = 0; j < f->stack.size(); ++j) {
+        const std::uint64_t raw = f->stack[j].raw();
+        if (j < kNumStackRegs)
+            nf.regs[kStackRegBase + j] = raw;
+        else
+            nf.spills[spilled_locals + (j - kNumStackRegs)] = raw;
+    }
+    nf.syncObj = f->syncObj;
+    nf.monitorPending = false;  // already held by the interp frame
+
+    // Swap the simulated frame space (check before committing).
+    const std::uint32_t old_slots = m.numLocals + m.maxStack;
+    thread.popFrameSpace();
+    try {
+        nf.base = thread.pushFrameSpace(nm->numSpills + 8u);
+    } catch (const VmError &) {
+        // Keep interpreting; restore the original reservation.
+        f->base = thread.pushFrameSpace(old_slots);
+        f->backEdges = 0;
+        return false;
+    }
+    thread.frames.back() = Activation(std::move(nf));
+    thread.noteHighWater();
+    interp_->clearFoldState();
+    ++osrTransitions_;
+
+    // OSR entry stub: the runtime rewrites the frame (register fills
+    // from the interpreter frame's memory image).
+    for (std::uint32_t k = 0; k < 6; ++k) {
+        emitter_.store(Phase::Runtime,
+                       seg::kRuntimeCode + 0x700 + 4u * k,
+                       std::get<NativeFrame>(thread.frames.back()).base
+                           + 4u * k,
+                       4);
+    }
+    return true;
+}
+
+void
+ExecutionEngine::deliverReturn(VmThread &thread, const StepResult &r)
+{
+    if (thread.frames.empty()) {
+        thread.state = ThreadState::Done;
+        return;
+    }
+    if (!r.hasValue)
+        return;
+    Activation &act = thread.frames.back();
+    if (auto *f = std::get_if<InterpFrame>(&act)) {
+        emitter_.store(Phase::Interpret, seg::kInterpCode + 0x30,
+                       f->stackAddr(f->stack.size()), 4);
+        f->stack.push_back(r.value);
+    } else {
+        std::get<NativeFrame>(act).regs[kArgRegBase] = r.value.raw();
+    }
+}
+
+bool
+ExecutionEngine::stepThread(VmThread &thread)
+{
+    const std::uint64_t quantum =
+        thread.state == ThreadState::Runnable ? cfg_.quantum : 1;
+    bool progressed = false;
+
+    for (std::uint64_t i = 0; i < quantum; ++i) {
+        if (thread.frames.empty()) {
+            thread.state = ThreadState::Done;
+            break;
+        }
+        const bool is_interp =
+            std::holds_alternative<InterpFrame>(thread.frames.back());
+        MethodId running;
+        if (is_interp) {
+            running = std::get<InterpFrame>(thread.frames.back())
+                          .method->id;
+        } else {
+            running =
+                std::get<NativeFrame>(thread.frames.back()).nm->id;
+        }
+
+        const std::uint64_t before = counting_.total();
+        translateEventsThisStep_ = 0;
+        StepResult r =
+            is_interp ? interp_->step(thread) : exec_->step(thread);
+
+        switch (r.action) {
+          case StepAction::Continue:
+          case StepAction::Invoked:
+            progressed = true;
+            thread.state = ThreadState::Runnable;
+            break;
+          case StepAction::Returned:
+            progressed = true;
+            thread.state = ThreadState::Runnable;
+            if (thread.frames.empty()) {
+                thread.state = ThreadState::Done;
+                if (r.hasValue && thread.tid() == 0
+                    && r.value.tag() == Tag::Int) {
+                    mainExitValue_ = r.value.asInt();
+                    mainHasExit_ = true;
+                }
+            } else {
+                deliverReturn(thread, r);
+            }
+            break;
+          case StepAction::Blocked:
+            if (thread.state == ThreadState::Runnable)
+                thread.state = ThreadState::BlockedOnMonitor;
+            break;
+          case StepAction::Thrown:
+            progressed = true;
+            unwind(thread, r.thrown, r.thrownName);
+            break;
+        }
+
+        // Attribute everything the step caused — including return
+        // delivery and unwinding, but excluding translation (already
+        // charged to the compiled method) — to the method that ran.
+        const std::uint64_t delta =
+            counting_.total() - before - translateEventsThisStep_;
+        MethodProfile &prof = profiles_.of(running);
+        if (is_interp)
+            prof.interpEvents += delta;
+        else
+            prof.nativeEvents += delta;
+
+        // On-stack replacement check: hot loops escape the interpreter
+        // without waiting for the next invocation.
+        if (cfg_.osrBackEdgeThreshold != 0 && is_interp
+            && r.action == StepAction::Continue
+            && !thread.frames.empty()) {
+            (void)tryOsr(thread);
+        }
+
+        if (r.action == StepAction::Blocked)
+            return progressed;  // yield the slice
+        if (thread.state == ThreadState::Done)
+            break;
+        if (cfg_.maxEvents != 0 && counting_.total() >= cfg_.maxEvents)
+            break;
+    }
+    return progressed;
+}
+
+RunResult
+ExecutionEngine::run(std::int32_t arg)
+{
+    if (ran_)
+        throw VmError("ExecutionEngine::run called twice");
+    ran_ = true;
+
+    RunResult result;
+
+    // Main thread.
+    threads_.push_back(std::make_unique<VmThread>(0));
+    {
+        Value a = Value::makeInt(arg);
+        invokeMethod(*threads_[0], prog_.entry, &a, 1);
+    }
+
+    std::size_t cursor = 0;
+    while (true) {
+        std::size_t live = 0;
+        for (const auto &t : threads_) {
+            if (t->state != ThreadState::Done)
+                ++live;
+        }
+        if (live == 0)
+            break;
+        if (cfg_.maxEvents != 0 && counting_.total() >= cfg_.maxEvents)
+            break;
+
+        bool any_progress = false;
+        const std::size_t num_threads = threads_.size();
+        for (std::size_t k = 0; k < num_threads; ++k) {
+            VmThread &t = *threads_[(cursor + k) % num_threads];
+            if (t.state == ThreadState::Done)
+                continue;
+            if (t.state == ThreadState::Joining) {
+                if (!threadDone(t.joinTarget))
+                    continue;
+                t.state = ThreadState::Runnable;
+            }
+            if (stepThread(t))
+                any_progress = true;
+        }
+        cursor = (cursor + 1) % std::max<std::size_t>(1,
+                                                      threads_.size());
+
+        if (!any_progress) {
+            // Everyone is blocked: deadlock (or a join cycle).
+            throw VmError("deadlock: no runnable thread can progress");
+        }
+    }
+
+    internalSink_.onFinish();
+
+    // Assemble the result.
+    result.completed = threads_[0]->state == ThreadState::Done
+        && threads_[0]->uncaughtName == nullptr;
+    result.uncaughtException = threads_[0]->uncaughtName;
+    result.hasExitValue = mainHasExit_;
+    result.exitValue = mainExitValue_;
+    result.output = runtime_->output();
+    result.totalEvents = counting_.total();
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        result.phaseEvents[p] =
+            counting_.inPhase(static_cast<Phase>(p));
+    }
+    result.bytecodesInterpreted = interp_->bytecodesRetired();
+    result.nativeInstsRetired = exec_->instsRetired();
+    result.methodsCompiled = translator_->methodsTranslated();
+    result.callsInlined = translator_->callsInlined();
+    result.dispatchesFolded = interp_->foldedDispatches();
+    result.osrTransitions = osrTransitions_;
+    result.bytecodeCounts.assign(interp_->opCounts().begin(),
+                                 interp_->opCounts().end());
+    result.callsDevirtualized = translator_->callsDevirtualized();
+    result.profiles = profiles_;
+    result.lockStats = sync_->stats();
+
+    result.memory.classDataBytes = registry_->metadataBytes();
+    result.memory.heapBytes = heap_->bytesAllocated();
+    std::size_t stack_bytes = 0;
+    for (const auto &t : threads_)
+        stack_bytes += static_cast<std::size_t>(t->stackHighWater());
+    result.memory.stackBytes = stack_bytes;
+    result.memory.codeCacheBytes = cache_->codeBytes();
+    result.memory.translatorBytes = translator_->peakWorkingBytes();
+    return result;
+}
+
+} // namespace jrs

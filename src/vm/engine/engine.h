@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The mixed-mode execution engine — the core public API of jrs.
+ *
+ * An ExecutionEngine loads a Program and runs it under a configurable
+ * runtime system: compilation policy (interpret / JIT / counter /
+ * oracle), monitor implementation, green-thread quantum, and an
+ * optional TraceSink receiving every simulated native instruction.
+ * Interpreted and compiled frames interleave freely on the same call
+ * stack; invocations are routed per-method.
+ *
+ * Typical use:
+ * @code
+ *   EngineConfig cfg;
+ *   cfg.policy = std::make_shared<AlwaysCompilePolicy>();
+ *   cfg.sink = &myCacheModel;
+ *   ExecutionEngine engine(program, cfg);
+ *   RunResult res = engine.run(100);
+ * @endcode
+ */
+#ifndef JRS_VM_ENGINE_ENGINE_H
+#define JRS_VM_ENGINE_ENGINE_H
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vm/engine/context.h"
+#include "vm/engine/policy.h"
+#include "vm/engine/profile.h"
+#include "vm/interp/interpreter.h"
+#include "vm/jit/code_cache.h"
+#include "vm/jit/translator.h"
+#include "vm/native/executor.h"
+
+namespace jrs {
+
+/** Engine configuration. */
+struct EngineConfig {
+    /** Compilation policy (defaults to compile-on-first-invocation). */
+    std::shared_ptr<CompilationPolicy> policy;
+    /** Monitor implementation. */
+    SyncKind syncKind = SyncKind::ThinLock;
+    /** Observer of the native instruction stream (may be null). */
+    TraceSink *sink = nullptr;
+    /** Green-thread time slice, in stepper steps. */
+    std::uint64_t quantum = 300;
+    /** Safety cap on simulated instructions (0 = unlimited). */
+    std::uint64_t maxEvents = 0;
+    /** Heap arena size in bytes. */
+    std::size_t heapBytes = 64u << 20;
+    /**
+     * JIT method inlining + monomorphic devirtualization (the paper's
+     * Section 7 proposal). Off by default: the baseline experiments
+     * model the paper's non-inlining JITs.
+     */
+    bool jitInlining = false;
+    /**
+     * Interpreter dispatch folding (picoJava-style superinstructions,
+     * paper Section 4.4). Off by default.
+     */
+    bool interpreterFolding = false;
+    /**
+     * On-stack replacement: when an interpreted frame takes this many
+     * backward branches, compile its method and transfer the live
+     * frame into native code (0 disables). OSR triggers independently
+     * of the invocation policy — the tiered-VM combination the
+     * counter-threshold ablation shows is necessary for loop-dominated
+     * methods.
+     */
+    std::uint64_t osrBackEdgeThreshold = 0;
+};
+
+/** Memory-footprint accounting (Table 1). */
+struct MemoryFootprint {
+    std::size_t classDataBytes = 0;   ///< bytecode + metadata + statics
+    std::size_t heapBytes = 0;        ///< objects and arrays allocated
+    std::size_t stackBytes = 0;       ///< thread stack high-water marks
+    std::size_t codeCacheBytes = 0;   ///< JIT-generated code
+    std::size_t translatorBytes = 0;  ///< peak compiler working memory
+    /**
+     * Fixed image sizes, calibrated against JDK-1.1-era footprints:
+     * the interpreter VM image (loader, verifier, libraries) and the
+     * additional JIT compiler image.
+     */
+    static constexpr std::size_t kInterpImageBytes = 500u << 10;
+    static constexpr std::size_t kJitImageBytes = 64u << 10;
+
+    /** Total for an interpreter-only runtime. */
+    std::size_t interpreterTotal() const {
+        return classDataBytes + heapBytes + stackBytes
+            + kInterpImageBytes;
+    }
+    /**
+     * Total for a runtime with the JIT: compiler image, generated code
+     * plus per-method metadata (maps, handler tables — roughly 2x the
+     * code itself), and the compiler's peak working arena.
+     */
+    std::size_t jitTotal() const {
+        return interpreterTotal() + kJitImageBytes
+            + 3 * codeCacheBytes + translatorBytes;
+    }
+};
+
+/** Result of ExecutionEngine::run. */
+struct RunResult {
+    bool completed = false;  ///< main thread ran to completion
+    /** Diagnostic name of an uncaught exception, or nullptr. */
+    const char *uncaughtException = nullptr;
+    bool hasExitValue = false;
+    std::int32_t exitValue = 0;        ///< entry method's return value
+    std::string output;                ///< print-intrinsic output
+
+    std::uint64_t totalEvents = 0;     ///< simulated native instructions
+    std::uint64_t phaseEvents[kNumPhases] = {};
+    std::uint64_t bytecodesInterpreted = 0;
+    std::uint64_t nativeInstsRetired = 0;
+    std::uint64_t methodsCompiled = 0;
+    std::uint64_t callsInlined = 0;
+    std::uint64_t callsDevirtualized = 0;
+    std::uint64_t dispatchesFolded = 0;
+    std::uint64_t osrTransitions = 0;
+    /** Dynamic bytecode counts per opcode (interpreted steps only). */
+    std::vector<std::uint64_t> bytecodeCounts;
+
+    ProfileTable profiles;
+    LockStats lockStats;
+    MemoryFootprint memory;
+
+    /** Events in a phase by enum. */
+    std::uint64_t inPhase(Phase p) const {
+        return phaseEvents[static_cast<std::size_t>(p)];
+    }
+};
+
+/** The mixed-mode virtual machine. */
+class ExecutionEngine : public EngineServices {
+  public:
+    /**
+     * Create an engine for @p prog. The Program must outlive the
+     * engine; @p cfg.sink (when set) must outlive run().
+     */
+    ExecutionEngine(const Program &prog, EngineConfig cfg);
+    ~ExecutionEngine() override;
+
+    ExecutionEngine(const ExecutionEngine &) = delete;
+    ExecutionEngine &operator=(const ExecutionEngine &) = delete;
+
+    /**
+     * Run the program's entry method with @p arg. A fresh engine is
+     * required per run (heap and code cache are not reset).
+     */
+    RunResult run(std::int32_t arg);
+
+    // --- EngineServices -----------------------------------------------
+    void invokeMethod(VmThread &thread, MethodId target,
+                      const Value *args, std::uint8_t nargs) override;
+    std::uint32_t spawnThread(MethodId target, Value arg) override;
+    bool threadDone(std::uint32_t tid) const override;
+    std::uint64_t eventCount() const override;
+
+    /** Access to the sync system (examples and tests). */
+    SyncSystem &sync() { return *sync_; }
+
+    /** Access to the heap (tests). */
+    Heap &heap() { return *heap_; }
+
+    /** Access to the registry (tests). */
+    ClassRegistry &registry() { return *registry_; }
+
+  private:
+    void unwind(VmThread &thread, SimAddr exception, const char *name);
+    /** Attempt on-stack replacement of the top (interpreter) frame. */
+    bool tryOsr(VmThread &thread);
+    void deliverReturn(VmThread &thread, const StepResult &r);
+    bool stepThread(VmThread &thread);  ///< one quantum; true if progress
+
+    const Program &prog_;
+    EngineConfig cfg_;
+
+    // Order matters: heap before registry before everything else.
+    std::unique_ptr<Heap> heap_;
+    std::unique_ptr<ClassRegistry> registry_;
+    TraceEmitter emitter_;
+    MultiSink internalSink_;
+    CountingSink counting_;
+    std::unique_ptr<SyncSystem> sync_;
+    std::unique_ptr<RuntimeSupport> runtime_;
+    std::unique_ptr<CodeCache> cache_;
+    std::unique_ptr<Translator> translator_;
+    std::unique_ptr<VmContext> ctx_;
+    std::unique_ptr<Interpreter> interp_;
+    std::unique_ptr<NativeExecutor> exec_;
+
+    std::vector<std::unique_ptr<VmThread>> threads_;
+    ProfileTable profiles_;
+    std::set<MethodId> uncompilable_;
+    std::uint64_t translateEventsThisStep_ = 0;
+    std::int32_t mainExitValue_ = 0;
+    std::uint64_t osrTransitions_ = 0;
+    bool mainHasExit_ = false;
+    bool ran_ = false;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_ENGINE_ENGINE_H

@@ -1,0 +1,36 @@
+#include "vm/engine/policy.h"
+
+namespace jrs {
+
+std::size_t
+OraclePolicy::numCompiled() const
+{
+    std::size_t n = 0;
+    for (bool b : compile_)
+        n += b ? 1 : 0;
+    return n;
+}
+
+std::vector<bool>
+computeOracleDecisions(const ProfileTable &interp_run,
+                       const ProfileTable &jit_run)
+{
+    const std::size_t n = std::min(interp_run.size(), jit_run.size());
+    std::vector<bool> compile(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        const MethodProfile &ip = interp_run.of(static_cast<MethodId>(i));
+        const MethodProfile &jp = jit_run.of(static_cast<MethodId>(i));
+        if (ip.invocations == 0) {
+            // Never executed while interpreting: compiling cannot pay off.
+            compile[i] = false;
+            continue;
+        }
+        const std::uint64_t interp_cost = ip.interpEvents;
+        const std::uint64_t jit_cost =
+            jp.translateEvents + jp.nativeEvents;
+        compile[i] = jit_cost < interp_cost;
+    }
+    return compile;
+}
+
+} // namespace jrs

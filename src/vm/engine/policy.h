@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Compilation policies: when (or whether) to JIT a method.
+ *
+ * This is the paper's Section 3 knob. Concrete policies:
+ *  - NeverCompilePolicy      pure interpreter
+ *  - AlwaysCompilePolicy     Kaffe/JDK default: compile on 1st invocation
+ *  - CounterPolicy           compile at the Nth invocation (the hotspot
+ *                            heuristic modern VMs adopted)
+ *  - OraclePolicy            the paper's "opt": per-method decisions
+ *                            computed offline from profiling runs via
+ *                            the crossover N_i = T_i / (I_i - E_i)
+ */
+#ifndef JRS_VM_ENGINE_POLICY_H
+#define JRS_VM_ENGINE_POLICY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/engine/profile.h"
+
+namespace jrs {
+
+/** Decides whether to compile a method at an invocation. */
+class CompilationPolicy {
+  public:
+    virtual ~CompilationPolicy() = default;
+
+    /**
+     * Called on every invocation of a not-yet-compiled method.
+     * @param id          the method
+     * @param invocations invocation count including this one (1-based)
+     * @return true to compile now (then run natively)
+     */
+    virtual bool shouldCompile(MethodId id,
+                               std::uint64_t invocations) = 0;
+
+    /** Policy name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Pure interpretation. */
+class NeverCompilePolicy : public CompilationPolicy {
+  public:
+    bool shouldCompile(MethodId, std::uint64_t) override {
+        return false;
+    }
+    const char *name() const override { return "interpret"; }
+};
+
+/** Compile every method on its first invocation (JIT default). */
+class AlwaysCompilePolicy : public CompilationPolicy {
+  public:
+    bool shouldCompile(MethodId, std::uint64_t) override { return true; }
+    const char *name() const override { return "jit"; }
+};
+
+/** Compile once a method has been invoked @p threshold times. */
+class CounterPolicy : public CompilationPolicy {
+  public:
+    explicit CounterPolicy(std::uint64_t threshold)
+        : threshold_(threshold) {}
+    bool shouldCompile(MethodId, std::uint64_t invocations) override {
+        return invocations >= threshold_;
+    }
+    const char *name() const override { return "counter"; }
+
+    std::uint64_t threshold() const { return threshold_; }
+
+  private:
+    std::uint64_t threshold_;
+};
+
+/** Fixed per-method decisions (the paper's opt oracle). */
+class OraclePolicy : public CompilationPolicy {
+  public:
+    explicit OraclePolicy(std::vector<bool> compile)
+        : compile_(std::move(compile)) {}
+
+    bool shouldCompile(MethodId id, std::uint64_t) override {
+        return id < compile_.size() && compile_[id];
+    }
+    const char *name() const override { return "oracle"; }
+
+    /** Number of methods the oracle chooses to compile. */
+    std::size_t numCompiled() const;
+
+    const std::vector<bool> &decisions() const { return compile_; }
+
+  private:
+    std::vector<bool> compile_;
+};
+
+/**
+ * Compute oracle decisions from two profiling runs: compile method i
+ * iff its total translation + native execution cost undercuts its total
+ * interpretation cost, i.e. n_i > N_i = T_i / (I_i - E_i).
+ *
+ * @param interp_run Profiles from a pure-interpretation run.
+ * @param jit_run    Profiles from a compile-everything run.
+ */
+std::vector<bool> computeOracleDecisions(const ProfileTable &interp_run,
+                                         const ProfileTable &jit_run);
+
+} // namespace jrs
+
+#endif // JRS_VM_ENGINE_POLICY_H

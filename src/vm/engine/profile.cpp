@@ -1,0 +1,3 @@
+#include "vm/engine/profile.h"
+
+// Profiles are header-only.

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-method execution profiles.
+ *
+ * The engine attributes every simulated native instruction to the
+ * method whose frame was running (exclusive attribution: callees count
+ * toward themselves). These are the quantities of Section 3: per-method
+ * interpretation cost I_i, translation cost T_i and native execution
+ * cost E_i, from which the oracle's crossover N_i = T_i / (I_i - E_i)
+ * is computed.
+ */
+#ifndef JRS_VM_ENGINE_PROFILE_H
+#define JRS_VM_ENGINE_PROFILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/bytecode/class_def.h"
+
+namespace jrs {
+
+/** Counters for one method. */
+struct MethodProfile {
+    std::uint64_t invocations = 0;
+    std::uint64_t interpInvocations = 0;
+    std::uint64_t nativeInvocations = 0;
+    /** Native instructions spent interpreting this method (exclusive). */
+    std::uint64_t interpEvents = 0;
+    /** Native instructions executing its JIT-compiled code (exclusive). */
+    std::uint64_t nativeEvents = 0;
+    /** Native instructions spent translating this method. */
+    std::uint64_t translateEvents = 0;
+
+    /** Mean interpretation cost per invocation (0 when never interp'd). */
+    double interpCostPerInvocation() const {
+        return interpInvocations == 0
+            ? 0.0
+            : static_cast<double>(interpEvents)
+                / static_cast<double>(interpInvocations);
+    }
+
+    /** Mean native execution cost per invocation. */
+    double nativeCostPerInvocation() const {
+        return nativeInvocations == 0
+            ? 0.0
+            : static_cast<double>(nativeEvents)
+                / static_cast<double>(nativeInvocations);
+    }
+};
+
+/** Profiles for every method of a program. */
+class ProfileTable {
+  public:
+    ProfileTable() = default;
+    explicit ProfileTable(std::size_t num_methods)
+        : profiles_(num_methods) {}
+
+    MethodProfile &of(MethodId id) { return profiles_[id]; }
+    const MethodProfile &of(MethodId id) const { return profiles_[id]; }
+
+    std::size_t size() const { return profiles_.size(); }
+
+    const std::vector<MethodProfile> &all() const { return profiles_; }
+
+  private:
+    std::vector<MethodProfile> profiles_;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_ENGINE_PROFILE_H

@@ -1,0 +1,3 @@
+#include "vm/interp/handler_model.h"
+
+// Layout helpers are header-only.

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layout of the interpreter's own native code.
+ *
+ * The paper's interpreters are a big switch: fetch the opcode byte,
+ * index a jump table, indirect-jump to the handler, run a short native
+ * sequence, jump back to the loop head. We reproduce that structure in
+ * the simulated address space so the architecture models see exactly
+ * the code footprint and control behaviour the paper describes:
+ *
+ *   kDispatchPc + 0    load   opcode byte        (bytecode is *data*)
+ *   kDispatchPc + 4    alu    table index
+ *   kDispatchPc + 8    load   jump-table entry   (switch table is data)
+ *   kDispatchPc + 12   ijmp   -> handlerPc(op)   (the hard-to-predict one)
+ *   handlerPc(op) ...  the per-opcode body, ends with a jump back
+ *
+ * Each handler owns a 64-byte slot; ~90 handlers cluster in a few KiB —
+ * the compact working set behind the interpreter's excellent I-cache
+ * locality (Section 4.3).
+ */
+#ifndef JRS_VM_INTERP_HANDLER_MODEL_H
+#define JRS_VM_INTERP_HANDLER_MODEL_H
+
+#include "isa/address_map.h"
+#include "vm/bytecode/opcode.h"
+
+namespace jrs {
+
+/** Dispatch-loop head. */
+inline constexpr SimAddr kDispatchPc = seg::kInterpCode;
+
+/** Base of the switch jump table (read as data). */
+inline constexpr SimAddr kJumpTableAddr = seg::kInterpCode + 0x400;
+
+/** Bytes reserved per handler body. */
+inline constexpr SimAddr kHandlerSlotBytes = 0x80;
+
+/** Base of the handler bodies. */
+inline constexpr SimAddr kHandlerBase = seg::kInterpCode + 0x1000;
+
+/** Simulated entry pc of the handler for @p op. */
+inline SimAddr
+handlerPc(Op op)
+{
+    return kHandlerBase
+        + kHandlerSlotBytes * static_cast<SimAddr>(op);
+}
+
+/** Address of the jump-table entry for @p op. */
+inline SimAddr
+jumpTableEntry(Op op)
+{
+    return kJumpTableAddr + 4ull * static_cast<SimAddr>(op);
+}
+
+/**
+ * Pseudo-register roles used in interpreter-mode trace events, so the
+ * pipeline model sees realistic dependences.
+ */
+namespace ireg {
+inline constexpr std::uint8_t kVpc = 20;      ///< virtual pc
+inline constexpr std::uint8_t kVsp = 21;      ///< operand-stack pointer
+inline constexpr std::uint8_t kOpc = 22;      ///< fetched opcode
+inline constexpr std::uint8_t kHandler = 23;  ///< handler address
+inline constexpr std::uint8_t kT0 = 1;        ///< value temporaries
+inline constexpr std::uint8_t kT1 = 2;
+inline constexpr std::uint8_t kT2 = 3;
+inline constexpr std::uint8_t kAddr = 4;      ///< address temp
+} // namespace ireg
+
+} // namespace jrs
+
+#endif // JRS_VM_INTERP_HANDLER_MODEL_H

@@ -1,0 +1,908 @@
+#include "vm/interp/interpreter.h"
+
+#include <cmath>
+
+#include "vm/bytecode/decode.h"
+#include "vm/interp/handler_model.h"
+
+namespace jrs {
+
+namespace {
+
+/** Shared invoke-stub region (frame setup code). */
+constexpr SimAddr kInvokeStubBase = seg::kInterpCode + 0x800;
+
+/** Per-method invoke-stub target, for BTB target variety. */
+SimAddr
+invokeStubOf(MethodId id)
+{
+    return seg::kRuntimeCode + 0x1000 + 0x40ull * id;
+}
+
+/** Bytecodes whose handlers pre-decode their successor when folding. */
+bool
+isFoldableHead(Op op)
+{
+    switch (op) {
+      case Op::Iconst8:
+      case Op::Iconst32:
+      case Op::Fconst:
+      case Op::AconstNull:
+      case Op::Iload:
+      case Op::Fload:
+      case Op::Aload:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::uint8_t
+Interpreter::slotArgc(std::uint16_t slot)
+{
+    if (slot < slotArgc_.size() && slotArgc_[slot] >= 0)
+        return static_cast<std::uint8_t>(slotArgc_[slot]);
+    if (slot >= slotArgc_.size())
+        slotArgc_.resize(slot + 1, -1);
+    const Program &prog = ctx_.registry.program();
+    for (const auto &c : prog.classes) {
+        if (slot < c.vtable.size() && c.vtable[slot] != kNoMethod) {
+            slotArgc_[slot] = prog.methods[c.vtable[slot]].numArgs;
+            return static_cast<std::uint8_t>(slotArgc_[slot]);
+        }
+    }
+    throw VmError("unresolvable vtable slot argc");
+}
+
+void
+Interpreter::emitDispatch(const InterpFrame &f, Op op)
+{
+    auto &E = ctx_.emitter;
+    if (!E.enabled())
+        return;
+    const Phase P = Phase::Interpret;
+    // Fetch the opcode byte: the bytecode stream is data here.
+    E.load(P, kDispatchPc + 0, f.method->bytecodeAddr + f.pc, 1,
+           ireg::kOpc, ireg::kVpc);
+    // Compute the table index.
+    E.alu(P, kDispatchPc + 4, NKind::IntAlu, ireg::kHandler, ireg::kOpc);
+    // Pending-exception / safepoint poll: a load of VM state and a
+    // never-taken branch. Real interpreter loops poll like this; the
+    // predictable branch dilutes the indirect-jump misses exactly as
+    // the paper's measured rates imply.
+    E.load(P, kDispatchPc + 8, seg::kRuntimeData + 0x10, 4, ireg::kT2);
+    E.branch(P, kDispatchPc + 12, kDispatchPc + 0x40, false, ireg::kT2);
+    // Load the handler address from the switch jump table.
+    E.load(P, kDispatchPc + 16, jumpTableEntry(op), 4, ireg::kHandler,
+           ireg::kHandler);
+    // The infamous indirect jump.
+    E.control(P, kDispatchPc + 20, NKind::IndirectJump, handlerPc(op),
+              ireg::kHandler);
+}
+
+StepResult
+Interpreter::doReturn(VmThread &thread, InterpFrame &f, bool has_value,
+                      Value v)
+{
+    auto &E = ctx_.emitter;
+    const SimAddr hp = handlerPc(f.method->opAt(f.pc));
+    if (has_value) {
+        // Pop the return value from the (already vacated) stack slot.
+        E.load(Phase::Interpret, hp + 8, f.stackAddr(f.stack.size()), 4,
+               ireg::kT0, ireg::kVsp);
+    }
+    if (f.syncObj != 0 && !f.monitorPending)
+        ctx_.sync.exit(thread.tid(), f.syncObj);
+    // Frame teardown + return into the interpreter loop.
+    E.alu(Phase::Interpret, hp + 12, NKind::IntAlu, ireg::kVsp);
+    E.control(Phase::Interpret, hp + 16, NKind::Ret, kDispatchPc);
+
+    thread.frames.pop_back();
+    thread.popFrameSpace();
+
+    StepResult r;
+    r.action = StepAction::Returned;
+    r.hasValue = has_value;
+    r.value = v;
+    return r;
+}
+
+StepResult
+Interpreter::step(VmThread &thread)
+{
+    InterpFrame &f = std::get<InterpFrame>(thread.frames.back());
+    if (f.monitorPending) {
+        if (!ctx_.sync.enter(thread.tid(), f.syncObj)) {
+            StepResult r;
+            r.action = StepAction::Blocked;
+            return r;
+        }
+        f.monitorPending = false;
+    }
+
+    const Method &m = *f.method;
+    const std::uint32_t pc = f.pc;
+    const Op op = m.opAt(pc);
+    const std::uint32_t len = instrLength(m.code, pc);
+    const Phase P = Phase::Interpret;
+    auto &E = ctx_.emitter;
+    auto &heap = ctx_.heap;
+
+    const bool fold_hit = folding_ && foldBase_ == f.base
+        && foldPc_ == pc && foldBase_ != 0;
+    foldBase_ = 0;
+    if (fold_hit) {
+        // Folded pair: the previous handler already decoded this
+        // opcode; one fused-decode op replaces the whole dispatch.
+        ++folded_;
+        E.alu(P, kDispatchPc + 0x30, NKind::IntAlu, ireg::kHandler,
+              ireg::kOpc);
+    } else {
+        emitDispatch(f, op);
+    }
+    ++bytecodes_;
+    ++opCounts_[static_cast<std::size_t>(op)];
+
+    // Handler-body pcs are doled out sequentially from the handler base.
+    const SimAddr hp = handlerPc(op);
+    SimAddr hcur = hp;
+    auto hpc = [&]() {
+        const SimAddr p = hcur;
+        hcur += 4;
+        return p;
+    };
+    // Rotating value temporaries (the interpreter's working registers):
+    // consecutive pushes/pops target distinct registers, which is what
+    // exposes the instruction-level parallelism the paper measures in
+    // interpreted code.
+    std::uint8_t trot = 0;
+    auto tmp = [&]() {
+        const std::uint8_t r = static_cast<std::uint8_t>(
+            ireg::kT0 + (trot % 6));
+        ++trot;
+        return r;
+    };
+
+    // Handler prologue: operand decode, virtual-pc bookkeeping, stack
+    // cache state checks — the bulk of a real interpreter's per-opcode
+    // overhead, almost all of it independent straight-line work.
+    E.alu(P, hpc(), NKind::IntAlu, tmp(), ireg::kVpc);
+    E.alu(P, hpc(), NKind::IntAlu, tmp(), ireg::kVpc);
+    E.alu(P, hpc(), NKind::IntAlu, tmp(), ireg::kOpc);
+    E.alu(P, hpc(), NKind::IntAlu, tmp(), ireg::kVsp);
+    // Operand-stack limit check: never taken.
+    E.branch(P, hpc(), hp + 0x3c, false, ireg::kVsp);
+    E.alu(P, hpc(), NKind::IntAlu, tmp(), ireg::kVsp);
+    E.alu(P, hpc(), NKind::IntAlu, tmp(), ireg::kVpc);
+
+    // --- frame-access helpers (each emits its memory traffic) ----------
+    auto push = [&](Value v) {
+        E.store(P, hpc(), f.stackAddr(f.stack.size()), 4, ireg::kVsp,
+                tmp());
+        f.stack.push_back(v);
+    };
+    auto pop = [&]() {
+        Value v = f.stack.back();
+        f.stack.pop_back();
+        E.load(P, hpc(), f.stackAddr(f.stack.size()), 4, tmp(),
+               ireg::kVsp);
+        return v;
+    };
+    auto operandLoad = [&](std::uint32_t off, std::uint8_t size) {
+        E.load(P, hpc(), m.bytecodeAddr + pc + off, size, tmp(),
+               ireg::kVpc);
+    };
+    auto aluEv = [&](NKind kind = NKind::IntAlu) {
+        E.alu(P, hpc(), kind, tmp(), ireg::kT0, ireg::kT1);
+    };
+    auto loopback = [&]() {
+        // Epilogue bookkeeping (vpc commit, stack-top cache) + the
+        // jump back to the dispatch loop.
+        E.alu(P, hpc(), NKind::IntAlu, ireg::kVpc, tmp());
+        E.alu(P, hpc(), NKind::IntAlu, ireg::kVsp, tmp());
+        E.control(P, hpc(), NKind::Jump, kDispatchPc);
+    };
+    auto finishAt = [&](std::uint32_t next_pc) {
+        if (next_pc <= pc)
+            ++f.backEdges;
+        f.pc = next_pc;
+        loopback();
+        if (folding_ && isFoldableHead(op) && next_pc == pc + len) {
+            foldBase_ = f.base;
+            foldPc_ = next_pc;
+        }
+        StepResult r;
+        r.action = StepAction::Continue;
+        return r;
+    };
+    auto finish = [&]() { return finishAt(pc + len); };
+    auto checkNull = [&](Value ref) {
+        aluEv();
+        if (ref.isNullRef())
+            ctx_.runtime.throwBuiltin(BuiltinEx::NullPointer);
+    };
+    // Conditional bytecode branch: ONE native branch per handler, so
+    // every Java branch site of this opcode aliases onto it — the
+    // paper's key interpreter-prediction effect.
+    auto condBranch = [&](bool cond) {
+        E.branch(P, hp + 0x44, hp + 0x50, cond, ireg::kT0, ireg::kT1);
+        return finishAt(cond
+                            ? pc + static_cast<std::uint32_t>(
+                                  readS16(m.code, pc + 1))
+                            : pc + len);
+    };
+    auto intBinop = [&](auto fn) {
+        const std::int32_t b = pop().asInt();
+        const std::int32_t a = pop().asInt();
+        push(Value::makeInt(fn(a, b)));
+        return finish();
+    };
+    auto floatBinop = [&](auto fn, NKind kind) {
+        const float b = pop().asFloat();
+        const float a = pop().asFloat();
+        E.alu(P, hpc(), kind, ireg::kT0, ireg::kT0, ireg::kT1);
+        push(Value::makeFloat(fn(a, b)));
+        return finish();
+    };
+    auto arrayRefIndex = [&](SimAddr &arr, std::int32_t &idx) {
+        idx = pop().asInt();
+        Value ref = pop();
+        checkNull(ref);
+        arr = ref.asRef();
+        // Bounds check: length load + compare-branch.
+        E.load(P, hpc(), arr + 8, 4, ireg::kT1, ireg::kT0);
+        const bool ok = heap.indexInBounds(arr, idx);
+        E.branch(P, hp + 0x48, hp + 0x54, !ok, ireg::kT1, ireg::kT2);
+        if (!ok)
+            ctx_.runtime.throwBuiltin(BuiltinEx::ArrayIndexOutOfBounds);
+    };
+
+    try {
+        switch (op) {
+          case Op::Nop:
+            return finish();
+
+          // --- constants ------------------------------------------------
+          case Op::Iconst8:
+            operandLoad(1, 1);
+            push(Value::makeInt(readS8(m.code, pc + 1)));
+            return finish();
+          case Op::Iconst32:
+            operandLoad(1, 4);
+            push(Value::makeInt(readS32(m.code, pc + 1)));
+            return finish();
+          case Op::Fconst:
+            operandLoad(1, 4);
+            push(Value::makeFloat(readF32(m.code, pc + 1)));
+            return finish();
+          case Op::AconstNull:
+            push(Value::null());
+            return finish();
+          case Op::LdcStr: {
+            operandLoad(1, 2);
+            const std::uint16_t idx = readU16(m.code, pc + 1);
+            // Constant-pool entry load.
+            E.load(P, hpc(), seg::kClassData + 0x0400'0000ull + 4u * idx,
+                   4, ireg::kT0, ireg::kT2);
+            push(Value::makeRef(ctx_.registry.stringRef(idx)));
+            return finish();
+          }
+
+          // --- locals ---------------------------------------------------
+          case Op::Iload:
+          case Op::Fload:
+          case Op::Aload: {
+            operandLoad(1, 1);
+            const std::uint8_t slot = readU8(m.code, pc + 1);
+            E.load(P, hpc(), f.localAddr(slot), 4, ireg::kT0, ireg::kVsp);
+            push(f.locals[slot]);
+            return finish();
+          }
+          case Op::Istore:
+          case Op::Fstore:
+          case Op::Astore: {
+            operandLoad(1, 1);
+            const std::uint8_t slot = readU8(m.code, pc + 1);
+            const Value v = pop();
+            E.store(P, hpc(), f.localAddr(slot), 4, ireg::kVsp,
+                    ireg::kT0);
+            f.locals[slot] = v;
+            return finish();
+          }
+          case Op::Iinc: {
+            operandLoad(1, 2);
+            const std::uint8_t slot = readU8(m.code, pc + 1);
+            const std::int8_t delta = readS8(m.code, pc + 2);
+            E.load(P, hpc(), f.localAddr(slot), 4, ireg::kT0, ireg::kVsp);
+            aluEv();
+            E.store(P, hpc(), f.localAddr(slot), 4, ireg::kVsp,
+                    ireg::kT0);
+            f.locals[slot] =
+                Value::makeInt(f.locals[slot].asInt() + delta);
+            return finish();
+          }
+
+          // --- operand stack ---------------------------------------------
+          case Op::Pop:
+            pop();
+            return finish();
+          case Op::Dup: {
+            const Value v = pop();
+            push(v);
+            push(v);
+            return finish();
+          }
+          case Op::DupX1: {
+            const Value top = pop();
+            const Value below = pop();
+            push(top);
+            push(below);
+            push(top);
+            return finish();
+          }
+          case Op::Swap: {
+            const Value a = pop();
+            const Value b = pop();
+            push(a);
+            push(b);
+            return finish();
+          }
+
+          // --- integer arithmetic -----------------------------------------
+          case Op::Iadd:
+            aluEv();
+            return intBinop([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a)
+                    + static_cast<std::uint32_t>(b));
+            });
+          case Op::Isub:
+            aluEv();
+            return intBinop([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a)
+                    - static_cast<std::uint32_t>(b));
+            });
+          case Op::Imul:
+            E.alu(P, hpc(), NKind::IntMul, ireg::kT0, ireg::kT0,
+                  ireg::kT1);
+            return intBinop([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::int64_t>(a)
+                    * static_cast<std::int64_t>(b));
+            });
+          case Op::Idiv: {
+            const std::int32_t b = pop().asInt();
+            const std::int32_t a = pop().asInt();
+            E.alu(P, hpc(), NKind::IntDiv, ireg::kT0, ireg::kT0,
+                  ireg::kT1);
+            if (b == 0)
+                ctx_.runtime.throwBuiltin(BuiltinEx::Arithmetic);
+            push(Value::makeInt(static_cast<std::int32_t>(
+                static_cast<std::int64_t>(a)
+                / (a == INT32_MIN && b == -1 ? 1 : b))));
+            return finish();
+          }
+          case Op::Irem: {
+            const std::int32_t b = pop().asInt();
+            const std::int32_t a = pop().asInt();
+            E.alu(P, hpc(), NKind::IntDiv, ireg::kT0, ireg::kT0,
+                  ireg::kT1);
+            if (b == 0)
+                ctx_.runtime.throwBuiltin(BuiltinEx::Arithmetic);
+            push(Value::makeInt(
+                a == INT32_MIN && b == -1
+                    ? 0
+                    : static_cast<std::int32_t>(a % b)));
+            return finish();
+          }
+          case Op::Ineg: {
+            const std::int32_t a = pop().asInt();
+            aluEv();
+            push(Value::makeInt(static_cast<std::int32_t>(
+                -static_cast<std::int64_t>(a))));
+            return finish();
+          }
+          case Op::Ishl:
+            aluEv();
+            return intBinop([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a) << (b & 31));
+            });
+          case Op::Ishr:
+            aluEv();
+            return intBinop([](std::int32_t a, std::int32_t b) {
+                return a >> (b & 31);
+            });
+          case Op::Iushr:
+            aluEv();
+            return intBinop([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a) >> (b & 31));
+            });
+          case Op::Iand:
+            aluEv();
+            return intBinop(
+                [](std::int32_t a, std::int32_t b) { return a & b; });
+          case Op::Ior:
+            aluEv();
+            return intBinop(
+                [](std::int32_t a, std::int32_t b) { return a | b; });
+          case Op::Ixor:
+            aluEv();
+            return intBinop(
+                [](std::int32_t a, std::int32_t b) { return a ^ b; });
+
+          // --- float arithmetic --------------------------------------------
+          case Op::Fadd:
+            return floatBinop([](float a, float b) { return a + b; },
+                              NKind::FpAlu);
+          case Op::Fsub:
+            return floatBinop([](float a, float b) { return a - b; },
+                              NKind::FpAlu);
+          case Op::Fmul:
+            return floatBinop([](float a, float b) { return a * b; },
+                              NKind::FpMul);
+          case Op::Fdiv:
+            return floatBinop([](float a, float b) { return a / b; },
+                              NKind::FpDiv);
+          case Op::Fneg: {
+            const float a = pop().asFloat();
+            E.alu(P, hpc(), NKind::FpAlu, ireg::kT0, ireg::kT0);
+            push(Value::makeFloat(-a));
+            return finish();
+          }
+          case Op::Fcmpl: {
+            const float b = pop().asFloat();
+            const float a = pop().asFloat();
+            E.alu(P, hpc(), NKind::FpAlu, ireg::kT0, ireg::kT0,
+                  ireg::kT1);
+            int r;
+            if (std::isnan(a) || std::isnan(b))
+                r = -1;
+            else
+                r = a < b ? -1 : (a > b ? 1 : 0);
+            push(Value::makeInt(r));
+            return finish();
+          }
+
+          // --- conversions -----------------------------------------------
+          case Op::I2f: {
+            const std::int32_t a = pop().asInt();
+            E.alu(P, hpc(), NKind::FpAlu, ireg::kT0, ireg::kT0);
+            push(Value::makeFloat(static_cast<float>(a)));
+            return finish();
+          }
+          case Op::F2i: {
+            const float a = pop().asFloat();
+            E.alu(P, hpc(), NKind::FpAlu, ireg::kT0, ireg::kT0);
+            std::int32_t r;
+            if (std::isnan(a))
+                r = 0;
+            else if (a >= 2147483647.0f)
+                r = INT32_MAX;
+            else if (a <= -2147483648.0f)
+                r = INT32_MIN;
+            else
+                r = static_cast<std::int32_t>(a);
+            push(Value::makeInt(r));
+            return finish();
+          }
+          case Op::I2c: {
+            const std::int32_t a = pop().asInt();
+            aluEv();
+            push(Value::makeInt(a & 0xffff));
+            return finish();
+          }
+          case Op::I2b: {
+            const std::int32_t a = pop().asInt();
+            aluEv();
+            push(Value::makeInt(static_cast<std::int8_t>(a & 0xff)));
+            return finish();
+          }
+
+          // --- control ---------------------------------------------------
+          case Op::Goto:
+            operandLoad(1, 2);
+            return finishAt(pc + static_cast<std::uint32_t>(
+                                     readS16(m.code, pc + 1)));
+          case Op::Ifeq:
+            operandLoad(1, 2);
+            return condBranch(pop().asInt() == 0);
+          case Op::Ifne:
+            operandLoad(1, 2);
+            return condBranch(pop().asInt() != 0);
+          case Op::Iflt:
+            operandLoad(1, 2);
+            return condBranch(pop().asInt() < 0);
+          case Op::Ifge:
+            operandLoad(1, 2);
+            return condBranch(pop().asInt() >= 0);
+          case Op::Ifgt:
+            operandLoad(1, 2);
+            return condBranch(pop().asInt() > 0);
+          case Op::Ifle:
+            operandLoad(1, 2);
+            return condBranch(pop().asInt() <= 0);
+          case Op::IfIcmpeq: case Op::IfIcmpne: case Op::IfIcmplt:
+          case Op::IfIcmpge: case Op::IfIcmpgt: case Op::IfIcmple: {
+            operandLoad(1, 2);
+            const std::int32_t b = pop().asInt();
+            const std::int32_t a = pop().asInt();
+            bool c = false;
+            switch (op) {
+              case Op::IfIcmpeq: c = a == b; break;
+              case Op::IfIcmpne: c = a != b; break;
+              case Op::IfIcmplt: c = a < b; break;
+              case Op::IfIcmpge: c = a >= b; break;
+              case Op::IfIcmpgt: c = a > b; break;
+              default:           c = a <= b; break;
+            }
+            return condBranch(c);
+          }
+          case Op::IfAcmpeq: case Op::IfAcmpne: {
+            operandLoad(1, 2);
+            const SimAddr b = pop().asRef();
+            const SimAddr a = pop().asRef();
+            return condBranch(op == Op::IfAcmpeq ? a == b : a != b);
+          }
+          case Op::Ifnull:
+            operandLoad(1, 2);
+            return condBranch(pop().asRef() == 0);
+          case Op::Ifnonnull:
+            operandLoad(1, 2);
+            return condBranch(pop().asRef() != 0);
+
+          case Op::TableSwitch: {
+            const std::int32_t key = pop().asInt();
+            const std::int32_t low = readS32(m.code, pc + 3);
+            const std::uint16_t count = readU16(m.code, pc + 7);
+            aluEv();  // range check
+            std::int32_t rel;
+            const std::int64_t idx =
+                static_cast<std::int64_t>(key) - low;
+            if (idx >= 0 && idx < count) {
+                // Load the matching offset from the bytecode stream.
+                E.load(P, hpc(),
+                       m.bytecodeAddr + pc + 9
+                           + 2u * static_cast<std::uint32_t>(idx),
+                       2, ireg::kT2, ireg::kVpc);
+                rel = readS16(m.code,
+                              pc + 9
+                                  + 2u * static_cast<std::uint32_t>(idx));
+            } else {
+                E.load(P, hpc(), m.bytecodeAddr + pc + 1, 2, ireg::kT2,
+                       ireg::kVpc);
+                rel = readS16(m.code, pc + 1);
+            }
+            aluEv();  // vpc update
+            return finishAt(pc + static_cast<std::uint32_t>(rel));
+          }
+          case Op::LookupSwitch: {
+            const std::int32_t key = pop().asInt();
+            const std::uint16_t npairs = readU16(m.code, pc + 3);
+            std::int32_t rel = readS16(m.code, pc + 1);
+            for (std::uint16_t i = 0; i < npairs; ++i) {
+                // Linear probe: one key load + compare per pair.
+                E.load(P, hp + 0x40,
+                       m.bytecodeAddr + pc + 5 + 6u * i, 4, ireg::kT2,
+                       ireg::kVpc);
+                E.branch(P, hp + 0x4c, hp + 0x58,
+                         readS32(m.code, pc + 5 + 6u * i) == key,
+                         ireg::kT2, ireg::kT0);
+                if (readS32(m.code, pc + 5 + 6u * i) == key) {
+                    rel = readS16(m.code, pc + 5 + 6u * i + 4);
+                    break;
+                }
+            }
+            return finishAt(pc + static_cast<std::uint32_t>(rel));
+          }
+
+          // --- calls and returns -------------------------------------------
+          case Op::InvokeStatic:
+          case Op::InvokeSpecial: {
+            operandLoad(1, 2);
+            const MethodId target = readU16(m.code, pc + 1);
+            const Method &callee = ctx_.registry.method(target);
+            Value args[256];
+            for (int i = callee.numArgs - 1; i >= 0; --i)
+                args[i] = pop();
+            if (op == Op::InvokeSpecial)
+                checkNull(args[0]);
+            // Call into the shared frame-setup stub.
+            E.control(P, kInvokeStubBase, NKind::Call,
+                      invokeStubOf(target));
+            f.pc = pc + len;
+            ctx_.services.invokeMethod(thread, target, args,
+                                       callee.numArgs);
+            StepResult r;
+            r.action = StepAction::Invoked;
+            return r;
+          }
+          case Op::InvokeVirtual: {
+            operandLoad(1, 2);
+            const std::uint16_t slot = readU16(m.code, pc + 1);
+            const std::uint8_t nargs = slotArgc(slot);
+            Value recv = f.stack[f.stack.size() - nargs];
+            checkNull(recv);
+            // Load the object header (class word) and vtable entry.
+            const ClassId cls = heap.klassOf(recv.asRef());
+            E.load(P, hpc(), recv.asRef(), 4, ireg::kT1, ireg::kT0);
+            E.load(P, hpc(),
+                   ctx_.registry.vtableEntryAddr(cls, slot), 4,
+                   ireg::kT1, ireg::kT1);
+            const MethodId target =
+                ctx_.registry.virtualLookup(cls, slot);
+            Value args[256];
+            for (int i = nargs - 1; i >= 0; --i)
+                args[i] = pop();
+            E.control(P, kInvokeStubBase + 4, NKind::IndirectCall,
+                      invokeStubOf(target), ireg::kT1);
+            f.pc = pc + len;
+            ctx_.services.invokeMethod(thread, target, args, nargs);
+            StepResult r;
+            r.action = StepAction::Invoked;
+            return r;
+          }
+          case Op::ReturnVoid:
+            return doReturn(thread, f, false, Value());
+          case Op::Ireturn:
+          case Op::Freturn:
+          case Op::Areturn: {
+            const Value v = f.stack.back();
+            f.stack.pop_back();
+            return doReturn(thread, f, true, v);
+          }
+
+          // --- fields -------------------------------------------------------
+          case Op::GetFieldI: case Op::GetFieldF: case Op::GetFieldA: {
+            operandLoad(1, 2);
+            const std::uint16_t slot = readU16(m.code, pc + 1);
+            Value ref = pop();
+            checkNull(ref);
+            const SimAddr addr = Heap::fieldAddr(ref.asRef(), slot);
+            E.load(P, hpc(), addr, 4, ireg::kT0, ireg::kT0);
+            const Tag tag = op == Op::GetFieldI
+                ? Tag::Int
+                : (op == Op::GetFieldF ? Tag::Float : Tag::Ref);
+            push(Value::fromSlotBits(heap.loadU32(addr), tag));
+            return finish();
+          }
+          case Op::PutFieldI: case Op::PutFieldF: case Op::PutFieldA: {
+            operandLoad(1, 2);
+            const std::uint16_t slot = readU16(m.code, pc + 1);
+            const Value v = pop();
+            Value ref = pop();
+            checkNull(ref);
+            const SimAddr addr = Heap::fieldAddr(ref.asRef(), slot);
+            E.store(P, hpc(), addr, 4, ireg::kT1, ireg::kT0);
+            heap.storeU32(addr, v.slotBits());
+            return finish();
+          }
+          case Op::GetStaticI: case Op::GetStaticF: case Op::GetStaticA: {
+            operandLoad(1, 2);
+            const std::uint16_t slot = readU16(m.code, pc + 1);
+            E.load(P, hpc(), ClassRegistry::staticAddr(slot), 4,
+                   ireg::kT0, ireg::kT2);
+            push(ctx_.registry.getStatic(slot));
+            return finish();
+          }
+          case Op::PutStaticI: case Op::PutStaticF: case Op::PutStaticA: {
+            operandLoad(1, 2);
+            const std::uint16_t slot = readU16(m.code, pc + 1);
+            const Value v = pop();
+            E.store(P, hpc(), ClassRegistry::staticAddr(slot), 4,
+                    ireg::kT2, ireg::kT0);
+            ctx_.registry.setStatic(slot, v);
+            return finish();
+          }
+
+          // --- objects and arrays ---------------------------------------------
+          case Op::New: {
+            operandLoad(1, 2);
+            const ClassId cls = readU16(m.code, pc + 1);
+            const SimAddr obj = ctx_.runtime.newObject(cls);
+            push(Value::makeRef(obj));
+            return finish();
+          }
+          case Op::NewArray: {
+            operandLoad(1, 1);
+            const ArrayKind kind =
+                static_cast<ArrayKind>(readU8(m.code, pc + 1));
+            const std::int32_t n = pop().asInt();
+            const SimAddr arr = ctx_.runtime.newArray(kind, n);
+            push(Value::makeRef(arr));
+            return finish();
+          }
+          case Op::ArrayLength: {
+            Value ref = pop();
+            checkNull(ref);
+            E.load(P, hpc(), ref.asRef() + 8, 4, ireg::kT0, ireg::kT0);
+            push(Value::makeInt(heap.arrayLength(ref.asRef())));
+            return finish();
+          }
+          case Op::IAload: case Op::FAload: {
+            SimAddr arr;
+            std::int32_t idx;
+            arrayRefIndex(arr, idx);
+            const SimAddr ea = heap.elemAddr(arr, idx);
+            E.load(P, hpc(), ea, 4, ireg::kT0, ireg::kT1);
+            push(Value::fromSlotBits(
+                heap.loadU32(ea),
+                op == Op::IAload ? Tag::Int : Tag::Float));
+            return finish();
+          }
+          case Op::AAload: {
+            SimAddr arr;
+            std::int32_t idx;
+            arrayRefIndex(arr, idx);
+            const SimAddr ea = heap.elemAddr(arr, idx);
+            E.load(P, hpc(), ea, 4, ireg::kT0, ireg::kT1);
+            push(Value::fromSlotBits(heap.loadU32(ea), Tag::Ref));
+            return finish();
+          }
+          case Op::CAload: {
+            SimAddr arr;
+            std::int32_t idx;
+            arrayRefIndex(arr, idx);
+            const SimAddr ea = heap.elemAddr(arr, idx);
+            E.load(P, hpc(), ea, 2, ireg::kT0, ireg::kT1);
+            push(Value::makeInt(heap.loadU16(ea)));
+            return finish();
+          }
+          case Op::BAload: {
+            SimAddr arr;
+            std::int32_t idx;
+            arrayRefIndex(arr, idx);
+            const SimAddr ea = heap.elemAddr(arr, idx);
+            E.load(P, hpc(), ea, 1, ireg::kT0, ireg::kT1);
+            push(Value::makeInt(
+                static_cast<std::int8_t>(heap.loadU8(ea))));
+            return finish();
+          }
+          case Op::IAstore: case Op::FAstore: case Op::AAstore: {
+            const Value v = pop();
+            SimAddr arr;
+            std::int32_t idx;
+            arrayRefIndex(arr, idx);
+            const SimAddr ea = heap.elemAddr(arr, idx);
+            E.store(P, hpc(), ea, 4, ireg::kT1, ireg::kT0);
+            heap.storeU32(ea, v.slotBits());
+            return finish();
+          }
+          case Op::CAstore: {
+            const std::int32_t v = pop().asInt();
+            SimAddr arr;
+            std::int32_t idx;
+            arrayRefIndex(arr, idx);
+            const SimAddr ea = heap.elemAddr(arr, idx);
+            E.store(P, hpc(), ea, 2, ireg::kT1, ireg::kT0);
+            heap.storeU16(ea, static_cast<std::uint16_t>(v & 0xffff));
+            return finish();
+          }
+          case Op::BAstore: {
+            const std::int32_t v = pop().asInt();
+            SimAddr arr;
+            std::int32_t idx;
+            arrayRefIndex(arr, idx);
+            const SimAddr ea = heap.elemAddr(arr, idx);
+            E.store(P, hpc(), ea, 1, ireg::kT1, ireg::kT0);
+            heap.storeU8(ea, static_cast<std::uint8_t>(v & 0xff));
+            return finish();
+          }
+
+          // --- synchronization ----------------------------------------------
+          case Op::MonitorEnter: {
+            Value ref = f.stack.back();
+            checkNull(ref);
+            if (!ctx_.sync.enter(thread.tid(), ref.asRef())) {
+                thread.state = ThreadState::BlockedOnMonitor;
+                StepResult r;
+                r.action = StepAction::Blocked;
+                return r;
+            }
+            pop();
+            return finish();
+          }
+          case Op::MonitorExit: {
+            Value ref = pop();
+            checkNull(ref);
+            ctx_.sync.exit(thread.tid(), ref.asRef());
+            return finish();
+          }
+
+          // --- exceptions ------------------------------------------------------
+          case Op::Athrow: {
+            Value ref = f.stack.back();
+            f.stack.pop_back();
+            checkNull(ref);
+            StepResult r;
+            r.action = StepAction::Thrown;
+            r.thrown = ref.asRef();
+            return r;
+          }
+
+          // --- runtime services --------------------------------------------------
+          case Op::Intrinsic: {
+            operandLoad(1, 1);
+            const IntrinsicId id =
+                static_cast<IntrinsicId>(readU8(m.code, pc + 1));
+            switch (id) {
+              case IntrinsicId::PrintInt:
+                ctx_.runtime.printInt(pop().asInt());
+                break;
+              case IntrinsicId::PrintChar:
+                ctx_.runtime.printChar(pop().asInt());
+                break;
+              case IntrinsicId::FSqrt: {
+                const float a = pop().asFloat();
+                E.alu(P, hpc(), NKind::FpDiv, ireg::kT0, ireg::kT0);
+                push(Value::makeFloat(std::sqrt(a)));
+                break;
+              }
+              case IntrinsicId::FSin: {
+                const float a = pop().asFloat();
+                E.alu(P, hpc(), NKind::FpDiv, ireg::kT0, ireg::kT0);
+                push(Value::makeFloat(std::sin(a)));
+                break;
+              }
+              case IntrinsicId::FCos: {
+                const float a = pop().asFloat();
+                E.alu(P, hpc(), NKind::FpDiv, ireg::kT0, ireg::kT0);
+                push(Value::makeFloat(std::cos(a)));
+                break;
+              }
+              case IntrinsicId::ArrayCopy: {
+                const std::int32_t len2 = pop().asInt();
+                const std::int32_t dpos = pop().asInt();
+                const SimAddr dst = pop().asRef();
+                const std::int32_t spos = pop().asInt();
+                const SimAddr src = pop().asRef();
+                ctx_.runtime.arrayCopy(src, spos, dst, dpos, len2);
+                break;
+              }
+              default:
+                throw VmError("bad intrinsic");
+            }
+            return finish();
+          }
+          case Op::SpawnThread: {
+            operandLoad(1, 2);
+            const MethodId target = readU16(m.code, pc + 1);
+            const Value arg = pop();
+            const std::uint32_t tid =
+                ctx_.services.spawnThread(target, arg);
+            push(Value::makeInt(static_cast<std::int32_t>(tid)));
+            return finish();
+          }
+          case Op::JoinThread: {
+            const Value v = f.stack.back();
+            const std::uint32_t target =
+                static_cast<std::uint32_t>(v.asInt());
+            if (!ctx_.services.threadDone(target)) {
+                thread.state = ThreadState::Joining;
+                thread.joinTarget = target;
+                StepResult r;
+                r.action = StepAction::Blocked;
+                return r;
+            }
+            pop();
+            return finish();
+          }
+
+          case Op::OpCount_:
+            break;
+        }
+        throw VmError("invalid opcode in " + m.name);
+    } catch (const GuestThrow &gt) {
+        StepResult r;
+        r.action = StepAction::Thrown;
+        r.thrown = gt.ref;
+        r.thrownName = gt.builtinName;
+        return r;
+    }
+}
+
+} // namespace jrs

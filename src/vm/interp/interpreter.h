@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The switch-based bytecode interpreter.
+ *
+ * step() retires exactly one bytecode of the thread's top interpreter
+ * frame: it performs the semantic action on real VM state and emits the
+ * native instruction sequence a JDK-1.1.6-style interpreter would
+ * execute for it (dispatch loads + indirect jump, operand-stack loads
+ * and stores against the frame's simulated addresses, a loop-back
+ * jump). See vm/interp/handler_model.h for the code layout.
+ */
+#ifndef JRS_VM_INTERP_INTERPRETER_H
+#define JRS_VM_INTERP_INTERPRETER_H
+
+#include <array>
+
+#include "vm/engine/context.h"
+
+namespace jrs {
+
+/** One-bytecode-at-a-time interpreter stepper. */
+class Interpreter {
+  public:
+    explicit Interpreter(VmContext &ctx) : ctx_(ctx) {}
+
+    /**
+     * Enable picoJava-style dispatch folding (paper Section 4.4): when
+     * a simple push bytecode (constant/local load) falls through to
+     * its successor, the pair is decoded as one superinstruction — the
+     * second dispatch (opcode fetch, jump-table load and the
+     * poorly-predicted indirect jump) is replaced by a single fused
+     * decode op. Semantics are unchanged; only the emitted native
+     * sequence shrinks.
+     */
+    void setFolding(bool enabled) { folding_ = enabled; }
+
+    /** Dispatches eliminated by folding. */
+    std::uint64_t foldedDispatches() const { return folded_; }
+
+    /** Drop any armed fold (the engine calls this around OSR). */
+    void clearFoldState() { foldBase_ = 0; }
+
+    Interpreter(const Interpreter &) = delete;
+    Interpreter &operator=(const Interpreter &) = delete;
+
+    /**
+     * Execute one bytecode of @p thread's top frame (which must be an
+     * InterpFrame). Performs monitor acquisition first when the frame
+     * has a pending synchronized-entry monitor.
+     */
+    StepResult step(VmThread &thread);
+
+    /** Dynamic bytecode count retired so far. */
+    std::uint64_t bytecodesRetired() const { return bytecodes_; }
+
+    /**
+     * Dynamic execution count per opcode — the data behind the
+     * paper's Section 4.3 argument that a handful of bytecodes
+     * dominate the stream (and hence the interpreter's I-locality).
+     */
+    const std::array<std::uint64_t, kNumOpcodes> &opCounts() const {
+        return opCounts_;
+    }
+
+  private:
+    StepResult doReturn(VmThread &thread, InterpFrame &f, bool has_value,
+                        Value v);
+    void emitDispatch(const InterpFrame &f, Op op);
+    std::uint8_t slotArgc(std::uint16_t slot);
+
+    VmContext &ctx_;
+    std::uint64_t bytecodes_ = 0;
+    std::vector<int> slotArgc_;  ///< vtable slot -> arg count (lazy)
+    std::array<std::uint64_t, kNumOpcodes> opCounts_{};
+    bool folding_ = false;
+    std::uint64_t folded_ = 0;
+    /** Fold arming: the next sequential bytecode of this frame was
+     *  pre-decoded by the previous (foldable) one. */
+    SimAddr foldBase_ = 0;
+    std::uint32_t foldPc_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_INTERP_INTERPRETER_H

@@ -1,0 +1,27 @@
+#include "vm/jit/code_cache.h"
+
+#include "vm/runtime/vm_error.h"
+
+namespace jrs {
+
+const NativeMethod *
+CodeCache::install(std::unique_ptr<NativeMethod> nm)
+{
+    if (methods_.count(nm->id) != 0)
+        throw VmError("method compiled twice: " + nm->src->name);
+    nm->codeBase = seg::kCodeCache + cursor_;
+    cursor_ += (nm->codeBytes() + 63) & ~std::size_t{63};
+    const MethodId id = nm->id;
+    auto [it, ok] = methods_.emplace(id, std::move(nm));
+    (void)ok;
+    return it->second.get();
+}
+
+const NativeMethod *
+CodeCache::lookup(MethodId id) const
+{
+    auto it = methods_.find(id);
+    return it == methods_.end() ? nullptr : it->second.get();
+}
+
+} // namespace jrs

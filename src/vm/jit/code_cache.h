@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The JIT code cache: owns translated methods and assigns them
+ * simulated addresses inside seg::kCodeCache. Methods are installed
+ * bump-fashion with 64-byte alignment, so consecutively compiled
+ * methods are adjacent — the layout property whose cache behaviour the
+ * paper discusses (Section 4.3).
+ */
+#ifndef JRS_VM_JIT_CODE_CACHE_H
+#define JRS_VM_JIT_CODE_CACHE_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "vm/jit/native_inst.h"
+
+namespace jrs {
+
+/** Owner of all NativeMethods produced in a run. */
+class CodeCache {
+  public:
+    CodeCache() = default;
+    CodeCache(const CodeCache &) = delete;
+    CodeCache &operator=(const CodeCache &) = delete;
+
+    /**
+     * Install @p nm: assigns its codeBase and takes ownership.
+     * @return the installed method.
+     */
+    const NativeMethod *install(std::unique_ptr<NativeMethod> nm);
+
+    /** Translated method for @p id, or nullptr. */
+    const NativeMethod *lookup(MethodId id) const;
+
+    /** Simulated bytes of generated code. */
+    std::size_t codeBytes() const { return cursor_; }
+
+    /** Number of methods compiled. */
+    std::size_t numMethods() const { return methods_.size(); }
+
+  private:
+    std::unordered_map<MethodId, std::unique_ptr<NativeMethod>> methods_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_JIT_CODE_CACHE_H

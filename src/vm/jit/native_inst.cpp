@@ -1,0 +1,88 @@
+#include "vm/jit/native_inst.h"
+
+#include <sstream>
+
+namespace jrs {
+
+const char *
+nopName(NOp op)
+{
+    switch (op) {
+      case NOp::MovI:        return "movi";
+      case NOp::Mov:         return "mov";
+      case NOp::Add:         return "add";
+      case NOp::Sub:         return "sub";
+      case NOp::Mul:         return "mul";
+      case NOp::Div:         return "div";
+      case NOp::Rem:         return "rem";
+      case NOp::And:         return "and";
+      case NOp::Or:          return "or";
+      case NOp::Xor:         return "xor";
+      case NOp::Shl:         return "shl";
+      case NOp::Shr:         return "shr";
+      case NOp::Ushr:        return "ushr";
+      case NOp::Neg:         return "neg";
+      case NOp::AddI:        return "addi";
+      case NOp::ShlI:        return "shli";
+      case NOp::AddP:        return "addp";
+      case NOp::LdStatic:    return "ldstatic";
+      case NOp::StStatic:    return "ststatic";
+      case NOp::JmpTbl:      return "jmptbl";
+      case NOp::FAdd:        return "fadd";
+      case NOp::FSub:        return "fsub";
+      case NOp::FMul:        return "fmul";
+      case NOp::FDiv:        return "fdiv";
+      case NOp::FNeg:        return "fneg";
+      case NOp::FCmp:        return "fcmp";
+      case NOp::FSqrt:       return "fsqrt";
+      case NOp::FSin:        return "fsin";
+      case NOp::FCos:        return "fcos";
+      case NOp::I2F:         return "i2f";
+      case NOp::F2I:         return "f2i";
+      case NOp::I2C:         return "i2c";
+      case NOp::I2B:         return "i2b";
+      case NOp::Ld:          return "ld";
+      case NOp::LdU16:       return "ldu16";
+      case NOp::LdS8:        return "lds8";
+      case NOp::St:          return "st";
+      case NOp::St16:        return "st16";
+      case NOp::St8:         return "st8";
+      case NOp::LdRef:       return "ldref";
+      case NOp::StRef:       return "stref";
+      case NOp::LdSpill:     return "ldspill";
+      case NOp::StSpill:     return "stspill";
+      case NOp::LdStr:       return "ldstr";
+      case NOp::Br:          return "br";
+      case NOp::Jmp:         return "jmp";
+      case NOp::BndChk:      return "bndchk";
+      case NOp::NullChk:     return "nullchk";
+      case NOp::CallStatic:  return "call";
+      case NOp::CallSpecial: return "calls";
+      case NOp::CallVirtual: return "callv";
+      case NOp::Ret:         return "ret";
+      case NOp::New:         return "new";
+      case NOp::NewArr:      return "newarr";
+      case NOp::ArrLen:      return "arrlen";
+      case NOp::MonEnter:    return "menter";
+      case NOp::MonExit:     return "mexit";
+      case NOp::Throw:       return "throw";
+      case NOp::Intrin:      return "intrin";
+      case NOp::ArrCopy:     return "arrcopy";
+      case NOp::Spawn:       return "spawn";
+      case NOp::Join:        return "join";
+    }
+    return "invalid";
+}
+
+std::string
+renderNativeInst(const NativeInst &inst)
+{
+    std::ostringstream os;
+    os << nopName(inst.op) << " rd=r" << static_cast<int>(inst.rd)
+       << " rs1=r" << static_cast<int>(inst.rs1) << " rs2=r"
+       << static_cast<int>(inst.rs2) << " imm=" << inst.imm << " aux="
+       << static_cast<int>(inst.aux);
+    return os.str();
+}
+
+} // namespace jrs

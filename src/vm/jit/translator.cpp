@@ -1,0 +1,1554 @@
+#include "vm/jit/translator.h"
+
+#include <functional>
+
+#include "vm/bytecode/assembler.h"
+#include "vm/bytecode/decode.h"
+#include "vm/runtime/heap.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs {
+
+namespace {
+
+/** Raised when a method uses a construct the JIT cannot compile. */
+struct TranslationAbort {};
+
+constexpr std::uint8_t kScratch2 = 30;
+
+/** Translator's own dispatch loop address. */
+constexpr SimAddr kTransDispatch = seg::kTranslateCode;
+
+/** Per-opcode emit-routine base (the translator is a switch, too). */
+SimAddr
+transRoutine(Op op)
+{
+    return seg::kTranslateCode + 0x1000
+        + 0x100ull * static_cast<SimAddr>(op);
+}
+
+/** Instruction-encoding/install routine. */
+constexpr SimAddr kTransEmit = seg::kTranslateCode + 0x400;
+
+/** Method prologue/epilogue bookkeeping routine. */
+constexpr SimAddr kTransSetup = seg::kTranslateCode + 0x600;
+
+constexpr int log2Of(std::uint32_t esz)
+{
+    return esz == 1 ? 0 : (esz == 2 ? 1 : 2);
+}
+
+} // namespace
+
+/**
+ * One method's translation state. Separating this from Translator keeps
+ * the per-method buffers (the compiler's working set) in one place so
+ * we can both account for them and model their data traffic.
+ */
+class Translator::MethodTranslation {
+  public:
+    MethodTranslation(Translator &t, const Method &m)
+        : t_(t), m_(m), prog_(t.registry_.program()),
+          depths_(computeStackDepths(m, prog_)),
+          bc2n_(m.code.size(), -1)
+    {
+        nm_ = std::make_unique<NativeMethod>();
+        nm_->id = m.id;
+        nm_->src = &m;
+        numSpilledLocals_ = m.numLocals > kNumLocalRegs
+            ? m.numLocals - kNumLocalRegs
+            : 0;
+        const int stack_spills = m.maxStack > kNumStackRegs
+            ? m.maxStack - kNumStackRegs
+            : 0;
+        nm_->numSpills =
+            static_cast<std::uint16_t>(numSpilledLocals_ + stack_spills);
+    }
+
+    /** Run the translation; returns the finished method. */
+    std::unique_ptr<NativeMethod> run();
+
+    /** Working-set bytes of this compilation (valid after run()). */
+    std::size_t workingBytes() const { return workingBytes_; }
+
+  private:
+    // --- code emission ---------------------------------------------------
+    std::uint32_t emit(NativeInst inst) {
+        nm_->code.push_back(inst);
+        return static_cast<std::uint32_t>(nm_->code.size() - 1);
+    }
+    void emitBranchTo(NOp op, NCond cond, std::uint8_t rs1,
+                      std::uint8_t rs2, std::uint32_t target_bc) {
+        NativeInst i;
+        i.op = op;
+        i.aux = static_cast<std::uint8_t>(cond);
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        pending_.push_back({emit(i), target_bc});
+    }
+
+    // --- register mapping --------------------------------------------------
+    bool localInReg(std::uint8_t slot) const {
+        return slot < kNumLocalRegs;
+    }
+    std::uint8_t localReg(std::uint8_t slot) const {
+        return static_cast<std::uint8_t>(kLocalRegBase + slot);
+    }
+    std::int32_t localSpill(std::uint8_t slot) const {
+        return slot - kNumLocalRegs;
+    }
+    bool stackInReg(int depth) const { return depth < kNumStackRegs; }
+    std::uint8_t stackReg(int depth) const {
+        return static_cast<std::uint8_t>(kStackRegBase + depth);
+    }
+    std::int32_t stackSpill(int depth) const {
+        return numSpilledLocals_ + (depth - kNumStackRegs);
+    }
+
+    /** Register holding stack position @p depth (loading a spill). */
+    std::uint8_t useStack(int depth, std::uint8_t scratch) {
+        if (stackInReg(depth))
+            return stackReg(depth);
+        NativeInst i;
+        i.op = NOp::LdSpill;
+        i.rd = scratch;
+        i.imm = stackSpill(depth);
+        emit(i);
+        return scratch;
+    }
+
+    /** Define stack position @p depth via @p gen(rd). */
+    void defStack(int depth, const std::function<void(std::uint8_t)> &gen) {
+        if (stackInReg(depth)) {
+            gen(stackReg(depth));
+            return;
+        }
+        gen(kScratch0);
+        NativeInst i;
+        i.op = NOp::StSpill;
+        i.rs1 = kScratch0;
+        i.imm = stackSpill(depth);
+        emit(i);
+    }
+
+    /** Register holding local @p slot (loading a spill). */
+    std::uint8_t useLocal(std::uint8_t slot, std::uint8_t scratch) {
+        if (localInReg(slot))
+            return localReg(slot);
+        NativeInst i;
+        i.op = NOp::LdSpill;
+        i.rd = scratch;
+        i.imm = localSpill(slot);
+        emit(i);
+        return scratch;
+    }
+
+    void defLocal(std::uint8_t slot,
+                  const std::function<void(std::uint8_t)> &gen) {
+        if (localInReg(slot)) {
+            gen(localReg(slot));
+            return;
+        }
+        gen(kScratch0);
+        NativeInst i;
+        i.op = NOp::StSpill;
+        i.rs1 = kScratch0;
+        i.imm = localSpill(slot);
+        emit(i);
+    }
+
+    // --- translation steps ----------------------------------------------
+    void prologue();
+    void translateOne(std::uint32_t pc, int depth);
+    void patchBranches();
+    void mapHandlers();
+
+    // --- inlining (Section 7 of the paper) --------------------------------
+    /** Sole implementation of a vtable slot, or nullptr if polymorphic. */
+    const Method *monomorphicTarget(std::uint16_t slot) const;
+    /** True when @p callee is a small straight-line leaf. */
+    bool inlineEligible(const Method &callee, int call_depth) const;
+    /** Expand @p callee at call depth @p d (receiver/args on stack). */
+    void inlineBody(const Method &callee, int d, bool needs_null_check);
+
+    // --- compiler-cost trace model ----------------------------------------
+    void traceBytecodeWork(std::uint32_t pc, Op op);
+
+  public:
+    /** Emit the install/patch trace (requires the assigned codeBase). */
+    void traceInstall(const NativeMethod &nm);
+
+  private:
+
+    Translator &t_;
+    const Method &m_;
+    const Program &prog_;
+    std::vector<int> depths_;
+    std::vector<std::int32_t> bc2n_;
+    std::unique_ptr<NativeMethod> nm_;
+    struct Pending {
+        std::uint32_t instIdx;
+        std::uint32_t targetBc;
+    };
+    std::vector<Pending> pending_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pendingTables_;
+    int numSpilledLocals_ = 0;
+    std::size_t workingBytes_ = 0;
+};
+
+void
+Translator::MethodTranslation::prologue()
+{
+    // Move incoming arguments from arg registers to local homes.
+    for (std::uint8_t i = 0; i < m_.numArgs; ++i) {
+        const std::uint8_t src =
+            static_cast<std::uint8_t>(kArgRegBase + i);
+        if (localInReg(i)) {
+            NativeInst mv;
+            mv.op = NOp::Mov;
+            mv.rd = localReg(i);
+            mv.rs1 = src;
+            emit(mv);
+        } else {
+            NativeInst st;
+            st.op = NOp::StSpill;
+            st.rs1 = src;
+            st.imm = localSpill(i);
+            emit(st);
+        }
+    }
+}
+
+void
+Translator::MethodTranslation::traceBytecodeWork(std::uint32_t pc, Op op)
+{
+    TraceEmitter &E = t_.emitter_;
+    if (!E.enabled())
+        return;
+    const Phase T = Phase::Translate;
+
+    // The translator's own opcode dispatch: a load of the bytecode (the
+    // method is *data* to the compiler) and an indirect jump into the
+    // per-opcode emit routine.
+    E.load(T, kTransDispatch + 0, m_.bytecodeAddr + pc, 1);
+    E.alu(T, kTransDispatch + 4);
+    E.control(T, kTransDispatch + 8, NKind::IndirectJump,
+              transRoutine(op));
+
+    // Operand bytes are read as data too.
+    const std::uint32_t len = instrLength(m_.code, pc);
+    for (std::uint32_t b = 1; b < len; b += 4) {
+        E.load(T, transRoutine(op) + 0, m_.bytecodeAddr + pc + b,
+               static_cast<std::uint8_t>(std::min<std::uint32_t>(
+                   4, len - b)));
+    }
+
+    // Analysis work: abstract-stack updates, register-map bookkeeping,
+    // liveness counters. Small working set in the translate-data
+    // segment -> good read locality, exactly what Figure 5 reports.
+    const SimAddr rpc = transRoutine(op) + 0x10;
+    const SimAddr work = seg::kTranslateData
+        + (static_cast<SimAddr>(depths_[pc] < 0 ? 0 : depths_[pc]) * 8)
+        % 0x800;
+    // Abstract-stack updates, register-map bookkeeping, liveness and
+    // encoding-table lookups: ~36 work units of 4 instructions each,
+    // sized so a method must run a couple dozen times before
+    // compilation pays for itself (Kaffe-like compile costs).
+    for (int k = 0; k < 36; ++k) {
+        E.load(T, rpc + 16ull * (k % 12), work + 16ull * k, 4);
+        E.alu(T, rpc + 16ull * (k % 12) + 4);
+        E.alu(T, rpc + 16ull * (k % 12) + 8);
+        E.store(T, rpc + 16ull * (k % 12) + 12, work + 16ull * k + 8,
+                4);
+    }
+    E.control(T, rpc + 0xa0, NKind::Ret, kTransDispatch);
+}
+
+void
+Translator::MethodTranslation::traceInstall(const NativeMethod &nm)
+{
+    TraceEmitter &E = t_.emitter_;
+    if (!E.enabled())
+        return;
+    const Phase T = Phase::Translate;
+
+    // Encode and install every generated instruction: the stream of
+    // stores into the code cache that produces the compulsory write
+    // misses of Figures 3/5.
+    for (std::uint32_t i = 0; i < nm.code.size(); ++i) {
+        E.load(T, kTransEmit + 0,
+               seg::kTranslateCode + 0x800
+                   + (static_cast<SimAddr>(nm.code[i].op) * 16) % 0x400,
+               4);  // encoding template
+        E.alu(T, kTransEmit + 4);
+        E.alu(T, kTransEmit + 8);
+        E.alu(T, kTransEmit + 12);
+        E.alu(T, kTransEmit + 16);
+        E.alu(T, kTransEmit + 20);
+        E.store(T, kTransEmit + 24, nm.pcOf(i), 4);  // the install
+        E.store(T, kTransEmit + 28,
+                seg::kTranslateData + 0x1000 + (8ull * i) % 0x1000, 4);
+    }
+    // Branch patching: read-modify-write of already-installed code.
+    for (const Pending &p : pending_) {
+        E.load(T, kTransEmit + 32, nm.pcOf(p.instIdx), 4);
+        E.store(T, kTransEmit + 36, nm.pcOf(p.instIdx), 4);
+    }
+    // Code-cache directory insertion.
+    E.store(T, kTransSetup + 0,
+            seg::kRuntimeData + 0x4000 + 8ull * nm.id, 4);
+    E.control(T, kTransSetup + 4, NKind::Ret, kTransDispatch);
+}
+
+void
+Translator::MethodTranslation::patchBranches()
+{
+    auto nativeIdxOf = [&](std::uint32_t bc) -> std::uint32_t {
+        // A branch target is always a reachable instruction boundary.
+        while (bc < bc2n_.size() && bc2n_[bc] < 0)
+            ++bc;
+        if (bc >= bc2n_.size())
+            return static_cast<std::uint32_t>(nm_->code.size());
+        return static_cast<std::uint32_t>(bc2n_[bc]);
+    };
+    for (const Pending &p : pending_)
+        nm_->code[p.instIdx].imm =
+            static_cast<std::int32_t>(nativeIdxOf(p.targetBc));
+    for (auto &[table_idx, base_bc] : pendingTables_) {
+        (void)base_bc;
+        for (std::uint32_t &entry : nm_->jumpTables[table_idx])
+            entry = nativeIdxOf(entry);
+    }
+}
+
+void
+Translator::MethodTranslation::mapHandlers()
+{
+    auto nativeIdxOf = [&](std::uint32_t bc) -> std::uint32_t {
+        while (bc < bc2n_.size() && bc2n_[bc] < 0)
+            ++bc;
+        if (bc >= bc2n_.size())
+            return static_cast<std::uint32_t>(nm_->code.size());
+        return static_cast<std::uint32_t>(bc2n_[bc]);
+    };
+    for (const ExceptionEntry &e : m_.handlers) {
+        NativeHandler h;
+        h.startIdx = nativeIdxOf(e.startPc);
+        h.endIdx = nativeIdxOf(e.endPc);
+        h.handlerIdx = nativeIdxOf(e.handlerPc);
+        h.catchType = e.catchType;
+        nm_->handlers.push_back(h);
+    }
+}
+
+const Method *
+Translator::MethodTranslation::monomorphicTarget(
+    std::uint16_t slot) const
+{
+    const Method *target = nullptr;
+    for (const auto &c : prog_.classes) {
+        if (slot >= c.vtable.size() || c.vtable[slot] == kNoMethod)
+            continue;
+        const Method *impl = &prog_.methods[c.vtable[slot]];
+        if (target != nullptr && target != impl)
+            return nullptr;  // polymorphic
+        target = impl;
+    }
+    return target;
+}
+
+bool
+Translator::MethodTranslation::inlineEligible(const Method &callee,
+                                              int call_depth) const
+{
+    if (&callee == &m_)
+        return false;  // no self-inlining
+    if (callee.isSynchronized || !callee.handlers.empty())
+        return false;
+    if (callee.numLocals != callee.numArgs)
+        return false;  // extra locals would need fresh homes
+    if (callee.code.size() > 40)
+        return false;
+    // All operand positions (caller args become callee locals, callee
+    // temps sit above the caller's stack) must fit in stack registers.
+    if (call_depth + callee.maxStack > kNumStackRegs)
+        return false;
+
+    std::uint32_t pc = 0;
+    while (pc < callee.code.size()) {
+        const Op op = callee.opAt(pc);
+        const std::uint32_t len = instrLength(callee.code, pc);
+        const bool last = pc + len >= callee.code.size();
+        switch (op) {
+          case Op::Iconst8: case Op::Iconst32: case Op::Fconst:
+          case Op::AconstNull: case Op::LdcStr:
+          case Op::Iload: case Op::Fload: case Op::Aload:
+          case Op::Istore: case Op::Fstore: case Op::Astore:
+          case Op::Iinc:
+          case Op::Pop: case Op::Dup: case Op::DupX1: case Op::Swap:
+          case Op::Iadd: case Op::Isub: case Op::Imul: case Op::Idiv:
+          case Op::Irem: case Op::Ineg: case Op::Ishl: case Op::Ishr:
+          case Op::Iushr: case Op::Iand: case Op::Ior: case Op::Ixor:
+          case Op::Fadd: case Op::Fsub: case Op::Fmul: case Op::Fdiv:
+          case Op::Fneg: case Op::Fcmpl:
+          case Op::I2f: case Op::F2i: case Op::I2c: case Op::I2b:
+          case Op::GetFieldI: case Op::GetFieldF: case Op::GetFieldA:
+          case Op::PutFieldI: case Op::PutFieldF: case Op::PutFieldA:
+          case Op::GetStaticI: case Op::GetStaticF: case Op::GetStaticA:
+          case Op::PutStaticI: case Op::PutStaticF: case Op::PutStaticA:
+          case Op::ArrayLength:
+          case Op::IAload: case Op::FAload: case Op::CAload:
+          case Op::BAload: case Op::AAload:
+          case Op::IAstore: case Op::FAstore: case Op::CAstore:
+          case Op::BAstore: case Op::AAstore:
+            break;
+          case Op::Intrinsic: {
+            const IntrinsicId id =
+                static_cast<IntrinsicId>(callee.code[pc + 1]);
+            if (id != IntrinsicId::FSqrt && id != IntrinsicId::FSin
+                && id != IntrinsicId::FCos) {
+                return false;
+            }
+            break;
+          }
+          case Op::Ireturn: case Op::Freturn: case Op::Areturn:
+          case Op::ReturnVoid:
+            if (!last)
+                return false;  // single return at the end only
+            break;
+          default:
+            return false;  // branches, calls, allocation, monitors...
+        }
+        pc += len;
+    }
+    return true;
+}
+
+void
+Translator::MethodTranslation::inlineBody(const Method &callee, int d,
+                                          bool needs_null_check)
+{
+    // Caller stack positions base..d-1 hold the arguments; they double
+    // as the callee's local slots. Callee operand-stack position j
+    // lives at caller position d + j.
+    const int base = d - callee.numArgs;
+
+    auto calleeLocal = [&](std::uint8_t slot) { return base + slot; };
+
+    if (needs_null_check) {
+        NativeInst nc;
+        nc.op = NOp::NullChk;
+        nc.rs1 = useStack(base, kScratch0);
+        emit(nc);
+    }
+
+    int cs = 0;  // callee operand-stack depth
+    std::uint32_t pc = 0;
+    const auto &code = callee.code;
+    auto mov_to = [&](int dst_pos, std::uint8_t src) {
+        defStack(dst_pos, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = src;
+            emit(i);
+        });
+    };
+    auto bin = [&](NOp nop) {
+        const std::uint8_t b2 = useStack(d + cs - 1, kScratch1);
+        const std::uint8_t a2 = useStack(d + cs - 2, kScratch0);
+        defStack(d + cs - 2, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = nop;
+            i.rd = rd;
+            i.rs1 = a2;
+            i.rs2 = b2;
+            emit(i);
+        });
+        --cs;
+    };
+    auto un = [&](NOp nop) {
+        const std::uint8_t a2 = useStack(d + cs - 1, kScratch0);
+        defStack(d + cs - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = nop;
+            i.rd = rd;
+            i.rs1 = a2;
+            emit(i);
+        });
+    };
+
+    while (pc < code.size()) {
+        const Op op = callee.opAt(pc);
+        const std::uint32_t len = instrLength(code, pc);
+        switch (op) {
+          case Op::Iconst8:
+            defStack(d + cs, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::MovI;
+                i.rd = rd;
+                i.imm = readS8(code, pc + 1);
+                emit(i);
+            });
+            ++cs;
+            break;
+          case Op::Iconst32:
+            defStack(d + cs, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::MovI;
+                i.rd = rd;
+                i.imm = readS32(code, pc + 1);
+                emit(i);
+            });
+            ++cs;
+            break;
+          case Op::Fconst:
+            defStack(d + cs, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::MovI;
+                i.rd = rd;
+                i.imm = readS32(code, pc + 1);
+                i.aux = 1;
+                emit(i);
+            });
+            ++cs;
+            break;
+          case Op::AconstNull:
+            defStack(d + cs, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::MovI;
+                i.rd = rd;
+                i.imm = 0;
+                emit(i);
+            });
+            ++cs;
+            break;
+          case Op::LdcStr:
+            defStack(d + cs, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::LdStr;
+                i.rd = rd;
+                i.imm = readU16(code, pc + 1);
+                emit(i);
+            });
+            ++cs;
+            break;
+
+          case Op::Iload: case Op::Fload: case Op::Aload: {
+            const std::uint8_t src = useStack(
+                calleeLocal(readU8(code, pc + 1)), kScratch1);
+            mov_to(d + cs, src);
+            ++cs;
+            break;
+          }
+          case Op::Istore: case Op::Fstore: case Op::Astore: {
+            const std::uint8_t src = useStack(d + cs - 1, kScratch1);
+            mov_to(calleeLocal(readU8(code, pc + 1)), src);
+            --cs;
+            break;
+          }
+          case Op::Iinc: {
+            const int pos = calleeLocal(readU8(code, pc + 1));
+            const std::uint8_t src = useStack(pos, kScratch1);
+            defStack(pos, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::AddI;
+                i.rd = rd;
+                i.rs1 = src;
+                i.imm = readS8(code, pc + 2);
+                emit(i);
+            });
+            break;
+          }
+
+          case Op::Pop:
+            --cs;
+            break;
+          case Op::Dup: {
+            const std::uint8_t src = useStack(d + cs - 1, kScratch1);
+            mov_to(d + cs, src);
+            ++cs;
+            break;
+          }
+          case Op::DupX1: {
+            const std::uint8_t b2 = useStack(d + cs - 1, kScratch0);
+            const std::uint8_t a2 = useStack(d + cs - 2, kScratch1);
+            NativeInst mv;
+            mv.op = NOp::Mov;
+            mv.rd = kScratch2;
+            mv.rs1 = b2;
+            emit(mv);
+            mov_to(d + cs, kScratch2);
+            mov_to(d + cs - 1, a2);
+            mov_to(d + cs - 2, kScratch2);
+            ++cs;
+            break;
+          }
+          case Op::Swap: {
+            const std::uint8_t b2 = useStack(d + cs - 1, kScratch0);
+            const std::uint8_t a2 = useStack(d + cs - 2, kScratch1);
+            NativeInst mv;
+            mv.op = NOp::Mov;
+            mv.rd = kScratch2;
+            mv.rs1 = b2;
+            emit(mv);
+            mov_to(d + cs - 1, a2);
+            mov_to(d + cs - 2, kScratch2);
+            break;
+          }
+
+          case Op::Iadd: bin(NOp::Add); break;
+          case Op::Isub: bin(NOp::Sub); break;
+          case Op::Imul: bin(NOp::Mul); break;
+          case Op::Idiv: bin(NOp::Div); break;
+          case Op::Irem: bin(NOp::Rem); break;
+          case Op::Ishl: bin(NOp::Shl); break;
+          case Op::Ishr: bin(NOp::Shr); break;
+          case Op::Iushr: bin(NOp::Ushr); break;
+          case Op::Iand: bin(NOp::And); break;
+          case Op::Ior: bin(NOp::Or); break;
+          case Op::Ixor: bin(NOp::Xor); break;
+          case Op::Fadd: bin(NOp::FAdd); break;
+          case Op::Fsub: bin(NOp::FSub); break;
+          case Op::Fmul: bin(NOp::FMul); break;
+          case Op::Fdiv: bin(NOp::FDiv); break;
+          case Op::Fcmpl: bin(NOp::FCmp); break;
+          case Op::Ineg: un(NOp::Neg); break;
+          case Op::Fneg: un(NOp::FNeg); break;
+          case Op::I2f: un(NOp::I2F); break;
+          case Op::F2i: un(NOp::F2I); break;
+          case Op::I2c: un(NOp::I2C); break;
+          case Op::I2b: un(NOp::I2B); break;
+
+          case Op::GetFieldI: case Op::GetFieldF: case Op::GetFieldA: {
+            const std::uint16_t slot = readU16(code, pc + 1);
+            const std::uint8_t obj = useStack(d + cs - 1, kScratch1);
+            NativeInst nc;
+            nc.op = NOp::NullChk;
+            nc.rs1 = obj;
+            emit(nc);
+            defStack(d + cs - 1, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = op == Op::GetFieldA ? NOp::LdRef : NOp::Ld;
+                i.rd = rd;
+                i.rs1 = obj;
+                i.imm = 8 + 4 * slot;
+                emit(i);
+            });
+            break;
+          }
+          case Op::PutFieldI: case Op::PutFieldF: case Op::PutFieldA: {
+            const std::uint16_t slot = readU16(code, pc + 1);
+            const std::uint8_t val = useStack(d + cs - 1, kScratch0);
+            const std::uint8_t obj = useStack(d + cs - 2, kScratch1);
+            NativeInst nc;
+            nc.op = NOp::NullChk;
+            nc.rs1 = obj;
+            emit(nc);
+            NativeInst i;
+            i.op = op == Op::PutFieldA ? NOp::StRef : NOp::St;
+            i.rs1 = obj;
+            i.rs2 = val;
+            i.imm = 8 + 4 * slot;
+            emit(i);
+            cs -= 2;
+            break;
+          }
+          case Op::GetStaticI: case Op::GetStaticF:
+          case Op::GetStaticA:
+            defStack(d + cs, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::LdStatic;
+                i.rd = rd;
+                i.imm = readU16(code, pc + 1);
+                i.aux = op == Op::GetStaticA ? 1 : 0;
+                emit(i);
+            });
+            ++cs;
+            break;
+          case Op::PutStaticI: case Op::PutStaticF:
+          case Op::PutStaticA: {
+            NativeInst i;
+            i.op = NOp::StStatic;
+            i.rs1 = useStack(d + cs - 1, kScratch0);
+            i.imm = readU16(code, pc + 1);
+            i.aux = op == Op::PutStaticA ? 1 : 0;
+            emit(i);
+            --cs;
+            break;
+          }
+
+          case Op::ArrayLength: {
+            const std::uint8_t arr = useStack(d + cs - 1, kScratch1);
+            NativeInst nc;
+            nc.op = NOp::NullChk;
+            nc.rs1 = arr;
+            emit(nc);
+            defStack(d + cs - 1, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::ArrLen;
+                i.rd = rd;
+                i.rs1 = arr;
+                emit(i);
+            });
+            break;
+          }
+          case Op::IAload: case Op::FAload: case Op::CAload:
+          case Op::BAload: case Op::AAload:
+          case Op::IAstore: case Op::FAstore: case Op::CAstore:
+          case Op::BAstore: case Op::AAstore: {
+            const bool is_load = op == Op::IAload || op == Op::FAload
+                || op == Op::CAload || op == Op::BAload
+                || op == Op::AAload;
+            std::uint32_t esz = 4;
+            if (op == Op::CAload || op == Op::CAstore)
+                esz = 2;
+            if (op == Op::BAload || op == Op::BAstore)
+                esz = 1;
+            const int idx_pos = is_load ? d + cs - 1 : d + cs - 2;
+            const int arr_pos = is_load ? d + cs - 2 : d + cs - 3;
+            const std::uint8_t idx = useStack(idx_pos, kScratch0);
+            const std::uint8_t arr = useStack(arr_pos, kScratch1);
+            NativeInst nc;
+            nc.op = NOp::NullChk;
+            nc.rs1 = arr;
+            emit(nc);
+            NativeInst ln;
+            ln.op = NOp::ArrLen;
+            ln.rd = kScratch2;
+            ln.rs1 = arr;
+            emit(ln);
+            NativeInst bc2;
+            bc2.op = NOp::BndChk;
+            bc2.rs1 = idx;
+            bc2.rs2 = kScratch2;
+            emit(bc2);
+            if (log2Of(esz) != 0) {
+                NativeInst sh;
+                sh.op = NOp::ShlI;
+                sh.rd = kScratch2;
+                sh.rs1 = idx;
+                sh.imm = log2Of(esz);
+                emit(sh);
+            } else {
+                NativeInst mv;
+                mv.op = NOp::Mov;
+                mv.rd = kScratch2;
+                mv.rs1 = idx;
+                emit(mv);
+            }
+            NativeInst ap;
+            ap.op = NOp::AddP;
+            ap.rd = kScratch2;
+            ap.rs1 = arr;
+            ap.rs2 = kScratch2;
+            emit(ap);
+            if (is_load) {
+                NOp ld_op = NOp::Ld;
+                if (op == Op::AAload)
+                    ld_op = NOp::LdRef;
+                else if (op == Op::CAload)
+                    ld_op = NOp::LdU16;
+                else if (op == Op::BAload)
+                    ld_op = NOp::LdS8;
+                defStack(arr_pos, [&](std::uint8_t rd) {
+                    NativeInst i;
+                    i.op = ld_op;
+                    i.rd = rd;
+                    i.rs1 = kScratch2;
+                    i.imm = 12;
+                    emit(i);
+                });
+                --cs;
+            } else {
+                const std::uint8_t val =
+                    useStack(d + cs - 1, kScratch0);
+                NOp st_op = NOp::St;
+                if (op == Op::AAstore)
+                    st_op = NOp::StRef;
+                else if (op == Op::CAstore)
+                    st_op = NOp::St16;
+                else if (op == Op::BAstore)
+                    st_op = NOp::St8;
+                NativeInst i;
+                i.op = st_op;
+                i.rs1 = kScratch2;
+                i.rs2 = val;
+                i.imm = 12;
+                emit(i);
+                cs -= 3;
+            }
+            break;
+          }
+
+          case Op::Intrinsic: {
+            const IntrinsicId id =
+                static_cast<IntrinsicId>(code[pc + 1]);
+            const std::uint8_t a2 = useStack(d + cs - 1, kScratch1);
+            defStack(d + cs - 1, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::Intrin;
+                i.rd = rd;
+                i.rs1 = a2;
+                i.imm = static_cast<std::int32_t>(id);
+                emit(i);
+            });
+            break;
+          }
+
+          case Op::Ireturn: case Op::Freturn: case Op::Areturn: {
+            const std::uint8_t v = useStack(d + cs - 1, kScratch1);
+            mov_to(base, v);
+            break;
+          }
+          case Op::ReturnVoid:
+            break;
+
+          default:
+            throw VmError("inliner reached non-whitelisted opcode");
+        }
+        pc += len;
+    }
+}
+
+void
+Translator::MethodTranslation::translateOne(std::uint32_t pc, int depth)
+{
+    const Op op = m_.opAt(pc);
+    const int d = depth;
+    auto &code = m_.code;
+
+    auto simpleBin = [&](NOp nop) {
+        const std::uint8_t b = useStack(d - 1, kScratch1);
+        const std::uint8_t a = useStack(d - 2, kScratch0);
+        defStack(d - 2, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = nop;
+            i.rd = rd;
+            i.rs1 = a;
+            i.rs2 = b;
+            emit(i);
+        });
+    };
+    auto simpleUn = [&](NOp nop) {
+        const std::uint8_t a = useStack(d - 1, kScratch0);
+        defStack(d - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = nop;
+            i.rd = rd;
+            i.rs1 = a;
+            emit(i);
+        });
+    };
+    auto nullChk = [&](std::uint8_t reg) {
+        NativeInst i;
+        i.op = NOp::NullChk;
+        i.rs1 = reg;
+        emit(i);
+    };
+    auto condBr = [&](NCond c) {
+        const std::uint8_t a = useStack(d - 1, kScratch0);
+        const std::uint32_t target =
+            pc + static_cast<std::uint32_t>(readS16(code, pc + 1));
+        emitBranchTo(NOp::Br, c, a, kNoReg, target);
+    };
+    auto condBr2 = [&](NCond c) {
+        const std::uint8_t b = useStack(d - 1, kScratch1);
+        const std::uint8_t a = useStack(d - 2, kScratch0);
+        const std::uint32_t target =
+            pc + static_cast<std::uint32_t>(readS16(code, pc + 1));
+        emitBranchTo(NOp::Br, c, a, b, target);
+    };
+    auto elemAccess = [&](int arr_depth, int idx_depth,
+                          std::uint32_t esz) {
+        // Leaves the element address in kScratch2.
+        const std::uint8_t idx = useStack(idx_depth, kScratch0);
+        const std::uint8_t arr = useStack(arr_depth, kScratch1);
+        nullChk(arr);
+        NativeInst len;
+        len.op = NOp::ArrLen;
+        len.rd = kScratch2;
+        len.rs1 = arr;
+        emit(len);
+        NativeInst bc;
+        bc.op = NOp::BndChk;
+        bc.rs1 = idx;
+        bc.rs2 = kScratch2;
+        emit(bc);
+        if (log2Of(esz) != 0) {
+            NativeInst sh;
+            sh.op = NOp::ShlI;
+            sh.rd = kScratch2;
+            sh.rs1 = idx;
+            sh.imm = log2Of(esz);
+            emit(sh);
+        } else {
+            NativeInst mv;
+            mv.op = NOp::Mov;
+            mv.rd = kScratch2;
+            mv.rs1 = idx;
+            emit(mv);
+        }
+        NativeInst ap;
+        ap.op = NOp::AddP;
+        ap.rd = kScratch2;
+        ap.rs1 = arr;
+        ap.rs2 = kScratch2;
+        emit(ap);
+    };
+    auto arrayLoad = [&](NOp ld_op, std::uint32_t esz) {
+        elemAccess(d - 2, d - 1, esz);
+        defStack(d - 2, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = ld_op;
+            i.rd = rd;
+            i.rs1 = kScratch2;
+            i.imm = 12;
+            emit(i);
+        });
+    };
+    auto arrayStore = [&](NOp st_op, std::uint32_t esz) {
+        elemAccess(d - 3, d - 2, esz);
+        const std::uint8_t val = useStack(d - 1, kScratch0);
+        NativeInst i;
+        i.op = st_op;
+        i.rs1 = kScratch2;
+        i.rs2 = val;
+        i.imm = 12;
+        emit(i);
+    };
+    auto setupArgs = [&](std::uint8_t nargs) {
+        if (nargs > kNumArgRegs)
+            throw TranslationAbort{};  // caller stays interpreted
+        for (std::uint8_t i = 0; i < nargs; ++i) {
+            const std::uint8_t src =
+                useStack(d - nargs + i, kScratch0);
+            NativeInst mv;
+            mv.op = NOp::Mov;
+            mv.rd = static_cast<std::uint8_t>(kArgRegBase + i);
+            mv.rs1 = src;
+            emit(mv);
+        }
+    };
+    auto callResult = [&](std::uint8_t nargs, VType ret) {
+        if (ret == VType::Void)
+            return;
+        defStack(d - nargs, [&](std::uint8_t rd) {
+            NativeInst mv;
+            mv.op = NOp::Mov;
+            mv.rd = rd;
+            mv.rs1 = kArgRegBase;
+            emit(mv);
+        });
+    };
+
+    switch (op) {
+      case Op::Nop:
+        break;
+      case Op::Iconst8:
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::MovI;
+            i.rd = rd;
+            i.imm = readS8(code, pc + 1);
+            emit(i);
+        });
+        break;
+      case Op::Iconst32:
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::MovI;
+            i.rd = rd;
+            i.imm = readS32(code, pc + 1);
+            emit(i);
+        });
+        break;
+      case Op::Fconst:
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::MovI;
+            i.rd = rd;
+            i.imm = readS32(code, pc + 1);
+            i.aux = 1;  // raw float bits: do not sign-extend
+            emit(i);
+        });
+        break;
+      case Op::AconstNull:
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::MovI;
+            i.rd = rd;
+            i.imm = 0;
+            emit(i);
+        });
+        break;
+      case Op::LdcStr:
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::LdStr;
+            i.rd = rd;
+            i.imm = readU16(code, pc + 1);
+            emit(i);
+        });
+        break;
+
+      case Op::Iload:
+      case Op::Fload:
+      case Op::Aload: {
+        const std::uint8_t slot = readU8(code, pc + 1);
+        const std::uint8_t src = useLocal(slot, kScratch1);
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = src;
+            emit(i);
+        });
+        break;
+      }
+      case Op::Istore:
+      case Op::Fstore:
+      case Op::Astore: {
+        const std::uint8_t slot = readU8(code, pc + 1);
+        const std::uint8_t src = useStack(d - 1, kScratch1);
+        defLocal(slot, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = src;
+            emit(i);
+        });
+        break;
+      }
+      case Op::Iinc: {
+        const std::uint8_t slot = readU8(code, pc + 1);
+        const std::int8_t delta = readS8(code, pc + 2);
+        const std::uint8_t src = useLocal(slot, kScratch1);
+        defLocal(slot, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::AddI;
+            i.rd = rd;
+            i.rs1 = src;
+            i.imm = delta;
+            emit(i);
+        });
+        break;
+      }
+
+      case Op::Pop:
+        break;  // dead in register form
+      case Op::Dup: {
+        const std::uint8_t src = useStack(d - 1, kScratch1);
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = src;
+            emit(i);
+        });
+        break;
+      }
+      case Op::DupX1: {
+        // ... a b  ->  ... b a b
+        const std::uint8_t b = useStack(d - 1, kScratch0);
+        const std::uint8_t a = useStack(d - 2, kScratch1);
+        NativeInst mv;
+        mv.op = NOp::Mov;
+        mv.rd = kScratch2;
+        mv.rs1 = b;
+        emit(mv);
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = kScratch2;
+            emit(i);
+        });
+        defStack(d - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = a;
+            emit(i);
+        });
+        defStack(d - 2, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = kScratch2;
+            emit(i);
+        });
+        break;
+      }
+      case Op::Swap: {
+        const std::uint8_t b = useStack(d - 1, kScratch0);
+        const std::uint8_t a = useStack(d - 2, kScratch1);
+        NativeInst mv;
+        mv.op = NOp::Mov;
+        mv.rd = kScratch2;
+        mv.rs1 = b;
+        emit(mv);
+        defStack(d - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = a;
+            emit(i);
+        });
+        defStack(d - 2, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Mov;
+            i.rd = rd;
+            i.rs1 = kScratch2;
+            emit(i);
+        });
+        break;
+      }
+
+      case Op::Iadd:  simpleBin(NOp::Add); break;
+      case Op::Isub:  simpleBin(NOp::Sub); break;
+      case Op::Imul:  simpleBin(NOp::Mul); break;
+      case Op::Idiv:  simpleBin(NOp::Div); break;
+      case Op::Irem:  simpleBin(NOp::Rem); break;
+      case Op::Ineg:  simpleUn(NOp::Neg); break;
+      case Op::Ishl:  simpleBin(NOp::Shl); break;
+      case Op::Ishr:  simpleBin(NOp::Shr); break;
+      case Op::Iushr: simpleBin(NOp::Ushr); break;
+      case Op::Iand:  simpleBin(NOp::And); break;
+      case Op::Ior:   simpleBin(NOp::Or); break;
+      case Op::Ixor:  simpleBin(NOp::Xor); break;
+      case Op::Fadd:  simpleBin(NOp::FAdd); break;
+      case Op::Fsub:  simpleBin(NOp::FSub); break;
+      case Op::Fmul:  simpleBin(NOp::FMul); break;
+      case Op::Fdiv:  simpleBin(NOp::FDiv); break;
+      case Op::Fneg:  simpleUn(NOp::FNeg); break;
+      case Op::Fcmpl: simpleBin(NOp::FCmp); break;
+      case Op::I2f:   simpleUn(NOp::I2F); break;
+      case Op::F2i:   simpleUn(NOp::F2I); break;
+      case Op::I2c:   simpleUn(NOp::I2C); break;
+      case Op::I2b:   simpleUn(NOp::I2B); break;
+
+      case Op::Goto: {
+        NativeInst i;
+        i.op = NOp::Jmp;
+        pending_.push_back(
+            {emit(i),
+             pc + static_cast<std::uint32_t>(readS16(code, pc + 1))});
+        break;
+      }
+      case Op::Ifeq:      condBr(NCond::Eq); break;
+      case Op::Ifne:      condBr(NCond::Ne); break;
+      case Op::Iflt:      condBr(NCond::Lt); break;
+      case Op::Ifge:      condBr(NCond::Ge); break;
+      case Op::Ifgt:      condBr(NCond::Gt); break;
+      case Op::Ifle:      condBr(NCond::Le); break;
+      case Op::Ifnull:    condBr(NCond::Eq); break;
+      case Op::Ifnonnull: condBr(NCond::Ne); break;
+      case Op::IfIcmpeq:  condBr2(NCond::Eq); break;
+      case Op::IfIcmpne:  condBr2(NCond::Ne); break;
+      case Op::IfIcmplt:  condBr2(NCond::Lt); break;
+      case Op::IfIcmpge:  condBr2(NCond::Ge); break;
+      case Op::IfIcmpgt:  condBr2(NCond::Gt); break;
+      case Op::IfIcmple:  condBr2(NCond::Le); break;
+      case Op::IfAcmpeq:  condBr2(NCond::Eq); break;
+      case Op::IfAcmpne:  condBr2(NCond::Ne); break;
+
+      case Op::TableSwitch: {
+        const std::uint8_t key = useStack(d - 1, kScratch0);
+        const std::int32_t low = readS32(code, pc + 3);
+        const std::uint16_t count = readU16(code, pc + 7);
+        const std::uint32_t deflt =
+            pc + static_cast<std::uint32_t>(readS16(code, pc + 1));
+        NativeInst bias;
+        bias.op = NOp::AddI;
+        bias.rd = kScratch2;
+        bias.rs1 = key;
+        bias.imm = -low;
+        emit(bias);
+        emitBranchTo(NOp::Br, NCond::Lt, kScratch2, kNoReg, deflt);
+        NativeInst cnt;
+        cnt.op = NOp::MovI;
+        cnt.rd = kScratch1;
+        cnt.imm = count;
+        emit(cnt);
+        emitBranchTo(NOp::Br, NCond::Ge, kScratch2, kScratch1, deflt);
+        std::vector<std::uint32_t> table(count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+            table[i] = pc + static_cast<std::uint32_t>(
+                                readS16(code, pc + 9 + 2u * i));
+        }
+        nm_->jumpTables.push_back(std::move(table));
+        pendingTables_.emplace_back(
+            static_cast<std::uint32_t>(nm_->jumpTables.size() - 1), pc);
+        NativeInst jt;
+        jt.op = NOp::JmpTbl;
+        jt.rs1 = kScratch2;
+        jt.imm = static_cast<std::int32_t>(nm_->jumpTables.size() - 1);
+        emit(jt);
+        break;
+      }
+      case Op::LookupSwitch: {
+        const std::uint8_t key = useStack(d - 1, kScratch0);
+        const std::uint16_t npairs = readU16(code, pc + 3);
+        for (std::uint16_t i = 0; i < npairs; ++i) {
+            NativeInst kv;
+            kv.op = NOp::MovI;
+            kv.rd = kScratch1;
+            kv.imm = readS32(code, pc + 5 + 6u * i);
+            emit(kv);
+            emitBranchTo(NOp::Br, NCond::Eq, key, kScratch1,
+                         pc + static_cast<std::uint32_t>(readS16(
+                                  code, pc + 5 + 6u * i + 4)));
+        }
+        NativeInst j;
+        j.op = NOp::Jmp;
+        pending_.push_back(
+            {emit(j),
+             pc + static_cast<std::uint32_t>(readS16(code, pc + 1))});
+        break;
+      }
+
+      case Op::InvokeStatic:
+      case Op::InvokeSpecial: {
+        const MethodId target = readU16(code, pc + 1);
+        const Method &callee = prog_.methods[target];
+        if (t_.inlining_ && inlineEligible(callee, d)) {
+            inlineBody(callee, d, op == Op::InvokeSpecial);
+            ++t_.callsInlined_;
+            break;
+        }
+        setupArgs(callee.numArgs);
+        if (op == Op::InvokeSpecial)
+            nullChk(kArgRegBase);
+        NativeInst call;
+        call.op = op == Op::InvokeStatic ? NOp::CallStatic
+                                         : NOp::CallSpecial;
+        call.imm = target;
+        call.aux = callee.numArgs;
+        emit(call);
+        callResult(callee.numArgs, callee.returnType);
+        break;
+      }
+      case Op::InvokeVirtual: {
+        const std::uint16_t slot = readU16(code, pc + 1);
+        // Representative callee for signature info.
+        const Method *rep = nullptr;
+        for (const auto &c : prog_.classes) {
+            if (slot < c.vtable.size() && c.vtable[slot] != kNoMethod) {
+                rep = &prog_.methods[c.vtable[slot]];
+                break;
+            }
+        }
+        if (rep == nullptr)
+            throw VmError("translator: unresolvable vtable slot");
+        if (t_.inlining_) {
+            // The paper's proposed optimization: replace the indirect
+            // branch with the invoked method's code when the target is
+            // unambiguous.
+            const Method *mono = monomorphicTarget(slot);
+            if (mono != nullptr) {
+                ++t_.callsDevirtualized_;
+                if (inlineEligible(*mono, d)) {
+                    inlineBody(*mono, d, /*needs_null_check=*/true);
+                    ++t_.callsInlined_;
+                    break;
+                }
+                // Not inlinable, but still a direct call.
+                setupArgs(mono->numArgs);
+                nullChk(kArgRegBase);
+                NativeInst call;
+                call.op = NOp::CallSpecial;
+                call.imm = mono->id;
+                call.aux = mono->numArgs;
+                emit(call);
+                callResult(mono->numArgs, mono->returnType);
+                break;
+            }
+        }
+        setupArgs(rep->numArgs);
+        nullChk(kArgRegBase);
+        NativeInst call;
+        call.op = NOp::CallVirtual;
+        call.imm = slot;
+        call.aux = rep->numArgs;
+        emit(call);
+        callResult(rep->numArgs, rep->returnType);
+        break;
+      }
+      case Op::ReturnVoid: {
+        NativeInst r;
+        r.op = NOp::Ret;
+        r.rs1 = kNoReg;
+        emit(r);
+        break;
+      }
+      case Op::Ireturn:
+      case Op::Freturn:
+      case Op::Areturn: {
+        const std::uint8_t v = useStack(d - 1, kScratch0);
+        NativeInst mv;
+        mv.op = NOp::Mov;
+        mv.rd = kArgRegBase;
+        mv.rs1 = v;
+        emit(mv);
+        NativeInst r;
+        r.op = NOp::Ret;
+        r.rs1 = kArgRegBase;
+        emit(r);
+        break;
+      }
+
+      case Op::GetFieldI:
+      case Op::GetFieldF:
+      case Op::GetFieldA: {
+        const std::uint16_t slot = readU16(code, pc + 1);
+        const std::uint8_t obj = useStack(d - 1, kScratch1);
+        nullChk(obj);
+        defStack(d - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = op == Op::GetFieldA ? NOp::LdRef : NOp::Ld;
+            i.rd = rd;
+            i.rs1 = obj;
+            i.imm = 8 + 4 * slot;
+            emit(i);
+        });
+        break;
+      }
+      case Op::PutFieldI:
+      case Op::PutFieldF:
+      case Op::PutFieldA: {
+        const std::uint16_t slot = readU16(code, pc + 1);
+        const std::uint8_t val = useStack(d - 1, kScratch0);
+        const std::uint8_t obj = useStack(d - 2, kScratch1);
+        nullChk(obj);
+        NativeInst i;
+        i.op = op == Op::PutFieldA ? NOp::StRef : NOp::St;
+        i.rs1 = obj;
+        i.rs2 = val;
+        i.imm = 8 + 4 * slot;
+        emit(i);
+        break;
+      }
+      case Op::GetStaticI:
+      case Op::GetStaticF:
+      case Op::GetStaticA:
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::LdStatic;
+            i.rd = rd;
+            i.imm = readU16(code, pc + 1);
+            i.aux = op == Op::GetStaticA ? 1 : 0;
+            emit(i);
+        });
+        break;
+      case Op::PutStaticI:
+      case Op::PutStaticF:
+      case Op::PutStaticA: {
+        const std::uint8_t val = useStack(d - 1, kScratch0);
+        NativeInst i;
+        i.op = NOp::StStatic;
+        i.rs1 = val;
+        i.imm = readU16(code, pc + 1);
+        i.aux = op == Op::PutStaticA ? 1 : 0;
+        emit(i);
+        break;
+      }
+
+      case Op::New:
+        defStack(d, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::New;
+            i.rd = rd;
+            i.imm = readU16(code, pc + 1);
+            emit(i);
+        });
+        break;
+      case Op::NewArray: {
+        const std::uint8_t len_reg = useStack(d - 1, kScratch1);
+        defStack(d - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::NewArr;
+            i.rd = rd;
+            i.rs1 = len_reg;
+            i.aux = readU8(code, pc + 1);
+            emit(i);
+        });
+        break;
+      }
+      case Op::ArrayLength: {
+        const std::uint8_t arr = useStack(d - 1, kScratch1);
+        nullChk(arr);
+        defStack(d - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::ArrLen;
+            i.rd = rd;
+            i.rs1 = arr;
+            emit(i);
+        });
+        break;
+      }
+      case Op::IAload: arrayLoad(NOp::Ld, 4); break;
+      case Op::FAload: arrayLoad(NOp::Ld, 4); break;
+      case Op::AAload: arrayLoad(NOp::LdRef, 4); break;
+      case Op::CAload: arrayLoad(NOp::LdU16, 2); break;
+      case Op::BAload: arrayLoad(NOp::LdS8, 1); break;
+      case Op::IAstore: arrayStore(NOp::St, 4); break;
+      case Op::FAstore: arrayStore(NOp::St, 4); break;
+      case Op::AAstore: arrayStore(NOp::StRef, 4); break;
+      case Op::CAstore: arrayStore(NOp::St16, 2); break;
+      case Op::BAstore: arrayStore(NOp::St8, 1); break;
+
+      case Op::MonitorEnter: {
+        const std::uint8_t obj = useStack(d - 1, kScratch0);
+        nullChk(obj);
+        NativeInst i;
+        i.op = NOp::MonEnter;
+        i.rs1 = obj;
+        emit(i);
+        break;
+      }
+      case Op::MonitorExit: {
+        const std::uint8_t obj = useStack(d - 1, kScratch0);
+        nullChk(obj);
+        NativeInst i;
+        i.op = NOp::MonExit;
+        i.rs1 = obj;
+        emit(i);
+        break;
+      }
+      case Op::Athrow: {
+        const std::uint8_t ex = useStack(d - 1, kScratch0);
+        NativeInst i;
+        i.op = NOp::Throw;
+        i.rs1 = ex;
+        emit(i);
+        break;
+      }
+
+      case Op::Intrinsic: {
+        const IntrinsicId iid =
+            static_cast<IntrinsicId>(readU8(code, pc + 1));
+        if (iid == IntrinsicId::ArrayCopy) {
+            setupArgs(5);
+            NativeInst i;
+            i.op = NOp::ArrCopy;
+            emit(i);
+            break;
+        }
+        const std::uint8_t a = useStack(d - 1, kScratch1);
+        const bool has_result = iid == IntrinsicId::FSqrt
+            || iid == IntrinsicId::FSin || iid == IntrinsicId::FCos;
+        if (has_result) {
+            defStack(d - 1, [&](std::uint8_t rd) {
+                NativeInst i;
+                i.op = NOp::Intrin;
+                i.rd = rd;
+                i.rs1 = a;
+                i.imm = static_cast<std::int32_t>(iid);
+                emit(i);
+            });
+        } else {
+            NativeInst i;
+            i.op = NOp::Intrin;
+            i.rd = kNoReg;
+            i.rs1 = a;
+            i.imm = static_cast<std::int32_t>(iid);
+            emit(i);
+        }
+        break;
+      }
+      case Op::SpawnThread: {
+        const std::uint8_t a = useStack(d - 1, kScratch1);
+        const MethodId target = readU16(code, pc + 1);
+        defStack(d - 1, [&](std::uint8_t rd) {
+            NativeInst i;
+            i.op = NOp::Spawn;
+            i.rd = rd;
+            i.rs1 = a;
+            i.imm = target;
+            emit(i);
+        });
+        break;
+      }
+      case Op::JoinThread: {
+        const std::uint8_t a = useStack(d - 1, kScratch1);
+        NativeInst i;
+        i.op = NOp::Join;
+        i.rs1 = a;
+        emit(i);
+        break;
+      }
+
+      case Op::OpCount_:
+        throw VmError("invalid opcode reached translator");
+    }
+}
+
+std::unique_ptr<NativeMethod>
+Translator::MethodTranslation::run()
+{
+    TraceEmitter &E = t_.emitter_;
+    // Enter the translator: method lookup, buffer setup, exception
+    // table scan.
+    E.control(Phase::Translate, kTransSetup + 0x20, NKind::Call,
+              kTransDispatch);
+    for (int k = 0; k < 32; ++k) {
+        E.load(Phase::Translate, kTransSetup + 0x24,
+               seg::kTranslateData + 0x2000 + 8ull * k, 4);
+        E.alu(Phase::Translate, kTransSetup + 0x28);
+        E.alu(Phase::Translate, kTransSetup + 0x2c);
+    }
+
+    prologue();
+
+    std::uint32_t pc = 0;
+    while (pc < m_.code.size()) {
+        const std::uint32_t len = instrLength(m_.code, pc);
+        if (depths_[pc] >= 0) {
+            bc2n_[pc] = static_cast<std::int32_t>(nm_->code.size());
+            traceBytecodeWork(pc, m_.opAt(pc));
+            translateOne(pc, depths_[pc]);
+            ++t_.bytecodes_;
+        }
+        pc += len;
+    }
+    // A method falling off the end is malformed; the verifier rejects
+    // it, but keep the executor safe with a trailing return.
+    NativeInst guard;
+    guard.op = NOp::Ret;
+    guard.rs1 = kNoReg;
+    emit(guard);
+
+    patchBranches();
+    mapHandlers();
+    nm_->bc2n = bc2n_;
+    workingBytes_ = m_.code.size() + depths_.size() * 4
+        + nm_->code.size() * 8 + pending_.size() * 8;
+    return std::move(nm_);
+}
+
+const NativeMethod *
+Translator::translate(MethodId id)
+{
+    const Method &m = registry_.method(id);
+    if (m.numArgs > kNumArgRegs)
+        return nullptr;  // stays interpreted
+
+    MethodTranslation mt(*this, m);
+    std::unique_ptr<NativeMethod> nm;
+    try {
+        nm = mt.run();
+    } catch (const TranslationAbort &) {
+        return nullptr;  // e.g. calls a callee with too many args
+    }
+    peakWorking_ = std::max(peakWorking_, mt.workingBytes());
+
+    // Install first (assigning the code-cache address), then emit the
+    // install-store trace against the final addresses.
+    const NativeMethod *installed = cache_.install(std::move(nm));
+    mt.traceInstall(*installed);
+    ++methods_;
+    return installed;
+}
+
+} // namespace jrs

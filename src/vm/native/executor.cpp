@@ -1,0 +1,611 @@
+#include "vm/native/executor.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace jrs {
+
+namespace {
+
+/** Native-code stub target for a method (compiled or interpreter entry). */
+SimAddr
+callTargetOf(MethodId id)
+{
+    return seg::kRuntimeCode + 0x1000 + 0x40ull * id;
+}
+
+float
+bitsToFloat(std::uint64_t raw)
+{
+    const std::uint32_t b = static_cast<std::uint32_t>(raw);
+    float f;
+    std::memcpy(&f, &b, sizeof(f));
+    return f;
+}
+
+std::uint64_t
+floatToBits(float f)
+{
+    std::uint32_t b;
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+}
+
+std::int64_t
+sx32(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::int32_t>(static_cast<std::uint32_t>(v)));
+}
+
+} // namespace
+
+StepResult
+NativeExecutor::doReturn(VmThread &thread, NativeFrame &f,
+                         const NativeInst &inst)
+{
+    StepResult r;
+    r.action = StepAction::Returned;
+    if (inst.rs1 != kNoReg) {
+        r.hasValue = true;
+        r.value = Value::fromRaw(f.regs[inst.rs1],
+                                 tagOf(f.nm->src->returnType));
+    }
+    if (f.syncObj != 0 && !f.monitorPending)
+        ctx_.sync.exit(thread.tid(), f.syncObj);
+    ctx_.emitter.control(Phase::NativeExec, f.nm->pcOf(f.ip), NKind::Ret,
+                         0);
+    thread.frames.pop_back();
+    thread.popFrameSpace();
+    return r;
+}
+
+StepResult
+NativeExecutor::step(VmThread &thread)
+{
+    NativeFrame &f = std::get<NativeFrame>(thread.frames.back());
+    if (f.monitorPending) {
+        if (!ctx_.sync.enter(thread.tid(), f.syncObj)) {
+            StepResult r;
+            r.action = StepAction::Blocked;
+            return r;
+        }
+        f.monitorPending = false;
+    }
+
+    const NativeMethod &nm = *f.nm;
+    const std::uint32_t ip = f.ip;
+    const NativeInst inst = nm.code[ip];
+    const SimAddr pc = nm.pcOf(ip);
+    const Phase P = Phase::NativeExec;
+    auto &E = ctx_.emitter;
+    auto &heap = ctx_.heap;
+    auto R = [&](std::uint8_t r) -> std::uint64_t & { return f.regs[r]; };
+
+    ++insts_;
+
+    StepResult cont;
+    cont.action = StepAction::Continue;
+
+    auto aluEv = [&](NKind kind = NKind::IntAlu) {
+        E.alu(P, pc, kind, inst.rd, inst.rs1, inst.rs2);
+    };
+    auto intBin = [&](auto fn) {
+        const std::int32_t a = static_cast<std::int32_t>(R(inst.rs1));
+        const std::int32_t b = static_cast<std::int32_t>(R(inst.rs2));
+        R(inst.rd) = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(fn(a, b)));
+        aluEv();
+    };
+    auto fltBin = [&](auto fn, NKind kind) {
+        const float a = bitsToFloat(R(inst.rs1));
+        const float b = bitsToFloat(R(inst.rs2));
+        R(inst.rd) = floatToBits(fn(a, b));
+        aluEv(kind);
+    };
+
+    try {
+        switch (inst.op) {
+          case NOp::MovI:
+            R(inst.rd) = inst.aux == 1
+                ? static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(inst.imm))
+                : static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(inst.imm));
+            aluEv();
+            break;
+          case NOp::Mov:
+            R(inst.rd) = R(inst.rs1);
+            aluEv();
+            break;
+          case NOp::Add:
+            intBin([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a)
+                    + static_cast<std::uint32_t>(b));
+            });
+            break;
+          case NOp::Sub:
+            intBin([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a)
+                    - static_cast<std::uint32_t>(b));
+            });
+            break;
+          case NOp::Mul: {
+            const std::int32_t a =
+                static_cast<std::int32_t>(R(inst.rs1));
+            const std::int32_t b =
+                static_cast<std::int32_t>(R(inst.rs2));
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int32_t>(
+                    static_cast<std::int64_t>(a)
+                    * static_cast<std::int64_t>(b))));
+            aluEv(NKind::IntMul);
+            break;
+          }
+          case NOp::Div: {
+            const std::int32_t a =
+                static_cast<std::int32_t>(R(inst.rs1));
+            const std::int32_t b =
+                static_cast<std::int32_t>(R(inst.rs2));
+            aluEv(NKind::IntDiv);
+            if (b == 0)
+                ctx_.runtime.throwBuiltin(BuiltinEx::Arithmetic);
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    a == INT32_MIN && b == -1
+                        ? a
+                        : static_cast<std::int32_t>(a / b)));
+            break;
+          }
+          case NOp::Rem: {
+            const std::int32_t a =
+                static_cast<std::int32_t>(R(inst.rs1));
+            const std::int32_t b =
+                static_cast<std::int32_t>(R(inst.rs2));
+            aluEv(NKind::IntDiv);
+            if (b == 0)
+                ctx_.runtime.throwBuiltin(BuiltinEx::Arithmetic);
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    a == INT32_MIN && b == -1 ? 0 : a % b));
+            break;
+          }
+          case NOp::And:
+            intBin([](std::int32_t a, std::int32_t b) { return a & b; });
+            break;
+          case NOp::Or:
+            intBin([](std::int32_t a, std::int32_t b) { return a | b; });
+            break;
+          case NOp::Xor:
+            intBin([](std::int32_t a, std::int32_t b) { return a ^ b; });
+            break;
+          case NOp::Shl:
+            intBin([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a) << (b & 31));
+            });
+            break;
+          case NOp::Shr:
+            intBin([](std::int32_t a, std::int32_t b) {
+                return a >> (b & 31);
+            });
+            break;
+          case NOp::Ushr:
+            intBin([](std::int32_t a, std::int32_t b) {
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(a) >> (b & 31));
+            });
+            break;
+          case NOp::Neg:
+            R(inst.rd) = static_cast<std::uint64_t>(
+                -sx32(R(inst.rs1)));
+            // Keep int32 wrap semantics for INT32_MIN.
+            R(inst.rd) = static_cast<std::uint64_t>(sx32(R(inst.rd)));
+            aluEv();
+            break;
+          case NOp::AddI:
+            R(inst.rd) = static_cast<std::uint64_t>(
+                sx32(static_cast<std::uint64_t>(
+                    sx32(R(inst.rs1)) + inst.imm)));
+            aluEv();
+            break;
+          case NOp::ShlI:
+            R(inst.rd) = static_cast<std::uint64_t>(
+                sx32(R(inst.rs1)) << inst.imm);
+            aluEv();
+            break;
+          case NOp::AddP:
+            R(inst.rd) = R(inst.rs1) + R(inst.rs2);
+            aluEv();
+            break;
+
+          case NOp::FAdd:
+            fltBin([](float a, float b) { return a + b; }, NKind::FpAlu);
+            break;
+          case NOp::FSub:
+            fltBin([](float a, float b) { return a - b; }, NKind::FpAlu);
+            break;
+          case NOp::FMul:
+            fltBin([](float a, float b) { return a * b; }, NKind::FpMul);
+            break;
+          case NOp::FDiv:
+            fltBin([](float a, float b) { return a / b; }, NKind::FpDiv);
+            break;
+          case NOp::FNeg:
+            R(inst.rd) = floatToBits(-bitsToFloat(R(inst.rs1)));
+            aluEv(NKind::FpAlu);
+            break;
+          case NOp::FCmp: {
+            const float a = bitsToFloat(R(inst.rs1));
+            const float b = bitsToFloat(R(inst.rs2));
+            std::int32_t r;
+            if (std::isnan(a) || std::isnan(b))
+                r = -1;
+            else
+                r = a < b ? -1 : (a > b ? 1 : 0);
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(r));
+            aluEv(NKind::FpAlu);
+            break;
+          }
+          case NOp::FSqrt:
+            R(inst.rd) = floatToBits(std::sqrt(bitsToFloat(R(inst.rs1))));
+            aluEv(NKind::FpDiv);
+            break;
+          case NOp::FSin:
+            R(inst.rd) = floatToBits(std::sin(bitsToFloat(R(inst.rs1))));
+            aluEv(NKind::FpDiv);
+            break;
+          case NOp::FCos:
+            R(inst.rd) = floatToBits(std::cos(bitsToFloat(R(inst.rs1))));
+            aluEv(NKind::FpDiv);
+            break;
+          case NOp::I2F:
+            R(inst.rd) = floatToBits(
+                static_cast<float>(sx32(R(inst.rs1))));
+            aluEv(NKind::FpAlu);
+            break;
+          case NOp::F2I: {
+            const float a = bitsToFloat(R(inst.rs1));
+            std::int32_t r;
+            if (std::isnan(a))
+                r = 0;
+            else if (a >= 2147483647.0f)
+                r = INT32_MAX;
+            else if (a <= -2147483648.0f)
+                r = INT32_MIN;
+            else
+                r = static_cast<std::int32_t>(a);
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(r));
+            aluEv(NKind::FpAlu);
+            break;
+          }
+          case NOp::I2C:
+            R(inst.rd) = R(inst.rs1) & 0xffffu;
+            aluEv();
+            break;
+          case NOp::I2B:
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int8_t>(
+                    R(inst.rs1) & 0xffu)));
+            aluEv();
+            break;
+
+          case NOp::Ld: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            R(inst.rd) = static_cast<std::uint64_t>(
+                sx32(heap.loadU32(a)));
+            E.load(P, pc, a, 4, inst.rd, inst.rs1);
+            break;
+          }
+          case NOp::LdU16: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            R(inst.rd) = heap.loadU16(a);
+            E.load(P, pc, a, 2, inst.rd, inst.rs1);
+            break;
+          }
+          case NOp::LdS8: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int8_t>(heap.loadU8(a))));
+            E.load(P, pc, a, 1, inst.rd, inst.rs1);
+            break;
+          }
+          case NOp::St: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            heap.storeU32(a, static_cast<std::uint32_t>(R(inst.rs2)));
+            E.store(P, pc, a, 4, inst.rs1, inst.rs2);
+            break;
+          }
+          case NOp::St16: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            heap.storeU16(a, static_cast<std::uint16_t>(R(inst.rs2)));
+            E.store(P, pc, a, 2, inst.rs1, inst.rs2);
+            break;
+          }
+          case NOp::St8: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            heap.storeU8(a, static_cast<std::uint8_t>(R(inst.rs2)));
+            E.store(P, pc, a, 1, inst.rs1, inst.rs2);
+            break;
+          }
+          case NOp::LdRef: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            const std::uint32_t off = heap.loadU32(a);
+            R(inst.rd) = off == 0 ? 0 : seg::kHeap + off;
+            E.load(P, pc, a, 4, inst.rd, inst.rs1);
+            break;
+          }
+          case NOp::StRef: {
+            const SimAddr a = R(inst.rs1) + inst.imm;
+            const std::uint64_t v = R(inst.rs2);
+            heap.storeU32(a, v == 0
+                                 ? 0u
+                                 : static_cast<std::uint32_t>(
+                                       v - seg::kHeap));
+            E.store(P, pc, a, 4, inst.rs1, inst.rs2);
+            break;
+          }
+          case NOp::LdSpill:
+            R(inst.rd) = f.spills[static_cast<std::size_t>(inst.imm)];
+            E.load(P, pc, f.spillAddr(
+                              static_cast<std::uint16_t>(inst.imm)),
+                   4, inst.rd);
+            break;
+          case NOp::StSpill:
+            f.spills[static_cast<std::size_t>(inst.imm)] = R(inst.rs1);
+            E.store(P, pc, f.spillAddr(
+                               static_cast<std::uint16_t>(inst.imm)),
+                    4, kNoReg, inst.rs1);
+            break;
+          case NOp::LdStr:
+            R(inst.rd) = ctx_.registry.stringRef(
+                static_cast<std::uint16_t>(inst.imm));
+            E.load(P, pc,
+                   seg::kClassData + 0x0400'0000ull + 4ull * inst.imm, 4,
+                   inst.rd);
+            break;
+          case NOp::LdStatic: {
+            const std::uint16_t slot =
+                static_cast<std::uint16_t>(inst.imm);
+            R(inst.rd) = ctx_.registry.getStatic(slot).raw();
+            E.load(P, pc, ClassRegistry::staticAddr(slot), 4, inst.rd);
+            break;
+          }
+          case NOp::StStatic: {
+            const std::uint16_t slot =
+                static_cast<std::uint16_t>(inst.imm);
+            const VType t =
+                ctx_.registry.program().statics[slot].type;
+            ctx_.registry.setStatic(
+                slot, Value::fromRaw(R(inst.rs1), tagOf(t)));
+            E.store(P, pc, ClassRegistry::staticAddr(slot), 4, kNoReg,
+                    inst.rs1);
+            break;
+          }
+
+          case NOp::Br: {
+            const std::int64_t a = static_cast<std::int64_t>(R(inst.rs1));
+            const std::int64_t b = inst.rs2 == kNoReg
+                ? 0
+                : static_cast<std::int64_t>(R(inst.rs2));
+            bool taken = false;
+            switch (static_cast<NCond>(inst.aux)) {
+              case NCond::Eq: taken = a == b; break;
+              case NCond::Ne: taken = a != b; break;
+              case NCond::Lt: taken = a < b; break;
+              case NCond::Ge: taken = a >= b; break;
+              case NCond::Gt: taken = a > b; break;
+              case NCond::Le: taken = a <= b; break;
+            }
+            E.branch(P, pc,
+                     nm.pcOf(static_cast<std::uint32_t>(inst.imm)),
+                     taken, inst.rs1, inst.rs2);
+            f.ip = taken ? static_cast<std::uint32_t>(inst.imm) : ip + 1;
+            return cont;
+          }
+          case NOp::Jmp:
+            E.control(P, pc, NKind::Jump,
+                      nm.pcOf(static_cast<std::uint32_t>(inst.imm)));
+            f.ip = static_cast<std::uint32_t>(inst.imm);
+            return cont;
+          case NOp::JmpTbl: {
+            const auto &table =
+                nm.jumpTables[static_cast<std::size_t>(inst.imm)];
+            const std::uint64_t idx = R(inst.rs1);
+            if (idx >= table.size())
+                throw VmError("jmptbl index out of range");
+            // The table itself lives just past the method's code.
+            const SimAddr tbl_addr = nm.codeBase
+                + 4ull * nm.code.size() + 64ull * inst.imm + 4ull * idx;
+            E.load(P, pc, tbl_addr, 4, kScratch0, inst.rs1);
+            E.control(P, pc + 4, NKind::IndirectJump,
+                      nm.pcOf(table[static_cast<std::size_t>(idx)]),
+                      kScratch0);
+            f.ip = table[static_cast<std::size_t>(idx)];
+            return cont;
+          }
+          case NOp::BndChk: {
+            const std::uint32_t idx =
+                static_cast<std::uint32_t>(R(inst.rs1));
+            const std::uint32_t len =
+                static_cast<std::uint32_t>(R(inst.rs2));
+            const bool bad = idx >= len;
+            E.branch(P, pc, pc + 8, bad, inst.rs1, inst.rs2);
+            if (bad)
+                ctx_.runtime.throwBuiltin(
+                    BuiltinEx::ArrayIndexOutOfBounds);
+            break;
+          }
+          case NOp::NullChk: {
+            const bool bad = R(inst.rs1) == 0;
+            E.branch(P, pc, pc + 8, bad, inst.rs1);
+            if (bad)
+                ctx_.runtime.throwBuiltin(BuiltinEx::NullPointer);
+            break;
+          }
+
+          case NOp::CallStatic:
+          case NOp::CallSpecial: {
+            const MethodId target =
+                static_cast<MethodId>(inst.imm);
+            E.control(P, pc, NKind::Call, callTargetOf(target));
+            const Method &callee = ctx_.registry.method(target);
+            Value args[256];
+            for (std::uint8_t i = 0; i < inst.aux; ++i) {
+                args[i] = Value::fromRaw(
+                    R(static_cast<std::uint8_t>(kArgRegBase + i)),
+                    tagOf(callee.argTypes[i]));
+            }
+            f.ip = ip + 1;
+            ctx_.services.invokeMethod(thread, target, args, inst.aux);
+            StepResult r;
+            r.action = StepAction::Invoked;
+            return r;
+          }
+          case NOp::CallVirtual: {
+            const std::uint16_t slot =
+                static_cast<std::uint16_t>(inst.imm);
+            const SimAddr recv = R(kArgRegBase);
+            if (recv == 0)
+                ctx_.runtime.throwBuiltin(BuiltinEx::NullPointer);
+            const ClassId cls = heap.klassOf(recv);
+            // Header load + vtable load + register-indirect call.
+            E.load(P, pc, recv, 4, kScratch0, kArgRegBase);
+            E.load(P, pc + 4,
+                   ctx_.registry.vtableEntryAddr(cls, slot), 4,
+                   kScratch0, kScratch0);
+            const MethodId target =
+                ctx_.registry.virtualLookup(cls, slot);
+            E.control(P, pc + 8, NKind::IndirectCall,
+                      callTargetOf(target), kScratch0);
+            const Method &callee = ctx_.registry.method(target);
+            Value args[256];
+            for (std::uint8_t i = 0; i < inst.aux; ++i) {
+                args[i] = Value::fromRaw(
+                    R(static_cast<std::uint8_t>(kArgRegBase + i)),
+                    tagOf(callee.argTypes[i]));
+            }
+            f.ip = ip + 1;
+            ctx_.services.invokeMethod(thread, target, args, inst.aux);
+            StepResult r;
+            r.action = StepAction::Invoked;
+            return r;
+          }
+          case NOp::Ret:
+            return doReturn(thread, f, inst);
+
+          case NOp::New: {
+            const SimAddr obj = ctx_.runtime.newObject(
+                static_cast<ClassId>(inst.imm));
+            R(inst.rd) = obj;
+            break;
+          }
+          case NOp::NewArr: {
+            const std::int32_t len =
+                static_cast<std::int32_t>(R(inst.rs1));
+            const SimAddr arr = ctx_.runtime.newArray(
+                static_cast<ArrayKind>(inst.aux), len);
+            R(inst.rd) = arr;
+            break;
+          }
+          case NOp::ArrLen: {
+            const SimAddr a = R(inst.rs1) + 8;
+            R(inst.rd) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(heap.arrayLength(R(inst.rs1))));
+            E.load(P, pc, a, 4, inst.rd, inst.rs1);
+            break;
+          }
+          case NOp::MonEnter:
+            if (!ctx_.sync.enter(thread.tid(), R(inst.rs1))) {
+                thread.state = ThreadState::BlockedOnMonitor;
+                StepResult r;
+                r.action = StepAction::Blocked;
+                return r;
+            }
+            break;
+          case NOp::MonExit:
+            ctx_.sync.exit(thread.tid(), R(inst.rs1));
+            break;
+          case NOp::Throw: {
+            if (R(inst.rs1) == 0)
+                ctx_.runtime.throwBuiltin(BuiltinEx::NullPointer);
+            StepResult r;
+            r.action = StepAction::Thrown;
+            r.thrown = R(inst.rs1);
+            return r;
+          }
+
+          case NOp::Intrin:
+            switch (static_cast<IntrinsicId>(inst.imm)) {
+              case IntrinsicId::PrintInt:
+                ctx_.runtime.printInt(
+                    static_cast<std::int32_t>(R(inst.rs1)));
+                break;
+              case IntrinsicId::PrintChar:
+                ctx_.runtime.printChar(
+                    static_cast<std::int32_t>(R(inst.rs1)));
+                break;
+              case IntrinsicId::FSqrt:
+                R(inst.rd) =
+                    floatToBits(std::sqrt(bitsToFloat(R(inst.rs1))));
+                aluEv(NKind::FpDiv);
+                break;
+              case IntrinsicId::FSin:
+                R(inst.rd) =
+                    floatToBits(std::sin(bitsToFloat(R(inst.rs1))));
+                aluEv(NKind::FpDiv);
+                break;
+              case IntrinsicId::FCos:
+                R(inst.rd) =
+                    floatToBits(std::cos(bitsToFloat(R(inst.rs1))));
+                aluEv(NKind::FpDiv);
+                break;
+              default:
+                throw VmError("bad intrinsic in native code");
+            }
+            break;
+          case NOp::ArrCopy:
+            ctx_.runtime.arrayCopy(
+                R(kArgRegBase),
+                static_cast<std::int32_t>(R(kArgRegBase + 1)),
+                R(kArgRegBase + 2),
+                static_cast<std::int32_t>(R(kArgRegBase + 3)),
+                static_cast<std::int32_t>(R(kArgRegBase + 4)));
+            break;
+          case NOp::Spawn: {
+            const std::uint32_t tid = ctx_.services.spawnThread(
+                static_cast<MethodId>(inst.imm),
+                Value::makeInt(static_cast<std::int32_t>(R(inst.rs1))));
+            R(inst.rd) = tid;
+            break;
+          }
+          case NOp::Join:
+            if (!ctx_.services.threadDone(
+                    static_cast<std::uint32_t>(R(inst.rs1)))) {
+                thread.state = ThreadState::Joining;
+                thread.joinTarget =
+                    static_cast<std::uint32_t>(R(inst.rs1));
+                StepResult r;
+                r.action = StepAction::Blocked;
+                return r;
+            }
+            break;
+        }
+    } catch (const GuestThrow &gt) {
+        StepResult r;
+        r.action = StepAction::Thrown;
+        r.thrown = gt.ref;
+        r.thrownName = gt.builtinName;
+        return r;
+    }
+
+    f.ip = ip + 1;
+    return cont;
+}
+
+} // namespace jrs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Executor for JIT-generated native code.
+ *
+ * Interprets NativeInst sequences with real semantics over the shared
+ * heap (this is our "hardware"), emitting one NativeExec-phase
+ * TraceEvent per instruction — plus the short expansions real code
+ * performs for virtual dispatch (object-header load, vtable load,
+ * register-indirect call) and runtime calls.
+ */
+#ifndef JRS_VM_NATIVE_EXECUTOR_H
+#define JRS_VM_NATIVE_EXECUTOR_H
+
+#include "vm/engine/context.h"
+
+namespace jrs {
+
+/** Tag corresponding to a declared value type. */
+inline Tag
+tagOf(VType t)
+{
+    switch (t) {
+      case VType::Float: return Tag::Float;
+      case VType::Ref:   return Tag::Ref;
+      default:           return Tag::Int;
+    }
+}
+
+/** One-native-instruction-at-a-time stepper. */
+class NativeExecutor {
+  public:
+    explicit NativeExecutor(VmContext &ctx) : ctx_(ctx) {}
+
+    NativeExecutor(const NativeExecutor &) = delete;
+    NativeExecutor &operator=(const NativeExecutor &) = delete;
+
+    /**
+     * Execute one native instruction of @p thread's top frame (which
+     * must be a NativeFrame).
+     */
+    StepResult step(VmThread &thread);
+
+    /** Dynamic native instructions retired (excluding expansions). */
+    std::uint64_t instsRetired() const { return insts_; }
+
+  private:
+    StepResult doReturn(VmThread &thread, NativeFrame &f,
+                        const NativeInst &inst);
+
+    VmContext &ctx_;
+    std::uint64_t insts_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_NATIVE_EXECUTOR_H

@@ -1,0 +1,87 @@
+#include "vm/runtime/class_registry.h"
+
+namespace jrs {
+
+ClassRegistry::ClassRegistry(const Program &prog, Heap &heap)
+    : prog_(&prog)
+{
+    statics_.resize(prog.statics.size());
+    for (std::size_t i = 0; i < prog.statics.size(); ++i) {
+        switch (prog.statics[i].type) {
+          case VType::Float:
+            statics_[i] = Value::makeFloat(0.0f);
+            break;
+          case VType::Ref:
+            statics_[i] = Value::null();
+            break;
+          default:
+            statics_[i] = Value::makeInt(0);
+            break;
+        }
+    }
+
+    stringRefs_.reserve(prog.stringLiterals.size());
+    for (const std::string &s : prog.stringLiterals) {
+        const SimAddr arr = heap.allocArray(
+            ArrayKind::Char, static_cast<std::int32_t>(s.size()));
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            heap.storeU16(heap.elemAddr(arr, static_cast<std::int32_t>(i)),
+                          static_cast<std::uint16_t>(
+                              static_cast<unsigned char>(s[i])));
+        }
+        stringRefs_.push_back(arr);
+    }
+
+    classObjects_.reserve(prog.classes.size());
+    for (const auto &c : prog.classes)
+        classObjects_.push_back(heap.allocObject(c.id, 0));
+
+    metadataBytes_ = prog.totalBytecodeBytes()
+        + 4 * prog.statics.size();
+    for (const auto &c : prog.classes)
+        metadataBytes_ += 16 + 4 * c.vtable.size();
+}
+
+MethodId
+ClassRegistry::virtualLookup(ClassId cls, std::uint16_t slot) const
+{
+    const ClassDef &c = klass(cls);
+    if (slot >= c.vtable.size() || c.vtable[slot] == kNoMethod)
+        throw VmError("virtual dispatch: bad vtable slot in "
+                      + c.name);
+    return c.vtable[slot];
+}
+
+Value
+ClassRegistry::getStatic(std::uint16_t slot) const
+{
+    if (slot >= statics_.size())
+        throw VmError("bad static slot");
+    return statics_[slot];
+}
+
+void
+ClassRegistry::setStatic(std::uint16_t slot, Value v)
+{
+    if (slot >= statics_.size())
+        throw VmError("bad static slot");
+    statics_[slot] = v;
+}
+
+SimAddr
+ClassRegistry::classObject(ClassId cls) const
+{
+    if (cls >= classObjects_.size())
+        throw VmError("bad class id for class object");
+    return classObjects_[cls];
+}
+
+SimAddr
+ClassRegistry::stringRef(std::uint16_t index) const
+{
+    if (index >= stringRefs_.size())
+        throw VmError("bad string literal index");
+    return stringRefs_[index];
+}
+
+} // namespace jrs

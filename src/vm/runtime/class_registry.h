@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Runtime view of a loaded Program: method/class lookup, vtable
+ * dispatch, static variables, and interned string literals.
+ *
+ * Construction is the analogue of class loading: string literals are
+ * materialized as char arrays on the heap, static slots are zeroed, and
+ * metadata addresses are fixed so the JIT's vtable loads have realistic
+ * effective addresses.
+ */
+#ifndef JRS_VM_RUNTIME_CLASS_REGISTRY_H
+#define JRS_VM_RUNTIME_CLASS_REGISTRY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/bytecode/class_def.h"
+#include "vm/runtime/heap.h"
+#include "vm/runtime/value.h"
+
+namespace jrs {
+
+/** Base simulated address of the statics area (within class data). */
+inline constexpr SimAddr kStaticsBase = seg::kClassData + 0x0800'0000ull;
+
+/** Loaded-program services shared by interpreter, JIT and executor. */
+class ClassRegistry {
+  public:
+    /**
+     * Load @p prog: intern string literals into @p heap and initialize
+     * statics. The Program must outlive the registry.
+     */
+    ClassRegistry(const Program &prog, Heap &heap);
+
+    /** The loaded program. */
+    const Program &program() const { return *prog_; }
+
+    /** Method by global id. */
+    const Method &method(MethodId id) const {
+        if (id >= prog_->methods.size())
+            throw VmError("bad method id");
+        return prog_->methods[id];
+    }
+
+    /** Class by id. */
+    const ClassDef &klass(ClassId id) const {
+        if (id >= prog_->classes.size())
+            throw VmError("bad class id");
+        return prog_->classes[id];
+    }
+
+    /** Number of classes. */
+    std::size_t numClasses() const { return prog_->classes.size(); }
+
+    /**
+     * Virtual dispatch: method implementing vtable @p slot for an
+     * object of class @p cls. Throws VmError on a bad slot.
+     */
+    MethodId virtualLookup(ClassId cls, std::uint16_t slot) const;
+
+    /** Simulated address of a class's vtable entry (for trace loads). */
+    SimAddr vtableEntryAddr(ClassId cls, std::uint16_t slot) const {
+        return klass(cls).metaAddr + 16 + 4u * slot;
+    }
+
+    // --- statics ---------------------------------------------------------
+
+    Value getStatic(std::uint16_t slot) const;
+    void setStatic(std::uint16_t slot, Value v);
+
+    /** Simulated address of static slot @p slot. */
+    static SimAddr staticAddr(std::uint16_t slot) {
+        return kStaticsBase + 4u * slot;
+    }
+
+    // --- string literals ---------------------------------------------------
+
+    /** Heap char[] reference of string literal @p index. */
+    SimAddr stringRef(std::uint16_t index) const;
+
+    /**
+     * Per-class "class object" used as the monitor of static
+     * synchronized methods (java.lang.Class analogue).
+     */
+    SimAddr classObject(ClassId cls) const;
+
+    /**
+     * Footprint of class metadata + bytecode + statics (interpreted-mode
+     * baseline for the Table 1 memory comparison).
+     */
+    std::size_t metadataBytes() const { return metadataBytes_; }
+
+  private:
+    const Program *prog_;
+    std::vector<Value> statics_;
+    std::vector<SimAddr> stringRefs_;
+    std::vector<SimAddr> classObjects_;
+    std::size_t metadataBytes_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_RUNTIME_CLASS_REGISTRY_H

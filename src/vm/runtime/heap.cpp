@@ -1,0 +1,153 @@
+#include "vm/runtime/heap.h"
+
+#include <cstring>
+
+namespace jrs {
+
+namespace {
+
+/** Header layout: bits 0..15 klass id, bits 16..18 array kind,
+ *  bit 31 array flag. */
+constexpr std::uint32_t kArrayFlag = 0x8000'0000u;
+
+std::uint32_t
+makeHeader(ClassId cls, bool is_array, ArrayKind kind)
+{
+    std::uint32_t h = cls;
+    if (is_array) {
+        h |= kArrayFlag;
+        h |= static_cast<std::uint32_t>(kind) << 16;
+    }
+    return h;
+}
+
+} // namespace
+
+Heap::Heap(std::size_t capacity_bytes)
+    : storage_(capacity_bytes, 0),
+      cursor_(16)  // offset 0 reserved so a null ref is never valid
+{
+}
+
+std::size_t
+Heap::offsetOf(SimAddr addr) const
+{
+    if (addr < seg::kHeap || addr - seg::kHeap >= storage_.size())
+        throw VmError("heap access out of range");
+    return static_cast<std::size_t>(addr - seg::kHeap);
+}
+
+SimAddr
+Heap::bump(std::size_t bytes)
+{
+    const std::size_t aligned = (bytes + 7) & ~std::size_t{7};
+    if (cursor_ + aligned > storage_.size())
+        throw VmError("heap exhausted");
+    const SimAddr addr = seg::kHeap + cursor_;
+    cursor_ += aligned;
+    ++allocCount_;
+    return addr;
+}
+
+SimAddr
+Heap::allocObject(ClassId cls, std::uint16_t num_fields)
+{
+    const SimAddr addr = bump(8 + 4u * num_fields);
+    storeU32(addr, makeHeader(cls, false, ArrayKind::Int));
+    storeU32(addr + 4, 0);  // lockword
+    return addr;
+}
+
+SimAddr
+Heap::allocArray(ArrayKind kind, std::int32_t length)
+{
+    if (length < 0)
+        throw VmError("negative array size reached allocator");
+    const std::size_t bytes = 12
+        + static_cast<std::size_t>(length) * arrayElemSize(kind);
+    const SimAddr addr = bump(bytes);
+    storeU32(addr, makeHeader(0, true, kind));
+    storeU32(addr + 4, 0);
+    storeU32(addr + 8, static_cast<std::uint32_t>(length));
+    return addr;
+}
+
+std::uint32_t
+Heap::loadU32(SimAddr addr) const
+{
+    std::uint32_t v;
+    std::memcpy(&v, &storage_[offsetOf(addr)], sizeof(v));
+    return v;
+}
+
+void
+Heap::storeU32(SimAddr addr, std::uint32_t v)
+{
+    std::memcpy(&storage_[offsetOf(addr)], &v, sizeof(v));
+}
+
+std::uint16_t
+Heap::loadU16(SimAddr addr) const
+{
+    std::uint16_t v;
+    std::memcpy(&v, &storage_[offsetOf(addr)], sizeof(v));
+    return v;
+}
+
+void
+Heap::storeU16(SimAddr addr, std::uint16_t v)
+{
+    std::memcpy(&storage_[offsetOf(addr)], &v, sizeof(v));
+}
+
+std::uint8_t
+Heap::loadU8(SimAddr addr) const
+{
+    return storage_[offsetOf(addr)];
+}
+
+void
+Heap::storeU8(SimAddr addr, std::uint8_t v)
+{
+    storage_[offsetOf(addr)] = v;
+}
+
+ClassId
+Heap::klassOf(SimAddr obj) const
+{
+    return static_cast<ClassId>(loadU32(obj) & 0xffffu);
+}
+
+bool
+Heap::isArray(SimAddr obj) const
+{
+    return (loadU32(obj) & kArrayFlag) != 0;
+}
+
+ArrayKind
+Heap::arrayKindOf(SimAddr arr) const
+{
+    return static_cast<ArrayKind>((loadU32(arr) >> 16) & 0x7u);
+}
+
+std::int32_t
+Heap::arrayLength(SimAddr arr) const
+{
+    return static_cast<std::int32_t>(loadU32(arr + 8));
+}
+
+SimAddr
+Heap::elemAddr(SimAddr arr, std::int32_t index) const
+{
+    return arr + 12
+        + static_cast<SimAddr>(index)
+        * arrayElemSize(arrayKindOf(arr));
+}
+
+bool
+Heap::validRef(SimAddr addr) const
+{
+    return addr >= seg::kHeap + 16 && addr < seg::kHeap + cursor_;
+}
+
+} // namespace jrs

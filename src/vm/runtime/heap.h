@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The simulated Java heap.
+ *
+ * A bump-allocated arena addressed by simulated addresses in
+ * seg::kHeap. Object layout (little-endian, 4-byte slots):
+ *
+ *   objects:  [0] header (klass id, flags)   [4] lockword
+ *             [8...] instance fields, 4 bytes each
+ *   arrays:   [0] header                      [4] lockword
+ *             [8] length                      [12...] elements
+ *
+ * No garbage collector — the paper explicitly excludes GC from its
+ * scope, and all workloads fit comfortably in the arena.
+ */
+#ifndef JRS_VM_RUNTIME_HEAP_H
+#define JRS_VM_RUNTIME_HEAP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/address_map.h"
+#include "vm/bytecode/class_def.h"
+#include "vm/bytecode/opcode.h"
+#include "vm/runtime/value.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs {
+
+/** Pseudo class-id base for builtin exception objects. */
+inline constexpr ClassId kBuiltinExClassBase = 0xff00;
+
+/** Class id for a builtin exception kind. */
+inline ClassId
+builtinExClassId(BuiltinEx kind)
+{
+    return static_cast<ClassId>(kBuiltinExClassBase
+                                + static_cast<ClassId>(kind));
+}
+
+/** The simulated heap arena. */
+class Heap {
+  public:
+    /** @param capacity_bytes Arena capacity (default 64 MiB). */
+    explicit Heap(std::size_t capacity_bytes = 64u << 20);
+
+    // --- allocation ----------------------------------------------------
+
+    /** Allocate a zeroed object with @p num_fields 4-byte slots. */
+    SimAddr allocObject(ClassId cls, std::uint16_t num_fields);
+
+    /** Allocate a zeroed array. Throws VmError on negative length. */
+    SimAddr allocArray(ArrayKind kind, std::int32_t length);
+
+    /** Bytes handed out so far (Table 1 accounting). */
+    std::size_t bytesAllocated() const { return cursor_; }
+
+    /** Number of allocations performed. */
+    std::uint64_t allocationCount() const { return allocCount_; }
+
+    // --- raw access (callers emit the trace events) ---------------------
+
+    std::uint32_t loadU32(SimAddr addr) const;
+    void storeU32(SimAddr addr, std::uint32_t v);
+    std::uint16_t loadU16(SimAddr addr) const;
+    void storeU16(SimAddr addr, std::uint16_t v);
+    std::uint8_t loadU8(SimAddr addr) const;
+    void storeU8(SimAddr addr, std::uint8_t v);
+
+    // --- object helpers -------------------------------------------------
+
+    /** Class id of the object at @p obj. */
+    ClassId klassOf(SimAddr obj) const;
+
+    /** True when @p obj is an array. */
+    bool isArray(SimAddr obj) const;
+
+    /** Element kind of the array at @p arr. */
+    ArrayKind arrayKindOf(SimAddr arr) const;
+
+    /** Length of the array at @p arr. */
+    std::int32_t arrayLength(SimAddr arr) const;
+
+    /** Simulated address of the lockword of @p obj. */
+    static SimAddr lockwordAddr(SimAddr obj) { return obj + 4; }
+
+    /** Read/write the lockword. */
+    std::uint32_t lockword(SimAddr obj) const { return loadU32(obj + 4); }
+    void setLockword(SimAddr obj, std::uint32_t v) { storeU32(obj + 4, v); }
+
+    /** Simulated address of instance-field slot @p slot. */
+    static SimAddr fieldAddr(SimAddr obj, std::uint16_t slot) {
+        return obj + 8 + 4u * slot;
+    }
+
+    /** Simulated address of array element @p index. */
+    SimAddr elemAddr(SimAddr arr, std::int32_t index) const;
+
+    /**
+     * Bounds-checked element index validation; returns false when the
+     * access must raise ArrayIndexOutOfBounds.
+     */
+    bool indexInBounds(SimAddr arr, std::int32_t index) const {
+        return index >= 0 && index < arrayLength(arr);
+    }
+
+    /** True when @p addr lies within the allocated part of the arena. */
+    bool validRef(SimAddr addr) const;
+
+  private:
+    std::size_t offsetOf(SimAddr addr) const;
+    SimAddr bump(std::size_t bytes);
+
+    std::vector<std::uint8_t> storage_;
+    std::size_t cursor_;
+    std::uint64_t allocCount_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_RUNTIME_HEAP_H

@@ -1,0 +1,124 @@
+#include "vm/runtime/runtime_support.h"
+
+namespace jrs {
+
+namespace {
+
+constexpr SimAddr kAllocPc = seg::kRuntimeCode + 0x500;
+constexpr SimAddr kCopyPc = seg::kRuntimeCode + 0x600;
+
+/** Simulated address of the allocator's bump cursor. */
+constexpr SimAddr kAllocCursorAddr = seg::kRuntimeData + 0x20;
+
+} // namespace
+
+SimAddr
+RuntimeSupport::newObject(ClassId cls)
+{
+    std::uint16_t num_fields = 0;
+    if (cls < registry_.numClasses())
+        num_fields = registry_.klass(cls).numFields;
+
+    // Bump-pointer manipulation: load cursor, add, compare, store.
+    emitter_.control(Phase::Runtime, kAllocPc, NKind::Call, kAllocPc + 4);
+    emitter_.load(Phase::Runtime, kAllocPc + 4, kAllocCursorAddr);
+    emitter_.alu(Phase::Runtime, kAllocPc + 8);
+    emitter_.store(Phase::Runtime, kAllocPc + 12, kAllocCursorAddr);
+
+    const SimAddr obj = heap_.allocObject(cls, num_fields);
+
+    // Header install + field zeroing.
+    emitter_.store(Phase::Runtime, kAllocPc + 16, obj, 8);
+    for (std::uint16_t i = 0; i < num_fields; i += 2) {
+        emitter_.store(Phase::Runtime, kAllocPc + 20,
+                       Heap::fieldAddr(obj, i), 8);
+    }
+    emitter_.control(Phase::Runtime, kAllocPc + 24, NKind::Ret, 0);
+    return obj;
+}
+
+SimAddr
+RuntimeSupport::newArray(ArrayKind kind, std::int32_t length)
+{
+    if (length < 0)
+        throwBuiltin(BuiltinEx::NegativeArraySize);
+
+    emitter_.control(Phase::Runtime, kAllocPc + 0x40, NKind::Call,
+                     kAllocPc + 0x44);
+    emitter_.load(Phase::Runtime, kAllocPc + 0x44, kAllocCursorAddr);
+    emitter_.alu(Phase::Runtime, kAllocPc + 0x48);
+    emitter_.store(Phase::Runtime, kAllocPc + 0x4c, kAllocCursorAddr);
+
+    const SimAddr arr = heap_.allocArray(kind, length);
+
+    emitter_.store(Phase::Runtime, kAllocPc + 0x50, arr, 8);
+    // Zero the payload with 8-byte stores (the real JVM bzeroes here).
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(length) * arrayElemSize(kind);
+    for (std::uint64_t off = 0; off < payload; off += 8) {
+        emitter_.store(Phase::Runtime, kAllocPc + 0x54, arr + 12 + off,
+                       8);
+    }
+    emitter_.control(Phase::Runtime, kAllocPc + 0x58, NKind::Ret, 0);
+    return arr;
+}
+
+void
+RuntimeSupport::throwBuiltin(BuiltinEx kind)
+{
+    const SimAddr ex = heap_.allocObject(builtinExClassId(kind), 0);
+    emitter_.store(Phase::Runtime, kAllocPc + 0x80, ex, 8);
+    throw GuestThrow{ex, builtinExName(kind)};
+}
+
+void
+RuntimeSupport::arrayCopy(SimAddr src, std::int32_t src_pos, SimAddr dst,
+                          std::int32_t dst_pos, std::int32_t len)
+{
+    if (src == 0 || dst == 0)
+        throwBuiltin(BuiltinEx::NullPointer);
+    if (len < 0 || src_pos < 0 || dst_pos < 0
+        || src_pos + len > heap_.arrayLength(src)
+        || dst_pos + len > heap_.arrayLength(dst)
+        || heap_.arrayKindOf(src) != heap_.arrayKindOf(dst)) {
+        throwBuiltin(BuiltinEx::ArrayIndexOutOfBounds);
+    }
+
+    const std::uint32_t esz = arrayElemSize(heap_.arrayKindOf(src));
+    emitter_.control(Phase::Runtime, kCopyPc, NKind::Call, kCopyPc + 4);
+    for (std::int32_t i = 0; i < len; ++i) {
+        const SimAddr s = heap_.elemAddr(src, src_pos + i);
+        const SimAddr d = heap_.elemAddr(dst, dst_pos + i);
+        emitter_.load(Phase::Runtime, kCopyPc + 4, s,
+                      static_cast<std::uint8_t>(esz));
+        emitter_.store(Phase::Runtime, kCopyPc + 8, d,
+                       static_cast<std::uint8_t>(esz));
+        switch (esz) {
+          case 1:
+            heap_.storeU8(d, heap_.loadU8(s));
+            break;
+          case 2:
+            heap_.storeU16(d, heap_.loadU16(s));
+            break;
+          default:
+            heap_.storeU32(d, heap_.loadU32(s));
+            break;
+        }
+    }
+    emitter_.control(Phase::Runtime, kCopyPc + 12, NKind::Ret, 0);
+}
+
+void
+RuntimeSupport::printInt(std::int32_t v)
+{
+    output_ += std::to_string(v);
+    output_ += '\n';
+}
+
+void
+RuntimeSupport::printChar(std::int32_t c)
+{
+    output_ += static_cast<char>(c & 0xff);
+}
+
+} // namespace jrs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared runtime services: allocation, intrinsics, guest throws.
+ *
+ * Both execution engines (interpreter and JIT-compiled code) call into
+ * these routines, just as both modes of a real JVM share one runtime.
+ * Every service emits Runtime-phase trace events so its cost is visible
+ * to the architecture models: allocation includes the bump-pointer
+ * manipulation and the zeroing stores, array copies stream loads and
+ * stores, and so on.
+ */
+#ifndef JRS_VM_RUNTIME_RUNTIME_SUPPORT_H
+#define JRS_VM_RUNTIME_RUNTIME_SUPPORT_H
+
+#include <string>
+
+#include "isa/emitter.h"
+#include "vm/bytecode/opcode.h"
+#include "vm/runtime/class_registry.h"
+#include "vm/runtime/heap.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs {
+
+/**
+ * A guest-level (Java-visible) exception in flight.
+ *
+ * Thrown as a C++ exception only within a single VM step; the stepper
+ * catches it at the step boundary and switches the thread into the
+ * engine's frame-unwinding machinery.
+ */
+struct GuestThrow {
+    SimAddr ref;              ///< the exception object
+    const char *builtinName;  ///< non-null for builtin exceptions
+};
+
+/** Runtime service routines shared by all execution modes. */
+class RuntimeSupport {
+  public:
+    RuntimeSupport(ClassRegistry &registry, Heap &heap,
+                   TraceEmitter &emitter)
+        : registry_(registry), heap_(heap), emitter_(emitter) {}
+
+    /** Allocate an instance of @p cls (traced). */
+    SimAddr newObject(ClassId cls);
+
+    /**
+     * Allocate an array (traced, including zeroing stores). Throws
+     * GuestThrow(NegativeArraySize) on a negative length.
+     */
+    SimAddr newArray(ArrayKind kind, std::int32_t length);
+
+    /** Raise a builtin guest exception (allocates its object). */
+    [[noreturn]] void throwBuiltin(BuiltinEx kind);
+
+    /**
+     * System.arraycopy equivalent (traced element loads/stores).
+     * Throws GuestThrow on null refs or range violations.
+     */
+    void arrayCopy(SimAddr src, std::int32_t src_pos, SimAddr dst,
+                   std::int32_t dst_pos, std::int32_t len);
+
+    /** Append the decimal rendering of @p v plus '\n' to the output. */
+    void printInt(std::int32_t v);
+
+    /** Append one character to the output. */
+    void printChar(std::int32_t c);
+
+    /** Program output accumulated by the print intrinsics. */
+    const std::string &output() const { return output_; }
+
+    /** Clear accumulated output. */
+    void clearOutput() { output_.clear(); }
+
+  private:
+    ClassRegistry &registry_;
+    Heap &heap_;
+    TraceEmitter &emitter_;
+    std::string output_;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_RUNTIME_RUNTIME_SUPPORT_H

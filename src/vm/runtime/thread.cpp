@@ -1,0 +1,3 @@
+#include "vm/runtime/thread.h"
+
+// Thread/frame types are header-only.

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Green threads and activation frames.
+ *
+ * The VM schedules its own threads cooperatively (like the green-thread
+ * JDK 1.1.6 the paper measured). Each thread owns a stack of
+ * activations; an activation is either an interpreter frame (tagged
+ * Values for locals/operand stack) or a native frame (a raw register
+ * file plus spill slots) — mixed-mode execution interleaves them
+ * freely. Frames also carry a simulated base address so pushes, pops
+ * and spills produce realistic data-cache traffic.
+ */
+#ifndef JRS_VM_RUNTIME_THREAD_H
+#define JRS_VM_RUNTIME_THREAD_H
+
+#include <array>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "isa/address_map.h"
+#include "vm/bytecode/class_def.h"
+#include "vm/jit/native_inst.h"
+#include "vm/runtime/value.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs {
+
+/** Interpreter activation. */
+struct InterpFrame {
+    const Method *method = nullptr;
+    std::uint32_t pc = 0;
+    SimAddr base = 0;  ///< simulated frame base (locals, then stack)
+    std::vector<Value> locals;
+    std::vector<Value> stack;  ///< operand stack; back() is the top
+    SimAddr syncObj = 0;       ///< monitor held by a synchronized method
+    bool monitorPending = false;  ///< synchronized entry not yet acquired
+    std::uint32_t backEdges = 0;  ///< backward branches taken (OSR heat)
+
+    /** Simulated address of local slot @p slot. */
+    SimAddr localAddr(std::uint8_t slot) const {
+        return base + 4u * slot;
+    }
+
+    /** Simulated address of operand-stack position @p pos. */
+    SimAddr stackAddr(std::size_t pos) const {
+        return base + 4u * (method->numLocals + pos);
+    }
+};
+
+/** Native (JIT-compiled) activation. */
+struct NativeFrame {
+    const NativeMethod *nm = nullptr;
+    std::uint32_t ip = 0;  ///< index into nm->code
+    SimAddr base = 0;      ///< simulated frame base (spill area)
+    std::array<std::uint64_t, 32> regs{};
+    std::vector<std::uint64_t> spills;
+    SimAddr syncObj = 0;
+    bool monitorPending = false;  ///< synchronized entry not yet acquired
+
+    /** Simulated address of spill slot @p slot. */
+    SimAddr spillAddr(std::uint16_t slot) const {
+        return base + 4u * slot;
+    }
+};
+
+/** Either kind of activation. */
+using Activation = std::variant<InterpFrame, NativeFrame>;
+
+/** Scheduler-visible thread states. */
+enum class ThreadState : std::uint8_t {
+    Runnable,
+    BlockedOnMonitor,  ///< monitorenter failed; retried when scheduled
+    Joining,           ///< waiting for another thread to finish
+    Done,
+};
+
+/** A green thread. */
+class VmThread {
+  public:
+    /** @param tid Thread id (0 = main). */
+    explicit VmThread(std::uint32_t tid)
+        : tid_(tid), stackBase_(threadStackBase(tid)) {}
+
+    std::uint32_t tid() const { return tid_; }
+
+    ThreadState state = ThreadState::Runnable;
+    /** Thread whose completion we await (state == Joining). */
+    std::uint32_t joinTarget = 0;
+    /** Pending thrown exception ref during unwinding (0 = none). */
+    SimAddr pendingException = 0;
+    /** Diagnostic name of an uncaught builtin exception, if any. */
+    const char *uncaughtName = nullptr;
+
+    /** Activation stack; back() is the running frame. */
+    std::vector<Activation> frames;
+
+    /** True when no frames remain. */
+    bool finished() const { return frames.empty(); }
+
+    /**
+     * Reserve simulated stack space for a frame of @p slots 4-byte
+     * slots and return its base address. Throws VmError (guest
+     * StackOverflow is synthesized by the engine) when exhausted.
+     */
+    SimAddr pushFrameSpace(std::uint32_t slots) {
+        const SimAddr bytes = 4ull * slots + 32;  // + save area
+        if (cursor_ + bytes > kThreadStackSize)
+            throw VmError("thread stack exhausted");
+        const SimAddr base = stackBase_ + cursor_;
+        cursor_ += bytes;
+        frameBytes_.push_back(bytes);
+        return base;
+    }
+
+    /** Release the most recently pushed frame space. */
+    void popFrameSpace() {
+        cursor_ -= frameBytes_.back();
+        frameBytes_.pop_back();
+    }
+
+    /** High-water mark of simulated stack usage (memory accounting). */
+    SimAddr stackHighWater() const { return highWater_; }
+
+    /** Update the high-water mark (engine calls after pushes). */
+    void noteHighWater() {
+        if (cursor_ > highWater_)
+            highWater_ = cursor_;
+    }
+
+  private:
+    std::uint32_t tid_;
+    SimAddr stackBase_;
+    SimAddr cursor_ = 0;
+    SimAddr highWater_ = 0;
+    std::vector<SimAddr> frameBytes_;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_RUNTIME_THREAD_H

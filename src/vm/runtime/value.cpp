@@ -1,0 +1,3 @@
+#include "vm/runtime/value.h"
+
+// Value is fully inline.

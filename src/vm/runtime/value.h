@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tagged runtime values for the interpreter's locals and operand stack.
+ *
+ * Three JVM-style categories: 32-bit int (also covering byte/char/bool),
+ * 32-bit float, and references. References carry the full simulated heap
+ * address; a null reference is address 0. In heap slots (fields, ref
+ * arrays) references are stored as 32-bit offsets from seg::kHeap.
+ */
+#ifndef JRS_VM_RUNTIME_VALUE_H
+#define JRS_VM_RUNTIME_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "isa/address_map.h"
+
+namespace jrs {
+
+/** Runtime type tag. */
+enum class Tag : std::uint8_t { Int, Float, Ref };
+
+/** A tagged value. 8 bytes payload + tag. */
+class Value {
+  public:
+    /** Default: int 0. */
+    Value() : bits_(0), tag_(Tag::Int) {}
+
+    /** Make an int value. */
+    static Value makeInt(std::int32_t v) {
+        Value x;
+        x.tag_ = Tag::Int;
+        x.bits_ = static_cast<std::uint32_t>(v);
+        return x;
+    }
+
+    /** Make a float value. */
+    static Value makeFloat(float v) {
+        Value x;
+        x.tag_ = Tag::Float;
+        std::uint32_t b;
+        std::memcpy(&b, &v, sizeof(b));
+        x.bits_ = b;
+        return x;
+    }
+
+    /** Make a reference value (@p addr == 0 means null). */
+    static Value makeRef(SimAddr addr) {
+        Value x;
+        x.tag_ = Tag::Ref;
+        x.bits_ = addr;
+        return x;
+    }
+
+    /** Null reference. */
+    static Value null() { return makeRef(0); }
+
+    Tag tag() const { return tag_; }
+
+    std::int32_t asInt() const {
+        assert(tag_ == Tag::Int);
+        return static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(bits_));
+    }
+
+    float asFloat() const {
+        assert(tag_ == Tag::Float);
+        const std::uint32_t b = static_cast<std::uint32_t>(bits_);
+        float f;
+        std::memcpy(&f, &b, sizeof(f));
+        return f;
+    }
+
+    SimAddr asRef() const {
+        assert(tag_ == Tag::Ref);
+        return bits_;
+    }
+
+    /** True for a null reference. */
+    bool isNullRef() const { return tag_ == Tag::Ref && bits_ == 0; }
+
+    /**
+     * 32-bit representation used in 4-byte heap slots: ints/floats are
+     * raw bits, refs are offsets from seg::kHeap (0 for null).
+     */
+    std::uint32_t slotBits() const {
+        if (tag_ == Tag::Ref) {
+            return bits_ == 0
+                ? 0u
+                : static_cast<std::uint32_t>(bits_ - seg::kHeap);
+        }
+        return static_cast<std::uint32_t>(bits_);
+    }
+
+    /** Rebuild a value from heap-slot bits with a known tag. */
+    static Value fromSlotBits(std::uint32_t slot, Tag tag) {
+        switch (tag) {
+          case Tag::Int:
+            return makeInt(static_cast<std::int32_t>(slot));
+          case Tag::Float: {
+            float f;
+            std::memcpy(&f, &slot, sizeof(f));
+            return makeFloat(f);
+          }
+          case Tag::Ref:
+            return makeRef(slot == 0 ? 0 : seg::kHeap + slot);
+        }
+        return Value();
+    }
+
+    /**
+     * Raw 64-bit representation used by native-code registers: ints are
+     * sign-extended, floats are raw bits in the low word, refs are full
+     * simulated addresses.
+     */
+    std::uint64_t raw() const {
+        if (tag_ == Tag::Int) {
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(asInt()));
+        }
+        return bits_;
+    }
+
+    /** Rebuild from a native register with a known tag. */
+    static Value fromRaw(std::uint64_t raw, Tag tag) {
+        switch (tag) {
+          case Tag::Int:
+            return makeInt(static_cast<std::int32_t>(raw));
+          case Tag::Float: {
+            const std::uint32_t b = static_cast<std::uint32_t>(raw);
+            float f;
+            std::memcpy(&f, &b, sizeof(f));
+            return makeFloat(f);
+          }
+          case Tag::Ref:
+            return makeRef(raw);
+        }
+        return Value();
+    }
+
+    /** Exact equality including tag (tests). */
+    bool operator==(const Value &o) const {
+        return tag_ == o.tag_ && bits_ == o.bits_;
+    }
+
+  private:
+    std::uint64_t bits_;
+    Tag tag_;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_RUNTIME_VALUE_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fatal VM errors (simulator bugs or unrecoverable guest conditions).
+ *
+ * Java-visible exceptions (NullPointer, ArrayIndexOutOfBounds,
+ * Arithmetic) are NOT C++ exceptions: they unwind guest frames via the
+ * engine's exception machinery. VmError is reserved for conditions with
+ * no guest handler semantics — corrupted state, unresolvable methods —
+ * matching the panic/fatal distinction of simulator codebases.
+ */
+#ifndef JRS_VM_RUNTIME_VM_ERROR_H
+#define JRS_VM_RUNTIME_VM_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace jrs {
+
+/** Unrecoverable VM failure. */
+class VmError : public std::runtime_error {
+  public:
+    explicit VmError(const std::string &what)
+        : std::runtime_error("vm: " + what) {}
+};
+
+/** Guest-visible exception kinds with built-in throw sites. */
+enum class BuiltinEx : std::uint8_t {
+    NullPointer,
+    ArrayIndexOutOfBounds,
+    Arithmetic,       ///< integer divide by zero
+    NegativeArraySize,
+    StackOverflow,
+    IllegalMonitorState,
+};
+
+/** Diagnostic name of a builtin exception kind. */
+inline const char *
+builtinExName(BuiltinEx kind)
+{
+    switch (kind) {
+      case BuiltinEx::NullPointer:           return "NullPointerException";
+      case BuiltinEx::ArrayIndexOutOfBounds:
+        return "ArrayIndexOutOfBoundsException";
+      case BuiltinEx::Arithmetic:            return "ArithmeticException";
+      case BuiltinEx::NegativeArraySize:
+        return "NegativeArraySizeException";
+      case BuiltinEx::StackOverflow:         return "StackOverflowError";
+      case BuiltinEx::IllegalMonitorState:
+        return "IllegalMonitorStateException";
+    }
+    return "UnknownException";
+}
+
+} // namespace jrs
+
+#endif // JRS_VM_RUNTIME_VM_ERROR_H

@@ -1,0 +1,17 @@
+#include "vm/sync/lock_stats.h"
+
+namespace jrs {
+
+const char *
+lockCaseName(LockCase c)
+{
+    switch (c) {
+      case LockCase::Unlocked:      return "(a) unlocked";
+      case LockCase::Recursive:     return "(b) recursive<256";
+      case LockCase::DeepRecursive: return "(c) recursive>=256";
+      case LockCase::Contended:     return "(d) contended";
+    }
+    return "invalid";
+}
+
+} // namespace jrs

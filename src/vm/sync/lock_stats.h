@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Synchronization statistics.
+ *
+ * The paper classifies every synchronized access into four cases
+ * (Section 5): (a) locking an unlocked object, (b) recursive locking at
+ * depth < 256, (c) recursive locking at depth >= 256, and (d)
+ * contention — locking an object held by another thread. LockStats
+ * tracks the distribution plus a simulated cycle cost per
+ * implementation, which is what Figure 11 compares.
+ */
+#ifndef JRS_VM_SYNC_LOCK_STATS_H
+#define JRS_VM_SYNC_LOCK_STATS_H
+
+#include <cstdint>
+
+namespace jrs {
+
+/** The paper's four synchronization cases. */
+enum class LockCase : std::uint8_t {
+    Unlocked = 0,    ///< case (a)
+    Recursive = 1,   ///< case (b): same owner, depth < 256
+    DeepRecursive = 2,  ///< case (c): same owner, depth >= 256
+    Contended = 3,   ///< case (d)
+};
+
+inline constexpr std::size_t kNumLockCases = 4;
+
+/** Printable label, e.g. "(a) unlocked". */
+const char *lockCaseName(LockCase c);
+
+/** Counters kept by every SyncSystem implementation. */
+struct LockStats {
+    std::uint64_t caseCount[kNumLockCases] = {};
+    std::uint64_t enterOps = 0;     ///< successful monitor entries
+    std::uint64_t exitOps = 0;
+    std::uint64_t blocks = 0;       ///< threads that had to block
+    std::uint64_t inflations = 0;   ///< thin -> fat transitions
+    std::uint64_t simCycles = 0;    ///< simulated cost of all lock ops
+
+    /** Total classified accesses. */
+    std::uint64_t totalAccesses() const {
+        std::uint64_t t = 0;
+        for (std::uint64_t c : caseCount)
+            t += c;
+        return t;
+    }
+
+    void reset() { *this = LockStats(); }
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_SYNC_LOCK_STATS_H

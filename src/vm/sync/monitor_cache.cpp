@@ -1,0 +1,127 @@
+#include "vm/sync/monitor_cache.h"
+
+namespace jrs {
+
+namespace {
+
+/** Simulated code addresses of the runtime lock routines. */
+constexpr SimAddr kEnterPc = seg::kRuntimeCode + 0x100;
+constexpr SimAddr kExitPc = seg::kRuntimeCode + 0x200;
+
+/** Simulated address of the global cache lock. */
+constexpr SimAddr kCacheLockAddr = seg::kRuntimeData;
+
+/** Simulated address of bucket @p b's head pointer. */
+SimAddr
+bucketAddr(std::uint32_t b)
+{
+    return seg::kRuntimeData + 64 + 8ull * b;
+}
+
+} // namespace
+
+MonitorCacheSync::Node &
+MonitorCacheSync::lookup(std::uint32_t tid, SimAddr obj)
+{
+    (void)tid;
+    const std::uint32_t bucket = bucketOf(obj);
+
+    // Hash computation.
+    emitter_.alu(Phase::Runtime, kEnterPc + 0);
+    emitter_.alu(Phase::Runtime, kEnterPc + 4);
+    // Acquire the global cache lock (load + store, modelling a CAS).
+    emitter_.load(Phase::Runtime, kEnterPc + 8, kCacheLockAddr);
+    emitter_.store(Phase::Runtime, kEnterPc + 12, kCacheLockAddr);
+    // Load the bucket head pointer.
+    emitter_.load(Phase::Runtime, kEnterPc + 16, bucketAddr(bucket));
+    std::uint64_t cycles = 5;
+
+    auto it = monitors_.find(obj);
+    if (it == monitors_.end()) {
+        Node node;
+        node.chainPos = chainLen_[bucket]++;
+        node.nodeAddr = seg::kRuntimeData + 0x1000 + 32ull * nextNode_++;
+        // Walk the existing chain, then link the new node (two stores).
+        for (std::uint32_t hop = 0; hop < node.chainPos; ++hop) {
+            emitter_.load(Phase::Runtime, kEnterPc + 20,
+                          node.nodeAddr - 32ull * (hop + 1));
+            ++cycles;
+        }
+        emitter_.store(Phase::Runtime, kEnterPc + 24, node.nodeAddr);
+        emitter_.store(Phase::Runtime, kEnterPc + 28, bucketAddr(bucket));
+        cycles += 2;
+        it = monitors_.emplace(obj, node).first;
+    } else {
+        // Walk the chain up to this node's position.
+        for (std::uint32_t hop = 0; hop <= it->second.chainPos; ++hop) {
+            emitter_.load(Phase::Runtime, kEnterPc + 20,
+                          it->second.nodeAddr);
+            ++cycles;
+        }
+    }
+    cost(cycles);
+    return it->second;
+}
+
+bool
+MonitorCacheSync::enter(std::uint32_t tid, SimAddr obj)
+{
+    Node &node = lookup(tid, obj);
+    FatMonitor &mon = node.mon;
+
+    // Inspect + update the monitor record, release the cache lock.
+    emitter_.load(Phase::Runtime, kEnterPc + 32, node.nodeAddr + 8);
+    emitter_.store(Phase::Runtime, kEnterPc + 40, kCacheLockAddr);
+    cost(3);
+
+    if (mon.owner == 0) {
+        mon.owner = tid + 1;
+        mon.depth = 1;
+        emitter_.store(Phase::Runtime, kEnterPc + 36, node.nodeAddr + 8);
+        cost(1);
+        classify(LockCase::Unlocked, tid, obj);
+        clearRetry(tid);
+        ++stats_.enterOps;
+        return true;
+    }
+    if (mon.owner == tid + 1) {
+        ++mon.depth;
+        emitter_.store(Phase::Runtime, kEnterPc + 36, node.nodeAddr + 12);
+        cost(1);
+        classify(mon.depth <= 256 ? LockCase::Recursive
+                                  : LockCase::DeepRecursive,
+                 tid, obj);
+        ++stats_.enterOps;
+        return true;
+    }
+    ++mon.waiters;
+    classify(LockCase::Contended, tid, obj);
+    return false;
+}
+
+void
+MonitorCacheSync::exit(std::uint32_t tid, SimAddr obj)
+{
+    Node &node = lookup(tid, obj);
+    FatMonitor &mon = node.mon;
+    if (mon.owner != tid + 1)
+        throw VmError("monitor exit by non-owner");
+
+    emitter_.load(Phase::Runtime, kExitPc + 0, node.nodeAddr + 8);
+    emitter_.store(Phase::Runtime, kExitPc + 4, node.nodeAddr + 8);
+    emitter_.store(Phase::Runtime, kExitPc + 8, kCacheLockAddr);
+    cost(3);
+
+    if (--mon.depth == 0)
+        mon.owner = 0;
+    ++stats_.exitOps;
+}
+
+bool
+MonitorCacheSync::owns(std::uint32_t tid, SimAddr obj) const
+{
+    auto it = monitors_.find(obj);
+    return it != monitors_.end() && it->second.mon.owner == tid + 1;
+}
+
+} // namespace jrs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * JDK 1.1.6-style monitor cache.
+ *
+ * A space-efficient but slow scheme: an open-hashing table of 128
+ * buckets maps an object's address to its monitor record. Every
+ * operation first locks the entire cache, hashes the object address,
+ * walks the bucket chain, and only then manipulates the monitor —
+ * exactly the overhead structure the paper identifies as wasteful in
+ * the (overwhelmingly common) uncontended case.
+ */
+#ifndef JRS_VM_SYNC_MONITOR_CACHE_H
+#define JRS_VM_SYNC_MONITOR_CACHE_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "vm/sync/sync_system.h"
+
+namespace jrs {
+
+/** Number of hash buckets (matches JDK 1.1.6). */
+inline constexpr std::uint32_t kMonitorCacheBuckets = 128;
+
+/** The monitor-cache synchronization strategy. */
+class MonitorCacheSync : public SyncSystem {
+  public:
+    MonitorCacheSync(Heap &heap, TraceEmitter &emitter)
+        : SyncSystem(heap, emitter) {}
+
+    bool enter(std::uint32_t tid, SimAddr obj) override;
+    void exit(std::uint32_t tid, SimAddr obj) override;
+    bool owns(std::uint32_t tid, SimAddr obj) const override;
+    const char *name() const override { return "monitor_cache"; }
+
+    /** Monitors currently live in the cache (tests). */
+    std::size_t liveMonitors() const { return monitors_.size(); }
+
+  private:
+    struct Node {
+        FatMonitor mon;
+        std::uint32_t chainPos;  ///< depth in its bucket chain
+        SimAddr nodeAddr;        ///< simulated node address
+    };
+
+    /** Walk the cache: hash, lock, chain; returns the node (creating
+     *  it on demand) and accounts cycles + trace events. */
+    Node &lookup(std::uint32_t tid, SimAddr obj);
+
+    static std::uint32_t bucketOf(SimAddr obj) {
+        return static_cast<std::uint32_t>((obj >> 3) * 2654435761u)
+            % kMonitorCacheBuckets;
+    }
+
+    std::unordered_map<SimAddr, Node> monitors_;
+    std::vector<std::uint32_t> chainLen_ =
+        std::vector<std::uint32_t>(kMonitorCacheBuckets, 0);
+    std::uint32_t nextNode_ = 0;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_SYNC_MONITOR_CACHE_H

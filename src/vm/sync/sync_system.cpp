@@ -1,0 +1,37 @@
+#include "vm/sync/sync_system.h"
+
+namespace jrs {
+
+const char *
+syncKindName(SyncKind kind)
+{
+    switch (kind) {
+      case SyncKind::MonitorCache: return "monitor_cache";
+      case SyncKind::ThinLock:     return "thin_lock";
+      case SyncKind::OneBitLock:   return "one_bit_lock";
+    }
+    return "invalid";
+}
+
+void
+SyncSystem::classify(LockCase c, std::uint32_t tid, SimAddr obj)
+{
+    if (c == LockCase::Contended) {
+        // A blocked thread re-attempts on every reschedule; count the
+        // contended access once per blocking episode.
+        auto it = blockedRetry_.find(tid);
+        if (it != blockedRetry_.end() && it->second == obj)
+            return;
+        blockedRetry_[tid] = obj;
+        ++stats_.blocks;
+    }
+    ++stats_.caseCount[static_cast<std::size_t>(c)];
+}
+
+void
+SyncSystem::clearRetry(std::uint32_t tid)
+{
+    blockedRetry_.erase(tid);
+}
+
+} // namespace jrs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Abstract monitor implementation interface.
+ *
+ * Three concrete strategies mirror Section 5 of the paper:
+ *  - MonitorCacheSync: JDK 1.1.6's hashed, globally-locked monitor cache
+ *  - ThinLockSync: Bacon-style 24-bit thin locks in the object header
+ *  - OneBitLockSync: the paper's proposed minimal variant that only
+ *    optimizes case (a)
+ *
+ * enter() is non-blocking: a false return means the calling thread must
+ * block; the green-thread scheduler re-attempts when the lock owner
+ * exits. Every operation contributes simulated cycles to LockStats and
+ * (when tracing) Runtime-phase TraceEvents, so lock overhead shows up
+ * in the architectural studies exactly as it did under Shade.
+ */
+#ifndef JRS_VM_SYNC_SYNC_SYSTEM_H
+#define JRS_VM_SYNC_SYNC_SYSTEM_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/emitter.h"
+#include "vm/runtime/heap.h"
+#include "vm/sync/lock_stats.h"
+
+namespace jrs {
+
+/** Which monitor implementation an engine uses. */
+enum class SyncKind : std::uint8_t {
+    MonitorCache,
+    ThinLock,
+    OneBitLock,
+};
+
+/** Printable name of a SyncKind. */
+const char *syncKindName(SyncKind kind);
+
+/** A heavyweight (fat) monitor record. */
+struct FatMonitor {
+    std::uint32_t owner = 0;  ///< tid + 1; 0 = free
+    std::uint32_t depth = 0;
+    std::uint32_t waiters = 0;
+};
+
+/** Base class of all monitor implementations. */
+class SyncSystem {
+  public:
+    SyncSystem(Heap &heap, TraceEmitter &emitter)
+        : heap_(heap), emitter_(emitter) {}
+    virtual ~SyncSystem() = default;
+
+    SyncSystem(const SyncSystem &) = delete;
+    SyncSystem &operator=(const SyncSystem &) = delete;
+
+    /**
+     * Attempt to acquire the monitor of @p obj for thread @p tid.
+     * @return false when the thread must block (the access is counted
+     *         as case (d) only on the first failed attempt).
+     */
+    virtual bool enter(std::uint32_t tid, SimAddr obj) = 0;
+
+    /**
+     * Release the monitor. Throws VmError when @p tid is not the
+     * owner (guest IllegalMonitorStateException territory).
+     */
+    virtual void exit(std::uint32_t tid, SimAddr obj) = 0;
+
+    /** True when @p tid currently owns the monitor of @p obj. */
+    virtual bool owns(std::uint32_t tid, SimAddr obj) const = 0;
+
+    /** Implementation name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Accumulated statistics. */
+    const LockStats &stats() const { return stats_; }
+
+    /** Reset statistics (between experiment phases). */
+    void resetStats() { stats_.reset(); }
+
+  protected:
+    /** Count @p n simulated cycles for the current operation. */
+    void cost(std::uint64_t n) { stats_.simCycles += n; }
+
+    /** Classify an access; deduplicates repeated blocked retries. */
+    void classify(LockCase c, std::uint32_t tid, SimAddr obj);
+
+    /** Clear the blocked-retry marker once a thread acquires a lock. */
+    void clearRetry(std::uint32_t tid);
+
+    Heap &heap_;
+    TraceEmitter &emitter_;
+    LockStats stats_;
+
+  private:
+    /** tid -> object it already counted a contended attempt against. */
+    std::unordered_map<std::uint32_t, SimAddr> blockedRetry_;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_SYNC_SYNC_SYSTEM_H

@@ -1,0 +1,285 @@
+#include "vm/sync/thin_lock.h"
+
+namespace jrs {
+
+namespace {
+
+constexpr SimAddr kThinEnterPc = seg::kRuntimeCode + 0x300;
+constexpr SimAddr kThinExitPc = seg::kRuntimeCode + 0x340;
+constexpr SimAddr kFatPc = seg::kRuntimeCode + 0x380;
+constexpr SimAddr kOneBitEnterPc = seg::kRuntimeCode + 0x400;
+constexpr SimAddr kOneBitExitPc = seg::kRuntimeCode + 0x440;
+
+/** Synthetic side-table node address for a fat monitor. */
+SimAddr
+fatNodeAddr(SimAddr obj)
+{
+    return seg::kRuntimeData + 0x8000 + ((obj >> 3) & 0xfffull) * 32;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ThinLockSync
+// ---------------------------------------------------------------------
+
+FatMonitor &
+ThinLockSync::fatOf(SimAddr obj)
+{
+    return fat_[obj];
+}
+
+bool
+ThinLockSync::fatEnter(std::uint32_t tid, SimAddr obj,
+                       std::uint32_t depth_bias)
+{
+    // Fat path: hash into the side table, inspect, update (~10 ops).
+    emitter_.alu(Phase::Runtime, kFatPc + 0);
+    emitter_.load(Phase::Runtime, kFatPc + 4, fatNodeAddr(obj));
+    emitter_.load(Phase::Runtime, kFatPc + 8, fatNodeAddr(obj) + 8);
+    cost(6);
+
+    FatMonitor &mon = fatOf(obj);
+    if (mon.owner == 0) {
+        mon.owner = tid + 1;
+        mon.depth = 1 + depth_bias;
+        emitter_.store(Phase::Runtime, kFatPc + 12, fatNodeAddr(obj) + 8);
+        cost(2);
+        classify(LockCase::Unlocked, tid, obj);
+        clearRetry(tid);
+        ++stats_.enterOps;
+        return true;
+    }
+    if (mon.owner == tid + 1) {
+        ++mon.depth;
+        emitter_.store(Phase::Runtime, kFatPc + 12,
+                       fatNodeAddr(obj) + 12);
+        cost(2);
+        classify(mon.depth <= 256 ? LockCase::Recursive
+                                  : LockCase::DeepRecursive,
+                 tid, obj);
+        ++stats_.enterOps;
+        return true;
+    }
+    ++mon.waiters;
+    classify(LockCase::Contended, tid, obj);
+    return false;
+}
+
+bool
+ThinLockSync::enter(std::uint32_t tid, SimAddr obj)
+{
+    const SimAddr lw_addr = Heap::lockwordAddr(obj);
+    const std::uint32_t w = heap_.lockword(obj);
+    emitter_.load(Phase::Runtime, kThinEnterPc + 0, lw_addr);
+
+    if (isFat(w)) {
+        cost(1);
+        return fatEnter(tid, obj, 0);
+    }
+    if (w == 0) {
+        // Case (a): CAS the thin word in.
+        heap_.setLockword(obj, pack(tid, 1));
+        emitter_.alu(Phase::Runtime, kThinEnterPc + 4);
+        emitter_.alu(Phase::Runtime, kThinEnterPc + 6);
+        emitter_.store(Phase::Runtime, kThinEnterPc + 8, lw_addr);
+        cost(4);
+        classify(LockCase::Unlocked, tid, obj);
+        clearRetry(tid);
+        ++stats_.enterOps;
+        return true;
+    }
+    if (ownerOf(w) == tid + 1) {
+        const std::uint32_t depth = depthOf(w);
+        if (depth < 255) {
+            // Case (b): bump the recursion count in place.
+            heap_.setLockword(obj, pack(tid, depth + 1));
+            emitter_.alu(Phase::Runtime, kThinEnterPc + 12);
+            emitter_.alu(Phase::Runtime, kThinEnterPc + 16);
+            emitter_.store(Phase::Runtime, kThinEnterPc + 20, lw_addr);
+            cost(4);
+            classify(LockCase::Recursive, tid, obj);
+            ++stats_.enterOps;
+            return true;
+        }
+        // Case (c): recursion overflow — inflate, keep ownership.
+        FatMonitor &mon = fatOf(obj);
+        mon.owner = tid + 1;
+        mon.depth = depth + 1;
+        heap_.setLockword(obj, 1u);  // fat shape
+        emitter_.store(Phase::Runtime, kThinEnterPc + 24, lw_addr);
+        emitter_.store(Phase::Runtime, kFatPc + 12, fatNodeAddr(obj) + 8);
+        cost(10);
+        ++stats_.inflations;
+        classify(LockCase::DeepRecursive, tid, obj);
+        ++stats_.enterOps;
+        return true;
+    }
+    // Case (d): thin lock held by another thread — inflate and block.
+    FatMonitor &mon = fatOf(obj);
+    if (mon.owner == 0) {
+        mon.owner = ownerOf(w);  // tid + 1 of the current holder
+        mon.depth = depthOf(w);
+        heap_.setLockword(obj, 1u);
+        emitter_.store(Phase::Runtime, kThinEnterPc + 24, lw_addr);
+        cost(8);
+        ++stats_.inflations;
+    }
+    ++mon.waiters;
+    classify(LockCase::Contended, tid, obj);
+    return false;
+}
+
+void
+ThinLockSync::exit(std::uint32_t tid, SimAddr obj)
+{
+    const SimAddr lw_addr = Heap::lockwordAddr(obj);
+    const std::uint32_t w = heap_.lockword(obj);
+    emitter_.load(Phase::Runtime, kThinExitPc + 0, lw_addr);
+
+    if (!isFat(w)) {
+        if (ownerOf(w) != tid + 1)
+            throw VmError("thin lock exit by non-owner");
+        const std::uint32_t depth = depthOf(w);
+        heap_.setLockword(obj, depth > 1 ? pack(tid, depth - 1) : 0u);
+        emitter_.alu(Phase::Runtime, kThinExitPc + 2);
+        emitter_.store(Phase::Runtime, kThinExitPc + 4, lw_addr);
+        cost(4);
+        ++stats_.exitOps;
+        return;
+    }
+    FatMonitor &mon = fatOf(obj);
+    if (mon.owner != tid + 1)
+        throw VmError("fat lock exit by non-owner");
+    emitter_.load(Phase::Runtime, kFatPc + 16, fatNodeAddr(obj) + 8);
+    emitter_.store(Phase::Runtime, kFatPc + 20, fatNodeAddr(obj) + 8);
+    cost(6);
+    if (--mon.depth == 0)
+        mon.owner = 0;
+    ++stats_.exitOps;
+}
+
+bool
+ThinLockSync::owns(std::uint32_t tid, SimAddr obj) const
+{
+    const std::uint32_t w = heap_.lockword(obj);
+    if (!isFat(w))
+        return w != 0 && ownerOf(w) == tid + 1;
+    auto it = fat_.find(obj);
+    return it != fat_.end() && it->second.owner == tid + 1;
+}
+
+// ---------------------------------------------------------------------
+// OneBitLockSync
+// ---------------------------------------------------------------------
+
+bool
+OneBitLockSync::enter(std::uint32_t tid, SimAddr obj)
+{
+    const SimAddr lw_addr = Heap::lockwordAddr(obj);
+    const std::uint32_t w = heap_.lockword(obj);
+    emitter_.load(Phase::Runtime, kOneBitEnterPc + 0, lw_addr);
+
+    if (w == 0) {
+        // Case (a): set the bit. This is the only fast path.
+        heap_.setLockword(obj, 1u);
+        thinOwner_[obj] = tid;
+        emitter_.alu(Phase::Runtime, kOneBitEnterPc + 2);
+        emitter_.store(Phase::Runtime, kOneBitEnterPc + 4, lw_addr);
+        cost(4);
+        classify(LockCase::Unlocked, tid, obj);
+        clearRetry(tid);
+        ++stats_.enterOps;
+        return true;
+    }
+
+    if ((w & 2u) == 0) {
+        // Thin-held: one bit cannot express recursion — inflate.
+        FatMonitor &mon = fat_[obj];
+        if (mon.owner == 0) {
+            mon.owner = thinOwner_[obj] + 1;
+            mon.depth = 1;
+            thinOwner_.erase(obj);
+            heap_.setLockword(obj, 2u);
+            emitter_.store(Phase::Runtime, kOneBitEnterPc + 8, lw_addr);
+            cost(8);
+            ++stats_.inflations;
+        }
+    }
+
+    FatMonitor &mon = fat_[obj];
+    emitter_.load(Phase::Runtime, kFatPc + 4, fatNodeAddr(obj));
+    emitter_.load(Phase::Runtime, kFatPc + 8, fatNodeAddr(obj) + 8);
+    cost(6);
+    if (mon.owner == 0) {
+        mon.owner = tid + 1;
+        mon.depth = 1;
+        emitter_.store(Phase::Runtime, kFatPc + 12, fatNodeAddr(obj) + 8);
+        cost(2);
+        classify(LockCase::Unlocked, tid, obj);
+        clearRetry(tid);
+        ++stats_.enterOps;
+        return true;
+    }
+    if (mon.owner == tid + 1) {
+        ++mon.depth;
+        emitter_.store(Phase::Runtime, kFatPc + 12,
+                       fatNodeAddr(obj) + 12);
+        cost(2);
+        classify(mon.depth <= 256 ? LockCase::Recursive
+                                  : LockCase::DeepRecursive,
+                 tid, obj);
+        ++stats_.enterOps;
+        return true;
+    }
+    ++mon.waiters;
+    classify(LockCase::Contended, tid, obj);
+    return false;
+}
+
+void
+OneBitLockSync::exit(std::uint32_t tid, SimAddr obj)
+{
+    const SimAddr lw_addr = Heap::lockwordAddr(obj);
+    const std::uint32_t w = heap_.lockword(obj);
+    emitter_.load(Phase::Runtime, kOneBitExitPc + 0, lw_addr);
+
+    if ((w & 2u) == 0) {
+        auto it = thinOwner_.find(obj);
+        if (w == 0 || it == thinOwner_.end() || it->second != tid)
+            throw VmError("one-bit lock exit by non-owner");
+        thinOwner_.erase(it);
+        heap_.setLockword(obj, 0u);
+        emitter_.store(Phase::Runtime, kOneBitExitPc + 4, lw_addr);
+        cost(3);
+        ++stats_.exitOps;
+        return;
+    }
+    FatMonitor &mon = fat_[obj];
+    if (mon.owner != tid + 1)
+        throw VmError("one-bit fat lock exit by non-owner");
+    emitter_.load(Phase::Runtime, kFatPc + 16, fatNodeAddr(obj) + 8);
+    emitter_.store(Phase::Runtime, kFatPc + 20, fatNodeAddr(obj) + 8);
+    cost(6);
+    if (--mon.depth == 0) {
+        mon.owner = 0;
+        // Keep the object fat: repeated inflation churn is worse.
+    }
+    ++stats_.exitOps;
+}
+
+bool
+OneBitLockSync::owns(std::uint32_t tid, SimAddr obj) const
+{
+    const std::uint32_t w = heap_.lockword(obj);
+    if (w == 0)
+        return false;
+    if ((w & 2u) == 0) {
+        auto it = thinOwner_.find(obj);
+        return it != thinOwner_.end() && it->second == tid;
+    }
+    auto it = fat_.find(obj);
+    return it != fat_.end() && it->second.owner == tid + 1;
+}
+
+} // namespace jrs

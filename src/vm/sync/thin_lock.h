@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Thin locks (Bacon et al.) and the paper's one-bit variant.
+ *
+ * ThinLockSync devotes 24 bits of the object header's lockword to
+ * locking: 1 shape bit, 8 recursion bits, 15 owner bits. Cases (a) and
+ * (b) complete with a couple of header accesses; deep recursion and
+ * contention inflate to a fat monitor kept in a side table.
+ *
+ * OneBitLockSync is the minimal design the paper concludes with: one
+ * header bit marks "thin-locked", so only case (a) — more than 80% of
+ * all accesses in SpecJVM98 — takes the fast path; every other case
+ * inflates. Ownership of thin-held locks is recovered from thread-local
+ * lock records (modeled here as a shadow map with no simulated cost).
+ */
+#ifndef JRS_VM_SYNC_THIN_LOCK_H
+#define JRS_VM_SYNC_THIN_LOCK_H
+
+#include <unordered_map>
+
+#include "vm/sync/sync_system.h"
+
+namespace jrs {
+
+/** 24-bit thin-lock implementation. */
+class ThinLockSync : public SyncSystem {
+  public:
+    ThinLockSync(Heap &heap, TraceEmitter &emitter)
+        : SyncSystem(heap, emitter) {}
+
+    bool enter(std::uint32_t tid, SimAddr obj) override;
+    void exit(std::uint32_t tid, SimAddr obj) override;
+    bool owns(std::uint32_t tid, SimAddr obj) const override;
+    const char *name() const override { return "thin_lock"; }
+
+    // Lockword encoding (exposed for tests).
+    static std::uint32_t pack(std::uint32_t tid, std::uint32_t depth) {
+        return ((tid + 1) << 9) | (depth << 1);
+    }
+    static bool isFat(std::uint32_t w) { return (w & 1u) != 0; }
+    static std::uint32_t ownerOf(std::uint32_t w) { return w >> 9; }
+    static std::uint32_t depthOf(std::uint32_t w) {
+        return (w >> 1) & 0xffu;
+    }
+
+    /** Live fat monitors (tests). */
+    std::size_t fatMonitors() const { return fat_.size(); }
+
+  private:
+    FatMonitor &fatOf(SimAddr obj);
+    bool fatEnter(std::uint32_t tid, SimAddr obj, std::uint32_t depth_bias);
+
+    std::unordered_map<SimAddr, FatMonitor> fat_;
+};
+
+/** One-bit lock implementation (optimizes only case (a)). */
+class OneBitLockSync : public SyncSystem {
+  public:
+    OneBitLockSync(Heap &heap, TraceEmitter &emitter)
+        : SyncSystem(heap, emitter) {}
+
+    bool enter(std::uint32_t tid, SimAddr obj) override;
+    void exit(std::uint32_t tid, SimAddr obj) override;
+    bool owns(std::uint32_t tid, SimAddr obj) const override;
+    const char *name() const override { return "one_bit_lock"; }
+
+    /** Live fat monitors (tests). */
+    std::size_t fatMonitors() const { return fat_.size(); }
+
+  private:
+    // Lockword bits: bit0 = thin-locked, bit1 = fat shape.
+    std::unordered_map<SimAddr, FatMonitor> fat_;
+    /** Thread-local lock records: owner of each thin-held lock. */
+    std::unordered_map<SimAddr, std::uint32_t> thinOwner_;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_SYNC_THIN_LOCK_H

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * compress — LZW compression, decompression and verification over
+ * synthetic run-containing data. Like SpecJVM98's 201_compress, the
+ * program spends nearly all its time re-invoking a handful of small
+ * hot methods (the dictionary probe runs once per input byte), so the
+ * execution component dwarfs translation in JIT mode and data locality
+ * is excellent.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildCompress()
+{
+    ProgramBuilder pb("compress");
+    ClassBuilder &c = pb.cls("Compress");
+
+    // genInput(size) -> byte[]: LCG byte stream with repeated runs.
+    {
+        MethodBuilder &m =
+            c.staticMethod("genInput", {VType::Int}, VType::Ref);
+        m.locals(6);  // 0 size, 1 buf, 2 seed, 3 i, 4 b, 5 run
+        m.iload(0).newArray(ArrayKind::Byte).astore(1);
+        m.iconst(12345).istore(2);
+        m.iconst(0).istore(3);
+        m.iconst(65).istore(4);
+        m.iconst(0).istore(5);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label in_run = m.newLabel(), store = m.newLabel();
+        Label no_run = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iload(0).ifIcmpge(done);
+        // seed = seed * 1103515245 + 12345
+        m.iload(2).iconst(1103515245).imul().iconst(12345).iadd()
+            .istore(2);
+        m.iload(5).ifgt(in_run);
+        // fresh byte: b = ((seed >>> 18) & 0x3f) + 32
+        m.iload(2).iconst(18).iushr().iconst(0x3f).iand().iconst(32)
+            .iadd().istore(4);
+        // maybe start a run: if ((seed >>> 8) & 7) < 3
+        m.iload(2).iconst(8).iushr().iconst(7).iand().iconst(3)
+            .ifIcmpge(no_run);
+        m.iload(2).iconst(12).iushr().iconst(15).iand().istore(5);
+        m.bind(no_run);
+        m.gotoL(store);
+        m.bind(in_run);
+        m.iinc(5, -1);
+        m.bind(store);
+        m.aload(1).iload(3).iload(4).bastore();
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(1).areturn();
+    }
+
+    // probe(keys, key) -> slot: open-addressing linear probe.
+    {
+        MethodBuilder &m = c.staticMethod(
+            "probe", {VType::Ref, VType::Int}, VType::Int);
+        m.locals(4);  // 0 keys, 1 key, 2 h, 3 k
+        m.iload(1).iconst(31).imul().iconst(7).iadd().iconst(8191)
+            .iand().istore(2);
+        Label loop = m.newLabel(), found = m.newLabel();
+        m.bind(loop);
+        m.aload(0).iload(2).iaload().istore(3);
+        m.iload(3).ifeq(found);
+        m.iload(3).iload(1).ifIcmpeq(found);
+        m.iload(2).iconst(1).iadd().iconst(8191).iand().istore(2);
+        m.gotoL(loop);
+        m.bind(found);
+        m.iload(2).ireturn();
+    }
+
+    // compress(input, size, codes) -> outLen
+    {
+        MethodBuilder &m = c.staticMethod(
+            "compress", {VType::Ref, VType::Int, VType::Ref},
+            VType::Int);
+        m.locals(12);
+        // 0 input, 1 size, 2 codes, 3 keys, 4 vals, 5 nextCode,
+        // 6 w, 7 i, 8 ch, 9 key, 10 slot, 11 out
+        m.iconst(8192).newArray(ArrayKind::Int).astore(3);
+        m.iconst(8192).newArray(ArrayKind::Int).astore(4);
+        m.iconst(256).istore(5);
+        m.aload(0).iconst(0).baload().iconst(255).iand().istore(6);
+        m.iconst(1).istore(7);
+        m.iconst(0).istore(11);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label found = m.newLabel(), next = m.newLabel();
+        Label dict_full = m.newLabel();
+        m.bind(loop);
+        m.iload(7).iload(1).ifIcmpge(done);
+        m.aload(0).iload(7).baload().iconst(255).iand().istore(8);
+        m.iload(6).iconst(8).ishl().iload(8).ior().iconst(1).iadd()
+            .istore(9);
+        m.aload(3).iload(9).invokeStatic("Compress.probe").istore(10);
+        m.aload(3).iload(10).iaload().ifne(found);
+        // miss: emit w, insert (key -> nextCode)
+        m.aload(2).iload(11).iload(6).iastore();
+        m.iinc(11, 1);
+        m.iload(5).iconst(4096).ifIcmpge(dict_full);
+        m.aload(3).iload(10).iload(9).iastore();
+        m.aload(4).iload(10).iload(5).iastore();
+        m.iinc(5, 1);
+        m.bind(dict_full);
+        m.iload(8).istore(6);
+        m.gotoL(next);
+        m.bind(found);
+        m.aload(4).iload(10).iaload().istore(6);
+        m.bind(next);
+        m.iinc(7, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(2).iload(11).iload(6).iastore();
+        m.iinc(11, 1);
+        m.iload(11).ireturn();
+    }
+
+    // firstChar(prefix, code) -> int
+    {
+        MethodBuilder &m = c.staticMethod(
+            "firstChar", {VType::Ref, VType::Int}, VType::Int);
+        m.locals(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iconst(256).ifIcmplt(done);
+        m.aload(0).iload(1).iaload().istore(1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+    }
+
+    // expand(code, prefix, suffix, out, pos, stk) -> newPos
+    {
+        MethodBuilder &m = c.staticMethod(
+            "expand",
+            {VType::Int, VType::Ref, VType::Ref, VType::Ref, VType::Int,
+             VType::Ref},
+            VType::Int);
+        m.locals(7);  // 0 code, 1 prefix, 2 suffix, 3 out, 4 pos,
+                      // 5 stk, 6 sp
+        m.iconst(0).istore(6);
+        Label walk = m.newLabel(), emit = m.newLabel();
+        Label drain = m.newLabel(), done = m.newLabel();
+        m.bind(walk);
+        m.iload(0).iconst(256).ifIcmplt(emit);
+        m.aload(5).iload(6).aload(2).iload(0).iaload().iastore();
+        m.iinc(6, 1);
+        m.aload(1).iload(0).iaload().istore(0);
+        m.gotoL(walk);
+        m.bind(emit);
+        m.aload(3).iload(4).iload(0).bastore();
+        m.iinc(4, 1);
+        m.bind(drain);
+        m.iload(6).ifle(done);
+        m.iinc(6, -1);
+        m.aload(3).iload(4).aload(5).iload(6).iaload().bastore();
+        m.iinc(4, 1);
+        m.gotoL(drain);
+        m.bind(done);
+        m.iload(4).ireturn();
+    }
+
+    // decompress(codes, n, out) -> decodedLen
+    {
+        MethodBuilder &m = c.staticMethod(
+            "decompress", {VType::Ref, VType::Int, VType::Ref},
+            VType::Int);
+        m.locals(12);
+        // 0 codes, 1 n, 2 out, 3 prefix, 4 suffix, 5 nextCode,
+        // 6 prev, 7 i, 8 cur, 9 pos, 10 stk, 11 first
+        m.iconst(4096).newArray(ArrayKind::Int).astore(3);
+        m.iconst(4096).newArray(ArrayKind::Int).astore(4);
+        m.iconst(4096).newArray(ArrayKind::Int).astore(10);
+        m.iconst(256).istore(5);
+        m.aload(0).iconst(0).iaload().istore(6);
+        m.iload(6).aload(3).aload(4).aload(2).iconst(0).aload(10)
+            .invokeStatic("Compress.expand").istore(9);
+        m.iconst(1).istore(7);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label kwk = m.newLabel(), add = m.newLabel();
+        Label dict_full = m.newLabel();
+        m.bind(loop);
+        m.iload(7).iload(1).ifIcmpge(done);
+        m.aload(0).iload(7).iaload().istore(8);
+        m.iload(8).iload(5).ifIcmpge(kwk);
+        // normal: emit expand(cur); first = firstChar(cur)
+        m.iload(8).aload(3).aload(4).aload(2).iload(9).aload(10)
+            .invokeStatic("Compress.expand").istore(9);
+        m.aload(3).iload(8).invokeStatic("Compress.firstChar")
+            .istore(11);
+        m.gotoL(add);
+        m.bind(kwk);
+        // KwKwK: first = firstChar(prev); emit expand(prev) + first
+        m.aload(3).iload(6).invokeStatic("Compress.firstChar")
+            .istore(11);
+        m.iload(6).aload(3).aload(4).aload(2).iload(9).aload(10)
+            .invokeStatic("Compress.expand").istore(9);
+        m.aload(2).iload(9).iload(11).bastore();
+        m.iinc(9, 1);
+        m.bind(add);
+        m.iload(5).iconst(4096).ifIcmpge(dict_full);
+        m.aload(3).iload(5).iload(6).iastore();
+        m.aload(4).iload(5).iload(11).iastore();
+        m.iinc(5, 1);
+        m.bind(dict_full);
+        m.iload(8).istore(6);
+        m.iinc(7, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(9).ireturn();
+    }
+
+    // verify(a, b, len) -> 1/0
+    {
+        MethodBuilder &m = c.staticMethod(
+            "verify", {VType::Ref, VType::Ref, VType::Int}, VType::Int);
+        m.locals(4);  // 0 a, 1 b, 2 len, 3 i
+        m.iconst(0).istore(3);
+        Label loop = m.newLabel(), bad = m.newLabel(), ok = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iload(2).ifIcmpge(ok);
+        m.aload(0).iload(3).baload();
+        m.aload(1).iload(3).baload();
+        m.ifIcmpne(bad);
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(bad);
+        m.iconst(0).ireturn();
+        m.bind(ok);
+        m.iconst(1).ireturn();
+    }
+
+    // checksum(codes, outLen) -> int
+    {
+        MethodBuilder &m = c.staticMethod(
+            "checksum", {VType::Ref, VType::Int}, VType::Int);
+        m.locals(4);  // 0 codes, 1 outLen, 2 sum, 3 i
+        m.iload(1).iconst(31).imul().istore(2);
+        m.iconst(0).istore(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iload(1).ifIcmpge(done);
+        m.iload(2).iconst(7).imul().aload(0).iload(3).iaload().iadd()
+            .istore(2);
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(2).ireturn();
+    }
+
+    ClassBuilder &main = pb.cls("Main");
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(8);
+        // 0 n, 1 input, 2 codes, 3 outLen, 4 decoded, 5 decLen,
+        // 6 ok, 7 sum
+        m.iload(0).invokeStatic("Compress.genInput").astore(1);
+        m.iload(0).iconst(16).iadd().newArray(ArrayKind::Int).astore(2);
+        m.aload(1).iload(0).aload(2).invokeStatic("Compress.compress")
+            .istore(3);
+        m.iload(0).iconst(16).iadd().newArray(ArrayKind::Byte)
+            .astore(4);
+        m.aload(2).iload(3).aload(4)
+            .invokeStatic("Compress.decompress").istore(5);
+        Label len_bad = m.newLabel(), have_ok = m.newLabel();
+        m.iload(5).iload(0).ifIcmpne(len_bad);
+        m.aload(1).aload(4).iload(0).invokeStatic("Compress.verify")
+            .istore(6);
+        m.gotoL(have_ok);
+        m.bind(len_bad);
+        m.iconst(0).istore(6);
+        m.bind(have_ok);
+        m.aload(2).iload(3).invokeStatic("Compress.checksum")
+            .istore(7);
+        m.iload(7).iconst(2).imul().iload(6).iadd().ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * db — an in-memory database driven by a random command stream, built
+ * on a java.util.Vector-style container whose every method is
+ * synchronized. Like SpecJVM98's 209_db, the workload is dominated by
+ * many short method invocations and (a)-case lock acquisitions, with
+ * modest per-method reuse — the profile in which the paper finds
+ * translation overhead and the oracle's savings most visible.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildDb()
+{
+    ProgramBuilder pb("db");
+
+    // ------------------------------------------------------------- Rec
+    ClassBuilder &rec = pb.cls("Rec");
+    rec.field("id");
+    rec.field("val");
+    rec.field("name");
+    {
+        MethodBuilder &m = rec.specialMethod(
+            "init", {VType::Int, VType::Int, VType::Ref}, VType::Void);
+        m.aload(0).iload(1).putFieldI("Rec.id");
+        m.aload(0).iload(2).putFieldI("Rec.val");
+        m.aload(0).aload(3).putFieldA("Rec.name");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = rec.virtualMethod("getId", {}, VType::Int);
+        m.aload(0).getFieldI("Rec.id").ireturn();
+    }
+    {
+        MethodBuilder &m = rec.virtualMethod("getVal", {}, VType::Int);
+        m.aload(0).getFieldI("Rec.val").ireturn();
+    }
+    {
+        // compareTo(other): by val, then id.
+        MethodBuilder &m =
+            rec.virtualMethod("compareTo", {VType::Ref}, VType::Int);
+        m.locals(4);  // 0 this, 1 other, 2 a, 3 b
+        m.aload(0).getFieldI("Rec.val").istore(2);
+        m.aload(1).invokeVirtual("Rec.getVal").istore(3);
+        Label eq = m.newLabel();
+        m.iload(2).iload(3).ifIcmpeq(eq);
+        m.iload(2).iload(3).isub().ireturn();
+        m.bind(eq);
+        m.aload(0).getFieldI("Rec.id")
+            .aload(1).invokeVirtual("Rec.getId").isub().ireturn();
+    }
+
+    // --------------------------------------------------------- DbVector
+    ClassBuilder &vec = pb.cls("DbVector");
+    vec.field("arr");
+    vec.field("count");
+    {
+        MethodBuilder &m =
+            vec.specialMethod("init", {VType::Int}, VType::Void);
+        m.aload(0).iload(1).newArray(ArrayKind::Ref)
+            .putFieldA("DbVector.arr");
+        m.aload(0).iconst(0).putFieldI("DbVector.count");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = vec.virtualMethod("size", {}, VType::Int);
+        m.synchronized_();
+        m.aload(0).getFieldI("DbVector.count").ireturn();
+    }
+    {
+        MethodBuilder &m =
+            vec.virtualMethod("add", {VType::Ref}, VType::Int);
+        m.synchronized_();
+        m.locals(3);  // 0 this, 1 elem, 2 c
+        m.aload(0).getFieldI("DbVector.count").istore(2);
+        Label full = m.newLabel();
+        m.iload(2)
+            .aload(0).getFieldA("DbVector.arr").arrayLength()
+            .ifIcmpge(full);
+        m.aload(0).getFieldA("DbVector.arr").iload(2).aload(1)
+            .aastore();
+        m.aload(0).iload(2).iconst(1).iadd()
+            .putFieldI("DbVector.count");
+        m.iconst(1).ireturn();
+        m.bind(full);
+        m.iconst(0).ireturn();
+    }
+    {
+        MethodBuilder &m =
+            vec.virtualMethod("get", {VType::Int}, VType::Ref);
+        m.synchronized_();
+        m.aload(0).getFieldA("DbVector.arr").iload(1).aaload()
+            .areturn();
+    }
+    {
+        MethodBuilder &m = vec.virtualMethod(
+            "set", {VType::Int, VType::Ref}, VType::Void);
+        m.synchronized_();
+        m.aload(0).getFieldA("DbVector.arr").iload(1).aload(2)
+            .aastore();
+        m.returnVoid();
+    }
+    {
+        // removeAt(i): swap-remove with the last element. Uses the
+        // synchronized get/set accessors while already holding the
+        // monitor — recursive (case (b)) locking, just like the JDK's
+        // Vector methods calling one another.
+        MethodBuilder &m =
+            vec.virtualMethod("removeAt", {VType::Int}, VType::Void);
+        m.synchronized_();
+        m.locals(3);  // 0 this, 1 i, 2 last
+        m.aload(0).getFieldI("DbVector.count").iconst(1).isub()
+            .istore(2);
+        m.aload(0).iload(1)
+            .aload(0).iload(2).invokeVirtual("DbVector.get")
+            .invokeVirtual("DbVector.set");
+        m.aload(0).iload(2).aconstNull()
+            .invokeVirtual("DbVector.set");
+        m.aload(0).iload(2).putFieldI("DbVector.count");
+        m.returnVoid();
+    }
+
+    // -------------------------------------------------------------- Db
+    ClassBuilder &db = pb.cls("Db");
+    db.field("recs");
+    {
+        MethodBuilder &m =
+            db.specialMethod("init", {VType::Int}, VType::Void);
+        m.aload(0).newObject("DbVector").dup().iload(1)
+            .invokeSpecial("DbVector.init").putFieldA("Db.recs");
+        m.returnVoid();
+    }
+    {
+        // makeName(id) -> char[]: 8-char decimal rendering.
+        MethodBuilder &m =
+            db.staticMethod("makeName", {VType::Int}, VType::Ref);
+        m.locals(4);  // 0 id, 1 buf, 2 i, 3 v
+        m.iconst(8).newArray(ArrayKind::Char).astore(1);
+        m.iload(0).istore(3);
+        m.iconst(7).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iflt(done);
+        m.aload(1).iload(2)
+            .iload(3).iconst(10).irem().iconst(48).iadd().i2c()
+            .castore();
+        m.iload(3).iconst(10).idiv().istore(3);
+        m.iinc(2, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(1).areturn();
+    }
+    {
+        MethodBuilder &m = db.virtualMethod(
+            "addRec", {VType::Int, VType::Int}, VType::Void);
+        m.locals(4);  // 0 this, 1 id, 2 val, 3 rec
+        m.newObject("Rec").dup()
+            .iload(1).iload(2)
+            .iload(1).invokeStatic("Db.makeName")
+            .invokeSpecial("Rec.init")
+            .astore(3);
+        m.aload(0).getFieldA("Db.recs").aload(3)
+            .invokeVirtual("DbVector.add").pop();
+        m.returnVoid();
+    }
+    {
+        // findByVal(v) -> index or -1 (linear scan).
+        MethodBuilder &m =
+            db.virtualMethod("findByVal", {VType::Int}, VType::Int);
+        m.locals(4);  // 0 this, 1 v, 2 i, 3 n
+        m.aload(0).getFieldA("Db.recs")
+            .invokeVirtual("DbVector.size").istore(3);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), miss = m.newLabel();
+        Label hit = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iload(3).ifIcmpge(miss);
+        m.aload(0).getFieldA("Db.recs").iload(2)
+            .invokeVirtual("DbVector.get")
+            .invokeVirtual("Rec.getVal")
+            .iload(1).ifIcmpeq(hit);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(hit);
+        m.iload(2).ireturn();
+        m.bind(miss);
+        m.iconst(-1).ireturn();
+    }
+    {
+        // sort(): shellsort on (val, id) through the Vector API.
+        MethodBuilder &m = db.virtualMethod("sort", {}, VType::Void);
+        m.locals(7);  // 0 this, 1 n, 2 gap, 3 i, 4 j, 5 tmp, 6 v
+        m.aload(0).getFieldA("Db.recs")
+            .invokeVirtual("DbVector.size").istore(1);
+        m.iload(1).iconst(2).idiv().istore(2);
+        Label gaps = m.newLabel(), gdone = m.newLabel();
+        m.bind(gaps);
+        m.iload(2).ifle(gdone);
+        {
+            Label il = m.newLabel(), idone = m.newLabel();
+            m.iload(2).istore(3);
+            m.bind(il);
+            m.iload(3).iload(1).ifIcmpge(idone);
+            m.aload(0).getFieldA("Db.recs").iload(3)
+                .invokeVirtual("DbVector.get").astore(5);
+            m.iload(3).istore(4);
+            {
+                Label jl = m.newLabel(), jdone = m.newLabel();
+                m.bind(jl);
+                m.iload(4).iload(2).ifIcmplt(jdone);
+                // if recs[j-gap] <= tmp: stop
+                m.aload(0).getFieldA("Db.recs")
+                    .iload(4).iload(2).isub()
+                    .invokeVirtual("DbVector.get")
+                    .aload(5).invokeVirtual("Rec.compareTo")
+                    .ifle(jdone);
+                m.aload(0).getFieldA("Db.recs").iload(4)
+                    .aload(0).getFieldA("Db.recs")
+                    .iload(4).iload(2).isub()
+                    .invokeVirtual("DbVector.get")
+                    .invokeVirtual("DbVector.set");
+                m.iload(4).iload(2).isub().istore(4);
+                m.gotoL(jl);
+                m.bind(jdone);
+            }
+            m.aload(0).getFieldA("Db.recs").iload(4).aload(5)
+                .invokeVirtual("DbVector.set");
+            m.iinc(3, 1);
+            m.gotoL(il);
+            m.bind(idone);
+        }
+        m.iload(2).iconst(2).idiv().istore(2);
+        m.gotoL(gaps);
+        m.bind(gdone);
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = db.virtualMethod("checksum", {}, VType::Int);
+        m.locals(5);  // 0 this, 1 n, 2 i, 3 sum, 4 r
+        m.aload(0).getFieldA("Db.recs")
+            .invokeVirtual("DbVector.size").istore(1);
+        m.iconst(0).istore(3);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iload(1).ifIcmpge(done);
+        m.aload(0).getFieldA("Db.recs").iload(2)
+            .invokeVirtual("DbVector.get").astore(4);
+        m.iload(3).iconst(31).imul()
+            .aload(4).invokeVirtual("Rec.getId").iadd()
+            .aload(4).invokeVirtual("Rec.getVal").iconst(7).imul()
+            .iadd().istore(3);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(3).iload(1).iconst(1000).imul().iadd().ireturn();
+    }
+
+    // ------------------------------------------------------------ Main
+    ClassBuilder &main = pb.cls("Main");
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(8);
+        // 0 n, 1 db, 2 seed, 3 i, 4 op, 5 idx, 6 nextId, 7 sortEvery
+        m.newObject("Db").astore(1);
+        m.aload(1).iload(0).iconst(8).iadd()
+            .invokeSpecial("Db.init");
+        m.iconst(987654321).istore(2);
+        m.iconst(0).istore(6);
+        m.iload(0).iconst(8).idiv().iconst(1).iadd().istore(7);
+        m.iconst(0).istore(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label do_find = m.newLabel(), do_sort = m.newLabel();
+        Label next = m.newLabel(), no_del = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iload(0).ifIcmpge(done);
+        // seed = seed * 1103515245 + 12345
+        m.iload(2).iconst(1103515245).imul().iconst(12345).iadd()
+            .istore(2);
+        m.iload(2).iconst(16).iushr().iconst(3).iand().istore(4);
+        m.iload(4).iconst(2).ifIcmpeq(do_find);
+        m.iload(4).iconst(3).ifIcmpeq(do_sort);
+        // add (ops 0, 1)
+        m.aload(1).iload(6)
+            .iload(2).iconst(20).iushr().iconst(1023).iand()
+            .invokeVirtual("Db.addRec");
+        m.iinc(6, 1);
+        m.gotoL(next);
+        m.bind(do_find);
+        m.aload(1)
+            .iload(2).iconst(20).iushr().iconst(1023).iand()
+            .invokeVirtual("Db.findByVal").istore(5);
+        m.iload(5).iflt(no_del);
+        // delete roughly half the hits
+        m.iload(2).iconst(1).iand().ifeq(no_del);
+        m.aload(1).getFieldA("Db.recs").iload(5)
+            .invokeVirtual("DbVector.removeAt");
+        m.bind(no_del);
+        m.gotoL(next);
+        m.bind(do_sort);
+        // sort only every sortEvery-th op
+        m.iload(3).iload(7).irem().ifne(next);
+        m.aload(1).invokeVirtual("Db.sort");
+        m.bind(next);
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(1).invokeVirtual("Db.sort");
+        m.aload(1).invokeVirtual("Db.checksum").ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * hello — the paper's HelloWorld: a program whose execution is
+ * dominated by one-shot work, making translation overhead maximally
+ * visible in JIT mode.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildHello()
+{
+    ProgramBuilder pb("hello");
+    ClassBuilder &main = pb.cls("Main");
+
+    // greet(): print the greeting, return its length.
+    {
+        MethodBuilder &m = main.staticMethod("greet", {}, VType::Int);
+        m.locals(3);  // 0: s, 1: i, 2: len
+        m.ldcStr("Hello, world\n").astore(0);
+        m.aload(0).arrayLength().istore(2);
+        m.iconst(0).istore(1);
+        Label loop = m.newLabel();
+        Label done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iload(2).ifIcmpge(done);
+        m.aload(0).iload(1).caload().intrinsic(IntrinsicId::PrintChar);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(2).ireturn();
+    }
+
+    // version(): one-shot constant helper.
+    {
+        MethodBuilder &m = main.staticMethod("version", {}, VType::Int);
+        m.iconst(116).ireturn();
+    }
+
+    // mix(a, b): called twice, still cold.
+    {
+        MethodBuilder &m = main.staticMethod(
+            "mix", {VType::Int, VType::Int}, VType::Int);
+        m.iload(0).iconst(31).imul().iload(1).iadd().ireturn();
+    }
+
+    // run(n): entry.
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(3);  // 0: n, 1: acc, 2: tmp
+        m.invokeStatic("Main.greet").istore(1);
+        m.invokeStatic("Main.version").istore(2);
+        m.iload(1).iload(2).invokeStatic("Main.mix").istore(1);
+        m.iload(1).iload(0).invokeStatic("Main.mix").istore(1);
+        m.iload(1).ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * jack — repeated scanning of a token stream with exception-based
+ * error recovery. SpecJVM98's 228_jack parses the same input sixteen
+ * times and is famous for its heavy exception traffic; this workload
+ * reproduces both traits: sixteen passes over one buffer, with bad
+ * characters raising a ParseError that the driver catches per token.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildJack()
+{
+    ProgramBuilder pb("jack");
+
+    pb.staticSlot("inputLen", VType::Int);
+
+    // -------------------------------------------------------- ParseError
+    ClassBuilder &err = pb.cls("ParseError");
+    err.field("pos");
+    {
+        MethodBuilder &m =
+            err.specialMethod("init", {VType::Int}, VType::Void);
+        m.aload(0).iload(1).putFieldI("ParseError.pos");
+        m.returnVoid();
+    }
+
+    // ----------------------------------------------------------- Scanner
+    ClassBuilder &sc = pb.cls("Scanner");
+    sc.field("src");
+    sc.field("pos");
+    sc.field("len");
+    sc.field("tokHash");
+    {
+        MethodBuilder &m = sc.specialMethod(
+            "init", {VType::Ref, VType::Int}, VType::Void);
+        m.aload(0).aload(1).putFieldA("Scanner.src");
+        m.aload(0).iconst(0).putFieldI("Scanner.pos");
+        m.aload(0).iload(2).putFieldI("Scanner.len");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = sc.virtualMethod("rewind", {}, VType::Void);
+        m.aload(0).iconst(0).putFieldI("Scanner.pos");
+        m.returnVoid();
+    }
+    {
+        // scanIdent(p) -> new pos; hash accumulates into tokHash.
+        MethodBuilder &m =
+            sc.virtualMethod("scanIdent", {VType::Int}, VType::Int);
+        m.locals(5);  // 0 this, 1 p, 2 h, 3 ch, 4 len
+        m.iconst(0).istore(2);
+        m.aload(0).getFieldI("Scanner.len").istore(4);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iload(4).ifIcmpge(done);
+        m.aload(0).getFieldA("Scanner.src").iload(1).caload()
+            .istore(3);
+        m.iload(3).iconst('a').ifIcmplt(done);
+        m.iload(3).iconst('z').ifIcmpgt(done);
+        m.iload(2).iconst(31).imul().iload(3).iadd().istore(2);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(0).iload(2).putFieldI("Scanner.tokHash");
+        m.iload(1).ireturn();
+    }
+    {
+        // scanNumber(p) -> new pos.
+        MethodBuilder &m =
+            sc.virtualMethod("scanNumber", {VType::Int}, VType::Int);
+        m.locals(5);  // 0 this, 1 p, 2 v, 3 ch, 4 len
+        m.iconst(0).istore(2);
+        m.aload(0).getFieldI("Scanner.len").istore(4);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iload(4).ifIcmpge(done);
+        m.aload(0).getFieldA("Scanner.src").iload(1).caload()
+            .istore(3);
+        m.iload(3).iconst('0').ifIcmplt(done);
+        m.iload(3).iconst('9').ifIcmpgt(done);
+        m.iload(2).iconst(10).imul().iload(3).iconst('0').isub()
+            .iadd().istore(2);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(0).iload(2).putFieldI("Scanner.tokHash");
+        m.iload(1).ireturn();
+    }
+    {
+        // nextToken() -> 0 eof, 1 ident, 2 number, 3 punct;
+        // throws ParseError on a bad character (position advanced
+        // first so recovery makes progress).
+        MethodBuilder &m = sc.virtualMethod("nextToken", {}, VType::Int);
+        m.locals(4);  // 0 this, 1 p, 2 ch, 3 len
+        m.aload(0).getFieldI("Scanner.pos").istore(1);
+        m.aload(0).getFieldI("Scanner.len").istore(3);
+        // skip spaces
+        Label skip = m.newLabel(), have = m.newLabel();
+        Label eof = m.newLabel();
+        m.bind(skip);
+        m.iload(1).iload(3).ifIcmpge(eof);
+        m.aload(0).getFieldA("Scanner.src").iload(1).caload()
+            .istore(2);
+        m.iload(2).iconst(' ').ifIcmpne(have);
+        m.iinc(1, 1);
+        m.gotoL(skip);
+        m.bind(have);
+        Label ident = m.newLabel(), number = m.newLabel();
+        Label punct = m.newLabel(), bad = m.newLabel();
+        m.iload(2).iconst('a').ifIcmplt(number);
+        m.iload(2).iconst('z').ifIcmple(ident);
+        m.gotoL(bad);
+        m.bind(number);
+        {
+            Label num_go = m.newLabel();
+            m.iload(2).iconst('0').ifIcmplt(punct);
+            m.iload(2).iconst('9').ifIcmple(num_go);
+            m.gotoL(punct);
+            m.bind(num_go);
+            m.aload(0)
+                .aload(0).iload(1).invokeVirtual("Scanner.scanNumber")
+                .putFieldI("Scanner.pos");
+            m.iconst(2).ireturn();
+        }
+        m.bind(ident);
+        m.aload(0)
+            .aload(0).iload(1).invokeVirtual("Scanner.scanIdent")
+            .putFieldI("Scanner.pos");
+        m.iconst(1).ireturn();
+        m.bind(punct);
+        {
+            // one of + - * / ; ( ) = accepted; '@' & others are bad
+            Label is_bad = m.newLabel();
+            m.iload(2).iconst('@').ifIcmpeq(is_bad);
+            m.aload(0).iload(1).iconst(1).iadd()
+                .putFieldI("Scanner.pos");
+            m.aload(0).iload(2).putFieldI("Scanner.tokHash");
+            m.iconst(3).ireturn();
+            m.bind(is_bad);
+            m.gotoL(bad);
+        }
+        m.bind(bad);
+        // advance past the offender, then throw
+        m.aload(0).iload(1).iconst(1).iadd().putFieldI("Scanner.pos");
+        m.newObject("ParseError").dup().iload(1)
+            .invokeSpecial("ParseError.init");
+        m.athrow();
+        m.bind(eof);
+        m.aload(0).iload(1).putFieldI("Scanner.pos");
+        m.iconst(0).ireturn();
+    }
+
+    // ------------------------------------------------------------ Main
+    ClassBuilder &main = pb.cls("Main");
+    {
+        // genInput(n) -> char[]; actual length in static inputLen.
+        MethodBuilder &m =
+            main.staticMethod("genInput", {VType::Int}, VType::Ref);
+        m.locals(7);  // 0 n, 1 buf, 2 seed, 3 i, 4 o, 5 r, 6 k
+        m.iload(0).iconst(10).imul().iconst(32).iadd()
+            .newArray(ArrayKind::Char).astore(1);
+        m.iconst(424242).istore(2);
+        m.iconst(0).istore(3);
+        m.iconst(0).istore(4);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iload(0).ifIcmpge(done);
+        m.iload(2).iconst(1103515245).imul().iconst(12345).iadd()
+            .istore(2);
+        m.iload(2).iconst(16).iushr().iconst(31).iand().istore(5);
+        Label w_num = m.newLabel(), w_punct = m.newLabel();
+        Label w_bad = m.newLabel(), spaced = m.newLabel();
+        // r: 0..15 ident, 16..23 number, 24..30 punct, 31 bad char
+        m.iload(5).iconst(16).ifIcmpge(w_num);
+        {
+            // ident of 1 + (r & 5 bits % 6) letters
+            Label il = m.newLabel(), idone = m.newLabel();
+            m.iload(5).iconst(6).irem().iconst(1).iadd().istore(6);
+            m.bind(il);
+            m.iload(6).ifle(idone);
+            m.iload(2).iconst(1103515245).imul().iconst(12345).iadd()
+                .istore(2);
+            m.aload(1).iload(4)
+                .iload(2).iconst(20).iushr().iconst(26).irem()
+                .iconst('a').iadd().i2c()
+                .castore();
+            m.iinc(4, 1);
+            m.iinc(6, -1);
+            m.gotoL(il);
+            m.bind(idone);
+            m.gotoL(spaced);
+        }
+        m.bind(w_num);
+        m.iload(5).iconst(24).ifIcmpge(w_punct);
+        {
+            Label nl = m.newLabel(), ndone = m.newLabel();
+            m.iload(5).iconst(3).irem().iconst(1).iadd().istore(6);
+            m.bind(nl);
+            m.iload(6).ifle(ndone);
+            m.iload(2).iconst(1103515245).imul().iconst(12345).iadd()
+                .istore(2);
+            m.aload(1).iload(4)
+                .iload(2).iconst(20).iushr().iconst(10).irem()
+                .iconst('0').iadd().i2c()
+                .castore();
+            m.iinc(4, 1);
+            m.iinc(6, -1);
+            m.gotoL(nl);
+            m.bind(ndone);
+            m.gotoL(spaced);
+        }
+        m.bind(w_punct);
+        m.iload(5).iconst(31).ifIcmpeq(w_bad);
+        // pick one of "+-*/;()" by (r - 24)
+        m.aload(1).iload(4)
+            .ldcStr("+-*/;()").iload(5).iconst(24).isub().caload()
+            .castore();
+        m.iinc(4, 1);
+        m.gotoL(spaced);
+        m.bind(w_bad);
+        m.aload(1).iload(4).iconst('@').castore();
+        m.iinc(4, 1);
+        m.bind(spaced);
+        m.aload(1).iload(4).iconst(' ').castore();
+        m.iinc(4, 1);
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(4).putStaticI("inputLen");
+        m.aload(1).areturn();
+    }
+    {
+        // pass(scanner) -> checksum of one full scan.
+        MethodBuilder &m =
+            main.staticMethod("pass", {VType::Ref}, VType::Int);
+        m.locals(6);  // 0 scanner, 1 sum, 2 errs, 3 t, 4 e, 5 unused
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label try_start = m.newLabel(), try_end = m.newLabel();
+        Label handler = m.newLabel();
+        m.bind(loop);
+        m.bind(try_start);
+        m.aload(0).invokeVirtual("Scanner.nextToken").istore(3);
+        m.bind(try_end);
+        m.iload(3).ifeq(done);
+        m.iload(1).iconst(31).imul().iload(3).iadd()
+            .aload(0).getFieldI("Scanner.tokHash").iadd().istore(1);
+        m.gotoL(loop);
+        m.bind(handler);
+        m.astore(4);
+        m.iload(2).iconst(1).iadd()
+            .aload(4).getFieldI("ParseError.pos")
+            .iconst(1000000).irem().iadd().istore(2);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).iload(2).iconst(13).imul().iadd().ireturn();
+        m.addHandler(try_start, try_end, handler, "ParseError");
+    }
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(7);
+        // 0 n, 1 input, 2 scanner, 3 pass, 4 sum, 5 ck, 6 len
+        m.iload(0).invokeStatic("Main.genInput").astore(1);
+        m.getStaticI("inputLen").istore(6);
+        m.newObject("Scanner").astore(2);
+        m.aload(2).aload(1).iload(6).invokeSpecial("Scanner.init");
+        m.iconst(0).istore(4);
+        m.iconst(0).istore(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iconst(16).ifIcmpge(done);
+        m.aload(2).invokeVirtual("Scanner.rewind");
+        m.aload(2).invokeStatic("Main.pass").istore(5);
+        m.iload(4).iconst(7).imul().iload(5).iadd().istore(4);
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(4).ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * javac — a small expression compiler: lexer, recursive-descent parser
+ * building a Node AST, stack-machine code generation, and a verifying
+ * evaluator. Like SpecJVM98's 213_javac, the program is spread over
+ * many distinct methods with modest individual reuse and allocates
+ * many short-lived objects, so the JIT pays a broad translation bill.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildJavac()
+{
+    ProgramBuilder pb("javac");
+
+    // ------------------------------------------------------------ Lexer
+    // Token types: 0 eof, 1 number (tokVal), 2 ident (0=x, 1=y),
+    // 3 operator (tokVal = char), 4 '(', 5 ')', 6 ';'.
+    ClassBuilder &lex = pb.cls("Lexer");
+    lex.field("src");
+    lex.field("pos");
+    lex.field("len");
+    lex.field("tokType");
+    lex.field("tokVal");
+    {
+        MethodBuilder &m = lex.specialMethod(
+            "init", {VType::Ref, VType::Int}, VType::Void);
+        m.aload(0).aload(1).putFieldA("Lexer.src");
+        m.aload(0).iconst(0).putFieldI("Lexer.pos");
+        m.aload(0).iload(2).putFieldI("Lexer.len");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = lex.virtualMethod("next", {}, VType::Void);
+        m.locals(4);  // 0 this, 1 p, 2 ch, 3 v
+        m.aload(0).getFieldI("Lexer.pos").istore(1);
+        Label eof = m.newLabel();
+        m.iload(1).aload(0).getFieldI("Lexer.len").ifIcmpge(eof);
+        m.aload(0).getFieldA("Lexer.src").iload(1).caload().istore(2);
+        // digit?
+        Label not_digit = m.newLabel();
+        m.iload(2).iconst(48).ifIcmplt(not_digit);
+        m.iload(2).iconst(57).ifIcmpgt(not_digit);
+        {
+            // scan a (possibly multi-digit) number
+            m.iconst(0).istore(3);
+            Label dl = m.newLabel(), dd = m.newLabel();
+            m.bind(dl);
+            m.iload(1).aload(0).getFieldI("Lexer.len").ifIcmpge(dd);
+            m.aload(0).getFieldA("Lexer.src").iload(1).caload()
+                .istore(2);
+            m.iload(2).iconst(48).ifIcmplt(dd);
+            m.iload(2).iconst(57).ifIcmpgt(dd);
+            m.iload(3).iconst(10).imul().iload(2).iconst(48).isub()
+                .iadd().istore(3);
+            m.iinc(1, 1);
+            m.gotoL(dl);
+            m.bind(dd);
+            m.aload(0).iload(1).putFieldI("Lexer.pos");
+            m.aload(0).iconst(1).putFieldI("Lexer.tokType");
+            m.aload(0).iload(3).putFieldI("Lexer.tokVal");
+            m.returnVoid();
+        }
+        m.bind(not_digit);
+        m.iinc(1, 1);
+        m.aload(0).iload(1).putFieldI("Lexer.pos");
+        // classify single-char tokens via lookupswitch
+        Label is_x = m.newLabel(), is_y = m.newLabel();
+        Label is_op = m.newLabel(), is_lp = m.newLabel();
+        Label is_rp = m.newLabel(), is_semi = m.newLabel();
+        Label bad = m.newLabel();
+        m.iload(2);  // the switch key: the character just read
+        m.lookupSwitch(
+            {
+                {'x', is_x}, {'y', is_y},
+                {'+', is_op}, {'-', is_op}, {'*', is_op}, {'/', is_op},
+                {'(', is_lp}, {')', is_rp}, {';', is_semi},
+            },
+            bad);
+        m.bind(is_x);
+        m.aload(0).iconst(2).putFieldI("Lexer.tokType");
+        m.aload(0).iconst(0).putFieldI("Lexer.tokVal");
+        m.returnVoid();
+        m.bind(is_y);
+        m.aload(0).iconst(2).putFieldI("Lexer.tokType");
+        m.aload(0).iconst(1).putFieldI("Lexer.tokVal");
+        m.returnVoid();
+        m.bind(is_op);
+        m.aload(0).iconst(3).putFieldI("Lexer.tokType");
+        m.aload(0).iload(2).putFieldI("Lexer.tokVal");
+        m.returnVoid();
+        m.bind(is_lp);
+        m.aload(0).iconst(4).putFieldI("Lexer.tokType");
+        m.returnVoid();
+        m.bind(is_rp);
+        m.aload(0).iconst(5).putFieldI("Lexer.tokType");
+        m.returnVoid();
+        m.bind(is_semi);
+        m.bind(bad);
+        m.aload(0).iconst(6).putFieldI("Lexer.tokType");
+        m.returnVoid();
+        m.bind(eof);
+        m.aload(0).iconst(0).putFieldI("Lexer.tokType");
+        m.returnVoid();
+    }
+
+    // ------------------------------------------------------------- AST
+    ClassBuilder &node = pb.cls("Node");
+    {
+        MethodBuilder &m = node.virtualMethod(
+            "eval", {VType::Int, VType::Int}, VType::Int);
+        m.iconst(0).ireturn();
+    }
+    {
+        // gen(code, pos) -> new pos
+        MethodBuilder &m = node.virtualMethod(
+            "gen", {VType::Ref, VType::Int}, VType::Int);
+        m.iload(2).ireturn();
+    }
+
+    ClassBuilder &num = pb.cls("NumNode", "Node");
+    num.field("v");
+    {
+        MethodBuilder &m =
+            num.specialMethod("init", {VType::Int}, VType::Void);
+        m.aload(0).iload(1).putFieldI("NumNode.v");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = num.virtualMethod(
+            "eval", {VType::Int, VType::Int}, VType::Int);
+        m.aload(0).getFieldI("NumNode.v").ireturn();
+    }
+    {
+        MethodBuilder &m = num.virtualMethod(
+            "gen", {VType::Ref, VType::Int}, VType::Int);
+        m.aload(1).iload(2).iconst(1).iastore();
+        m.aload(1).iload(2).iconst(1).iadd()
+            .aload(0).getFieldI("NumNode.v").iastore();
+        m.iload(2).iconst(2).iadd().ireturn();
+    }
+
+    ClassBuilder &var = pb.cls("VarNode", "Node");
+    var.field("idx");
+    {
+        MethodBuilder &m =
+            var.specialMethod("init", {VType::Int}, VType::Void);
+        m.aload(0).iload(1).putFieldI("VarNode.idx");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = var.virtualMethod(
+            "eval", {VType::Int, VType::Int}, VType::Int);
+        Label y = m.newLabel();
+        m.aload(0).getFieldI("VarNode.idx").ifne(y);
+        m.iload(1).ireturn();
+        m.bind(y);
+        m.iload(2).ireturn();
+    }
+    {
+        MethodBuilder &m = var.virtualMethod(
+            "gen", {VType::Ref, VType::Int}, VType::Int);
+        m.aload(1).iload(2).iconst(2).iastore();
+        m.aload(1).iload(2).iconst(1).iadd()
+            .aload(0).getFieldI("VarNode.idx").iastore();
+        m.iload(2).iconst(2).iadd().ireturn();
+    }
+
+    ClassBuilder &bin = pb.cls("BinNode", "Node");
+    bin.field("op");
+    bin.field("left");
+    bin.field("right");
+    {
+        MethodBuilder &m = bin.specialMethod(
+            "init", {VType::Int, VType::Ref, VType::Ref}, VType::Void);
+        m.aload(0).iload(1).putFieldI("BinNode.op");
+        m.aload(0).aload(2).putFieldA("BinNode.left");
+        m.aload(0).aload(3).putFieldA("BinNode.right");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = bin.virtualMethod(
+            "eval", {VType::Int, VType::Int}, VType::Int);
+        m.locals(5);  // 0 this, 1 x, 2 y, 3 a, 4 b
+        m.aload(0).getFieldA("BinNode.left").iload(1).iload(2)
+            .invokeVirtual("Node.eval").istore(3);
+        m.aload(0).getFieldA("BinNode.right").iload(1).iload(2)
+            .invokeVirtual("Node.eval").istore(4);
+        Label add = m.newLabel(), sub = m.newLabel();
+        Label mul = m.newLabel(), divi = m.newLabel();
+        Label fallback = m.newLabel();
+        m.aload(0).getFieldI("BinNode.op");
+        m.lookupSwitch(
+            {{'+', add}, {'-', sub}, {'*', mul}, {'/', divi}},
+            fallback);
+        m.bind(add);
+        m.iload(3).iload(4).iadd().ireturn();
+        m.bind(sub);
+        m.iload(3).iload(4).isub().ireturn();
+        m.bind(mul);
+        m.iload(3).iload(4).imul().ireturn();
+        m.bind(divi);
+        Label safe = m.newLabel();
+        m.iload(4).ifne(safe);
+        m.iconst(0).ireturn();
+        m.bind(safe);
+        m.iload(3).iload(4).idiv().ireturn();
+        m.bind(fallback);
+        m.iconst(0).ireturn();
+    }
+    {
+        MethodBuilder &m = bin.virtualMethod(
+            "gen", {VType::Ref, VType::Int}, VType::Int);
+        m.locals(3);
+        m.aload(0).getFieldA("BinNode.left").aload(1).iload(2)
+            .invokeVirtual("Node.gen").istore(2);
+        m.aload(0).getFieldA("BinNode.right").aload(1).iload(2)
+            .invokeVirtual("Node.gen").istore(2);
+        m.aload(1).iload(2).iconst(3).iastore();
+        m.aload(1).iload(2).iconst(1).iadd()
+            .aload(0).getFieldI("BinNode.op").iastore();
+        m.iload(2).iconst(2).iadd().ireturn();
+    }
+
+    // ------------------------------------------------------------ Parser
+    ClassBuilder &par = pb.cls("Parser");
+    par.field("lex");
+    {
+        MethodBuilder &m =
+            par.specialMethod("init", {VType::Ref}, VType::Void);
+        m.aload(0).aload(1).putFieldA("Parser.lex");
+        m.aload(1).invokeVirtual("Lexer.next");
+        m.returnVoid();
+    }
+    {
+        // expr := term (('+'|'-') term)*
+        MethodBuilder &m =
+            par.virtualMethod("parseExpr", {}, VType::Ref);
+        m.locals(4);  // 0 this, 1 node, 2 op, 3 lx
+        m.aload(0).getFieldA("Parser.lex").astore(3);
+        m.aload(0).invokeVirtual("Parser.parseTerm").astore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label is_addop = m.newLabel();
+        m.bind(loop);
+        m.aload(3).getFieldI("Lexer.tokType").iconst(3).ifIcmpne(done);
+        m.aload(3).getFieldI("Lexer.tokVal").istore(2);
+        m.iload(2).iconst('+').ifIcmpeq(is_addop);
+        m.iload(2).iconst('-').ifIcmpeq(is_addop);
+        m.gotoL(done);
+        m.bind(is_addop);
+        m.aload(3).invokeVirtual("Lexer.next");
+        m.newObject("BinNode").dup()
+            .iload(2).aload(1)
+            .aload(0).invokeVirtual("Parser.parseTerm")
+            .invokeSpecial("BinNode.init")
+            .astore(1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(1).areturn();
+    }
+    {
+        // term := factor (('*'|'/') factor)*
+        MethodBuilder &m =
+            par.virtualMethod("parseTerm", {}, VType::Ref);
+        m.locals(4);
+        m.aload(0).getFieldA("Parser.lex").astore(3);
+        m.aload(0).invokeVirtual("Parser.parseFactor").astore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label is_mulop = m.newLabel();
+        m.bind(loop);
+        m.aload(3).getFieldI("Lexer.tokType").iconst(3).ifIcmpne(done);
+        m.aload(3).getFieldI("Lexer.tokVal").istore(2);
+        m.iload(2).iconst('*').ifIcmpeq(is_mulop);
+        m.iload(2).iconst('/').ifIcmpeq(is_mulop);
+        m.gotoL(done);
+        m.bind(is_mulop);
+        m.aload(3).invokeVirtual("Lexer.next");
+        m.newObject("BinNode").dup()
+            .iload(2).aload(1)
+            .aload(0).invokeVirtual("Parser.parseFactor")
+            .invokeSpecial("BinNode.init")
+            .astore(1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(1).areturn();
+    }
+    {
+        // factor := number | ident | '(' expr ')'
+        MethodBuilder &m =
+            par.virtualMethod("parseFactor", {}, VType::Ref);
+        m.locals(4);  // 0 this, 1 node, 2 t, 3 lx
+        m.aload(0).getFieldA("Parser.lex").astore(3);
+        m.aload(3).getFieldI("Lexer.tokType").istore(2);
+        Label is_num = m.newLabel(), is_ident = m.newLabel();
+        Label is_paren = m.newLabel(), bad = m.newLabel();
+        m.iload(2).iconst(1).ifIcmpeq(is_num);
+        m.iload(2).iconst(2).ifIcmpeq(is_ident);
+        m.iload(2).iconst(4).ifIcmpeq(is_paren);
+        m.bind(bad);
+        m.newObject("NumNode").dup().iconst(0)
+            .invokeSpecial("NumNode.init").areturn();
+        m.bind(is_num);
+        m.newObject("NumNode").dup()
+            .aload(3).getFieldI("Lexer.tokVal")
+            .invokeSpecial("NumNode.init").astore(1);
+        m.aload(3).invokeVirtual("Lexer.next");
+        m.aload(1).areturn();
+        m.bind(is_ident);
+        m.newObject("VarNode").dup()
+            .aload(3).getFieldI("Lexer.tokVal")
+            .invokeSpecial("VarNode.init").astore(1);
+        m.aload(3).invokeVirtual("Lexer.next");
+        m.aload(1).areturn();
+        m.bind(is_paren);
+        m.aload(3).invokeVirtual("Lexer.next");
+        m.aload(0).invokeVirtual("Parser.parseExpr").astore(1);
+        // expect ')'
+        m.aload(3).invokeVirtual("Lexer.next");
+        m.aload(1).areturn();
+    }
+
+    // ------------------------------------------------------------ Main
+    ClassBuilder &main = pb.cls("Main");
+    {
+        // genSource(buf, seed, shape) -> len: instantiate a template,
+        // replacing '#' placeholders with random digits 1..9.
+        MethodBuilder &m = main.staticMethod(
+            "genSource", {VType::Ref, VType::Int, VType::Int},
+            VType::Int);
+        m.locals(8);  // 0 buf, 1 seed, 2 shape, 3 tmpl, 4 i, 5 o,
+                      // 6 ch, 7 tlen
+        Label t1 = m.newLabel(), t2 = m.newLabel(), have = m.newLabel();
+        m.iload(2).iconst(1).ifIcmpeq(t1);
+        m.iload(2).iconst(2).ifIcmpeq(t2);
+        m.ldcStr("#*(x+#)-(y*#)+#/(#+1);").astore(3);
+        m.gotoL(have);
+        m.bind(t1);
+        m.ldcStr("((#+#)*x+(#-y))*(#+2);").astore(3);
+        m.gotoL(have);
+        m.bind(t2);
+        m.ldcStr("#+(#*(#+(x*y)))-#/(x+1);").astore(3);
+        m.bind(have);
+        m.aload(3).arrayLength().istore(7);
+        m.iconst(0).istore(4);
+        m.iconst(0).istore(5);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label lit = m.newLabel(), emit = m.newLabel();
+        m.bind(loop);
+        m.iload(4).iload(7).ifIcmpge(done);
+        m.aload(3).iload(4).caload().istore(6);
+        m.iload(6).iconst('#').ifIcmpne(lit);
+        m.iload(1).iconst(1103515245).imul().iconst(12345).iadd()
+            .istore(1);
+        m.iload(1).iconst(16).iushr().iconst(9).irem()
+            .iconst(1).iadd().iconst(48).iadd().istore(6);
+        m.gotoL(emit);
+        m.bind(lit);
+        m.bind(emit);
+        m.aload(0).iload(5).iload(6).i2c().castore();
+        m.iinc(5, 1);
+        m.iinc(4, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(5).ireturn();
+    }
+    {
+        // evalCode(code, len, x, y): stack-machine interpreter for the
+        // generated code (1 v: push v; 2 i: push var; 3 op: apply).
+        MethodBuilder &m = main.staticMethod(
+            "evalCode",
+            {VType::Ref, VType::Int, VType::Int, VType::Int},
+            VType::Int);
+        m.locals(10);  // 0 code, 1 len, 2 x, 3 y, 4 stk, 5 sp, 6 i,
+                       // 7 kind, 8 v, 9 b
+        m.iconst(64).newArray(ArrayKind::Int).astore(4);
+        m.iconst(0).istore(5);
+        m.iconst(0).istore(6);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label push_num = m.newLabel(), push_var = m.newLabel();
+        Label apply = m.newLabel(), next = m.newLabel();
+        m.bind(loop);
+        m.iload(6).iload(1).ifIcmpge(done);
+        m.aload(0).iload(6).iaload().istore(7);
+        m.aload(0).iload(6).iconst(1).iadd().iaload().istore(8);
+        m.iload(7).iconst(1).ifIcmpeq(push_num);
+        m.iload(7).iconst(2).ifIcmpeq(push_var);
+        m.gotoL(apply);
+        m.bind(push_num);
+        m.aload(4).iload(5).iload(8).iastore();
+        m.iinc(5, 1);
+        m.gotoL(next);
+        m.bind(push_var);
+        {
+            Label vy = m.newLabel(), st = m.newLabel();
+            m.iload(8).ifne(vy);
+            m.aload(4).iload(5).iload(2).iastore();
+            m.gotoL(st);
+            m.bind(vy);
+            m.aload(4).iload(5).iload(3).iastore();
+            m.bind(st);
+            m.iinc(5, 1);
+            m.gotoL(next);
+        }
+        m.bind(apply);
+        {
+            m.iinc(5, -1);
+            m.aload(4).iload(5).iaload().istore(9);  // b
+            m.iinc(5, -1);
+            Label add = m.newLabel(), sub = m.newLabel();
+            Label mul = m.newLabel(), divi = m.newLabel();
+            Label dflt = m.newLabel(), store = m.newLabel();
+            m.iload(8);
+            m.lookupSwitch(
+                {{'+', add}, {'-', sub}, {'*', mul}, {'/', divi}},
+                dflt);
+            m.bind(add);
+            m.aload(4).iload(5)
+                .aload(4).iload(5).iaload().iload(9).iadd()
+                .iastore();
+            m.gotoL(store);
+            m.bind(sub);
+            m.aload(4).iload(5)
+                .aload(4).iload(5).iaload().iload(9).isub()
+                .iastore();
+            m.gotoL(store);
+            m.bind(mul);
+            m.aload(4).iload(5)
+                .aload(4).iload(5).iaload().iload(9).imul()
+                .iastore();
+            m.gotoL(store);
+            m.bind(divi);
+            {
+                Label safe = m.newLabel(), zero = m.newLabel();
+                m.iload(9).ifne(safe);
+                m.bind(zero);
+                m.aload(4).iload(5).iconst(0).iastore();
+                m.gotoL(store);
+                m.bind(safe);
+                m.aload(4).iload(5)
+                    .aload(4).iload(5).iaload().iload(9).idiv()
+                    .iastore();
+                m.gotoL(store);
+            }
+            m.bind(dflt);
+            m.aload(4).iload(5).iconst(0).iastore();
+            m.bind(store);
+            m.iinc(5, 1);
+            m.gotoL(next);
+        }
+        m.bind(next);
+        m.iinc(6, 2);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(4).iconst(0).iaload().ireturn();
+    }
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(12);
+        // 0 n, 1 buf, 2 code, 3 lexer, 4 parser, 5 tree, 6 srcLen,
+        // 7 codeLen, 8 tv, 9 cv, 10 total, 11 i
+        m.iconst(64).newArray(ArrayKind::Char).astore(1);
+        m.iconst(96).newArray(ArrayKind::Int).astore(2);
+        m.iconst(0).istore(10);
+        m.iconst(0).istore(11);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label bad = m.newLabel();
+        m.bind(loop);
+        m.iload(11).iload(0).ifIcmpge(done);
+        m.aload(1)
+            .iload(11).iconst(77).imul().iconst(13).iadd()
+            .iload(11).iconst(3).irem()
+            .invokeStatic("Main.genSource").istore(6);
+        m.newObject("Lexer").astore(3);
+        m.aload(3).aload(1).iload(6).invokeSpecial("Lexer.init");
+        m.newObject("Parser").astore(4);
+        m.aload(4).aload(3).invokeSpecial("Parser.init");
+        m.aload(4).invokeVirtual("Parser.parseExpr").astore(5);
+        m.aload(5).iconst(3).iconst(5).invokeVirtual("Node.eval")
+            .istore(8);
+        m.aload(5).aload(2).iconst(0).invokeVirtual("Node.gen")
+            .istore(7);
+        m.aload(2).iload(7).iconst(3).iconst(5)
+            .invokeStatic("Main.evalCode").istore(9);
+        m.iload(8).iload(9).ifIcmpne(bad);
+        m.iload(10).iconst(31).imul().iload(8).iadd().iload(7).iadd()
+            .istore(10);
+        m.iinc(11, 1);
+        m.gotoL(loop);
+        m.bind(bad);
+        m.iconst(-1).ireturn();
+        m.bind(done);
+        m.iload(10).ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

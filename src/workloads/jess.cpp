@@ -1,0 +1,316 @@
+/**
+ * @file
+ * jess — a forward-chaining rule engine over a deduplicated fact base.
+ * Like SpecJVM98's 202_jess, the hot paths are object-oriented: every
+ * fact probe goes through virtual accessors and every rule fires
+ * through a Rule-hierarchy virtual call, giving the indirect-call-rich
+ * profile the paper attributes to Java applications.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildJess()
+{
+    ProgramBuilder pb("jess");
+
+    // ------------------------------------------------------------ FactBase
+    ClassBuilder &fb = pb.cls("FactBase");
+    fb.field("sArr");
+    fb.field("pArr");
+    fb.field("oArr");
+    fb.field("tab");
+    fb.field("count");
+    fb.field("cap");
+
+    {
+        MethodBuilder &m =
+            fb.specialMethod("init", {VType::Int}, VType::Void);
+        // 0 this, 1 cap
+        m.aload(0).iload(1).newArray(ArrayKind::Int)
+            .putFieldA("FactBase.sArr");
+        m.aload(0).iload(1).newArray(ArrayKind::Int)
+            .putFieldA("FactBase.pArr");
+        m.aload(0).iload(1).newArray(ArrayKind::Int)
+            .putFieldA("FactBase.oArr");
+        m.aload(0).iconst(16384).newArray(ArrayKind::Int)
+            .putFieldA("FactBase.tab");
+        m.aload(0).iconst(0).putFieldI("FactBase.count");
+        m.aload(0).iload(1).putFieldI("FactBase.cap");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = fb.virtualMethod("size", {}, VType::Int);
+        m.aload(0).getFieldI("FactBase.count").ireturn();
+    }
+    {
+        MethodBuilder &m =
+            fb.virtualMethod("getS", {VType::Int}, VType::Int);
+        m.aload(0).getFieldA("FactBase.sArr").iload(1).iaload()
+            .ireturn();
+    }
+    {
+        MethodBuilder &m =
+            fb.virtualMethod("getP", {VType::Int}, VType::Int);
+        m.aload(0).getFieldA("FactBase.pArr").iload(1).iaload()
+            .ireturn();
+    }
+    {
+        MethodBuilder &m =
+            fb.virtualMethod("getO", {VType::Int}, VType::Int);
+        m.aload(0).getFieldA("FactBase.oArr").iload(1).iaload()
+            .ireturn();
+    }
+    {
+        // add(s, p, o) -> 1 if the fact was new, else 0.
+        MethodBuilder &m = fb.virtualMethod(
+            "add", {VType::Int, VType::Int, VType::Int}, VType::Int);
+        m.locals(8);  // 0 this, 1 s, 2 p, 3 o, 4 key, 5 h, 6 tabv, 7 c
+        // key = (((s*31 + p)*31 + o) << 1) | 1   (never 0)
+        m.iload(1).iconst(31).imul().iload(2).iadd().iconst(31).imul()
+            .iload(3).iadd().iconst(1).ishl().iconst(1).ior().istore(4);
+        m.iload(4).iconst(0x3fff).iand().istore(5);
+        Label probe = m.newLabel(), empty = m.newLabel();
+        Label dup = m.newLabel();
+        m.bind(probe);
+        m.aload(0).getFieldA("FactBase.tab").iload(5).iaload()
+            .istore(6);
+        m.iload(6).ifeq(empty);
+        m.iload(6).iload(4).ifIcmpeq(dup);
+        m.iload(5).iconst(1).iadd().iconst(0x3fff).iand().istore(5);
+        m.gotoL(probe);
+        m.bind(dup);
+        m.iconst(0).ireturn();
+        m.bind(empty);
+        // full?
+        Label room = m.newLabel();
+        m.aload(0).getFieldI("FactBase.count")
+            .aload(0).getFieldI("FactBase.cap").ifIcmplt(room);
+        m.iconst(0).ireturn();
+        m.bind(room);
+        m.aload(0).getFieldA("FactBase.tab").iload(5).iload(4)
+            .iastore();
+        m.aload(0).getFieldI("FactBase.count").istore(7);
+        m.aload(0).getFieldA("FactBase.sArr").iload(7).iload(1)
+            .iastore();
+        m.aload(0).getFieldA("FactBase.pArr").iload(7).iload(2)
+            .iastore();
+        m.aload(0).getFieldA("FactBase.oArr").iload(7).iload(3)
+            .iastore();
+        m.aload(0).iload(7).iconst(1).iadd()
+            .putFieldI("FactBase.count");
+        m.iconst(1).ireturn();
+    }
+
+    // ------------------------------------------------------------ Rules
+    ClassBuilder &rule = pb.cls("Rule");
+    rule.field("p");
+    rule.field("q");
+    rule.field("r");
+    {
+        MethodBuilder &m = rule.specialMethod(
+            "init", {VType::Int, VType::Int, VType::Int}, VType::Void);
+        m.aload(0).iload(1).putFieldI("Rule.p");
+        m.aload(0).iload(2).putFieldI("Rule.q");
+        m.aload(0).iload(3).putFieldI("Rule.r");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m =
+            rule.virtualMethod("fire", {VType::Ref}, VType::Int);
+        m.iconst(0).ireturn();  // base rule matches nothing
+    }
+
+    // ChainRule: (a p b), (b q c) => (a r c)
+    ClassBuilder &chain = pb.cls("ChainRule", "Rule");
+    {
+        MethodBuilder &m =
+            chain.virtualMethod("fire", {VType::Ref}, VType::Int);
+        m.locals(11);
+        // 0 this, 1 fb, 2 n, 3 i, 4 j, 5 added, 6 si, 7 oi,
+        // 8 myP, 9 myQ, 10 myR
+        m.aload(0).getFieldI("Rule.p").istore(8);
+        m.aload(0).getFieldI("Rule.q").istore(9);
+        m.aload(0).getFieldI("Rule.r").istore(10);
+        m.aload(1).invokeVirtual("FactBase.size").istore(2);
+        m.iconst(0).istore(5);
+        m.iconst(0).istore(3);
+        Label iloop = m.newLabel(), idone = m.newLabel();
+        Label inext = m.newLabel();
+        m.bind(iloop);
+        m.iload(3).iload(2).ifIcmpge(idone);
+        m.aload(1).iload(3).invokeVirtual("FactBase.getP").iload(8)
+            .ifIcmpne(inext);
+        m.aload(1).iload(3).invokeVirtual("FactBase.getS").istore(6);
+        m.aload(1).iload(3).invokeVirtual("FactBase.getO").istore(7);
+        {
+            Label jloop = m.newLabel(), jdone = m.newLabel();
+            Label jnext = m.newLabel();
+            m.iconst(0).istore(4);
+            m.bind(jloop);
+            m.iload(4).iload(2).ifIcmpge(jdone);
+            m.aload(1).iload(4).invokeVirtual("FactBase.getP").iload(9)
+                .ifIcmpne(jnext);
+            m.aload(1).iload(4).invokeVirtual("FactBase.getS").iload(7)
+                .ifIcmpne(jnext);
+            m.iload(5)
+                .aload(1).iload(6).iload(10)
+                .aload(1).iload(4).invokeVirtual("FactBase.getO")
+                .invokeVirtual("FactBase.add")
+                .iadd().istore(5);
+            m.bind(jnext);
+            m.iinc(4, 1);
+            m.gotoL(jloop);
+            m.bind(jdone);
+        }
+        m.bind(inext);
+        m.iinc(3, 1);
+        m.gotoL(iloop);
+        m.bind(idone);
+        m.iload(5).ireturn();
+    }
+
+    // SymRule: (a p b) => (b q a)
+    ClassBuilder &sym = pb.cls("SymRule", "Rule");
+    {
+        MethodBuilder &m =
+            sym.virtualMethod("fire", {VType::Ref}, VType::Int);
+        m.locals(6);  // 0 this, 1 fb, 2 n, 3 i, 4 added, 5 myP
+        m.aload(0).getFieldI("Rule.p").istore(5);
+        m.aload(1).invokeVirtual("FactBase.size").istore(2);
+        m.iconst(0).istore(4);
+        m.iconst(0).istore(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label next = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iload(2).ifIcmpge(done);
+        m.aload(1).iload(3).invokeVirtual("FactBase.getP").iload(5)
+            .ifIcmpne(next);
+        m.iload(4)
+            .aload(1)
+            .aload(1).iload(3).invokeVirtual("FactBase.getO")
+            .aload(0).getFieldI("Rule.q")
+            .aload(1).iload(3).invokeVirtual("FactBase.getS")
+            .invokeVirtual("FactBase.add")
+            .iadd().istore(4);
+        m.bind(next);
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(4).ireturn();
+    }
+
+    // PromoteRule: (a p b) => (a r a)
+    ClassBuilder &promote = pb.cls("PromoteRule", "Rule");
+    {
+        MethodBuilder &m =
+            promote.virtualMethod("fire", {VType::Ref}, VType::Int);
+        m.locals(6);  // 0 this, 1 fb, 2 n, 3 i, 4 added, 5 myP
+        m.aload(0).getFieldI("Rule.p").istore(5);
+        m.aload(1).invokeVirtual("FactBase.size").istore(2);
+        m.iconst(0).istore(4);
+        m.iconst(0).istore(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label next = m.newLabel();
+        m.bind(loop);
+        m.iload(3).iload(2).ifIcmpge(done);
+        m.aload(1).iload(3).invokeVirtual("FactBase.getP").iload(5)
+            .ifIcmpne(next);
+        m.iload(4)
+            .aload(1)
+            .aload(1).iload(3).invokeVirtual("FactBase.getS")
+            .aload(0).getFieldI("Rule.r")
+            .aload(1).iload(3).invokeVirtual("FactBase.getS")
+            .invokeVirtual("FactBase.add")
+            .iadd().istore(4);
+        m.bind(next);
+        m.iinc(3, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(4).ireturn();
+    }
+
+    // ------------------------------------------------------------ Main
+    ClassBuilder &main = pb.cls("Main");
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(10);
+        // 0 n, 1 fb, 2 rules, 3 i, 4 iter, 5 added, 6 sum, 7 nf, 8 r
+        m.newObject("FactBase").astore(1);
+        m.aload(1).iload(0).iconst(3).imul().iconst(64).iadd()
+            .invokeSpecial("FactBase.init");
+        // Seed chain facts: (i, 1, (i*7+3) mod n)
+        m.iconst(0).istore(3);
+        Label seed = m.newLabel(), seeded = m.newLabel();
+        m.bind(seed);
+        m.iload(3).iload(0).ifIcmpge(seeded);
+        m.aload(1).iload(3).iconst(1)
+            .iload(3).iconst(7).imul().iconst(3).iadd().iload(0).irem()
+            .invokeVirtual("FactBase.add").pop();
+        m.iinc(3, 1);
+        m.gotoL(seed);
+        m.bind(seeded);
+        // Rules: Chain(1,1,2), Sym(2,3,0 unused), Promote(3,0,4)
+        m.iconst(3).newArray(ArrayKind::Ref).astore(2);
+        m.aload(2).iconst(0).newObject("ChainRule").dup()
+            .iconst(1).iconst(1).iconst(2).invokeSpecial("Rule.init")
+            .aastore();
+        m.aload(2).iconst(1).newObject("SymRule").dup()
+            .iconst(2).iconst(3).iconst(0).invokeSpecial("Rule.init")
+            .aastore();
+        m.aload(2).iconst(2).newObject("PromoteRule").dup()
+            .iconst(3).iconst(0).iconst(4).invokeSpecial("Rule.init")
+            .aastore();
+        // Fixpoint loop, at most 4 sweeps.
+        m.iconst(0).istore(4);
+        Label sweep = m.newLabel(), settled = m.newLabel();
+        m.bind(sweep);
+        m.iload(4).iconst(4).ifIcmpge(settled);
+        m.iconst(0).istore(5);
+        m.iconst(0).istore(3);
+        {
+            Label rl = m.newLabel(), rdone = m.newLabel();
+            m.bind(rl);
+            m.iload(3).iconst(3).ifIcmpge(rdone);
+            m.iload(5)
+                .aload(2).iload(3).aaload()
+                .aload(1)
+                .invokeVirtual("Rule.fire")
+                .iadd().istore(5);
+            m.iinc(3, 1);
+            m.gotoL(rl);
+            m.bind(rdone);
+        }
+        m.iload(5).ifeq(settled);
+        m.iinc(4, 1);
+        m.gotoL(sweep);
+        m.bind(settled);
+        // Checksum the fact base.
+        m.aload(1).invokeVirtual("FactBase.size").istore(7);
+        m.iconst(0).istore(6);
+        m.iconst(0).istore(3);
+        Label cs = m.newLabel(), cdone = m.newLabel();
+        m.bind(cs);
+        m.iload(3).iload(7).ifIcmpge(cdone);
+        m.iload(6).iconst(31).imul()
+            .aload(1).iload(3).invokeVirtual("FactBase.getS")
+            .iconst(7).imul().iadd()
+            .aload(1).iload(3).invokeVirtual("FactBase.getP")
+            .iconst(5).imul().iadd()
+            .aload(1).iload(3).invokeVirtual("FactBase.getO")
+            .iadd().istore(6);
+        m.iinc(3, 1);
+        m.gotoL(cs);
+        m.bind(cdone);
+        m.iload(6).iload(7).iconst(1000).imul().iadd().ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * mpeg — a subband filterbank over synthetic audio: a 32x32 windowed
+ * DCT (matrixed with FCos) applied frame by frame, then quantized.
+ * Like SpecJVM98's 222_mpegaudio, execution concentrates in a few
+ * small FP-heavy loops with near-perfect method reuse and cache
+ * behaviour, so JIT translation is amortized almost immediately.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildMpeg()
+{
+    ProgramBuilder pb("mpeg");
+    ClassBuilder &dsp = pb.cls("Dsp");
+
+    // genMatrix() -> float[1024]: cos((2j+1) * k * pi/64)
+    {
+        MethodBuilder &m = dsp.staticMethod("genMatrix", {}, VType::Ref);
+        m.locals(4);  // 0 mat, 1 k, 2 j, 3 unused
+        m.iconst(1024).newArray(ArrayKind::Float).astore(0);
+        m.iconst(0).istore(1);
+        Label kl = m.newLabel(), kd = m.newLabel();
+        m.bind(kl);
+        m.iload(1).iconst(32).ifIcmpge(kd);
+        {
+            Label jl = m.newLabel(), jd = m.newLabel();
+            m.iconst(0).istore(2);
+            m.bind(jl);
+            m.iload(2).iconst(32).ifIcmpge(jd);
+            // mat[k*32+j] = cos((2j+1) * k * 0.049087385f)
+            m.aload(0).iload(1).iconst(32).imul().iload(2).iadd();
+            m.iload(2).iconst(2).imul().iconst(1).iadd()
+                .iload(1).imul().i2f()
+                .fconst(0.049087385f).fmul()
+                .intrinsic(IntrinsicId::FCos);
+            m.fastore();
+            m.iinc(2, 1);
+            m.gotoL(jl);
+            m.bind(jd);
+        }
+        m.iinc(1, 1);
+        m.gotoL(kl);
+        m.bind(kd);
+        m.aload(0).areturn();
+    }
+
+    // genSamples(count) -> float[]: two superposed tones.
+    {
+        MethodBuilder &m =
+            dsp.staticMethod("genSamples", {VType::Int}, VType::Ref);
+        m.locals(3);  // 0 count, 1 buf, 2 i
+        m.iload(0).newArray(ArrayKind::Float).astore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iload(0).ifIcmpge(done);
+        m.aload(1).iload(2);
+        m.iload(2).i2f().fconst(0.02f).fmul()
+            .intrinsic(IntrinsicId::FSin).fconst(100.0f).fmul();
+        m.iload(2).i2f().fconst(0.05f).fmul()
+            .intrinsic(IntrinsicId::FSin).fconst(50.0f).fmul();
+        m.fadd().fastore();
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(1).areturn();
+    }
+
+    // filter(samples, base, mat, out): out[k] = sum_j s[base+j]*m[k,j]
+    {
+        MethodBuilder &m = dsp.staticMethod(
+            "filter", {VType::Ref, VType::Int, VType::Ref, VType::Ref},
+            VType::Void);
+        m.locals(7);  // 0 samples, 1 base, 2 mat, 3 out, 4 k, 5 j,
+                      // 6 acc (float)
+        m.iconst(0).istore(4);
+        Label kl = m.newLabel(), kd = m.newLabel();
+        m.bind(kl);
+        m.iload(4).iconst(32).ifIcmpge(kd);
+        m.fconst(0.0f).fstore(6);
+        {
+            Label jl = m.newLabel(), jd = m.newLabel();
+            m.iconst(0).istore(5);
+            m.bind(jl);
+            m.iload(5).iconst(32).ifIcmpge(jd);
+            m.fload(6);
+            m.aload(0).iload(1).iload(5).iadd().faload();
+            m.aload(2).iload(4).iconst(32).imul().iload(5).iadd()
+                .faload();
+            m.fmul().fadd().fstore(6);
+            m.iinc(5, 1);
+            m.gotoL(jl);
+            m.bind(jd);
+        }
+        m.aload(3).iload(4).fload(6).fastore();
+        m.iinc(4, 1);
+        m.gotoL(kl);
+        m.bind(kd);
+        m.returnVoid();
+    }
+
+    // quant(out) -> int: sum of quantized subband values.
+    {
+        MethodBuilder &m =
+            dsp.staticMethod("quant", {VType::Ref}, VType::Int);
+        m.locals(4);  // 0 out, 1 k, 2 sum, 3 q
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iconst(32).ifIcmpge(done);
+        m.aload(0).iload(1).faload().fconst(8.0f).fmul().f2i()
+            .istore(3);
+        m.iload(2).iload(3).iconst(0xffff).iand().iadd().istore(2);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(2).ireturn();
+    }
+
+    ClassBuilder &main = pb.cls("Main");
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(8);
+        // 0 n, 1 samples, 2 mat, 3 out, 4 frame, 5 sum, 6 q, 7 count
+        m.invokeStatic("Dsp.genMatrix").astore(2);
+        m.iload(0).iconst(32).imul().iconst(32).iadd().istore(7);
+        m.iload(7).invokeStatic("Dsp.genSamples").astore(1);
+        m.iconst(32).newArray(ArrayKind::Float).astore(3);
+        m.iconst(0).istore(5);
+        m.iconst(0).istore(4);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(4).iload(0).ifIcmpge(done);
+        m.aload(1).iload(4).iconst(32).imul().aload(2).aload(3)
+            .invokeStatic("Dsp.filter");
+        m.aload(3).invokeStatic("Dsp.quant").istore(6);
+        m.iload(5).iconst(31).imul().iload(6).iadd().istore(5);
+        m.iinc(4, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(5).ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * mtrt — a two-thread raytracer over a small sphere scene. The two
+ * worker green-threads render disjoint halves of the image but share a
+ * synchronized progress counter, so the run exercises the contended
+ * (d) lock case alongside heavy FSqrt/virtual-intersection float work
+ * — the multithreaded profile of SpecJVM98's 227_mtrt.
+ */
+#include "workloads/workload.h"
+
+#include "vm/bytecode/assembler.h"
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+Program
+buildMtrt()
+{
+    ProgramBuilder pb("mtrt");
+
+    pb.staticSlot("scene", VType::Ref);
+    pb.staticSlot("image", VType::Ref);
+    pb.staticSlot("progress", VType::Ref);
+    pb.staticSlot("width", VType::Int);
+    pb.staticSlot("height", VType::Int);
+
+    // ---------------------------------------------------------- Counter
+    ClassBuilder &counter = pb.cls("Counter");
+    counter.field("cnt");
+    {
+        MethodBuilder &m = counter.virtualMethod("bump", {}, VType::Void);
+        m.synchronized_();
+        m.aload(0)
+            .aload(0).getFieldI("Counter.cnt").iconst(1).iadd()
+            .putFieldI("Counter.cnt");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = counter.virtualMethod("get", {}, VType::Int);
+        m.synchronized_();
+        m.aload(0).getFieldI("Counter.cnt").ireturn();
+    }
+
+    // ------------------------------------------------------------ Shape
+    ClassBuilder &shape = pb.cls("Shape");
+    {
+        // hit(ox, oy, oz, dx, dy, dz) -> t (< 0 when missed)
+        MethodBuilder &m = shape.virtualMethod(
+            "hit",
+            {VType::Float, VType::Float, VType::Float, VType::Float,
+             VType::Float, VType::Float},
+            VType::Float);
+        m.fconst(-1.0f).freturn();
+    }
+    {
+        MethodBuilder &m = shape.virtualMethod("shade", {}, VType::Int);
+        m.iconst(0).ireturn();
+    }
+
+    ClassBuilder &sphere = pb.cls("Sphere", "Shape");
+    sphere.field("cx");
+    sphere.field("cy");
+    sphere.field("cz");
+    sphere.field("r");
+    sphere.field("color");
+    {
+        MethodBuilder &m = sphere.specialMethod(
+            "init",
+            {VType::Float, VType::Float, VType::Float, VType::Float,
+             VType::Int},
+            VType::Void);
+        m.aload(0).fload(1).putFieldF("Sphere.cx");
+        m.aload(0).fload(2).putFieldF("Sphere.cy");
+        m.aload(0).fload(3).putFieldF("Sphere.cz");
+        m.aload(0).fload(4).putFieldF("Sphere.r");
+        m.aload(0).iload(5).putFieldI("Sphere.color");
+        m.returnVoid();
+    }
+    {
+        // Quadratic ray-sphere intersection.
+        MethodBuilder &m = sphere.virtualMethod(
+            "hit",
+            {VType::Float, VType::Float, VType::Float, VType::Float,
+             VType::Float, VType::Float},
+            VType::Float);
+        m.locals(14);
+        // 0 this, 1..3 o, 4..6 d, 7 lx, 8 ly, 9 lz, 10 a, 11 b,
+        // 12 c, 13 disc
+        m.fload(1).aload(0).getFieldF("Sphere.cx").fsub().fstore(7);
+        m.fload(2).aload(0).getFieldF("Sphere.cy").fsub().fstore(8);
+        m.fload(3).aload(0).getFieldF("Sphere.cz").fsub().fstore(9);
+        // a = d . d
+        m.fload(4).fload(4).fmul()
+            .fload(5).fload(5).fmul().fadd()
+            .fload(6).fload(6).fmul().fadd().fstore(10);
+        // b = 2 * (l . d)
+        m.fload(7).fload(4).fmul()
+            .fload(8).fload(5).fmul().fadd()
+            .fload(9).fload(6).fmul().fadd()
+            .fconst(2.0f).fmul().fstore(11);
+        // c = l . l - r*r
+        m.fload(7).fload(7).fmul()
+            .fload(8).fload(8).fmul().fadd()
+            .fload(9).fload(9).fmul().fadd()
+            .aload(0).getFieldF("Sphere.r")
+            .aload(0).getFieldF("Sphere.r").fmul()
+            .fsub().fstore(12);
+        // disc = b*b - 4*a*c
+        m.fload(11).fload(11).fmul()
+            .fconst(4.0f).fload(10).fmul().fload(12).fmul()
+            .fsub().fstore(13);
+        Label miss = m.newLabel();
+        m.fload(13).fconst(0.0f).fcmpl().iflt(miss);
+        // t = (-b - sqrt(disc)) / (2a)
+        m.fload(11).fneg()
+            .fload(13).intrinsic(IntrinsicId::FSqrt).fsub()
+            .fconst(2.0f).fload(10).fmul().fdiv()
+            .freturn();
+        m.bind(miss);
+        m.fconst(-1.0f).freturn();
+    }
+    {
+        MethodBuilder &m = sphere.virtualMethod("shade", {}, VType::Int);
+        m.aload(0).getFieldI("Sphere.color").ireturn();
+    }
+
+    // A shinier sphere: overrides shade only (dispatch variety).
+    ClassBuilder &mirror = pb.cls("MirrorSphere", "Sphere");
+    {
+        MethodBuilder &m = mirror.virtualMethod("shade", {}, VType::Int);
+        m.aload(0).getFieldI("Sphere.color").iconst(2).imul()
+            .iconst(17).iadd().ireturn();
+    }
+
+    // ------------------------------------------------------------ Tracer
+    ClassBuilder &tracer = pb.cls("Tracer");
+    {
+        // trace(ox..dz) -> color
+        MethodBuilder &m = tracer.staticMethod(
+            "trace",
+            {VType::Float, VType::Float, VType::Float, VType::Float,
+             VType::Float, VType::Float},
+            VType::Int);
+        m.locals(13);
+        // 0..2 o, 3..5 d, 6 shapes, 7 n, 8 i, 9 best (f), 10 t (f),
+        // 11 bestShape, 12 color
+        m.getStaticA("scene").astore(6);
+        m.aload(6).arrayLength().istore(7);
+        m.fconst(1.0e30f).fstore(9);
+        m.aconstNull().astore(11);
+        m.iconst(0).istore(8);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label skip = m.newLabel();
+        m.bind(loop);
+        m.iload(8).iload(7).ifIcmpge(done);
+        m.aload(6).iload(8).aaload()
+            .fload(0).fload(1).fload(2).fload(3).fload(4).fload(5)
+            .invokeVirtual("Shape.hit").fstore(10);
+        m.fload(10).fconst(0.01f).fcmpl().ifle(skip);
+        m.fload(10).fload(9).fcmpl().ifge(skip);
+        m.fload(10).fstore(9);
+        m.aload(6).iload(8).aaload().astore(11);
+        m.bind(skip);
+        m.iinc(8, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        Label bg = m.newLabel();
+        m.aload(11).ifnull(bg);
+        // color = shade - (int)(best * 3), floored at 1
+        m.aload(11).invokeVirtual("Shape.shade")
+            .fload(9).fconst(3.0f).fmul().f2i().isub().istore(12);
+        Label ok = m.newLabel();
+        m.iload(12).ifgt(ok);
+        m.iconst(1).istore(12);
+        m.bind(ok);
+        m.iload(12).ireturn();
+        m.bind(bg);
+        m.iconst(16).ireturn();
+    }
+    {
+        // renderRows(y0, y1)
+        MethodBuilder &m = tracer.staticMethod(
+            "renderRows", {VType::Int, VType::Int}, VType::Void);
+        m.locals(10);
+        // 0 y0, 1 y1, 2 w, 3 h, 4 y, 5 x, 6 img, 7 dx(f), 8 dy(f),
+        // 9 prog
+        m.getStaticI("width").istore(2);
+        m.getStaticI("height").istore(3);
+        m.getStaticA("image").astore(6);
+        m.getStaticA("progress").astore(9);
+        m.iload(0).istore(4);
+        Label yl = m.newLabel(), yd = m.newLabel();
+        m.bind(yl);
+        m.iload(4).iload(1).ifIcmpge(yd);
+        {
+            Label xl = m.newLabel(), xd = m.newLabel();
+            m.iconst(0).istore(5);
+            m.bind(xl);
+            m.iload(5).iload(2).ifIcmpge(xd);
+            // dx = (x - w/2) / w ; dy = (y - h/2) / h
+            m.iload(5).iload(2).iconst(2).idiv().isub().i2f()
+                .iload(2).i2f().fdiv().fstore(7);
+            m.iload(4).iload(3).iconst(2).idiv().isub().i2f()
+                .iload(3).i2f().fdiv().fstore(8);
+            m.aload(6)
+                .iload(4).iload(2).imul().iload(5).iadd();
+            m.fconst(0.0f).fconst(0.0f).fconst(-4.0f)
+                .fload(7).fload(8).fconst(1.0f)
+                .invokeStatic("Tracer.trace");
+            m.iastore();
+            // Bump the shared progress counter per pixel: with two
+            // workers this is where case-(d) contention arises.
+            m.aload(9).invokeVirtual("Counter.bump");
+            m.iinc(5, 1);
+            m.gotoL(xl);
+            m.bind(xd);
+        }
+        m.iinc(4, 1);
+        m.gotoL(yl);
+        m.bind(yd);
+        m.returnVoid();
+    }
+    {
+        // work(half): thread entry.
+        MethodBuilder &m =
+            tracer.staticMethod("work", {VType::Int}, VType::Void);
+        m.locals(3);  // 0 half, 1 h2, 2 y0
+        m.getStaticI("height").iconst(2).idiv().istore(1);
+        m.iload(0).iload(1).imul().istore(2);
+        m.iload(2).iload(2).iload(1).iadd()
+            .invokeStatic("Tracer.renderRows");
+        m.returnVoid();
+    }
+
+    // ------------------------------------------------------------ Main
+    ClassBuilder &main = pb.cls("Main");
+    {
+        MethodBuilder &m =
+            main.staticMethod("setup", {VType::Int}, VType::Void);
+        m.locals(2);  // 0 n, 1 shapes
+        m.iload(0).putStaticI("width");
+        m.iload(0).putStaticI("height");
+        m.iload(0).iload(0).imul().newArray(ArrayKind::Int)
+            .putStaticA("image");
+        m.newObject("Counter").putStaticA("progress");
+        m.iconst(4).newArray(ArrayKind::Ref).astore(1);
+        m.aload(1).iconst(0)
+            .newObject("Sphere").dup()
+            .fconst(-0.6f).fconst(0.1f).fconst(-1.0f).fconst(0.5f)
+            .iconst(200).invokeSpecial("Sphere.init")
+            .aastore();
+        m.aload(1).iconst(1)
+            .newObject("Sphere").dup()
+            .fconst(0.5f).fconst(-0.2f).fconst(-0.5f).fconst(0.4f)
+            .iconst(150).invokeSpecial("Sphere.init")
+            .aastore();
+        m.aload(1).iconst(2)
+            .newObject("MirrorSphere").dup()
+            .fconst(0.0f).fconst(0.5f).fconst(0.2f).fconst(0.6f)
+            .iconst(90).invokeSpecial("Sphere.init")
+            .aastore();
+        m.aload(1).iconst(3)
+            .newObject("Sphere").dup()
+            .fconst(0.1f).fconst(-0.7f).fconst(0.6f).fconst(0.3f)
+            .iconst(120).invokeSpecial("Sphere.init")
+            .aastore();
+        m.aload(1).putStaticA("scene");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        m.locals(8);
+        // 0 n, 1 t1, 2 t2, 3 img, 4 i, 5 sum, 6 len, 7 prog
+        m.iload(0).invokeStatic("Main.setup");
+        m.iconst(0).spawnThread("Tracer.work").istore(1);
+        m.iconst(1).spawnThread("Tracer.work").istore(2);
+        m.iload(1).joinThread();
+        m.iload(2).joinThread();
+        m.getStaticA("image").astore(3);
+        m.aload(3).arrayLength().istore(6);
+        m.iconst(0).istore(5);
+        m.iconst(0).istore(4);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(4).iload(6).ifIcmpge(done);
+        m.iload(5).iconst(31).imul()
+            .aload(3).iload(4).iaload().iadd().istore(5);
+        m.iinc(4, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.getStaticA("progress").invokeVirtual("Counter.get")
+            .iconst(100000).imul().iload(5).iadd().ireturn();
+    }
+
+    return finishWithBoot(pb);
+}
+
+} // namespace jrs

@@ -1,0 +1,40 @@
+#include "workloads/workload.h"
+
+namespace jrs {
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> kWorkloads = {
+        {"compress", &buildCompress, 2000, 5000,
+         "LZW compress/decompress/verify over synthetic data"},
+        {"jess", &buildJess, 40, 60,
+         "forward-chaining rule matcher over a fact base"},
+        {"db", &buildDb, 60, 150,
+         "in-memory database: add/delete/find/sort on synchronized "
+         "vectors"},
+        {"javac", &buildJavac, 30, 130,
+         "expression compiler: lexer, parser, AST, codegen"},
+        {"mpeg", &buildMpeg, 40, 45,
+         "subband filterbank + windowed DCT over synthetic audio"},
+        {"mtrt", &buildMtrt, 10, 36,
+         "two-thread raytracer over a small sphere scene"},
+        {"jack", &buildJack, 12, 180,
+         "token scanner with exception-driven error recovery"},
+        {"hello", &buildHello, 1, 1,
+         "trivial program: observes startup/translation overheads"},
+    };
+    return kWorkloads;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (name == w.name)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace jrs

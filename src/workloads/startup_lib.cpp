@@ -1,0 +1,536 @@
+#include "workloads/startup_lib.h"
+
+namespace jrs {
+
+void
+addStartupLibrary(ProgramBuilder &pb)
+{
+    pb.staticSlot("lib$sinTab", VType::Ref);
+    pb.staticSlot("lib$logTab", VType::Ref);
+    pb.staticSlot("lib$crcTab", VType::Ref);
+    pb.staticSlot("lib$props", VType::Int);
+    pb.staticSlot("lib$log", VType::Ref);
+
+    // ----------------------------------------------------------- LibMath
+    ClassBuilder &math = pb.cls("LibMath");
+    {
+        // isqrt(n): Newton iterations on ints.
+        MethodBuilder &m =
+            math.staticMethod("isqrt", {VType::Int}, VType::Int);
+        m.locals(3);  // 0 n, 1 x, 2 next
+        Label zero = m.newLabel();
+        m.iload(0).ifle(zero);
+        m.iload(0).istore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iload(0).iload(1).idiv().iadd().iconst(2).idiv()
+            .istore(2);
+        m.iload(2).iload(1).ifIcmpge(done);
+        m.iload(2).istore(1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+        m.bind(zero);
+        m.iconst(0).ireturn();
+    }
+    {
+        MethodBuilder &m = math.staticMethod(
+            "gcd", {VType::Int, VType::Int}, VType::Int);
+        m.locals(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).ifeq(done);
+        m.iload(0).iload(1).irem().istore(2);
+        m.iload(1).istore(0);
+        m.iload(2).istore(1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(0).ireturn();
+    }
+    {
+        MethodBuilder &m =
+            math.staticMethod("ilog2", {VType::Int}, VType::Int);
+        m.locals(2);
+        m.iconst(0).istore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(0).iconst(1).ifIcmple(done);
+        m.iload(0).iconst(1).ishr().istore(0);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+    }
+    {
+        // clamp(v, lo, hi)
+        MethodBuilder &m = math.staticMethod(
+            "clamp", {VType::Int, VType::Int, VType::Int}, VType::Int);
+        Label lo = m.newLabel(), hi = m.newLabel();
+        m.iload(0).iload(1).ifIcmplt(lo);
+        m.iload(0).iload(2).ifIcmpgt(hi);
+        m.iload(0).ireturn();
+        m.bind(lo);
+        m.iload(1).ireturn();
+        m.bind(hi);
+        m.iload(2).ireturn();
+    }
+
+    // ------------------------------------------------------------ LibTab
+    ClassBuilder &tab = pb.cls("LibTab");
+    {
+        // initSinTab(): 64-entry fixed-point sine table.
+        MethodBuilder &m = tab.staticMethod("initSinTab", {}, VType::Int);
+        m.locals(3);  // 0 t, 1 i, 2 sum
+        m.iconst(32).newArray(ArrayKind::Int).astore(0);
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iconst(32).ifIcmpge(done);
+        m.aload(0).iload(1);
+        m.iload(1).i2f().fconst(0.0981748f).fmul()
+            .intrinsic(IntrinsicId::FSin).fconst(4096.0f).fmul().f2i();
+        m.iastore();
+        m.iload(2).aload(0).iload(1).iaload().iadd().istore(2);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(0).putStaticA("lib$sinTab");
+        m.iload(2).ireturn();
+    }
+    {
+        // initLogTab(): 32-entry integer log table via LibMath.ilog2.
+        MethodBuilder &m = tab.staticMethod("initLogTab", {}, VType::Int);
+        m.locals(3);
+        m.iconst(32).newArray(ArrayKind::Int).astore(0);
+        m.iconst(1).istore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iconst(32).ifIcmpge(done);
+        m.aload(0).iload(1)
+            .iload(1).iconst(77).imul().invokeStatic("LibMath.ilog2")
+            .iastore();
+        m.iload(2).aload(0).iload(1).iaload().iadd().istore(2);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(0).putStaticA("lib$logTab");
+        m.iload(2).ireturn();
+    }
+    {
+        // initCrcTab(): 256-entry CRC-ish table.
+        MethodBuilder &m = tab.staticMethod("initCrcTab", {}, VType::Int);
+        m.locals(5);  // 0 t, 1 i, 2 c, 3 k, 4 sum
+        m.iconst(64).newArray(ArrayKind::Int).astore(0);
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(4);
+        Label il = m.newLabel(), idone = m.newLabel();
+        m.bind(il);
+        m.iload(1).iconst(64).ifIcmpge(idone);
+        m.iload(1).istore(2);
+        m.iconst(8).istore(3);
+        {
+            Label kl = m.newLabel(), kdone = m.newLabel();
+            Label even = m.newLabel(), next = m.newLabel();
+            m.bind(kl);
+            m.iload(3).ifle(kdone);
+            m.iload(2).iconst(1).iand().ifeq(even);
+            m.iload(2).iconst(1).iushr().iconst(0x6db88320).ixor()
+                .istore(2);
+            m.gotoL(next);
+            m.bind(even);
+            m.iload(2).iconst(1).iushr().istore(2);
+            m.bind(next);
+            m.iinc(3, -1);
+            m.gotoL(kl);
+            m.bind(kdone);
+        }
+        m.aload(0).iload(1).iload(2).iastore();
+        m.iload(4).iload(2).ixor().istore(4);
+        m.iinc(1, 1);
+        m.gotoL(il);
+        m.bind(idone);
+        m.aload(0).putStaticA("lib$crcTab");
+        m.iload(4).ireturn();
+    }
+
+    // ------------------------------------------------------------ LibFmt
+    ClassBuilder &fmt = pb.cls("LibFmt");
+    {
+        // itoa(v, buf) -> length (right-aligned digits).
+        MethodBuilder &m = fmt.staticMethod(
+            "itoa", {VType::Int, VType::Ref}, VType::Int);
+        m.locals(4);  // 0 v, 1 buf, 2 pos, 3 len
+        m.aload(1).arrayLength().iconst(1).isub().istore(2);
+        m.iconst(0).istore(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.aload(1).iload(2)
+            .iload(0).iconst(10).irem().iconst('0').iadd().i2c()
+            .castore();
+        m.iinc(3, 1);
+        m.iload(0).iconst(10).idiv().istore(0);
+        m.iload(0).ifeq(done);
+        m.iinc(2, -1);
+        m.iload(2).ifge(loop);
+        m.bind(done);
+        m.iload(3).ireturn();
+    }
+    {
+        // hash(str): Java-style char[] hash.
+        MethodBuilder &m =
+            fmt.staticMethod("hash", {VType::Ref}, VType::Int);
+        m.locals(4);  // 0 s, 1 h, 2 i, 3 n
+        m.iconst(0).istore(1);
+        m.aload(0).arrayLength().istore(3);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iload(3).ifIcmpge(done);
+        m.iload(1).iconst(31).imul()
+            .aload(0).iload(2).caload().iadd().istore(1);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+    }
+    {
+        // eq(a, b): char[] equality.
+        MethodBuilder &m = fmt.staticMethod(
+            "eq", {VType::Ref, VType::Ref}, VType::Int);
+        m.locals(4);
+        Label no = m.newLabel(), yes = m.newLabel();
+        m.aload(0).arrayLength().aload(1).arrayLength().ifIcmpne(no);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel();
+        m.bind(loop);
+        m.iload(2).aload(0).arrayLength().ifIcmpge(yes);
+        m.aload(0).iload(2).caload()
+            .aload(1).iload(2).caload().ifIcmpne(no);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(yes);
+        m.iconst(1).ireturn();
+        m.bind(no);
+        m.iconst(0).ireturn();
+    }
+
+    // ------------------------------------------------------------ LibCfg
+    ClassBuilder &cfg = pb.cls("LibCfg");
+    {
+        // parse(): scan a properties literal, count pairs and sum
+        // key hashes (one-shot config parsing).
+        MethodBuilder &m = cfg.staticMethod("parse", {}, VType::Int);
+        m.locals(6);  // 0 s, 1 i, 2 n, 3 acc, 4 ch, 5 pairs
+        m.ldcStr("vm.heap=64m;vm.stack=1m;jit.enable=true;"
+                 "jit.threshold=1;gc.policy=none;os.arch=sparc")
+            .astore(0);
+        m.aload(0).arrayLength().istore(2);
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(3);
+        m.iconst(0).istore(5);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label semi = m.newLabel(), next = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iload(2).ifIcmpge(done);
+        m.aload(0).iload(1).caload().istore(4);
+        m.iload(4).iconst(';').ifIcmpeq(semi);
+        m.iload(3).iconst(31).imul().iload(4).iadd().istore(3);
+        m.gotoL(next);
+        m.bind(semi);
+        m.iinc(5, 1);
+        m.bind(next);
+        m.iinc(1, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(5).putStaticI("lib$props");
+        m.iload(3).iload(5).iadd().ireturn();
+    }
+
+    // ------------------------------------------------------------ LibLog
+    // A synchronized append-only log: the library-side monitor traffic
+    // single-threaded programs still perform.
+    ClassBuilder &log = pb.cls("LibLog");
+    log.field("buf");
+    log.field("len");
+    log.field("events");
+    {
+        MethodBuilder &m =
+            log.specialMethod("init", {VType::Int}, VType::Void);
+        m.aload(0).iload(1).newArray(ArrayKind::Char)
+            .putFieldA("LibLog.buf");
+        m.aload(0).iconst(0).putFieldI("LibLog.len");
+        m.aload(0).iconst(0).putFieldI("LibLog.events");
+        m.returnVoid();
+    }
+    {
+        // append(ch): synchronized; every 4th append flushes event
+        // bookkeeping through note() -> nested synchronization on the
+        // same receiver (case (b)), keeping (a) dominant (~80%).
+        MethodBuilder &m =
+            log.virtualMethod("append", {VType::Int}, VType::Void);
+        m.synchronized_();
+        m.locals(3);
+        m.aload(0).getFieldI("LibLog.len").istore(2);
+        Label full = m.newLabel();
+        m.iload(2).aload(0).getFieldA("LibLog.buf").arrayLength()
+            .ifIcmpge(full);
+        m.aload(0).getFieldA("LibLog.buf").iload(2)
+            .iload(1).i2c().castore();
+        m.aload(0).iload(2).iconst(1).iadd().putFieldI("LibLog.len");
+        m.bind(full);
+        Label skip = m.newLabel();
+        m.iload(2).iconst(3).iand().ifne(skip);
+        m.aload(0).invokeVirtual("LibLog.note");
+        m.bind(skip);
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = log.virtualMethod("note", {}, VType::Void);
+        m.synchronized_();
+        m.aload(0)
+            .aload(0).getFieldI("LibLog.events").iconst(1).iadd()
+            .putFieldI("LibLog.events");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m = log.virtualMethod("size", {}, VType::Int);
+        m.synchronized_();
+        m.aload(0).getFieldI("LibLog.len").ireturn();
+    }
+
+    // ------------------------------------------------------------ LibStr
+    ClassBuilder &str = pb.cls("LibStr");
+    {
+        // indexOf(s, ch) -> first index or -1.
+        MethodBuilder &m = str.staticMethod(
+            "indexOf", {VType::Ref, VType::Int}, VType::Int);
+        m.locals(4);
+        m.aload(0).arrayLength().istore(3);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), miss = m.newLabel();
+        Label hit = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iload(3).ifIcmpge(miss);
+        m.aload(0).iload(2).caload().iload(1).ifIcmpeq(hit);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(hit);
+        m.iload(2).ireturn();
+        m.bind(miss);
+        m.iconst(-1).ireturn();
+    }
+    {
+        // toUpper(s) -> count of changed chars (in place).
+        MethodBuilder &m =
+            str.staticMethod("toUpper", {VType::Ref}, VType::Int);
+        m.locals(4);
+        m.aload(0).arrayLength().istore(3);
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label keep = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iload(3).ifIcmpge(done);
+        m.aload(0).iload(2).caload().iconst('a').ifIcmplt(keep);
+        m.aload(0).iload(2).caload().iconst('z').ifIcmpgt(keep);
+        m.aload(0).iload(2)
+            .aload(0).iload(2).caload().iconst(32).isub().i2c()
+            .castore();
+        m.iinc(1, 1);
+        m.bind(keep);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+    }
+    {
+        // trim(s) -> count of non-space chars.
+        MethodBuilder &m =
+            str.staticMethod("trim", {VType::Ref}, VType::Int);
+        m.locals(4);
+        m.aload(0).arrayLength().istore(3);
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        Label space = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iload(3).ifIcmpge(done);
+        m.aload(0).iload(2).caload().iconst(' ').ifIcmpeq(space);
+        m.iinc(1, 1);
+        m.bind(space);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+    }
+
+    // ------------------------------------------------------------ LibVec
+    // A tiny growable int vector, initialized once at boot.
+    ClassBuilder &vec = pb.cls("LibVec");
+    vec.field("arr");
+    vec.field("n");
+    {
+        MethodBuilder &m =
+            vec.specialMethod("init", {VType::Int}, VType::Void);
+        m.aload(0).iload(1).newArray(ArrayKind::Int)
+            .putFieldA("LibVec.arr");
+        m.aload(0).iconst(0).putFieldI("LibVec.n");
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m =
+            vec.virtualMethod("push", {VType::Int}, VType::Void);
+        m.locals(3);
+        m.aload(0).getFieldI("LibVec.n").istore(2);
+        Label full = m.newLabel();
+        m.iload(2).aload(0).getFieldA("LibVec.arr").arrayLength()
+            .ifIcmpge(full);
+        m.aload(0).getFieldA("LibVec.arr").iload(2).iload(1)
+            .iastore();
+        m.aload(0).iload(2).iconst(1).iadd().putFieldI("LibVec.n");
+        m.bind(full);
+        m.returnVoid();
+    }
+    {
+        MethodBuilder &m =
+            vec.virtualMethod("at", {VType::Int}, VType::Int);
+        m.aload(0).getFieldA("LibVec.arr").iload(1).iaload()
+            .ireturn();
+    }
+    {
+        MethodBuilder &m = vec.virtualMethod("sum", {}, VType::Int);
+        m.locals(4);
+        m.iconst(0).istore(1);
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(2).aload(0).getFieldI("LibVec.n").ifIcmpge(done);
+        m.iload(1).aload(0).iload(2).invokeVirtual("LibVec.at").iadd()
+            .istore(1);
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+    }
+    {
+        // reverse(): in-place swap loop.
+        MethodBuilder &m = vec.virtualMethod("reverse", {}, VType::Void);
+        m.locals(5);  // 0 this, 1 i, 2 j, 3 tmp, 4 arr
+        m.aload(0).getFieldA("LibVec.arr").astore(4);
+        m.iconst(0).istore(1);
+        m.aload(0).getFieldI("LibVec.n").iconst(1).isub().istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).iload(2).ifIcmpge(done);
+        m.aload(4).iload(1).iaload().istore(3);
+        m.aload(4).iload(1).aload(4).iload(2).iaload().iastore();
+        m.aload(4).iload(2).iload(3).iastore();
+        m.iinc(1, 1);
+        m.iinc(2, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.returnVoid();
+    }
+
+    // -------------------------------------------------------------- Lib
+    ClassBuilder &lib = pb.cls("Lib");
+    {
+        // boot(seed) -> checksum; calls everything above once.
+        MethodBuilder &m =
+            lib.staticMethod("boot", {VType::Int}, VType::Int);
+        m.locals(6);  // 0 seed, 1 acc, 2 log, 3 buf, 4 i, 5 t
+        m.iconst(0).istore(1);
+        // Tables.
+        m.invokeStatic("LibTab.initSinTab").istore(1);
+        m.iload(1).invokeStatic("LibTab.initLogTab").iadd().istore(1);
+        m.iload(1).invokeStatic("LibTab.initCrcTab").ixor().istore(1);
+        // Config.
+        m.iload(1).invokeStatic("LibCfg.parse").iadd().istore(1);
+        // Math (a few borderline-warm calls).
+        m.iconst(0).istore(4);
+        Label ml = m.newLabel(), mdone = m.newLabel();
+        m.bind(ml);
+        m.iload(4).iconst(6).ifIcmpge(mdone);
+        m.iload(1)
+            .iload(0).iload(4).iconst(1001).imul().iadd()
+            .invokeStatic("LibMath.isqrt").iadd().istore(1);
+        m.iload(1)
+            .iload(4).iconst(360).imul().iconst(48).iadd()
+            .iload(4).iconst(7).imul().iconst(9).iadd()
+            .invokeStatic("LibMath.gcd").ixor().istore(1);
+        m.iinc(4, 1);
+        m.gotoL(ml);
+        m.bind(mdone);
+        m.iload(1).iconst(-100).iconst(100)
+            .invokeStatic("LibMath.clamp").istore(1);
+        // Formatting round-trip.
+        m.iconst(12).newArray(ArrayKind::Char).astore(3);
+        m.iload(0).iconst(65535).iand().aload(3)
+            .invokeStatic("LibFmt.itoa").istore(5);
+        m.iload(1).aload(3).invokeStatic("LibFmt.hash").iadd()
+            .istore(1);
+        m.iload(1)
+            .aload(3).aload(3).invokeStatic("LibFmt.eq")
+            .iadd().istore(1);
+        // String utilities over the config literal.
+        m.ldcStr("bootstrap classpath scan").astore(3);
+        m.iload(1)
+            .aload(3).iconst('p').invokeStatic("LibStr.indexOf")
+            .iadd().istore(1);
+        m.iload(1).aload(3).invokeStatic("LibStr.trim").iadd()
+            .istore(1);
+        m.iload(1).aload(3).invokeStatic("LibStr.toUpper").iadd()
+            .istore(1);
+        // Vector init (class-registry-like bookkeeping).
+        m.newObject("LibVec").astore(2);
+        m.aload(2).iconst(20).invokeSpecial("LibVec.init");
+        m.iconst(0).istore(4);
+        Label vl = m.newLabel(), vdone = m.newLabel();
+        m.bind(vl);
+        m.iload(4).iconst(16).ifIcmpge(vdone);
+        m.aload(2).iload(4).iconst(37).imul().iconst(11).iadd()
+            .invokeVirtual("LibVec.push");
+        m.iinc(4, 1);
+        m.gotoL(vl);
+        m.bind(vdone);
+        m.aload(2).invokeVirtual("LibVec.reverse");
+        m.iload(1).aload(2).invokeVirtual("LibVec.sum").ixor()
+            .istore(1);
+        // Synchronized log traffic.
+        m.newObject("LibLog").astore(2);
+        m.aload(2).iconst(64).invokeSpecial("LibLog.init");
+        m.iconst(0).istore(4);
+        Label ll = m.newLabel(), ldone = m.newLabel();
+        m.bind(ll);
+        m.iload(4).iconst(24).ifIcmpge(ldone);
+        m.aload(2).iload(4).iconst('a').iadd()
+            .invokeVirtual("LibLog.append");
+        m.iinc(4, 1);
+        m.gotoL(ll);
+        m.bind(ldone);
+        m.iload(1).aload(2).invokeVirtual("LibLog.size").iadd()
+            .istore(1);
+        m.getStaticA("lib$log");
+        m.pop();
+        m.aload(2).putStaticA("lib$log");
+        m.iload(1).ireturn();
+    }
+}
+
+Program
+finishWithBoot(ProgramBuilder &pb, const char *run_method)
+{
+    addStartupLibrary(pb);
+    ClassBuilder &boot = pb.cls("Boot");
+    MethodBuilder &m =
+        boot.staticMethod("main", {VType::Int}, VType::Int);
+    m.locals(3);  // 0 arg, 1 libCk, 2 runCk
+    m.iload(0).invokeStatic("Lib.boot").istore(1);
+    m.iload(0).invokeStatic(run_method).istore(2);
+    m.iload(2).iconst(31).imul().iload(1).ixor().ireturn();
+    return pb.finish("Boot.main");
+}
+
+} // namespace jrs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The shared "class library" every workload boots.
+ *
+ * Real SpecJVM98 runs (especially at s1) spend a visible share of
+ * their time in one-shot system/library code: class initialization,
+ * property parsing, table setup, string utilities — code invoked once
+ * or twice and never again. That cold code is precisely what makes
+ * compile-on-first-invocation wasteful and gives the paper's oracle
+ * its 10-15% headroom, and the library's synchronized bookkeeping is
+ * why even single-threaded benchmarks perform monitor operations.
+ *
+ * addStartupLibrary() adds ~25 such methods across five classes; the
+ * workload's entry code calls Lib.boot(seed) once and folds the
+ * returned checksum into its own.
+ */
+#ifndef JRS_WORKLOADS_STARTUP_LIB_H
+#define JRS_WORKLOADS_STARTUP_LIB_H
+
+#include "vm/bytecode/assembler.h"
+
+namespace jrs {
+
+/**
+ * Register the library classes into @p pb. The program may then call
+ * the static method "Lib.boot" (int) -> int.
+ */
+void addStartupLibrary(ProgramBuilder &pb);
+
+/**
+ * Standard workload epilogue: add the startup library, synthesize a
+ * "Boot.main" entry that runs Lib.boot(arg) followed by
+ * @p run_method(arg), and finish the program with the combined
+ * checksum. Every workload terminates its builder with this call.
+ */
+Program finishWithBoot(ProgramBuilder &pb,
+                       const char *run_method = "Main.run");
+
+} // namespace jrs
+
+#endif // JRS_WORKLOADS_STARTUP_LIB_H

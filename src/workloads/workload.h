@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The SpecJVM98-like workload suite.
+ *
+ * Eight programs written in jrs bytecode through the assembler,
+ * mirroring the archetypes of the paper's benchmarks:
+ *
+ *   hello    system-init-like: tiny methods invoked once
+ *   compress LZW compress + decompress + verify (method-reuse heavy)
+ *   jess     forward-chaining rule matcher (virtual dispatch heavy)
+ *   db       in-memory database with synchronized Vector operations
+ *   javac    expression compiler: lexer, parser, AST, codegen
+ *   mpeg     fixed-point/float filterbank (tight FP loops)
+ *   mtrt     two-thread raytracer with a shared synchronized counter
+ *   jack     token scanner with exception-based error recovery
+ *
+ * Every entry method is `Main.run(int) -> int`; the return value is a
+ * self-checking checksum, identical across interpreter / JIT / hybrid
+ * executions (the differential-test anchor).
+ */
+#ifndef JRS_WORKLOADS_WORKLOAD_H
+#define JRS_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "vm/bytecode/class_def.h"
+
+namespace jrs {
+
+/** Descriptor of one workload. */
+struct WorkloadInfo {
+    const char *name;
+    Program (*build)();
+    /** Small size for unit tests (sub-second interpreted). */
+    std::int32_t tinyArg;
+    /** s1-like size for benches. */
+    std::int32_t smallArg;
+    const char *description;
+};
+
+/** Program builders (each returns a fresh Program). */
+Program buildHello();
+Program buildCompress();
+Program buildJess();
+Program buildDb();
+Program buildJavac();
+Program buildMpeg();
+Program buildMtrt();
+Program buildJack();
+
+/** All workloads in the paper's presentation order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Lookup by name; nullptr when unknown. */
+const WorkloadInfo *findWorkload(const std::string &name);
+
+} // namespace jrs
+
+#endif // JRS_WORKLOADS_WORKLOAD_H

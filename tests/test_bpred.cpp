@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "arch/bpred/predictors.h"
+#include "arch/bpred/target_cache.h"
+
+namespace jrs {
+namespace {
+
+TEST(TwoBit, ConvergesOnBias)
+{
+    TwoBitPredictor p;
+    for (int i = 0; i < 4; ++i)
+        p.update(0x100, true);
+    EXPECT_TRUE(p.predict(0x100));
+    for (int i = 0; i < 4; ++i)
+        p.update(0x100, false);
+    EXPECT_FALSE(p.predict(0x200));  // global: pc-independent
+}
+
+TEST(TwoBit, HysteresisSurvivesOneFlip)
+{
+    TwoBitPredictor p;
+    for (int i = 0; i < 4; ++i)
+        p.update(0, true);
+    p.update(0, false);  // one not-taken
+    EXPECT_TRUE(p.predict(0));
+}
+
+TEST(Bht1Level, SeparatesBranchesByPc)
+{
+    Bht1Level p(2048);
+    for (int i = 0; i < 4; ++i) {
+        p.update(0x100, true);
+        p.update(0x200, false);
+    }
+    EXPECT_TRUE(p.predict(0x100));
+    EXPECT_FALSE(p.predict(0x200));
+}
+
+TEST(Bht1Level, AliasingAtTableSize)
+{
+    Bht1Level p(16);
+    // pcs 0x0 and 0x100 alias in a 16-entry table (pc >> 2 & 15).
+    for (int i = 0; i < 4; ++i)
+        p.update(0x0, true);
+    EXPECT_TRUE(p.predict(0x100));
+}
+
+TEST(GShare, LearnsAlternatingPatternBhtCannot)
+{
+    GShare g;
+    Bht1Level b;
+    const std::uint64_t pc = 0x400;
+    int g_wrong = 0, b_wrong = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = (i & 1) != 0;
+        if (g.predict(pc) != taken)
+            ++g_wrong;
+        if (b.predict(pc) != taken)
+            ++b_wrong;
+        g.update(pc, taken);
+        b.update(pc, taken);
+    }
+    EXPECT_LT(g_wrong, 50);    // history disambiguates
+    EXPECT_GT(b_wrong, 800);   // counter thrashes
+}
+
+TEST(TwoLevelPc, LearnsPeriodicPattern)
+{
+    TwoLevelPc p;
+    const std::uint64_t pc = 0x800;
+    // Period-3 pattern T T N.
+    int wrong = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const bool taken = (i % 3) != 2;
+        if (i > 300 && p.predict(pc) != taken)
+            ++wrong;
+        p.update(pc, taken);
+    }
+    EXPECT_LT(wrong, 100);
+}
+
+TEST(Btb, StoresAndReplacesTargets)
+{
+    Btb btb(16);
+    EXPECT_EQ(btb.predict(0x40), 0u);
+    btb.update(0x40, 0x1000);
+    EXPECT_EQ(btb.predict(0x40), 0x1000u);
+    btb.update(0x40, 0x2000);
+    EXPECT_EQ(btb.predict(0x40), 0x2000u);
+}
+
+TEST(Btb, DirectMappedConflict)
+{
+    Btb btb(16);
+    btb.update(0x0, 0x1000);
+    btb.update(0x40, 0x2000);  // (0x40 >> 2) & 15 == 0: same entry
+    EXPECT_EQ(btb.predict(0x0), 0u);
+    EXPECT_EQ(btb.predict(0x40), 0x2000u);
+}
+
+TEST(PredictorBank, CountsAllFourSchemes)
+{
+    PredictorBank bank;
+    TraceEvent ev;
+    ev.kind = NKind::Branch;
+    ev.pc = 0x500;
+    for (int i = 0; i < 100; ++i) {
+        ev.taken = true;
+        bank.onEvent(ev);
+    }
+    const auto results = bank.results();
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &r : results) {
+        EXPECT_EQ(r.condBranches, 100u);
+        EXPECT_LT(r.condMispredicts, 10u);  // all converge on bias
+    }
+    EXPECT_STREQ(results[0].name, "2bit");
+    EXPECT_STREQ(results[2].name, "gshare");
+}
+
+TEST(PredictorBank, IndirectTargetsGoThroughBtb)
+{
+    PredictorBank bank;
+    TraceEvent ev;
+    ev.kind = NKind::IndirectJump;
+    ev.pc = 0x600;
+    // Alternate between two targets: every transfer mispredicts.
+    for (int i = 0; i < 100; ++i) {
+        ev.target = (i & 1) ? 0x1000 : 0x2000;
+        bank.onEvent(ev);
+    }
+    EXPECT_EQ(bank.indirects(), 100u);
+    EXPECT_EQ(bank.btbMisses(), 100u);
+
+    // Stable target: learns after one miss.
+    PredictorBank bank2;
+    ev.target = 0x3000;
+    for (int i = 0; i < 100; ++i)
+        bank2.onEvent(ev);
+    EXPECT_EQ(bank2.btbMisses(), 1u);
+}
+
+TEST(PredictorBank, CombinedRateIncludesIndirects)
+{
+    PredictorBank bank;
+    TraceEvent br;
+    br.kind = NKind::Branch;
+    br.pc = 0x700;
+    br.taken = true;
+    TraceEvent ij;
+    ij.kind = NKind::IndirectCall;
+    ij.pc = 0x704;
+    for (int i = 0; i < 50; ++i) {
+        bank.onEvent(br);
+        ij.target = 0x1000 + (i % 7) * 0x40;  // rotating targets
+        bank.onEvent(ij);
+    }
+    const auto results = bank.results();
+    for (const auto &r : results) {
+        EXPECT_EQ(r.indirects, 50u);
+        EXPECT_GT(r.indirectMispredicts, 25u);
+        EXPECT_GT(r.mispredictRate(), r.condRate());
+    }
+}
+
+TEST(PredictorBank, IgnoresNonControlEvents)
+{
+    PredictorBank bank;
+    TraceEvent ev;
+    ev.kind = NKind::Load;
+    bank.onEvent(ev);
+    ev.kind = NKind::Jump;  // direct: statically predictable
+    bank.onEvent(ev);
+    EXPECT_EQ(bank.results()[0].condBranches, 0u);
+    EXPECT_EQ(bank.indirects(), 0u);
+}
+
+TEST(PredictorResult, RateMath)
+{
+    PredictorResult r{"x", 80, 8, 20, 12};
+    EXPECT_DOUBLE_EQ(r.condRate(), 0.1);
+    EXPECT_DOUBLE_EQ(r.mispredictRate(), 0.2);
+}
+
+TEST(TargetCache, LearnsPeriodicTargetSequenceBtbCannot)
+{
+    // One indirect site cycling through 4 targets (an interpreter
+    // dispatch running a 4-bytecode loop body).
+    Btb btb(1024);
+    TargetCache tc(1024);
+    const std::uint64_t pc = 0x1000;
+    const std::uint64_t targets[4] = {0x2000, 0x2100, 0x2200, 0x2300};
+    int btb_miss = 0, tc_miss = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t t = targets[i % 4];
+        if (btb.predict(pc) != t)
+            ++btb_miss;
+        btb.update(pc, t);
+        if (tc.predict(pc) != t)
+            ++tc_miss;
+        tc.update(pc, t);
+    }
+    EXPECT_GT(btb_miss, 3900);  // always wrong after the first lap
+    EXPECT_LT(tc_miss, 50);     // path history disambiguates
+}
+
+TEST(TargetCache, StableTargetLearnsWithinHistoryWarmup)
+{
+    // The folded path history needs a few updates to reach its fixed
+    // point; after that a stable target always hits.
+    TargetCache tc(64);
+    int miss = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (tc.predict(0x40) != 0x900)
+            ++miss;
+        tc.update(0x40, 0x900);
+    }
+    EXPECT_LE(miss, 5);
+    EXPECT_GE(miss, 1);
+}
+
+TEST(TargetCache, ColdEntryPredictsZero)
+{
+    TargetCache tc(64);
+    EXPECT_EQ(tc.predict(0x123), 0u);
+    EXPECT_EQ(tc.entries(), 64u);
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include "vm/bytecode/assembler.h"
+#include "vm/bytecode/decode.h"
+#include "vm/bytecode/disassembler.h"
+#include "vm/bytecode/opcode.h"
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+TEST(Opcode, NamesAreUnique)
+{
+    for (std::size_t a = 0; a < kNumOpcodes; ++a) {
+        for (std::size_t b = a + 1; b < kNumOpcodes; ++b) {
+            EXPECT_STRNE(opName(static_cast<Op>(a)),
+                         opName(static_cast<Op>(b)));
+        }
+    }
+}
+
+TEST(Opcode, OperandBytesSane)
+{
+    EXPECT_EQ(operandBytes(Op::Nop), 0);
+    EXPECT_EQ(operandBytes(Op::Iconst8), 1);
+    EXPECT_EQ(operandBytes(Op::Iconst32), 4);
+    EXPECT_EQ(operandBytes(Op::Goto), 2);
+    EXPECT_EQ(operandBytes(Op::TableSwitch), -1);
+    EXPECT_EQ(operandBytes(Op::LookupSwitch), -1);
+    EXPECT_EQ(operandBytes(Op::InvokeVirtual), 2);
+}
+
+TEST(Opcode, ConditionalBranchClassification)
+{
+    EXPECT_TRUE(isConditionalBranch(Op::Ifeq));
+    EXPECT_TRUE(isConditionalBranch(Op::IfIcmple));
+    EXPECT_TRUE(isConditionalBranch(Op::Ifnonnull));
+    EXPECT_FALSE(isConditionalBranch(Op::Goto));
+    EXPECT_FALSE(isConditionalBranch(Op::TableSwitch));
+    EXPECT_FALSE(isConditionalBranch(Op::Iadd));
+}
+
+TEST(Opcode, EndsBasicBlock)
+{
+    EXPECT_TRUE(endsBasicBlock(Op::Goto));
+    EXPECT_TRUE(endsBasicBlock(Op::Ireturn));
+    EXPECT_TRUE(endsBasicBlock(Op::Athrow));
+    EXPECT_TRUE(endsBasicBlock(Op::LookupSwitch));
+    EXPECT_FALSE(endsBasicBlock(Op::Ifeq));
+    EXPECT_FALSE(endsBasicBlock(Op::InvokeStatic));
+}
+
+TEST(Opcode, ArrayElemSizes)
+{
+    EXPECT_EQ(arrayElemSize(ArrayKind::Int), 4u);
+    EXPECT_EQ(arrayElemSize(ArrayKind::Float), 4u);
+    EXPECT_EQ(arrayElemSize(ArrayKind::Char), 2u);
+    EXPECT_EQ(arrayElemSize(ArrayKind::Byte), 1u);
+    EXPECT_EQ(arrayElemSize(ArrayKind::Ref), 4u);
+}
+
+TEST(Decode, LittleEndianRoundTrips)
+{
+    std::vector<std::uint8_t> code = {0x78, 0x56, 0x34, 0x12, 0xff};
+    EXPECT_EQ(readU8(code, 0), 0x78);
+    EXPECT_EQ(readS8(code, 4), -1);
+    EXPECT_EQ(readU16(code, 0), 0x5678);
+    EXPECT_EQ(readS32(code, 0), 0x12345678);
+}
+
+TEST(Assembler, IconstPicksCompactForm)
+{
+    const Program p = test::makeProgram([](MethodBuilder &m) {
+        m.iconst(5).pop().iconst(1000).pop().iconst(0).ireturn();
+    });
+    const Method &main = p.methods[0];
+    EXPECT_EQ(main.opAt(0), Op::Iconst8);
+    // iconst8 is 2 bytes, pop is 1: the wide constant starts at 3.
+    EXPECT_EQ(main.opAt(3), Op::Iconst32);
+}
+
+TEST(Assembler, ComputesMaxStack)
+{
+    const Program p = test::makeProgram([](MethodBuilder &m) {
+        m.iconst(1).iconst(2).iconst(3).iadd().iadd().ireturn();
+    });
+    EXPECT_EQ(p.methods[0].maxStack, 3);
+}
+
+TEST(Assembler, BackwardBranchResolves)
+{
+    // Count down from arg to 0.
+    const std::int32_t r = test::interpret(
+        [](MethodBuilder &m) {
+            Label loop = m.newLabel(), done = m.newLabel();
+            m.locals(2);
+            m.bind(loop);
+            m.iload(0).ifle(done);
+            m.iinc(0, -1);
+            m.iinc(1, 1);
+            m.gotoL(loop);
+            m.bind(done);
+            m.iload(1).ireturn();
+        },
+        7);
+    EXPECT_EQ(r, 7);
+}
+
+TEST(Assembler, RejectsUnboundLabel)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     Label l = m.newLabel();
+                     m.gotoL(l);  // never bound
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsDoubleBind)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     Label l = m.newLabel();
+                     m.bind(l);
+                     m.bind(l);
+                     m.iconst(0).ireturn();
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsStackUnderflow)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.iadd().ireturn();  // nothing to add
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsInconsistentDepthAtMerge)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     Label merge = m.newLabel();
+                     m.iload(0).ifeq(merge);
+                     m.iconst(1);  // depth 1 on fallthrough
+                     m.bind(merge);
+                     m.iconst(0).ireturn();
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsUnknownMethodSymbol)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.invokeStatic("Nope.nothing").ireturn();
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsUnknownField)
+{
+    EXPECT_THROW(
+        test::makeProgramFull([](ProgramBuilder &pb) {
+            ClassBuilder &c = pb.cls("T");
+            MethodBuilder &m =
+                c.staticMethod("main", {VType::Int}, VType::Int);
+            m.aconstNull().getFieldI("T.missing").ireturn();
+        }),
+        AssemblerError);
+}
+
+TEST(Assembler, RejectsDuplicateClass)
+{
+    EXPECT_THROW(test::makeProgramFull([](ProgramBuilder &pb) {
+                     pb.cls("A");
+                     pb.cls("A");
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsUndeclaredSuperclass)
+{
+    EXPECT_THROW(test::makeProgramFull([](ProgramBuilder &pb) {
+                     pb.cls("B", "MissingSuper");
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsEmptyMethod)
+{
+    EXPECT_THROW(test::makeProgramFull([](ProgramBuilder &pb) {
+                     ClassBuilder &c = pb.cls("T");
+                     c.staticMethod("main", {VType::Int}, VType::Int);
+                 }),
+                 AssemblerError);
+}
+
+TEST(Assembler, RejectsMissingEntry)
+{
+    EXPECT_THROW(test::makeProgramFull(
+                     [](ProgramBuilder &pb) {
+                         ClassBuilder &c = pb.cls("T");
+                         MethodBuilder &m = c.staticMethod(
+                             "other", {VType::Int}, VType::Int);
+                         m.iconst(0).ireturn();
+                     },
+                     "T.main"),
+                 AssemblerError);
+}
+
+TEST(Assembler, StringLiteralsInterned)
+{
+    ProgramBuilder pb("t");
+    EXPECT_EQ(pb.stringLiteral("abc"), 0);
+    EXPECT_EQ(pb.stringLiteral("def"), 1);
+    EXPECT_EQ(pb.stringLiteral("abc"), 0);
+}
+
+TEST(Assembler, FieldInheritanceLaysOutSlots)
+{
+    const Program p = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &base = pb.cls("Base");
+        base.field("a");
+        base.field("b");
+        ClassBuilder &derived = pb.cls("Derived", "Base");
+        const std::uint16_t c = derived.field("c");
+        EXPECT_EQ(c, 2);
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(0).ireturn();
+    });
+    EXPECT_EQ(p.findClass("Derived")->numFields, 3);
+    EXPECT_EQ(p.findClass("Base")->numFields, 2);
+}
+
+TEST(Assembler, VtableOverrideKeepsSlot)
+{
+    const Program p = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &base = pb.cls("Base");
+        {
+            MethodBuilder &m = base.virtualMethod("f", {}, VType::Int);
+            m.iconst(1).ireturn();
+        }
+        ClassBuilder &derived = pb.cls("Derived", "Base");
+        {
+            MethodBuilder &m =
+                derived.virtualMethod("f", {}, VType::Int);
+            m.iconst(2).ireturn();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(0).ireturn();
+    });
+    const ClassDef *base = p.findClass("Base");
+    const ClassDef *derived = p.findClass("Derived");
+    const int slot = base->vslotOf("f");
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(derived->vslotOf("f"), slot);
+    EXPECT_NE(base->vtable[slot], derived->vtable[slot]);
+}
+
+TEST(Assembler, GlobalSlotsAreUniqueAcrossHierarchies)
+{
+    const Program p = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &a = pb.cls("A");
+        {
+            MethodBuilder &m = a.virtualMethod("f", {}, VType::Int);
+            m.iconst(1).ireturn();
+        }
+        ClassBuilder &b = pb.cls("B");
+        {
+            MethodBuilder &m =
+                b.virtualMethod("g", {VType::Int}, VType::Int);
+            m.iload(1).ireturn();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(0).ireturn();
+    });
+    EXPECT_NE(p.findClass("A")->vslotOf("f"),
+              p.findClass("B")->vslotOf("g"));
+}
+
+TEST(Assembler, IsSubclassOfWalksChain)
+{
+    const Program p = test::makeProgramFull([](ProgramBuilder &pb) {
+        pb.cls("A");
+        pb.cls("B", "A");
+        pb.cls("C", "B");
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(0).ireturn();
+    });
+    const ClassId a = p.findClass("A")->id;
+    const ClassId b = p.findClass("B")->id;
+    const ClassId c = p.findClass("C")->id;
+    EXPECT_TRUE(isSubclassOf(p, c, a));
+    EXPECT_TRUE(isSubclassOf(p, c, b));
+    EXPECT_TRUE(isSubclassOf(p, b, a));
+    EXPECT_FALSE(isSubclassOf(p, a, b));
+}
+
+TEST(Assembler, InstrLengthCoversSwitches)
+{
+    const Program p = test::makeProgram([](MethodBuilder &m) {
+        Label a = m.newLabel(), b = m.newLabel(), d = m.newLabel();
+        m.iload(0);
+        m.tableSwitch(0, {a, b}, d);
+        m.bind(a);
+        m.iconst(10).ireturn();
+        m.bind(b);
+        m.iconst(20).ireturn();
+        m.bind(d);
+        m.iconst(30).ireturn();
+    });
+    const Method &main = p.methods[0];
+    // iload is 2 bytes; tableswitch follows.
+    EXPECT_EQ(main.opAt(2), Op::TableSwitch);
+    EXPECT_EQ(instrLength(main.code, 2), 1u + 2 + 4 + 2 + 2 * 2);
+}
+
+TEST(Assembler, ComputeStackDepthsMarksUnreachable)
+{
+    const Program p = test::makeProgram([](MethodBuilder &m) {
+        Label end = m.newLabel();
+        m.gotoL(end);
+        m.iconst(99).pop();  // unreachable
+        m.bind(end);
+        m.iconst(0).ireturn();
+    });
+    const auto depths = computeStackDepths(p.methods[0], p);
+    EXPECT_EQ(depths[0], 0);   // goto
+    EXPECT_EQ(depths[3], -1);  // unreachable iconst
+}
+
+TEST(Disassembler, RendersInstructions)
+{
+    const Program p = test::makeProgram([](MethodBuilder &m) {
+        Label l = m.newLabel();
+        m.iload(0).ifgt(l);
+        m.iconst(-5).ireturn();
+        m.bind(l);
+        m.iconst(123456).ireturn();
+    });
+    const std::string text = disassemble(p.methods[0]);
+    EXPECT_NE(text.find("iload 0"), std::string::npos);
+    EXPECT_NE(text.find("ifgt"), std::string::npos);
+    EXPECT_NE(text.find("123456"), std::string::npos);
+    EXPECT_NE(text.find("ireturn"), std::string::npos);
+}
+
+TEST(Disassembler, ShowsBranchTargets)
+{
+    const Program p = test::makeProgram([](MethodBuilder &m) {
+        Label l = m.newLabel();
+        m.bind(l);
+        m.iinc(0, -1);
+        m.iload(0).ifgt(l);
+        m.iconst(0).ireturn();
+    });
+    const std::string text = disassemble(p.methods[0]);
+    EXPECT_NE(text.find("-> 0"), std::string::npos);
+}
+
+TEST(Program, FindersWork)
+{
+    const Program p = test::makeProgram(
+        [](MethodBuilder &m) { m.iconst(0).ireturn(); });
+    EXPECT_NE(p.findMethod("T.main"), nullptr);
+    EXPECT_EQ(p.findMethod("T.other"), nullptr);
+    EXPECT_NE(p.findClass("T"), nullptr);
+    EXPECT_EQ(p.findClass("U"), nullptr);
+    EXPECT_GT(p.totalBytecodeBytes(), 0u);
+}
+
+TEST(Program, BytecodeAddressesAreDisjoint)
+{
+    const Program p = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &a =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        a.iconst(0).ireturn();
+        MethodBuilder &b = t.staticMethod("f", {}, VType::Int);
+        b.iconst(1).ireturn();
+    });
+    const Method &m0 = p.methods[0];
+    const Method &m1 = p.methods[1];
+    EXPECT_GE(m1.bytecodeAddr, m0.bytecodeAddr + m0.code.size());
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+/** A two-method program: hot helper called n times from main. */
+Program
+hotHelperProgram()
+{
+    return test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("helper", {VType::Int}, VType::Int);
+            m.iload(0).iconst(3).imul().iconst(1).iadd().ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(3);
+        m.iconst(0).istore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(0).ifle(done);
+        m.iload(1).invokeStatic("T.helper").istore(1);
+        m.iinc(0, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).ireturn();
+    });
+}
+
+TEST(Policy, NamesAndBasics)
+{
+    NeverCompilePolicy n;
+    AlwaysCompilePolicy a;
+    CounterPolicy c(5);
+    EXPECT_STREQ(n.name(), "interpret");
+    EXPECT_STREQ(a.name(), "jit");
+    EXPECT_STREQ(c.name(), "counter");
+    EXPECT_FALSE(n.shouldCompile(0, 1000));
+    EXPECT_TRUE(a.shouldCompile(0, 1));
+    EXPECT_FALSE(c.shouldCompile(0, 4));
+    EXPECT_TRUE(c.shouldCompile(0, 5));
+}
+
+TEST(Policy, CounterCompilesAtThreshold)
+{
+    const Program prog = hotHelperProgram();
+    const RunResult r = test::runProgram(
+        prog, 10, std::make_shared<CounterPolicy>(4));
+    ASSERT_TRUE(r.completed);
+    // helper compiled (>=4 invocations), main compiled too (its own
+    // counter reaches... main runs once, so with threshold 4 only
+    // helper compiles).
+    EXPECT_EQ(r.methodsCompiled, 1u);
+    const MethodProfile &helper =
+        r.profiles.of(prog.findMethod("T.helper")->id);
+    EXPECT_EQ(helper.invocations, 10u);
+    EXPECT_EQ(helper.interpInvocations, 3u);
+    EXPECT_EQ(helper.nativeInvocations, 7u);
+}
+
+TEST(Policy, OracleDecisionMath)
+{
+    ProfileTable interp_run(2), jit_run(2);
+    // Method 0: expensive to interpret, cheap once compiled.
+    interp_run.of(0).invocations = 100;
+    interp_run.of(0).interpEvents = 100000;
+    jit_run.of(0).translateEvents = 500;
+    jit_run.of(0).nativeEvents = 20000;
+    // Method 1: invoked once; translation not amortized.
+    interp_run.of(1).invocations = 1;
+    interp_run.of(1).interpEvents = 100;
+    jit_run.of(1).translateEvents = 600;
+    jit_run.of(1).nativeEvents = 30;
+    const auto decisions =
+        computeOracleDecisions(interp_run, jit_run);
+    ASSERT_EQ(decisions.size(), 2u);
+    EXPECT_TRUE(decisions[0]);
+    EXPECT_FALSE(decisions[1]);
+}
+
+TEST(Policy, OracleNeverInvokedMeansNoCompile)
+{
+    ProfileTable interp_run(1), jit_run(1);
+    jit_run.of(0).translateEvents = 10;
+    jit_run.of(0).nativeEvents = 1;
+    EXPECT_FALSE(computeOracleDecisions(interp_run, jit_run)[0]);
+}
+
+TEST(Engine, ProfilesAttributeExclusiveCosts)
+{
+    const Program prog = hotHelperProgram();
+    const RunResult r = test::runProgram(
+        prog, 50, std::make_shared<NeverCompilePolicy>());
+    ASSERT_TRUE(r.completed);
+    const MethodProfile &helper =
+        r.profiles.of(prog.findMethod("T.helper")->id);
+    const MethodProfile &main =
+        r.profiles.of(prog.findMethod("T.main")->id);
+    EXPECT_EQ(helper.invocations, 50u);
+    EXPECT_EQ(main.invocations, 1u);
+    EXPECT_GT(helper.interpEvents, 0u);
+    EXPECT_GT(main.interpEvents, helper.interpEvents / 50);
+    EXPECT_EQ(helper.nativeEvents, 0u);
+    EXPECT_EQ(helper.translateEvents, 0u);
+    // Exclusive attribution: the parts sum to the total, modulo the
+    // entry frame's setup stores which precede the first step.
+    EXPECT_LE(r.totalEvents - (helper.interpEvents + main.interpEvents),
+              8u);
+}
+
+TEST(Engine, MixedModeInterpCallsCompiledCallee)
+{
+    // Oracle that compiles only the helper: main stays interpreted and
+    // must bridge into native code and back.
+    const Program prog = hotHelperProgram();
+    std::vector<bool> decide(prog.methods.size(), false);
+    decide[prog.findMethod("T.helper")->id] = true;
+    const RunResult r = test::runProgram(
+        prog, 10, std::make_shared<OraclePolicy>(decide));
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, test::runProgram(
+                               hotHelperProgram(), 10,
+                               std::make_shared<NeverCompilePolicy>())
+                               .exitValue);
+    EXPECT_GT(r.inPhase(Phase::Interpret), 0u);
+    EXPECT_GT(r.inPhase(Phase::NativeExec), 0u);
+}
+
+TEST(Engine, MixedModeCompiledCallsInterpretedCallee)
+{
+    const Program prog = hotHelperProgram();
+    std::vector<bool> decide(prog.methods.size(), false);
+    decide[prog.findMethod("T.main")->id] = true;  // only main compiled
+    const RunResult r = test::runProgram(
+        prog, 10, std::make_shared<OraclePolicy>(decide));
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.inPhase(Phase::Interpret), 0u);
+    EXPECT_GT(r.inPhase(Phase::NativeExec), 0u);
+    const MethodProfile &helper =
+        r.profiles.of(prog.findMethod("T.helper")->id);
+    EXPECT_EQ(helper.interpInvocations, 10u);
+}
+
+TEST(Engine, RunTwiceThrows)
+{
+    const Program prog = hotHelperProgram();
+    EngineConfig cfg;
+    ExecutionEngine engine(prog, cfg);
+    engine.run(1);
+    EXPECT_THROW(engine.run(1), VmError);
+}
+
+TEST(Engine, MaxEventsStopsRunaway)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        Label loop = m.newLabel();
+        m.bind(loop);
+        m.gotoL(loop);  // infinite
+    });
+    EngineConfig cfg;
+    cfg.policy = std::make_shared<NeverCompilePolicy>();
+    cfg.maxEvents = 10000;
+    ExecutionEngine engine(prog, cfg);
+    const RunResult r = engine.run(0);
+    EXPECT_FALSE(r.completed);
+    EXPECT_GE(r.totalEvents, 10000u);
+    EXPECT_LT(r.totalEvents, 20000u);
+}
+
+TEST(Engine, MemoryFootprintJitExceedsInterp)
+{
+    const Program prog = hotHelperProgram();
+    const RunResult i = test::runProgram(
+        prog, 30, std::make_shared<NeverCompilePolicy>());
+    const RunResult j = test::runProgram(
+        hotHelperProgram(), 30, std::make_shared<AlwaysCompilePolicy>());
+    EXPECT_EQ(i.memory.codeCacheBytes, 0u);
+    EXPECT_GT(j.memory.codeCacheBytes, 0u);
+    EXPECT_GT(j.memory.translatorBytes, 0u);
+    EXPECT_GT(j.memory.jitTotal(), i.memory.interpreterTotal());
+}
+
+TEST(Engine, StackHighWaterTracksRecursionDepth)
+{
+    auto build = [] {
+        return test::makeProgramFull([](ProgramBuilder &pb) {
+            ClassBuilder &t = pb.cls("T");
+            {
+                MethodBuilder &m =
+                    t.staticMethod("down", {VType::Int}, VType::Int);
+                Label z = m.newLabel();
+                m.iload(0).ifle(z);
+                m.iload(0).iconst(1).isub().invokeStatic("T.down")
+                    .ireturn();
+                m.bind(z);
+                m.iconst(0).ireturn();
+            }
+            MethodBuilder &m =
+                t.staticMethod("main", {VType::Int}, VType::Int);
+            m.iload(0).invokeStatic("T.down").ireturn();
+        });
+    };
+    const RunResult shallow = test::runProgram(
+        build(), 2, std::make_shared<NeverCompilePolicy>());
+    const RunResult deep = test::runProgram(
+        build(), 200, std::make_shared<NeverCompilePolicy>());
+    EXPECT_GT(deep.memory.stackBytes, shallow.memory.stackBytes);
+}
+
+TEST(Engine, UncompilableManyArgMethodFallsBackToInterp)
+{
+    // 10 int args exceed the 8 argument registers.
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            std::vector<VType> args(10, VType::Int);
+            MethodBuilder &m =
+                t.staticMethod("wide", args, VType::Int);
+            m.iload(0);
+            for (std::uint8_t i = 1; i < 10; ++i)
+                m.iload(i).iadd();
+            m.ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        for (int i = 1; i <= 10; ++i)
+            m.iconst(i);
+        m.invokeStatic("T.wide").ireturn();
+    });
+    const RunResult r = test::runProgram(
+        prog, 0, std::make_shared<AlwaysCompilePolicy>());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, 55);
+    EXPECT_GT(r.inPhase(Phase::Interpret), 0u);  // wide interpreted
+}
+
+TEST(Engine, QuantumPreemptsLongThread)
+{
+    // Two threads incrementing a shared static under a monitor with a
+    // tiny quantum: interleaved, yet no update may be lost.
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        pb.staticSlot("sum", VType::Int);
+        pb.staticSlot("lock", VType::Ref);
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("worker", {VType::Int}, VType::Void);
+            m.locals(2);
+            m.iconst(100).istore(1);
+            Label loop = m.newLabel(), done = m.newLabel();
+            m.bind(loop);
+            m.iload(1).ifle(done);
+            m.getStaticA("lock").monitorEnter();
+            m.getStaticI("sum").iconst(1).iadd().putStaticI("sum");
+            m.getStaticA("lock").monitorExit();
+            m.iinc(1, -1);
+            m.gotoL(loop);
+            m.bind(done);
+            m.returnVoid();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(3);
+        m.iconst(1).newArray(ArrayKind::Int).putStaticA("lock");
+        m.iconst(0).spawnThread("T.worker").istore(1);
+        m.iconst(0).spawnThread("T.worker").istore(2);
+        m.iload(1).joinThread();
+        m.iload(2).joinThread();
+        m.getStaticI("sum").ireturn();
+    });
+    EngineConfig cfg;
+    cfg.policy = std::make_shared<NeverCompilePolicy>();
+    cfg.quantum = 7;
+    ExecutionEngine engine(prog, cfg);
+    const RunResult r = engine.run(0);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, 200);
+}
+
+TEST(Engine, DeadlockIsDetected)
+{
+    // Two threads each grab one lock then want the other's.
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        pb.staticSlot("a", VType::Ref);
+        pb.staticSlot("b", VType::Ref);
+        ClassBuilder &t = pb.cls("T");
+        {
+            // worker(which): lock own, spin, lock other.
+            MethodBuilder &m =
+                t.staticMethod("worker", {VType::Int}, VType::Void);
+            m.locals(4);
+            Label own_b = m.newLabel(), got = m.newLabel();
+            m.iload(0).ifne(own_b);
+            m.getStaticA("a").astore(1);
+            m.getStaticA("b").astore(2);
+            m.gotoL(got);
+            m.bind(own_b);
+            m.getStaticA("b").astore(1);
+            m.getStaticA("a").astore(2);
+            m.bind(got);
+            m.aload(1).monitorEnter();
+            // spin a little so both threads hold their first lock
+            m.iconst(100).istore(3);
+            Label spin = m.newLabel(), go = m.newLabel();
+            m.bind(spin);
+            m.iload(3).ifle(go);
+            m.iinc(3, -1);
+            m.gotoL(spin);
+            m.bind(go);
+            m.aload(2).monitorEnter();
+            m.aload(2).monitorExit();
+            m.aload(1).monitorExit();
+            m.returnVoid();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(3);
+        m.iconst(1).newArray(ArrayKind::Int).putStaticA("a");
+        m.iconst(1).newArray(ArrayKind::Int).putStaticA("b");
+        m.iconst(0).spawnThread("T.worker").istore(1);
+        m.iconst(1).spawnThread("T.worker").istore(2);
+        m.iload(1).joinThread();
+        m.iload(2).joinThread();
+        m.iconst(0).ireturn();
+    });
+    EngineConfig cfg;
+    cfg.policy = std::make_shared<NeverCompilePolicy>();
+    cfg.quantum = 20;
+    ExecutionEngine engine(prog, cfg);
+    EXPECT_THROW(engine.run(0), VmError);
+}
+
+} // namespace
+} // namespace jrs

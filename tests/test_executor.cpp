@@ -1,0 +1,271 @@
+/**
+ * Native-executor semantics at single-instruction granularity, plus
+ * translator+executor microprograms that pin down lowering details
+ * (ref encoding in heap slots, spills, jump tables, pointer math).
+ */
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+using test::jitRun;
+
+TEST(ExecutorLowering, RefSlotEncodingRoundTrips)
+{
+    // Store a ref into a field, read it back through native code, and
+    // dereference the result: exercises StRef/LdRef offset encoding.
+    EXPECT_EQ(jitRun([](MethodBuilder &m) {
+        m.locals(3);
+        m.iconst(5).newArray(ArrayKind::Int).astore(1);
+        m.aload(1).iconst(4).iconst(321).iastore();
+        m.iconst(1).newArray(ArrayKind::Ref).astore(2);
+        m.aload(2).iconst(0).aload(1).aastore();
+        m.aload(2).iconst(0).aaload().iconst(4).iaload().ireturn();
+    }), 321);
+}
+
+TEST(ExecutorLowering, NullRefThroughHeapSlotStaysNull)
+{
+    EXPECT_EQ(jitRun([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(1).newArray(ArrayKind::Ref).astore(1);
+        m.aload(1).iconst(0).aconstNull().aastore();
+        Label is_null = m.newLabel();
+        m.aload(1).iconst(0).aaload().ifnull(is_null);
+        m.iconst(0).ireturn();
+        m.bind(is_null);
+        m.iconst(1).ireturn();
+    }), 1);
+}
+
+TEST(ExecutorLowering, CharAndByteElementWidths)
+{
+    // 2-byte and 1-byte element address arithmetic (ShlI/AddP paths).
+    EXPECT_EQ(jitRun([](MethodBuilder &m) {
+        m.locals(3);
+        m.iconst(8).newArray(ArrayKind::Char).astore(1);
+        m.iconst(8).newArray(ArrayKind::Byte).astore(2);
+        m.aload(1).iconst(7).iconst(0x1234).castore();
+        m.aload(2).iconst(7).iconst(-3).bastore();
+        m.aload(1).iconst(7).caload()
+            .aload(2).iconst(7).baload().iadd().ireturn();
+    }), 0x1234 - 3);
+}
+
+TEST(ExecutorLowering, NegativeImmediatesSignExtend)
+{
+    EXPECT_EQ(jitRun([](MethodBuilder &m) {
+        m.iconst(-2000000000).iconst(-1).imul().ireturn();
+    }), 2000000000);
+    EXPECT_EQ(jitRun([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(-128).istore(1);
+        m.iinc(1, -100);
+        m.iload(1).ireturn();
+    }), -228);
+}
+
+TEST(ExecutorLowering, FloatBitsSurviveMoves)
+{
+    // Fconst's raw-bit MovI (aux=1) must not sign-extend: a negative
+    // float's bits occupy the top of the 32-bit word.
+    EXPECT_EQ(jitRun([](MethodBuilder &m) {
+        m.locals(2);
+        m.fconst(-2.5f).fstore(1);
+        m.fload(1).fconst(-2.0f).fmul().f2i().ireturn();
+    }), 5);
+}
+
+TEST(ExecutorLowering, JumpTableDispatchAllTargets)
+{
+    auto prog = [](MethodBuilder &m) {
+        std::vector<Label> targets;
+        Label d = m.newLabel();
+        for (int i = 0; i < 6; ++i)
+            targets.push_back(m.newLabel());
+        m.iload(0);
+        m.tableSwitch(10, targets, d);
+        for (int i = 0; i < 6; ++i) {
+            m.bind(targets[static_cast<std::size_t>(i)]);
+            m.iconst(100 + i).ireturn();
+        }
+        m.bind(d);
+        m.iconst(-1).ireturn();
+    };
+    for (int k = 0; k < 6; ++k)
+        EXPECT_EQ(jitRun(prog, 10 + k), 100 + k);
+    EXPECT_EQ(jitRun(prog, 16), -1);
+    EXPECT_EQ(jitRun(prog, 9), -1);
+    EXPECT_EQ(jitRun(prog, INT_MIN), -1);
+}
+
+TEST(ExecutorLowering, SpilledLocalsSurviveCalls)
+{
+    // Locals beyond the 12 local registers live in frame spill slots;
+    // they must survive a nested call (fresh register window).
+    EXPECT_EQ(test::bothModes([](MethodBuilder &m) {
+        m.locals(18);
+        for (std::uint8_t i = 1; i <= 17; ++i)
+            m.iconst(i * 3).istore(i);
+        m.iload(0).pop();
+        // Overwrite low registers with a helper-style computation.
+        m.iconst(1).iconst(2).iadd().pop();
+        m.iload(15).iload(16).iadd().iload(17).iadd().ireturn();
+    }), 45 + 48 + 51);
+}
+
+TEST(ExecutorLowering, DeepStackSpillsWithCalls)
+{
+    // Operand stack deeper than 7 at a call site: args move from
+    // spill slots into argument registers.
+    EXPECT_EQ(test::bothModes([](MethodBuilder &m) {
+        for (int i = 1; i <= 9; ++i)
+            m.iconst(i);
+        // stack: 1..9; fold the top two through adds
+        m.iadd().iadd().iadd().iadd().iadd().iadd().iadd().iadd();
+        m.ireturn();
+    }), 45);
+}
+
+TEST(ExecutorLowering, DivRemTrapsBecomeGuestExceptions)
+{
+    auto prog = [](MethodBuilder &m) {
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.iconst(7).iload(0).irem();
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-99).ireturn();
+        m.addHandler(ts, te, h);
+    };
+    EXPECT_EQ(jitRun(prog, 0), -99);
+    EXPECT_EQ(jitRun(prog, 2), 1);
+}
+
+TEST(ExecutorLowering, BoundsCheckThrowsAtExactEdge)
+{
+    auto prog = [](MethodBuilder &m) {
+        m.locals(2);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.iconst(4).newArray(ArrayKind::Int).astore(1);
+        m.bind(ts);
+        m.aload(1).iload(0).iaload();
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-1).ireturn();
+        m.addHandler(ts, te, h);
+    };
+    EXPECT_EQ(jitRun(prog, 3), 0);   // last valid index
+    EXPECT_EQ(jitRun(prog, 4), -1);  // first invalid
+    EXPECT_EQ(jitRun(prog, -1), -1);
+}
+
+TEST(ExecutorLowering, StaticsOfAllTypes)
+{
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        pb.staticSlot("si", VType::Int);
+        pb.staticSlot("sf", VType::Float);
+        pb.staticSlot("sa", VType::Ref);
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(-7).putStaticI("si");
+        m.fconst(0.5f).putStaticF("sf");
+        m.iconst(2).newArray(ArrayKind::Int).putStaticA("sa");
+        m.getStaticA("sa").iconst(1).iconst(40).iastore();
+        m.getStaticI("si")
+            .getStaticF("sf").fconst(4.0f).fmul().f2i().iadd()
+            .getStaticA("sa").iconst(1).iaload().iadd().ireturn();
+    });
+    const RunResult r = test::runProgram(
+        prog, 0, std::make_shared<AlwaysCompilePolicy>());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, -7 + 2 + 40);
+}
+
+TEST(ExecutorLowering, VirtualDispatchThroughNativeFrames)
+{
+    // Native main -> virtual f (overridden) -> virtual g, crossing
+    // three register windows with live values in each.
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &a = pb.cls("A");
+        {
+            MethodBuilder &m =
+                a.virtualMethod("g", {VType::Int}, VType::Int);
+            m.iload(1).iconst(2).imul().ireturn();
+        }
+        {
+            MethodBuilder &m =
+                a.virtualMethod("f", {VType::Int}, VType::Int);
+            m.aload(0).iload(1).iconst(1).iadd()
+                .invokeVirtual("A.g").iconst(10).iadd().ireturn();
+        }
+        ClassBuilder &b = pb.cls("B", "A");
+        {
+            MethodBuilder &m =
+                b.virtualMethod("g", {VType::Int}, VType::Int);
+            m.iload(1).iconst(3).imul().ireturn();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(3);
+        m.newObject("A").astore(1);
+        m.newObject("B").astore(2);
+        // A: (arg+1)*2+10 ; B: (arg+1)*3+10, via the same f
+        m.aload(1).iload(0).invokeVirtual("A.f")
+            .aload(2).iload(0).invokeVirtual("A.f")
+            .iconst(1000).imul().iadd().ireturn();
+    });
+    const RunResult r = test::runProgram(
+        prog, 4, std::make_shared<AlwaysCompilePolicy>());
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, (5 * 2 + 10) + 1000 * (5 * 3 + 10));
+}
+
+TEST(ExecutorLowering, LookupSwitchSparseKeys)
+{
+    auto prog = [](MethodBuilder &m) {
+        Label a = m.newLabel(), b = m.newLabel(), c = m.newLabel();
+        Label d = m.newLabel();
+        m.iload(0);
+        m.lookupSwitch({{INT_MIN, a}, {0, b}, {INT_MAX, c}}, d);
+        m.bind(a);
+        m.iconst(1).ireturn();
+        m.bind(b);
+        m.iconst(2).ireturn();
+        m.bind(c);
+        m.iconst(3).ireturn();
+        m.bind(d);
+        m.iconst(4).ireturn();
+    };
+    EXPECT_EQ(jitRun(prog, INT_MIN), 1);
+    EXPECT_EQ(jitRun(prog, 0), 2);
+    EXPECT_EQ(jitRun(prog, INT_MAX), 3);
+    EXPECT_EQ(jitRun(prog, 5), 4);
+}
+
+TEST(ExecutorLowering, ShiftMasksMatchInterpreter)
+{
+    for (std::int32_t count : {0, 1, 31, 32, 33, 63, -1}) {
+        const std::int32_t i = test::interpret(
+            [count](MethodBuilder &m) {
+                m.iconst(-256).iconst(count).ishr().ireturn();
+            });
+        const std::int32_t j = jitRun([count](MethodBuilder &m) {
+            m.iconst(-256).iconst(count).ishr().ireturn();
+        });
+        EXPECT_EQ(i, j) << "count=" << count;
+    }
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,244 @@
+/**
+ * JIT inlining / devirtualization (the paper's Section 7 proposal):
+ * correctness (differential vs interpreter and vs the non-inlining
+ * JIT) and effectiveness (indirect calls disappear at monomorphic
+ * sites).
+ */
+#include <gtest/gtest.h>
+
+#include "arch/mix/instruction_mix.h"
+#include "vm_test_util.h"
+#include "workloads/workload.h"
+
+namespace jrs {
+namespace {
+
+RunResult
+runInlined(const Program &prog, std::int32_t arg,
+           TraceSink *sink = nullptr)
+{
+    EngineConfig cfg;
+    cfg.policy = std::make_shared<AlwaysCompilePolicy>();
+    cfg.jitInlining = true;
+    cfg.sink = sink;
+    ExecutionEngine engine(prog, cfg);
+    return engine.run(arg);
+}
+
+RunResult
+runPlain(const Program &prog, std::int32_t arg, TraceSink *sink)
+{
+    EngineConfig cfg;
+    cfg.policy = std::make_shared<AlwaysCompilePolicy>();
+    cfg.sink = sink;
+    ExecutionEngine engine(prog, cfg);
+    return engine.run(arg);
+}
+
+Program
+getterProgram()
+{
+    return test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &box = pb.cls("Box");
+        box.field("v");
+        {
+            MethodBuilder &m =
+                box.specialMethod("init", {VType::Int}, VType::Void);
+            m.aload(0).iload(1).putFieldI("Box.v");
+            m.returnVoid();
+        }
+        {
+            MethodBuilder &m = box.virtualMethod("get", {}, VType::Int);
+            m.aload(0).getFieldI("Box.v").ireturn();
+        }
+        {
+            MethodBuilder &m =
+                box.virtualMethod("scaled", {VType::Int}, VType::Int);
+            m.aload(0).getFieldI("Box.v").iload(1).imul().ireturn();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(4);
+        m.newObject("Box").astore(1);
+        m.aload(1).iload(0).invokeSpecial("Box.init");
+        m.iconst(0).istore(2);
+        m.iconst(100).istore(3);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(3).ifle(done);
+        m.iload(2)
+            .aload(1).invokeVirtual("Box.get").iadd()
+            .aload(1).iconst(3).invokeVirtual("Box.scaled").iadd()
+            .istore(2);
+        m.iinc(3, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(2).ireturn();
+    });
+}
+
+TEST(Inlining, GetterResultsMatchInterpreter)
+{
+    const std::int32_t interp = test::runProgram(
+        getterProgram(), 7, std::make_shared<NeverCompilePolicy>())
+                                    .exitValue;
+    const RunResult inlined = runInlined(getterProgram(), 7);
+    ASSERT_TRUE(inlined.completed);
+    EXPECT_EQ(inlined.exitValue, interp);
+    EXPECT_GT(inlined.callsDevirtualized, 0u);
+    EXPECT_GT(inlined.callsInlined, 0u);
+}
+
+TEST(Inlining, RemovesIndirectCallsAtMonomorphicSites)
+{
+    InstructionMix plain_mix, inline_mix;
+    const Program p1 = getterProgram();
+    (void)runPlain(p1, 7, &plain_mix);
+    const Program p2 = getterProgram();
+    const RunResult r = runInlined(p2, 7, &inline_mix);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(plain_mix.count(NKind::IndirectCall), 100u);
+    EXPECT_EQ(inline_mix.count(NKind::IndirectCall), 0u);
+    // Fewer instructions overall: no call/frame overhead.
+    EXPECT_LT(inline_mix.total(), plain_mix.total());
+}
+
+TEST(Inlining, PolymorphicSitesKeepIndirectDispatch)
+{
+    auto build = [] {
+        return test::makeProgramFull([](ProgramBuilder &pb) {
+            ClassBuilder &base = pb.cls("A");
+            {
+                MethodBuilder &m = base.virtualMethod("f", {}, VType::Int);
+                m.iconst(1).ireturn();
+            }
+            ClassBuilder &derived = pb.cls("B", "A");
+            {
+                MethodBuilder &m =
+                    derived.virtualMethod("f", {}, VType::Int);
+                m.iconst(2).ireturn();
+            }
+            ClassBuilder &t = pb.cls("T");
+            MethodBuilder &m =
+                t.staticMethod("main", {VType::Int}, VType::Int);
+            m.locals(3);
+            m.newObject("A").astore(1);
+            m.newObject("B").astore(2);
+            m.aload(1).invokeVirtual("A.f")
+                .aload(2).invokeVirtual("A.f").iconst(10).imul()
+                .iadd().ireturn();
+        });
+    };
+    const RunResult r = runInlined(build(), 0);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, 21);
+    EXPECT_EQ(r.callsDevirtualized, 0u);  // two implementations
+}
+
+TEST(Inlining, NullReceiverStillThrows)
+{
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &box = pb.cls("Box");
+        box.field("v");
+        {
+            MethodBuilder &m = box.virtualMethod("get", {}, VType::Int);
+            m.aload(0).getFieldI("Box.v").ireturn();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.aconstNull().astore(1);
+        m.bind(ts);
+        m.aload(1).invokeVirtual("Box.get");
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-5).ireturn();
+        m.addHandler(ts, te, h);
+    });
+    const RunResult r = runInlined(prog, 0);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, -5);
+}
+
+TEST(Inlining, RecursiveAndBranchyCalleesAreNotInlined)
+{
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            // branchy: not eligible
+            MethodBuilder &m =
+                t.staticMethod("abs", {VType::Int}, VType::Int);
+            Label neg = m.newLabel();
+            m.iload(0).iflt(neg);
+            m.iload(0).ireturn();
+            m.bind(neg);
+            m.iload(0).ineg().ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iload(0).invokeStatic("T.abs").ireturn();
+    });
+    const RunResult r = runInlined(prog, -9);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, 9);
+    EXPECT_EQ(r.callsInlined, 0u);
+}
+
+class InliningWorkloads
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(InliningWorkloads, ChecksumsUnchanged)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    const Program p1 = w->build();
+    const std::int32_t plain =
+        test::runProgram(p1, w->tinyArg,
+                         std::make_shared<AlwaysCompilePolicy>())
+            .exitValue;
+    const RunResult inlined = runInlined(w->build(), w->tinyArg);
+    ASSERT_TRUE(inlined.completed);
+    EXPECT_EQ(inlined.exitValue, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, InliningWorkloads,
+    ::testing::Values("compress", "jess", "db", "javac", "mpeg",
+                      "mtrt", "jack", "hello"),
+    [](const auto &info) { return std::string(info.param); });
+
+class FoldingWorkloads
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(FoldingWorkloads, InterpreterFoldingPreservesSemantics)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    const Program p1 = w->build();
+    const RunResult plain = test::runProgram(
+        p1, w->tinyArg, std::make_shared<NeverCompilePolicy>());
+    const Program p2 = w->build();
+    EngineConfig cfg;
+    cfg.policy = std::make_shared<NeverCompilePolicy>();
+    cfg.interpreterFolding = true;
+    ExecutionEngine engine(p2, cfg);
+    const RunResult folded = engine.run(w->tinyArg);
+    ASSERT_TRUE(folded.completed);
+    EXPECT_EQ(folded.exitValue, plain.exitValue);
+    EXPECT_GT(folded.dispatchesFolded, 0u);
+    EXPECT_LT(folded.totalEvents, plain.totalEvents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, FoldingWorkloads,
+    ::testing::Values("compress", "jess", "db", "javac", "mpeg",
+                      "mtrt", "jack", "hello"),
+    [](const auto &info) { return std::string(info.param); });
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "support/random.h"
+#include "vm/jit/code_cache.h"
+#include "vm/jit/native_inst.h"
+#include "vm/jit/translator.h"
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+/** Translate one method of a program without running it. */
+struct TranslationHarness {
+    explicit TranslationHarness(const Program &prog)
+        : heap(1 << 20), registry(prog, heap), emitter(nullptr),
+          translator(registry, cache, emitter)
+    {
+    }
+
+    Heap heap;
+    ClassRegistry registry;
+    TraceEmitter emitter;
+    CodeCache cache;
+    Translator translator;
+};
+
+TEST(CodeCache, AssignsDisjointAlignedAddresses)
+{
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m = t.staticMethod("f", {}, VType::Int);
+            m.iconst(1).ireturn();
+        }
+        {
+            MethodBuilder &m = t.staticMethod("g", {}, VType::Int);
+            m.iconst(2).ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(0).ireturn();
+    });
+    TranslationHarness h(prog);
+    const NativeMethod *f =
+        h.translator.translate(prog.findMethod("T.f")->id);
+    const NativeMethod *g =
+        h.translator.translate(prog.findMethod("T.g")->id);
+    ASSERT_NE(f, nullptr);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(f->codeBase % 64, 0u);
+    EXPECT_EQ(g->codeBase % 64, 0u);
+    EXPECT_GE(g->codeBase, f->codeBase + f->codeBytes());
+    EXPECT_EQ(h.cache.numMethods(), 2u);
+    EXPECT_EQ(h.cache.lookup(f->id), f);
+    EXPECT_EQ(h.cache.lookup(9999), nullptr);
+}
+
+TEST(CodeCache, DoubleInstallThrows)
+{
+    const Program prog = test::makeProgram(
+        [](MethodBuilder &m) { m.iconst(0).ireturn(); });
+    TranslationHarness h(prog);
+    ASSERT_NE(h.translator.translate(0), nullptr);
+    EXPECT_THROW(h.translator.translate(0), VmError);
+}
+
+TEST(Translator, RefusesTooManyArgs)
+{
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            std::vector<VType> args(12, VType::Int);
+            MethodBuilder &m = t.staticMethod("wide", args, VType::Int);
+            m.iload(0).ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(0).ireturn();
+    });
+    TranslationHarness h(prog);
+    EXPECT_EQ(h.translator.translate(prog.findMethod("T.wide")->id),
+              nullptr);
+}
+
+TEST(Translator, EliminatesStackShuffling)
+{
+    // iload/istore pairs become register moves: far fewer native
+    // instructions than bytecodes * interpretation cost.
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.locals(3);
+        m.iload(0).istore(1);
+        m.iload(1).istore(2);
+        m.iload(2).ireturn();
+    });
+    TranslationHarness h(prog);
+    const NativeMethod *nm = h.translator.translate(prog.entry);
+    ASSERT_NE(nm, nullptr);
+    // prologue (1 arg move) + 3 pairs of moves + return move + ret +
+    // guard: small.
+    EXPECT_LE(nm->code.size(), 12u);
+    for (const NativeInst &inst : nm->code) {
+        EXPECT_NE(inst.op, NOp::Ld);
+        EXPECT_NE(inst.op, NOp::St);
+    }
+}
+
+TEST(Translator, BranchTargetsPatchedToNativeIndices)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.locals(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(0).ifle(done);
+        m.iinc(0, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iconst(0).ireturn();
+    });
+    TranslationHarness h(prog);
+    const NativeMethod *nm = h.translator.translate(prog.entry);
+    ASSERT_NE(nm, nullptr);
+    for (const NativeInst &inst : nm->code) {
+        if (inst.op == NOp::Br || inst.op == NOp::Jmp) {
+            EXPECT_GE(inst.imm, 0);
+            EXPECT_LT(static_cast<std::size_t>(inst.imm),
+                      nm->code.size());
+        }
+    }
+}
+
+TEST(Translator, SynchronizedAndHandlersCarriedOver)
+{
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.iconst(10).iload(0).idiv();
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-1).ireturn();
+        m.addHandler(ts, te, h);
+    });
+    TranslationHarness h(prog);
+    const NativeMethod *nm = h.translator.translate(prog.entry);
+    ASSERT_NE(nm, nullptr);
+    ASSERT_EQ(nm->handlers.size(), 1u);
+    EXPECT_LT(nm->handlers[0].startIdx, nm->handlers[0].endIdx);
+    EXPECT_LT(nm->handlers[0].handlerIdx, nm->code.size());
+}
+
+TEST(Translator, CountsWork)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.iconst(1).iconst(2).iadd().ireturn();
+    });
+    TranslationHarness h(prog);
+    h.translator.translate(prog.entry);
+    EXPECT_EQ(h.translator.methodsTranslated(), 1u);
+    EXPECT_EQ(h.translator.bytecodesTranslated(), 4u);
+    EXPECT_GT(h.translator.peakWorkingBytes(), 0u);
+}
+
+TEST(Translator, TableSwitchBecomesJumpTable)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        Label a = m.newLabel(), b = m.newLabel(), d = m.newLabel();
+        m.iload(0);
+        m.tableSwitch(0, {a, b}, d);
+        m.bind(a);
+        m.iconst(1).ireturn();
+        m.bind(b);
+        m.iconst(2).ireturn();
+        m.bind(d);
+        m.iconst(3).ireturn();
+    });
+    TranslationHarness h(prog);
+    const NativeMethod *nm = h.translator.translate(prog.entry);
+    ASSERT_NE(nm, nullptr);
+    ASSERT_EQ(nm->jumpTables.size(), 1u);
+    EXPECT_EQ(nm->jumpTables[0].size(), 2u);
+    for (std::uint32_t target : nm->jumpTables[0])
+        EXPECT_LT(target, nm->code.size());
+}
+
+// ----------------------------------------------------------------
+// Randomized differential testing: generated straight-line + looping
+// integer programs must agree between interpreter and JIT.
+// ----------------------------------------------------------------
+
+class DifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzz, RandomIntProgramsAgree)
+{
+    XorShift64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    // Pre-generate the op plan so both builds produce the same code.
+    struct OpPlan {
+        std::uint8_t a, b, dst;
+        std::uint64_t kind;
+    };
+    std::vector<OpPlan> plan;
+    for (int i = 0; i < 12; ++i) {
+        plan.push_back(
+            {static_cast<std::uint8_t>(1 + rng.nextBounded(3)),
+             static_cast<std::uint8_t>(1 + rng.nextBounded(3)),
+             static_cast<std::uint8_t>(1 + rng.nextBounded(3)),
+             rng.nextBounded(8)});
+    }
+    auto fill = [&plan](MethodBuilder &m) {
+        m.locals(6);
+        // Seed the locals from the argument.
+        m.iload(0).istore(1);
+        m.iload(0).iconst(17).imul().iconst(3).iadd().istore(2);
+        m.iload(0).iconst(5).irem().istore(3);
+        // A bounded loop applying random ALU ops to locals.
+        m.iconst(12).istore(4);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(4).ifle(done);
+        for (const OpPlan &op : plan) {
+            m.iload(op.a).iload(op.b);
+            switch (op.kind) {
+              case 0: m.iadd(); break;
+              case 1: m.isub(); break;
+              case 2: m.imul(); break;
+              case 3: m.iand(); break;
+              case 4: m.ior(); break;
+              case 5: m.ixor(); break;
+              case 6: m.ishl(); break;
+              default: m.iushr(); break;
+            }
+            m.istore(op.dst);
+        }
+        m.iinc(4, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(1).iload(2).iadd().iload(3).ixor().ireturn();
+    };
+    for (std::int32_t arg : {0, 1, -1, 123456, -987654}) {
+        const std::int32_t i = test::interpret(fill, arg);
+        const std::int32_t j = test::jitRun(fill, arg);
+        EXPECT_EQ(i, j) << "seed=" << GetParam() << " arg=" << arg;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range(0, 20));
+
+class ArrayFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArrayFuzz, RandomArrayProgramsAgree)
+{
+    XorShift64 rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+    const int n_ops = 20;
+    std::vector<std::pair<int, int>> ops;  // (slot index, value)
+    for (int i = 0; i < n_ops; ++i) {
+        ops.emplace_back(static_cast<int>(rng.nextBounded(16)),
+                         static_cast<int>(rng.nextBounded(1000)));
+    }
+    auto fill = [&ops](MethodBuilder &m) {
+        m.locals(3);
+        m.iconst(16).newArray(ArrayKind::Int).astore(1);
+        for (const auto &[idx, val] : ops) {
+            // a[idx] = a[(idx+3) % 16] * 3 + val
+            m.aload(1).iconst(idx);
+            m.aload(1).iconst((idx + 3) % 16).iaload();
+            m.iconst(3).imul().iconst(val).iadd();
+            m.iastore();
+        }
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.iconst(0).istore(0);
+        m.bind(loop);
+        m.iload(0).iconst(16).ifIcmpge(done);
+        m.iload(2).iconst(31).imul()
+            .aload(1).iload(0).iaload().iadd().istore(2);
+        m.iinc(0, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iload(2).ireturn();
+    };
+    EXPECT_EQ(test::interpret(fill, 0), test::jitRun(fill, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrayFuzz, ::testing::Range(0, 10));
+
+TEST(NativeInst, RenderingIsReadable)
+{
+    NativeInst i;
+    i.op = NOp::Add;
+    i.rd = 1;
+    i.rs1 = 2;
+    i.rs2 = 3;
+    const std::string s = renderNativeInst(i);
+    EXPECT_NE(s.find("add"), std::string::npos);
+    EXPECT_NE(s.find("r1"), std::string::npos);
+    EXPECT_STREQ(nopName(NOp::CallVirtual), "callv");
+}
+
+} // namespace
+} // namespace jrs

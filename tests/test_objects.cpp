@@ -1,0 +1,489 @@
+/**
+ * Objects, fields, statics, method calls (static / special / virtual
+ * dispatch incl. overriding), exceptions and guest threads. All
+ * scenarios execute under interpreter and JIT and must agree.
+ */
+#include <gtest/gtest.h>
+
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+std::int32_t
+runBoth(const std::function<void(ProgramBuilder &)> &fill,
+        std::int32_t arg = 0)
+{
+    const Program p1 = test::makeProgramFull(fill);
+    const RunResult a = test::runProgram(
+        p1, arg, std::make_shared<NeverCompilePolicy>());
+    EXPECT_TRUE(a.completed)
+        << (a.uncaughtException ? a.uncaughtException : "?");
+    const Program p2 = test::makeProgramFull(fill);
+    const RunResult b = test::runProgram(
+        p2, arg, std::make_shared<AlwaysCompilePolicy>());
+    EXPECT_TRUE(b.completed)
+        << (b.uncaughtException ? b.uncaughtException : "?");
+    EXPECT_EQ(a.exitValue, b.exitValue) << "interp/JIT divergence";
+    return a.exitValue;
+}
+
+TEST(Objects, FieldsReadWrite)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &p = pb.cls("Point");
+        p.field("x");
+        p.field("y");
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        m.newObject("Point").astore(1);
+        m.aload(1).iconst(11).putFieldI("Point.x");
+        m.aload(1).iconst(31).putFieldI("Point.y");
+        m.aload(1).getFieldI("Point.x")
+            .aload(1).getFieldI("Point.y").iadd().ireturn();
+    }), 42);
+}
+
+TEST(Objects, FloatAndRefFields)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &n = pb.cls("Node");
+        n.field("w");
+        n.field("next");
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(3);
+        m.newObject("Node").astore(1);
+        m.newObject("Node").astore(2);
+        m.aload(1).fconst(2.5f).putFieldF("Node.w");
+        m.aload(2).fconst(1.5f).putFieldF("Node.w");
+        m.aload(1).aload(2).putFieldA("Node.next");
+        // n1.w + n1.next.w = 4.0
+        m.aload(1).getFieldF("Node.w")
+            .aload(1).getFieldA("Node.next").getFieldF("Node.w")
+            .fadd().f2i().ireturn();
+    }), 4);
+}
+
+TEST(Objects, InheritedFieldsShareLayout)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &base = pb.cls("Base");
+        base.field("a");
+        ClassBuilder &derived = pb.cls("Derived", "Base");
+        derived.field("b");
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        m.newObject("Derived").astore(1);
+        m.aload(1).iconst(5).putFieldI("Base.a");
+        m.aload(1).iconst(7).putFieldI("Derived.b");
+        m.aload(1).getFieldI("Derived.a")  // inherited slot via Derived
+            .aload(1).getFieldI("Derived.b").imul().ireturn();
+    }), 35);
+}
+
+TEST(Statics, AllTypes)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        pb.staticSlot("si", VType::Int);
+        pb.staticSlot("sf", VType::Float);
+        pb.staticSlot("sa", VType::Ref);
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iconst(40).putStaticI("si");
+        m.fconst(1.5f).putStaticF("sf");
+        m.iconst(3).newArray(ArrayKind::Int).putStaticA("sa");
+        m.getStaticA("sa").iconst(0).iconst(100).iastore();
+        m.getStaticI("si")
+            .getStaticF("sf").fconst(2.0f).fmul().f2i().iadd()
+            .getStaticA("sa").iconst(0).iaload().iadd()
+            .ireturn();
+    }), 143);
+}
+
+TEST(Calls, StaticCallChain)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m = t.staticMethod(
+                "twice", {VType::Int}, VType::Int);
+            m.iload(0).iconst(2).imul().ireturn();
+        }
+        {
+            MethodBuilder &m = t.staticMethod(
+                "addSq", {VType::Int, VType::Int}, VType::Int);
+            m.iload(0).iload(0).imul()
+                .iload(1).iload(1).imul().iadd().ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iload(0).invokeStatic("T.twice")
+            .iconst(3).invokeStatic("T.addSq").ireturn();
+    }, 2), 25);
+}
+
+TEST(Calls, RecursionFactorial)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("fact", {VType::Int}, VType::Int);
+            Label base = m.newLabel();
+            m.iload(0).iconst(1).ifIcmple(base);
+            m.iload(0)
+                .iload(0).iconst(1).isub().invokeStatic("T.fact")
+                .imul().ireturn();
+            m.bind(base);
+            m.iconst(1).ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iload(0).invokeStatic("T.fact").ireturn();
+    }, 10), 3628800);
+}
+
+TEST(Calls, MutualRecursion)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("isEven", {VType::Int}, VType::Int);
+            Label z = m.newLabel();
+            m.iload(0).ifeq(z);
+            m.iload(0).iconst(1).isub().invokeStatic("T.isOdd")
+                .ireturn();
+            m.bind(z);
+            m.iconst(1).ireturn();
+        }
+        {
+            MethodBuilder &m =
+                t.staticMethod("isOdd", {VType::Int}, VType::Int);
+            Label z = m.newLabel();
+            m.iload(0).ifeq(z);
+            m.iload(0).iconst(1).isub().invokeStatic("T.isEven")
+                .ireturn();
+            m.bind(z);
+            m.iconst(0).ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.iload(0).invokeStatic("T.isEven").ireturn();
+    }, 17), 0);
+}
+
+TEST(Calls, VirtualDispatchPicksOverride)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &animal = pb.cls("Animal");
+        {
+            MethodBuilder &m =
+                animal.virtualMethod("noise", {}, VType::Int);
+            m.iconst(1).ireturn();
+        }
+        ClassBuilder &dog = pb.cls("Dog", "Animal");
+        {
+            MethodBuilder &m =
+                dog.virtualMethod("noise", {}, VType::Int);
+            m.iconst(2).ireturn();
+        }
+        ClassBuilder &puppy = pb.cls("Puppy", "Dog");
+        {
+            MethodBuilder &m =
+                puppy.virtualMethod("noise", {}, VType::Int);
+            m.iconst(3).ireturn();
+        }
+        ClassBuilder &cat = pb.cls("Cat", "Animal");  // inherits noise
+        (void)cat;
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        // animal + dog*10 + puppy*100 + cat*1000
+        m.newObject("Animal").invokeVirtual("Animal.noise");
+        m.newObject("Dog").invokeVirtual("Animal.noise")
+            .iconst(10).imul().iadd();
+        m.newObject("Puppy").invokeVirtual("Animal.noise")
+            .iconst(100).imul().iadd();
+        m.newObject("Cat").invokeVirtual("Animal.noise")
+            .iconst(1000).imul().iadd();
+        m.ireturn();
+    }), 1 + 20 + 300 + 1000);
+}
+
+TEST(Calls, VirtualWithArgsAndFields)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &acc = pb.cls("Acc");
+        acc.field("total");
+        {
+            MethodBuilder &m =
+                acc.virtualMethod("bump", {VType::Int}, VType::Int);
+            m.aload(0)
+                .aload(0).getFieldI("Acc.total").iload(1).iadd()
+                .putFieldI("Acc.total");
+            m.aload(0).getFieldI("Acc.total").ireturn();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        m.newObject("Acc").astore(1);
+        m.aload(1).iconst(5).invokeVirtual("Acc.bump").pop();
+        m.aload(1).iconst(7).invokeVirtual("Acc.bump").ireturn();
+    }), 12);
+}
+
+TEST(Calls, SpecialConstructorPattern)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &box = pb.cls("Box");
+        box.field("v");
+        {
+            MethodBuilder &m =
+                box.specialMethod("init", {VType::Int}, VType::Void);
+            m.aload(0).iload(1).iconst(1).iadd().putFieldI("Box.v");
+            m.returnVoid();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.newObject("Box").dup().iload(0).invokeSpecial("Box.init")
+            .getFieldI("Box.v").ireturn();
+    }, 41), 42);
+}
+
+TEST(Exceptions, BuiltinNullPointerCaught)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.aconstNull().getFieldI("T.dummy_unused_field_0");
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-42).ireturn();
+        m.addHandler(ts, te, h);
+        t.field("dummy_unused_field_0");
+    }), -42);
+}
+
+TEST(Exceptions, BoundsCaught)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.iconst(4).newArray(ArrayKind::Int).astore(1);
+        m.bind(ts);
+        m.aload(1).iload(0).iaload();
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-1).ireturn();
+        m.addHandler(ts, te, h);
+    }, 9), -1);
+}
+
+TEST(Exceptions, DivideByZeroCaught)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.iconst(10).iload(0).idiv();
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-7).ireturn();
+        m.addHandler(ts, te, h);
+    }, 0), -7);
+}
+
+TEST(Exceptions, UserThrowCaughtByType)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &exa = pb.cls("ExA");
+        exa.field("code");
+        ClassBuilder &exb = pb.cls("ExB", "ExA");
+        (void)exb;
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        Label ts = m.newLabel(), te = m.newLabel();
+        Label h = m.newLabel();
+        m.bind(ts);
+        // throw ExB (subclass), catch as ExA
+        m.newObject("ExB").dup().iconst(17).putFieldI("ExA.code");
+        m.athrow();
+        m.bind(te);
+        m.iconst(0).ireturn();
+        m.bind(h);
+        m.astore(1);
+        m.aload(1).getFieldI("ExA.code").ireturn();
+        m.addHandler(ts, te, h, "ExA");
+    }), 17);
+}
+
+TEST(Exceptions, WrongTypeNotCaughtLocally)
+{
+    // Handler for ExB must not catch ExA; uncaught -> thread dies.
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &exa = pb.cls("ExA");
+        (void)exa;
+        ClassBuilder &exb = pb.cls("ExB", "ExA");
+        (void)exb;
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.newObject("ExA").athrow();
+        m.bind(te);
+        m.iconst(0).ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(1).ireturn();
+        m.addHandler(ts, te, h, "ExB");
+    });
+    const RunResult r = test::runProgram(prog, 0);
+    EXPECT_FALSE(r.completed);
+    EXPECT_NE(r.uncaughtException, nullptr);
+}
+
+TEST(Exceptions, PropagateAcrossFrames)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &ex = pb.cls("Ex");
+        (void)ex;
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("thrower", {VType::Int}, VType::Int);
+            Label no = m.newLabel();
+            m.iload(0).ifle(no);
+            m.newObject("Ex").athrow();
+            m.bind(no);
+            m.iconst(5).ireturn();
+        }
+        {
+            MethodBuilder &m =
+                t.staticMethod("middle", {VType::Int}, VType::Int);
+            m.iload(0).invokeStatic("T.thrower").iconst(1).iadd()
+                .ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.iload(0).invokeStatic("T.middle");
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(-9).ireturn();
+        m.addHandler(ts, te, h, "Ex");
+    }, 1), -9);
+}
+
+TEST(Exceptions, StackOverflowIsCatchable)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("infinite", {VType::Int}, VType::Int);
+            m.locals(12);  // fat frames to hit the limit quickly
+            m.iload(0).iconst(1).iadd().invokeStatic("T.infinite")
+                .ireturn();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.iconst(0).invokeStatic("T.infinite");
+        m.bind(te);
+        m.ireturn();
+        m.bind(h);
+        m.pop();
+        m.iconst(123).ireturn();
+        m.addHandler(ts, te, h);
+    }), 123);
+}
+
+TEST(Threads, SpawnAndJoin)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        pb.staticSlot("acc", VType::Int);
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("worker", {VType::Int}, VType::Void);
+            m.locals(2);
+            // acc += arg * 1000 (each worker writes a distinct digit
+            // range; both run to completion before join returns)
+            m.getStaticI("acc")
+                .iload(0).iconst(1000).imul().iadd()
+                .putStaticI("acc");
+            m.returnVoid();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(3);
+        m.iconst(1).spawnThread("T.worker").istore(1);
+        m.iconst(2).spawnThread("T.worker").istore(2);
+        m.iload(1).joinThread();
+        m.iload(2).joinThread();
+        m.getStaticI("acc").ireturn();
+    }), 3000);
+}
+
+TEST(Threads, JoinAlreadyDoneThread)
+{
+    EXPECT_EQ(runBoth([](ProgramBuilder &pb) {
+        pb.staticSlot("flag", VType::Int);
+        ClassBuilder &t = pb.cls("T");
+        {
+            MethodBuilder &m =
+                t.staticMethod("worker", {VType::Int}, VType::Void);
+            m.iload(0).putStaticI("flag");
+            m.returnVoid();
+        }
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(3);
+        m.iconst(77).spawnThread("T.worker").istore(1);
+        // Busy loop long enough for the worker to finish first.
+        m.iconst(5000).istore(2);
+        Label spin = m.newLabel(), go = m.newLabel();
+        m.bind(spin);
+        m.iload(2).ifle(go);
+        m.iinc(2, -1);
+        m.gotoL(spin);
+        m.bind(go);
+        m.iload(1).joinThread();
+        m.getStaticI("flag").ireturn();
+    }), 77);
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "arch/pipeline/pipeline.h"
+#include "support/random.h"
+
+namespace jrs {
+namespace {
+
+TraceEvent
+alu(std::uint64_t pc, Reg rd = kNoReg, Reg rs1 = kNoReg,
+    Reg rs2 = kNoReg)
+{
+    TraceEvent ev;
+    ev.pc = pc;
+    ev.kind = NKind::IntAlu;
+    ev.rd = rd;
+    ev.rs1 = rs1;
+    ev.rs2 = rs2;
+    return ev;
+}
+
+TEST(Pipeline, IpcNeverExceedsWidth)
+{
+    for (std::uint32_t width : {1u, 2u, 4u, 8u}) {
+        PipelineConfig cfg;
+        cfg.issueWidth = width;
+        PipelineSim sim(cfg);
+        for (int i = 0; i < 20000; ++i)
+            sim.onEvent(alu(0x1000 + (i % 64) * 4, 1));
+        EXPECT_LE(sim.ipc(), static_cast<double>(width) + 1e-9);
+        EXPECT_GT(sim.ipc(), 0.0);
+    }
+}
+
+TEST(Pipeline, IndependentStreamScalesWithWidth)
+{
+    auto run = [](std::uint32_t width) {
+        PipelineConfig cfg;
+        cfg.issueWidth = width;
+        PipelineSim sim(cfg);
+        // Independent single-cycle ops on rotating destinations.
+        for (int i = 0; i < 50000; ++i) {
+            sim.onEvent(alu(0x1000 + (i % 16) * 4,
+                            static_cast<Reg>(1 + (i % 8))));
+        }
+        return sim.ipc();
+    };
+    const double w1 = run(1);
+    const double w4 = run(4);
+    EXPECT_GT(w4, 1.8 * w1);
+}
+
+TEST(Pipeline, DependenceChainSerializes)
+{
+    PipelineConfig cfg;
+    cfg.issueWidth = 8;
+    PipelineSim sim(cfg);
+    // Every op reads the previous op's destination.
+    for (int i = 0; i < 20000; ++i)
+        sim.onEvent(alu(0x1000 + (i % 16) * 4, 1, 1));
+    EXPECT_LT(sim.ipc(), 1.3);
+}
+
+TEST(Pipeline, MispredictsCostCycles)
+{
+    auto run = [](bool predictable) {
+        PipelineConfig cfg;
+        cfg.issueWidth = 4;
+        PipelineSim sim(cfg);
+        XorShift64 rng(31337);
+        for (int i = 0; i < 40000; ++i) {
+            sim.onEvent(alu(0x1000, 1));
+            TraceEvent br;
+            br.pc = 0x1004;
+            br.kind = NKind::Branch;
+            br.target = 0x1000;
+            // predictable: always taken; else genuinely random
+            br.taken = predictable || (rng.next() & 1) != 0;
+            sim.onEvent(br);
+        }
+        return sim.ipc();
+    };
+    EXPECT_GT(run(true), 1.3 * run(false));
+}
+
+TEST(Pipeline, IndirectJumpWithRotatingTargetsHurts)
+{
+    auto run = [](int num_targets) {
+        PipelineConfig cfg;
+        cfg.issueWidth = 4;
+        PipelineSim sim(cfg);
+        for (int i = 0; i < 40000; ++i) {
+            sim.onEvent(alu(0x2000, 1));
+            sim.onEvent(alu(0x2004, 2));
+            TraceEvent ij;
+            ij.pc = 0x2008;
+            ij.kind = NKind::IndirectJump;
+            ij.target = 0x3000 + (i % num_targets) * 0x40;
+            sim.onEvent(ij);
+        }
+        return sim.ipc();
+    };
+    EXPECT_GT(run(1), 1.4 * run(23));
+}
+
+TEST(Pipeline, CacheMissLatencyReducesIpc)
+{
+    auto run = [](bool thrash) {
+        PipelineConfig cfg;
+        cfg.issueWidth = 4;
+        cfg.dcache = {1024, 32, 1, true};
+        PipelineSim sim(cfg);
+        for (int i = 0; i < 40000; ++i) {
+            TraceEvent ld;
+            ld.pc = 0x1000 + (i % 8) * 4;
+            ld.kind = NKind::Load;
+            ld.rd = 1;
+            // thrash: streaming addresses; else one hot line
+            ld.mem = thrash ? 0x10000 + i * 64 : 0x10000;
+            sim.onEvent(ld);
+            sim.onEvent(alu(0x1000 + (i % 8) * 4 + 4, 2, 1));
+        }
+        return sim.ipc();
+    };
+    EXPECT_GT(run(false), 1.5 * run(true));
+}
+
+TEST(Pipeline, StoreToLoadDependence)
+{
+    PipelineConfig cfg;
+    cfg.issueWidth = 8;
+    PipelineSim sim(cfg);
+    // Alternating store/load to the same address forms a memory chain.
+    for (int i = 0; i < 10000; ++i) {
+        TraceEvent st;
+        st.pc = 0x1000;
+        st.kind = NKind::Store;
+        st.mem = 0x8000;
+        st.rs1 = 1;
+        sim.onEvent(st);
+        TraceEvent ld;
+        ld.pc = 0x1004;
+        ld.kind = NKind::Load;
+        ld.mem = 0x8000;
+        ld.rd = 1;
+        sim.onEvent(ld);
+    }
+    EXPECT_LT(sim.ipc(), 2.0);
+}
+
+TEST(Pipeline, CountsInstructionsAndMispredicts)
+{
+    PipelineSim sim(PipelineConfig{});
+    for (int i = 0; i < 100; ++i)
+        sim.onEvent(alu(0x1000));
+    EXPECT_EQ(sim.instructions(), 100u);
+    EXPECT_GT(sim.cycles(), 0u);
+    EXPECT_EQ(sim.mispredicts(), 0u);
+}
+
+TEST(Pipeline, LongLatencyOpsThrottle)
+{
+    auto run = [](NKind kind) {
+        PipelineConfig cfg;
+        cfg.issueWidth = 4;
+        PipelineSim sim(cfg);
+        for (int i = 0; i < 20000; ++i) {
+            TraceEvent ev = alu(0x1000 + (i % 8) * 4, 1, 1);
+            ev.kind = kind;  // dependent chain of this kind
+            sim.onEvent(ev);
+        }
+        return sim.ipc();
+    };
+    EXPECT_GT(run(NKind::IntAlu), 2.0 * run(NKind::IntDiv));
+}
+
+} // namespace
+} // namespace jrs

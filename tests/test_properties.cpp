@@ -1,0 +1,208 @@
+/**
+ * Cross-module property tests: invariants that must hold for any
+ * workload and configuration rather than specific scenarios.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/cache/cache.h"
+#include "arch/mix/instruction_mix.h"
+#include "harness/experiment.h"
+#include "support/random.h"
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+class PerWorkload : public ::testing::TestWithParam<const char *> {
+  protected:
+    const WorkloadInfo *w() {
+        const WorkloadInfo *info = findWorkload(GetParam());
+        EXPECT_NE(info, nullptr);
+        return info;
+    }
+};
+
+TEST_P(PerWorkload, OracleNeverBeatenByBothPureModes)
+{
+    // The oracle optimizes total instructions given per-method
+    // decisions; it must be at least as good as the better pure mode
+    // (it can replicate either by compiling all or nothing).
+    const OracleOutcome o = runOracleExperiment(*w(), w()->tinyArg);
+    EXPECT_LE(o.oracleRun.totalEvents,
+              std::min(o.interpRun.totalEvents, o.jitRun.totalEvents)
+                  + o.interpRun.totalEvents / 50);
+}
+
+TEST_P(PerWorkload, PhaseCountsPartitionTotal)
+{
+    RunSpec s;
+    s.workload = w();
+    s.arg = w()->tinyArg;
+    s.policy = std::make_shared<CounterPolicy>(2);
+    const RunResult r = runWorkload(s);
+    std::uint64_t sum = 0;
+    for (std::size_t p = 0; p < kNumPhases; ++p)
+        sum += r.phaseEvents[p];
+    EXPECT_EQ(sum, r.totalEvents);
+}
+
+TEST_P(PerWorkload, ProfileInvocationsConserved)
+{
+    RunSpec s;
+    s.workload = w();
+    s.arg = w()->tinyArg;
+    s.policy = std::make_shared<CounterPolicy>(3);
+    const RunResult r = runWorkload(s);
+    for (const MethodProfile &p : r.profiles.all()) {
+        EXPECT_EQ(p.invocations,
+                  p.interpInvocations + p.nativeInvocations);
+    }
+}
+
+TEST_P(PerWorkload, LockEntersEqualExits)
+{
+    RunSpec s;
+    s.workload = w();
+    s.arg = w()->tinyArg;
+    const RunResult r = runWorkload(s);
+    EXPECT_EQ(r.lockStats.enterOps, r.lockStats.exitOps);
+    // Every successful enter was classified.
+    EXPECT_GE(r.lockStats.totalAccesses(), r.lockStats.enterOps);
+}
+
+TEST_P(PerWorkload, MemoryAccountingIsMonotone)
+{
+    const ModePair mp = runBothModes(*w(), w()->tinyArg, nullptr,
+                                     nullptr);
+    EXPECT_GT(mp.jit.memory.jitTotal(),
+              mp.jit.memory.interpreterTotal());
+    EXPECT_EQ(mp.interp.memory.codeCacheBytes, 0u);
+    EXPECT_GT(mp.jit.memory.codeCacheBytes, 0u);
+    // Heap usage is execution-mode independent (same allocations).
+    EXPECT_EQ(mp.interp.memory.heapBytes, mp.jit.memory.heapBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PerWorkload,
+    ::testing::Values("compress", "jess", "db", "javac", "mpeg",
+                      "mtrt", "jack", "hello"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(CacheProperty, LargerCacheNeverMissesMoreFullyAssociative)
+{
+    // With full associativity and LRU, a larger cache's contents are a
+    // superset of a smaller one's (stack inclusion): misses can only
+    // go down.
+    Cache small({1024, 32, 32, true});   // fully assoc: 32 lines
+    Cache large({4096, 32, 128, true});  // fully assoc: 128 lines
+    XorShift64 rng(1234);
+    std::uint64_t small_miss = 0, large_miss = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t addr = (rng.next() >> 40) & 0x7fff;
+        if (!small.access(addr, false, Phase::Interpret))
+            ++small_miss;
+        if (!large.access(addr, false, Phase::Interpret))
+            ++large_miss;
+    }
+    EXPECT_LE(large_miss, small_miss);
+}
+
+TEST(CacheProperty, MissesBoundedByAccessesAndCompulsory)
+{
+    Cache c({8192, 32, 2, true});
+    XorShift64 rng(777);
+    std::set<std::uint64_t> lines;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t addr = (rng.next() >> 44) & 0xffff;
+        lines.insert(addr >> 5);
+        c.access(addr, (rng.next() & 1) != 0, Phase::Interpret);
+    }
+    EXPECT_LE(c.stats().misses(), c.stats().accesses());
+    // At least one miss per distinct line (compulsory lower bound).
+    EXPECT_GE(c.stats().misses(), lines.size());
+}
+
+TEST(EngineProperty, EventStreamIsIdenticalAcrossSinkSets)
+{
+    // Attaching observers must not perturb execution: the event count
+    // seen by one sink equals the count with many sinks attached.
+    const WorkloadInfo *w = findWorkload("db");
+    CountingSink alone;
+    {
+        RunSpec s;
+        s.workload = w;
+        s.arg = w->tinyArg;
+        s.sink = &alone;
+        (void)runWorkload(s);
+    }
+    CountingSink a;
+    InstructionMix b;
+    CacheSink c({4096, 32, 1, true}, {4096, 32, 1, true});
+    MultiSink multi;
+    multi.add(&a);
+    multi.add(&b);
+    multi.add(&c);
+    {
+        RunSpec s;
+        s.workload = w;
+        s.arg = w->tinyArg;
+        s.sink = &multi;
+        (void)runWorkload(s);
+    }
+    EXPECT_EQ(alone.total(), a.total());
+    EXPECT_EQ(alone.total(), b.total());
+}
+
+TEST(EngineProperty, QuantumDoesNotChangeSingleThreadedResults)
+{
+    const WorkloadInfo *w = findWorkload("javac");
+    std::int32_t first = 0;
+    std::uint64_t first_events = 0;
+    for (std::uint64_t quantum : {7u, 100u, 100000u}) {
+        const Program prog = w->build();
+        EngineConfig cfg;
+        cfg.policy = std::make_shared<AlwaysCompilePolicy>();
+        cfg.quantum = quantum;
+        ExecutionEngine engine(prog, cfg);
+        const RunResult r = engine.run(w->tinyArg);
+        ASSERT_TRUE(r.completed);
+        if (first_events == 0) {
+            first = r.exitValue;
+            first_events = r.totalEvents;
+        } else {
+            EXPECT_EQ(r.exitValue, first);
+            EXPECT_EQ(r.totalEvents, first_events);
+        }
+    }
+}
+
+TEST(EngineProperty, FoldingOnlyRemovesDispatchWork)
+{
+    // Folding must not change WHAT executes, only dispatch overhead:
+    // loads/stores to the heap are identical.
+    const WorkloadInfo *w = findWorkload("compress");
+    auto heap_traffic = [&](bool folding) {
+        class HeapCounter : public TraceSink {
+          public:
+            void onEvent(const TraceEvent &ev) override {
+                if (isMemory(ev.kind) && inSegment(ev.mem, seg::kHeap))
+                    ++count_;
+            }
+            std::uint64_t count_ = 0;
+        } counter;
+        const Program prog = w->build();
+        EngineConfig cfg;
+        cfg.policy = std::make_shared<NeverCompilePolicy>();
+        cfg.interpreterFolding = folding;
+        cfg.sink = &counter;
+        ExecutionEngine engine(prog, cfg);
+        (void)engine.run(w->tinyArg);
+        return counter.count_;
+    };
+    EXPECT_EQ(heap_traffic(false), heap_traffic(true));
+}
+
+} // namespace
+} // namespace jrs

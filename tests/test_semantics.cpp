@@ -1,0 +1,479 @@
+/**
+ * Bytecode semantics tests. Every scenario runs under BOTH the
+ * interpreter and the JIT (bothModes) and asserts identical results —
+ * each test is simultaneously a semantics check and a differential
+ * interpreter-vs-compiler check.
+ */
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+using test::bothModes;
+
+TEST(Arith, AddSubMul)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(7).iconst(5).iadd().ireturn();
+    }), 12);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(7).iconst(5).isub().ireturn();
+    }), 2);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(-7).iconst(5).imul().ireturn();
+    }), -35);
+}
+
+TEST(Arith, OverflowWraps)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(INT_MAX).iconst(1).iadd().ireturn();
+    }), INT_MIN);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(INT_MIN).iconst(-1).imul().ireturn();
+    }), INT_MIN);
+}
+
+TEST(Arith, DivRemBasics)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(17).iconst(5).idiv().ireturn();
+    }), 3);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(-17).iconst(5).idiv().ireturn();
+    }), -3);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(17).iconst(5).irem().ireturn();
+    }), 2);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(-17).iconst(5).irem().ireturn();
+    }), -2);
+}
+
+TEST(Arith, IntMinDivMinusOne)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(INT_MIN).iconst(-1).idiv().ireturn();
+    }), INT_MIN);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(INT_MIN).iconst(-1).irem().ireturn();
+    }), 0);
+}
+
+TEST(Arith, NegAndLogic)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(5).ineg().ireturn();
+    }), -5);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(INT_MIN).ineg().ireturn();
+    }), INT_MIN);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(0xf0).iconst(0x3c).iand().ireturn();
+    }), 0x30);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(0xf0).iconst(0x0f).ior().ireturn();
+    }), 0xff);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(0xff).iconst(0x0f).ixor().ireturn();
+    }), 0xf0);
+}
+
+TEST(Arith, ShiftsMaskCount)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(1).iconst(33).ishl().ireturn();  // 33 & 31 == 1
+    }), 2);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(-8).iconst(1).ishr().ireturn();
+    }), -4);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(-8).iconst(1).iushr().ireturn();
+    }), 0x7ffffffc);
+}
+
+TEST(Float, Basics)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(1.5f).fconst(2.25f).fadd().fconst(3.75f).fcmpl()
+            .ireturn();
+    }), 0);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(10.0f).fconst(4.0f).fdiv().f2i().ireturn();
+    }), 2);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(2.0f).fneg().f2i().ireturn();
+    }), -2);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(3.0f).fconst(2.0f).fmul().f2i().ireturn();
+    }), 6);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(5.0f).fconst(2.0f).fsub().f2i().ireturn();
+    }), 3);
+}
+
+TEST(Float, CompareOrdering)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(1.0f).fconst(2.0f).fcmpl().ireturn();
+    }), -1);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(2.0f).fconst(1.0f).fcmpl().ireturn();
+    }), 1);
+}
+
+TEST(Float, NanComparesLow)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        // 0/0 -> NaN
+        m.fconst(0.0f).fconst(0.0f).fdiv().fconst(1.0f).fcmpl()
+            .ireturn();
+    }), -1);
+}
+
+TEST(Float, F2iSaturates)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(1e30f).f2i().ireturn();
+    }), INT_MAX);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(-1e30f).f2i().ireturn();
+    }), INT_MIN);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(0.0f).fconst(0.0f).fdiv().f2i().ireturn();  // NaN -> 0
+    }), 0);
+}
+
+TEST(Conversions, I2fAndNarrowing)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(41).i2f().fconst(1.0f).fadd().f2i().ireturn();
+    }), 42);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(0x12345).i2c().ireturn();
+    }), 0x2345);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(0x1ff).i2b().ireturn();  // low byte 0xff -> -1
+    }), -1);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(0x17f).i2b().ireturn();
+    }), 0x7f);
+}
+
+TEST(Stack, DupSwapPopDupX1)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(6).dup().imul().ireturn();
+    }), 36);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(10).iconst(3).swap().isub().ireturn();  // 3 - 10
+    }), -7);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iconst(1).iconst(2).pop().ireturn();
+    }), 1);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        // a=2 b=3 -> b a b; consume: top two sub (a-b = -1), then
+        // add the deep b: 3 + (2-3) = 2... stack after dupx1:
+        // [3, 2, 3]; isub -> [3, -1]; iadd -> 2
+        m.iconst(2).iconst(3).dupX1().isub().iadd().ireturn();
+    }), 2);
+}
+
+TEST(Locals, StoreLoadIinc)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(3);
+        m.iconst(5).istore(1);
+        m.iconst(6).istore(2);
+        m.iinc(1, 100);
+        m.iload(1).iload(2).iadd().ireturn();
+    }), 111);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(2);
+        m.iinc(1, -128);
+        m.iload(1).ireturn();
+    }), -128);
+}
+
+TEST(Locals, ManyLocalsSpillInJit)
+{
+    // 20 locals exceed the 12 local registers: exercises spill slots.
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(21);
+        for (std::uint8_t i = 1; i <= 20; ++i)
+            m.iconst(i).istore(i);
+        m.iconst(0);
+        for (std::uint8_t i = 1; i <= 20; ++i)
+            m.iload(i).iadd();
+        m.ireturn();
+    }), 210);
+}
+
+TEST(Stack, DeepOperandStackSpills)
+{
+    // Push 12 values (stack regs hold 7) then fold them.
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        for (int i = 1; i <= 12; ++i)
+            m.iconst(i);
+        for (int i = 0; i < 11; ++i)
+            m.iadd();
+        m.ireturn();
+    }), 78);
+}
+
+TEST(Branches, AllIntComparisons)
+{
+    auto pick = [](void (*emit)(MethodBuilder &, Label)) {
+        return [emit](MethodBuilder &m) {
+            Label yes = m.newLabel();
+            m.iload(0).iconst(10);
+            emit(m, yes);
+            m.iconst(0).ireturn();
+            m.bind(yes);
+            m.iconst(1).ireturn();
+        };
+    };
+    EXPECT_EQ(bothModes(pick([](MethodBuilder &m, Label l) {
+        m.ifIcmpeq(l);
+    }), 10), 1);
+    EXPECT_EQ(bothModes(pick([](MethodBuilder &m, Label l) {
+        m.ifIcmpne(l);
+    }), 10), 0);
+    EXPECT_EQ(bothModes(pick([](MethodBuilder &m, Label l) {
+        m.ifIcmplt(l);
+    }), 3), 1);
+    EXPECT_EQ(bothModes(pick([](MethodBuilder &m, Label l) {
+        m.ifIcmpge(l);
+    }), 3), 0);
+    EXPECT_EQ(bothModes(pick([](MethodBuilder &m, Label l) {
+        m.ifIcmpgt(l);
+    }), 30), 1);
+    EXPECT_EQ(bothModes(pick([](MethodBuilder &m, Label l) {
+        m.ifIcmple(l);
+    }), 10), 1);
+}
+
+TEST(Branches, ZeroComparisons)
+{
+    auto prog = [](void (*emit)(MethodBuilder &, Label)) {
+        return [emit](MethodBuilder &m) {
+            Label yes = m.newLabel();
+            m.iload(0);
+            emit(m, yes);
+            m.iconst(0).ireturn();
+            m.bind(yes);
+            m.iconst(1).ireturn();
+        };
+    };
+    EXPECT_EQ(bothModes(prog([](MethodBuilder &m, Label l) {
+        m.ifeq(l);
+    }), 0), 1);
+    EXPECT_EQ(bothModes(prog([](MethodBuilder &m, Label l) {
+        m.ifne(l);
+    }), 0), 0);
+    EXPECT_EQ(bothModes(prog([](MethodBuilder &m, Label l) {
+        m.iflt(l);
+    }), -1), 1);
+    EXPECT_EQ(bothModes(prog([](MethodBuilder &m, Label l) {
+        m.ifge(l);
+    }), 0), 1);
+    EXPECT_EQ(bothModes(prog([](MethodBuilder &m, Label l) {
+        m.ifgt(l);
+    }), 0), 0);
+    EXPECT_EQ(bothModes(prog([](MethodBuilder &m, Label l) {
+        m.ifle(l);
+    }), 0), 1);
+}
+
+TEST(Branches, RefComparisons)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(2);
+        Label eq = m.newLabel();
+        m.iconst(3).newArray(ArrayKind::Int).astore(1);
+        m.aload(1).aload(1).ifAcmpeq(eq);
+        m.iconst(0).ireturn();
+        m.bind(eq);
+        m.iconst(1).ireturn();
+    }), 1);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        Label ne = m.newLabel();
+        m.iconst(3).newArray(ArrayKind::Int);
+        m.iconst(3).newArray(ArrayKind::Int);
+        m.ifAcmpne(ne);
+        m.iconst(0).ireturn();
+        m.bind(ne);
+        m.iconst(1).ireturn();
+    }), 1);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        Label null_l = m.newLabel();
+        m.aconstNull().ifnull(null_l);
+        m.iconst(0).ireturn();
+        m.bind(null_l);
+        m.iconst(1).ireturn();
+    }), 1);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        Label nn = m.newLabel();
+        m.iconst(1).newArray(ArrayKind::Byte).ifnonnull(nn);
+        m.iconst(0).ireturn();
+        m.bind(nn);
+        m.iconst(1).ireturn();
+    }), 1);
+}
+
+TEST(Switches, TableSwitchDispatch)
+{
+    auto prog = [](MethodBuilder &m) {
+        Label c0 = m.newLabel(), c1 = m.newLabel(), c2 = m.newLabel();
+        Label d = m.newLabel();
+        m.iload(0);
+        m.tableSwitch(5, {c0, c1, c2}, d);
+        m.bind(c0);
+        m.iconst(100).ireturn();
+        m.bind(c1);
+        m.iconst(200).ireturn();
+        m.bind(c2);
+        m.iconst(300).ireturn();
+        m.bind(d);
+        m.iconst(-1).ireturn();
+    };
+    EXPECT_EQ(bothModes(prog, 5), 100);
+    EXPECT_EQ(bothModes(prog, 6), 200);
+    EXPECT_EQ(bothModes(prog, 7), 300);
+    EXPECT_EQ(bothModes(prog, 4), -1);
+    EXPECT_EQ(bothModes(prog, 8), -1);
+    EXPECT_EQ(bothModes(prog, -1000000), -1);
+}
+
+TEST(Switches, LookupSwitchDispatch)
+{
+    auto prog = [](MethodBuilder &m) {
+        Label a = m.newLabel(), b = m.newLabel(), d = m.newLabel();
+        m.iload(0);
+        m.lookupSwitch({{-5, a}, {1000, b}}, d);
+        m.bind(a);
+        m.iconst(11).ireturn();
+        m.bind(b);
+        m.iconst(22).ireturn();
+        m.bind(d);
+        m.iconst(33).ireturn();
+    };
+    EXPECT_EQ(bothModes(prog, -5), 11);
+    EXPECT_EQ(bothModes(prog, 1000), 22);
+    EXPECT_EQ(bothModes(prog, 0), 33);
+}
+
+TEST(Arrays, IntArrayReadWrite)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(10).newArray(ArrayKind::Int).astore(1);
+        m.aload(1).iconst(3).iconst(777).iastore();
+        m.aload(1).iconst(3).iaload().ireturn();
+    }), 777);
+}
+
+TEST(Arrays, ByteArraySignExtends)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(4).newArray(ArrayKind::Byte).astore(1);
+        m.aload(1).iconst(0).iconst(0xff).bastore();
+        m.aload(1).iconst(0).baload().ireturn();
+    }), -1);
+}
+
+TEST(Arrays, CharArrayZeroExtends)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(4).newArray(ArrayKind::Char).astore(1);
+        m.aload(1).iconst(1).iconst(0xffff).castore();
+        m.aload(1).iconst(1).caload().ireturn();
+    }), 0xffff);
+}
+
+TEST(Arrays, FloatArray)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(2).newArray(ArrayKind::Float).astore(1);
+        m.aload(1).iconst(0).fconst(2.5f).fastore();
+        m.aload(1).iconst(0).faload().fconst(4.0f).fmul().f2i()
+            .ireturn();
+    }), 10);
+}
+
+TEST(Arrays, RefArrayRoundTrip)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(3);
+        m.iconst(2).newArray(ArrayKind::Ref).astore(1);
+        m.iconst(5).newArray(ArrayKind::Int).astore(2);
+        m.aload(2).iconst(4).iconst(99).iastore();
+        m.aload(1).iconst(1).aload(2).aastore();
+        m.aload(1).iconst(1).aaload().iconst(4).iaload().ireturn();
+    }), 99);
+}
+
+TEST(Arrays, ArrayLength)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.iload(0).newArray(ArrayKind::Char).arrayLength().ireturn();
+    }, 37), 37);
+}
+
+TEST(Strings, LiteralIsCharArray)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.ldcStr("hi!").arrayLength().ireturn();
+    }), 3);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.ldcStr("hi!").iconst(0).caload().ireturn();
+    }), 'h');
+}
+
+TEST(Intrinsics, SqrtSinCos)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(144.0f).intrinsic(IntrinsicId::FSqrt).f2i().ireturn();
+    }), 12);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(0.0f).intrinsic(IntrinsicId::FSin).f2i().ireturn();
+    }), 0);
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.fconst(0.0f).intrinsic(IntrinsicId::FCos).f2i().ireturn();
+    }), 1);
+}
+
+TEST(Intrinsics, ArrayCopy)
+{
+    EXPECT_EQ(bothModes([](MethodBuilder &m) {
+        m.locals(3);
+        m.iconst(8).newArray(ArrayKind::Int).astore(1);
+        m.iconst(8).newArray(ArrayKind::Int).astore(2);
+        m.aload(1).iconst(2).iconst(55).iastore();
+        m.aload(1).iconst(0).aload(2).iconst(4).iconst(4)
+            .intrinsic(IntrinsicId::ArrayCopy);
+        m.aload(2).iconst(6).iaload().ireturn();
+    }), 55);
+}
+
+TEST(Output, PrintIntrinsicsAccumulate)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.iconst('o').intrinsic(IntrinsicId::PrintChar);
+        m.iconst('k').intrinsic(IntrinsicId::PrintChar);
+        m.iconst(42).intrinsic(IntrinsicId::PrintInt);
+        m.iconst(0).ireturn();
+    });
+    const RunResult r = test::runProgram(prog, 0);
+    EXPECT_EQ(r.output, "ok42\n");
+}
+
+} // namespace
+} // namespace jrs

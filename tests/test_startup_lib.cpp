@@ -1,0 +1,200 @@
+/**
+ * The shared startup "class library": functional correctness of its
+ * methods (they are real code every workload executes) and the
+ * properties the experiments rely on — cold one-shot methods plus
+ * synchronized bookkeeping with a dominant case-(a) profile.
+ */
+#include <gtest/gtest.h>
+
+#include "vm_test_util.h"
+#include "workloads/startup_lib.h"
+#include "workloads/workload.h"
+
+namespace jrs {
+namespace {
+
+/** Build a program whose entry wraps one library call. */
+Program
+libProgram(const std::function<void(MethodBuilder &)> &fill)
+{
+    ProgramBuilder pb("libtest");
+    addStartupLibrary(pb);
+    ClassBuilder &t = pb.cls("T");
+    MethodBuilder &m = t.staticMethod("main", {VType::Int}, VType::Int);
+    fill(m);
+    return pb.finish("T.main");
+}
+
+std::int32_t
+runLib(const std::function<void(MethodBuilder &)> &fill,
+       std::int32_t arg = 0)
+{
+    const Program p1 = libProgram(fill);
+    const RunResult a = test::runProgram(
+        p1, arg, std::make_shared<NeverCompilePolicy>());
+    EXPECT_TRUE(a.completed);
+    const Program p2 = libProgram(fill);
+    const RunResult b = test::runProgram(
+        p2, arg, std::make_shared<AlwaysCompilePolicy>());
+    EXPECT_TRUE(b.completed);
+    EXPECT_EQ(a.exitValue, b.exitValue);
+    return a.exitValue;
+}
+
+TEST(StartupLib, IsqrtIsExactOnSquaresAndMonotone)
+{
+    auto prog = [](MethodBuilder &m) {
+        m.iload(0).invokeStatic("LibMath.isqrt").ireturn();
+    };
+    EXPECT_EQ(runLib(prog, 0), 0);
+    EXPECT_EQ(runLib(prog, 1), 1);
+    EXPECT_EQ(runLib(prog, 144), 12);
+    EXPECT_EQ(runLib(prog, 145), 12);
+    EXPECT_EQ(runLib(prog, 1000000), 1000);
+    EXPECT_EQ(runLib(prog, -5), 0);
+}
+
+TEST(StartupLib, GcdMatchesEuclid)
+{
+    auto prog = [](MethodBuilder &m) {
+        m.iload(0).iconst(84).invokeStatic("LibMath.gcd").ireturn();
+    };
+    EXPECT_EQ(runLib(prog, 36), 12);
+    EXPECT_EQ(runLib(prog, 85), 1);
+    EXPECT_EQ(runLib(prog, 84), 84);
+}
+
+TEST(StartupLib, Ilog2)
+{
+    auto prog = [](MethodBuilder &m) {
+        m.iload(0).invokeStatic("LibMath.ilog2").ireturn();
+    };
+    EXPECT_EQ(runLib(prog, 1), 0);
+    EXPECT_EQ(runLib(prog, 2), 1);
+    EXPECT_EQ(runLib(prog, 1024), 10);
+    EXPECT_EQ(runLib(prog, 1023), 9);
+}
+
+TEST(StartupLib, Clamp)
+{
+    auto prog = [](MethodBuilder &m) {
+        m.iload(0).iconst(-10).iconst(10)
+            .invokeStatic("LibMath.clamp").ireturn();
+    };
+    EXPECT_EQ(runLib(prog, 5), 5);
+    EXPECT_EQ(runLib(prog, -50), -10);
+    EXPECT_EQ(runLib(prog, 50), 10);
+}
+
+TEST(StartupLib, FmtHashAndEq)
+{
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.ldcStr("ab").invokeStatic("LibFmt.hash").ireturn();
+    }), 31 * 'a' + 'b');
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.ldcStr("xyz").ldcStr("xyz").invokeStatic("LibFmt.eq")
+            .ireturn();
+    }), 1);
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.ldcStr("xyz").ldcStr("xyw").invokeStatic("LibFmt.eq")
+            .ireturn();
+    }), 0);
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.ldcStr("xyz").ldcStr("xy").invokeStatic("LibFmt.eq")
+            .ireturn();
+    }), 0);
+}
+
+TEST(StartupLib, ItoaWritesDigits)
+{
+    // itoa(4207, buf) returns the digit count; check the last digit.
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(12).newArray(ArrayKind::Char).astore(1);
+        m.iconst(4207).aload(1).invokeStatic("LibFmt.itoa");
+        // length * 1000 + last char
+        m.iconst(1000).imul();
+        m.aload(1).iconst(11).caload().iadd().ireturn();
+    }), 4 * 1000 + '7');
+}
+
+TEST(StartupLib, StrHelpers)
+{
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.ldcStr("hello world").iconst('w')
+            .invokeStatic("LibStr.indexOf").ireturn();
+    }), 6);
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.ldcStr("hello world").iconst('z')
+            .invokeStatic("LibStr.indexOf").ireturn();
+    }), -1);
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.ldcStr("a b c").invokeStatic("LibStr.trim").ireturn();
+    }), 3);
+}
+
+TEST(StartupLib, VecPushSumReverse)
+{
+    EXPECT_EQ(runLib([](MethodBuilder &m) {
+        m.locals(2);
+        m.newObject("LibVec").astore(1);
+        m.aload(1).iconst(4).invokeSpecial("LibVec.init");
+        m.aload(1).iconst(10).invokeVirtual("LibVec.push");
+        m.aload(1).iconst(20).invokeVirtual("LibVec.push");
+        m.aload(1).iconst(30).invokeVirtual("LibVec.push");
+        m.aload(1).invokeVirtual("LibVec.reverse");
+        // after reverse: [30, 20, 10]
+        m.aload(1).iconst(0).invokeVirtual("LibVec.at").iconst(100)
+            .imul();
+        m.aload(1).invokeVirtual("LibVec.sum").iadd().ireturn();
+    }), 30 * 100 + 60);
+}
+
+TEST(StartupLib, LogIsSynchronizedAndBounded)
+{
+    const Program prog = libProgram([](MethodBuilder &m) {
+        m.locals(3);
+        m.newObject("LibLog").astore(1);
+        m.aload(1).iconst(4).invokeSpecial("LibLog.init");
+        // Append 10 chars into a 4-char buffer: len saturates at 4.
+        m.iconst(0).istore(2);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(2).iconst(10).ifIcmpge(done);
+        m.aload(1).iconst('x').invokeVirtual("LibLog.append");
+        m.iinc(2, 1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.aload(1).invokeVirtual("LibLog.size").ireturn();
+    });
+    const RunResult r = test::runProgram(prog, 0);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, 4);
+    EXPECT_GT(r.lockStats.totalAccesses(), 10u);
+    // Nested note() calls give case (b); plain appends case (a).
+    EXPECT_GT(r.lockStats.caseCount[0], 0u);
+    EXPECT_GT(r.lockStats.caseCount[1], 0u);
+}
+
+TEST(StartupLib, BootIsDeterministicAndCold)
+{
+    const Program p1 = libProgram([](MethodBuilder &m) {
+        m.iload(0).invokeStatic("Lib.boot").ireturn();
+    });
+    const RunResult a = test::runProgram(
+        p1, 7, std::make_shared<NeverCompilePolicy>());
+    const Program p2 = libProgram([](MethodBuilder &m) {
+        m.iload(0).invokeStatic("Lib.boot").ireturn();
+    });
+    const RunResult b = test::runProgram(
+        p2, 7, std::make_shared<AlwaysCompilePolicy>());
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    EXPECT_EQ(a.exitValue, b.exitValue);
+    // Boot is one-shot: compiling it is mostly wasted translation, the
+    // property Figure 1's oracle exploits.
+    EXPECT_GT(b.inPhase(Phase::Translate), b.inPhase(Phase::NativeExec));
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/random.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+namespace jrs {
+namespace {
+
+TEST(Statistics, PercentAndRatio)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(0, 4), 0.0);
+    EXPECT_DOUBLE_EQ(percent(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+    EXPECT_DOUBLE_EQ(ratio(3, 0), 0.0);
+}
+
+TEST(Statistics, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+    EXPECT_EQ(withCommas(1000000000ull), "1,000,000,000");
+}
+
+TEST(Statistics, FixedFormatting)
+{
+    EXPECT_EQ(fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(fixed(1.0, 0), "1");
+    EXPECT_EQ(fixed(-2.5, 1), "-2.5");
+}
+
+TEST(Statistics, HistogramBasics)
+{
+    Histogram h(10, 4);  // buckets [0,10) [10,20) [20,30) [30,40) + of
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(35);
+    h.add(1000);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 0u + 9 + 10 + 35 + 1000);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);  // overflow
+    EXPECT_DOUBLE_EQ(h.mean(), (0.0 + 9 + 10 + 35 + 1000) / 5);
+}
+
+TEST(Statistics, HistogramFractionBelow)
+{
+    Histogram h(1, 10);
+    for (std::uint64_t v = 0; v < 10; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(5), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(10), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0), 0.0);
+}
+
+TEST(Statistics, HistogramEmpty)
+{
+    Histogram h(4, 4);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(100), 0.0);
+}
+
+TEST(Random, Deterministic)
+{
+    XorShift64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    XorShift64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    XorShift64 r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    XorShift64 r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int32_t v = r.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, ZeroSeedIsRemapped)
+{
+    XorShift64 r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    XorShift64 r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22,000"});
+    EXPECT_EQ(t.numRows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22,000"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"x"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/emitter.h"
+#include "vm/runtime/heap.h"
+#include "vm/sync/monitor_cache.h"
+#include "vm/sync/thin_lock.h"
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+/** Fixture providing a heap, an emitter and one lock of each kind. */
+class SyncFixture : public ::testing::TestWithParam<SyncKind> {
+  protected:
+    SyncFixture() : heap_(1 << 20), emitter_(nullptr) {}
+
+    std::unique_ptr<SyncSystem> make() {
+        switch (GetParam()) {
+          case SyncKind::MonitorCache:
+            return std::make_unique<MonitorCacheSync>(heap_, emitter_);
+          case SyncKind::ThinLock:
+            return std::make_unique<ThinLockSync>(heap_, emitter_);
+          case SyncKind::OneBitLock:
+            return std::make_unique<OneBitLockSync>(heap_, emitter_);
+        }
+        return nullptr;
+    }
+
+    SimAddr newObj() { return heap_.allocObject(0, 2); }
+
+    Heap heap_;
+    TraceEmitter emitter_;
+};
+
+TEST_P(SyncFixture, UncontendedEnterExitIsCaseA)
+{
+    auto sync = make();
+    const SimAddr o = newObj();
+    EXPECT_TRUE(sync->enter(1, o));
+    EXPECT_TRUE(sync->owns(1, o));
+    sync->exit(1, o);
+    EXPECT_FALSE(sync->owns(1, o));
+    EXPECT_EQ(sync->stats().caseCount[0], 1u);
+    EXPECT_EQ(sync->stats().enterOps, 1u);
+    EXPECT_EQ(sync->stats().exitOps, 1u);
+}
+
+TEST_P(SyncFixture, ReacquireAfterReleaseIsCaseAAgain)
+{
+    auto sync = make();
+    const SimAddr o = newObj();
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(sync->enter(2, o));
+        sync->exit(2, o);
+    }
+    EXPECT_EQ(sync->stats().caseCount[0], 5u);
+    EXPECT_EQ(sync->stats().caseCount[1], 0u);
+}
+
+TEST_P(SyncFixture, RecursiveLockIsCaseB)
+{
+    auto sync = make();
+    const SimAddr o = newObj();
+    ASSERT_TRUE(sync->enter(1, o));
+    ASSERT_TRUE(sync->enter(1, o));
+    ASSERT_TRUE(sync->enter(1, o));
+    EXPECT_TRUE(sync->owns(1, o));
+    EXPECT_EQ(sync->stats().caseCount[1], 2u);
+    sync->exit(1, o);
+    EXPECT_TRUE(sync->owns(1, o));  // still held, depth 2
+    sync->exit(1, o);
+    sync->exit(1, o);
+    EXPECT_FALSE(sync->owns(1, o));
+}
+
+TEST_P(SyncFixture, ContendedEnterBlocksAndIsCaseD)
+{
+    auto sync = make();
+    const SimAddr o = newObj();
+    ASSERT_TRUE(sync->enter(1, o));
+    EXPECT_FALSE(sync->enter(2, o));
+    EXPECT_EQ(sync->stats().caseCount[3], 1u);
+    // Blocked retries are not double-counted.
+    EXPECT_FALSE(sync->enter(2, o));
+    EXPECT_FALSE(sync->enter(2, o));
+    EXPECT_EQ(sync->stats().caseCount[3], 1u);
+    sync->exit(1, o);
+    EXPECT_TRUE(sync->enter(2, o));
+    EXPECT_TRUE(sync->owns(2, o));
+}
+
+TEST_P(SyncFixture, ExitByNonOwnerThrows)
+{
+    auto sync = make();
+    const SimAddr o = newObj();
+    ASSERT_TRUE(sync->enter(1, o));
+    EXPECT_THROW(sync->exit(2, o), VmError);
+}
+
+TEST_P(SyncFixture, DistinctObjectsAreIndependent)
+{
+    auto sync = make();
+    const SimAddr a = newObj();
+    const SimAddr b = newObj();
+    ASSERT_TRUE(sync->enter(1, a));
+    EXPECT_TRUE(sync->enter(2, b));
+    EXPECT_TRUE(sync->owns(1, a));
+    EXPECT_TRUE(sync->owns(2, b));
+    EXPECT_FALSE(sync->owns(1, b));
+    sync->exit(1, a);
+    sync->exit(2, b);
+}
+
+TEST_P(SyncFixture, CostsAccumulate)
+{
+    auto sync = make();
+    const SimAddr o = newObj();
+    ASSERT_TRUE(sync->enter(1, o));
+    const std::uint64_t c1 = sync->stats().simCycles;
+    EXPECT_GT(c1, 0u);
+    sync->exit(1, o);
+    EXPECT_GT(sync->stats().simCycles, c1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSyncKinds, SyncFixture,
+                         ::testing::Values(SyncKind::MonitorCache,
+                                           SyncKind::ThinLock,
+                                           SyncKind::OneBitLock),
+                         [](const auto &info) {
+                             return syncKindName(info.param);
+                         });
+
+TEST(ThinLock, PackUnpack)
+{
+    const std::uint32_t w = ThinLockSync::pack(5, 3);
+    EXPECT_FALSE(ThinLockSync::isFat(w));
+    EXPECT_EQ(ThinLockSync::ownerOf(w), 6u);  // tid + 1
+    EXPECT_EQ(ThinLockSync::depthOf(w), 3u);
+}
+
+TEST(ThinLock, CaseAIsCheaperThanMonitorCache)
+{
+    Heap heap(1 << 20);
+    TraceEmitter em(nullptr);
+    ThinLockSync thin(heap, em);
+    MonitorCacheSync fat(heap, em);
+    const SimAddr o1 = heap.allocObject(0, 0);
+    const SimAddr o2 = heap.allocObject(0, 0);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(thin.enter(1, o1));
+        thin.exit(1, o1);
+        ASSERT_TRUE(fat.enter(1, o2));
+        fat.exit(1, o2);
+    }
+    // The paper's ~2x speedup: thin must be at least 1.8x cheaper.
+    EXPECT_GT(static_cast<double>(fat.stats().simCycles),
+              1.8 * static_cast<double>(thin.stats().simCycles));
+}
+
+TEST(ThinLock, DeepRecursionInflates)
+{
+    Heap heap(1 << 20);
+    TraceEmitter em(nullptr);
+    ThinLockSync thin(heap, em);
+    const SimAddr o = heap.allocObject(0, 0);
+    for (int i = 0; i < 300; ++i)
+        ASSERT_TRUE(thin.enter(1, o));
+    EXPECT_GE(thin.stats().inflations, 1u);
+    EXPECT_GE(thin.stats().caseCount[2], 1u);  // case (c)
+    EXPECT_TRUE(ThinLockSync::isFat(heap.lockword(o)));
+    for (int i = 0; i < 300; ++i)
+        thin.exit(1, o);
+    EXPECT_FALSE(thin.owns(1, o));
+}
+
+TEST(ThinLock, ContentionInflatesPreservingOwner)
+{
+    Heap heap(1 << 20);
+    TraceEmitter em(nullptr);
+    ThinLockSync thin(heap, em);
+    const SimAddr o = heap.allocObject(0, 0);
+    ASSERT_TRUE(thin.enter(1, o));
+    EXPECT_FALSE(thin.enter(2, o));
+    EXPECT_TRUE(ThinLockSync::isFat(heap.lockword(o)));
+    EXPECT_TRUE(thin.owns(1, o));  // inflation kept ownership
+    thin.exit(1, o);
+    EXPECT_TRUE(thin.enter(2, o));
+    thin.exit(2, o);
+}
+
+TEST(OneBitLock, SecondAccessInflatesEvenWhenRecursive)
+{
+    Heap heap(1 << 20);
+    TraceEmitter em(nullptr);
+    OneBitLockSync ob(heap, em);
+    const SimAddr o = heap.allocObject(0, 0);
+    ASSERT_TRUE(ob.enter(1, o));
+    EXPECT_EQ(ob.fatMonitors(), 0u);
+    ASSERT_TRUE(ob.enter(1, o));  // recursion forces inflation
+    EXPECT_EQ(ob.fatMonitors(), 1u);
+    EXPECT_EQ(ob.stats().caseCount[1], 1u);  // still classified (b)
+    ob.exit(1, o);
+    ob.exit(1, o);
+    EXPECT_FALSE(ob.owns(1, o));
+}
+
+TEST(MonitorCache, TracksLiveMonitors)
+{
+    Heap heap(1 << 20);
+    TraceEmitter em(nullptr);
+    MonitorCacheSync mc(heap, em);
+    const SimAddr a = heap.allocObject(0, 0);
+    const SimAddr b = heap.allocObject(0, 0);
+    ASSERT_TRUE(mc.enter(1, a));
+    ASSERT_TRUE(mc.enter(1, b));
+    EXPECT_EQ(mc.liveMonitors(), 2u);
+    mc.exit(1, a);
+    mc.exit(1, b);
+    EXPECT_EQ(mc.liveMonitors(), 2u);  // records persist (space cost)
+}
+
+TEST(MonitorCache, EmitsRuntimeTraceWhenSinkAttached)
+{
+    Heap heap(1 << 20);
+    RecordingSink rec;
+    TraceEmitter em(&rec);
+    MonitorCacheSync mc(heap, em);
+    const SimAddr o = heap.allocObject(0, 0);
+    ASSERT_TRUE(mc.enter(1, o));
+    mc.exit(1, o);
+    ASSERT_FALSE(rec.events().empty());
+    for (const TraceEvent &ev : rec.events())
+        EXPECT_EQ(ev.phase, Phase::Runtime);
+}
+
+TEST(SyncStats, CaseDistributionIsImplementationIndependent)
+{
+    // The (a)-(d) classification is a property of the access pattern;
+    // all three implementations must agree on it.
+    auto drive = [](SyncSystem &s, Heap &heap) {
+        const SimAddr o = heap.allocObject(0, 0);
+        const SimAddr p = heap.allocObject(0, 0);
+        EXPECT_TRUE(s.enter(1, o));   // a
+        EXPECT_TRUE(s.enter(1, o));   // b
+        EXPECT_TRUE(s.enter(2, p));   // a
+        EXPECT_FALSE(s.enter(2, o));  // d
+        s.exit(1, o);
+        s.exit(1, o);
+        EXPECT_TRUE(s.enter(2, o));   // a (lock was free again)
+    };
+    Heap h1(1 << 20), h2(1 << 20), h3(1 << 20);
+    TraceEmitter em(nullptr);
+    MonitorCacheSync mc(h1, em);
+    ThinLockSync tl(h2, em);
+    OneBitLockSync ob(h3, em);
+    drive(mc, h1);
+    drive(tl, h2);
+    drive(ob, h3);
+    for (std::size_t c = 0; c < kNumLockCases; ++c) {
+        EXPECT_EQ(mc.stats().caseCount[c], tl.stats().caseCount[c])
+            << "case " << c;
+        EXPECT_EQ(mc.stats().caseCount[c], ob.stats().caseCount[c])
+            << "case " << c;
+    }
+}
+
+TEST(EngineSync, SynchronizedMethodAcquiresAndReleases)
+{
+    const Program prog = test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &c = pb.cls("C");
+        c.field("v");
+        {
+            MethodBuilder &m =
+                c.virtualMethod("bump", {}, VType::Int);
+            m.synchronized_();
+            m.aload(0)
+                .aload(0).getFieldI("C.v").iconst(1).iadd()
+                .putFieldI("C.v");
+            m.aload(0).getFieldI("C.v").ireturn();
+        }
+        ClassBuilder &t = pb.cls("T");
+        MethodBuilder &m =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        m.locals(2);
+        m.newObject("C").astore(1);
+        m.aload(1).invokeVirtual("C.bump").pop();
+        m.aload(1).invokeVirtual("C.bump").ireturn();
+    });
+    const RunResult r = test::runProgram(prog, 0);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.exitValue, 2);
+    EXPECT_EQ(r.lockStats.enterOps, 2u);
+    EXPECT_EQ(r.lockStats.exitOps, 2u);
+    EXPECT_EQ(r.lockStats.caseCount[0], 2u);
+}
+
+TEST(EngineSync, MonitorEnterExitBytecodes)
+{
+    const std::int32_t v = test::bothModes([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(4).newArray(ArrayKind::Int).astore(1);
+        m.aload(1).monitorEnter();
+        m.aload(1).iconst(0).iconst(9).iastore();
+        m.aload(1).monitorExit();
+        m.aload(1).iconst(0).iaload().ireturn();
+    });
+    EXPECT_EQ(v, 9);
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "arch/mix/instruction_mix.h"
+#include "isa/emitter.h"
+#include "vm/interp/handler_model.h"
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+TEST(Trace, KindHelpers)
+{
+    EXPECT_TRUE(isControl(NKind::Branch));
+    EXPECT_TRUE(isControl(NKind::IndirectCall));
+    EXPECT_TRUE(isControl(NKind::Ret));
+    EXPECT_FALSE(isControl(NKind::Load));
+    EXPECT_TRUE(isMemory(NKind::Load));
+    EXPECT_TRUE(isMemory(NKind::Store));
+    EXPECT_FALSE(isMemory(NKind::IntAlu));
+    EXPECT_STREQ(nkindName(NKind::IndirectJump), "indirect_jump");
+    EXPECT_STREQ(phaseName(Phase::Translate), "translate");
+}
+
+TEST(Trace, EmitterIsNoOpWithoutSink)
+{
+    TraceEmitter e(nullptr);
+    EXPECT_FALSE(e.enabled());
+    e.alu(Phase::Interpret, 0x1000);  // must not crash
+    e.load(Phase::Interpret, 0x1000, 0x2000);
+}
+
+TEST(Trace, EmitterFillsFields)
+{
+    RecordingSink rec;
+    TraceEmitter e(&rec);
+    e.load(Phase::Runtime, 0x10, 0x20, 8, 3, 4);
+    e.store(Phase::Translate, 0x14, 0x24, 2, 5, 6);
+    e.branch(Phase::Interpret, 0x18, 0x40, true, 7, 8);
+    e.control(Phase::NativeExec, 0x1c, NKind::IndirectCall, 0x80, 9);
+    ASSERT_EQ(rec.events().size(), 4u);
+    const auto &ld = rec.events()[0];
+    EXPECT_EQ(ld.kind, NKind::Load);
+    EXPECT_EQ(ld.mem, 0x20u);
+    EXPECT_EQ(ld.memSize, 8);
+    EXPECT_EQ(ld.rd, 3);
+    const auto &br = rec.events()[2];
+    EXPECT_TRUE(br.taken);
+    EXPECT_EQ(br.target, 0x40u);
+    const auto &ic = rec.events()[3];
+    EXPECT_EQ(ic.kind, NKind::IndirectCall);
+    EXPECT_EQ(ic.phase, Phase::NativeExec);
+}
+
+TEST(Trace, MultiSinkFansOut)
+{
+    CountingSink a, b;
+    MultiSink multi;
+    multi.add(&a);
+    multi.add(&b);
+    TraceEvent ev;
+    ev.phase = Phase::Translate;
+    multi.onEvent(ev);
+    multi.onEvent(ev);
+    EXPECT_EQ(a.total(), 2u);
+    EXPECT_EQ(b.total(), 2u);
+    EXPECT_EQ(a.inPhase(Phase::Translate), 2u);
+    a.reset();
+    EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(Trace, InterpreterEmitsDispatchPattern)
+{
+    // A minimal program; inspect the first bytecode's native events.
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.iconst(1).iconst(2).iadd().ireturn();
+    });
+    RecordingSink rec;
+    const RunResult r = test::runProgram(
+        prog, 0, std::make_shared<NeverCompilePolicy>(), &rec);
+    ASSERT_TRUE(r.completed);
+    const auto &evs = rec.events();
+    ASSERT_GT(evs.size(), 8u);
+
+    // Entry-frame setup emits a few Runtime-phase events first; the
+    // dispatch pattern starts at the first Interpret-phase event.
+    std::size_t i0 = 0;
+    while (i0 < evs.size() && evs[i0].phase != Phase::Interpret)
+        ++i0;
+    ASSERT_LT(i0 + 3, evs.size());
+
+    // Opcode fetch — a 1-byte load from the bytecode area.
+    EXPECT_EQ(evs[i0].kind, NKind::Load);
+    EXPECT_EQ(evs[i0].pc, kDispatchPc);
+    EXPECT_TRUE(inSegment(evs[i0].mem, seg::kClassData));
+    EXPECT_EQ(evs[i0].memSize, 1);
+
+    // Poll load + never-taken poll branch.
+    EXPECT_EQ(evs[i0 + 2].kind, NKind::Load);
+    EXPECT_EQ(evs[i0 + 3].kind, NKind::Branch);
+    EXPECT_FALSE(evs[i0 + 3].taken);
+    // Jump-table load, then the dispatch indirect jump.
+    EXPECT_EQ(evs[i0 + 4].kind, NKind::Load);
+    EXPECT_EQ(evs[i0 + 5].kind, NKind::IndirectJump);
+    EXPECT_EQ(evs[i0 + 5].target, handlerPc(Op::Iconst8));
+}
+
+TEST(Trace, InterpreterStackTrafficHitsFrameAddresses)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.iconst(1).iconst(2).iadd().ireturn();
+    });
+    RecordingSink rec;
+    const RunResult r = test::runProgram(
+        prog, 0, std::make_shared<NeverCompilePolicy>(), &rec);
+    ASSERT_TRUE(r.completed);
+    // Some stores must land in the stack segment (operand pushes).
+    bool saw_stack_store = false;
+    for (const auto &ev : rec.events()) {
+        if (ev.kind == NKind::Store
+            && inSegment(ev.mem, seg::kStacks)) {
+            saw_stack_store = true;
+        }
+        EXPECT_EQ(ev.phase == Phase::Interpret
+                      || ev.phase == Phase::Runtime,
+                  true);
+    }
+    EXPECT_TRUE(saw_stack_store);
+}
+
+TEST(Trace, JitModeEmitsTranslateThenNative)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.iconst(1).iconst(2).iadd().ireturn();
+    });
+    RecordingSink rec;
+    const RunResult r = test::runProgram(
+        prog, 0, std::make_shared<AlwaysCompilePolicy>(), &rec);
+    ASSERT_TRUE(r.completed);
+    bool saw_install_store = false;
+    bool saw_native = false;
+    for (const auto &ev : rec.events()) {
+        if (ev.phase == Phase::Translate && ev.kind == NKind::Store
+            && inSegment(ev.mem, seg::kCodeCache)) {
+            saw_install_store = true;
+            // Code installs happen before any native execution.
+            EXPECT_FALSE(saw_native);
+        }
+        if (ev.phase == Phase::NativeExec) {
+            saw_native = true;
+            EXPECT_TRUE(inSegment(ev.pc, seg::kCodeCache));
+        }
+    }
+    EXPECT_TRUE(saw_install_store);
+    EXPECT_TRUE(saw_native);
+}
+
+TEST(Trace, ConditionalBranchOutcomeMatchesJavaBranch)
+{
+    // Loop 3 times: the handler's native branch must be taken exactly
+    // as often as the Java backward branch.
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(3).istore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).ifle(done);
+        m.iinc(1, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iconst(0).ireturn();
+    });
+    RecordingSink rec;
+    test::runProgram(prog, 0, std::make_shared<NeverCompilePolicy>(),
+                     &rec);
+    std::uint64_t taken = 0, not_taken = 0;
+    for (const auto &ev : rec.events()) {
+        if (ev.kind == NKind::Branch && ev.pc == handlerPc(Op::Ifle)
+                                            + 0x44) {
+            (ev.taken ? taken : not_taken) += 1;
+        }
+    }
+    EXPECT_EQ(taken, 1u);      // final exit
+    EXPECT_EQ(not_taken, 3u);  // three loop iterations
+}
+
+TEST(Mix, CategoriesSumToTotal)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(50).istore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).ifle(done);
+        m.iinc(1, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iconst(0).ireturn();
+    });
+    InstructionMix mix;
+    test::runProgram(prog, 0, std::make_shared<NeverCompilePolicy>(),
+                     &mix);
+    std::uint64_t sum = 0;
+    for (std::size_t k = 0; k < kNumNKinds; ++k)
+        sum += mix.count(static_cast<NKind>(k));
+    EXPECT_EQ(sum, mix.total());
+    EXPECT_GT(mix.memoryOps(), 0u);
+    EXPECT_GT(mix.controlOps(), 0u);
+    EXPECT_GT(mix.indirectOps(), 0u);
+    EXPECT_DOUBLE_EQ(mix.pct(mix.total()), 100.0);
+}
+
+TEST(Mix, PhaseBreakdownConsistent)
+{
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.iconst(5).iconst(6).imul().ireturn();
+    });
+    InstructionMix mix;
+    test::runProgram(prog, 0, std::make_shared<AlwaysCompilePolicy>(),
+                     &mix);
+    std::uint64_t by_phase = 0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        for (std::size_t k = 0; k < kNumNKinds; ++k) {
+            by_phase += mix.count(static_cast<Phase>(p),
+                                  static_cast<NKind>(k));
+        }
+    }
+    EXPECT_EQ(by_phase, mix.total());
+}
+
+} // namespace
+} // namespace jrs

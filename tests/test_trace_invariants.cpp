@@ -1,0 +1,183 @@
+/**
+ * Structural invariants of the native trace stream: every event must
+ * carry a pc inside a known code segment, memory operands inside data
+ * segments, valid register ids, and consistent control metadata — for
+ * every workload, in every execution mode. These invariants are what
+ * the architecture models silently rely on.
+ */
+#include <gtest/gtest.h>
+
+#include "vm/interp/handler_model.h"
+#include "vm_test_util.h"
+#include "workloads/workload.h"
+
+namespace jrs {
+namespace {
+
+/** Validating sink: records violations instead of asserting per event
+ *  (a run produces millions of events). */
+class InvariantSink : public TraceSink {
+  public:
+    void onEvent(const TraceEvent &ev) override {
+        ++events_;
+
+        // pc must lie in a code segment.
+        const bool pc_ok = inSegment(ev.pc, seg::kInterpCode)
+            || inSegment(ev.pc, seg::kTranslateCode)
+            || inSegment(ev.pc, seg::kCodeCache)
+            || inSegment(ev.pc, seg::kRuntimeCode);
+        if (!pc_ok)
+            ++badPc_;
+
+        // Phase must match the pc's home segment for code we control.
+        if (ev.phase == Phase::Interpret
+            && !inSegment(ev.pc, seg::kInterpCode)) {
+            ++phaseMismatch_;
+        }
+        if (ev.phase == Phase::NativeExec
+            && !inSegment(ev.pc, seg::kCodeCache)) {
+            ++phaseMismatch_;
+        }
+
+        // Memory operands must lie in data-bearing segments. (The
+        // code cache counts: code installation writes there, and
+        // that is precisely the paper's Figure 3/5 effect.)
+        if (isMemory(ev.kind)) {
+            const bool mem_ok = inSegment(ev.mem, seg::kHeap)
+                || inSegment(ev.mem, seg::kStacks)
+                || inSegment(ev.mem, seg::kClassData)
+                || inSegment(ev.mem, seg::kTranslateData)
+                || inSegment(ev.mem, seg::kRuntimeData)
+                || inSegment(ev.mem, seg::kCodeCache)
+                || inSegment(ev.mem, seg::kInterpCode)    // jump table
+                || inSegment(ev.mem, seg::kTranslateCode);  // rodata
+            // (code segments appear as data when code is installed,
+            // jump tables are indexed, or encoder templates are read —
+            // all real phenomena the paper's Section 6 discusses)
+            if (!mem_ok)
+                ++badMem_;
+            if (ev.memSize == 0 || ev.memSize > 8)
+                ++badMemSize_;
+        }
+
+        // Register ids: < 32 or the explicit no-register sentinel.
+        auto reg_ok = [](Reg r) { return r < 32 || r == kNoReg; };
+        if (!reg_ok(ev.rd) || !reg_ok(ev.rs1) || !reg_ok(ev.rs2))
+            ++badReg_;
+
+        // Control transfers carry a target; non-control events don't
+        // get classified as taken branches.
+        if (isControl(ev.kind) && ev.kind != NKind::Ret
+            && ev.kind != NKind::Branch && ev.target == 0) {
+            ++badTarget_;
+        }
+    }
+
+    std::uint64_t events_ = 0;
+    std::uint64_t badPc_ = 0;
+    std::uint64_t badMem_ = 0;
+    std::uint64_t badMemSize_ = 0;
+    std::uint64_t badReg_ = 0;
+    std::uint64_t badTarget_ = 0;
+    std::uint64_t phaseMismatch_ = 0;
+};
+
+class TraceInvariants : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(TraceInvariants, HoldInInterpMode)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    InvariantSink sink;
+    const Program prog = w->build();
+    (void)test::runProgram(prog, w->tinyArg,
+                           std::make_shared<NeverCompilePolicy>(),
+                           &sink);
+    EXPECT_GT(sink.events_, 0u);
+    EXPECT_EQ(sink.badPc_, 0u);
+    EXPECT_EQ(sink.badMem_, 0u);
+    EXPECT_EQ(sink.badMemSize_, 0u);
+    EXPECT_EQ(sink.badReg_, 0u);
+    EXPECT_EQ(sink.badTarget_, 0u);
+    EXPECT_EQ(sink.phaseMismatch_, 0u);
+}
+
+TEST_P(TraceInvariants, HoldInJitMode)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    InvariantSink sink;
+    const Program prog = w->build();
+    (void)test::runProgram(prog, w->tinyArg,
+                           std::make_shared<AlwaysCompilePolicy>(),
+                           &sink);
+    EXPECT_EQ(sink.badPc_, 0u);
+    EXPECT_EQ(sink.badMem_, 0u);
+    EXPECT_EQ(sink.badReg_, 0u);
+    EXPECT_EQ(sink.phaseMismatch_, 0u);
+}
+
+TEST_P(TraceInvariants, HoldUnderTieredWithExtras)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    InvariantSink sink;
+    const Program prog = w->build();
+    EngineConfig cfg;
+    cfg.policy = std::make_shared<CounterPolicy>(3);
+    cfg.osrBackEdgeThreshold = 32;
+    cfg.jitInlining = true;
+    cfg.interpreterFolding = true;
+    cfg.sink = &sink;
+    ExecutionEngine engine(prog, cfg);
+    const RunResult r = engine.run(w->tinyArg);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(sink.badPc_, 0u);
+    EXPECT_EQ(sink.badMem_, 0u);
+    EXPECT_EQ(sink.badReg_, 0u);
+    EXPECT_EQ(sink.phaseMismatch_, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, TraceInvariants,
+    ::testing::Values("compress", "jess", "db", "javac", "mpeg",
+                      "mtrt", "jack", "hello"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(TraceInvariants, InterpHandlersStayInTheirSlots)
+{
+    // Interpret-phase handler-body pcs must stay inside the emitting
+    // opcode's slot (the compact-footprint property behind the
+    // interpreter's I-cache behaviour). We can't know the opcode per
+    // event, but every Interpret pc must be in the dispatch area, the
+    // invoke stubs, or some handler slot.
+    class SlotSink : public TraceSink {
+      public:
+        void onEvent(const TraceEvent &ev) override {
+            if (ev.phase != Phase::Interpret)
+                return;
+            if (!inSegment(ev.pc, seg::kInterpCode)) {
+                ++outside_;
+                return;
+            }
+            const SimAddr off = ev.pc - seg::kInterpCode;
+            if (off < 0x1000)
+                return;  // dispatch loop / tables / stubs
+            const SimAddr slot_end = kHandlerBase
+                + kHandlerSlotBytes * kNumOpcodes;
+            if (ev.pc >= slot_end)
+                ++outside_;
+        }
+        std::uint64_t outside_ = 0;
+    } sink;
+    const WorkloadInfo *w = findWorkload("javac");
+    const Program prog = w->build();
+    (void)test::runProgram(prog, w->tinyArg,
+                           std::make_shared<NeverCompilePolicy>(),
+                           &sink);
+    EXPECT_EQ(sink.outside_, 0u);
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "arch/cache/cache.h"
+#include "arch/mix/instruction_mix.h"
+#include "isa/trace_io.h"
+#include "vm_test_util.h"
+
+namespace jrs {
+namespace {
+
+/** Temp path helper; removed at scope exit. */
+struct TempFile {
+    TempFile() : path(std::string(::testing::TempDir())
+                      + "jrs_trace_test.bin") {}
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+TEST(TraceIo, RoundTripsEveryField)
+{
+    TempFile tmp;
+    TraceEvent in;
+    in.pc = 0x1234'5678'9abcull;
+    in.mem = 0xdead'beefull;
+    in.target = 0x4000'0040ull;
+    in.kind = NKind::IndirectCall;
+    in.phase = Phase::Translate;
+    in.taken = true;
+    in.memSize = 8;
+    in.rd = 3;
+    in.rs1 = 17;
+    in.rs2 = kNoReg;
+    {
+        TraceFileWriter w(tmp.path);
+        w.onEvent(in);
+        w.onFinish();
+        EXPECT_EQ(w.eventsWritten(), 1u);
+    }
+    RecordingSink rec;
+    EXPECT_EQ(replayTraceFile(tmp.path, rec), 1u);
+    ASSERT_EQ(rec.events().size(), 1u);
+    const TraceEvent &out = rec.events()[0];
+    EXPECT_EQ(out.pc, in.pc);
+    EXPECT_EQ(out.mem, in.mem);
+    EXPECT_EQ(out.target, in.target);
+    EXPECT_EQ(out.kind, in.kind);
+    EXPECT_EQ(out.phase, in.phase);
+    EXPECT_EQ(out.taken, in.taken);
+    EXPECT_EQ(out.memSize, in.memSize);
+    EXPECT_EQ(out.rd, in.rd);
+    EXPECT_EQ(out.rs1, in.rs1);
+    EXPECT_EQ(out.rs2, in.rs2);
+}
+
+TEST(TraceIo, RecordedRunReplaysToIdenticalAnalysis)
+{
+    TempFile tmp;
+    const Program prog = test::makeProgram([](MethodBuilder &m) {
+        m.locals(2);
+        m.iconst(40).istore(1);
+        Label loop = m.newLabel(), done = m.newLabel();
+        m.bind(loop);
+        m.iload(1).ifle(done);
+        m.iinc(1, -1);
+        m.gotoL(loop);
+        m.bind(done);
+        m.iconst(0).ireturn();
+    });
+
+    // Live analysis + recording in one run.
+    InstructionMix live_mix;
+    CacheSink live_cache({4096, 32, 2, true}, {4096, 32, 2, true});
+    {
+        TraceFileWriter writer(tmp.path);
+        MultiSink multi;
+        multi.add(&live_mix);
+        multi.add(&live_cache);
+        multi.add(&writer);
+        (void)test::runProgram(prog, 0,
+                               std::make_shared<NeverCompilePolicy>(),
+                               &multi);
+    }
+
+    // Offline replay must reproduce the analysis exactly.
+    InstructionMix replay_mix;
+    CacheSink replay_cache({4096, 32, 2, true}, {4096, 32, 2, true});
+    MultiSink multi;
+    multi.add(&replay_mix);
+    multi.add(&replay_cache);
+    const std::uint64_t n = replayTraceFile(tmp.path, multi);
+    EXPECT_EQ(n, live_mix.total());
+    EXPECT_EQ(replay_mix.total(), live_mix.total());
+    for (std::size_t k = 0; k < kNumNKinds; ++k) {
+        EXPECT_EQ(replay_mix.count(static_cast<NKind>(k)),
+                  live_mix.count(static_cast<NKind>(k)));
+    }
+    EXPECT_EQ(replay_cache.icache().stats().misses(),
+              live_cache.icache().stats().misses());
+    EXPECT_EQ(replay_cache.dcache().stats().misses(),
+              live_cache.dcache().stats().misses());
+    EXPECT_EQ(replay_cache.dcache().stats().writeMisses,
+              live_cache.dcache().stats().writeMisses);
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    RecordingSink rec;
+    EXPECT_THROW(replayTraceFile("/nonexistent/path/x.bin", rec),
+                 VmError);
+}
+
+TEST(TraceIo, RejectsGarbageFile)
+{
+    TempFile tmp;
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    RecordingSink rec;
+    EXPECT_THROW(replayTraceFile(tmp.path, rec), VmError);
+}
+
+TEST(TraceIo, EmptyTraceReplaysZeroEvents)
+{
+    TempFile tmp;
+    {
+        TraceFileWriter w(tmp.path);
+        w.onFinish();
+    }
+    CountingSink count;
+    EXPECT_EQ(replayTraceFile(tmp.path, count), 0u);
+    EXPECT_EQ(count.total(), 0u);
+}
+
+} // namespace
+} // namespace jrs

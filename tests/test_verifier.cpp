@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "vm/bytecode/verifier.h"
+#include "vm_test_util.h"
+#include "workloads/workload.h"
+
+namespace jrs {
+namespace {
+
+TEST(VerifyLattice, JoinRules)
+{
+    EXPECT_EQ(joinVTy(VTy::Int, VTy::Int), VTy::Int);
+    EXPECT_EQ(joinVTy(VTy::Ref, VTy::Null), VTy::Ref);
+    EXPECT_EQ(joinVTy(VTy::Null, VTy::Ref), VTy::Ref);
+    EXPECT_EQ(joinVTy(VTy::Null, VTy::Null), VTy::Null);
+    EXPECT_EQ(joinVTy(VTy::Int, VTy::Float), VTy::Top);
+    EXPECT_EQ(joinVTy(VTy::Int, VTy::Ref), VTy::Top);
+    EXPECT_EQ(joinVTy(VTy::Top, VTy::Int), VTy::Top);
+    EXPECT_STREQ(vtyName(VTy::Null), "null");
+}
+
+TEST(Verify, RejectsIaddOnFloats)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.fconst(1.0f).fconst(2.0f).iadd().ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsArithmeticOnRefs)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.iconst(4).newArray(ArrayKind::Int);
+                     m.iconst(4).newArray(ArrayKind::Int);
+                     m.iadd().ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsFloatLoadOfIntLocal)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.locals(2);
+                     m.iconst(1).istore(1);
+                     m.fload(1).f2i().ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsRefLoadOfFreshLocal)
+{
+    // Non-argument locals are zero-initialized ints: reading one as a
+    // reference would diverge between the engines.
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.locals(2);
+                     m.aload(1).arrayLength().ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsWrongReturnKind)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.fconst(1.0f).freturn();  // method returns int
+                 }),
+                 VerifyError);
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.returnVoid();  // method returns int
+                 }),
+                 VerifyError);
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.iconst(4).newArray(ArrayKind::Int).areturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsStaticTypeMismatch)
+{
+    EXPECT_THROW(
+        test::makeProgramFull([](ProgramBuilder &pb) {
+            pb.staticSlot("f", VType::Float);
+            ClassBuilder &t = pb.cls("T");
+            MethodBuilder &m =
+                t.staticMethod("main", {VType::Int}, VType::Int);
+            m.getStaticI("f").ireturn();  // int access of float slot
+        }),
+        VerifyError);
+}
+
+TEST(Verify, RejectsIntStoreIntoRefArray)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.locals(2);
+                     m.iconst(4).newArray(ArrayKind::Ref).astore(1);
+                     m.aload(1).iconst(0).iconst(7).aastore();
+                     m.iconst(0).ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsCallWithWrongArgType)
+{
+    EXPECT_THROW(
+        test::makeProgramFull([](ProgramBuilder &pb) {
+            ClassBuilder &t = pb.cls("T");
+            {
+                MethodBuilder &m =
+                    t.staticMethod("f", {VType::Float}, VType::Int);
+                m.fload(0).f2i().ireturn();
+            }
+            MethodBuilder &m =
+                t.staticMethod("main", {VType::Int}, VType::Int);
+            m.iload(0).invokeStatic("T.f").ireturn();  // int arg
+        }),
+        VerifyError);
+}
+
+TEST(Verify, RejectsMonitorOnInt)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.iconst(1).monitorEnter();
+                     m.iconst(0).ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsAthrowOfInt)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.iconst(1).athrow();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsUseOfMergeConflict)
+{
+    // One path leaves an int in local 1, the other a float; the merged
+    // slot is unusable by either typed load.
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.locals(2);
+                     Label other = m.newLabel(), join = m.newLabel();
+                     m.iload(0).ifeq(other);
+                     m.fconst(1.0f).fstore(1);
+                     m.gotoL(join);
+                     m.bind(other);
+                     m.iconst(2).istore(1);
+                     m.bind(join);
+                     m.fload(1).f2i().ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, MergeConflictIsFineIfOverwritten)
+{
+    // The same merge is legal when the slot is re-stored before use.
+    EXPECT_EQ(test::bothModes(
+                  [](MethodBuilder &m) {
+                      m.locals(2);
+                      Label other = m.newLabel(), join = m.newLabel();
+                      m.iload(0).ifeq(other);
+                      m.fconst(1.0f).fstore(1);
+                      m.gotoL(join);
+                      m.bind(other);
+                      m.iconst(2).istore(1);
+                      m.bind(join);
+                      m.iconst(9).istore(1);
+                      m.iload(1).ireturn();
+                  },
+                  1),
+              9);
+}
+
+TEST(Verify, NullMergesIntoRef)
+{
+    EXPECT_EQ(test::bothModes(
+                  [](MethodBuilder &m) {
+                      m.locals(2);
+                      Label real = m.newLabel(), join = m.newLabel();
+                      m.iload(0).ifne(real);
+                      m.aconstNull().astore(1);
+                      m.gotoL(join);
+                      m.bind(real);
+                      m.iconst(3).newArray(ArrayKind::Int).astore(1);
+                      m.bind(join);
+                      Label is_null = m.newLabel();
+                      m.aload(1).ifnull(is_null);
+                      m.aload(1).arrayLength().ireturn();
+                      m.bind(is_null);
+                      m.iconst(-1).ireturn();
+                  },
+                  1),
+              3);
+}
+
+TEST(Verify, HandlerEntryIsRefTyped)
+{
+    // The handler may treat the incoming value as a reference.
+    EXPECT_EQ(test::interpret([](MethodBuilder &m) {
+        m.locals(2);
+        Label ts = m.newLabel(), te = m.newLabel(), h = m.newLabel();
+        m.bind(ts);
+        m.iconst(1).iload(0).idiv().pop();
+        m.bind(te);
+        m.iconst(1).ireturn();
+        m.bind(h);
+        m.astore(1);  // exception ref
+        m.iconst(2).ireturn();
+        m.addHandler(ts, te, h);
+    }, 0), 2);
+}
+
+TEST(Verify, RejectsHandlerTreatingExceptionAsInt)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     Label ts = m.newLabel(), te = m.newLabel();
+                     Label h = m.newLabel();
+                     m.bind(ts);
+                     m.iconst(1).iload(0).idiv().pop();
+                     m.bind(te);
+                     m.iconst(1).ireturn();
+                     m.bind(h);
+                     m.ireturn();  // exception ref returned as int
+                     m.addHandler(ts, te, h);
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, RejectsBadSpawnTarget)
+{
+    EXPECT_THROW(
+        test::makeProgramFull([](ProgramBuilder &pb) {
+            ClassBuilder &t = pb.cls("T");
+            {
+                MethodBuilder &m = t.staticMethod(
+                    "w2", {VType::Int, VType::Int}, VType::Void);
+                m.returnVoid();
+            }
+            MethodBuilder &m =
+                t.staticMethod("main", {VType::Int}, VType::Int);
+            m.iconst(0).spawnThread("T.w2").ireturn();
+        }),
+        VerifyError);
+}
+
+TEST(Verify, AllWorkloadsAreTypeClean)
+{
+    // Building a workload runs the verifier; none may throw.
+    for (const WorkloadInfo &w : allWorkloads())
+        EXPECT_NO_THROW((void)w.build()) << w.name;
+}
+
+TEST(Verify, FcmplRequiresFloats)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.iconst(1).iconst(2).fcmpl().ireturn();
+                 }),
+                 VerifyError);
+}
+
+TEST(Verify, ConversionsAreDirectional)
+{
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.fconst(1.0f).i2f().f2i().ireturn();
+                 }),
+                 VerifyError);
+    EXPECT_THROW(test::makeProgram([](MethodBuilder &m) {
+                     m.iconst(1).f2i().ireturn();
+                 }),
+                 VerifyError);
+}
+
+} // namespace
+} // namespace jrs

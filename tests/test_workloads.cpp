@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "vm_test_util.h"
+#include "workloads/workload.h"
+
+namespace jrs {
+namespace {
+
+RunResult
+runMode(const WorkloadInfo &w, std::shared_ptr<CompilationPolicy> p,
+        SyncKind sync = SyncKind::ThinLock)
+{
+    RunSpec s;
+    s.workload = &w;
+    s.arg = w.tinyArg;
+    s.policy = std::move(p);
+    s.syncKind = sync;
+    return runWorkload(s);
+}
+
+/** Every workload, four policies, identical checksums. */
+class WorkloadModes : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadModes, AllPoliciesAgree)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    const RunResult interp =
+        runMode(*w, std::make_shared<NeverCompilePolicy>());
+    const RunResult jit =
+        runMode(*w, std::make_shared<AlwaysCompilePolicy>());
+    const RunResult counter =
+        runMode(*w, std::make_shared<CounterPolicy>(3));
+    EXPECT_EQ(interp.exitValue, jit.exitValue);
+    EXPECT_EQ(interp.exitValue, counter.exitValue);
+    EXPECT_EQ(interp.output, jit.output);
+    EXPECT_GT(interp.totalEvents, 0u);
+    EXPECT_EQ(jit.bytecodesInterpreted, 0u);
+    EXPECT_GT(jit.methodsCompiled, 0u);
+}
+
+TEST_P(WorkloadModes, OracleMatchesAndIsNoWorse)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    const OracleOutcome o = runOracleExperiment(*w, w->tinyArg);
+    EXPECT_EQ(o.interpRun.exitValue, o.oracleRun.exitValue);
+    // The oracle may not beat both pure modes on tiny inputs, but it
+    // must never be grossly worse than the better of the two.
+    const std::uint64_t best =
+        std::min(o.interpRun.totalEvents, o.jitRun.totalEvents);
+    EXPECT_LE(o.oracleRun.totalEvents, best + best / 4);
+}
+
+TEST_P(WorkloadModes, SyncImplementationsAgreeOnResult)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    const RunResult thin = runMode(
+        *w, std::make_shared<AlwaysCompilePolicy>(), SyncKind::ThinLock);
+    const RunResult fat = runMode(
+        *w, std::make_shared<AlwaysCompilePolicy>(),
+        SyncKind::MonitorCache);
+    const RunResult onebit = runMode(
+        *w, std::make_shared<AlwaysCompilePolicy>(),
+        SyncKind::OneBitLock);
+    EXPECT_EQ(thin.exitValue, fat.exitValue);
+    EXPECT_EQ(thin.exitValue, onebit.exitValue);
+    // Case classification is workload-determined.
+    for (std::size_t c = 0; c < kNumLockCases; ++c) {
+        EXPECT_EQ(thin.lockStats.caseCount[c],
+                  fat.lockStats.caseCount[c]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadModes,
+    ::testing::Values("compress", "jess", "db", "javac", "mpeg",
+                      "mtrt", "jack", "hello"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(Workloads, RegistryIsComplete)
+{
+    EXPECT_EQ(allWorkloads().size(), 8u);
+    EXPECT_NE(findWorkload("compress"), nullptr);
+    EXPECT_EQ(findWorkload("nope"), nullptr);
+    for (const WorkloadInfo &w : allWorkloads()) {
+        EXPECT_GT(w.tinyArg, 0);
+        EXPECT_GE(w.smallArg, w.tinyArg);
+        EXPECT_NE(w.description, nullptr);
+    }
+}
+
+TEST(Workloads, DeterministicAcrossRepeatedRuns)
+{
+    const WorkloadInfo *w = findWorkload("db");
+    const RunResult a =
+        runMode(*w, std::make_shared<AlwaysCompilePolicy>());
+    const RunResult b =
+        runMode(*w, std::make_shared<AlwaysCompilePolicy>());
+    EXPECT_EQ(a.exitValue, b.exitValue);
+    EXPECT_EQ(a.totalEvents, b.totalEvents);
+    EXPECT_EQ(a.lockStats.totalAccesses(),
+              b.lockStats.totalAccesses());
+}
+
+TEST(Workloads, DbIsSynchronizationHeavy)
+{
+    const WorkloadInfo *w = findWorkload("db");
+    const RunResult r =
+        runMode(*w, std::make_shared<AlwaysCompilePolicy>());
+    EXPECT_GT(r.lockStats.totalAccesses(), 100u);
+    // Single-threaded: everything is case (a) or (b), mostly (a).
+    EXPECT_EQ(r.lockStats.caseCount[3], 0u);
+    EXPECT_GT(r.lockStats.caseCount[0],
+              r.lockStats.totalAccesses() / 2);
+}
+
+TEST(Workloads, MtrtRunsMultipleThreads)
+{
+    const WorkloadInfo *w = findWorkload("mtrt");
+    const RunResult r =
+        runMode(*w, std::make_shared<AlwaysCompilePolicy>());
+    ASSERT_TRUE(r.completed);
+    // Progress counter bumps = height rows, via synchronized methods.
+    EXPECT_GT(r.lockStats.enterOps, 0u);
+}
+
+TEST(Workloads, JackExercisesExceptions)
+{
+    // jack's checksum folds in caught ParseError positions; a run
+    // without exceptions would change the checksum. Cross-check that
+    // its input really contains bad characters by scanning genInput's
+    // deterministic stream through the interpreter.
+    const WorkloadInfo *w = findWorkload("jack");
+    const RunResult r =
+        runMode(*w, std::make_shared<NeverCompilePolicy>());
+    ASSERT_TRUE(r.completed);
+    EXPECT_NE(r.exitValue, 0);
+}
+
+TEST(Workloads, HelloPrintsGreeting)
+{
+    const WorkloadInfo *w = findWorkload("hello");
+    const RunResult r =
+        runMode(*w, std::make_shared<NeverCompilePolicy>());
+    EXPECT_EQ(r.output, "Hello, world\n");
+}
+
+TEST(Workloads, GoldenChecksumsPinned)
+{
+    // Pinned values guard against silent semantic drift. If a workload
+    // generator deliberately changes, update these constants.
+    const WorkloadInfo *hello = findWorkload("hello");
+    EXPECT_EQ(runMode(*hello, std::make_shared<NeverCompilePolicy>())
+                  .exitValue,
+              495292);
+}
+
+TEST(Workloads, ScalesWithArgument)
+{
+    const WorkloadInfo *w = findWorkload("compress");
+    RunSpec s1;
+    s1.workload = w;
+    s1.arg = 1000;
+    s1.policy = std::make_shared<NeverCompilePolicy>();
+    RunSpec s2 = s1;
+    s2.arg = 4000;
+    const RunResult a = runWorkload(s1);
+    const RunResult b = runWorkload(s2);
+    EXPECT_GT(b.totalEvents, 2 * a.totalEvents);
+}
+
+TEST(Harness, RunBothModesChecksDivergence)
+{
+    const WorkloadInfo *w = findWorkload("javac");
+    const ModePair mp = runBothModes(*w, w->tinyArg, nullptr, nullptr);
+    EXPECT_EQ(mp.interp.exitValue, mp.jit.exitValue);
+    EXPECT_GT(mp.interp.totalEvents, mp.jit.totalEvents / 2);
+}
+
+TEST(Harness, OracleReportsDecisions)
+{
+    const WorkloadInfo *w = findWorkload("hello");
+    const OracleOutcome o = runOracleExperiment(*w, 1);
+    EXPECT_EQ(o.decisions.size(),
+              o.interpRun.profiles.size());
+    // hello methods are invoked a handful of times at most: the
+    // oracle declines to compile the bulk of them.
+    EXPECT_LE(o.methodsCompiledByOracle,
+              o.jitRun.methodsCompiled / 2);
+    EXPECT_LE(o.oracleRun.totalEvents, o.jitRun.totalEvents);
+}
+
+} // namespace
+} // namespace jrs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared helpers for VM tests: build a one-method program from a
+ * lambda and run it under a chosen policy.
+ */
+#ifndef JRS_TESTS_VM_TEST_UTIL_H
+#define JRS_TESTS_VM_TEST_UTIL_H
+
+#include <functional>
+
+#include "vm/bytecode/assembler.h"
+#include "vm/engine/engine.h"
+
+namespace jrs::test {
+
+/** Build a program whose entry is `T.main(int) -> int`. */
+inline Program
+makeProgram(const std::function<void(MethodBuilder &)> &fill)
+{
+    ProgramBuilder pb("test");
+    ClassBuilder &cls = pb.cls("T");
+    MethodBuilder &m =
+        cls.staticMethod("main", {VType::Int}, VType::Int);
+    fill(m);
+    return pb.finish("T.main");
+}
+
+/** Build a program with full control over the ProgramBuilder. */
+inline Program
+makeProgramFull(const std::function<void(ProgramBuilder &)> &fill,
+                const std::string &entry = "T.main")
+{
+    ProgramBuilder pb("test");
+    fill(pb);
+    return pb.finish(entry);
+}
+
+/** Run a program and return the full result. */
+inline RunResult
+runProgram(const Program &prog, std::int32_t arg,
+           std::shared_ptr<CompilationPolicy> policy = nullptr,
+           TraceSink *sink = nullptr,
+           SyncKind sync = SyncKind::ThinLock)
+{
+    EngineConfig cfg;
+    cfg.policy = policy ? std::move(policy)
+                        : std::make_shared<NeverCompilePolicy>();
+    cfg.sink = sink;
+    cfg.syncKind = sync;
+    ExecutionEngine engine(prog, cfg);
+    return engine.run(arg);
+}
+
+/** Interpret `T.main(arg)` and return its value. */
+inline std::int32_t
+interpret(const std::function<void(MethodBuilder &)> &fill,
+          std::int32_t arg = 0)
+{
+    const Program prog = makeProgram(fill);
+    const RunResult r = runProgram(prog, arg);
+    if (!r.completed) {
+        throw VmError(std::string("test program failed: ")
+                      + (r.uncaughtException ? r.uncaughtException
+                                             : "?"));
+    }
+    return r.exitValue;
+}
+
+/** JIT-compile and run `T.main(arg)`. */
+inline std::int32_t
+jitRun(const std::function<void(MethodBuilder &)> &fill,
+       std::int32_t arg = 0)
+{
+    const Program prog = makeProgram(fill);
+    const RunResult r = runProgram(
+        prog, arg, std::make_shared<AlwaysCompilePolicy>());
+    if (!r.completed) {
+        throw VmError(std::string("test program failed: ")
+                      + (r.uncaughtException ? r.uncaughtException
+                                             : "?"));
+    }
+    return r.exitValue;
+}
+
+/** Run under both engines and require identical results. */
+inline std::int32_t
+bothModes(const std::function<void(MethodBuilder &)> &fill,
+          std::int32_t arg = 0)
+{
+    const std::int32_t a = interpret(fill, arg);
+    const std::int32_t b = jitRun(fill, arg);
+    if (a != b)
+        throw VmError("interp/JIT divergence in test program");
+    return a;
+}
+
+} // namespace jrs::test
+
+#endif // JRS_TESTS_VM_TEST_UTIL_H
