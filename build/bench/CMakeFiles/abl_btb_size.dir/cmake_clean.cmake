@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_btb_size.dir/abl_btb_size.cpp.o"
+  "CMakeFiles/abl_btb_size.dir/abl_btb_size.cpp.o.d"
+  "abl_btb_size"
+  "abl_btb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_btb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

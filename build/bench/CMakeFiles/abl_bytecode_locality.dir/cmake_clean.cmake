@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bytecode_locality.dir/abl_bytecode_locality.cpp.o"
+  "CMakeFiles/abl_bytecode_locality.dir/abl_bytecode_locality.cpp.o.d"
+  "abl_bytecode_locality"
+  "abl_bytecode_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bytecode_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_bytecode_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_bytecode_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_counter_threshold.dir/abl_counter_threshold.cpp.o"
+  "CMakeFiles/abl_counter_threshold.dir/abl_counter_threshold.cpp.o.d"
+  "abl_counter_threshold"
+  "abl_counter_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_counter_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

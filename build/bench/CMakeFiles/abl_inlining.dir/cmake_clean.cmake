@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_inlining.dir/abl_inlining.cpp.o"
+  "CMakeFiles/abl_inlining.dir/abl_inlining.cpp.o.d"
+  "abl_inlining"
+  "abl_inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_input_scaling.dir/abl_input_scaling.cpp.o"
+  "CMakeFiles/abl_input_scaling.dir/abl_input_scaling.cpp.o.d"
+  "abl_input_scaling"
+  "abl_input_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_input_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

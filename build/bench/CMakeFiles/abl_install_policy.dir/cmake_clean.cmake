@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_install_policy.dir/abl_install_policy.cpp.o"
+  "CMakeFiles/abl_install_policy.dir/abl_install_policy.cpp.o.d"
+  "abl_install_policy"
+  "abl_install_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_install_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_osr.dir/abl_osr.cpp.o"
+  "CMakeFiles/abl_osr.dir/abl_osr.cpp.o.d"
+  "abl_osr"
+  "abl_osr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_osr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

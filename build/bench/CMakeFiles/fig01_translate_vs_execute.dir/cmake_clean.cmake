@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_translate_vs_execute.dir/fig01_translate_vs_execute.cpp.o"
+  "CMakeFiles/fig01_translate_vs_execute.dir/fig01_translate_vs_execute.cpp.o.d"
+  "fig01_translate_vs_execute"
+  "fig01_translate_vs_execute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_translate_vs_execute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_instruction_mix.dir/fig02_instruction_mix.cpp.o"
+  "CMakeFiles/fig02_instruction_mix.dir/fig02_instruction_mix.cpp.o.d"
+  "fig02_instruction_mix"
+  "fig02_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

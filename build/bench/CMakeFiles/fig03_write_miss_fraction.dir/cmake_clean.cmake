@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_write_miss_fraction.dir/fig03_write_miss_fraction.cpp.o"
+  "CMakeFiles/fig03_write_miss_fraction.dir/fig03_write_miss_fraction.cpp.o.d"
+  "fig03_write_miss_fraction"
+  "fig03_write_miss_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_write_miss_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

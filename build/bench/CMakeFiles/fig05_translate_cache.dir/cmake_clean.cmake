@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_translate_cache.dir/fig05_translate_cache.cpp.o"
+  "CMakeFiles/fig05_translate_cache.dir/fig05_translate_cache.cpp.o.d"
+  "fig05_translate_cache"
+  "fig05_translate_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_translate_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

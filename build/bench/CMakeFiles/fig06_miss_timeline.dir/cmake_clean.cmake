@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_miss_timeline.dir/fig06_miss_timeline.cpp.o"
+  "CMakeFiles/fig06_miss_timeline.dir/fig06_miss_timeline.cpp.o.d"
+  "fig06_miss_timeline"
+  "fig06_miss_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_miss_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_associativity.dir/fig07_associativity.cpp.o"
+  "CMakeFiles/fig07_associativity.dir/fig07_associativity.cpp.o.d"
+  "fig07_associativity"
+  "fig07_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_line_size.dir/fig08_line_size.cpp.o"
+  "CMakeFiles/fig08_line_size.dir/fig08_line_size.cpp.o.d"
+  "fig08_line_size"
+  "fig08_line_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_line_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

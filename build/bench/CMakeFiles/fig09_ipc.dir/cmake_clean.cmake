@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ipc.dir/fig09_ipc.cpp.o"
+  "CMakeFiles/fig09_ipc.dir/fig09_ipc.cpp.o.d"
+  "fig09_ipc"
+  "fig09_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_issue_width.dir/fig10_issue_width.cpp.o"
+  "CMakeFiles/fig10_issue_width.dir/fig10_issue_width.cpp.o.d"
+  "fig10_issue_width"
+  "fig10_issue_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_issue_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_synchronization.dir/fig11_synchronization.cpp.o"
+  "CMakeFiles/fig11_synchronization.dir/fig11_synchronization.cpp.o.d"
+  "fig11_synchronization"
+  "fig11_synchronization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_synchronization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_memory_footprint.dir/tab01_memory_footprint.cpp.o"
+  "CMakeFiles/tab01_memory_footprint.dir/tab01_memory_footprint.cpp.o.d"
+  "tab01_memory_footprint"
+  "tab01_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_branch_prediction.dir/tab02_branch_prediction.cpp.o"
+  "CMakeFiles/tab02_branch_prediction.dir/tab02_branch_prediction.cpp.o.d"
+  "tab02_branch_prediction"
+  "tab02_branch_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_branch_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

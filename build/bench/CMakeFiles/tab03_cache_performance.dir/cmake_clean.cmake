@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_cache_performance.dir/tab03_cache_performance.cpp.o"
+  "CMakeFiles/tab03_cache_performance.dir/tab03_cache_performance.cpp.o.d"
+  "tab03_cache_performance"
+  "tab03_cache_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_cache_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrs_run.dir/jrs_run.cpp.o"
+  "CMakeFiles/jrs_run.dir/jrs_run.cpp.o.d"
+  "jrs_run"
+  "jrs_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrs_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

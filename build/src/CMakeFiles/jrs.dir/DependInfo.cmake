@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/bpred/btb.cpp" "src/CMakeFiles/jrs.dir/arch/bpred/btb.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/arch/bpred/btb.cpp.o.d"
+  "/root/repo/src/arch/bpred/predictors.cpp" "src/CMakeFiles/jrs.dir/arch/bpred/predictors.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/arch/bpred/predictors.cpp.o.d"
+  "/root/repo/src/arch/cache/cache.cpp" "src/CMakeFiles/jrs.dir/arch/cache/cache.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/arch/cache/cache.cpp.o.d"
+  "/root/repo/src/arch/cache/time_series.cpp" "src/CMakeFiles/jrs.dir/arch/cache/time_series.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/arch/cache/time_series.cpp.o.d"
+  "/root/repo/src/arch/mix/instruction_mix.cpp" "src/CMakeFiles/jrs.dir/arch/mix/instruction_mix.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/arch/mix/instruction_mix.cpp.o.d"
+  "/root/repo/src/arch/pipeline/pipeline.cpp" "src/CMakeFiles/jrs.dir/arch/pipeline/pipeline.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/arch/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/jrs.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/paper_data.cpp" "src/CMakeFiles/jrs.dir/harness/paper_data.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/harness/paper_data.cpp.o.d"
+  "/root/repo/src/isa/address_map.cpp" "src/CMakeFiles/jrs.dir/isa/address_map.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/isa/address_map.cpp.o.d"
+  "/root/repo/src/isa/trace.cpp" "src/CMakeFiles/jrs.dir/isa/trace.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/isa/trace.cpp.o.d"
+  "/root/repo/src/isa/trace_io.cpp" "src/CMakeFiles/jrs.dir/isa/trace_io.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/isa/trace_io.cpp.o.d"
+  "/root/repo/src/support/random.cpp" "src/CMakeFiles/jrs.dir/support/random.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/support/random.cpp.o.d"
+  "/root/repo/src/support/statistics.cpp" "src/CMakeFiles/jrs.dir/support/statistics.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/support/statistics.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/jrs.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/support/table.cpp.o.d"
+  "/root/repo/src/vm/bytecode/assembler.cpp" "src/CMakeFiles/jrs.dir/vm/bytecode/assembler.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/bytecode/assembler.cpp.o.d"
+  "/root/repo/src/vm/bytecode/class_def.cpp" "src/CMakeFiles/jrs.dir/vm/bytecode/class_def.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/bytecode/class_def.cpp.o.d"
+  "/root/repo/src/vm/bytecode/disassembler.cpp" "src/CMakeFiles/jrs.dir/vm/bytecode/disassembler.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/bytecode/disassembler.cpp.o.d"
+  "/root/repo/src/vm/bytecode/opcode.cpp" "src/CMakeFiles/jrs.dir/vm/bytecode/opcode.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/bytecode/opcode.cpp.o.d"
+  "/root/repo/src/vm/bytecode/verifier.cpp" "src/CMakeFiles/jrs.dir/vm/bytecode/verifier.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/bytecode/verifier.cpp.o.d"
+  "/root/repo/src/vm/engine/engine.cpp" "src/CMakeFiles/jrs.dir/vm/engine/engine.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/engine/engine.cpp.o.d"
+  "/root/repo/src/vm/engine/policy.cpp" "src/CMakeFiles/jrs.dir/vm/engine/policy.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/engine/policy.cpp.o.d"
+  "/root/repo/src/vm/engine/profile.cpp" "src/CMakeFiles/jrs.dir/vm/engine/profile.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/engine/profile.cpp.o.d"
+  "/root/repo/src/vm/interp/handler_model.cpp" "src/CMakeFiles/jrs.dir/vm/interp/handler_model.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/interp/handler_model.cpp.o.d"
+  "/root/repo/src/vm/interp/interpreter.cpp" "src/CMakeFiles/jrs.dir/vm/interp/interpreter.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/interp/interpreter.cpp.o.d"
+  "/root/repo/src/vm/jit/code_cache.cpp" "src/CMakeFiles/jrs.dir/vm/jit/code_cache.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/jit/code_cache.cpp.o.d"
+  "/root/repo/src/vm/jit/native_inst.cpp" "src/CMakeFiles/jrs.dir/vm/jit/native_inst.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/jit/native_inst.cpp.o.d"
+  "/root/repo/src/vm/jit/translator.cpp" "src/CMakeFiles/jrs.dir/vm/jit/translator.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/jit/translator.cpp.o.d"
+  "/root/repo/src/vm/native/executor.cpp" "src/CMakeFiles/jrs.dir/vm/native/executor.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/native/executor.cpp.o.d"
+  "/root/repo/src/vm/runtime/class_registry.cpp" "src/CMakeFiles/jrs.dir/vm/runtime/class_registry.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/runtime/class_registry.cpp.o.d"
+  "/root/repo/src/vm/runtime/heap.cpp" "src/CMakeFiles/jrs.dir/vm/runtime/heap.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/runtime/heap.cpp.o.d"
+  "/root/repo/src/vm/runtime/runtime_support.cpp" "src/CMakeFiles/jrs.dir/vm/runtime/runtime_support.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/runtime/runtime_support.cpp.o.d"
+  "/root/repo/src/vm/runtime/thread.cpp" "src/CMakeFiles/jrs.dir/vm/runtime/thread.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/runtime/thread.cpp.o.d"
+  "/root/repo/src/vm/runtime/value.cpp" "src/CMakeFiles/jrs.dir/vm/runtime/value.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/runtime/value.cpp.o.d"
+  "/root/repo/src/vm/sync/lock_stats.cpp" "src/CMakeFiles/jrs.dir/vm/sync/lock_stats.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/sync/lock_stats.cpp.o.d"
+  "/root/repo/src/vm/sync/monitor_cache.cpp" "src/CMakeFiles/jrs.dir/vm/sync/monitor_cache.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/sync/monitor_cache.cpp.o.d"
+  "/root/repo/src/vm/sync/sync_system.cpp" "src/CMakeFiles/jrs.dir/vm/sync/sync_system.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/sync/sync_system.cpp.o.d"
+  "/root/repo/src/vm/sync/thin_lock.cpp" "src/CMakeFiles/jrs.dir/vm/sync/thin_lock.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/vm/sync/thin_lock.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/CMakeFiles/jrs.dir/workloads/compress.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/compress.cpp.o.d"
+  "/root/repo/src/workloads/db.cpp" "src/CMakeFiles/jrs.dir/workloads/db.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/db.cpp.o.d"
+  "/root/repo/src/workloads/hello.cpp" "src/CMakeFiles/jrs.dir/workloads/hello.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/hello.cpp.o.d"
+  "/root/repo/src/workloads/jack.cpp" "src/CMakeFiles/jrs.dir/workloads/jack.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/jack.cpp.o.d"
+  "/root/repo/src/workloads/javac.cpp" "src/CMakeFiles/jrs.dir/workloads/javac.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/javac.cpp.o.d"
+  "/root/repo/src/workloads/jess.cpp" "src/CMakeFiles/jrs.dir/workloads/jess.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/jess.cpp.o.d"
+  "/root/repo/src/workloads/mpeg.cpp" "src/CMakeFiles/jrs.dir/workloads/mpeg.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/mpeg.cpp.o.d"
+  "/root/repo/src/workloads/mtrt.cpp" "src/CMakeFiles/jrs.dir/workloads/mtrt.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/mtrt.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/jrs.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/startup_lib.cpp" "src/CMakeFiles/jrs.dir/workloads/startup_lib.cpp.o" "gcc" "src/CMakeFiles/jrs.dir/workloads/startup_lib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for jrs.
+# This may be replaced when dependencies are built.

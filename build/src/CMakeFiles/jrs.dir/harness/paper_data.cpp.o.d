@@ -1,0 +1,3 @@
+src/CMakeFiles/jrs.dir/harness/paper_data.cpp.o: \
+ /root/repo/src/harness/paper_data.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/harness/paper_data.h

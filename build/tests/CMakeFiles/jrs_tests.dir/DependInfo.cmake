@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bpred.cpp" "tests/CMakeFiles/jrs_tests.dir/test_bpred.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_bpred.cpp.o.d"
+  "/root/repo/tests/test_bytecode.cpp" "tests/CMakeFiles/jrs_tests.dir/test_bytecode.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_bytecode.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/jrs_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/jrs_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/jrs_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_inlining.cpp" "tests/CMakeFiles/jrs_tests.dir/test_inlining.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_inlining.cpp.o.d"
+  "/root/repo/tests/test_jit.cpp" "tests/CMakeFiles/jrs_tests.dir/test_jit.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_jit.cpp.o.d"
+  "/root/repo/tests/test_objects.cpp" "tests/CMakeFiles/jrs_tests.dir/test_objects.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_objects.cpp.o.d"
+  "/root/repo/tests/test_osr.cpp" "tests/CMakeFiles/jrs_tests.dir/test_osr.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_osr.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/jrs_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/jrs_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/jrs_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_semantics.cpp" "tests/CMakeFiles/jrs_tests.dir/test_semantics.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_semantics.cpp.o.d"
+  "/root/repo/tests/test_startup_lib.cpp" "tests/CMakeFiles/jrs_tests.dir/test_startup_lib.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_startup_lib.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/jrs_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/jrs_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_sync.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/jrs_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_invariants.cpp" "tests/CMakeFiles/jrs_tests.dir/test_trace_invariants.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_trace_invariants.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/jrs_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_verifier.cpp" "tests/CMakeFiles/jrs_tests.dir/test_verifier.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_verifier.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/jrs_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/jrs_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jrs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
