@@ -7,74 +7,65 @@
  * the problem: the dispatch jump is a single site with ~90 live
  * targets, so its misprediction rate barely moves with BTB size —
  * the miss is target interference, not capacity.
+ *
+ * Runs on the sweep engine: the four BTB capacities share one
+ * recording per (workload, mode), and streams replay in parallel
+ * across `--jobs` workers.
  */
-#include "arch/bpred/btb.h"
 #include "bench_util.h"
+#include "sweep/grids.h"
 
 using namespace jrs;
 
-namespace {
-
-/** Measures indirect-target misprediction for several BTB sizes. */
-class BtbSweepSink : public TraceSink {
-  public:
-    explicit BtbSweepSink(const std::vector<std::size_t> &sizes) {
-        for (std::size_t s : sizes)
-            btbs_.emplace_back(s);
-        misses_.assign(btbs_.size(), 0);
-    }
-
-    void onEvent(const TraceEvent &ev) override {
-        if (ev.kind != NKind::IndirectJump
-            && ev.kind != NKind::IndirectCall) {
-            return;
-        }
-        ++indirects_;
-        for (std::size_t i = 0; i < btbs_.size(); ++i) {
-            if (btbs_[i].predict(ev.pc) != ev.target)
-                ++misses_[i];
-            btbs_[i].update(ev.pc, ev.target);
-        }
-    }
-
-    std::uint64_t indirects() const { return indirects_; }
-    std::uint64_t misses(std::size_t i) const { return misses_[i]; }
-
-  private:
-    std::vector<Btb> btbs_;
-    std::vector<std::uint64_t> misses_;
-    std::uint64_t indirects_ = 0;
-};
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::SweepBenchArgs args =
+        bench::parseSweepBenchArgs(argc, argv);
+
     bench::header(
         "Ablation — BTB size sweep for indirect transfers",
         "interp dispatch mispredicts are interference, not capacity: "
         "bigger BTBs barely help");
 
-    const std::vector<std::size_t> sizes = {64, 256, 1024, 4096};
+    sweep::SweepOptions opts;
+    opts.jobs = args.jobs;
+    opts.cacheDir = args.cacheDir;
+    sweep::SweepEngine engine(opts);
+    const sweep::SweepResult result =
+        engine.run(sweep::buildBtbGrid());
+    if (!result.allOk()) {
+        for (const sweep::PointResult &p : result.points) {
+            if (!p.ok)
+                std::cerr << p.label << ": " << p.error << '\n';
+        }
+        return 1;
+    }
+
     Table t({"workload", "mode", "indirects", "btb64%", "btb256%",
              "btb1k%", "btb4k%"});
-
     for (const WorkloadInfo *w : bench::suite()) {
-        BtbSweepSink interp_sink(sizes), jit_sink(sizes);
-        (void)runBothModes(*w, 0, &interp_sink, &jit_sink);
         for (const bool jit : {false, true}) {
-            const BtbSweepSink &s = jit ? jit_sink : interp_sink;
+            const sweep::PointResult *p =
+                result.find(sweep::btbLabel(w->name, jit));
             std::vector<std::string> row{
                 w->name, jit ? "jit" : "interp",
-                withCommas(s.indirects())};
-            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                withCommas(static_cast<std::uint64_t>(
+                    p->metric("indirects")))};
+            for (const std::size_t size : sweep::kBtbSizes) {
                 row.push_back(fixed(
-                    percent(s.misses(i), s.indirects()), 1));
+                    p->metric(sweep::btbMetricName(size)), 1));
             }
             t.addRow(row);
         }
     }
     t.print(std::cout);
+    std::cout << "sweep: " << fixed(result.wallSeconds, 2) << "s, "
+              << result.jobs << " jobs, "
+              << result.traces.recordings << " recordings, "
+              << result.traces.diskLoads << " disk loads\n";
+
+    if (!args.json.empty())
+        result.writeJson(args.json);
     return 0;
 }

@@ -6,6 +6,8 @@
 #ifndef JRS_BENCH_BENCH_UTIL_H
 #define JRS_BENCH_BENCH_UTIL_H
 
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,17 +18,39 @@
 
 namespace jrs::bench {
 
-/** The seven SpecJVM98-like programs (hello excluded by default). */
-inline std::vector<const WorkloadInfo *>
+/**
+ * The SpecJVM98-like bench suite, in the paper's presentation order.
+ *
+ * @param include_hello When false (the default), the `hello` program
+ *   is excluded: it is the system-init archetype — tiny methods run
+ *   once — and carries no steady-state signal, so most figures skip
+ *   it just as the paper reports SpecJVM98 programs only. Pass true
+ *   for experiments where startup behaviour is the point (e.g. the
+ *   Figure 8 line-size sweep, which shows hello's short methods
+ *   preferring small lines).
+ *
+ * The two variants are built once and memoized; callers get a
+ * reference to a process-lifetime vector, so the per-call vector
+ * rebuild (and the dangling-reference hazard of binding a temporary)
+ * is gone.
+ */
+inline const std::vector<const WorkloadInfo *> &
 suite(bool include_hello = false)
 {
-    std::vector<const WorkloadInfo *> out;
-    for (const WorkloadInfo &w : allWorkloads()) {
-        if (!include_hello && std::string(w.name) == "hello")
-            continue;
-        out.push_back(&w);
-    }
-    return out;
+    static const auto build = [](bool with_hello) {
+        std::vector<const WorkloadInfo *> out;
+        for (const WorkloadInfo &w : allWorkloads()) {
+            if (!with_hello && std::string(w.name) == "hello")
+                continue;
+            out.push_back(&w);
+        }
+        return out;
+    };
+    static const std::vector<const WorkloadInfo *> kWithHello =
+        build(true);
+    static const std::vector<const WorkloadInfo *> kWithoutHello =
+        build(false);
+    return include_hello ? kWithHello : kWithoutHello;
 }
 
 /** Print a standard bench header. */
@@ -39,6 +63,93 @@ header(const char *experiment, const char *paper_note)
               << "paper: " << paper_note << '\n'
               << "==================================================="
                  "===========================\n";
+}
+
+/** Command-line options shared by the sweep-engine bench ports. */
+struct SweepBenchArgs {
+    unsigned jobs = 0;        ///< 0 = hardware concurrency
+    std::string json;         ///< --json: write the SweepResult
+    std::string cacheDir;     ///< --cache-dir: on-disk trace cache
+    bool compareSerial = false;  ///< --compare-serial
+    std::string benchJson;    ///< --bench-json: speedup trajectory file
+};
+
+/** Parse the flags above; exits with usage on unknown arguments. */
+inline SweepBenchArgs
+parseSweepBenchArgs(int argc, char **argv)
+{
+    SweepBenchArgs out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << a << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--jobs") {
+            const std::string v = next();
+            char *end = nullptr;
+            out.jobs = static_cast<unsigned>(
+                std::strtoul(v.c_str(), &end, 10));
+            if (end == v.c_str() || *end != '\0') {
+                std::cerr << "error: --jobs expects a number\n";
+                std::exit(2);
+            }
+        } else if (a == "--json") {
+            out.json = next();
+        } else if (a == "--cache-dir") {
+            out.cacheDir = next();
+        } else if (a == "--compare-serial") {
+            out.compareSerial = true;
+        } else if (a == "--bench-json") {
+            out.benchJson = next();
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--jobs N] [--json FILE] [--cache-dir DIR]"
+                         " [--compare-serial] [--bench-json FILE]\n";
+            std::exit(2);
+        }
+    }
+    return out;
+}
+
+/**
+ * Append one JSON object to a {"schema": "jrs-bench-sweep-v1",
+ * "entries": [...]} trajectory file, creating the file on first use.
+ * @p entry must be a complete JSON object ("{...}").
+ */
+inline void
+appendBenchJson(const std::string &path, const std::string &entry)
+{
+    std::string body;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            body.append(buf, n);
+        std::fclose(f);
+    }
+    const std::size_t tail = body.rfind("\n  ]");
+    if (tail == std::string::npos) {
+        body = "{\n  \"schema\": \"jrs-bench-sweep-v1\",\n"
+               "  \"entries\": [\n    "
+            + entry + "\n  ]\n}\n";
+    } else {
+        body.insert(tail, ",\n    " + entry);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        std::cerr << "error: cannot write " << path << '\n';
+        std::exit(1);
+    }
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok) {
+        std::cerr << "error: cannot write " << path << '\n';
+        std::exit(1);
+    }
 }
 
 } // namespace jrs::bench

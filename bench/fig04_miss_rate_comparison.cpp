@@ -7,47 +7,70 @@
  * behaviour approaches C/C++ while its D-cache miss rate is the worst
  * of all families. (The C/C++ rows are the paper's reported values —
  * external baselines there too.)
+ *
+ * Runs on the sweep engine (`--jobs N`): both execution modes of a
+ * workload reuse recordings that any co-resident sweep (fig07/fig08,
+ * via --cache-dir or the `all` grid) already produced.
  */
-#include "arch/cache/cache.h"
 #include "bench_util.h"
 #include "harness/paper_data.h"
+#include "sweep/grids.h"
 
 using namespace jrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::SweepBenchArgs args =
+        bench::parseSweepBenchArgs(argc, argv);
+
     bench::header(
         "Figure 4 — average miss rates vs C/C++ reference",
         "interp < C/C++ on both; JIT I-cache ~ C/C++, JIT D-cache "
         "worst of all families");
 
-    const CacheConfig icfg{64 * 1024, 32, 2, true};
-    const CacheConfig dcfg{64 * 1024, 32, 4, true};
+    sweep::SweepOptions opts;
+    opts.jobs = args.jobs;
+    opts.cacheDir = args.cacheDir;
+    sweep::SweepEngine engine(opts);
+    const sweep::SweepResult result =
+        engine.run(sweep::buildFig04Grid());
+    if (!result.allOk()) {
+        for (const sweep::PointResult &p : result.points) {
+            if (!p.ok)
+                std::cerr << p.label << ": " << p.error << '\n';
+        }
+        return 1;
+    }
 
-    double i_interp = 0, d_interp = 0, i_jit = 0, d_jit = 0;
+    double i_sum[2] = {}, d_sum[2] = {};
     int n = 0;
     for (const WorkloadInfo *w : bench::suite()) {
-        CacheSink interp_sink(icfg, dcfg);
-        CacheSink jit_sink(icfg, dcfg);
-        (void)runBothModes(*w, 0, &interp_sink, &jit_sink);
-        i_interp += interp_sink.icache().stats().missRate();
-        d_interp += interp_sink.dcache().stats().missRate();
-        i_jit += jit_sink.icache().stats().missRate();
-        d_jit += jit_sink.dcache().stats().missRate();
+        for (const bool jit : {false, true}) {
+            const sweep::PointResult *p =
+                result.find(sweep::fig04Label(w->name, jit));
+            i_sum[jit] += p->metric("icache_miss_pct");
+            d_sum[jit] += p->metric("dcache_miss_pct");
+        }
         ++n;
     }
 
     Table t({"family", "icache_miss%", "dcache_miss%", "source"});
-    t.addRow({"Java interp (measured)",
-              fixed(100.0 * i_interp / n, 3),
-              fixed(100.0 * d_interp / n, 3), "jrs simulator"});
-    t.addRow({"Java JIT (measured)", fixed(100.0 * i_jit / n, 3),
-              fixed(100.0 * d_jit / n, 3), "jrs simulator"});
+    t.addRow({"Java interp (measured)", fixed(i_sum[0] / n, 3),
+              fixed(d_sum[0] / n, 3), "jrs simulator"});
+    t.addRow({"Java JIT (measured)", fixed(i_sum[1] / n, 3),
+              fixed(d_sum[1] / n, 3), "jrs simulator"});
     for (const auto &ref : paper::kFig4Reference) {
         t.addRow({ref.family, fixed(ref.icachePct, 2),
                   fixed(ref.dcachePct, 2), "paper (plot read)"});
     }
     t.print(std::cout);
+    std::cout << "sweep: " << fixed(result.wallSeconds, 2) << "s, "
+              << result.jobs << " jobs, "
+              << result.traces.recordings << " recordings, "
+              << result.traces.diskLoads << " disk loads\n";
+
+    if (!args.json.empty())
+        result.writeJson(args.json);
     return 0;
 }

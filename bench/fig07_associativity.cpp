@@ -4,31 +4,47 @@
  * 2, 4, 8) on I- and D-cache miss rates, suite averages per mode.
  *
  * To reproduce: misses fall as associativity rises, with the largest
- * step from direct-mapped to 2-way. All configurations observe one
- * run per (workload, mode) through a fan-out sink.
+ * step from direct-mapped to 2-way.
+ *
+ * This bench runs on the sweep engine: each (workload, mode) stream
+ * is recorded once and replayed into the four associativity models,
+ * with streams processed in parallel across `--jobs` workers.
+ * `--compare-serial` also runs the pre-sweep implementation (live VM
+ * run per point) and checks the two produce bit-identical miss rates;
+ * `--bench-json FILE` appends the serial/cold/warm wall times to a
+ * perf-trajectory file.
  */
+#include <chrono>
+#include <thread>
+
 #include "arch/cache/cache.h"
 #include "bench_util.h"
+#include "sweep/grids.h"
 
 using namespace jrs;
 
-int
-main()
+namespace {
+
+/** Per-point serial miss rates, keyed by the grid's point labels. */
+struct SerialBaseline {
+    double seconds = 0;
+    // label -> (icache_miss_pct, dcache_miss_pct)
+    std::vector<std::pair<std::string, std::pair<double, double>>>
+        points;
+};
+
+/** The original implementation: one live VM run per (workload, mode)
+    fanned out to all four associativity models through a MultiSink. */
+SerialBaseline
+runSerialBaseline()
 {
-    bench::header(
-        "Figure 7 — associativity sweep (8K, 32B, assoc 1/2/4/8)",
-        "biggest miss reduction when going from 1-way to 2-way");
-
-    const std::uint32_t assocs[] = {1, 2, 4, 8};
-
-    Table t({"mode", "assoc", "icache_miss%", "dcache_miss%"});
-    for (const bool jit : {false, true}) {
-        double i_sum[4] = {}, d_sum[4] = {};
-        int n = 0;
-        for (const WorkloadInfo *w : bench::suite()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SerialBaseline out;
+    for (const WorkloadInfo *w : bench::suite()) {
+        for (const bool jit : {false, true}) {
             std::vector<std::unique_ptr<CacheSink>> sinks;
             MultiSink multi;
-            for (std::uint32_t a : assocs) {
+            for (const std::uint32_t a : sweep::kFig07Assocs) {
                 sinks.push_back(std::make_unique<CacheSink>(
                     CacheConfig{8 * 1024, 32, a, true},
                     CacheConfig{8 * 1024, 32, a, true}));
@@ -43,19 +59,132 @@ main()
                       std::make_shared<NeverCompilePolicy>());
             s.sink = &multi;
             (void)runWorkload(s);
-            for (std::size_t k = 0; k < 4; ++k) {
-                i_sum[k] += sinks[k]->icache().stats().missRate();
-                d_sum[k] += sinks[k]->dcache().stats().missRate();
+            for (std::size_t k = 0; k < sinks.size(); ++k) {
+                out.points.emplace_back(
+                    sweep::fig07Label(w->name, jit,
+                                      sweep::kFig07Assocs[k]),
+                    std::make_pair(
+                        100.0
+                            * sinks[k]->icache().stats().missRate(),
+                        100.0
+                            * sinks[k]->dcache().stats().missRate()));
             }
-            ++n;
         }
-        for (std::size_t k = 0; k < 4; ++k) {
-            t.addRow({jit ? "jit" : "interp",
-                      std::to_string(assocs[k]),
-                      fixed(100.0 * i_sum[k] / n, 3),
-                      fixed(100.0 * d_sum[k] / n, 3)});
+    }
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
+/** Exact per-point equality between serial and sweep results. */
+bool
+identical(const SerialBaseline &serial,
+          const sweep::SweepResult &swept)
+{
+    for (const auto &[label, miss] : serial.points) {
+        const sweep::PointResult *p = swept.find(label);
+        if (p == nullptr || !p->ok
+            || p->metric("icache_miss_pct") != miss.first
+            || p->metric("dcache_miss_pct") != miss.second) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::SweepBenchArgs args =
+        bench::parseSweepBenchArgs(argc, argv);
+
+    bench::header(
+        "Figure 7 — associativity sweep (8K, 32B, assoc 1/2/4/8)",
+        "biggest miss reduction when going from 1-way to 2-way");
+
+    sweep::SweepOptions opts;
+    opts.jobs = args.jobs;
+    opts.cacheDir = args.cacheDir;
+    sweep::SweepEngine engine(opts);
+    const sweep::SweepResult result =
+        engine.run(sweep::buildFig07Grid());
+    if (!result.allOk()) {
+        for (const sweep::PointResult &p : result.points) {
+            if (!p.ok)
+                std::cerr << p.label << ": " << p.error << '\n';
+        }
+        return 1;
+    }
+
+    Table t({"mode", "assoc", "icache_miss%", "dcache_miss%"});
+    for (const bool jit : {false, true}) {
+        for (const std::uint32_t a : sweep::kFig07Assocs) {
+            double i_sum = 0, d_sum = 0;
+            int n = 0;
+            for (const WorkloadInfo *w : bench::suite()) {
+                const sweep::PointResult *p =
+                    result.find(sweep::fig07Label(w->name, jit, a));
+                i_sum += p->metric("icache_miss_pct");
+                d_sum += p->metric("dcache_miss_pct");
+                ++n;
+            }
+            t.addRow({jit ? "jit" : "interp", std::to_string(a),
+                      fixed(i_sum / n, 3), fixed(d_sum / n, 3)});
         }
     }
     t.print(std::cout);
+    std::cout << "sweep: " << fixed(result.wallSeconds, 2) << "s, "
+              << result.jobs << " jobs, "
+              << result.traces.recordings << " recordings, "
+              << result.traces.memoryHits << " memory hits, "
+              << result.traces.diskLoads << " disk loads\n";
+
+    if (!args.json.empty())
+        result.writeJson(args.json);
+
+    if (args.compareSerial || !args.benchJson.empty()) {
+        // Warm pass: every stream is now in the engine's in-process
+        // cache, so this measures the pure replay-many path.
+        const sweep::SweepResult warm =
+            engine.run(sweep::buildFig07Grid());
+        const SerialBaseline serial = runSerialBaseline();
+        const bool same =
+            identical(serial, result) && identical(serial, warm);
+        std::cout << "\nserial " << fixed(serial.seconds, 2)
+                  << "s | sweep cold " << fixed(result.wallSeconds, 2)
+                  << "s (" << fixed(serial.seconds
+                                        / result.wallSeconds, 2)
+                  << "x) | sweep warm " << fixed(warm.wallSeconds, 2)
+                  << "s (" << fixed(serial.seconds / warm.wallSeconds,
+                                    2)
+                  << "x) | results bit-identical: "
+                  << (same ? "yes" : "NO") << '\n';
+        if (!args.benchJson.empty()) {
+            bench::appendBenchJson(
+                args.benchJson,
+                std::string("{\"bench\": \"fig07\", \"jobs\": ")
+                    + std::to_string(result.jobs)
+                    + ", \"hw_threads\": "
+                    + std::to_string(
+                          std::thread::hardware_concurrency())
+                    + ", \"serial_seconds\": "
+                    + fixed(serial.seconds, 4)
+                    + ", \"sweep_cold_seconds\": "
+                    + fixed(result.wallSeconds, 4)
+                    + ", \"sweep_warm_seconds\": "
+                    + fixed(warm.wallSeconds, 4)
+                    + ", \"cold_speedup\": "
+                    + fixed(serial.seconds / result.wallSeconds, 3)
+                    + ", \"warm_speedup\": "
+                    + fixed(serial.seconds / warm.wallSeconds, 3)
+                    + ", \"bit_identical\": "
+                    + (same ? "true" : "false") + "}");
+        }
+        if (!same)
+            return 1;
+    }
     return 0;
 }

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * jrs_sweep — run a named experiment grid on the sweep engine.
+ *
+ *   jrs_sweep <grid> [options]
+ *   jrs_sweep --list
+ *
+ *   --jobs N         worker threads (default: hardware concurrency)
+ *   --json FILE      write the SweepResult as JSON
+ *   --cache-dir DIR  on-disk trace cache; a second invocation with
+ *                    the same DIR replays recorded streams instead of
+ *                    re-running the VM
+ *   --quiet          suppress the per-point table
+ *
+ * Examples:
+ *   jrs_sweep fig07 --jobs 8
+ *   jrs_sweep all --cache-dir /tmp/jrs-traces --json sweep.json
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "support/statistics.h"
+#include "sweep/grids.h"
+
+using namespace jrs;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg != nullptr)
+        std::cerr << "error: " << msg << "\n\n";
+    std::cerr << "usage: jrs_sweep <grid> [--jobs N] [--json FILE]"
+                 " [--cache-dir DIR] [--quiet]\n"
+                 "       jrs_sweep --list\n\ngrids:\n";
+    for (const sweep::NamedGrid &g : sweep::allGrids())
+        std::cerr << "  " << g.name << " — " << g.description << '\n';
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string first = argv[1];
+    if (first == "--list") {
+        for (const sweep::NamedGrid &g : sweep::allGrids())
+            std::cout << g.name << " — " << g.description << '\n';
+        return 0;
+    }
+    const sweep::NamedGrid *grid = sweep::findGrid(first);
+    if (grid == nullptr)
+        usage("unknown grid");
+
+    sweep::SweepOptions opts;
+    std::string jsonPath;
+    bool quiet = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("missing value");
+            return argv[++i];
+        };
+        if (a == "--jobs") {
+            const std::string v = next();
+            char *end = nullptr;
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(v.c_str(), &end, 10));
+            if (end == v.c_str() || *end != '\0')
+                usage("--jobs expects a number");
+        } else if (a == "--json") {
+            jsonPath = next();
+        } else if (a == "--cache-dir") {
+            opts.cacheDir = next();
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else {
+            usage("unknown option");
+        }
+    }
+
+    sweep::SweepEngine engine(opts);
+    const sweep::SweepResult result = engine.run(grid->build());
+
+    if (!quiet)
+        result.toTable().print(std::cout);
+    std::cout << grid->name << ": " << result.points.size()
+              << " points in " << fixed(result.wallSeconds, 2)
+              << "s on " << result.jobs << " jobs ("
+              << result.traces.recordings << " recordings, "
+              << result.traces.memoryHits << " memory hits, "
+              << result.traces.diskLoads << " disk loads)\n";
+    if (!jsonPath.empty()) {
+        result.writeJson(jsonPath);
+        std::cout << "wrote " << jsonPath << '\n';
+    }
+    return result.allOk() ? 0 : 1;
+}

@@ -30,6 +30,22 @@ runWorkload(const RunSpec &spec)
     return res;
 }
 
+RecordedRun
+recordWorkload(const RunSpec &spec)
+{
+    auto buffer = std::make_shared<TraceBuffer>();
+    MultiSink fanout;
+    fanout.add(buffer.get());
+    if (spec.sink != nullptr)
+        fanout.add(spec.sink);
+    RunSpec recording = spec;
+    recording.sink = &fanout;
+    RecordedRun out;
+    out.result = runWorkload(recording);
+    out.trace = std::move(buffer);
+    return out;
+}
+
 ModePair
 runBothModes(const WorkloadInfo &w, std::int32_t arg,
              TraceSink *interp_sink, TraceSink *jit_sink)

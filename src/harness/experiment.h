@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "isa/trace_buffer.h"
 #include "vm/engine/engine.h"
 #include "workloads/workload.h"
 
@@ -33,6 +34,24 @@ struct RunSpec {
  * tests should never tolerate a broken guest program).
  */
 RunResult runWorkload(const RunSpec &spec);
+
+/**
+ * One completed run captured for offline replay: the VM's RunResult
+ * plus the full dynamic native stream. The shared_ptr lets many sweep
+ * points (possibly on different threads) consume one recording.
+ */
+struct RecordedRun {
+    RunResult result;
+    std::shared_ptr<const TraceBuffer> trace;
+};
+
+/**
+ * Run @p spec once with a TraceBuffer attached (fanned out alongside
+ * spec.sink when that is set) and return the result together with the
+ * recorded stream. This is the Shade step: record the stream once,
+ * then feed it to any number of offline architecture models.
+ */
+RecordedRun recordWorkload(const RunSpec &spec);
 
 /** Interp + JIT results for one workload (shared arg and sinks). */
 struct ModePair {

@@ -1,5 +1,6 @@
 #include "isa/trace_io.h"
 
+#include <bit>
 #include <cstring>
 
 #include "vm/runtime/vm_error.h"
@@ -8,34 +9,95 @@ namespace jrs {
 
 namespace {
 
-constexpr std::size_t kRecordBytes = 35;
+// The format is little-endian; on LE hosts (the common case) the
+// byte loops collapse to single moves via memcpy.
 
 void
 putU64(std::uint8_t *p, std::uint64_t v)
 {
-    for (int i = 0; i < 8; ++i)
-        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(p, &v, sizeof(v));
+    } else {
+        for (int i = 0; i < 8; ++i)
+            p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
 }
 
 std::uint64_t
 getU64(const std::uint8_t *p)
 {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-    return v;
+    if constexpr (std::endian::native == std::endian::little) {
+        std::uint64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return v;
+    } else {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        return v;
+    }
 }
 
 } // namespace
+
+void
+encodeTraceRecord(const TraceEvent &ev, std::uint8_t *out)
+{
+    putU64(out + 0, ev.pc);
+    putU64(out + 8, ev.mem);
+    putU64(out + 16, ev.target);
+    out[24] = static_cast<std::uint8_t>(ev.kind);
+    out[25] = static_cast<std::uint8_t>(ev.phase);
+    out[26] = ev.taken ? 1 : 0;
+    out[27] = ev.memSize;
+    out[28] = ev.rd;
+    out[29] = ev.rs1;
+    out[30] = ev.rs2;
+    out[31] = out[32] = out[33] = out[34] = 0;
+}
+
+TraceEvent
+decodeTraceRecord(const std::uint8_t *in)
+{
+    TraceEvent ev;
+    ev.pc = getU64(in + 0);
+    ev.mem = getU64(in + 8);
+    ev.target = getU64(in + 16);
+    ev.kind = static_cast<NKind>(in[24]);
+    ev.phase = static_cast<Phase>(in[25]);
+    ev.taken = in[26] != 0;
+    ev.memSize = in[27];
+    ev.rd = in[28];
+    ev.rs1 = in[29];
+    ev.rs2 = in[30];
+    return ev;
+}
+
+void
+encodeTraceHeader(std::uint8_t *out)
+{
+    std::memset(out, 0, kTraceHeaderBytes);
+    std::memcpy(out, kTraceMagic, sizeof(kTraceMagic));
+    out[8] = static_cast<std::uint8_t>(kTraceVersion);
+}
+
+std::string
+checkTraceHeader(const std::uint8_t *in)
+{
+    if (std::memcmp(in, kTraceMagic, sizeof(kTraceMagic)) != 0)
+        return "bad magic";
+    if (in[8] != kTraceVersion)
+        return "unsupported version " + std::to_string(in[8]);
+    return "";
+}
 
 TraceFileWriter::TraceFileWriter(const std::string &path)
     : file_(std::fopen(path.c_str(), "wb"))
 {
     if (file_ == nullptr)
         throw VmError("cannot open trace file for writing: " + path);
-    std::uint8_t header[16] = {};
-    std::memcpy(header, kTraceMagic, sizeof(kTraceMagic));
-    header[8] = static_cast<std::uint8_t>(kTraceVersion);
+    std::uint8_t header[kTraceHeaderBytes];
+    encodeTraceHeader(header);
     if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
         throw VmError("trace header write failed");
 }
@@ -49,20 +111,12 @@ TraceFileWriter::~TraceFileWriter()
 void
 TraceFileWriter::onEvent(const TraceEvent &ev)
 {
-    std::uint8_t rec[kRecordBytes];
-    putU64(rec + 0, ev.pc);
-    putU64(rec + 8, ev.mem);
-    putU64(rec + 16, ev.target);
-    rec[24] = static_cast<std::uint8_t>(ev.kind);
-    rec[25] = static_cast<std::uint8_t>(ev.phase);
-    rec[26] = ev.taken ? 1 : 0;
-    rec[27] = ev.memSize;
-    rec[28] = ev.rd;
-    rec[29] = ev.rs1;
-    rec[30] = ev.rs2;
-    rec[31] = rec[32] = rec[33] = rec[34] = 0;
-    if (std::fwrite(rec, 1, kRecordBytes, file_) != kRecordBytes)
+    std::uint8_t rec[kTraceRecordBytes];
+    encodeTraceRecord(ev, rec);
+    if (std::fwrite(rec, 1, kTraceRecordBytes, file_)
+        != kTraceRecordBytes) {
         throw VmError("trace record write failed");
+    }
     ++events_;
 }
 
@@ -79,32 +133,22 @@ replayTraceFile(const std::string &path, TraceSink &sink)
     if (f == nullptr)
         throw VmError("cannot open trace file: " + path);
 
-    std::uint8_t header[16];
-    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)
-        || std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    std::uint8_t header[kTraceHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
         std::fclose(f);
         throw VmError("not a jrs trace file: " + path);
     }
-    if (header[8] != kTraceVersion) {
+    const std::string err = checkTraceHeader(header);
+    if (!err.empty()) {
         std::fclose(f);
-        throw VmError("unsupported trace version");
+        throw VmError("cannot replay " + path + ": " + err);
     }
 
     std::uint64_t events = 0;
-    std::uint8_t rec[kRecordBytes];
-    while (std::fread(rec, 1, kRecordBytes, f) == kRecordBytes) {
-        TraceEvent ev;
-        ev.pc = getU64(rec + 0);
-        ev.mem = getU64(rec + 8);
-        ev.target = getU64(rec + 16);
-        ev.kind = static_cast<NKind>(rec[24]);
-        ev.phase = static_cast<Phase>(rec[25]);
-        ev.taken = rec[26] != 0;
-        ev.memSize = rec[27];
-        ev.rd = rec[28];
-        ev.rs1 = rec[29];
-        ev.rs2 = rec[30];
-        sink.onEvent(ev);
+    std::uint8_t rec[kTraceRecordBytes];
+    while (std::fread(rec, 1, kTraceRecordBytes, f)
+           == kTraceRecordBytes) {
+        sink.onEvent(decodeTraceRecord(rec));
         ++events;
     }
     std::fclose(f);

@@ -31,6 +31,31 @@ inline constexpr char kTraceMagic[8] = {'J', 'R', 'S', 'T',
 /** Current format version. */
 inline constexpr std::uint32_t kTraceVersion = 1;
 
+/** Size of one on-disk event record, in bytes. */
+inline constexpr std::size_t kTraceRecordBytes = 35;
+
+/** Size of the file header, in bytes. */
+inline constexpr std::size_t kTraceHeaderBytes = 16;
+
+/**
+ * Encode @p ev into exactly kTraceRecordBytes at @p out. The same
+ * packed layout backs trace files and the in-memory TraceBuffer, so a
+ * buffer round-trips through disk losslessly by construction.
+ */
+void encodeTraceRecord(const TraceEvent &ev, std::uint8_t *out);
+
+/** Decode one record previously written by encodeTraceRecord. */
+TraceEvent decodeTraceRecord(const std::uint8_t *in);
+
+/** Fill a kTraceHeaderBytes header (magic + current version). */
+void encodeTraceHeader(std::uint8_t *out);
+
+/**
+ * Validate a header. @return empty string when ok, else a diagnostic
+ * ("bad magic" / "unsupported version N").
+ */
+std::string checkTraceHeader(const std::uint8_t *in);
+
 /** Sink that streams events into a binary trace file. */
 class TraceFileWriter : public TraceSink {
   public:

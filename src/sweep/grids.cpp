@@ -1,0 +1,248 @@
+#include "sweep/grids.h"
+
+#include "arch/bpred/btb.h"
+#include "arch/cache/cache.h"
+#include "support/statistics.h"
+
+namespace jrs::sweep {
+
+namespace {
+
+/** Workloads in suite order; hello carries little signal for the
+    steady-state cache figures, so most grids skip it (as the paper's
+    figures do) while fig08 keeps it, matching the original bench. */
+std::vector<const WorkloadInfo *>
+gridSuite(bool include_hello)
+{
+    std::vector<const WorkloadInfo *> out;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (!include_hello && std::string(w.name) == "hello")
+            continue;
+        out.push_back(&w);
+    }
+    return out;
+}
+
+std::vector<Metric>
+cacheMetrics(const CacheSink &sink)
+{
+    return {
+        {"icache_miss_pct",
+         100.0 * sink.icache().stats().missRate()},
+        {"dcache_miss_pct",
+         100.0 * sink.dcache().stats().missRate()},
+    };
+}
+
+SweepPoint
+cachePoint(std::string label, TraceKey key, CacheConfig icfg,
+           CacheConfig dcfg)
+{
+    return makePoint<CacheSink>(
+        std::move(label), std::move(key),
+        [icfg, dcfg] {
+            return std::make_unique<CacheSink>(icfg, dcfg);
+        },
+        [](const CacheSink &sink, const RecordedRun &) {
+            return cacheMetrics(sink);
+        });
+}
+
+/** Indirect-target misprediction across several BTB capacities in one
+    pass (the abl_btb_size measurement). */
+class BtbSizeSweepSink : public TraceSink {
+  public:
+    BtbSizeSweepSink() {
+        for (const std::size_t s : kBtbSizes)
+            btbs_.emplace_back(s);
+        misses_.assign(btbs_.size(), 0);
+    }
+
+    void onEvent(const TraceEvent &ev) override {
+        if (ev.kind != NKind::IndirectJump
+            && ev.kind != NKind::IndirectCall) {
+            return;
+        }
+        ++indirects_;
+        for (std::size_t i = 0; i < btbs_.size(); ++i) {
+            if (btbs_[i].predict(ev.pc) != ev.target)
+                ++misses_[i];
+            btbs_[i].update(ev.pc, ev.target);
+        }
+    }
+
+    std::vector<Metric> metrics() const {
+        std::vector<Metric> out;
+        out.push_back(
+            {"indirects", static_cast<double>(indirects_)});
+        for (std::size_t i = 0; i < btbs_.size(); ++i) {
+            out.push_back({btbMetricName(kBtbSizes[i]),
+                           percent(misses_[i], indirects_)});
+        }
+        return out;
+    }
+
+  private:
+    std::vector<Btb> btbs_;
+    std::vector<std::uint64_t> misses_;
+    std::uint64_t indirects_ = 0;
+};
+
+} // namespace
+
+std::string
+btbMetricName(std::size_t entries)
+{
+    return "btb" + std::to_string(entries) + "_miss_pct";
+}
+
+std::string
+fig04Label(const std::string &workload, bool jit)
+{
+    return "fig04/" + workload + "/" + modeLabel(jit);
+}
+
+std::string
+fig07Label(const std::string &workload, bool jit, std::uint32_t assoc)
+{
+    return "fig07/" + workload + "/" + modeLabel(jit) + "/assoc"
+        + std::to_string(assoc);
+}
+
+std::string
+fig08Label(const std::string &workload, bool jit,
+           std::uint32_t lineBytes)
+{
+    return "fig08/" + workload + "/" + modeLabel(jit) + "/line"
+        + std::to_string(lineBytes);
+}
+
+std::string
+btbLabel(const std::string &workload, bool jit)
+{
+    return "btb/" + workload + "/" + modeLabel(jit);
+}
+
+std::vector<SweepPoint>
+buildFig04Grid()
+{
+    // The Figure 4 comparison point: 64K L1s, 32B lines, I 2-way,
+    // D 4-way (the paper's measurement configuration).
+    std::vector<SweepPoint> grid;
+    for (const WorkloadInfo *w : gridSuite(false)) {
+        for (const bool jit : {false, true}) {
+            grid.push_back(cachePoint(
+                fig04Label(w->name, jit),
+                traceKey(w->name,
+                         jit ? ExecMode::jit() : ExecMode::interp()),
+                CacheConfig{64 * 1024, 32, 2, true},
+                CacheConfig{64 * 1024, 32, 4, true}));
+        }
+    }
+    return grid;
+}
+
+std::vector<SweepPoint>
+buildFig07Grid()
+{
+    std::vector<SweepPoint> grid;
+    for (const WorkloadInfo *w : gridSuite(false)) {
+        for (const bool jit : {false, true}) {
+            for (const std::uint32_t a : kFig07Assocs) {
+                grid.push_back(cachePoint(
+                    fig07Label(w->name, jit, a),
+                    traceKey(w->name, jit ? ExecMode::jit()
+                                          : ExecMode::interp()),
+                    CacheConfig{8 * 1024, 32, a, true},
+                    CacheConfig{8 * 1024, 32, a, true}));
+            }
+        }
+    }
+    return grid;
+}
+
+std::vector<SweepPoint>
+buildFig08Grid()
+{
+    std::vector<SweepPoint> grid;
+    for (const WorkloadInfo *w : gridSuite(true)) {
+        for (const bool jit : {false, true}) {
+            for (const std::uint32_t lb : kFig08Lines) {
+                grid.push_back(cachePoint(
+                    fig08Label(w->name, jit, lb),
+                    traceKey(w->name, jit ? ExecMode::jit()
+                                          : ExecMode::interp()),
+                    CacheConfig{8 * 1024, lb, 1, true},
+                    CacheConfig{8 * 1024, lb, 1, true}));
+            }
+        }
+    }
+    return grid;
+}
+
+std::vector<SweepPoint>
+buildBtbGrid()
+{
+    std::vector<SweepPoint> grid;
+    for (const WorkloadInfo *w : gridSuite(false)) {
+        for (const bool jit : {false, true}) {
+            grid.push_back(makePoint<BtbSizeSweepSink>(
+                btbLabel(w->name, jit),
+                traceKey(w->name,
+                         jit ? ExecMode::jit() : ExecMode::interp()),
+                [] { return std::make_unique<BtbSizeSweepSink>(); },
+                [](const BtbSizeSweepSink &sink, const RecordedRun &) {
+                    return sink.metrics();
+                }));
+        }
+    }
+    return grid;
+}
+
+std::vector<SweepPoint>
+buildAllGrid()
+{
+    std::vector<SweepPoint> grid = buildFig04Grid();
+    for (auto build :
+         {buildFig07Grid, buildFig08Grid, buildBtbGrid}) {
+        std::vector<SweepPoint> part = build();
+        for (SweepPoint &p : part)
+            grid.push_back(std::move(p));
+    }
+    return grid;
+}
+
+const std::vector<NamedGrid> &
+allGrids()
+{
+    static const std::vector<NamedGrid> kGrids = {
+        {"fig04",
+         "64K L1 miss rates per workload and mode (Figure 4 inputs)",
+         &buildFig04Grid},
+        {"fig07",
+         "associativity sweep: 8K caches, 32B lines, assoc 1/2/4/8",
+         &buildFig07Grid},
+        {"fig08",
+         "line-size sweep: 8K direct-mapped, 16/32/64/128B lines",
+         &buildFig08Grid},
+        {"btb",
+         "BTB capacity vs indirect-transfer misprediction",
+         &buildBtbGrid},
+        {"all",
+         "every grid above, sharing one recording per (workload, mode)",
+         &buildAllGrid},
+    };
+    return kGrids;
+}
+
+const NamedGrid *
+findGrid(const std::string &name)
+{
+    for (const NamedGrid &g : allGrids()) {
+        if (name == g.name)
+            return &g;
+    }
+    return nullptr;
+}
+
+} // namespace jrs::sweep

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Named sweep grids for the paper's multi-configuration experiments.
+ *
+ * One definition of each grid is shared by the bench binaries that
+ * print the figures, the `jrs_sweep` CLI, and the tests — the figure
+ * layout stays in the bench, the measurement matrix lives here.
+ *
+ * Grids deliberately reuse streams: "fig07" needs only one recording
+ * per (workload, mode) for its four associativities, and "all" shares
+ * the same 16 recordings across every cache/BTB experiment.
+ */
+#ifndef JRS_SWEEP_GRIDS_H
+#define JRS_SWEEP_GRIDS_H
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace jrs::sweep {
+
+/** Figure 7 associativities (8K caches, 32B lines). */
+inline constexpr std::uint32_t kFig07Assocs[] = {1, 2, 4, 8};
+
+/** Figure 8 line sizes (8K direct-mapped). */
+inline constexpr std::uint32_t kFig08Lines[] = {16, 32, 64, 128};
+
+/** BTB-capacity ablation sizes. */
+inline constexpr std::size_t kBtbSizes[] = {64, 256, 1024, 4096};
+
+/** "interp" / "jit" — the mode component used in grid labels. */
+inline const char *
+modeLabel(bool jit)
+{
+    return jit ? "jit" : "interp";
+}
+
+/** Name of a BTB-sweep metric, e.g. "btb256_miss_pct". */
+std::string btbMetricName(std::size_t entries);
+
+/**
+ * Point labels, so aggregating drivers can look results up without
+ * re-deriving string formats: "fig07/compress/jit/assoc4" etc.
+ */
+std::string fig04Label(const std::string &workload, bool jit);
+std::string fig07Label(const std::string &workload, bool jit,
+                       std::uint32_t assoc);
+std::string fig08Label(const std::string &workload, bool jit,
+                       std::uint32_t lineBytes);
+std::string btbLabel(const std::string &workload, bool jit);
+
+/** Grid builders. Cache points emit icache/dcache_miss_pct metrics. */
+std::vector<SweepPoint> buildFig04Grid();
+std::vector<SweepPoint> buildFig07Grid();
+std::vector<SweepPoint> buildFig08Grid();
+std::vector<SweepPoint> buildBtbGrid();
+/** Concatenation of the four (streams shared across experiments). */
+std::vector<SweepPoint> buildAllGrid();
+
+/** A registered grid. */
+struct NamedGrid {
+    const char *name;
+    const char *description;
+    std::vector<SweepPoint> (*build)();
+};
+
+/** Every named grid (fig04, fig07, fig08, btb, all). */
+const std::vector<NamedGrid> &allGrids();
+
+/** Lookup by name; nullptr when unknown. */
+const NamedGrid *findGrid(const std::string &name);
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_GRIDS_H

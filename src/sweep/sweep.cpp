@@ -1,0 +1,398 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "support/statistics.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::sweep {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trippable double; JSON has no NaN/Inf, use null. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Compact metric formatting for toTable(). */
+std::string
+metricCell(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.5g", v);
+    return buf;
+}
+
+/**
+ * Replay-side fan-out with per-subscriber fault isolation: a
+ * subscriber whose sink throws is detached with the error recorded,
+ * and delivery to the others continues.
+ */
+class GuardedFanout : public TraceSink {
+  public:
+    struct Subscriber {
+        TraceSink *sink = nullptr;
+        bool dead = false;
+        std::string error;
+    };
+
+    explicit GuardedFanout(std::vector<Subscriber> subscribers)
+        : subs_(std::move(subscribers)) {}
+
+    void onEvent(const TraceEvent &ev) override {
+        ++delivered_;
+        for (Subscriber &s : subs_) {
+            if (s.dead)
+                continue;
+            try {
+                s.sink->onEvent(ev);
+            } catch (const std::exception &e) {
+                kill(s, e.what());
+            } catch (...) {
+                kill(s, "unknown exception");
+            }
+        }
+    }
+
+    void onFinish() override {
+        for (Subscriber &s : subs_) {
+            if (s.dead)
+                continue;
+            try {
+                s.sink->onFinish();
+            } catch (const std::exception &e) {
+                kill(s, e.what());
+            } catch (...) {
+                kill(s, "unknown exception");
+            }
+        }
+    }
+
+    const std::vector<Subscriber> &subscribers() const { return subs_; }
+
+  private:
+    void kill(Subscriber &s, const char *what) {
+        s.dead = true;
+        s.error = "sink failed at event "
+            + std::to_string(delivered_) + ": " + what;
+    }
+
+    std::vector<Subscriber> subs_;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace
+
+double
+PointResult::metric(const std::string &name) const
+{
+    for (const Metric &m : metrics) {
+        if (m.name == name)
+            return m.value;
+    }
+    return std::nan("");
+}
+
+const PointResult *
+SweepResult::find(const std::string &label) const
+{
+    for (const PointResult &p : points) {
+        if (p.label == label)
+            return &p;
+    }
+    return nullptr;
+}
+
+bool
+SweepResult::allOk() const
+{
+    for (const PointResult &p : points) {
+        if (!p.ok)
+            return false;
+    }
+    return true;
+}
+
+Table
+SweepResult::toTable() const
+{
+    std::vector<std::string> metricNames;
+    for (const PointResult &p : points) {
+        for (const Metric &m : p.metrics) {
+            bool seen = false;
+            for (const std::string &n : metricNames)
+                seen = seen || n == m.name;
+            if (!seen)
+                metricNames.push_back(m.name);
+        }
+    }
+    std::vector<std::string> headers{"point", "status", "events",
+                                     "seconds"};
+    headers.insert(headers.end(), metricNames.begin(),
+                   metricNames.end());
+    Table t(std::move(headers));
+    for (const PointResult &p : points) {
+        std::vector<std::string> row{
+            p.label,
+            p.ok ? "ok" : "FAIL: " + p.error,
+            withCommas(p.traceEvents),
+            fixed(p.seconds, 3),
+        };
+        for (const std::string &n : metricNames) {
+            const double v = p.metric(n);
+            row.push_back(std::isnan(v) ? "-" : metricCell(v));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+std::string
+SweepResult::toJson() const
+{
+    std::string out;
+    out += "{\n  \"schema\": \"jrs-sweep-result-v1\",\n";
+    out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+    out += "  \"wall_seconds\": " + jsonNumber(wallSeconds) + ",\n";
+    out += "  \"traces\": {\"recordings\": "
+        + std::to_string(traces.recordings) + ", \"memory_hits\": "
+        + std::to_string(traces.memoryHits) + ", \"disk_loads\": "
+        + std::to_string(traces.diskLoads) + "},\n";
+    out += "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointResult &p = points[i];
+        out += "    {\"label\": \"" + jsonEscape(p.label)
+            + "\", \"trace\": \"" + jsonEscape(p.traceKey)
+            + "\", \"ok\": " + (p.ok ? "true" : "false");
+        if (!p.ok)
+            out += ", \"error\": \"" + jsonEscape(p.error) + "\"";
+        out += ", \"events\": " + std::to_string(p.traceEvents)
+            + ", \"seconds\": " + jsonNumber(p.seconds)
+            + ", \"metrics\": {";
+        for (std::size_t m = 0; m < p.metrics.size(); ++m) {
+            if (m != 0)
+                out += ", ";
+            out += "\"" + jsonEscape(p.metrics[m].name)
+                + "\": " + jsonNumber(p.metrics[m].value);
+        }
+        out += "}}";
+        out += i + 1 < points.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+SweepResult::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw VmError("cannot write sweep JSON: " + path);
+    const std::string body = toJson();
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw VmError("cannot write sweep JSON: " + path);
+}
+
+SweepEngine::SweepEngine(SweepOptions options)
+    : options_(std::move(options))
+{
+    cache_ = options_.cache != nullptr
+        ? options_.cache
+        : std::make_shared<TraceCache>(options_.cacheDir);
+}
+
+SweepResult
+SweepEngine::run(const std::vector<SweepPoint> &grid)
+{
+    for (const SweepPoint &p : grid) {
+        if (!p.makeSink || !p.extract)
+            throw VmError("SweepPoint '" + p.label
+                          + "' lacks a sink factory or extractor");
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const TraceCache::Stats before = cache_->stats();
+
+    SweepResult result;
+    result.points.resize(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        result.points[i].label = grid[i].label;
+        result.points[i].traceKey = grid[i].key.str();
+    }
+
+    // Group points by stream so each trace is obtained and replayed
+    // exactly once per sweep; group order follows first appearance.
+    std::vector<std::vector<std::size_t>> groups;
+    {
+        std::map<std::string, std::size_t> groupOf;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            auto [it, inserted] = groupOf.try_emplace(
+                result.points[i].traceKey, groups.size());
+            if (inserted)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+    }
+
+    auto fail = [&](std::size_t idx, const std::string &why) {
+        result.points[idx].ok = false;
+        result.points[idx].error = why;
+    };
+
+    auto runGroup = [&](const std::vector<std::size_t> &members) {
+        const auto g0 = std::chrono::steady_clock::now();
+
+        // Build each member's sink; a throwing factory poisons only
+        // that member.
+        std::vector<std::unique_ptr<TraceSink>> sinks(members.size());
+        std::vector<GuardedFanout::Subscriber> subs;
+        std::vector<std::size_t> subMember;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            try {
+                sinks[m] = grid[members[m]].makeSink();
+                if (sinks[m] == nullptr)
+                    throw VmError("sink factory returned null");
+                subs.push_back({sinks[m].get(), false, ""});
+                subMember.push_back(m);
+            } catch (const std::exception &e) {
+                fail(members[m],
+                     std::string("sink factory failed: ") + e.what());
+            }
+        }
+        GuardedFanout fanout(std::move(subs));
+
+        // On a cache miss the fan-out observes the recording run
+        // itself (GuardedFanout never throws, as TraceCache requires);
+        // otherwise replay the cached stream into it.
+        std::shared_ptr<const RecordedRun> run;
+        bool observedLive = false;
+        try {
+            run = cache_->get(grid[members[0]].key, &fanout,
+                              &observedLive);
+        } catch (const std::exception &e) {
+            for (const std::size_t idx : members) {
+                if (result.points[idx].error.empty())
+                    fail(idx,
+                         std::string("recording failed: ") + e.what());
+            }
+            return;
+        }
+        if (!observedLive)
+            run->trace->replay(fanout);
+        const double shared = secondsSince(g0)
+            / static_cast<double>(members.size());
+
+        for (std::size_t s = 0; s < fanout.subscribers().size(); ++s) {
+            const std::size_t m = subMember[s];
+            const std::size_t idx = members[m];
+            PointResult &slot = result.points[idx];
+            slot.traceEvents = run->trace->size();
+            const auto e0 = std::chrono::steady_clock::now();
+            if (fanout.subscribers()[s].dead) {
+                fail(idx, fanout.subscribers()[s].error);
+            } else {
+                try {
+                    slot.metrics = grid[idx].extract(*sinks[m], *run);
+                    slot.ok = true;
+                } catch (const std::exception &e) {
+                    fail(idx,
+                         std::string("extract failed: ") + e.what());
+                }
+            }
+            slot.seconds = shared + secondsSince(e0);
+        }
+    };
+
+    unsigned jobs = options_.jobs != 0
+        ? options_.jobs
+        : std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    const std::size_t workers =
+        std::min<std::size_t>(jobs, groups.size());
+
+    if (workers <= 1) {
+        for (const auto &members : groups)
+            runGroup(members);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= groups.size())
+                    return;
+                runGroup(groups[i]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    result.jobs = static_cast<unsigned>(workers);
+    result.wallSeconds = secondsSince(t0);
+    const TraceCache::Stats after = cache_->stats();
+    result.traces.recordings = after.recordings - before.recordings;
+    result.traces.memoryHits = after.memoryHits - before.memoryHits;
+    result.traces.diskLoads = after.diskLoads - before.diskLoads;
+    return result;
+}
+
+} // namespace jrs::sweep

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The parallel experiment-sweep engine.
+ *
+ * The paper's methodology is "record the dynamic native stream once
+ * with Shade, then feed it to many offline architecture simulators".
+ * This subsystem makes that workflow a first-class, parallel facility:
+ *
+ *  - A SweepPoint names one measurement: which dynamic stream it
+ *    consumes (TraceKey) and how to model it (a sink factory plus a
+ *    metric extractor).
+ *  - SweepEngine groups points by stream, obtains each stream exactly
+ *    once through a TraceCache (recording the single-threaded VM, or
+ *    loading a previous recording from disk), replays it once into all
+ *    of the group's sinks, and runs groups concurrently on a
+ *    fixed-size worker pool.
+ *  - SweepResult returns per-point metrics in grid order with wall
+ *    times, and renders to a support/table.h table or stable JSON.
+ *
+ * Contract: because the VM itself stays single-threaded and only trace
+ * recording/replay is distributed over workers, every metric is
+ * bit-identical to attaching the same sink to a live serial run
+ * (tests/test_sweep.cpp asserts this). A point whose sink factory,
+ * sink, or extractor throws poisons only its own result slot; the rest
+ * of the sweep completes.
+ */
+#ifndef JRS_SWEEP_SWEEP_H
+#define JRS_SWEEP_SWEEP_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "support/table.h"
+#include "sweep/trace_cache.h"
+
+namespace jrs::sweep {
+
+/** One named scalar produced by a sweep point. */
+struct Metric {
+    std::string name;
+    double value = 0.0;
+};
+
+/** One (stream, model) measurement in a sweep grid. */
+struct SweepPoint {
+    /** Row identity in results ("fig07/compress/jit/assoc4"). */
+    std::string label;
+    /** Which dynamic stream this point consumes. */
+    TraceKey key;
+    /**
+     * Build the model sink on the worker thread. Called once per
+     * point, after the stream is available.
+     */
+    std::function<std::unique_ptr<TraceSink>()> makeSink;
+    /**
+     * Pull metrics out of the finished sink. @p sink is the object
+     * makeSink returned; @p run is the recording it observed (its
+     * RunResult is reduced for disk-loaded streams, see TraceCache).
+     */
+    std::function<std::vector<Metric>(TraceSink &sink,
+                                      const RecordedRun &run)>
+        extract;
+};
+
+/**
+ * Build a SweepPoint without the TraceSink downcast boilerplate: the
+ * factory returns the concrete sink type and the extractor receives
+ * it back as that type.
+ */
+template <class SinkT, class MakeFn, class ExtractFn>
+SweepPoint
+makePoint(std::string label, TraceKey key, MakeFn make,
+          ExtractFn extract)
+{
+    SweepPoint p;
+    p.label = std::move(label);
+    p.key = std::move(key);
+    p.makeSink = [make = std::move(make)]()
+        -> std::unique_ptr<TraceSink> { return make(); };
+    p.extract = [extract = std::move(extract)](
+                    TraceSink &sink, const RecordedRun &run) {
+        return extract(static_cast<SinkT &>(sink), run);
+    };
+    return p;
+}
+
+/** Outcome of one point; order in SweepResult matches the grid. */
+struct PointResult {
+    std::string label;
+    std::string traceKey;         ///< TraceKey::str() of the stream
+    bool ok = false;
+    std::string error;            ///< set when !ok
+    std::vector<Metric> metrics;
+    std::uint64_t traceEvents = 0;
+    /**
+     * Wall time attributed to this point: its extractor plus an equal
+     * share of its group's record/load + replay time.
+     */
+    double seconds = 0.0;
+
+    /** Value of metric @p name, or NaN when absent. */
+    double metric(const std::string &name) const;
+};
+
+/** Everything a sweep produced. */
+struct SweepResult {
+    std::vector<PointResult> points;  ///< grid order, always full size
+    unsigned jobs = 1;                ///< worker threads used
+    double wallSeconds = 0.0;         ///< whole-sweep wall time
+    TraceCache::Stats traces;         ///< recordings / hits / disk loads
+
+    /** Result for @p label, or nullptr. */
+    const PointResult *find(const std::string &label) const;
+
+    /** True when every point succeeded. */
+    bool allOk() const;
+
+    /**
+     * Render as a table: label, status, events, seconds, then one
+     * column per metric name (union across points, first-seen order).
+     */
+    Table toTable() const;
+
+    /** Machine-readable form (schema "jrs-sweep-result-v1"). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws VmError on I/O failure. */
+    void writeJson(const std::string &path) const;
+};
+
+/** Engine knobs. */
+struct SweepOptions {
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /**
+     * Trace store shared with other engines/runs; null = private to
+     * this engine (streams are still recorded only once per engine).
+     */
+    std::shared_ptr<TraceCache> cache;
+    /** On-disk cache directory for a private cache ("" = memory only). */
+    std::string cacheDir;
+};
+
+/** Executes sweep grids; see file comment. */
+class SweepEngine {
+  public:
+    explicit SweepEngine(SweepOptions options = {});
+
+    /**
+     * Run every point of @p grid. Never throws for per-point model
+     * failures (they are captured in the result slots); throws VmError
+     * only for malformed grids (e.g. a point with no sink factory).
+     */
+    SweepResult run(const std::vector<SweepPoint> &grid);
+
+    /** The engine's trace store (shared or private). */
+    TraceCache &cache() { return *cache_; }
+
+  private:
+    SweepOptions options_;
+    std::shared_ptr<TraceCache> cache_;
+};
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_SWEEP_H

@@ -1,0 +1,219 @@
+#include "sweep/trace_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::sweep {
+
+std::string
+ExecMode::id() const
+{
+    switch (kind) {
+      case Kind::Interp:
+        return "interp";
+      case Kind::Jit:
+        return "jit";
+      case Kind::Counter:
+        return "counter" + std::to_string(counterThreshold);
+    }
+    return "invalid";
+}
+
+std::shared_ptr<CompilationPolicy>
+ExecMode::makePolicy() const
+{
+    switch (kind) {
+      case Kind::Interp:
+        return std::make_shared<NeverCompilePolicy>();
+      case Kind::Jit:
+        return std::make_shared<AlwaysCompilePolicy>();
+      case Kind::Counter:
+        return std::make_shared<CounterPolicy>(counterThreshold);
+    }
+    throw VmError("invalid ExecMode");
+}
+
+std::string
+TraceKey::str() const
+{
+    return workload + "-a" + std::to_string(arg) + "-" + mode.id() + "-"
+        + syncKindName(sync) + "-q" + std::to_string(quantum) + "-v"
+        + std::to_string(kTraceVersion);
+}
+
+RunSpec
+TraceKey::toRunSpec() const
+{
+    const WorkloadInfo *w = findWorkload(workload);
+    if (w == nullptr)
+        throw VmError("TraceKey names unknown workload: " + workload);
+    RunSpec spec;
+    spec.workload = w;
+    spec.arg = arg;
+    spec.policy = mode.makePolicy();
+    spec.syncKind = sync;
+    spec.quantum = quantum;
+    return spec;
+}
+
+TraceKey
+traceKey(const std::string &workload, ExecMode mode, std::int32_t arg,
+         SyncKind sync)
+{
+    TraceKey key;
+    key.workload = workload;
+    key.arg = arg;
+    key.mode = mode;
+    key.sync = sync;
+    return key;
+}
+
+TraceCache::TraceCache(std::string dir)
+    : dir_(std::move(dir))
+{
+    if (!dir_.empty())
+        std::filesystem::create_directories(dir_);
+}
+
+namespace {
+
+/**
+ * Sidecar format: three "key=value" lines. The key line guards
+ * against a foreign file reusing the name; events guards truncation.
+ */
+void
+writeMeta(const std::string &path, const std::string &key,
+          const RunResult &result)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw VmError("cannot write trace meta: " + path);
+    const bool ok =
+        std::fprintf(f, "key=%s\nexit=%d\nevents=%llu\n", key.c_str(),
+                     result.exitValue,
+                     static_cast<unsigned long long>(result.totalEvents))
+        > 0;
+    if (std::fclose(f) != 0 || !ok)
+        throw VmError("cannot write trace meta: " + path);
+}
+
+/** @return false when the sidecar is missing or does not match. */
+bool
+readMeta(const std::string &path, const std::string &key,
+         RunResult &result)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return false;
+    char keyBuf[512] = {};
+    int exitValue = 0;
+    unsigned long long events = 0;
+    const bool ok =
+        std::fscanf(f, "key=%511[^\n]\nexit=%d\nevents=%llu", keyBuf,
+                    &exitValue, &events)
+        == 3;
+    std::fclose(f);
+    if (!ok || key != keyBuf)
+        return false;
+    result = RunResult{};
+    result.completed = true;
+    result.hasExitValue = true;
+    result.exitValue = exitValue;
+    result.totalEvents = events;
+    return true;
+}
+
+} // namespace
+
+std::shared_ptr<const RecordedRun>
+TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
+                    bool *observedLive)
+{
+    const std::string keyStr = key.str();
+    if (!dir_.empty()) {
+        const std::string base = dir_ + "/" + keyStr + ".jrstrace";
+        RunResult meta;
+        if (readMeta(base + ".meta", keyStr, meta)
+            && std::filesystem::exists(base)) {
+            auto trace =
+                std::make_shared<TraceBuffer>(TraceBuffer::load(base));
+            if (trace->size() == meta.totalEvents) {
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++stats_.diskLoads;
+                }
+                auto run = std::make_shared<RecordedRun>();
+                run->result = meta;
+                run->trace = std::move(trace);
+                return run;
+            }
+            // Truncated or stale payload: fall through and re-record.
+        }
+    }
+
+    RunSpec spec = key.toRunSpec();
+    spec.sink = liveObserver;
+    if (liveObserver != nullptr && observedLive != nullptr)
+        *observedLive = true;
+    auto run = std::make_shared<RecordedRun>(recordWorkload(spec));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.recordings;
+    }
+    if (!dir_.empty()) {
+        const std::string base = dir_ + "/" + keyStr + ".jrstrace";
+        run->trace->save(base);
+        writeMeta(base + ".meta", keyStr, run->result);
+    }
+    return run;
+}
+
+std::shared_ptr<const RecordedRun>
+TraceCache::get(const TraceKey &key, TraceSink *liveObserver,
+                bool *observedLive)
+{
+    if (observedLive != nullptr)
+        *observedLive = false;
+    const std::string keyStr = key.str();
+    std::promise<std::shared_ptr<const RecordedRun>> promise;
+    Entry mine = promise.get_future().share();
+    Entry theirs;
+    bool producer = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = entries_.try_emplace(keyStr, mine);
+        if (inserted) {
+            producer = true;
+        } else {
+            theirs = it->second;
+            ++stats_.memoryHits;
+        }
+    }
+    if (!producer)
+        return theirs.get();  // blocks until recorded; rethrows poison
+    try {
+        promise.set_value(produce(key, liveObserver, observedLive));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+    }
+    return mine.get();
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    stats_ = Stats{};
+}
+
+} // namespace jrs::sweep

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Record-once trace store for the sweep engine.
+ *
+ * A TraceKey names one dynamic native stream — workload, input size,
+ * execution mode, monitor implementation, scheduling quantum, and the
+ * JRSTRACE format version. TraceCache::get() hands back the recording
+ * for a key, producing it at most once per process: the first caller
+ * records the (single-threaded) VM run; concurrent callers for the
+ * same key block on that recording; later callers hit memory. With a
+ * cache directory configured, recordings persist as
+ * `<key>.jrstrace` + `<key>.jrstrace.meta` and later processes load
+ * the stream instead of re-running the VM.
+ *
+ * Disk-loaded runs restore only the headline RunResult fields kept in
+ * the sidecar (completed / exitValue / totalEvents); profile tables
+ * and footprints exist only in the recording process.
+ */
+#ifndef JRS_SWEEP_TRACE_CACHE_H
+#define JRS_SWEEP_TRACE_CACHE_H
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace jrs::sweep {
+
+/** How the recorded VM run executes bytecode. */
+struct ExecMode {
+    enum class Kind : std::uint8_t { Interp, Jit, Counter };
+
+    Kind kind = Kind::Jit;
+    /** Invocation threshold when kind == Counter. */
+    std::uint64_t counterThreshold = 8;
+
+    /** Filename-safe identity: "interp", "jit", "counter8". */
+    std::string id() const;
+
+    /** Fresh policy instance implementing this mode. */
+    std::shared_ptr<CompilationPolicy> makePolicy() const;
+
+    static ExecMode interp() { return {Kind::Interp, 0}; }
+    static ExecMode jit() { return {Kind::Jit, 0}; }
+    static ExecMode counter(std::uint64_t threshold) {
+        return {Kind::Counter, threshold};
+    }
+};
+
+/** Identity of one dynamic stream; the cache key. */
+struct TraceKey {
+    std::string workload;          ///< registry name ("compress")
+    std::int32_t arg = 0;          ///< 0 = the workload's smallArg
+    ExecMode mode;
+    SyncKind sync = SyncKind::ThinLock;
+    std::uint64_t quantum = 300;   ///< green-thread time slice
+
+    /**
+     * Canonical, filename-safe string, e.g.
+     * "compress-a0-jit-thin_lock-q300-v1". The trailing v component
+     * is the JRSTRACE format version, so stale on-disk caches are
+     * never picked up across format changes.
+     */
+    std::string str() const;
+
+    /** RunSpec that generates this stream; throws on unknown workload. */
+    RunSpec toRunSpec() const;
+};
+
+/** Convenience TraceKey builder. */
+TraceKey traceKey(const std::string &workload, ExecMode mode,
+                  std::int32_t arg = 0,
+                  SyncKind sync = SyncKind::ThinLock);
+
+/** See file comment. */
+class TraceCache {
+  public:
+    struct Stats {
+        std::uint64_t recordings = 0;  ///< VM runs executed
+        std::uint64_t memoryHits = 0;  ///< served from process memory
+        std::uint64_t diskLoads = 0;   ///< served from the directory
+    };
+
+    /**
+     * @param dir On-disk store; "" keeps recordings in memory only.
+     *            Created (with parents) when it does not exist.
+     */
+    explicit TraceCache(std::string dir = "");
+
+    /**
+     * The recording for @p key; records/loads at most once per key.
+     * Thread-safe. A failed recording poisons the key: every waiter
+     * and later caller receives the original exception.
+     *
+     * When @p liveObserver is non-null and this call ends up
+     * producing the stream by running the VM, the observer is
+     * attached to that live run (saving the caller a replay pass) and
+     * @p observedLive is set to true. When the stream came from
+     * memory or disk instead, @p observedLive is false and the caller
+     * replays the returned trace. The observer must not throw; wrap
+     * fallible sinks (the sweep engine's replay fan-out guards
+     * per-sink).
+     */
+    std::shared_ptr<const RecordedRun>
+    get(const TraceKey &key, TraceSink *liveObserver = nullptr,
+        bool *observedLive = nullptr);
+
+    /** Counters so far (thread-safe snapshot). */
+    Stats stats() const;
+
+    /** Directory backing this cache ("" = memory only). */
+    const std::string &dir() const { return dir_; }
+
+    /** Drop all in-memory entries (disk files are kept). */
+    void clear();
+
+  private:
+    using Entry = std::shared_future<std::shared_ptr<const RecordedRun>>;
+
+    std::shared_ptr<const RecordedRun>
+    produce(const TraceKey &key, TraceSink *liveObserver,
+            bool *observedLive);
+
+    std::string dir_;
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    Stats stats_;
+};
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_TRACE_CACHE_H

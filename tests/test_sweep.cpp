@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Sweep-engine contract tests: parallel results are bit-identical to
+ * live serial runs, faults poison only their own point, and the trace
+ * cache records each stream exactly once (memory and disk).
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "arch/bpred/predictors.h"
+#include "arch/cache/cache.h"
+#include "arch/pipeline/pipeline.h"
+#include "harness/experiment.h"
+#include "isa/trace_buffer.h"
+#include "sweep/sweep.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::sweep {
+namespace {
+
+/** Unique-per-test temp dir, removed at scope exit. */
+struct TempDir {
+    explicit TempDir(const std::string &leaf)
+        : path(std::string(::testing::TempDir()) + leaf)
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+/** tinyArg key so every recorded run stays sub-second. */
+TraceKey
+tinyKey(const std::string &workload, ExecMode mode)
+{
+    const WorkloadInfo *w = findWorkload(workload);
+    EXPECT_NE(w, nullptr) << workload;
+    return traceKey(workload, mode, w->tinyArg);
+}
+
+CacheConfig
+l1(std::uint32_t assoc)
+{
+    return {8 * 1024, 32, assoc, true};
+}
+
+/** Cache point measuring I/D miss rates at one associativity. */
+SweepPoint
+cachePoint(const std::string &label, const TraceKey &key,
+           std::uint32_t assoc)
+{
+    return makePoint<CacheSink>(
+        label, key,
+        [assoc] {
+            return std::make_unique<CacheSink>(l1(assoc), l1(assoc));
+        },
+        [](CacheSink &sink, const RecordedRun &) {
+            return std::vector<Metric>{
+                {"i_miss", sink.icache().stats().missRate()},
+                {"d_miss", sink.dcache().stats().missRate()},
+            };
+        });
+}
+
+SweepPoint
+bpredPoint(const std::string &label, const TraceKey &key)
+{
+    return makePoint<PredictorBank>(
+        label, key,
+        [] { return std::make_unique<PredictorBank>(); },
+        [](PredictorBank &sink, const RecordedRun &) {
+            std::vector<Metric> out;
+            for (const PredictorResult &r : sink.results())
+                out.push_back({r.name, r.mispredictRate()});
+            out.push_back(
+                {"btb_misses",
+                 static_cast<double>(sink.btbMisses())});
+            return out;
+        });
+}
+
+SweepPoint
+pipelinePoint(const std::string &label, const TraceKey &key)
+{
+    return makePoint<PipelineSim>(
+        label, key,
+        [] { return std::make_unique<PipelineSim>(PipelineConfig{}); },
+        [](PipelineSim &sink, const RecordedRun &) {
+            return std::vector<Metric>{
+                {"ipc", sink.ipc()},
+                {"cycles", static_cast<double>(sink.cycles())},
+                {"mispredicts",
+                 static_cast<double>(sink.mispredicts())},
+            };
+        });
+}
+
+/** A grid mixing cache, bpred, and pipeline models over four streams. */
+std::vector<SweepPoint>
+mixedGrid()
+{
+    std::vector<SweepPoint> grid;
+    for (const char *w : {"compress", "db"}) {
+        for (const bool jit : {false, true}) {
+            const TraceKey key = tinyKey(
+                w, jit ? ExecMode::jit() : ExecMode::interp());
+            const std::string base =
+                std::string(w) + "/" + (jit ? "jit" : "interp");
+            grid.push_back(cachePoint(base + "/assoc1", key, 1));
+            grid.push_back(cachePoint(base + "/assoc4", key, 4));
+            grid.push_back(bpredPoint(base + "/bpred", key));
+            grid.push_back(pipelinePoint(base + "/pipeline", key));
+        }
+    }
+    return grid;
+}
+
+/**
+ * Run one point the pre-sweep way: attach its sink to a live,
+ * serial VM run and extract the same metrics.
+ */
+std::vector<Metric>
+liveSerialMetrics(const SweepPoint &p)
+{
+    std::unique_ptr<TraceSink> sink = p.makeSink();
+    RunSpec spec = p.key.toRunSpec();
+    spec.sink = sink.get();
+    RecordedRun run = recordWorkload(spec);
+    return p.extract(*sink, run);
+}
+
+TEST(Sweep, ParallelResultsBitIdenticalToLiveSerial)
+{
+    const std::vector<SweepPoint> grid = mixedGrid();
+
+    SweepOptions opt;
+    opt.jobs = 4;
+    SweepEngine engine(opt);
+    const SweepResult result = engine.run(grid);
+
+    ASSERT_EQ(result.points.size(), grid.size());
+    ASSERT_TRUE(result.allOk());
+    // Deterministic ordering: slot i belongs to grid point i no
+    // matter which worker computed it.
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        EXPECT_EQ(result.points[i].label, grid[i].label);
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const std::vector<Metric> serial = liveSerialMetrics(grid[i]);
+        const PointResult &par = result.points[i];
+        ASSERT_EQ(par.metrics.size(), serial.size()) << par.label;
+        for (std::size_t m = 0; m < serial.size(); ++m) {
+            EXPECT_EQ(par.metrics[m].name, serial[m].name)
+                << par.label;
+            // Exact: same integer counters fed to the same float
+            // arithmetic must give the same bits.
+            EXPECT_EQ(par.metrics[m].value, serial[m].value)
+                << par.label << "." << serial[m].name;
+        }
+    }
+
+    // Four unique streams, recorded once each, everything else served
+    // from memory.
+    EXPECT_EQ(result.traces.recordings, 4u);
+    EXPECT_EQ(result.traces.diskLoads, 0u);
+}
+
+TEST(Sweep, ThrowingSinkFactoryPoisonsOnlyItsPoint)
+{
+    const TraceKey key = tinyKey("compress", ExecMode::interp());
+    std::vector<SweepPoint> grid;
+    grid.push_back(cachePoint("before", key, 1));
+    grid.push_back(cachePoint("bad", key, 2));
+    grid[1].makeSink = []() -> std::unique_ptr<TraceSink> {
+        throw std::runtime_error("factory exploded");
+    };
+    grid.push_back(cachePoint("after", key, 4));
+
+    SweepEngine engine;
+    const SweepResult result = engine.run(grid);
+
+    EXPECT_TRUE(result.points[0].ok);
+    EXPECT_TRUE(result.points[2].ok);
+    EXPECT_FALSE(result.points[1].ok);
+    EXPECT_NE(result.points[1].error.find("factory exploded"),
+              std::string::npos)
+        << result.points[1].error;
+    EXPECT_FALSE(result.allOk());
+    // The shared stream was still recorded and consumed by the others.
+    EXPECT_GT(result.points[0].traceEvents, 0u);
+    EXPECT_EQ(result.points[0].traceEvents,
+              result.points[2].traceEvents);
+}
+
+/** Sink that dies mid-stream; the fan-out must contain the blast. */
+class ExplodingSink : public TraceSink {
+  public:
+    void onEvent(const TraceEvent &) override {
+        if (++seen_ == 100)
+            throw std::runtime_error("sink exploded");
+    }
+
+  private:
+    std::uint64_t seen_ = 0;
+};
+
+TEST(Sweep, ThrowingSinkPoisonsOnlyItsPoint)
+{
+    const TraceKey key = tinyKey("compress", ExecMode::interp());
+    std::vector<SweepPoint> grid;
+    grid.push_back(cachePoint("good", key, 1));
+    grid.push_back(makePoint<ExplodingSink>(
+        "dies", key, [] { return std::make_unique<ExplodingSink>(); },
+        [](ExplodingSink &, const RecordedRun &) {
+            return std::vector<Metric>{};
+        }));
+
+    SweepEngine engine;
+    const SweepResult result = engine.run(grid);
+
+    EXPECT_TRUE(result.points[0].ok);
+    EXPECT_FALSE(result.points[1].ok);
+    EXPECT_NE(result.points[1].error.find("sink exploded"),
+              std::string::npos)
+        << result.points[1].error;
+
+    // The surviving point still matches a live serial run.
+    const std::vector<Metric> serial = liveSerialMetrics(grid[0]);
+    ASSERT_EQ(result.points[0].metrics.size(), serial.size());
+    EXPECT_EQ(result.points[0].metrics[0].value, serial[0].value);
+}
+
+TEST(Sweep, RecordingFailurePoisonsOnlyItsGroup)
+{
+    std::vector<SweepPoint> grid;
+    grid.push_back(
+        cachePoint("good", tinyKey("compress", ExecMode::interp()), 1));
+    TraceKey bogus = tinyKey("compress", ExecMode::interp());
+    bogus.workload = "no-such-workload";
+    grid.push_back(cachePoint("bad", bogus, 1));
+
+    SweepEngine engine;
+    const SweepResult result = engine.run(grid);
+
+    EXPECT_TRUE(result.points[0].ok);
+    EXPECT_FALSE(result.points[1].ok);
+    EXPECT_NE(result.points[1].error.find("recording failed"),
+              std::string::npos)
+        << result.points[1].error;
+}
+
+TEST(Sweep, RecordsEachStreamOncePerProcess)
+{
+    const TraceKey key = tinyKey("db", ExecMode::interp());
+    std::vector<SweepPoint> grid;
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        grid.push_back(cachePoint(
+            "assoc" + std::to_string(assoc), key, assoc));
+    }
+
+    SweepEngine engine;
+    const SweepResult first = engine.run(grid);
+    EXPECT_TRUE(first.allOk());
+    EXPECT_EQ(first.traces.recordings, 1u);
+
+    // A second sweep over the same stream is pure replay.
+    const SweepResult second = engine.run(grid);
+    EXPECT_TRUE(second.allOk());
+    EXPECT_EQ(second.traces.recordings, 0u);
+    EXPECT_EQ(second.traces.memoryHits, 1u);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(first.points[i].metrics[0].value,
+                  second.points[i].metrics[0].value);
+    }
+}
+
+TEST(Sweep, DiskCacheServesSecondProcess)
+{
+    TempDir dir("jrs_sweep_disk_cache");
+    const TraceKey key = tinyKey("compress", ExecMode::jit());
+
+    TraceCache writer(dir.path);
+    const auto recorded = writer.get(key);
+    EXPECT_EQ(writer.stats().recordings, 1u);
+    ASSERT_NE(recorded->trace, nullptr);
+    EXPECT_GT(recorded->trace->size(), 0u);
+
+    // A fresh cache on the same directory stands in for a later
+    // process: it must load, not re-record.
+    TraceCache reader(dir.path);
+    const auto loaded = reader.get(key);
+    EXPECT_EQ(reader.stats().recordings, 0u);
+    EXPECT_EQ(reader.stats().diskLoads, 1u);
+
+    ASSERT_EQ(loaded->trace->size(), recorded->trace->size());
+    EXPECT_EQ(loaded->result.exitValue, recorded->result.exitValue);
+    EXPECT_EQ(loaded->result.totalEvents,
+              recorded->result.totalEvents);
+}
+
+TEST(Sweep, TraceBufferDiskRoundTripIsLossless)
+{
+    TempDir dir("jrs_sweep_roundtrip");
+    std::filesystem::create_directories(dir.path);
+    const std::string path = dir.path + "/stream.jrstrace";
+
+    const TraceKey key = tinyKey("compress", ExecMode::jit());
+    const RecordedRun run = recordWorkload(key.toRunSpec());
+    ASSERT_GT(run.trace->size(), 0u);
+
+    run.trace->save(path);
+    const TraceBuffer loaded = TraceBuffer::load(path);
+
+    ASSERT_EQ(loaded.size(), run.trace->size());
+    for (std::uint64_t i = 0; i < loaded.size(); ++i) {
+        const TraceEvent a = run.trace->at(i);
+        const TraceEvent b = loaded.at(i);
+        ASSERT_EQ(a.pc, b.pc) << "event " << i;
+        ASSERT_EQ(a.mem, b.mem) << "event " << i;
+        ASSERT_EQ(a.target, b.target) << "event " << i;
+        ASSERT_EQ(a.kind, b.kind) << "event " << i;
+        ASSERT_EQ(a.phase, b.phase) << "event " << i;
+        ASSERT_EQ(a.taken, b.taken) << "event " << i;
+        ASSERT_EQ(a.memSize, b.memSize) << "event " << i;
+        ASSERT_EQ(a.rd, b.rd) << "event " << i;
+        ASSERT_EQ(a.rs1, b.rs1) << "event " << i;
+        ASSERT_EQ(a.rs2, b.rs2) << "event " << i;
+    }
+
+    // Replaying the loaded copy gives the same model results as the
+    // original stream.
+    CacheSink fromOriginal(l1(2), l1(2));
+    CacheSink fromDisk(l1(2), l1(2));
+    run.trace->replay(fromOriginal);
+    loaded.replay(fromDisk);
+    EXPECT_EQ(fromOriginal.icache().stats().misses(),
+              fromDisk.icache().stats().misses());
+    EXPECT_EQ(fromOriginal.dcache().stats().misses(),
+              fromDisk.dcache().stats().misses());
+}
+
+TEST(Sweep, MalformedGridThrows)
+{
+    std::vector<SweepPoint> grid(1);
+    grid[0].label = "empty";
+    grid[0].key = tinyKey("compress", ExecMode::interp());
+    SweepEngine engine;
+    EXPECT_THROW(engine.run(grid), VmError);
+}
+
+} // namespace
+} // namespace jrs::sweep
