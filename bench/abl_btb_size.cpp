@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     const bench::SweepBenchArgs args =
         bench::parseSweepBenchArgs(argc, argv);
+    bench::setupObs(args);
 
     bench::header(
         "Ablation — BTB size sweep for indirect transfers",
@@ -39,6 +40,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
+        bench::finishObs(args);
         return 1;
     }
 
@@ -67,5 +69,6 @@ main(int argc, char **argv)
 
     if (!args.json.empty())
         result.writeJson(args.json);
+    bench::finishObs(args);
     return 0;
 }

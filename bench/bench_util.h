@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "obs/obs.h"
 #include "support/statistics.h"
 #include "support/table.h"
 
@@ -29,15 +30,18 @@ namespace jrs::bench {
  *   Figure 8 line-size sweep, which shows hello's short methods
  *   preferring small lines).
  *
- * The two variants are built once and memoized; callers get a
- * reference to a process-lifetime vector, so the per-call vector
- * rebuild (and the dangling-reference hazard of binding a temporary)
- * is gone.
+ * The two variants are built once and memoized in function-local
+ * statics, whose initialization C++11 guarantees is thread-safe: the
+ * first caller (on any thread) builds each vector exactly once, and
+ * concurrent first calls — e.g. sweep workers constructing grids —
+ * block until it is ready. Callers get a reference to a
+ * process-lifetime vector, so the per-call vector rebuild (and the
+ * dangling-reference hazard of binding a temporary) is gone.
  */
 inline const std::vector<const WorkloadInfo *> &
 suite(bool include_hello = false)
 {
-    static const auto build = [](bool with_hello) {
+    const auto build = [](bool with_hello) {
         std::vector<const WorkloadInfo *> out;
         for (const WorkloadInfo &w : allWorkloads()) {
             if (!with_hello && std::string(w.name) == "hello")
@@ -72,6 +76,8 @@ struct SweepBenchArgs {
     std::string cacheDir;     ///< --cache-dir: on-disk trace cache
     bool compareSerial = false;  ///< --compare-serial
     std::string benchJson;    ///< --bench-json: speedup trajectory file
+    std::string metricsJson;  ///< --metrics-json: jrs-metrics-v1 file
+    std::string traceJson;    ///< --trace-json: Chrome trace-event file
 };
 
 /** Parse the flags above; exits with usage on unknown arguments. */
@@ -105,14 +111,45 @@ parseSweepBenchArgs(int argc, char **argv)
             out.compareSerial = true;
         } else if (a == "--bench-json") {
             out.benchJson = next();
+        } else if (a == "--metrics-json") {
+            out.metricsJson = next();
+        } else if (a == "--trace-json") {
+            out.traceJson = next();
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--jobs N] [--json FILE] [--cache-dir DIR]"
-                         " [--compare-serial] [--bench-json FILE]\n";
+                         " [--compare-serial] [--bench-json FILE]"
+                         " [--metrics-json FILE] [--trace-json FILE]\n";
             std::exit(2);
         }
     }
     return out;
+}
+
+/** Enable observability when either output file was requested. */
+inline void
+setupObs(const SweepBenchArgs &args)
+{
+    if (!args.metricsJson.empty() || !args.traceJson.empty())
+        obs::setEnabled(true);
+}
+
+/**
+ * Write the requested observability files. Call on every exit path
+ * after the sweep ran (including early failure returns, so a partial
+ * run still leaves its metrics behind for diagnosis).
+ */
+inline void
+finishObs(const SweepBenchArgs &args)
+{
+    if (!args.metricsJson.empty()) {
+        obs::metrics().writeJson(args.metricsJson);
+        std::cout << "wrote " << args.metricsJson << '\n';
+    }
+    if (!args.traceJson.empty()) {
+        obs::tracer().writeJson(args.traceJson);
+        std::cout << "wrote " << args.traceJson << '\n';
+    }
 }
 
 /**

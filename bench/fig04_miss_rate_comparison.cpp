@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     const bench::SweepBenchArgs args =
         bench::parseSweepBenchArgs(argc, argv);
+    bench::setupObs(args);
 
     bench::header(
         "Figure 4 — average miss rates vs C/C++ reference",
@@ -40,6 +41,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
+        bench::finishObs(args);
         return 1;
     }
 
@@ -72,5 +74,6 @@ main(int argc, char **argv)
 
     if (!args.json.empty())
         result.writeJson(args.json);
+    bench::finishObs(args);
     return 0;
 }

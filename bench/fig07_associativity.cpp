@@ -100,6 +100,7 @@ main(int argc, char **argv)
 {
     const bench::SweepBenchArgs args =
         bench::parseSweepBenchArgs(argc, argv);
+    bench::setupObs(args);
 
     bench::header(
         "Figure 7 — associativity sweep (8K, 32B, assoc 1/2/4/8)",
@@ -116,6 +117,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
+        bench::finishObs(args);
         return 1;
     }
 
@@ -183,8 +185,11 @@ main(int argc, char **argv)
                     + ", \"bit_identical\": "
                     + (same ? "true" : "false") + "}");
         }
-        if (!same)
+        if (!same) {
+            bench::finishObs(args);
             return 1;
+        }
     }
+    bench::finishObs(args);
     return 0;
 }

@@ -97,6 +97,7 @@ main(int argc, char **argv)
 {
     const bench::SweepBenchArgs args =
         bench::parseSweepBenchArgs(argc, argv);
+    bench::setupObs(args);
 
     bench::header(
         "Figure 8 — line-size sweep (8K direct-mapped; 16/32/64/128B)",
@@ -113,6 +114,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
+        bench::finishObs(args);
         return 1;
     }
 
@@ -193,8 +195,11 @@ main(int argc, char **argv)
                     + ", \"bit_identical\": "
                     + (same ? "true" : "false") + "}");
         }
-        if (!same)
+        if (!same) {
+            bench::finishObs(args);
             return 1;
+        }
     }
+    bench::finishObs(args);
     return 0;
 }

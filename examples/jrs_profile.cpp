@@ -1,0 +1,186 @@
+/**
+ * @file
+ * jrs_profile — hot-method attribution for one workload run.
+ *
+ * Runs a workload while recording its dynamic native stream, then
+ * joins the phase-tagged stream with the run's method map (bytecode
+ * ranges + JIT code-cache ranges) and prints the top-N methods by
+ * simulated native instructions for every execution phase. This is
+ * the paper's phase accounting with the "which method?" dimension
+ * added — entirely offline, from the same record-once stream the
+ * sweep engine uses.
+ *
+ *   jrs_profile <workload> [options]
+ *
+ *   --mode interp|jit|counter:N  execution mode (default: jit)
+ *   --arg N                      workload argument (default: smallArg)
+ *   --tiny                       use the workload's tinyArg instead
+ *   --top N                      rows per phase table (default: 10)
+ *   --metrics-json FILE          write a jrs-metrics-v1 snapshot
+ *   --trace-json FILE            write Chrome trace-event JSON
+ *                                (open in Perfetto / chrome://tracing)
+ *
+ * Examples:
+ *   jrs_profile compress
+ *   jrs_profile jess --mode counter:500 --top 5
+ *   jrs_profile db --tiny --trace-json db.trace.json
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "isa/trace_buffer.h"
+#include "obs/attribution.h"
+#include "obs/obs.h"
+#include "support/statistics.h"
+#include "vm/engine/engine.h"
+#include "vm/engine/policy.h"
+#include "workloads/workload.h"
+
+using namespace jrs;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg != nullptr)
+        std::cerr << "error: " << msg << "\n\n";
+    std::cerr << "usage: jrs_profile <workload>"
+                 " [--mode interp|jit|counter:N] [--arg N] [--tiny]"
+                 " [--top N] [--metrics-json FILE]"
+                 " [--trace-json FILE]\n\nworkloads:\n";
+    for (const WorkloadInfo &w : allWorkloads())
+        std::cerr << "  " << w.name << " — " << w.description << '\n';
+    std::exit(2);
+}
+
+std::shared_ptr<CompilationPolicy>
+parseMode(const std::string &mode)
+{
+    if (mode == "interp")
+        return std::make_shared<NeverCompilePolicy>();
+    if (mode == "jit")
+        return std::make_shared<AlwaysCompilePolicy>();
+    if (mode.rfind("counter:", 0) == 0) {
+        const std::string v = mode.substr(8);
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0')
+            usage("counter mode expects counter:N");
+        return std::make_shared<CounterPolicy>(
+            static_cast<std::uint64_t>(n));
+    }
+    usage("unknown --mode (expect interp, jit, or counter:N)");
+}
+
+long
+parseLong(const std::string &v, const char *what)
+{
+    char *end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0') {
+        std::cerr << "error: " << what << " expects a number\n";
+        std::exit(2);
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const WorkloadInfo *w = findWorkload(argv[1]);
+    if (w == nullptr)
+        usage("unknown workload");
+
+    std::string mode = "jit";
+    std::int32_t arg = w->smallArg;
+    std::size_t topN = 10;
+    std::string metricsPath;
+    std::string tracePath;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("missing value");
+            return argv[++i];
+        };
+        if (a == "--mode") {
+            mode = next();
+        } else if (a == "--arg") {
+            arg = static_cast<std::int32_t>(parseLong(next(), "--arg"));
+        } else if (a == "--tiny") {
+            arg = w->tinyArg;
+        } else if (a == "--top") {
+            topN = static_cast<std::size_t>(parseLong(next(), "--top"));
+        } else if (a == "--metrics-json") {
+            metricsPath = next();
+        } else if (a == "--trace-json") {
+            tracePath = next();
+        } else {
+            usage("unknown option");
+        }
+    }
+
+    if (!metricsPath.empty() || !tracePath.empty())
+        obs::setEnabled(true);
+
+    // Record the run's native stream, then join it offline with the
+    // method map built from the finished engine's registry and code
+    // cache (the map needs the post-run cache: methods get their
+    // code-cache addresses as they are compiled).
+    const Program prog = w->build();
+    EngineConfig cfg;
+    cfg.policy = parseMode(mode);
+    TraceBuffer buffer;
+    cfg.sink = &buffer;
+    ExecutionEngine engine(prog, cfg);
+    const RunResult res = engine.run(arg);
+    if (!res.completed) {
+        std::cerr << w->name << " did not complete: "
+                  << (res.uncaughtException != nullptr
+                          ? res.uncaughtException
+                          : "unknown")
+                  << '\n';
+        return 1;
+    }
+
+    const obs::MethodMap map =
+        obs::MethodMap::forRun(engine.registry(), engine.codeCache());
+    obs::AttributionSink attr(map);
+    buffer.replay(attr);
+
+    std::cout << w->name << " --mode " << mode << " --arg " << arg
+              << ": exit=" << res.exitValue << ", "
+              << withCommas(res.totalEvents)
+              << " simulated native instructions, "
+              << res.methodsCompiled << " methods compiled\n";
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const Phase phase = static_cast<Phase>(p);
+        const std::uint64_t events = attr.phaseEvents(phase);
+        if (events == 0)
+            continue;
+        std::cout << '\n'
+                  << phaseName(phase) << " — " << withCommas(events)
+                  << " events ("
+                  << fixed(100.0 * static_cast<double>(events)
+                               / static_cast<double>(res.totalEvents),
+                           1)
+                  << "% of run)\n";
+        attr.phaseTable(phase, topN).print(std::cout);
+    }
+
+    if (!metricsPath.empty()) {
+        obs::metrics().writeJson(metricsPath);
+        std::cout << "\nwrote " << metricsPath << '\n';
+    }
+    if (!tracePath.empty()) {
+        obs::tracer().writeJson(tracePath);
+        std::cout << "wrote " << tracePath << '\n';
+    }
+    return 0;
+}

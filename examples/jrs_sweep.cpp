@@ -5,20 +5,27 @@
  *   jrs_sweep <grid> [options]
  *   jrs_sweep --list
  *
- *   --jobs N         worker threads (default: hardware concurrency)
- *   --json FILE      write the SweepResult as JSON
- *   --cache-dir DIR  on-disk trace cache; a second invocation with
- *                    the same DIR replays recorded streams instead of
- *                    re-running the VM
- *   --quiet          suppress the per-point table
+ *   --jobs N           worker threads (default: hardware concurrency)
+ *   --json FILE        write the SweepResult as JSON
+ *   --cache-dir DIR    on-disk trace cache; a second invocation with
+ *                      the same DIR replays recorded streams instead
+ *                      of re-running the VM
+ *   --quiet            suppress the per-point table
+ *   --progress         live progress line on stderr (points done,
+ *                      recordings/hits/loads from the metric registry)
+ *   --metrics-json F   write a jrs-metrics-v1 registry snapshot
+ *   --trace-json F     write Chrome trace-event JSON of the sweep
+ *                      (worker lanes; open in Perfetto)
  *
  * Examples:
- *   jrs_sweep fig07 --jobs 8
+ *   jrs_sweep fig07 --jobs 8 --progress
  *   jrs_sweep all --cache-dir /tmp/jrs-traces --json sweep.json
+ *   jrs_sweep fig04 --jobs 4 --trace-json fig04.trace.json
  */
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/obs.h"
 #include "support/statistics.h"
 #include "sweep/grids.h"
 
@@ -32,7 +39,8 @@ usage(const char *msg = nullptr)
     if (msg != nullptr)
         std::cerr << "error: " << msg << "\n\n";
     std::cerr << "usage: jrs_sweep <grid> [--jobs N] [--json FILE]"
-                 " [--cache-dir DIR] [--quiet]\n"
+                 " [--cache-dir DIR] [--quiet] [--progress]"
+                 " [--metrics-json FILE] [--trace-json FILE]\n"
                  "       jrs_sweep --list\n\ngrids:\n";
     for (const sweep::NamedGrid &g : sweep::allGrids())
         std::cerr << "  " << g.name << " — " << g.description << '\n';
@@ -58,7 +66,10 @@ main(int argc, char **argv)
 
     sweep::SweepOptions opts;
     std::string jsonPath;
+    std::string metricsPath;
+    std::string tracePath;
     bool quiet = false;
+    bool progress = false;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -79,9 +90,36 @@ main(int argc, char **argv)
             opts.cacheDir = next();
         } else if (a == "--quiet") {
             quiet = true;
+        } else if (a == "--progress") {
+            progress = true;
+        } else if (a == "--metrics-json") {
+            metricsPath = next();
+        } else if (a == "--trace-json") {
+            tracePath = next();
         } else {
             usage("unknown option");
         }
+    }
+
+    if (progress || !metricsPath.empty() || !tracePath.empty())
+        obs::setEnabled(true);
+    if (progress) {
+        // The counts come straight from the registry the sweep engine
+        // publishes into (the same numbers --metrics-json snapshots).
+        opts.onProgress = [](const sweep::SweepProgress &p) {
+            obs::MetricRegistry &reg = obs::metrics();
+            std::cerr << '\r' << p.pointsDone << '/' << p.pointsTotal
+                      << " points (groups " << p.groupsDone << '/'
+                      << p.groupsTotal << ", "
+                      << reg.counterValue("trace_cache.recordings")
+                      << " rec, "
+                      << reg.counterValue("trace_cache.memory_hits")
+                      << " hit, "
+                      << reg.counterValue("trace_cache.disk_loads")
+                      << " load)" << std::flush;
+            if (p.groupsDone == p.groupsTotal)
+                std::cerr << '\n';
+        };
     }
 
     sweep::SweepEngine engine(opts);
@@ -98,6 +136,14 @@ main(int argc, char **argv)
     if (!jsonPath.empty()) {
         result.writeJson(jsonPath);
         std::cout << "wrote " << jsonPath << '\n';
+    }
+    if (!metricsPath.empty()) {
+        obs::metrics().writeJson(metricsPath);
+        std::cout << "wrote " << metricsPath << '\n';
+    }
+    if (!tracePath.empty()) {
+        obs::tracer().writeJson(tracePath);
+        std::cout << "wrote " << tracePath << '\n';
     }
     return result.allOk() ? 0 : 1;
 }

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Hot-method attribution: join a phase-tagged native stream with the
+ * method map and report where the instructions went.
+ *
+ * The paper's whole method is counting phase-tagged native
+ * instructions; this pass adds the "which *method* was that?"
+ * dimension JXPerf-style tools provide. A MethodMap records the two
+ * kinds of simulated address ranges that identify a method:
+ *
+ *  - its bytecode range in seg::kClassData (what the interpreter
+ *    fetches and the translator reads), and
+ *  - its generated-code range in seg::kCodeCache (what the native
+ *    executor's pc walks and the translator's install stores hit).
+ *
+ * AttributionSink replays any recorded stream against that map:
+ *
+ *  - NativeExec events attribute by pc range;
+ *  - Interpret events attribute to the method of the last bytecode
+ *    fetch — the interpreter begins every step with a fetch from
+ *    `bytecodeAddr + pc`, so this is exact per interpreted step;
+ *  - Translate events attribute to the method whose bytecode the
+ *    translator last read (or whose code it last installed);
+ *  - Runtime events attribute to the last interpreted/native method,
+ *    i.e. the method that called into the runtime.
+ *
+ * The join is entirely offline: it needs only the TraceEvent stream
+ * plus the map, so it works on replayed `.jrstrace` recordings as
+ * well as live runs. Events seen before any mapped access land in a
+ * "(unattributed)" bucket, and per-phase sums always equal the
+ * stream's per-phase totals (conservation; tested in test_obs.cpp).
+ */
+#ifndef JRS_OBS_ATTRIBUTION_H
+#define JRS_OBS_ATTRIBUTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/trace.h"
+#include "support/table.h"
+#include "vm/jit/code_cache.h"
+#include "vm/runtime/class_registry.h"
+
+namespace jrs::obs {
+
+/** Simulated-address-range -> method index; see file comment. */
+class MethodMap {
+  public:
+    /**
+     * Register [lo, hi) as belonging to @p name. Ranges of the same
+     * name (bytecode + generated code) share one row. Empty ranges
+     * are ignored. Ranges must not overlap.
+     */
+    void add(SimAddr lo, SimAddr hi, const std::string &name);
+
+    /**
+     * Every method of a finished run: bytecode ranges from the
+     * registry's program, generated-code ranges from the code cache.
+     */
+    static MethodMap forRun(const ClassRegistry &registry,
+                            const CodeCache &cache);
+
+    /** Row owning @p addr, or -1. */
+    int rowOf(SimAddr addr) const;
+
+    /** Name of @p row. */
+    const std::string &name(int row) const { return names_[row]; }
+
+    /** Number of distinct method names. */
+    std::size_t rows() const { return names_.size(); }
+
+  private:
+    struct Range {
+        SimAddr lo;
+        SimAddr hi;
+        int row;
+    };
+
+    std::vector<Range> ranges_;  ///< kept sorted by lo
+    std::vector<std::string> names_;
+};
+
+/** One row of an attribution report. */
+struct AttributedMethod {
+    std::string name;
+    std::uint64_t events = 0;
+    /** Share of the phase's total events, in percent. */
+    double pct = 0.0;
+};
+
+/** Offline joining sink; see file comment. */
+class AttributionSink : public TraceSink {
+  public:
+    /** @p map must outlive the sink. */
+    explicit AttributionSink(const MethodMap &map);
+
+    void onEvent(const TraceEvent &ev) override;
+
+    /** Total events observed. */
+    std::uint64_t totalEvents() const { return total_; }
+
+    /** Events observed in @p phase. */
+    std::uint64_t phaseEvents(Phase phase) const {
+        return phaseTotals_[static_cast<std::size_t>(phase)];
+    }
+
+    /** Events in @p phase attributed to a real method. */
+    std::uint64_t attributed(Phase phase) const;
+
+    /**
+     * Top @p n methods of @p phase by event count, descending
+     * (ties broken by name for deterministic output). The
+     * "(unattributed)" bucket is included when it is non-zero.
+     */
+    std::vector<AttributedMethod> top(Phase phase,
+                                      std::size_t n) const;
+
+    /** Render top(phase, n) as a table: rank, method, events, pct. */
+    Table phaseTable(Phase phase, std::size_t n) const;
+
+  private:
+    const MethodMap *map_;
+    /** Per row (rows() entries + trailing unattributed bucket). */
+    std::vector<std::uint64_t> counts_;  ///< row-major [row][phase]
+    std::uint64_t phaseTotals_[kNumPhases] = {};
+    std::uint64_t total_ = 0;
+    int curInterp_ = -1;     ///< method of the last bytecode fetch
+    int curTranslate_ = -1;  ///< method the translator last touched
+    int lastRunning_ = -1;   ///< last interp/native attribution
+};
+
+} // namespace jrs::obs
+
+#endif // JRS_OBS_ATTRIBUTION_H

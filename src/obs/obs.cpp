@@ -1,0 +1,39 @@
+#include "obs/obs.h"
+
+#include <atomic>
+
+namespace jrs::obs {
+
+namespace {
+
+std::atomic<bool> gEnabled{false};
+
+} // namespace
+
+bool
+enabled()
+{
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+MetricRegistry &
+metrics()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+SpanTracer &
+tracer()
+{
+    static SpanTracer t;
+    return t;
+}
+
+} // namespace jrs::obs

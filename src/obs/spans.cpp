@@ -1,0 +1,152 @@
+#include "obs/spans.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SpanTracer::SpanTracer()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+std::uint64_t
+SpanTracer::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+std::uint32_t
+SpanTracer::currentLane()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t lane =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return lane;
+}
+
+void
+SpanTracer::nameCurrentLane(const std::string &name)
+{
+    const std::uint32_t lane = currentLane();
+    std::lock_guard<std::mutex> lock(mu_);
+    laneNames_[lane] = name;
+}
+
+void
+SpanTracer::record(SpanRecord span)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(std::move(span));
+}
+
+std::size_t
+SpanTracer::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+std::string
+SpanTracer::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    out += "{\n\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&]() {
+        out += first ? "" : ",\n";
+        first = false;
+    };
+    sep();
+    out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": 0, \"args\": {\"name\": \"jrs\"}}";
+    for (const auto &[lane, name] : laneNames_) {
+        sep();
+        out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": "
+            + std::to_string(lane) + ", \"args\": {\"name\": \""
+            + jsonEscape(name) + "\"}}";
+    }
+    for (const SpanRecord &s : spans_) {
+        sep();
+        out += "{\"name\": \"" + jsonEscape(s.name) + "\", \"cat\": \""
+            + jsonEscape(s.cat) + "\", \"ph\": \"X\", \"ts\": "
+            + std::to_string(s.startUs) + ", \"dur\": "
+            + std::to_string(s.durUs) + ", \"pid\": 1, \"tid\": "
+            + std::to_string(s.lane) + ", \"args\": {";
+        for (std::size_t a = 0; a < s.args.size(); ++a) {
+            if (a != 0)
+                out += ", ";
+            out += "\"" + jsonEscape(s.args[a].first) + "\": \""
+                + jsonEscape(s.args[a].second) + "\"";
+        }
+        out += "}}";
+    }
+    out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+    return out;
+}
+
+void
+SpanTracer::writeJson(const std::string &path) const
+{
+    const std::string body = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw VmError("cannot write trace JSON: " + path);
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw VmError("cannot write trace JSON: " + path);
+}
+
+void
+SpanTracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    laneNames_.clear();
+}
+
+} // namespace jrs::obs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Span tracer emitting Chrome trace-event JSON.
+ *
+ * A SpanTracer collects completed spans (name, category, wall-clock
+ * start, duration, lane, string args) and renders them as the Chrome
+ * trace-event format — the `{"traceEvents": [...]}` JSON that
+ * Perfetto (https://ui.perfetto.dev) and chrome://tracing load
+ * directly. Each OS thread gets its own *lane* (the trace's tid), so
+ * a parallel sweep shows one timeline row per worker with record,
+ * replay and extract spans overlapping across rows.
+ *
+ * Recording is a mutex-guarded append of a finished span; timestamps
+ * come from steady_clock relative to the tracer's construction.
+ * Instrumentation sites should use obs::ScopedSpan (obs.h), which is
+ * a no-op while observability is disabled.
+ */
+#ifndef JRS_OBS_SPANS_H
+#define JRS_OBS_SPANS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jrs::obs {
+
+/** One completed span. */
+struct SpanRecord {
+    std::string name;
+    const char *cat = "jrs";     ///< category (static string)
+    std::uint64_t startUs = 0;   ///< microseconds since tracer epoch
+    std::uint64_t durUs = 0;
+    std::uint32_t lane = 0;      ///< trace tid (one per OS thread)
+    /** Rendered into the event's "args" object. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** See file comment. */
+class SpanTracer {
+  public:
+    SpanTracer();
+    SpanTracer(const SpanTracer &) = delete;
+    SpanTracer &operator=(const SpanTracer &) = delete;
+
+    /** Microseconds since this tracer was constructed. */
+    std::uint64_t nowUs() const;
+
+    /**
+     * Lane id of the calling thread. Lanes are assigned process-wide
+     * in first-use order (the main thread is usually lane 0).
+     */
+    static std::uint32_t currentLane();
+
+    /** Label the calling thread's lane in the rendered trace. */
+    void nameCurrentLane(const std::string &name);
+
+    /** Append a completed span (thread-safe). */
+    void record(SpanRecord span);
+
+    /** Spans recorded so far. */
+    std::size_t size() const;
+
+    /**
+     * Render as Chrome trace-event JSON: thread_name metadata for
+     * every named lane, then one complete ("ph":"X") event per span.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws VmError on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+    /** Drop all spans and lane names (tests). */
+    void clear();
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mu_;
+    std::vector<SpanRecord> spans_;
+    std::map<std::uint32_t, std::string> laneNames_;
+};
+
+} // namespace jrs::obs
+
+#endif // JRS_OBS_SPANS_H

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <thread>
 
+#include "obs/obs.h"
 #include "support/statistics.h"
 #include "vm/runtime/vm_error.h"
 
@@ -265,6 +267,8 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
 
     const auto t0 = std::chrono::steady_clock::now();
     const TraceCache::Stats before = cache_->stats();
+    obs::ScopedSpan sweepSpan("sweep.run", "sweep");
+    sweepSpan.arg("points", std::to_string(grid.size()));
 
     SweepResult result;
     result.points.resize(grid.size());
@@ -292,6 +296,44 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
         result.points[idx].error = why;
     };
 
+    // Progress + sweep.* metric bookkeeping, shared across workers.
+    std::mutex progressMu;
+    std::size_t pointsDone = 0;
+    std::size_t groupsDone = 0;
+    auto finishGroup = [&](const std::vector<std::size_t> &members) {
+        std::lock_guard<std::mutex> lock(progressMu);
+        pointsDone += members.size();
+        ++groupsDone;
+        if (obs::enabled()) {
+            obs::MetricRegistry &reg = obs::metrics();
+            std::size_t okCount = 0;
+            for (const std::size_t idx : members) {
+                if (result.points[idx].ok)
+                    ++okCount;
+                reg.histogram("sweep.point_seconds")
+                    .record(result.points[idx].seconds);
+            }
+            reg.counter("sweep.points.done").add(okCount);
+            reg.counter("sweep.points.failed")
+                .add(members.size() - okCount);
+            reg.counter("sweep.groups.done").add(1);
+            reg.gauge("sweep.queue_depth")
+                .set(static_cast<double>(groups.size() - groupsDone));
+        }
+        if (options_.onProgress) {
+            const TraceCache::Stats now = cache_->stats();
+            SweepProgress pr;
+            pr.pointsDone = pointsDone;
+            pr.pointsTotal = grid.size();
+            pr.groupsDone = groupsDone;
+            pr.groupsTotal = groups.size();
+            pr.traces.recordings = now.recordings - before.recordings;
+            pr.traces.memoryHits = now.memoryHits - before.memoryHits;
+            pr.traces.diskLoads = now.diskLoads - before.diskLoads;
+            options_.onProgress(pr);
+        }
+    };
+
     auto runGroup = [&](const std::vector<std::size_t> &members) {
         const auto g0 = std::chrono::steady_clock::now();
 
@@ -314,24 +356,33 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
         }
         GuardedFanout fanout(std::move(subs));
 
-        // On a cache miss the fan-out observes the recording run
-        // itself (GuardedFanout never throws, as TraceCache requires);
-        // otherwise replay the cached stream into it.
+        // Obtain the stream (recording on first use, loading a prior
+        // recording from disk, or waiting on another worker), then
+        // replay it into the group's sinks. Acquire and replay are
+        // separate passes so a span view shows both stages on every
+        // worker lane; the events delivered are identical either way.
+        const std::string &keyStr = result.points[members[0]].traceKey;
         std::shared_ptr<const RecordedRun> run;
-        bool observedLive = false;
         try {
-            run = cache_->get(grid[members[0]].key, &fanout,
-                              &observedLive);
+            obs::ScopedSpan span("sweep.acquire", "sweep");
+            span.arg("trace", keyStr);
+            run = cache_->get(grid[members[0]].key);
         } catch (const std::exception &e) {
             for (const std::size_t idx : members) {
                 if (result.points[idx].error.empty())
                     fail(idx,
                          std::string("recording failed: ") + e.what());
             }
+            finishGroup(members);
             return;
         }
-        if (!observedLive)
+        {
+            obs::ScopedSpan span("sweep.replay", "sweep");
+            span.arg("trace", keyStr);
+            span.arg("sinks",
+                     std::to_string(fanout.subscribers().size()));
             run->trace->replay(fanout);
+        }
         const double shared = secondsSince(g0)
             / static_cast<double>(members.size());
 
@@ -345,6 +396,8 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
                 fail(idx, fanout.subscribers()[s].error);
             } else {
                 try {
+                    obs::ScopedSpan span("sweep.extract", "sweep");
+                    span.arg("label", slot.label);
                     slot.metrics = grid[idx].extract(*sinks[m], *run);
                     slot.ok = true;
                 } catch (const std::exception &e) {
@@ -354,6 +407,7 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
             }
             slot.seconds = shared + secondsSince(e0);
         }
+        finishGroup(members);
     };
 
     unsigned jobs = options_.jobs != 0
@@ -364,12 +418,22 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
     const std::size_t workers =
         std::min<std::size_t>(jobs, groups.size());
 
+    if (obs::enabled())
+        obs::metrics()
+            .gauge("sweep.queue_depth")
+            .set(static_cast<double>(groups.size()));
+
     if (workers <= 1) {
+        if (obs::enabled())
+            obs::tracer().nameCurrentLane("sweep-worker-0");
         for (const auto &members : groups)
             runGroup(members);
     } else {
         std::atomic<std::size_t> next{0};
-        auto worker = [&]() {
+        auto worker = [&](std::size_t lane) {
+            if (obs::enabled())
+                obs::tracer().nameCurrentLane(
+                    "sweep-worker-" + std::to_string(lane));
             for (;;) {
                 const std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
@@ -381,7 +445,7 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (std::size_t t = 0; t < workers; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t);
         for (std::thread &t : pool)
             t.join();
     }

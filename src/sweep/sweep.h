@@ -23,6 +23,15 @@
  * (tests/test_sweep.cpp asserts this). A point whose sink factory,
  * sink, or extractor throws poisons only its own result slot; the rest
  * of the sweep completes.
+ *
+ * Observability: when jrs::obs is enabled the engine publishes sweep.*
+ * metrics (points/groups done, per-point wall-time histogram, queue
+ * depth) and emits acquire/replay/extract spans on named
+ * "sweep-worker-N" lanes, so a trace view shows how recording and
+ * replay overlap across workers. Metrics are read from simulator
+ * state, never fed back into it: results are bit-identical whether
+ * observability is on or off. SweepOptions::onProgress delivers a
+ * SweepProgress snapshot after every completed group.
  */
 #ifndef JRS_SWEEP_SWEEP_H
 #define JRS_SWEEP_SWEEP_H
@@ -131,6 +140,15 @@ struct SweepResult {
     void writeJson(const std::string &path) const;
 };
 
+/** Progress snapshot passed to SweepOptions::onProgress. */
+struct SweepProgress {
+    std::size_t pointsDone = 0;   ///< result slots resolved (ok or failed)
+    std::size_t pointsTotal = 0;
+    std::size_t groupsDone = 0;   ///< trace groups fully processed
+    std::size_t groupsTotal = 0;
+    TraceCache::Stats traces;     ///< cache activity so far this sweep
+};
+
 /** Engine knobs. */
 struct SweepOptions {
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
@@ -142,6 +160,12 @@ struct SweepOptions {
     std::shared_ptr<TraceCache> cache;
     /** On-disk cache directory for a private cache ("" = memory only). */
     std::string cacheDir;
+    /**
+     * Invoked after each completed trace group, serialized under an
+     * engine-internal mutex (the callback need not be thread-safe,
+     * but all workers queue behind it — keep it fast).
+     */
+    std::function<void(const SweepProgress &)> onProgress;
 };
 
 /** Executes sweep grids; see file comment. */

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/obs.h"
 #include "vm/runtime/vm_error.h"
 
 namespace jrs::sweep {
@@ -137,6 +138,8 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
         RunResult meta;
         if (readMeta(base + ".meta", keyStr, meta)
             && std::filesystem::exists(base)) {
+            obs::ScopedSpan span("trace.load", "sweep");
+            span.arg("key", keyStr);
             auto trace =
                 std::make_shared<TraceBuffer>(TraceBuffer::load(base));
             if (trace->size() == meta.totalEvents) {
@@ -144,6 +147,7 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
                     std::lock_guard<std::mutex> lock(mu_);
                     ++stats_.diskLoads;
                 }
+                obs::count("trace_cache.disk_loads");
                 auto run = std::make_shared<RecordedRun>();
                 run->result = meta;
                 run->trace = std::move(trace);
@@ -153,6 +157,8 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
         }
     }
 
+    obs::ScopedSpan span("trace.record", "sweep");
+    span.arg("key", keyStr);
     RunSpec spec = key.toRunSpec();
     spec.sink = liveObserver;
     if (liveObserver != nullptr && observedLive != nullptr)
@@ -162,6 +168,7 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.recordings;
     }
+    obs::count("trace_cache.recordings");
     if (!dir_.empty()) {
         const std::string base = dir_ + "/" + keyStr + ".jrstrace";
         run->trace->save(base);
@@ -191,6 +198,8 @@ TraceCache::get(const TraceKey &key, TraceSink *liveObserver,
             ++stats_.memoryHits;
         }
     }
+    if (!producer)
+        obs::count("trace_cache.memory_hits");
     if (!producer)
         return theirs.get();  // blocks until recorded; rethrows poison
     try {

@@ -1,5 +1,6 @@
 #include "vm/engine/engine.h"
 
+#include "obs/obs.h"
 #include "vm/sync/monitor_cache.h"
 #include "vm/sync/thin_lock.h"
 
@@ -19,6 +20,61 @@ makeSync(SyncKind kind, Heap &heap, TraceEmitter &emitter)
         return std::make_unique<OneBitLockSync>(heap, emitter);
     }
     throw VmError("bad sync kind");
+}
+
+/**
+ * Push one finished run's headline numbers into the global metric
+ * registry. Called once per run and only when observability is on, so
+ * the VM's hot paths never see the registry.
+ */
+void
+publishRunMetrics(const RunResult &r, const CodeCache &cache)
+{
+    obs::MetricRegistry &m = obs::metrics();
+    m.counter("vm.runs").add(1);
+    m.counter("vm.events.total").add(r.totalEvents);
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        m.counter("vm.events."
+                  + std::string(phaseName(static_cast<Phase>(p))))
+            .add(r.phaseEvents[p]);
+    }
+    m.counter("vm.bytecodes_interpreted").add(r.bytecodesInterpreted);
+    m.counter("vm.native_insts_retired").add(r.nativeInstsRetired);
+    m.counter("vm.dispatches_folded").add(r.dispatchesFolded);
+    m.counter("vm.methods_compiled").add(r.methodsCompiled);
+    m.counter("vm.calls_inlined").add(r.callsInlined);
+    m.counter("vm.calls_devirtualized").add(r.callsDevirtualized);
+    m.counter("vm.osr_transitions").add(r.osrTransitions);
+
+    m.counter("vm.heap.bytes_allocated").add(r.memory.heapBytes);
+    m.gauge("vm.code_cache.bytes")
+        .set(static_cast<double>(r.memory.codeCacheBytes));
+    m.gauge("vm.code_cache.methods")
+        .set(static_cast<double>(cache.numMethods()));
+    m.counter("vm.code_cache.lookups").add(cache.lookups());
+    m.counter("vm.code_cache.lookup_misses").add(cache.lookupMisses());
+
+    const LockStats &ls = r.lockStats;
+    m.counter("vm.lock.enters").add(ls.enterOps);
+    m.counter("vm.lock.exits").add(ls.exitOps);
+    m.counter("vm.lock.blocks").add(ls.blocks);
+    m.counter("vm.lock.inflations").add(ls.inflations);
+    m.counter("vm.lock.sim_cycles").add(ls.simCycles);
+    m.counter("vm.lock.case_unlocked")
+        .add(ls.caseCount[static_cast<std::size_t>(
+            LockCase::Unlocked)]);
+    m.counter("vm.lock.case_recursive")
+        .add(ls.caseCount[static_cast<std::size_t>(
+            LockCase::Recursive)]);
+    m.counter("vm.lock.case_deep_recursive")
+        .add(ls.caseCount[static_cast<std::size_t>(
+            LockCase::DeepRecursive)]);
+    m.counter("vm.lock.case_contended")
+        .add(ls.caseCount[static_cast<std::size_t>(
+            LockCase::Contended)]);
+
+    m.histogram("vm.run.events")
+        .record(static_cast<double>(r.totalEvents));
 }
 
 } // namespace
@@ -414,6 +470,10 @@ ExecutionEngine::run(std::int32_t arg)
         throw VmError("ExecutionEngine::run called twice");
     ran_ = true;
 
+    obs::ScopedSpan span("vm.run", "vm");
+    if (span.active())
+        span.arg("entry", registry_->method(prog_.entry).name);
+
     RunResult result;
 
     // Main thread.
@@ -492,6 +552,12 @@ ExecutionEngine::run(std::int32_t arg)
     result.memory.stackBytes = stack_bytes;
     result.memory.codeCacheBytes = cache_->codeBytes();
     result.memory.translatorBytes = translator_->peakWorkingBytes();
+
+    if (obs::enabled()) {
+        publishRunMetrics(result, *cache_);
+        span.arg("events", std::to_string(result.totalEvents));
+        span.arg("completed", result.completed ? "true" : "false");
+    }
     return result;
 }
 

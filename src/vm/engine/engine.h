@@ -169,6 +169,9 @@ class ExecutionEngine : public EngineServices {
     /** Access to the registry (tests). */
     ClassRegistry &registry() { return *registry_; }
 
+    /** Access to the code cache (profilers build method maps from it). */
+    const CodeCache &codeCache() const { return *cache_; }
+
   private:
     void unwind(VmThread &thread, SimAddr exception, const char *name);
     /** Attempt on-stack replacement of the top (interpreter) frame. */

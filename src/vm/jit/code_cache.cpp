@@ -1,5 +1,7 @@
 #include "vm/jit/code_cache.h"
 
+#include <algorithm>
+
 #include "vm/runtime/vm_error.h"
 
 namespace jrs {
@@ -20,8 +22,27 @@ CodeCache::install(std::unique_ptr<NativeMethod> nm)
 const NativeMethod *
 CodeCache::lookup(MethodId id) const
 {
+    ++lookups_;
     auto it = methods_.find(id);
-    return it == methods_.end() ? nullptr : it->second.get();
+    if (it == methods_.end()) {
+        ++lookupMisses_;
+        return nullptr;
+    }
+    return it->second.get();
+}
+
+std::vector<const NativeMethod *>
+CodeCache::all() const
+{
+    std::vector<const NativeMethod *> out;
+    out.reserve(methods_.size());
+    for (const auto &[id, nm] : methods_)
+        out.push_back(nm.get());
+    std::sort(out.begin(), out.end(),
+              [](const NativeMethod *a, const NativeMethod *b) {
+                  return a->codeBase < b->codeBase;
+              });
+    return out;
 }
 
 } // namespace jrs

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "vm/jit/native_inst.h"
 
@@ -38,9 +39,20 @@ class CodeCache {
     /** Number of methods compiled. */
     std::size_t numMethods() const { return methods_.size(); }
 
+    /** Every installed method, in code-cache address order. */
+    std::vector<const NativeMethod *> all() const;
+
+    /** lookup() calls so far (dispatch-count observability). */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** lookup() calls that found no translation. */
+    std::uint64_t lookupMisses() const { return lookupMisses_; }
+
   private:
     std::unordered_map<MethodId, std::unique_ptr<NativeMethod>> methods_;
     std::size_t cursor_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+    mutable std::uint64_t lookupMisses_ = 0;
 };
 
 } // namespace jrs

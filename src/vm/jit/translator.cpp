@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "obs/obs.h"
 #include "vm/bytecode/assembler.h"
 #include "vm/bytecode/decode.h"
 #include "vm/runtime/heap.h"
@@ -1531,14 +1532,24 @@ const NativeMethod *
 Translator::translate(MethodId id)
 {
     const Method &m = registry_.method(id);
-    if (m.numArgs > kNumArgRegs)
+    obs::ScopedSpan span("jit.translate", "jit");
+    if (span.active())
+        span.arg("method", m.name);
+    if (m.numArgs > kNumArgRegs) {
+        obs::count("jit.uncompilable");
+        span.arg("result", "uncompilable");
         return nullptr;  // stays interpreted
+    }
 
+    const std::uint64_t inlinedBefore = callsInlined_;
+    const std::uint64_t devirtBefore = callsDevirtualized_;
     MethodTranslation mt(*this, m);
     std::unique_ptr<NativeMethod> nm;
     try {
         nm = mt.run();
     } catch (const TranslationAbort &) {
+        obs::count("jit.uncompilable");
+        span.arg("result", "uncompilable");
         return nullptr;  // e.g. calls a callee with too many args
     }
     peakWorking_ = std::max(peakWorking_, mt.workingBytes());
@@ -1548,6 +1559,23 @@ Translator::translate(MethodId id)
     const NativeMethod *installed = cache_.install(std::move(nm));
     mt.traceInstall(*installed);
     ++methods_;
+    if (obs::enabled()) {
+        obs::MetricRegistry &reg = obs::metrics();
+        reg.counter("jit.compilations").add(1);
+        reg.counter("jit.calls_inlined")
+            .add(callsInlined_ - inlinedBefore);
+        reg.counter("jit.calls_devirtualized")
+            .add(callsDevirtualized_ - devirtBefore);
+        reg.histogram("jit.bytecode_bytes")
+            .record(static_cast<double>(m.code.size()));
+        reg.histogram("jit.native_insts")
+            .record(static_cast<double>(installed->code.size()));
+        span.arg("bytecode_bytes", std::to_string(m.code.size()));
+        span.arg("native_insts",
+                 std::to_string(installed->code.size()));
+        span.arg("inlined", std::to_string(callsInlined_
+                                           - inlinedBefore));
+    }
     return installed;
 }
 
