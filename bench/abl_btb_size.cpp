@@ -32,6 +32,8 @@ main(int argc, char **argv)
     sweep::SweepOptions opts;
     opts.jobs = args.jobs;
     opts.cacheDir = args.cacheDir;
+    obs::PerfReportSet perfReports;
+    bench::attachPerfObserver(opts, args, perfReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildBtbGrid());
@@ -40,7 +42,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args);
+        bench::finishObs(args, &perfReports);
         return 1;
     }
 
@@ -69,6 +71,6 @@ main(int argc, char **argv)
 
     if (!args.json.empty())
         result.writeJson(args.json);
-    bench::finishObs(args);
+    bench::finishObs(args, &perfReports);
     return 0;
 }

@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "obs/cli.h"
 #include "obs/obs.h"
+#include "obs/perf.h"
 #include "support/statistics.h"
 #include "support/table.h"
+#include "sweep/perf_observer.h"
 
 namespace jrs::bench {
 
@@ -76,8 +79,7 @@ struct SweepBenchArgs {
     std::string cacheDir;     ///< --cache-dir: on-disk trace cache
     bool compareSerial = false;  ///< --compare-serial
     std::string benchJson;    ///< --bench-json: speedup trajectory file
-    std::string metricsJson;  ///< --metrics-json: jrs-metrics-v1 file
-    std::string traceJson;    ///< --trace-json: Chrome trace-event file
+    obs::ObsCli obs;          ///< --metrics/trace/perf-json (obs/cli.h)
 };
 
 /** Parse the flags above; exits with usage on unknown arguments. */
@@ -111,45 +113,79 @@ parseSweepBenchArgs(int argc, char **argv)
             out.compareSerial = true;
         } else if (a == "--bench-json") {
             out.benchJson = next();
-        } else if (a == "--metrics-json") {
-            out.metricsJson = next();
-        } else if (a == "--trace-json") {
-            out.traceJson = next();
+        } else if (out.obs.tryParse(a, next)) {
+            continue;
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--jobs N] [--json FILE] [--cache-dir DIR]"
                          " [--compare-serial] [--bench-json FILE]"
-                         " [--metrics-json FILE] [--trace-json FILE]\n";
+                      << obs::ObsCli::usageText() << '\n';
             std::exit(2);
         }
     }
     return out;
 }
 
-/** Enable observability when either output file was requested. */
+/**
+ * Parse a bench command line that takes only the observability output
+ * flags (benches that run live, off the sweep engine); exits with
+ * usage on anything else.
+ */
+inline obs::ObsCli
+parseObsArgs(int argc, char **argv)
+{
+    obs::ObsCli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << a << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!cli.tryParse(a, next)) {
+            std::cerr << "usage: " << argv[0]
+                      << obs::ObsCli::usageText() << '\n';
+            std::exit(2);
+        }
+    }
+    return cli;
+}
+
+/** Enable observability when an output file was requested. */
 inline void
 setupObs(const SweepBenchArgs &args)
 {
-    if (!args.metricsJson.empty() || !args.traceJson.empty())
-        obs::setEnabled(true);
+    args.obs.setup();
 }
 
 /**
  * Write the requested observability files. Call on every exit path
  * after the sweep ran (including early failure returns, so a partial
- * run still leaves its metrics behind for diagnosis).
+ * run still leaves its metrics behind for diagnosis). @p perf, when
+ * non-null, is the attribution collected via attachPerfObserver.
  */
 inline void
-finishObs(const SweepBenchArgs &args)
+finishObs(const SweepBenchArgs &args,
+          const obs::PerfReportSet *perf = nullptr)
 {
-    if (!args.metricsJson.empty()) {
-        obs::metrics().writeJson(args.metricsJson);
-        std::cout << "wrote " << args.metricsJson << '\n';
-    }
-    if (!args.traceJson.empty()) {
-        obs::tracer().writeJson(args.traceJson);
-        std::cout << "wrote " << args.traceJson << '\n';
-    }
+    args.obs.finish(std::cout);
+    if (perf != nullptr)
+        args.obs.writePerf(*perf, std::cout);
+}
+
+/**
+ * Wire --perf-json into a sweep (no-op unless the flag was given):
+ * see sweep/perf_observer.h. @p reports must outlive the sweep.
+ */
+inline void
+attachPerfObserver(sweep::SweepOptions &opts,
+                   const SweepBenchArgs &args,
+                   obs::PerfReportSet &reports)
+{
+    if (args.obs.perfRequested())
+        sweep::attachPerfObserver(opts, reports);
 }
 
 /**

@@ -33,6 +33,8 @@ main(int argc, char **argv)
     sweep::SweepOptions opts;
     opts.jobs = args.jobs;
     opts.cacheDir = args.cacheDir;
+    obs::PerfReportSet perfReports;
+    bench::attachPerfObserver(opts, args, perfReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildFig04Grid());
@@ -41,7 +43,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args);
+        bench::finishObs(args, &perfReports);
         return 1;
     }
 
@@ -74,6 +76,6 @@ main(int argc, char **argv)
 
     if (!args.json.empty())
         result.writeJson(args.json);
-    bench::finishObs(args);
+    bench::finishObs(args, &perfReports);
     return 0;
 }

@@ -109,6 +109,8 @@ main(int argc, char **argv)
     sweep::SweepOptions opts;
     opts.jobs = args.jobs;
     opts.cacheDir = args.cacheDir;
+    obs::PerfReportSet perfReports;
+    bench::attachPerfObserver(opts, args, perfReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildFig07Grid());
@@ -117,7 +119,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args);
+        bench::finishObs(args, &perfReports);
         return 1;
     }
 
@@ -186,10 +188,10 @@ main(int argc, char **argv)
                     + (same ? "true" : "false") + "}");
         }
         if (!same) {
-            bench::finishObs(args);
+            bench::finishObs(args, &perfReports);
             return 1;
         }
     }
-    bench::finishObs(args);
+    bench::finishObs(args, &perfReports);
     return 0;
 }

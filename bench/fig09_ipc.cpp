@@ -8,6 +8,12 @@
  * widths (better caches, unoptimized code with exploitable overlap),
  * but its scaling flattens at wide issue because fetch re-serializes
  * on the poorly-predicted dispatch indirect jump once per bytecode.
+ *
+ * `--perf-json FILE` additionally records each run's stream and
+ * replays it through a perf-attribution pipeline (default config,
+ * issue width 4), writing per-method CPI stacks per (workload, mode).
+ * Without the flag the bench runs exactly as before — live, no
+ * recording, listeners unset.
  */
 #include "arch/pipeline/pipeline.h"
 #include "bench_util.h"
@@ -15,8 +21,11 @@
 using namespace jrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const obs::ObsCli cli = bench::parseObsArgs(argc, argv);
+    cli.setup();
+
     bench::header(
         "Figure 9 — IPC vs issue width (OOO model)",
         "interp IPC > jit IPC at narrow issue; interp scaling "
@@ -27,6 +36,7 @@ main()
     Table t({"workload", "mode", "ipc_w1", "ipc_w2", "ipc_w4",
              "ipc_w8", "scaling_w8/w1"});
 
+    obs::PerfReportSet reports;
     for (const WorkloadInfo *w : bench::suite(true)) {
         for (const bool jit : {false, true}) {
             std::vector<std::unique_ptr<PipelineSim>> sims;
@@ -45,7 +55,17 @@ main()
                 : std::static_pointer_cast<CompilationPolicy>(
                       std::make_shared<NeverCompilePolicy>());
             s.sink = &multi;
-            (void)runWorkload(s);
+            if (cli.perfRequested()) {
+                const RecordedRun rec = recordWorkload(s);
+                obs::AttributedPipeline attributed(PipelineConfig{},
+                                                   rec.methods);
+                rec.trace->replay(attributed);
+                reports.add(std::string("fig09/") + w->name + "/"
+                                + (jit ? "jit" : "interp"),
+                            attributed.perf());
+            } else {
+                (void)runWorkload(s);
+            }
             t.addRow({
                 w->name,
                 jit ? "jit" : "interp",
@@ -58,5 +78,7 @@ main()
         }
     }
     t.print(std::cout);
+    cli.writePerf(reports, std::cout);
+    cli.finish(std::cout);
     return 0;
 }

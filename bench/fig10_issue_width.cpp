@@ -7,6 +7,11 @@
  * mode is fixed, normalized time is the inverse of IPC scaling. To
  * reproduce: JIT-mode normalized time keeps improving at wide issue
  * for most programs, while interpreter-mode curves level off.
+ *
+ * `--perf-json FILE` additionally records each run's stream and
+ * replays it through a perf-attribution pipeline (default config),
+ * writing per-method CPI stacks per (workload, mode); without the
+ * flag the bench runs exactly as before.
  */
 #include "arch/pipeline/pipeline.h"
 #include "bench_util.h"
@@ -14,8 +19,11 @@
 using namespace jrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const obs::ObsCli cli = bench::parseObsArgs(argc, argv);
+    cli.setup();
+
     bench::header(
         "Figure 10 — normalized execution cycles vs issue width",
         "interpreter improvement flattens with wider issue; JIT "
@@ -26,6 +34,7 @@ main()
     Table t({"workload", "mode", "w1", "w2", "w4", "w8",
              "cycles_w1"});
 
+    obs::PerfReportSet reports;
     for (const WorkloadInfo *w : bench::suite(true)) {
         for (const bool jit : {false, true}) {
             std::vector<std::unique_ptr<PipelineSim>> sims;
@@ -44,7 +53,17 @@ main()
                 : std::static_pointer_cast<CompilationPolicy>(
                       std::make_shared<NeverCompilePolicy>());
             s.sink = &multi;
-            (void)runWorkload(s);
+            if (cli.perfRequested()) {
+                const RecordedRun rec = recordWorkload(s);
+                obs::AttributedPipeline attributed(PipelineConfig{},
+                                                   rec.methods);
+                rec.trace->replay(attributed);
+                reports.add(std::string("fig10/") + w->name + "/"
+                                + (jit ? "jit" : "interp"),
+                            attributed.perf());
+            } else {
+                (void)runWorkload(s);
+            }
             const double base = static_cast<double>(sims[0]->cycles());
             t.addRow({
                 w->name,
@@ -58,5 +77,7 @@ main()
         }
     }
     t.print(std::cout);
+    cli.writePerf(reports, std::cout);
+    cli.finish(std::cout);
     return 0;
 }

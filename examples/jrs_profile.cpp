@@ -19,19 +19,27 @@
  *   --metrics-json FILE          write a jrs-metrics-v1 snapshot
  *   --trace-json FILE            write Chrome trace-event JSON
  *                                (open in Perfetto / chrome://tracing)
+ *   --perf-json FILE             replay the recorded stream through a
+ *                                perf-attribution pipeline and write a
+ *                                jrs-perf-report-v1 report (per-method
+ *                                CPI stacks, miss/mispredict profiles)
  *
  * Examples:
  *   jrs_profile compress
  *   jrs_profile jess --mode counter:500 --top 5
  *   jrs_profile db --tiny --trace-json db.trace.json
+ *   jrs_profile compress --perf-json compress.perf.json
  */
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "arch/pipeline/pipeline.h"
 #include "isa/trace_buffer.h"
 #include "obs/attribution.h"
+#include "obs/cli.h"
 #include "obs/obs.h"
+#include "obs/perf.h"
 #include "support/statistics.h"
 #include "vm/engine/engine.h"
 #include "vm/engine/policy.h"
@@ -48,8 +56,8 @@ usage(const char *msg = nullptr)
         std::cerr << "error: " << msg << "\n\n";
     std::cerr << "usage: jrs_profile <workload>"
                  " [--mode interp|jit|counter:N] [--arg N] [--tiny]"
-                 " [--top N] [--metrics-json FILE]"
-                 " [--trace-json FILE]\n\nworkloads:\n";
+                 " [--top N]"
+              << obs::ObsCli::usageText() << "\n\nworkloads:\n";
     for (const WorkloadInfo &w : allWorkloads())
         std::cerr << "  " << w.name << " — " << w.description << '\n';
     std::exit(2);
@@ -100,8 +108,7 @@ main(int argc, char **argv)
     std::string mode = "jit";
     std::int32_t arg = w->smallArg;
     std::size_t topN = 10;
-    std::string metricsPath;
-    std::string tracePath;
+    obs::ObsCli cli;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -117,17 +124,14 @@ main(int argc, char **argv)
             arg = w->tinyArg;
         } else if (a == "--top") {
             topN = static_cast<std::size_t>(parseLong(next(), "--top"));
-        } else if (a == "--metrics-json") {
-            metricsPath = next();
-        } else if (a == "--trace-json") {
-            tracePath = next();
+        } else if (cli.tryParse(a, next)) {
+            continue;
         } else {
             usage("unknown option");
         }
     }
 
-    if (!metricsPath.empty() || !tracePath.empty())
-        obs::setEnabled(true);
+    cli.setup();
 
     // Record the run's native stream, then join it offline with the
     // method map built from the finished engine's registry and code
@@ -149,9 +153,9 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const obs::MethodMap map =
-        obs::MethodMap::forRun(engine.registry(), engine.codeCache());
-    obs::AttributionSink attr(map);
+    const auto map = std::make_shared<const obs::MethodMap>(
+        obs::MethodMap::forRun(engine.registry(), engine.codeCache()));
+    obs::AttributionSink attr(*map);
     buffer.replay(attr);
 
     std::cout << w->name << " --mode " << mode << " --arg " << arg
@@ -174,13 +178,23 @@ main(int argc, char **argv)
         attr.phaseTable(phase, topN).print(std::cout);
     }
 
-    if (!metricsPath.empty()) {
-        obs::metrics().writeJson(metricsPath);
-        std::cout << "\nwrote " << metricsPath << '\n';
+    if (!cli.metricsJson.empty() || !cli.traceJson.empty()
+        || cli.perfRequested()) {
+        std::cout << '\n';
     }
-    if (!tracePath.empty()) {
-        obs::tracer().writeJson(tracePath);
-        std::cout << "wrote " << tracePath << '\n';
+    if (cli.perfRequested()) {
+        // Second offline replay, this time through the pipeline model
+        // with attribution attached: same stream, richer join.
+        obs::PerfOptions popt;
+        popt.program = &prog;
+        obs::AttributedPipeline attributed(PipelineConfig{}, map,
+                                           popt);
+        buffer.replay(attributed);
+        obs::PerfReportSet reports;
+        reports.add(std::string(w->name) + "/" + mode,
+                    attributed.perf());
+        cli.writePerf(reports, std::cout);
     }
+    cli.finish(std::cout);
     return 0;
 }

@@ -16,18 +16,26 @@
  *   --metrics-json F   write a jrs-metrics-v1 registry snapshot
  *   --trace-json F     write Chrome trace-event JSON of the sweep
  *                      (worker lanes; open in Perfetto)
+ *   --perf-json F      write a jrs-perf-report-v1 attribution report:
+ *                      every trace group's replay is also observed by
+ *                      a perf-attribution pipeline (per-method CPI
+ *                      stacks, miss/mispredict profiles), without
+ *                      perturbing the sweep's own metrics
  *
  * Examples:
  *   jrs_sweep fig07 --jobs 8 --progress
  *   jrs_sweep all --cache-dir /tmp/jrs-traces --json sweep.json
  *   jrs_sweep fig04 --jobs 4 --trace-json fig04.trace.json
+ *   jrs_sweep fig09 --perf-json fig09.perf.json
  */
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/cli.h"
 #include "obs/obs.h"
 #include "support/statistics.h"
 #include "sweep/grids.h"
+#include "sweep/perf_observer.h"
 
 using namespace jrs;
 
@@ -40,8 +48,8 @@ usage(const char *msg = nullptr)
         std::cerr << "error: " << msg << "\n\n";
     std::cerr << "usage: jrs_sweep <grid> [--jobs N] [--json FILE]"
                  " [--cache-dir DIR] [--quiet] [--progress]"
-                 " [--metrics-json FILE] [--trace-json FILE]\n"
-                 "       jrs_sweep --list\n\ngrids:\n";
+              << obs::ObsCli::usageText()
+              << "\n       jrs_sweep --list\n\ngrids:\n";
     for (const sweep::NamedGrid &g : sweep::allGrids())
         std::cerr << "  " << g.name << " — " << g.description << '\n';
     std::exit(2);
@@ -56,6 +64,8 @@ main(int argc, char **argv)
         usage();
     const std::string first = argv[1];
     if (first == "--list") {
+        if (argc > 2)
+            usage("--list takes no further arguments");
         for (const sweep::NamedGrid &g : sweep::allGrids())
             std::cout << g.name << " — " << g.description << '\n';
         return 0;
@@ -66,8 +76,7 @@ main(int argc, char **argv)
 
     sweep::SweepOptions opts;
     std::string jsonPath;
-    std::string metricsPath;
-    std::string tracePath;
+    obs::ObsCli cli;
     bool quiet = false;
     bool progress = false;
     for (int i = 2; i < argc; ++i) {
@@ -92,17 +101,19 @@ main(int argc, char **argv)
             quiet = true;
         } else if (a == "--progress") {
             progress = true;
-        } else if (a == "--metrics-json") {
-            metricsPath = next();
-        } else if (a == "--trace-json") {
-            tracePath = next();
+        } else if (cli.tryParse(a, next)) {
+            continue;
         } else {
             usage("unknown option");
         }
     }
 
-    if (progress || !metricsPath.empty() || !tracePath.empty())
+    cli.setup();
+    if (progress)
         obs::setEnabled(true);
+    obs::PerfReportSet perfReports;
+    if (cli.perfRequested())
+        sweep::attachPerfObserver(opts, perfReports);
     if (progress) {
         // The counts come straight from the registry the sweep engine
         // publishes into (the same numbers --metrics-json snapshots).
@@ -137,13 +148,7 @@ main(int argc, char **argv)
         result.writeJson(jsonPath);
         std::cout << "wrote " << jsonPath << '\n';
     }
-    if (!metricsPath.empty()) {
-        obs::metrics().writeJson(metricsPath);
-        std::cout << "wrote " << metricsPath << '\n';
-    }
-    if (!tracePath.empty()) {
-        obs::tracer().writeJson(tracePath);
-        std::cout << "wrote " << tracePath << '\n';
-    }
+    cli.finish(std::cout);
+    cli.writePerf(perfReports, std::cout);
     return result.allOk() ? 0 : 1;
 }

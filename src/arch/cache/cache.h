@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/outcome.h"
 #include "isa/trace.h"
 
 namespace jrs {
@@ -81,7 +82,25 @@ class Cache {
 
     void resetStats();
 
+    /**
+     * Report every access() as an Outcome to @p listener (null
+     * detaches). @p readKind / @p writeKind label read and write
+     * accesses — an I-cache reports ICacheFetch for both, a D-cache
+     * DCacheLoad / DCacheStore. Outcome::pc carries the accessed
+     * address; the penalty is 0 (a bare cache charges no cycles).
+     * Zero-cost when unset: one null test per access.
+     */
+    void setListener(OutcomeListener *listener,
+                     PerfKind readKind = PerfKind::ICacheFetch,
+                     PerfKind writeKind = PerfKind::ICacheFetch) {
+        listener_ = listener;
+        readKind_ = readKind;
+        writeKind_ = writeKind;
+    }
+
   private:
+    bool lookup(std::uint64_t addr, bool is_write, Phase phase);
+
     CacheConfig cfg_;
     std::uint32_t lineShift_;
     std::uint32_t setMask_;
@@ -89,6 +108,9 @@ class Cache {
     std::vector<std::vector<std::uint64_t>> sets_;
     CacheStats total_;
     CacheStats perPhase_[kNumPhases];
+    OutcomeListener *listener_ = nullptr;
+    PerfKind readKind_ = PerfKind::ICacheFetch;
+    PerfKind writeKind_ = PerfKind::ICacheFetch;
 };
 
 /** Split L1 fed from the trace stream. */
@@ -109,6 +131,14 @@ class CacheSink : public TraceSink {
     Cache &dcache() { return dcache_; }
     const Cache &icache() const { return icache_; }
     const Cache &dcache() const { return dcache_; }
+
+    /** Wire both caches' outcome streams to @p listener. */
+    void setListener(OutcomeListener *listener) {
+        icache_.setListener(listener, PerfKind::ICacheFetch,
+                            PerfKind::ICacheFetch);
+        dcache_.setListener(listener, PerfKind::DCacheLoad,
+                            PerfKind::DCacheStore);
+    }
 
   private:
     Cache icache_;

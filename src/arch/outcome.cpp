@@ -1,0 +1,32 @@
+#include "arch/outcome.h"
+
+namespace jrs {
+
+const char *
+perfKindName(PerfKind kind)
+{
+    switch (kind) {
+      case PerfKind::ICacheFetch:    return "icache_fetch";
+      case PerfKind::DCacheLoad:     return "dcache_load";
+      case PerfKind::DCacheStore:    return "dcache_store";
+      case PerfKind::CondBranch:     return "cond_branch";
+      case PerfKind::IndirectTarget: return "indirect_target";
+    }
+    return "unknown";
+}
+
+const char *
+cpiComponentName(CpiComponent c)
+{
+    switch (c) {
+      case CpiComponent::Base:             return "base";
+      case CpiComponent::ICache:           return "icache";
+      case CpiComponent::DCache:           return "dcache";
+      case CpiComponent::BranchMispredict: return "branch_mispredict";
+      case CpiComponent::IndirectTarget:   return "indirect_target";
+      case CpiComponent::Backend:          return "backend";
+    }
+    return "unknown";
+}
+
+} // namespace jrs

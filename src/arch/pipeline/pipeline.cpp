@@ -30,18 +30,37 @@ void
 PipelineSim::onEvent(const TraceEvent &ev)
 {
     ++insts_;
+    const std::uint64_t prevCommit = lastCommit_;
+
+    // Redirect bubble owed by the previous mispredicted transfer: the
+    // first instruction down the correct path pays it, so its commit
+    // delta is what the sample decomposition charges it against.
+    const CpiComponent redirectComp = pendingRedirect_;
+    const std::uint64_t redirectBudget = pendingRedirectBudget_;
+    pendingRedirectBudget_ = 0;
 
     // ------------------------------------------------------------ fetch
     if (fetchedThisCycle_ >= cfg_.issueWidth) {
         ++fetchCycle_;
         fetchedThisCycle_ = 0;
     }
-    if (!icache_.access(ev.pc, false, ev.phase)) {
+    const bool imiss = !icache_.access(ev.pc, false, ev.phase);
+    if (imiss) {
         fetchCycle_ += cfg_.icacheMissPenalty;
         fetchedThisCycle_ = 0;
     }
     const std::uint64_t fetch = fetchCycle_;
     ++fetchedThisCycle_;
+
+    if (listener_ != nullptr) {
+        Outcome o;
+        o.pc = ev.pc;
+        o.kind = PerfKind::ICacheFetch;
+        o.phase = ev.phase;
+        o.bad = imiss;
+        o.penalty = imiss ? cfg_.icacheMissPenalty : 0;
+        listener_->onOutcome(o);
+    }
 
     // ---------------------------------------------------------- dispatch
     const std::uint64_t dispatch = fetch + cfg_.frontendDepth;
@@ -49,6 +68,9 @@ PipelineSim::onEvent(const TraceEvent &ev)
     // ROB occupancy: this instruction's slot must have committed.
     const std::uint64_t rob_free = rob_[robHead_];
     std::uint64_t ready = std::max(dispatch, rob_free);
+    const std::uint64_t robWait =
+        rob_free > dispatch ? rob_free - dispatch : 0;
+    const std::uint64_t readyAfterRob = ready;
 
     // Register dependences.
     if (ev.rs1 != kNoReg)
@@ -63,25 +85,52 @@ PipelineSim::onEvent(const TraceEvent &ev)
         if (se.addr == (ev.mem >> 2))
             ready = std::max(ready, se.done);
     }
+    const std::uint64_t depWait = ready - readyAfterRob;
 
     // ----------------------------------------------------------- execute
-    std::uint32_t latency = latencyOf(ev.kind);
-    if (ev.kind == NKind::Load
-        && !dcache_.access(ev.mem, false, ev.phase)) {
-        // A miss needs a free MSHR: memory-level parallelism is
-        // bounded, so streams of misses serialize on the memory port.
-        ready = std::max(ready, mshr_[mshrHead_]);
-        latency += cfg_.dcacheMissPenalty;
-        mshr_[mshrHead_] = ready + latency;
-        mshrHead_ = (mshrHead_ + 1) % mshr_.size();
+    const std::uint32_t latencyBase = latencyOf(ev.kind);
+    std::uint32_t latency = latencyBase;
+    std::uint64_t dcacheBudget = 0;
+    if (ev.kind == NKind::Load) {
+        const bool dmiss = !dcache_.access(ev.mem, false, ev.phase);
+        if (dmiss) {
+            // A miss needs a free MSHR: memory-level parallelism is
+            // bounded, so streams of misses serialize on the memory
+            // port.
+            const std::uint64_t mshrWait =
+                mshr_[mshrHead_] > ready ? mshr_[mshrHead_] - ready : 0;
+            ready = std::max(ready, mshr_[mshrHead_]);
+            latency += cfg_.dcacheMissPenalty;
+            mshr_[mshrHead_] = ready + latency;
+            mshrHead_ = (mshrHead_ + 1) % mshr_.size();
+            dcacheBudget = cfg_.dcacheMissPenalty + mshrWait;
+        }
+        if (listener_ != nullptr) {
+            Outcome o;
+            o.pc = ev.pc;
+            o.kind = PerfKind::DCacheLoad;
+            o.phase = ev.phase;
+            o.bad = dmiss;
+            o.penalty = dcacheBudget;
+            listener_->onOutcome(o);
+        }
     } else if (ev.kind == NKind::Store) {
-        if (!dcache_.access(ev.mem, true, ev.phase)) {
+        const bool dmiss = !dcache_.access(ev.mem, true, ev.phase);
+        if (dmiss) {
             // Write-allocate fill occupies an MSHR but does not stall
             // the store itself (write buffer).
             mshr_[mshrHead_] =
                 std::max(mshr_[mshrHead_], ready)
                 + cfg_.dcacheMissPenalty;
             mshrHead_ = (mshrHead_ + 1) % mshr_.size();
+        }
+        if (listener_ != nullptr) {
+            Outcome o;
+            o.pc = ev.pc;
+            o.kind = PerfKind::DCacheStore;
+            o.phase = ev.phase;
+            o.bad = dmiss;
+            listener_->onOutcome(o);
         }
     }
     const std::uint64_t done = ready + latency;
@@ -97,25 +146,55 @@ PipelineSim::onEvent(const TraceEvent &ev)
 
     // ---------------------------------------------------------- control
     if (ev.kind == NKind::Branch) {
+        ++condBranches_;
         const bool pred = predictor_.predict(ev.pc);
         predictor_.update(ev.pc, ev.taken);
-        if (pred != ev.taken) {
+        const bool wrong = pred != ev.taken;
+        if (wrong) {
             ++mispredicts_;
+            ++condMispredicts_;
             fetchCycle_ =
                 std::max(fetchCycle_, done + cfg_.mispredictPenalty);
             fetchedThisCycle_ = 0;
+            pendingRedirect_ = CpiComponent::BranchMispredict;
+            pendingRedirectBudget_ =
+                cfg_.mispredictPenalty + cfg_.frontendDepth;
         }
         // Correctly predicted taken branches fetch through: the BTB
         // steers the front end with no bubble.
+        if (listener_ != nullptr) {
+            Outcome o;
+            o.pc = ev.pc;
+            o.kind = PerfKind::CondBranch;
+            o.phase = ev.phase;
+            o.bad = wrong;
+            o.penalty = wrong ? cfg_.mispredictPenalty : 0;
+            listener_->onOutcome(o);
+        }
     } else if (ev.kind == NKind::IndirectJump
                || ev.kind == NKind::IndirectCall) {
+        ++indirects_;
         const std::uint64_t pred = btb_.predict(ev.pc);
         btb_.update(ev.pc, ev.target);
-        if (pred != ev.target) {
+        const bool wrong = pred != ev.target;
+        if (wrong) {
             ++mispredicts_;
+            ++indirectMispredicts_;
             fetchCycle_ =
                 std::max(fetchCycle_, done + cfg_.mispredictPenalty);
             fetchedThisCycle_ = 0;
+            pendingRedirect_ = CpiComponent::IndirectTarget;
+            pendingRedirectBudget_ =
+                cfg_.mispredictPenalty + cfg_.frontendDepth;
+        }
+        if (listener_ != nullptr) {
+            Outcome o;
+            o.pc = ev.pc;
+            o.kind = PerfKind::IndirectTarget;
+            o.phase = ev.phase;
+            o.bad = wrong;
+            o.penalty = wrong ? cfg_.mispredictPenalty : 0;
+            listener_->onOutcome(o);
         }
     }
     // Direct jumps/calls/returns and predicted-taken branches are
@@ -136,6 +215,31 @@ PipelineSim::onEvent(const TraceEvent &ev)
     lastCommit_ = commit;
     rob_[robHead_] = commit;
     robHead_ = (robHead_ + 1) % rob_.size();
+
+    if (listener_ != nullptr) {
+        // Interval-style CPI stack: split this instruction's commit
+        // delta across the stalls it suffered, front end first, each
+        // capped at its modelled budget; the residue is base work.
+        // The caps make the split exact: samples sum to cycles().
+        CpiSample s;
+        s.pc = ev.pc;
+        s.phase = ev.phase;
+        std::uint64_t remaining = lastCommit_ - prevCommit;
+        const auto take = [&](CpiComponent c, std::uint64_t budget) {
+            const std::uint64_t t = std::min(remaining, budget);
+            s.cycles[static_cast<std::size_t>(c)] += t;
+            remaining -= t;
+        };
+        take(redirectComp, redirectBudget);
+        take(CpiComponent::ICache,
+             imiss ? cfg_.icacheMissPenalty : 0);
+        take(CpiComponent::DCache, dcacheBudget);
+        take(CpiComponent::Backend,
+             robWait + depWait + (latencyBase - 1));
+        s.cycles[static_cast<std::size_t>(CpiComponent::Base)] +=
+            remaining;
+        listener_->onRetire(s);
+    }
 }
 
 } // namespace jrs

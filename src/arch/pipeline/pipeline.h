@@ -15,6 +15,18 @@
  * interaction the paper reports emerges: the interpreter's dispatch
  * indirect jump mispredicts its target almost always, serializing
  * fetch once per bytecode and capping wide-issue scaling.
+ *
+ * An optional OutcomeListener (arch/outcome.h) observes every I-/D-
+ * cache access and every direction/target prediction with the cycle
+ * penalty charged, and receives a CpiSample per retired instruction
+ * decomposing its commit-cycle delta into base / I-cache / D-cache /
+ * branch-mispredict / indirect-target / backend components. The
+ * decomposition is interval-style: the delta is assigned to the
+ * stall causes this instruction actually suffered, front end first,
+ * each capped at its modelled budget, with the residue counted as
+ * base cycles — so samples always sum exactly to cycles() and the
+ * timing computation itself is untouched (bit-identical with or
+ * without a listener).
  */
 #ifndef JRS_ARCH_PIPELINE_PIPELINE_H
 #define JRS_ARCH_PIPELINE_PIPELINE_H
@@ -26,6 +38,7 @@
 #include "arch/bpred/btb.h"
 #include "arch/bpred/predictors.h"
 #include "arch/cache/cache.h"
+#include "arch/outcome.h"
 #include "isa/trace.h"
 
 namespace jrs {
@@ -66,6 +79,28 @@ class PipelineSim : public TraceSink {
     /** Branch mispredicts incurred (cond + indirect). */
     std::uint64_t mispredicts() const { return mispredicts_; }
 
+    /** Conditional branches seen / mispredicted. */
+    std::uint64_t condBranches() const { return condBranches_; }
+    std::uint64_t condMispredicts() const { return condMispredicts_; }
+
+    /** Indirect transfers seen / target-mispredicted. */
+    std::uint64_t indirects() const { return indirects_; }
+    std::uint64_t indirectMispredicts() const {
+        return indirectMispredicts_;
+    }
+
+    /** The model's internal caches (read-only; stats for joins). */
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+
+    /**
+     * Observe per-access outcomes and per-retire CPI samples (null
+     * detaches). Zero-cost when unset; never affects timing.
+     */
+    void setListener(OutcomeListener *listener) {
+        listener_ = listener;
+    }
+
     const PipelineConfig &config() const { return cfg_; }
 
   private:
@@ -79,6 +114,15 @@ class PipelineSim : public TraceSink {
 
     std::uint64_t insts_ = 0;
     std::uint64_t mispredicts_ = 0;
+    std::uint64_t condBranches_ = 0;
+    std::uint64_t condMispredicts_ = 0;
+    std::uint64_t indirects_ = 0;
+    std::uint64_t indirectMispredicts_ = 0;
+
+    OutcomeListener *listener_ = nullptr;
+    /** Refill bubble owed to the previous mispredicted transfer. */
+    CpiComponent pendingRedirect_ = CpiComponent::Base;
+    std::uint32_t pendingRedirectBudget_ = 0;
 
     // Fetch state.
     std::uint64_t fetchCycle_ = 1;

@@ -33,16 +33,39 @@ runWorkload(const RunSpec &spec)
 RecordedRun
 recordWorkload(const RunSpec &spec)
 {
+    if (spec.workload == nullptr)
+        throw VmError("RunSpec without workload");
     auto buffer = std::make_shared<TraceBuffer>();
     MultiSink fanout;
     fanout.add(buffer.get());
     if (spec.sink != nullptr)
         fanout.add(spec.sink);
-    RunSpec recording = spec;
-    recording.sink = &fanout;
+
+    // Inlined runWorkload: the engine must stay alive after run() so
+    // the method map (registry + code cache ranges) can be captured.
+    const Program prog = spec.workload->build();
+    EngineConfig cfg;
+    cfg.policy = spec.policy ? spec.policy
+                             : std::make_shared<AlwaysCompilePolicy>();
+    cfg.syncKind = spec.syncKind;
+    cfg.sink = &fanout;
+    cfg.quantum = spec.quantum;
+    ExecutionEngine engine(prog, cfg);
+    const std::int32_t arg =
+        spec.arg != 0 ? spec.arg : spec.workload->smallArg;
+
     RecordedRun out;
-    out.result = runWorkload(recording);
+    out.result = engine.run(arg);
+    if (!out.result.completed) {
+        throw VmError(std::string(spec.workload->name)
+                      + " did not complete: "
+                      + (out.result.uncaughtException != nullptr
+                             ? out.result.uncaughtException
+                             : "unknown"));
+    }
     out.trace = std::move(buffer);
+    out.methods = std::make_shared<obs::MethodMap>(
+        obs::MethodMap::forRun(engine.registry(), engine.codeCache()));
     return out;
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "isa/trace_buffer.h"
+#include "obs/attribution.h"
 #include "vm/engine/engine.h"
 #include "workloads/workload.h"
 
@@ -43,6 +44,14 @@ RunResult runWorkload(const RunSpec &spec);
 struct RecordedRun {
     RunResult result;
     std::shared_ptr<const TraceBuffer> trace;
+    /**
+     * Method map of the recorded run (bytecode + generated-code
+     * ranges), built before the engine is torn down so offline
+     * attribution passes (obs/perf.h) can join the replayed stream
+     * with method names. Null for disk-loaded recordings whose
+     * sidecar predates the map (see TraceCache).
+     */
+    std::shared_ptr<const obs::MethodMap> methods;
 };
 
 /**

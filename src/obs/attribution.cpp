@@ -63,7 +63,7 @@ MethodMap::rowOf(SimAddr addr) const
 }
 
 AttributionSink::AttributionSink(const MethodMap &map)
-    : map_(&map),
+    : map_(&map), ctx_(map),
       counts_((map.rows() + 1) * kNumPhases, 0)
 {
 }
@@ -72,35 +72,7 @@ void
 AttributionSink::onEvent(const TraceEvent &ev)
 {
     const auto p = static_cast<std::size_t>(ev.phase);
-    int row = -1;
-    switch (ev.phase) {
-      case Phase::NativeExec:
-        row = map_->rowOf(ev.pc);
-        if (row >= 0)
-            lastRunning_ = row;
-        break;
-      case Phase::Interpret:
-        if (ev.kind == NKind::Load) {
-            const int r = map_->rowOf(ev.mem);
-            if (r >= 0)
-                curInterp_ = r;
-        }
-        row = curInterp_;
-        if (row >= 0)
-            lastRunning_ = row;
-        break;
-      case Phase::Translate:
-        if (isMemory(ev.kind)) {
-            const int r = map_->rowOf(ev.mem);
-            if (r >= 0)
-                curTranslate_ = r;
-        }
-        row = curTranslate_;
-        break;
-      case Phase::Runtime:
-        row = lastRunning_;
-        break;
-    }
+    const int row = ctx_.observe(ev);
     const std::size_t slot =
         row >= 0 ? static_cast<std::size_t>(row) : map_->rows();
     ++counts_[slot * kNumPhases + p];

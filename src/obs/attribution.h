@@ -70,6 +70,17 @@ class MethodMap {
     /** Number of distinct method names. */
     std::size_t rows() const { return names_.size(); }
 
+    /**
+     * Visit every registered range in address order as
+     * fn(lo, hi, name). Feeding the visits back through add()
+     * reconstructs an identical map (trace-cache persistence).
+     */
+    template <typename Fn>
+    void forEachRange(Fn &&fn) const {
+        for (const Range &r : ranges_)
+            fn(r.lo, r.hi, names_[r.row]);
+    }
+
   private:
     struct Range {
         SimAddr lo;
@@ -79,6 +90,59 @@ class MethodMap {
 
     std::vector<Range> ranges_;  ///< kept sorted by lo
     std::vector<std::string> names_;
+};
+
+/**
+ * The streaming half of the attribution join: tracks which method is
+ * "current" per the phase rules in the file comment and resolves each
+ * TraceEvent to a MethodMap row (-1 = unattributed). Shared by
+ * AttributionSink (event counting) and PerfAttribution (outcome and
+ * CPI-stack folding, obs/perf.h) so both agree on every event.
+ */
+class MethodContext {
+  public:
+    /** @p map must outlive the context. */
+    explicit MethodContext(const MethodMap &map) : map_(&map) {}
+
+    /** Resolve @p ev's method row, updating the phase contexts. */
+    int observe(const TraceEvent &ev) {
+        int row = -1;
+        switch (ev.phase) {
+          case Phase::NativeExec:
+            row = map_->rowOf(ev.pc);
+            if (row >= 0)
+                lastRunning_ = row;
+            break;
+          case Phase::Interpret:
+            if (ev.kind == NKind::Load) {
+                const int r = map_->rowOf(ev.mem);
+                if (r >= 0)
+                    curInterp_ = r;
+            }
+            row = curInterp_;
+            if (row >= 0)
+                lastRunning_ = row;
+            break;
+          case Phase::Translate:
+            if (isMemory(ev.kind)) {
+                const int r = map_->rowOf(ev.mem);
+                if (r >= 0)
+                    curTranslate_ = r;
+            }
+            row = curTranslate_;
+            break;
+          case Phase::Runtime:
+            row = lastRunning_;
+            break;
+        }
+        return row;
+    }
+
+  private:
+    const MethodMap *map_;
+    int curInterp_ = -1;     ///< method of the last bytecode fetch
+    int curTranslate_ = -1;  ///< method the translator last touched
+    int lastRunning_ = -1;   ///< last interp/native attribution
 };
 
 /** One row of an attribution report. */
@@ -121,13 +185,11 @@ class AttributionSink : public TraceSink {
 
   private:
     const MethodMap *map_;
+    MethodContext ctx_;
     /** Per row (rows() entries + trailing unattributed bucket). */
     std::vector<std::uint64_t> counts_;  ///< row-major [row][phase]
     std::uint64_t phaseTotals_[kNumPhases] = {};
     std::uint64_t total_ = 0;
-    int curInterp_ = -1;     ///< method of the last bytecode fetch
-    int curTranslate_ = -1;  ///< method the translator last touched
-    int lastRunning_ = -1;   ///< last interp/native attribution
 };
 
 } // namespace jrs::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared command-line plumbing for the observability output flags.
+ *
+ * Every tool that can emit observability artifacts spells the same
+ * three flags the same way:
+ *
+ *   --metrics-json FILE   jrs-metrics-v1 registry snapshot
+ *   --trace-json FILE     Chrome trace-event JSON (open in Perfetto)
+ *   --perf-json FILE      jrs-perf-report-v1 attribution report
+ *
+ * ObsCli centralizes the parse / enable / write-on-exit steps so the
+ * flag set stays consistent across jrs_sweep, jrs_profile, jrs_perf
+ * and the sweep-engine bench ports. Inside the argv loop:
+ *
+ *   if (cli.tryParse(a, next))
+ *       continue;
+ *
+ * then cli.setup() before running, and cli.finish(std::cout) (plus
+ * cli.writePerf(...) when the tool filled a PerfReportSet) on every
+ * exit path after the run started.
+ */
+#ifndef JRS_OBS_CLI_H
+#define JRS_OBS_CLI_H
+
+#include <ostream>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/perf.h"
+
+namespace jrs::obs {
+
+/** See file comment. */
+struct ObsCli {
+    std::string metricsJson;  ///< --metrics-json output path
+    std::string traceJson;    ///< --trace-json output path
+    std::string perfJson;     ///< --perf-json output path
+
+    /** Usage-string fragment for the flags handled here. */
+    static const char *usageText() {
+        return " [--metrics-json FILE] [--trace-json FILE]"
+               " [--perf-json FILE]";
+    }
+
+    /**
+     * Consume @p a when it is one of the flags above. @p next must
+     * yield the flag's value, advancing the caller's argv cursor (and
+     * erroring out itself when the value is missing).
+     */
+    template <class NextFn>
+    bool tryParse(const std::string &a, NextFn &&next) {
+        if (a == "--metrics-json") {
+            metricsJson = next();
+            return true;
+        }
+        if (a == "--trace-json") {
+            traceJson = next();
+            return true;
+        }
+        if (a == "--perf-json") {
+            perfJson = next();
+            return true;
+        }
+        return false;
+    }
+
+    /** True when the tool should collect an attribution report. */
+    bool perfRequested() const { return !perfJson.empty(); }
+
+    /**
+     * Enable jrs::obs when registry or tracer output was requested.
+     * (--perf-json alone does not need the global toggle: attribution
+     * sinks collect unconditionally once attached.)
+     */
+    void setup() const {
+        if (!metricsJson.empty() || !traceJson.empty())
+            setEnabled(true);
+    }
+
+    /**
+     * Write the registry/tracer files that were requested. Call on
+     * every exit path after the run, so a partial run still leaves
+     * its artifacts behind for diagnosis.
+     */
+    void finish(std::ostream &out) const {
+        if (!metricsJson.empty()) {
+            metrics().writeJson(metricsJson);
+            out << "wrote " << metricsJson << '\n';
+        }
+        if (!traceJson.empty()) {
+            tracer().writeJson(traceJson);
+            out << "wrote " << traceJson << '\n';
+        }
+    }
+
+    /** Write @p set to the --perf-json path (no-op when not given). */
+    void writePerf(const PerfReportSet &set, std::ostream &out) const {
+        if (perfJson.empty())
+            return;
+        set.writeJson(perfJson);
+        out << "wrote " << perfJson << '\n';
+    }
+};
+
+} // namespace jrs::obs
+
+#endif // JRS_OBS_CLI_H

@@ -1,0 +1,567 @@
+#include "obs/perf.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/statistics.h"
+#include "vm/interp/handler_model.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** {"icache_fetch": n, ...} from a per-kind count array. */
+std::string
+kindObject(const std::uint64_t (&counts)[kNumPerfKinds])
+{
+    std::string out = "{";
+    for (std::size_t k = 0; k < kNumPerfKinds; ++k) {
+        if (k != 0)
+            out += ", ";
+        out += "\"" + std::string(perfKindName(static_cast<PerfKind>(k)))
+            + "\": " + u64(counts[k]);
+    }
+    return out + "}";
+}
+
+/** {"base": n, ...} from a CPI-component array. */
+std::string
+cpiObject(const std::uint64_t (&cycles)[kNumCpiComponents])
+{
+    std::string out = "{";
+    for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+        if (c != 0)
+            out += ", ";
+        out += "\""
+            + std::string(cpiComponentName(static_cast<CpiComponent>(c)))
+            + "\": " + u64(cycles[c]);
+    }
+    return out + "}";
+}
+
+std::string
+cellJson(const PerfCell &c)
+{
+    return "\"insts\": " + u64(c.insts) + ", \"access\": "
+        + kindObject(c.access) + ", \"miss\": " + kindObject(c.bad)
+        + ", \"penalty\": " + kindObject(c.penalty) + ", \"cpi\": "
+        + cpiObject(c.cpi);
+}
+
+std::uint64_t
+dMisses(const PerfCell &c)
+{
+    return c.bad[static_cast<std::size_t>(PerfKind::DCacheLoad)]
+        + c.bad[static_cast<std::size_t>(PerfKind::DCacheStore)];
+}
+
+std::uint64_t
+mispredicts(const PerfCell &c)
+{
+    return c.bad[static_cast<std::size_t>(PerfKind::CondBranch)]
+        + c.bad[static_cast<std::size_t>(PerfKind::IndirectTarget)];
+}
+
+double
+ratePct(std::uint64_t bad, std::uint64_t access)
+{
+    return access == 0
+        ? 0.0
+        : 100.0 * static_cast<double>(bad)
+            / static_cast<double>(access);
+}
+
+} // namespace
+
+void
+PerfCell::merge(const PerfCell &o)
+{
+    insts += o.insts;
+    for (std::size_t k = 0; k < kNumPerfKinds; ++k) {
+        access[k] += o.access[k];
+        bad[k] += o.bad[k];
+        penalty[k] += o.penalty[k];
+    }
+    for (std::size_t c = 0; c < kNumCpiComponents; ++c)
+        cpi[c] += o.cpi[c];
+}
+
+PerfAttribution::PerfAttribution(const MethodMap &map, Options opt)
+    : map_(&map), opt_(opt), ctx_(map),
+      methodCells_(map.rows() + 1), curSlot_(map.rows())
+{
+    if (opt_.program != nullptr) {
+        for (const Method &m : opt_.program->methods) {
+            if (m.code.empty())
+                continue;
+            bytecodeRanges_.push_back(
+                {m.bytecodeAddr, m.bytecodeAddr + m.code.size(), &m});
+        }
+        std::sort(bytecodeRanges_.begin(), bytecodeRanges_.end(),
+                  [](const BytecodeRange &a, const BytecodeRange &b) {
+                      return a.lo < b.lo;
+                  });
+        opCells_.resize(kNumOpcodes);
+    }
+}
+
+const Method *
+PerfAttribution::methodAtBytecode(SimAddr addr) const
+{
+    const auto pos = std::upper_bound(
+        bytecodeRanges_.begin(), bytecodeRanges_.end(), addr,
+        [](SimAddr a, const BytecodeRange &r) { return a < r.lo; });
+    if (pos == bytecodeRanges_.begin())
+        return nullptr;
+    const BytecodeRange &r = *std::prev(pos);
+    return addr < r.hi ? r.method : nullptr;
+}
+
+void
+PerfAttribution::flushWindow()
+{
+    timeline_.push_back(cur_);
+    cur_ = IntervalSample();
+    inWindow_ = 0;
+}
+
+void
+PerfAttribution::onEvent(const TraceEvent &ev)
+{
+    // Flush *before* the event so the outcomes the model fires for it
+    // (delivered after this call under the composite ordering) land in
+    // the event's own window. Window boundaries match
+    // TimeSeriesCacheSink exactly (bench/fig06 asserts this).
+    if (opt_.timelineWindow != 0) {
+        if (inWindow_ == opt_.timelineWindow)
+            flushWindow();
+        ++inWindow_;
+        ++cur_.events;
+        if (ev.phase == Phase::Translate)
+            ++cur_.translateEvents;
+    }
+
+    ++events_;
+    const int row = ctx_.observe(ev);
+    curSlot_ = row >= 0 ? static_cast<std::size_t>(row)
+                        : map_->rows();
+    ++totals_.insts;
+    ++methodCells_[curSlot_].insts;
+
+    curInterp_ = ev.phase == Phase::Interpret;
+    if (!bytecodeRanges_.empty() && curInterp_
+        && ev.kind == NKind::Load && ev.pc == kDispatchPc) {
+        // The interpreter's dispatch fetch: ev.mem is the address of
+        // the opcode byte about to be executed.
+        if (const Method *m = methodAtBytecode(ev.mem)) {
+            const std::uint64_t off = ev.mem - m->bytecodeAddr;
+            const Op op = m->opAt(static_cast<std::uint32_t>(off));
+            curOp_ = static_cast<int>(op);
+            curSite_ =
+                (static_cast<std::uint64_t>(curSlot_) << 32) | off;
+            siteCells_[curSite_].op = op;
+        }
+    }
+    if (curInterp_ && curOp_ >= 0) {
+        ++opCells_[static_cast<std::size_t>(curOp_)].insts;
+        ++siteCells_[curSite_].cell.insts;
+    }
+}
+
+void
+PerfAttribution::onFinish()
+{
+    if (opt_.timelineWindow != 0 && inWindow_ != 0)
+        flushWindow();
+}
+
+void
+PerfAttribution::onOutcome(const Outcome &o)
+{
+    const auto k = static_cast<std::size_t>(o.kind);
+    const auto fold = [&](PerfCell &c) {
+        ++c.access[k];
+        if (o.bad)
+            ++c.bad[k];
+        c.penalty[k] += o.penalty;
+    };
+    fold(totals_);
+    fold(methodCells_[curSlot_]);
+    if (curInterp_ && curOp_ >= 0) {
+        fold(opCells_[static_cast<std::size_t>(curOp_)]);
+        fold(siteCells_[curSite_].cell);
+    }
+    if (opt_.timelineWindow != 0) {
+        ++cur_.access[k];
+        if (o.bad)
+            ++cur_.bad[k];
+    }
+}
+
+void
+PerfAttribution::onRetire(const CpiSample &s)
+{
+    const auto fold = [&](PerfCell &c) {
+        for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+            c.cpi[i] += s.cycles[i];
+    };
+    fold(totals_);
+    fold(methodCells_[curSlot_]);
+    if (curInterp_ && curOp_ >= 0) {
+        fold(opCells_[static_cast<std::size_t>(curOp_)]);
+        fold(siteCells_[curSite_].cell);
+    }
+    if (opt_.timelineWindow != 0) {
+        for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+            cur_.cpi[i] += s.cycles[i];
+    }
+}
+
+namespace {
+
+/** Rows of the method report in deterministic hot-first order. */
+struct MethodRow {
+    std::string name;
+    const PerfCell *cell;
+};
+
+std::vector<MethodRow>
+sortedMethodRows(const MethodMap &map,
+                 const std::vector<PerfCell> &cells)
+{
+    std::vector<MethodRow> rows;
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+        const PerfCell &c = cells[r];
+        if (c.insts == 0 && c.cycles() == 0)
+            continue;
+        rows.push_back({r < map.rows() ? map.name(static_cast<int>(r))
+                                       : "(unattributed)",
+                        &c});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const MethodRow &a, const MethodRow &b) {
+                  if (a.cell->cycles() != b.cell->cycles())
+                      return a.cell->cycles() > b.cell->cycles();
+                  if (a.cell->insts != b.cell->insts)
+                      return a.cell->insts > b.cell->insts;
+                  return a.name < b.name;
+              });
+    return rows;
+}
+
+} // namespace
+
+Table
+PerfAttribution::methodTable(std::size_t n) const
+{
+    Table t({"#", "method", "insts", "imiss", "dmiss", "dmiss%",
+             "mispred", "mp%", "cycles", "base", "icache", "dcache",
+             "branch", "indirect", "backend"});
+    const std::vector<MethodRow> rows =
+        sortedMethodRows(*map_, methodCells_);
+    for (std::size_t i = 0; i < rows.size() && i < n; ++i) {
+        const PerfCell &c = *rows[i].cell;
+        const std::uint64_t dAcc =
+            c.access[static_cast<std::size_t>(PerfKind::DCacheLoad)]
+            + c.access[static_cast<std::size_t>(PerfKind::DCacheStore)];
+        const std::uint64_t pAcc =
+            c.access[static_cast<std::size_t>(PerfKind::CondBranch)]
+            + c.access[static_cast<std::size_t>(
+                PerfKind::IndirectTarget)];
+        t.addRow({std::to_string(i + 1), rows[i].name,
+                  withCommas(c.insts), withCommas(
+                      c.bad[static_cast<std::size_t>(
+                          PerfKind::ICacheFetch)]),
+                  withCommas(dMisses(c)),
+                  fixed(ratePct(dMisses(c), dAcc), 2),
+                  withCommas(mispredicts(c)),
+                  fixed(ratePct(mispredicts(c), pAcc), 2),
+                  withCommas(c.cycles()),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::Base)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::ICache)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::DCache)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::BranchMispredict)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::IndirectTarget)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::Backend)])});
+    }
+    return t;
+}
+
+Table
+PerfAttribution::opcodeTable(std::size_t n) const
+{
+    if (!hasOpcodes())
+        throw VmError("opcodeTable needs a Program (Options::program)");
+    struct OpRow {
+        Op op;
+        const PerfCell *cell;
+    };
+    std::vector<OpRow> rows;
+    for (std::size_t o = 0; o < opCells_.size(); ++o) {
+        if (opCells_[o].insts != 0)
+            rows.push_back({static_cast<Op>(o), &opCells_[o]});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const OpRow &a, const OpRow &b) {
+                  if (a.cell->insts != b.cell->insts)
+                      return a.cell->insts > b.cell->insts;
+                  return static_cast<int>(a.op) < static_cast<int>(b.op);
+              });
+    Table t({"#", "opcode", "insts", "imiss", "dmiss", "mispred",
+             "cycles"});
+    for (std::size_t i = 0; i < rows.size() && i < n; ++i) {
+        const PerfCell &c = *rows[i].cell;
+        t.addRow({std::to_string(i + 1), opName(rows[i].op),
+                  withCommas(c.insts),
+                  withCommas(c.bad[static_cast<std::size_t>(
+                      PerfKind::ICacheFetch)]),
+                  withCommas(dMisses(c)), withCommas(mispredicts(c)),
+                  withCommas(c.cycles())});
+    }
+    return t;
+}
+
+Table
+PerfAttribution::annotateTable(const std::string &methodName) const
+{
+    if (!hasOpcodes())
+        throw VmError(
+            "annotateTable needs a Program (Options::program)");
+    int row = -1;
+    for (std::size_t r = 0; r < map_->rows(); ++r) {
+        if (map_->name(static_cast<int>(r)) == methodName) {
+            row = static_cast<int>(r);
+            break;
+        }
+    }
+    if (row < 0)
+        throw VmError("annotate: unknown method: " + methodName);
+    Table t({"pc", "op", "insts", "imiss", "dmiss", "mispred",
+             "cycles"});
+    const std::uint64_t lo = static_cast<std::uint64_t>(row) << 32;
+    const std::uint64_t hi = static_cast<std::uint64_t>(row + 1) << 32;
+    for (auto it = siteCells_.lower_bound(lo);
+         it != siteCells_.end() && it->first < hi; ++it) {
+        const PerfCell &c = it->second.cell;
+        t.addRow({std::to_string(it->first & 0xffffffffu),
+                  opName(it->second.op), withCommas(c.insts),
+                  withCommas(c.bad[static_cast<std::size_t>(
+                      PerfKind::ICacheFetch)]),
+                  withCommas(dMisses(c)), withCommas(mispredicts(c)),
+                  withCommas(c.cycles())});
+    }
+    return t;
+}
+
+std::string
+PerfAttribution::runJson(const std::string &label) const
+{
+    std::string out;
+    out += "    {\n";
+    out += "      \"label\": \"" + jsonEscape(label) + "\",\n";
+    out += "      \"events\": " + u64(events_) + ",\n";
+    out += "      \"cycles\": " + u64(totals_.cycles()) + ",\n";
+    out += "      \"totals\": {" + cellJson(totals_) + "},\n";
+    out += "      \"methods\": [\n";
+    const std::vector<MethodRow> rows =
+        sortedMethodRows(*map_, methodCells_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        out += "        {\"name\": \"" + jsonEscape(rows[i].name)
+            + "\", " + cellJson(*rows[i].cell) + "}";
+        out += i + 1 < rows.size() ? ",\n" : "\n";
+    }
+    out += "      ]";
+    if (hasOpcodes()) {
+        out += ",\n      \"opcodes\": [\n";
+        bool first = true;
+        for (std::size_t o = 0; o < opCells_.size(); ++o) {
+            if (opCells_[o].insts == 0)
+                continue;
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "        {\"op\": \""
+                + std::string(opName(static_cast<Op>(o))) + "\", "
+                + cellJson(opCells_[o]) + "}";
+        }
+        out += "\n      ]";
+    }
+    if (opt_.timelineWindow != 0) {
+        out += ",\n      \"timeline\": {\"window\": "
+            + u64(opt_.timelineWindow) + ", \"samples\": [\n";
+        for (std::size_t i = 0; i < timeline_.size(); ++i) {
+            const IntervalSample &s = timeline_[i];
+            out += "        {\"events\": " + u64(s.events)
+                + ", \"access\": " + kindObject(s.access)
+                + ", \"miss\": " + kindObject(s.bad)
+                + ", \"translate_events\": " + u64(s.translateEvents)
+                + ", \"cpi\": " + cpiObject(s.cpi) + "}";
+            out += i + 1 < timeline_.size() ? ",\n" : "\n";
+        }
+        out += "      ]}";
+    }
+    out += "\n    }";
+    return out;
+}
+
+void
+PerfAttribution::emitCounterTracks(SpanTracer &tracer,
+                                   const std::string &prefix) const
+{
+    const std::uint32_t lane = SpanTracer::currentLane();
+    for (std::size_t i = 0; i < timeline_.size(); ++i) {
+        const IntervalSample &s = timeline_[i];
+        const std::uint64_t ts = i * opt_.timelineWindow;
+        CounterRecord misses;
+        misses.name = prefix + ".misses";
+        misses.ts = ts;
+        misses.lane = lane;
+        misses.values = {
+            {"icache",
+             static_cast<double>(s.bad[static_cast<std::size_t>(
+                 PerfKind::ICacheFetch)])},
+            {"dcache_load",
+             static_cast<double>(s.bad[static_cast<std::size_t>(
+                 PerfKind::DCacheLoad)])},
+            {"dcache_store",
+             static_cast<double>(s.bad[static_cast<std::size_t>(
+                 PerfKind::DCacheStore)])},
+        };
+        tracer.recordCounter(std::move(misses));
+
+        CounterRecord mp;
+        mp.name = prefix + ".mispredicts";
+        mp.ts = ts;
+        mp.lane = lane;
+        mp.values = {
+            {"cond",
+             static_cast<double>(s.bad[static_cast<std::size_t>(
+                 PerfKind::CondBranch)])},
+            {"indirect",
+             static_cast<double>(s.bad[static_cast<std::size_t>(
+                 PerfKind::IndirectTarget)])},
+        };
+        tracer.recordCounter(std::move(mp));
+
+        if (s.cycles() != 0) {
+            CounterRecord cpi;
+            cpi.name = prefix + ".cpi";
+            cpi.ts = ts;
+            cpi.lane = lane;
+            for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+                cpi.values.emplace_back(
+                    cpiComponentName(static_cast<CpiComponent>(c)),
+                    static_cast<double>(s.cpi[c]));
+            }
+            tracer.recordCounter(std::move(cpi));
+        }
+    }
+}
+
+void
+PerfReportSet::add(const std::string &label,
+                   const PerfAttribution &perf)
+{
+    std::string body = perf.runJson(label);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-observing a label overwrites its report: replay is
+    // bit-identical, so a warm re-run (e.g. --compare-serial passes)
+    // must not duplicate entries.
+    for (auto &run : runs_) {
+        if (run.first == label) {
+            run.second = std::move(body);
+            return;
+        }
+    }
+    runs_.emplace_back(label, std::move(body));
+}
+
+std::size_t
+PerfReportSet::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_.size();
+}
+
+std::string
+PerfReportSet::toJson() const
+{
+    std::vector<std::pair<std::string, std::string>> runs;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        runs = runs_;
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::string out;
+    out += "{\n  \"schema\": \"jrs-perf-report-v1\",\n";
+    out += "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        out += runs[i].second;
+        out += i + 1 < runs.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+PerfReportSet::writeJson(const std::string &path) const
+{
+    const std::string body = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw VmError("cannot write perf JSON: " + path);
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw VmError("cannot write perf JSON: " + path);
+}
+
+} // namespace jrs::obs

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Per-event microarchitectural attribution: CPI stacks, miss and
+ * mispredict profiles, and interval timelines.
+ *
+ * The architecture models report aggregate numbers; obs/attribution.h
+ * says which *method* each instruction belonged to. This pass joins
+ * the two: a PerfAttribution subscribes to a model's OutcomeListener
+ * stream (arch/outcome.h) while also observing the TraceEvent stream,
+ * and folds every cache hit/miss, branch/indirect prediction and
+ * retired-instruction CPI sample into
+ *
+ *  - per-method tables (method rows from a MethodMap, plus the
+ *    "(unattributed)" bucket),
+ *  - per-opcode and per-bytecode-site tables (when given the Program:
+ *    the interpreter's dispatch fetch — the Load at kDispatchPc — is
+ *    decoded back to the opcode it fetched, and every Interpret-phase
+ *    event until the next dispatch belongs to that bytecode), and
+ *  - an IntervalTimeline: fixed windows of N trace events with their
+ *    miss/mispredict counts and CPI-stack slices, the Figure 6 curve
+ *    generalized to every event kind.
+ *
+ * Ordering contract: the attribution must observe each TraceEvent
+ * *before* the model processes it, so the outcomes the model fires
+ * mid-access land in the context (method, opcode, window) of that
+ * event. The AttributedPipeline / AttributedCaches composites wire
+ * this up; use them rather than a plain MultiSink (whose delivery
+ * order would also work front-to-back, but the composites also own
+ * the listener hookup).
+ *
+ * Conservation (tested in tests/test_perf.cpp): per-method access
+ * counts sum to the model's aggregate stats bit-for-bit, and
+ * per-method CPI components sum exactly to PipelineSim::cycles().
+ *
+ * Reports render as tables (report/annotate views), as one stable
+ * JSON document (schema "jrs-perf-report-v1", see DESIGN.md), and as
+ * Perfetto counter tracks via SpanTracer::recordCounter.
+ */
+#ifndef JRS_OBS_PERF_H
+#define JRS_OBS_PERF_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/cache/cache.h"
+#include "arch/outcome.h"
+#include "arch/pipeline/pipeline.h"
+#include "obs/attribution.h"
+#include "obs/spans.h"
+#include "support/table.h"
+#include "vm/bytecode/class_def.h"
+#include "vm/bytecode/opcode.h"
+
+namespace jrs::obs {
+
+/** Accumulated microarchitectural stats for one attribution bucket. */
+struct PerfCell {
+    std::uint64_t insts = 0;  ///< trace events in this bucket
+    std::uint64_t access[kNumPerfKinds] = {};
+    std::uint64_t bad[kNumPerfKinds] = {};      ///< misses/mispredicts
+    std::uint64_t penalty[kNumPerfKinds] = {};  ///< cycles charged
+    std::uint64_t cpi[kNumCpiComponents] = {};  ///< CPI-stack cycles
+
+    /** Total cycles attributed here (sum of the CPI stack). */
+    std::uint64_t cycles() const {
+        std::uint64_t t = 0;
+        for (const std::uint64_t c : cpi)
+            t += c;
+        return t;
+    }
+
+    /** Miss/mispredict rate for @p k (0 when never accessed). */
+    double badRate(PerfKind k) const {
+        const auto i = static_cast<std::size_t>(k);
+        return access[i] == 0
+            ? 0.0
+            : static_cast<double>(bad[i])
+                / static_cast<double>(access[i]);
+    }
+
+    void merge(const PerfCell &o);
+};
+
+/** One timeline window (a generalized Figure 6 sample). */
+struct IntervalSample {
+    std::uint64_t events = 0;  ///< trace events in this window
+    std::uint64_t access[kNumPerfKinds] = {};
+    std::uint64_t bad[kNumPerfKinds] = {};
+    std::uint64_t translateEvents = 0;
+    std::uint64_t cpi[kNumCpiComponents] = {};
+
+    std::uint64_t cycles() const {
+        std::uint64_t t = 0;
+        for (const std::uint64_t c : cpi)
+            t += c;
+        return t;
+    }
+};
+
+/** Knobs for a PerfAttribution pass. */
+struct PerfOptions {
+    /** Timeline window in trace events; 0 disables the timeline. */
+    std::uint64_t timelineWindow = 0;
+    /**
+     * Program of the traced run; enables the per-opcode and
+     * per-bytecode-site views. Must outlive the sink. Null skips
+     * those views (method tables and timeline still work).
+     */
+    const Program *program = nullptr;
+};
+
+/** See file comment. */
+class PerfAttribution : public TraceSink, public OutcomeListener {
+  public:
+    using Options = PerfOptions;
+
+    /** @p map must outlive the sink. */
+    explicit PerfAttribution(const MethodMap &map, Options opt = {});
+
+    // --- TraceSink (subscribe *before* the model; see file comment)
+    void onEvent(const TraceEvent &ev) override;
+    void onFinish() override;
+
+    // --- OutcomeListener (wired to the model)
+    void onOutcome(const Outcome &o) override;
+    void onRetire(const CpiSample &s) override;
+
+    /** Trace events observed. */
+    std::uint64_t totalEvents() const { return events_; }
+
+    /** Whole-run totals (every bucket summed). */
+    const PerfCell &totals() const { return totals_; }
+
+    const MethodMap &map() const { return *map_; }
+
+    /** Cell of method @p row; row == map().rows() is unattributed. */
+    const PerfCell &methodCell(std::size_t row) const {
+        return methodCells_[row];
+    }
+
+    /** True when a Program was supplied (opcode views available). */
+    bool hasOpcodes() const { return opt_.program != nullptr; }
+
+    /** Cell of @p op (Interpret-phase events only). */
+    const PerfCell &opcodeCell(Op op) const {
+        return opCells_[static_cast<std::size_t>(op)];
+    }
+
+    const std::vector<IntervalSample> &timeline() const {
+        return timeline_;
+    }
+    std::uint64_t timelineWindow() const {
+        return opt_.timelineWindow;
+    }
+
+    /** Top @p n methods by cycles (then events): the `report` view. */
+    Table methodTable(std::size_t n) const;
+
+    /** Top @p n opcodes by events (requires a Program). */
+    Table opcodeTable(std::size_t n) const;
+
+    /**
+     * Per-bytecode-site view of @p methodName: one row per executed
+     * bytecode offset (requires a Program). The `annotate` view.
+     */
+    Table annotateTable(const std::string &methodName) const;
+
+    /**
+     * One run object of the "jrs-perf-report-v1" document, indented
+     * for nesting under "runs". Deterministic field and row order.
+     */
+    std::string runJson(const std::string &label) const;
+
+    /**
+     * Emit the timeline as Perfetto counter tracks named
+     * "<prefix>.misses", "<prefix>.mispredicts" and "<prefix>.cpi"
+     * on the calling thread's lane; ts is the window's starting
+     * trace-event index (simulated time, not wall-clock).
+     */
+    void emitCounterTracks(SpanTracer &tracer,
+                           const std::string &prefix) const;
+
+  private:
+    struct SiteCell {
+        Op op = static_cast<Op>(0);
+        PerfCell cell;
+    };
+
+    void flushWindow();
+    const Method *methodAtBytecode(SimAddr addr) const;
+
+    const MethodMap *map_;
+    Options opt_;
+    MethodContext ctx_;
+
+    std::uint64_t events_ = 0;
+    PerfCell totals_;
+    /** rows() cells + trailing unattributed bucket. */
+    std::vector<PerfCell> methodCells_;
+    std::size_t curSlot_;  ///< bucket of the current trace event
+
+    // Opcode/site context (Program-backed; empty when no program).
+    struct BytecodeRange {
+        SimAddr lo;
+        SimAddr hi;
+        const Method *method;
+    };
+    std::vector<BytecodeRange> bytecodeRanges_;  ///< sorted by lo
+    std::vector<PerfCell> opCells_;
+    /** (method row << 32 | bytecode offset) -> site stats. */
+    std::map<std::uint64_t, SiteCell> siteCells_;
+    int curOp_ = -1;       ///< opcode being interpreted, -1 unknown
+    std::uint64_t curSite_ = 0;
+    bool curInterp_ = false;  ///< current event is Interpret-phase
+
+    // Timeline state.
+    std::uint64_t inWindow_ = 0;
+    IntervalSample cur_;
+    std::vector<IntervalSample> timeline_;
+};
+
+/**
+ * Self-contained sweep/bench sink: a PipelineSim observed by a
+ * PerfAttribution, with the ordering contract wired up. The MethodMap
+ * is shared so the composite can outlive the run that built it
+ * (sweep replay).
+ */
+class AttributedPipeline : public TraceSink {
+  public:
+    AttributedPipeline(PipelineConfig cfg,
+                       std::shared_ptr<const MethodMap> map,
+                       PerfAttribution::Options opt = {})
+        : map_(std::move(map)), pipe_(cfg), perf_(*map_, opt)
+    {
+        pipe_.setListener(&perf_);
+    }
+
+    void onEvent(const TraceEvent &ev) override {
+        perf_.onEvent(ev);
+        pipe_.onEvent(ev);
+    }
+    void onFinish() override { perf_.onFinish(); }
+
+    PipelineSim &pipeline() { return pipe_; }
+    const PipelineSim &pipeline() const { return pipe_; }
+    PerfAttribution &perf() { return perf_; }
+    const PerfAttribution &perf() const { return perf_; }
+
+  private:
+    std::shared_ptr<const MethodMap> map_;
+    PipelineSim pipe_;
+    PerfAttribution perf_;
+};
+
+/** As AttributedPipeline, for a bare split L1 (no pipeline model). */
+class AttributedCaches : public TraceSink {
+  public:
+    AttributedCaches(CacheConfig icfg, CacheConfig dcfg,
+                     std::shared_ptr<const MethodMap> map,
+                     PerfAttribution::Options opt = {})
+        : map_(std::move(map)), caches_(icfg, dcfg), perf_(*map_, opt)
+    {
+        caches_.setListener(&perf_);
+    }
+
+    void onEvent(const TraceEvent &ev) override {
+        perf_.onEvent(ev);
+        caches_.onEvent(ev);
+    }
+    void onFinish() override { perf_.onFinish(); }
+
+    CacheSink &caches() { return caches_; }
+    const CacheSink &caches() const { return caches_; }
+    PerfAttribution &perf() { return perf_; }
+    const PerfAttribution &perf() const { return perf_; }
+
+  private:
+    std::shared_ptr<const MethodMap> map_;
+    CacheSink caches_;
+    PerfAttribution perf_;
+};
+
+/**
+ * Thread-safe collection of labeled run reports, rendered as one
+ * "jrs-perf-report-v1" document. Runs are sorted by label so the
+ * output is stable regardless of which sweep worker finished first.
+ */
+class PerfReportSet {
+  public:
+    /**
+     * Snapshot @p perf's report under @p label. Re-adding a label
+     * replaces its snapshot (replay is bit-identical, so re-observing
+     * a stream must not duplicate entries).
+     */
+    void add(const std::string &label, const PerfAttribution &perf);
+
+    std::size_t size() const;
+
+    /** The full document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws VmError on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<std::pair<std::string, std::string>> runs_;
+};
+
+} // namespace jrs::obs
+
+#endif // JRS_OBS_PERF_H

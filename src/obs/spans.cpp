@@ -81,11 +81,25 @@ SpanTracer::record(SpanRecord span)
     spans_.push_back(std::move(span));
 }
 
+void
+SpanTracer::recordCounter(CounterRecord counter)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.push_back(std::move(counter));
+}
+
 std::size_t
 SpanTracer::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return spans_.size();
+}
+
+std::size_t
+SpanTracer::counterSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.size();
 }
 
 std::string
@@ -124,6 +138,23 @@ SpanTracer::toJson() const
         }
         out += "}}";
     }
+    for (const CounterRecord &c : counters_) {
+        sep();
+        out += "{\"name\": \"" + jsonEscape(c.name)
+            + "\", \"ph\": \"C\", \"ts\": " + std::to_string(c.ts)
+            + ", \"pid\": 1, \"tid\": " + std::to_string(c.lane)
+            + ", \"args\": {";
+        for (std::size_t a = 0; a < c.values.size(); ++a) {
+            if (a != 0)
+                out += ", ";
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g",
+                          c.values[a].second);
+            out += "\"" + jsonEscape(c.values[a].first) + "\": "
+                + buf;
+        }
+        out += "}}";
+    }
     out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
     return out;
 }
@@ -146,6 +177,7 @@ SpanTracer::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     spans_.clear();
+    counters_.clear();
     laneNames_.clear();
 }
 

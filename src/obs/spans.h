@@ -39,6 +39,20 @@ struct SpanRecord {
     std::vector<std::pair<std::string, std::string>> args;
 };
 
+/**
+ * One counter-track point ("ph":"C"): Perfetto renders successive
+ * points of the same (name, lane) as a stacked area chart, one series
+ * per value key. Used for simulation-time series (CPI stacks, miss
+ * timelines), where @c ts carries simulated instructions rather than
+ * wall-clock microseconds.
+ */
+struct CounterRecord {
+    std::string name;
+    std::uint64_t ts = 0;        ///< track position (simulated units)
+    std::uint32_t lane = 0;
+    std::vector<std::pair<std::string, double>> values;
+};
+
 /** See file comment. */
 class SpanTracer {
   public:
@@ -61,12 +75,19 @@ class SpanTracer {
     /** Append a completed span (thread-safe). */
     void record(SpanRecord span);
 
+    /** Append a counter-track point (thread-safe). */
+    void recordCounter(CounterRecord counter);
+
     /** Spans recorded so far. */
     std::size_t size() const;
 
+    /** Counter points recorded so far. */
+    std::size_t counterSize() const;
+
     /**
      * Render as Chrome trace-event JSON: thread_name metadata for
-     * every named lane, then one complete ("ph":"X") event per span.
+     * every named lane, one complete ("ph":"X") event per span, then
+     * one counter ("ph":"C") event per counter point.
      */
     std::string toJson() const;
 
@@ -80,6 +101,7 @@ class SpanTracer {
     std::chrono::steady_clock::time_point epoch_;
     mutable std::mutex mu_;
     std::vector<SpanRecord> spans_;
+    std::vector<CounterRecord> counters_;
     std::map<std::uint32_t, std::string> laneNames_;
 };
 

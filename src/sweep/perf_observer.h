@@ -1,0 +1,52 @@
+/**
+ * @file
+ * --perf-json support for sweep-engine tools: ride each trace group's
+ * replay with a perf-attribution observer.
+ *
+ * attachPerfObserver wires SweepOptions::groupObserver/groupObserved
+ * so that every trace group's replay also feeds an AttributedPipeline
+ * (default PipelineConfig) whose per-method report lands in a
+ * PerfReportSet keyed by the group's TraceKey. The observer rides the
+ * replay fan-out after every point sink, so the sweep's own metrics
+ * stay bit-identical with or without it (tests/test_perf.cpp asserts
+ * this).
+ */
+#ifndef JRS_SWEEP_PERF_OBSERVER_H
+#define JRS_SWEEP_PERF_OBSERVER_H
+
+#include <memory>
+
+#include "arch/pipeline/pipeline.h"
+#include "obs/perf.h"
+#include "sweep/sweep.h"
+
+namespace jrs::sweep {
+
+/**
+ * See file comment. Groups whose recording carries no method map
+ * (disk recordings predating the .methods sidecar) are skipped.
+ * @p reports must outlive the sweep. Call only when the user asked
+ * for the report (the observer costs one extra replay consumer per
+ * group).
+ */
+inline void
+attachPerfObserver(SweepOptions &opts, obs::PerfReportSet &reports)
+{
+    opts.groupObserver = [](const TraceKey &, const RecordedRun &run)
+        -> std::unique_ptr<TraceSink> {
+        if (run.methods == nullptr)
+            return nullptr;
+        return std::make_unique<obs::AttributedPipeline>(
+            PipelineConfig{}, run.methods);
+    };
+    opts.groupObserved = [&reports](const TraceKey &key,
+                                    const RecordedRun &,
+                                    TraceSink &sink) {
+        auto &attributed = static_cast<obs::AttributedPipeline &>(sink);
+        reports.add(key.str(), attributed.perf());
+    };
+}
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_PERF_OBSERVER_H

@@ -298,6 +298,7 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
 
     // Progress + sweep.* metric bookkeeping, shared across workers.
     std::mutex progressMu;
+    std::mutex observerMu;
     std::size_t pointsDone = 0;
     std::size_t groupsDone = 0;
     auto finishGroup = [&](const std::vector<std::size_t> &members) {
@@ -337,30 +338,10 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
     auto runGroup = [&](const std::vector<std::size_t> &members) {
         const auto g0 = std::chrono::steady_clock::now();
 
-        // Build each member's sink; a throwing factory poisons only
-        // that member.
-        std::vector<std::unique_ptr<TraceSink>> sinks(members.size());
-        std::vector<GuardedFanout::Subscriber> subs;
-        std::vector<std::size_t> subMember;
-        for (std::size_t m = 0; m < members.size(); ++m) {
-            try {
-                sinks[m] = grid[members[m]].makeSink();
-                if (sinks[m] == nullptr)
-                    throw VmError("sink factory returned null");
-                subs.push_back({sinks[m].get(), false, ""});
-                subMember.push_back(m);
-            } catch (const std::exception &e) {
-                fail(members[m],
-                     std::string("sink factory failed: ") + e.what());
-            }
-        }
-        GuardedFanout fanout(std::move(subs));
-
-        // Obtain the stream (recording on first use, loading a prior
-        // recording from disk, or waiting on another worker), then
-        // replay it into the group's sinks. Acquire and replay are
-        // separate passes so a span view shows both stages on every
-        // worker lane; the events delivered are identical either way.
+        // Obtain the stream first (recording on first use, loading a
+        // prior recording from disk, or waiting on another worker):
+        // sink factories receive the recording, so they can only be
+        // built once it exists.
         const std::string &keyStr = result.points[members[0]].traceKey;
         std::shared_ptr<const RecordedRun> run;
         try {
@@ -376,6 +357,43 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
             finishGroup(members);
             return;
         }
+
+        // Build each member's sink; a throwing factory poisons only
+        // that member.
+        std::vector<std::unique_ptr<TraceSink>> sinks(members.size());
+        std::vector<GuardedFanout::Subscriber> subs;
+        std::vector<std::size_t> subMember;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            try {
+                sinks[m] = grid[members[m]].makeSink(*run);
+                if (sinks[m] == nullptr)
+                    throw VmError("sink factory returned null");
+                subs.push_back({sinks[m].get(), false, ""});
+                subMember.push_back(m);
+            } catch (const std::exception &e) {
+                fail(members[m],
+                     std::string("sink factory failed: ") + e.what());
+            }
+        }
+
+        // The optional group observer rides the fan-out after every
+        // point sink; its failures never reach the points.
+        std::unique_ptr<TraceSink> observer;
+        if (options_.groupObserver) {
+            try {
+                observer = options_.groupObserver(
+                    grid[members[0]].key, *run);
+            } catch (const std::exception &) {
+                observer.reset();
+            }
+            if (observer != nullptr)
+                subs.push_back({observer.get(), false, ""});
+        }
+        GuardedFanout fanout(std::move(subs));
+
+        // Replay into the group's sinks. Acquire and replay are
+        // separate passes so a span view shows both stages on every
+        // worker lane; the events delivered are identical either way.
         {
             obs::ScopedSpan span("sweep.replay", "sweep");
             span.arg("trace", keyStr);
@@ -386,7 +404,7 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
         const double shared = secondsSince(g0)
             / static_cast<double>(members.size());
 
-        for (std::size_t s = 0; s < fanout.subscribers().size(); ++s) {
+        for (std::size_t s = 0; s < subMember.size(); ++s) {
             const std::size_t m = subMember[s];
             const std::size_t idx = members[m];
             PointResult &slot = result.points[idx];
@@ -406,6 +424,13 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
                 }
             }
             slot.seconds = shared + secondsSince(e0);
+        }
+
+        if (observer != nullptr && options_.groupObserved
+            && !fanout.subscribers().back().dead) {
+            std::lock_guard<std::mutex> lock(observerMu);
+            options_.groupObserved(grid[members[0]].key, *run,
+                                   *observer);
         }
         finishGroup(members);
     };

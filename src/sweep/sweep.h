@@ -39,6 +39,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -61,9 +62,12 @@ struct SweepPoint {
     TraceKey key;
     /**
      * Build the model sink on the worker thread. Called once per
-     * point, after the stream is available.
+     * point, after the stream is available: the factory receives the
+     * recording it will observe, so sinks can consume run context
+     * (e.g. RecordedRun::methods for attribution) before replay.
      */
-    std::function<std::unique_ptr<TraceSink>()> makeSink;
+    std::function<std::unique_ptr<TraceSink>(const RecordedRun &)>
+        makeSink;
     /**
      * Pull metrics out of the finished sink. @p sink is the object
      * makeSink returned; @p run is the recording it observed (its
@@ -77,7 +81,9 @@ struct SweepPoint {
 /**
  * Build a SweepPoint without the TraceSink downcast boilerplate: the
  * factory returns the concrete sink type and the extractor receives
- * it back as that type.
+ * it back as that type. The factory may take either no arguments or
+ * `const RecordedRun &` (when the sink needs run context, e.g. the
+ * method map).
  */
 template <class SinkT, class MakeFn, class ExtractFn>
 SweepPoint
@@ -87,8 +93,16 @@ makePoint(std::string label, TraceKey key, MakeFn make,
     SweepPoint p;
     p.label = std::move(label);
     p.key = std::move(key);
-    p.makeSink = [make = std::move(make)]()
-        -> std::unique_ptr<TraceSink> { return make(); };
+    p.makeSink = [make = std::move(make)](const RecordedRun &run)
+        -> std::unique_ptr<TraceSink> {
+        if constexpr (std::is_invocable_v<MakeFn,
+                                          const RecordedRun &>) {
+            return make(run);
+        } else {
+            (void)run;
+            return make();
+        }
+    };
     p.extract = [extract = std::move(extract)](
                     TraceSink &sink, const RecordedRun &run) {
         return extract(static_cast<SinkT &>(sink), run);
@@ -166,6 +180,26 @@ struct SweepOptions {
      * but all workers queue behind it — keep it fast).
      */
     std::function<void(const SweepProgress &)> onProgress;
+    /**
+     * Build one extra observer sink per trace group (may return null
+     * to skip a group). The observer rides the group's replay fan-out
+     * after every point sink, so it sees the identical stream without
+     * touching any point's model or metrics — results stay
+     * bit-identical with or without it. A throwing factory or a
+     * mid-replay observer failure only drops the observation, never
+     * the group's points.
+     */
+    std::function<std::unique_ptr<TraceSink>(const TraceKey &,
+                                             const RecordedRun &)>
+        groupObserver;
+    /**
+     * Receives each observer sink that survived its group's replay,
+     * serialized under an engine-internal mutex. The sink's onFinish
+     * has already run.
+     */
+    std::function<void(const TraceKey &, const RecordedRun &,
+                       TraceSink &)>
+        groupObserved;
 };
 
 /** Executes sweep grids; see file comment. */

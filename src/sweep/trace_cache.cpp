@@ -126,6 +126,62 @@ readMeta(const std::string &path, const std::string &key,
     return true;
 }
 
+/**
+ * Method-map sidecar: one "lo hi name" line (hex addresses) per
+ * registered range. Optional — recordings made before this sidecar
+ * existed simply yield a null RecordedRun::methods on load.
+ */
+void
+writeMethods(const std::string &path, const obs::MethodMap &map)
+{
+    std::string body;
+    map.forEachRange([&](SimAddr lo, SimAddr hi,
+                         const std::string &name) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%llx %llx ",
+                      static_cast<unsigned long long>(lo),
+                      static_cast<unsigned long long>(hi));
+        body += buf;
+        body += name;
+        body += '\n';
+    });
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw VmError("cannot write trace methods: " + path);
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw VmError("cannot write trace methods: " + path);
+}
+
+/** @return null when the sidecar is missing or malformed. */
+std::shared_ptr<const obs::MethodMap>
+readMethods(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return nullptr;
+    auto map = std::make_shared<obs::MethodMap>();
+    unsigned long long lo = 0;
+    unsigned long long hi = 0;
+    char name[512] = {};
+    bool ok = true;
+    int fields;
+    while ((fields = std::fscanf(f, "%llx %llx %511[^\n]\n", &lo, &hi,
+                                 name))
+           == 3) {
+        try {
+            map->add(lo, hi, name);
+        } catch (const std::exception &) {
+            ok = false;
+            break;
+        }
+    }
+    ok = ok && fields == EOF;
+    std::fclose(f);
+    return ok ? map : nullptr;
+}
+
 } // namespace
 
 std::shared_ptr<const RecordedRun>
@@ -151,6 +207,7 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
                 auto run = std::make_shared<RecordedRun>();
                 run->result = meta;
                 run->trace = std::move(trace);
+                run->methods = readMethods(base + ".methods");
                 return run;
             }
             // Truncated or stale payload: fall through and re-record.
@@ -173,6 +230,8 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
         const std::string base = dir_ + "/" + keyStr + ".jrstrace";
         run->trace->save(base);
         writeMeta(base + ".meta", keyStr, run->result);
+        if (run->methods != nullptr)
+            writeMethods(base + ".methods", *run->methods);
     }
     return run;
 }

@@ -9,12 +9,14 @@
  * records the (single-threaded) VM run; concurrent callers for the
  * same key block on that recording; later callers hit memory. With a
  * cache directory configured, recordings persist as
- * `<key>.jrstrace` + `<key>.jrstrace.meta` and later processes load
- * the stream instead of re-running the VM.
+ * `<key>.jrstrace` + `<key>.jrstrace.meta` (+ `.jrstrace.methods`,
+ * the method-map sidecar) and later processes load the stream instead
+ * of re-running the VM.
  *
  * Disk-loaded runs restore only the headline RunResult fields kept in
- * the sidecar (completed / exitValue / totalEvents); profile tables
- * and footprints exist only in the recording process.
+ * the sidecar (completed / exitValue / totalEvents) plus the method
+ * map; profile tables and footprints exist only in the recording
+ * process.
  */
 #ifndef JRS_SWEEP_TRACE_CACHE_H
 #define JRS_SWEEP_TRACE_CACHE_H

@@ -124,7 +124,11 @@ mixedGrid()
 std::vector<Metric>
 liveSerialMetrics(const SweepPoint &p)
 {
-    std::unique_ptr<TraceSink> sink = p.makeSink();
+    // The factories in these grids ignore their RecordedRun argument
+    // (plain cache/bpred/pipeline models), so an empty recording
+    // stands in and the sink can observe the run live.
+    const RecordedRun none;
+    std::unique_ptr<TraceSink> sink = p.makeSink(none);
     RunSpec spec = p.key.toRunSpec();
     spec.sink = sink.get();
     RecordedRun run = recordWorkload(spec);
@@ -173,7 +177,8 @@ TEST(Sweep, ThrowingSinkFactoryPoisonsOnlyItsPoint)
     std::vector<SweepPoint> grid;
     grid.push_back(cachePoint("before", key, 1));
     grid.push_back(cachePoint("bad", key, 2));
-    grid[1].makeSink = []() -> std::unique_ptr<TraceSink> {
+    grid[1].makeSink =
+        [](const RecordedRun &) -> std::unique_ptr<TraceSink> {
         throw std::runtime_error("factory exploded");
     };
     grid.push_back(cachePoint("after", key, 4));
