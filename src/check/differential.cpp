@@ -1,0 +1,182 @@
+#include "check/differential.h"
+
+#include <sstream>
+
+#include "vm/bytecode/disassembler.h"
+#include "vm/engine/engine.h"
+
+namespace jrs::check {
+
+namespace {
+
+/**
+ * Hang guard only: generated programs and tiny-arg workloads finish
+ * orders of magnitude below this. A mode hitting the cap shows up as
+ * completed=false and fails the comparison loudly.
+ */
+constexpr std::uint64_t kMaxEventsGuard = 200'000'000ull;
+
+} // namespace
+
+const char *
+diffModeName(DiffMode mode)
+{
+    switch (mode) {
+      case DiffMode::Interp: return "interp";
+      case DiffMode::Jit:    return "jit";
+      case DiffMode::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+const std::vector<DiffMode> &
+allDiffModes()
+{
+    static const std::vector<DiffMode> kModes = {
+        DiffMode::Interp, DiffMode::Jit, DiffMode::Hybrid};
+    return kModes;
+}
+
+EngineConfig
+makeDiffConfig(DiffMode mode)
+{
+    EngineConfig cfg;
+    cfg.maxEvents = kMaxEventsGuard;
+    switch (mode) {
+      case DiffMode::Interp:
+        cfg.policy = std::make_shared<NeverCompilePolicy>();
+        break;
+      case DiffMode::Jit:
+        cfg.policy = std::make_shared<AlwaysCompilePolicy>();
+        break;
+      case DiffMode::Hybrid:
+        cfg.policy = std::make_shared<CounterPolicy>(2);
+        cfg.osrBackEdgeThreshold = 16;
+        cfg.interpreterFolding = true;
+        break;
+    }
+    return cfg;
+}
+
+VmStateDigest
+runDigest(const Program &prog, DiffMode mode, std::int32_t arg)
+{
+    ExecutionEngine engine(prog, makeDiffConfig(mode));
+    const RunResult result = engine.run(arg);
+    return captureDigest(engine, result);
+}
+
+DiffResult
+DifferentialRunner::runProgram(const Program &prog, std::int32_t arg,
+                               const std::string &label)
+{
+    DiffResult out;
+    out.reference = runDigest(prog, DiffMode::Interp, arg);
+
+    std::ostringstream os;
+    for (DiffMode mode : allDiffModes()) {
+        if (mode == DiffMode::Interp)
+            continue;
+        const VmStateDigest d = runDigest(prog, mode, arg);
+        const std::string diff =
+            describeDigestDiff("interp", out.reference,
+                               diffModeName(mode), d);
+        if (!diff.empty())
+            os << label << " arg=" << arg << ": " << diff;
+    }
+    out.report = os.str();
+    out.agreed = out.report.empty();
+    return out;
+}
+
+namespace {
+
+/** True when any mode disagrees with interp on this seed+mask. */
+bool
+masksDiverge(std::uint64_t seed, const GenOptions &opts,
+             std::uint64_t mask, std::int32_t arg)
+{
+    const Program prog = generateProgram(seed, opts, mask);
+    const VmStateDigest ref = runDigest(prog, DiffMode::Interp, arg);
+    for (DiffMode mode : allDiffModes()) {
+        if (mode == DiffMode::Interp)
+            continue;
+        if (!describeDigestDiff("interp", ref, diffModeName(mode),
+                                runDigest(prog, mode, arg))
+                 .empty())
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Greedy one-at-a-time kernel removal (a ddmin step with granularity
+ * 1 — kernel counts are <= 64, so the quadratic worst case is cheap).
+ * Sound because the generator emits identical kernels for every mask.
+ */
+std::uint64_t
+minimizeMask(std::uint64_t seed, const GenOptions &opts,
+             std::uint64_t mask, std::int32_t arg)
+{
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        for (std::uint32_t bit = 0; bit < opts.numKernels; ++bit) {
+            const std::uint64_t without = mask & ~(1ull << bit);
+            if (without == mask || without == 0)
+                continue;
+            if (masksDiverge(seed, opts, without, arg)) {
+                mask = without;
+                shrunk = true;
+            }
+        }
+    }
+    return mask;
+}
+
+} // namespace
+
+DiffResult
+DifferentialRunner::runSeed(std::uint64_t seed, const GenOptions &opts,
+                            std::int32_t arg)
+{
+    const Program prog = generateProgram(seed, opts);
+    std::ostringstream label;
+    label << "seed " << seed;
+    DiffResult out = runProgram(prog, arg, label.str());
+    if (out.agreed)
+        return out;
+
+    // Divergence: shrink to the smallest still-diverging kernel set
+    // and attach a full repro.
+    const std::uint64_t mask =
+        minimizeMask(seed, opts, kAllKernels, arg);
+    const Program min_prog = generateProgram(seed, opts, mask);
+    const DiffResult min_run =
+        runProgram(min_prog, arg, label.str() + " (minimized)");
+
+    std::ostringstream os;
+    os << "=== divergence repro ===\n"
+       << "seed=" << seed << " arg=" << arg
+       << " kernels=" << opts.numKernels << std::hex
+       << " minimized-mask=0x" << mask << std::dec << "\n"
+       << (min_run.agreed ? out.report : min_run.report)
+       << "--- surviving methods ---\n";
+    for (const Method &m : min_prog.methods) {
+        os << m.name << ":\n" << disassemble(m) << "\n";
+    }
+    out.report = os.str();
+    return out;
+}
+
+DiffResult
+DifferentialRunner::checkWorkload(const WorkloadInfo &info,
+                                  std::int32_t arg)
+{
+    if (arg == 0)
+        arg = info.tinyArg;
+    const Program prog = info.build();
+    return runProgram(prog, arg, info.name);
+}
+
+} // namespace jrs::check

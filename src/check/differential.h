@@ -1,0 +1,88 @@
+/**
+ * @file
+ * DifferentialRunner — execute one program under several execution
+ * modes and demand identical VmStateDigests.
+ *
+ * The modes pin down the three runtime organizations the paper
+ * compares:
+ *
+ *   interp  pure interpretation (NeverCompilePolicy)
+ *   jit     compile-on-first-invocation (AlwaysCompilePolicy)
+ *   hybrid  counter-threshold tiering + OSR + interpreter dispatch
+ *           folding — every mixed-mode mechanism at once
+ *
+ * JIT inlining is deliberately excluded from every mode: inlining
+ * attributes an inlined callee's throws to the caller frame, which
+ * legitimately changes the faulting-method component of the throw
+ * chain hash. Everything else in the engine is required to be
+ * semantics-preserving, and this runner is the enforcement.
+ *
+ * On a generated-program divergence the runner minimizes the failing
+ * kernel set by bisecting the generator's entry mask (sound because
+ * kernels are mask-independent) and renders a repro: seed, surviving
+ * mask, digest diff, and a disassembly of the surviving kernels.
+ */
+#ifndef JRS_CHECK_DIFFERENTIAL_H
+#define JRS_CHECK_DIFFERENTIAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/digest.h"
+#include "check/progen.h"
+#include "workloads/workload.h"
+
+namespace jrs::check {
+
+/** One execution configuration under test. */
+enum class DiffMode : std::uint8_t { Interp, Jit, Hybrid };
+
+/** "interp" / "jit" / "hybrid". */
+const char *diffModeName(DiffMode mode);
+
+/** The three modes, in comparison order (interp is the reference). */
+const std::vector<DiffMode> &allDiffModes();
+
+/** Engine configuration for @p mode (no sink attached). */
+EngineConfig makeDiffConfig(DiffMode mode);
+
+/** Digest of one mode's run of @p prog. */
+VmStateDigest runDigest(const Program &prog, DiffMode mode,
+                        std::int32_t arg);
+
+/** Outcome of one differential comparison. */
+struct DiffResult {
+    bool agreed = false;
+    std::string report;  ///< divergence/repro text; "" when agreed
+    VmStateDigest reference;  ///< the interp-mode digest
+};
+
+/** See file comment. */
+class DifferentialRunner {
+  public:
+    /**
+     * Run @p prog under every mode and compare digests against the
+     * interp reference. @p label names the program in reports.
+     */
+    DiffResult runProgram(const Program &prog, std::int32_t arg,
+                          const std::string &label);
+
+    /**
+     * Differential-test the program of @p seed. On divergence the
+     * report includes a mask-minimized repro.
+     */
+    DiffResult runSeed(std::uint64_t seed, const GenOptions &opts,
+                       std::int32_t arg);
+
+    /**
+     * Differential-test one registered workload at @p arg
+     * (0 = its tinyArg). Threaded workloads compare the portable
+     * digest subset, per VmStateDigest.
+     */
+    DiffResult checkWorkload(const WorkloadInfo &info, std::int32_t arg);
+};
+
+} // namespace jrs::check
+
+#endif // JRS_CHECK_DIFFERENTIAL_H

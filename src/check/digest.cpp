@@ -1,0 +1,116 @@
+#include "check/digest.h"
+
+#include <sstream>
+
+namespace jrs::check {
+
+bool
+VmStateDigest::operator==(const VmStateDigest &o) const
+{
+    return portableEquals(o)
+        && heapAllocations == o.heapAllocations
+        && heapBytes == o.heapBytes
+        && heapHash == o.heapHash
+        && guestThrows == o.guestThrows
+        && throwChainHash == o.throwChainHash;
+}
+
+bool
+VmStateDigest::portableEquals(const VmStateDigest &o) const
+{
+    return completed == o.completed
+        && uncaught == o.uncaught
+        && hasExitValue == o.hasExitValue
+        && exitValue == o.exitValue
+        && output == o.output
+        && threadsSpawned == o.threadsSpawned;
+}
+
+std::string
+VmStateDigest::str() const
+{
+    std::ostringstream os;
+    os << (completed ? "completed" : "incomplete");
+    if (!uncaught.empty())
+        os << " uncaught=" << uncaught;
+    if (hasExitValue)
+        os << " exit=" << exitValue;
+    os << " out=" << output.size() << "B"
+       << " heap=" << heapAllocations << "allocs/" << heapBytes << "B"
+       << std::hex
+       << " heapHash=" << heapHash
+       << std::dec
+       << " throws=" << guestThrows
+       << std::hex
+       << " throwHash=" << throwChainHash
+       << std::dec;
+    if (threadsSpawned != 0)
+        os << " threads=+" << threadsSpawned;
+    return os.str();
+}
+
+VmStateDigest
+captureDigest(ExecutionEngine &engine, const RunResult &result)
+{
+    VmStateDigest d;
+    d.completed = result.completed;
+    if (result.uncaughtException != nullptr)
+        d.uncaught = result.uncaughtException;
+    d.hasExitValue = result.hasExitValue;
+    d.exitValue = result.exitValue;
+    d.output = result.output;
+    d.heapAllocations = engine.heap().allocationCount();
+    d.heapBytes = engine.heap().bytesAllocated();
+    d.heapHash = engine.heap().contentHash();
+    d.guestThrows = result.guestThrows;
+    d.throwChainHash = result.throwChainHash;
+    d.threadsSpawned = result.threadsSpawned;
+    return d;
+}
+
+std::string
+describeDigestDiff(const std::string &name_a, const VmStateDigest &a,
+                   const std::string &name_b, const VmStateDigest &b)
+{
+    const bool threaded = a.threadsSpawned != 0 || b.threadsSpawned != 0;
+    if (threaded ? a.portableEquals(b) : a == b)
+        return "";
+
+    std::ostringstream os;
+    os << "digest divergence between " << name_a << " and " << name_b;
+    if (threaded)
+        os << " (threaded: portable subset)";
+    os << ":\n";
+    auto field = [&](const char *what, const std::string &va,
+                     const std::string &vb) {
+        if (va != vb) {
+            os << "  " << what << ": " << name_a << "=" << va << "  "
+               << name_b << "=" << vb << "\n";
+        }
+    };
+    field("completed", a.completed ? "yes" : "no",
+          b.completed ? "yes" : "no");
+    field("uncaught", a.uncaught.empty() ? "-" : a.uncaught,
+          b.uncaught.empty() ? "-" : b.uncaught);
+    field("exitValue",
+          a.hasExitValue ? std::to_string(a.exitValue) : "-",
+          b.hasExitValue ? std::to_string(b.exitValue) : "-");
+    field("output", a.output, b.output);
+    if (!threaded) {
+        field("heapAllocations", std::to_string(a.heapAllocations),
+              std::to_string(b.heapAllocations));
+        field("heapBytes", std::to_string(a.heapBytes),
+              std::to_string(b.heapBytes));
+        field("heapHash", std::to_string(a.heapHash),
+              std::to_string(b.heapHash));
+        field("guestThrows", std::to_string(a.guestThrows),
+              std::to_string(b.guestThrows));
+        field("throwChainHash", std::to_string(a.throwChainHash),
+              std::to_string(b.throwChainHash));
+    }
+    field("threadsSpawned", std::to_string(a.threadsSpawned),
+          std::to_string(b.threadsSpawned));
+    return os.str();
+}
+
+} // namespace jrs::check

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * VmStateDigest — the canonical end-of-run state summary jrs::check
+ * compares across execution modes.
+ *
+ * The paper's methodology assumes the interpreter and the JIT compute
+ * the same thing while emitting different native streams. The digest
+ * pins down "the same thing":
+ *
+ *   - control outcome: completed / uncaught-exception identity
+ *   - operand results: entry-method exit value + print-intrinsic output
+ *   - heap contents: allocation count, bytes, and an FNV-1a hash over
+ *     the allocated arena (the bump allocator is deterministic, so
+ *     equivalent runs produce byte-identical arenas — this covers every
+ *     live array element and object field)
+ *   - guest exceptions: count plus an order-sensitive hash of every
+ *     (exception class, faulting method, faulting bytecode pc) triple;
+ *     native frames are mapped back through bc2n, so the triple is
+ *     mode-independent
+ *
+ * Multi-threaded runs schedule threads by stepper quantum, and step
+ * granularity differs between modes, so allocation order (heap
+ * addresses) and throw order are interleaving-dependent there. For
+ * runs that spawned threads only the portable subset (control outcome,
+ * exit value, output) is compared.
+ */
+#ifndef JRS_CHECK_DIGEST_H
+#define JRS_CHECK_DIGEST_H
+
+#include <cstdint>
+#include <string>
+
+#include "vm/engine/engine.h"
+
+namespace jrs::check {
+
+/** Canonical end-of-run state; see file comment for field semantics. */
+struct VmStateDigest {
+    bool completed = false;
+    std::string uncaught;      ///< uncaught-exception name, "" if none
+    bool hasExitValue = false;
+    std::int32_t exitValue = 0;
+    std::string output;        ///< print-intrinsic output
+
+    std::uint64_t heapAllocations = 0;
+    std::uint64_t heapBytes = 0;
+    std::uint64_t heapHash = 0;
+
+    std::uint64_t guestThrows = 0;
+    std::uint64_t throwChainHash = 0;
+
+    std::uint32_t threadsSpawned = 0;
+
+    /** Full comparison (single-threaded runs). */
+    bool operator==(const VmStateDigest &o) const;
+    bool operator!=(const VmStateDigest &o) const { return !(*this == o); }
+
+    /**
+     * Comparison on the scheduling-independent subset; used when
+     * either run spawned threads.
+     */
+    bool portableEquals(const VmStateDigest &o) const;
+
+    /** One-line rendering for reports. */
+    std::string str() const;
+};
+
+/**
+ * Capture the digest of a finished run. The engine must be the one
+ * that produced @p result (its heap is hashed in place).
+ */
+VmStateDigest captureDigest(ExecutionEngine &engine,
+                            const RunResult &result);
+
+/**
+ * Field-by-field difference listing of two digests ("" when equal
+ * under the comparison that applies to their thread counts).
+ */
+std::string describeDigestDiff(const std::string &name_a,
+                               const VmStateDigest &a,
+                               const std::string &name_b,
+                               const VmStateDigest &b);
+
+} // namespace jrs::check
+
+#endif // JRS_CHECK_DIGEST_H

@@ -1,0 +1,80 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "check/differential.h"
+#include "sweep/parallel.h"
+#include "vm/bytecode/assembler.h"
+#include "vm/bytecode/verifier.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::check {
+
+std::string
+FuzzReport::summary() const
+{
+    std::ostringstream os;
+    os << seedsRun << " seeds, " << failures.size() << " failure(s)";
+    for (const FuzzFailure &f : failures) {
+        os << "\n[" << f.kind << "] seed " << f.seed << "\n"
+           << f.detail;
+        if (!f.detail.empty() && f.detail.back() != '\n')
+            os << "\n";
+    }
+    return os.str();
+}
+
+FuzzReport
+runFuzzCampaign(const FuzzOptions &opts)
+{
+    FuzzReport report;
+    report.seedsRun = opts.numSeeds;
+    if (opts.numSeeds == 0)
+        return report;
+
+    std::mutex mu;
+    const unsigned jobs =
+        sweep::resolveJobs(opts.jobs, opts.numSeeds);
+
+    sweep::parallelForEach(
+        jobs, opts.numSeeds,
+        [&](std::size_t i, std::size_t) {
+            const std::uint64_t seed = opts.seedBase + i;
+            FuzzFailure failure;
+            failure.seed = seed;
+            try {
+                DifferentialRunner runner;
+                const DiffResult r =
+                    runner.runSeed(seed, opts.gen, opts.arg);
+                if (r.agreed)
+                    return;
+                failure.kind = "divergence";
+                failure.detail = r.report;
+            } catch (const AssemblerError &e) {
+                failure.kind = "generator";
+                failure.detail = e.what();
+            } catch (const VerifyError &e) {
+                failure.kind = "generator";
+                failure.detail = e.what();
+            } catch (const VmError &e) {
+                failure.kind = "vm";
+                failure.detail = e.what();
+            } catch (const std::exception &e) {
+                failure.kind = "vm";
+                failure.detail = e.what();
+            }
+            const std::lock_guard<std::mutex> lock(mu);
+            report.failures.push_back(std::move(failure));
+        },
+        "fuzz-worker-");
+
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const FuzzFailure &a, const FuzzFailure &b) {
+                  return a.seed < b.seed;
+              });
+    return report;
+}
+
+} // namespace jrs::check

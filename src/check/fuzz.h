@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fuzz campaigns: many generator seeds through the differential
+ * runner, in parallel, with per-seed fault isolation.
+ *
+ * Each seed is one independent task on the sweep worker pool
+ * (sweep/parallel.h). A seed can fail three ways, and each is caught
+ * per-seed so one failure never takes down the campaign:
+ *
+ *   divergence  the modes disagree — a minimized repro is attached
+ *   generator   the generated program failed assembly/verification
+ *               (a progen bug, not a VM bug)
+ *   vm          the VM itself threw while running the program
+ *
+ * Campaigns are fully deterministic: seed list is seedBase..+numSeeds,
+ * each program depends only on its seed, so any failure reproduces
+ * standalone with `jrs_check fuzz --seeds 1 --seed-base <seed>`.
+ */
+#ifndef JRS_CHECK_FUZZ_H
+#define JRS_CHECK_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/progen.h"
+
+namespace jrs::check {
+
+/** Campaign parameters. */
+struct FuzzOptions {
+    std::uint64_t seedBase = 1;
+    std::uint32_t numSeeds = 100;
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Entry-method argument fed to every program. */
+    std::int32_t arg = 7;
+    GenOptions gen;
+};
+
+/** One failed seed. */
+struct FuzzFailure {
+    std::uint64_t seed = 0;
+    std::string kind;    ///< "divergence" / "generator" / "vm"
+    std::string detail;  ///< repro text or exception message
+};
+
+/** Campaign outcome. */
+struct FuzzReport {
+    std::uint32_t seedsRun = 0;
+    std::vector<FuzzFailure> failures;  ///< sorted by seed
+
+    bool ok() const { return failures.empty(); }
+
+    /** Human-readable campaign summary (always non-empty). */
+    std::string summary() const;
+};
+
+/** Run the campaign; never throws for per-seed failures. */
+FuzzReport runFuzzCampaign(const FuzzOptions &opts);
+
+} // namespace jrs::check
+
+#endif // JRS_CHECK_FUZZ_H

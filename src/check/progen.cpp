@@ -1,0 +1,535 @@
+#include "check/progen.h"
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "support/random.h"
+#include "vm/bytecode/assembler.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::check {
+
+namespace {
+
+/**
+ * Integer constants biased toward the edges where two's-complement
+ * arithmetic bites: overflow wrap, INT32_MIN negation/division,
+ * shift-amount masking boundaries, byte/char truncation boundaries.
+ */
+const std::int32_t kEdgeInts[] = {
+    0,           1,           -1,          2,          3,
+    5,           7,           8,           16,         31,
+    32,          33,          63,          -2,         -8,
+    100,         127,         128,         255,        256,
+    -129,        32767,       65535,       65536,      -32768,
+    INT32_MAX,   INT32_MIN,   INT32_MAX - 1, INT32_MIN + 1,
+    0x55555555,  static_cast<std::int32_t>(0xAAAAAAAA),
+};
+
+/** Shift amounts straddling the & 31 mask. */
+const std::int32_t kEdgeShifts[] = {0, 1, 5, 16, 30, 31, 32, 33, 63, -1};
+
+/** Float constants: saturation, rounding, infinity, NaN sources. */
+const float kEdgeFloats[] = {
+    0.0f,   1.0f,    -1.0f,       0.5f,          3.14159f,
+    1e10f,  -1e10f,  2147483648.0f, -2147483904.0f, 0.001f,
+};
+
+/** Kernel-local slot roles (all kernels declare 6 locals). */
+constexpr std::uint8_t kArg = 0;   ///< int: the kernel argument
+constexpr std::uint8_t kAcc = 1;   ///< int: accumulator
+constexpr std::uint8_t kIdx = 2;   ///< int: loop counter
+constexpr std::uint8_t kTmp = 3;   ///< int: scratch
+constexpr std::uint8_t kRef = 4;   ///< ref: array / receiver
+constexpr std::uint8_t kExc = 5;   ///< ref: caught exception
+
+class Generator {
+  public:
+    Generator(std::uint64_t seed, const GenOptions &opts,
+              std::uint64_t mask)
+        : rng_(seed ^ 0x636865636b21ull),  // "check!"
+          opts_(opts),
+          mask_(mask),
+          numKernels_(opts.numKernels < 1
+                          ? 1u
+                          : (opts.numKernels > 64 ? 64u
+                                                  : opts.numKernels))
+    {
+    }
+
+    Program build()
+    {
+        ProgramBuilder pb("fuzz");
+        buildSupportClasses(pb);
+        ClassBuilder &g = pb.cls("G");
+        std::vector<MethodBuilder *> kernels;
+        for (std::uint32_t i = 0; i < numKernels_; ++i) {
+            MethodBuilder &m = g.staticMethod(
+                "k" + std::to_string(i), {VType::Int}, VType::Int);
+            kernels.push_back(&m);
+        }
+        for (std::uint32_t i = 0; i < numKernels_; ++i)
+            buildKernel(*kernels[i], i);
+        buildEntry(pb);
+        return pb.finish("Main.run");
+    }
+
+  private:
+    // --- random helpers ------------------------------------------------
+
+    bool chance(std::uint32_t percent)
+    {
+        return rng_.nextBounded(100) < percent;
+    }
+
+    std::int32_t edgeInt()
+    {
+        return kEdgeInts[rng_.nextBounded(std::size(kEdgeInts))];
+    }
+
+    std::int32_t anyConst()
+    {
+        return chance(70) ? edgeInt()
+                          : rng_.nextInRange(-1000, 1000);
+    }
+
+    // --- support classes ----------------------------------------------
+
+    void buildSupportClasses(ProgramBuilder &pb)
+    {
+        // Guest exception hierarchy: Ex1 extends Ex0. Catch clauses
+        // naming Ex0 also match Ex1; builtins match only catch-alls.
+        ClassBuilder &ex0 = pb.cls("Ex0");
+        ex0.field("code");
+        pb.cls("Ex1", "Ex0");
+
+        // A virtual pair for dispatch + devirtualization paths.
+        ClassBuilder &a = pb.cls("A");
+        a.field("salt");
+        {
+            MethodBuilder &f =
+                a.virtualMethod("f", {VType::Int}, VType::Int);
+            f.locals(2);
+            f.iload(1).iconst(rng_.nextInRange(3, 97)).imul()
+                .aload(0).getFieldI("A.salt").iadd()
+                .iconst(anyConst()).ixor().ireturn();
+        }
+        ClassBuilder &b = pb.cls("B", "A");
+        {
+            MethodBuilder &f =
+                b.virtualMethod("f", {VType::Int}, VType::Int);
+            f.locals(2);
+            // Combine a direct (invokespecial) call to the super body
+            // with the override's own arithmetic.
+            f.aload(0).iload(1).invokeSpecial("A.f")
+                .iload(1).iconst(anyConst()).iadd().ixor().ireturn();
+        }
+    }
+
+    // --- expression generator ------------------------------------------
+
+    /** Emit code leaving exactly one int on @p m's stack. */
+    void genExpr(MethodBuilder &m, std::uint32_t depth)
+    {
+        if (depth == 0 || chance(25)) {
+            if (chance(55))
+                m.iconst(anyConst());
+            else
+                m.iload(static_cast<std::uint8_t>(
+                    rng_.nextBounded(4)));  // kArg..kTmp, all int
+            return;
+        }
+        switch (rng_.nextBounded(10)) {
+          case 0: {  // unary
+            genExpr(m, depth - 1);
+            const auto u = rng_.nextBounded(3);
+            if (u == 0)
+                m.ineg();
+            else if (u == 1)
+                m.i2c();
+            else
+                m.i2b();
+            break;
+          }
+          case 1:
+          case 2:
+          case 3: {  // wrap-prone binary
+            genExpr(m, depth - 1);
+            genExpr(m, depth - 1);
+            switch (rng_.nextBounded(6)) {
+              case 0: m.iadd(); break;
+              case 1: m.isub(); break;
+              case 2: m.imul(); break;
+              case 3: m.iand(); break;
+              case 4: m.ior(); break;
+              default: m.ixor(); break;
+            }
+            break;
+          }
+          case 4:
+          case 5: {  // shift with edge amounts (mask & 31 semantics)
+            genExpr(m, depth - 1);
+            if (chance(70))
+                m.iconst(kEdgeShifts[rng_.nextBounded(
+                    std::size(kEdgeShifts))]);
+            else
+                genExpr(m, depth - 1);
+            switch (rng_.nextBounded(3)) {
+              case 0: m.ishl(); break;
+              case 1: m.ishr(); break;
+              default: m.iushr(); break;
+            }
+            break;
+          }
+          case 6:
+          case 7: {  // div/rem: INT32_MIN/-1 wrap, divide-by-zero
+            genExpr(m, depth - 1);
+            if (chance(50)) {
+                // Divisor forced nonzero: expr | 1.
+                genExpr(m, depth - 1);
+                m.iconst(1).ior();
+            } else {
+                // Raw edge divisor: 0 raises Arithmetic, -1 wraps.
+                m.iconst(edgeInt());
+            }
+            if (chance(50))
+                m.idiv();
+            else
+                m.irem();
+            break;
+          }
+          case 8: {  // float round-trip with saturation
+            genExpr(m, depth - 1);
+            m.i2f();
+            m.fconst(kEdgeFloats[rng_.nextBounded(
+                std::size(kEdgeFloats))]);
+            switch (rng_.nextBounded(4)) {
+              case 0: m.fadd(); break;
+              case 1: m.fsub(); break;
+              case 2: m.fmul(); break;
+              default: m.fdiv(); break;  // /0.0f -> inf -> saturate
+            }
+            m.f2i();
+            break;
+          }
+          default: {  // float compare
+            genExpr(m, depth - 1);
+            m.i2f();
+            m.fconst(kEdgeFloats[rng_.nextBounded(
+                std::size(kEdgeFloats))]);
+            m.fcmpl();
+            break;
+          }
+        }
+    }
+
+    // --- kernel shapes -------------------------------------------------
+
+    /** Common prologue: init the int scratch slots. */
+    void initSlots(MethodBuilder &m)
+    {
+        m.locals(6);
+        m.iconst(anyConst()).istore(kAcc);
+        m.iconst(0).istore(kIdx);
+        m.iconst(anyConst()).istore(kTmp);
+    }
+
+    void buildKernel(MethodBuilder &m, std::uint32_t index)
+    {
+        initSlots(m);
+        switch (rng_.nextBounded(index == 0 ? 5 : 6)) {
+          case 0: shapeArith(m); break;
+          case 1: shapeLoop(m); break;
+          case 2: shapeArray(m); break;
+          case 3: shapeThrow(m); break;
+          case 4: shapeVirtual(m); break;
+          default: shapeCall(m, index); break;  // calls k_j, j < index
+        }
+    }
+
+    /** Straight-line statements, then return an expression. */
+    void shapeArith(MethodBuilder &m)
+    {
+        const std::uint32_t stmts = 2 + rng_.nextBounded(4);
+        for (std::uint32_t s = 0; s < stmts; ++s) {
+            genExpr(m, opts_.maxExprDepth);
+            m.istore(static_cast<std::uint8_t>(
+                kAcc + rng_.nextBounded(3)));
+        }
+        genExpr(m, opts_.maxExprDepth);
+        maybePrintAndReturn(m);
+    }
+
+    /** Constant-trip accumulator loop. */
+    void shapeLoop(MethodBuilder &m)
+    {
+        const std::int32_t trip = static_cast<std::int32_t>(
+            4 + rng_.nextBounded(opts_.maxLoopTrip));
+        const std::int8_t step =
+            static_cast<std::int8_t>(1 + rng_.nextBounded(3));
+        const Label head = m.newLabel();
+        const Label exit = m.newLabel();
+        m.iconst(0).istore(kIdx);
+        m.bind(head);
+        m.iload(kIdx).iconst(trip).ifIcmpge(exit);
+        m.iload(kAcc);
+        genExpr(m, opts_.maxExprDepth > 1 ? opts_.maxExprDepth - 1 : 1);
+        if (chance(50))
+            m.ixor();
+        else
+            m.iadd();
+        m.istore(kAcc);
+        m.iinc(kIdx, step);
+        m.gotoL(head);
+        m.bind(exit);
+        m.iload(kAcc);
+        maybePrintAndReturn(m);
+    }
+
+    /** Array fill + optional arraycopy + optional wild read + checksum. */
+    void shapeArray(MethodBuilder &m)
+    {
+        const std::int32_t len =
+            static_cast<std::int32_t>(4 + rng_.nextBounded(17));
+        const std::uint32_t kindSel = rng_.nextBounded(3);
+        const ArrayKind kind = kindSel == 0
+            ? ArrayKind::Int
+            : (kindSel == 1 ? ArrayKind::Char : ArrayKind::Byte);
+        auto emitStore = [&] {
+            if (kind == ArrayKind::Int)
+                m.iastore();
+            else if (kind == ArrayKind::Char)
+                m.castore();
+            else
+                m.bastore();
+        };
+        auto emitLoad = [&] {
+            if (kind == ArrayKind::Int)
+                m.iaload();
+            else if (kind == ArrayKind::Char)
+                m.caload();
+            else
+                m.baload();
+        };
+
+        m.iconst(len).newArray(kind).astore(kRef);
+
+        // Fill: a[i] = expr(i, arg).
+        {
+            const Label head = m.newLabel();
+            const Label exit = m.newLabel();
+            m.iconst(0).istore(kIdx);
+            m.bind(head);
+            m.iload(kIdx).iconst(len).ifIcmpge(exit);
+            m.aload(kRef).iload(kIdx);
+            genExpr(m, 2);
+            emitStore();
+            m.iinc(kIdx, 1);
+            m.gotoL(head);
+            m.bind(exit);
+        }
+
+        // Arraycopy within the array; ranges are usually valid, and
+        // sometimes the INT32_MAX-adjacent positions whose `pos + len`
+        // wraps negative (the arrayCopy bounds-check regression).
+        if (chance(60)) {
+            std::int32_t sp;
+            std::int32_t dp;
+            std::int32_t cl;
+            if (chance(70)) {
+                sp = rng_.nextInRange(0, len / 2);
+                dp = rng_.nextInRange(0, len / 2);
+                cl = rng_.nextInRange(0, len / 2);
+            } else {
+                const std::int32_t wild[] = {len,      len + 1,
+                                             -1,       INT32_MAX,
+                                             INT32_MAX - 1, INT32_MIN};
+                sp = wild[rng_.nextBounded(std::size(wild))];
+                dp = rng_.nextInRange(0, len / 2);
+                cl = rng_.nextInRange(1, 4);
+            }
+            m.aload(kRef).iconst(sp).aload(kRef).iconst(dp).iconst(cl)
+                .intrinsic(IntrinsicId::ArrayCopy);
+        }
+
+        // Wild read: an edge index may raise ArrayIndexOutOfBounds.
+        if (chance(40)) {
+            const std::int32_t idx = chance(50)
+                ? rng_.nextInRange(0, len - 1)
+                : edgeInt();
+            m.aload(kRef).iconst(idx);
+            emitLoad();
+            m.istore(kTmp);
+        }
+
+        // Checksum: acc = acc * 31 + a[i].
+        {
+            const Label head = m.newLabel();
+            const Label exit = m.newLabel();
+            m.iconst(0).istore(kIdx);
+            m.bind(head);
+            m.iload(kIdx).iconst(len).ifIcmpge(exit);
+            m.iload(kAcc).iconst(31).imul();
+            m.aload(kRef).iload(kIdx);
+            emitLoad();
+            m.iadd().istore(kAcc);
+            m.iinc(kIdx, 1);
+            m.gotoL(head);
+            m.bind(exit);
+        }
+        m.iload(kAcc).iload(kTmp).ixor();
+        maybePrintAndReturn(m);
+    }
+
+    /** Conditionally throw Ex0/Ex1 (with a code field), else compute. */
+    void shapeThrow(MethodBuilder &m)
+    {
+        const Label noThrow = m.newLabel();
+        const std::int32_t mask =
+            static_cast<std::int32_t>(1 + rng_.nextBounded(7));
+        genExpr(m, 2);
+        m.iconst(mask).iand().ifne(noThrow);
+        const bool sub = chance(50);
+        m.newObject(sub ? "Ex1" : "Ex0");
+        m.dup();
+        genExpr(m, 2);
+        m.putFieldI("Ex0.code");
+        m.athrow();
+        m.bind(noThrow);
+        genExpr(m, opts_.maxExprDepth);
+        maybePrintAndReturn(m);
+    }
+
+    /** Virtual dispatch on a runtime-chosen receiver (A or B). */
+    void shapeVirtual(MethodBuilder &m)
+    {
+        const Label useB = m.newLabel();
+        const Label call = m.newLabel();
+        genExpr(m, 2);
+        m.iconst(1).iand().ifne(useB);
+        m.newObject("A").astore(kRef).gotoL(call);
+        m.bind(useB);
+        m.newObject("B").astore(kRef);
+        m.bind(call);
+        // Seed the receiver's salt field, then dispatch.
+        m.aload(kRef).iconst(anyConst()).putFieldI("A.salt");
+        m.aload(kRef);
+        genExpr(m, 2);
+        m.invokeVirtual("A.f");
+        maybePrintAndReturn(m);
+    }
+
+    /** Call one or two earlier kernels; maybe catch their throws. */
+    void shapeCall(MethodBuilder &m, std::uint32_t index)
+    {
+        const std::uint32_t calls = 1 + rng_.nextBounded(2);
+        for (std::uint32_t c = 0; c < calls; ++c) {
+            const std::uint32_t target = rng_.nextBounded(index);
+            const bool guarded = chance(60);
+            const bool catchEx0 = guarded && chance(40);
+            if (guarded) {
+                const Label tryStart = m.newLabel();
+                const Label tryEnd = m.newLabel();
+                const Label handler = m.newLabel();
+                const Label merge = m.newLabel();
+                m.bind(tryStart);
+                m.iload(kArg).iconst(anyConst()).ixor();
+                m.invokeStatic("G.k" + std::to_string(target));
+                m.istore(kTmp);
+                m.bind(tryEnd);
+                m.gotoL(merge);
+                m.bind(handler);
+                if (catchEx0) {
+                    // Typed catch: recover the thrown code field.
+                    m.astore(kExc);
+                    m.aload(kExc).getFieldI("Ex0.code").istore(kTmp);
+                } else {
+                    m.astore(kExc);
+                    m.iconst(anyConst()).istore(kTmp);
+                }
+                m.bind(merge);
+                m.addHandler(tryStart, tryEnd, handler,
+                             catchEx0 ? "Ex0" : "");
+            } else {
+                m.iload(kArg).iconst(anyConst()).ixor();
+                m.invokeStatic("G.k" + std::to_string(target));
+                m.istore(kTmp);
+            }
+            m.iload(kAcc).iconst(31).imul().iload(kTmp).iadd()
+                .istore(kAcc);
+        }
+        m.iload(kAcc);
+        maybePrintAndReturn(m);
+    }
+
+    /** Print the result (sometimes) and return it. */
+    void maybePrintAndReturn(MethodBuilder &m)
+    {
+        if (chance(25))
+            m.dup().intrinsic(IntrinsicId::PrintInt);
+        m.ireturn();
+    }
+
+    // --- entry ---------------------------------------------------------
+
+    void buildEntry(ProgramBuilder &pb)
+    {
+        ClassBuilder &main = pb.cls("Main");
+        MethodBuilder &m =
+            main.staticMethod("run", {VType::Int}, VType::Int);
+        // 0=arg 1=acc 2=tmp (int), 3=caught exception (ref).
+        m.locals(4);
+        m.iconst(anyConst()).istore(1);
+        for (std::uint32_t i = 0; i < numKernels_; ++i) {
+            // Draw the per-kernel randomness unconditionally so the
+            // surviving calls are identical under any mask.
+            const std::int32_t salt = anyConst();
+            const std::int32_t handlerValue = anyConst();
+            const bool guarded = chance(70);
+            if ((mask_ & (std::uint64_t{1} << i)) == 0)
+                continue;
+            if (guarded) {
+                const Label tryStart = m.newLabel();
+                const Label tryEnd = m.newLabel();
+                const Label handler = m.newLabel();
+                const Label merge = m.newLabel();
+                m.bind(tryStart);
+                m.iload(0).iconst(salt).ixor();
+                m.invokeStatic("G.k" + std::to_string(i));
+                m.istore(2);
+                m.bind(tryEnd);
+                m.gotoL(merge);
+                m.bind(handler);
+                m.astore(3);
+                m.iconst(handlerValue).istore(2);
+                m.bind(merge);
+                m.addHandler(tryStart, tryEnd, handler, "");
+            } else {
+                m.iload(0).iconst(salt).ixor();
+                m.invokeStatic("G.k" + std::to_string(i));
+                m.istore(2);
+            }
+            m.iload(1).iconst(31).imul().iload(2).iadd().istore(1);
+        }
+        m.iload(1).intrinsic(IntrinsicId::PrintInt);
+        m.iload(1).ireturn();
+    }
+
+    XorShift64 rng_;
+    const GenOptions opts_;
+    const std::uint64_t mask_;
+    const std::uint32_t numKernels_;
+};
+
+} // namespace
+
+Program
+generateProgram(std::uint64_t seed, const GenOptions &opts,
+                std::uint64_t active_mask)
+{
+    Generator gen(seed, opts, active_mask);
+    return gen.build();
+}
+
+} // namespace jrs::check

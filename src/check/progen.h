@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Seeded, deterministic bytecode program generator.
+ *
+ * Produces verifier-valid programs that stress exactly the paths where
+ * an interpreter and a JIT can silently disagree: arithmetic edge
+ * cases (INT32_MIN div/rem -1, shift-amount masking, overflow wrap,
+ * float-to-int saturation), array allocation/fill/bounds/arraycopy,
+ * exception throw/catch/rethrow across frames, and static, special and
+ * virtual invokes. Programs are generated structurally (through the
+ * assembler, never as raw bytes), so every one passes the verifier by
+ * construction, terminates (loops have constant trip counts and
+ * positive increments), and is single-threaded (digests compare
+ * exactly).
+ *
+ * Layout: kernels G.k0..G.k{n-1}, each `static (int) -> int`, built
+ * from a seed-chosen shape; an entry `Main.run(int)` that calls every
+ * kernel whose bit is set in @p active_mask with a salted argument,
+ * folds the results (some calls wrapped in try/catch, some not — so
+ * guest exceptions exercise both caught and uncaught paths), prints
+ * and returns the accumulator. The mask only filters entry calls —
+ * kernel code is identical for every mask value of the same seed,
+ * which is what makes divergence minimization (bisecting the mask)
+ * sound.
+ */
+#ifndef JRS_CHECK_PROGEN_H
+#define JRS_CHECK_PROGEN_H
+
+#include <cstdint>
+
+#include "vm/bytecode/class_def.h"
+
+namespace jrs::check {
+
+/** Generator size knobs. */
+struct GenOptions {
+    /** Kernel methods (1..64; entry mask is a 64-bit word). */
+    std::uint32_t numKernels = 8;
+    /** Maximum expression-tree depth. */
+    std::uint32_t maxExprDepth = 4;
+    /** Maximum constant loop trip count. */
+    std::uint32_t maxLoopTrip = 24;
+};
+
+/** All-kernels-active mask. */
+inline constexpr std::uint64_t kAllKernels = ~std::uint64_t{0};
+
+/**
+ * Generate the program for @p seed. Throws AssemblerError/VerifyError
+ * only on a generator bug — callers treat that as a test failure, not
+ * an expected outcome.
+ */
+Program generateProgram(std::uint64_t seed, const GenOptions &opts,
+                        std::uint64_t active_mask = kAllKernels);
+
+} // namespace jrs::check
+
+#endif // JRS_CHECK_PROGEN_H

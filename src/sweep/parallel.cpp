@@ -1,0 +1,75 @@
+#include "sweep/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace jrs::sweep {
+
+unsigned
+resolveJobs(unsigned requested, std::size_t num_tasks)
+{
+    unsigned jobs = requested != 0 ? requested
+                                   : std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    if (num_tasks < jobs)
+        jobs = num_tasks != 0 ? static_cast<unsigned>(num_tasks) : 1;
+    return jobs;
+}
+
+void
+parallelForEach(
+    unsigned jobs, std::size_t num_tasks,
+    const std::function<void(std::size_t, std::size_t)> &fn,
+    const char *lane_prefix)
+{
+    if (num_tasks == 0)
+        return;
+
+    if (jobs <= 1) {
+        if (obs::enabled())
+            obs::tracer().nameCurrentLane(std::string(lane_prefix) + "0");
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errorMu;
+    std::exception_ptr firstError;
+    auto worker = [&](std::size_t lane) {
+        if (obs::enabled())
+            obs::tracer().nameCurrentLane(lane_prefix
+                                          + std::to_string(lane));
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= num_tasks)
+                return;
+            try {
+                fn(i, lane);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker, static_cast<std::size_t>(t));
+    for (std::thread &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace jrs::sweep

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The sweep engine's worker pool, exposed as a reusable primitive.
+ *
+ * SweepEngine::run and jrs::check's fuzz campaigns share the same
+ * execution shape: N independent tasks, a fixed-size thread pool, an
+ * atomic work queue, and obs lanes named per worker. This header
+ * extracts that shape so both use one implementation.
+ *
+ * Fault isolation contract: tasks are expected to catch their own
+ * failures and record them in their result slot (that is what makes
+ * per-point / per-seed isolation work). If a task does escape with an
+ * exception anyway, the pool captures the first one and rethrows it on
+ * the calling thread after all workers have drained — never
+ * std::terminate.
+ */
+#ifndef JRS_SWEEP_PARALLEL_H
+#define JRS_SWEEP_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace jrs::sweep {
+
+/**
+ * Resolve a --jobs style request: 0 means hardware concurrency, and
+ * the answer is clamped to [1, num_tasks] (min 1 even for no tasks).
+ */
+unsigned resolveJobs(unsigned requested, std::size_t num_tasks);
+
+/**
+ * Run @p fn(task, lane) for every task index in [0, num_tasks) on
+ * @p jobs worker threads (call resolveJobs first). Tasks are handed
+ * out through an atomic cursor in index order; with jobs <= 1
+ * everything runs inline on the calling thread. Each worker names its
+ * obs lane "<lane_prefix><lane>" when observability is enabled.
+ */
+void parallelForEach(
+    unsigned jobs, std::size_t num_tasks,
+    const std::function<void(std::size_t task, std::size_t lane)> &fn,
+    const char *lane_prefix = "sweep-worker-");
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_PARALLEL_H

@@ -10,6 +10,7 @@
 
 #include "obs/obs.h"
 #include "support/statistics.h"
+#include "sweep/parallel.h"
 #include "vm/runtime/vm_error.h"
 
 namespace jrs::sweep {
@@ -435,47 +436,19 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
         finishGroup(members);
     };
 
-    unsigned jobs = options_.jobs != 0
-        ? options_.jobs
-        : std::thread::hardware_concurrency();
-    if (jobs == 0)
-        jobs = 1;
-    const std::size_t workers =
-        std::min<std::size_t>(jobs, groups.size());
+    const unsigned workers = resolveJobs(options_.jobs, groups.size());
 
     if (obs::enabled())
         obs::metrics()
             .gauge("sweep.queue_depth")
             .set(static_cast<double>(groups.size()));
 
-    if (workers <= 1) {
-        if (obs::enabled())
-            obs::tracer().nameCurrentLane("sweep-worker-0");
-        for (const auto &members : groups)
-            runGroup(members);
-    } else {
-        std::atomic<std::size_t> next{0};
-        auto worker = [&](std::size_t lane) {
-            if (obs::enabled())
-                obs::tracer().nameCurrentLane(
-                    "sweep-worker-" + std::to_string(lane));
-            for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= groups.size())
-                    return;
-                runGroup(groups[i]);
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t t = 0; t < workers; ++t)
-            pool.emplace_back(worker, t);
-        for (std::thread &t : pool)
-            t.join();
-    }
+    parallelForEach(workers, groups.size(),
+                    [&](std::size_t i, std::size_t) {
+                        runGroup(groups[i]);
+                    });
 
-    result.jobs = static_cast<unsigned>(workers);
+    result.jobs = workers;
     result.wallSeconds = secondsSince(t0);
     const TraceCache::Stats after = cache_->stats();
     result.traces.recordings = after.recordings - before.recordings;

@@ -217,6 +217,37 @@ ExecutionEngine::unwind(VmThread &thread, SimAddr exception,
                         const char *name)
 {
     const ClassId ex_cls = heap_->klassOf(exception);
+
+    // Digest hook: record (exception class, faulting method, faulting
+    // bytecode pc) into an order-sensitive hash. Native frames map
+    // their instruction index back to the owning bytecode via bc2n so
+    // interp and JIT runs of the same program record identical chains.
+    if (!thread.frames.empty()) {
+        MethodId fault_method = 0;
+        std::uint32_t fault_pc = 0;
+        const Activation &top = thread.frames.back();
+        if (const auto *f = std::get_if<InterpFrame>(&top)) {
+            fault_method = f->method->id;
+            fault_pc = f->pc;
+        } else {
+            const auto &nf = std::get<NativeFrame>(top);
+            fault_method = nf.nm->id;
+            for (std::size_t pc = 0; pc < nf.nm->bc2n.size(); ++pc) {
+                const std::int32_t n = nf.nm->bc2n[pc];
+                if (n >= 0 && static_cast<std::uint32_t>(n) <= nf.ip)
+                    fault_pc = static_cast<std::uint32_t>(pc);
+            }
+        }
+        auto mix = [this](std::uint64_t v) {
+            throwChainHash_ ^= v;
+            throwChainHash_ *= 1099511628211ull;
+        };
+        mix(ex_cls);
+        mix(fault_method);
+        mix(fault_pc);
+    }
+    ++guestThrows_;
+
     auto matches = [&](ClassId catch_type) {
         if (catch_type == kNoClass)
             return true;  // catch-all
@@ -541,6 +572,10 @@ ExecutionEngine::run(std::int32_t arg)
     result.bytecodeCounts.assign(interp_->opCounts().begin(),
                                  interp_->opCounts().end());
     result.callsDevirtualized = translator_->callsDevirtualized();
+    result.threadsSpawned =
+        static_cast<std::uint32_t>(threads_.size()) - 1;
+    result.guestThrows = guestThrows_;
+    result.throwChainHash = throwChainHash_;
     result.profiles = profiles_;
     result.lockStats = sync_->stats();
 

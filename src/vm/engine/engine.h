@@ -124,6 +124,19 @@ struct RunResult {
     /** Dynamic bytecode counts per opcode (interpreted steps only). */
     std::vector<std::uint64_t> bytecodeCounts;
 
+    /** Threads spawned beyond the main thread. */
+    std::uint32_t threadsSpawned = 0;
+    /** Guest exceptions that reached the unwinder (caught or not). */
+    std::uint64_t guestThrows = 0;
+    /**
+     * Order-sensitive FNV-1a hash over every guest throw: exception
+     * class id, faulting method id, and faulting *bytecode* pc (native
+     * frames are mapped back through bc2n so interpreted and compiled
+     * runs of the same program hash identically). jrs::check compares
+     * this across execution modes.
+     */
+    std::uint64_t throwChainHash = 14695981039346656037ull;
+
     ProfileTable profiles;
     LockStats lockStats;
     MemoryFootprint memory;
@@ -200,6 +213,8 @@ class ExecutionEngine : public EngineServices {
     ProfileTable profiles_;
     std::set<MethodId> uncompilable_;
     std::uint64_t translateEventsThisStep_ = 0;
+    std::uint64_t guestThrows_ = 0;
+    std::uint64_t throwChainHash_ = 14695981039346656037ull;
     std::int32_t mainExitValue_ = 0;
     std::uint64_t osrTransitions_ = 0;
     bool mainHasExit_ = false;

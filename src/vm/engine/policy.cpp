@@ -15,11 +15,20 @@ std::vector<bool>
 computeOracleDecisions(const ProfileTable &interp_run,
                        const ProfileTable &jit_run)
 {
-    const std::size_t n = std::min(interp_run.size(), jit_run.size());
+    // Size to the LARGER table: the two profiling runs may have grown
+    // their tables to different lengths (a method invoked in only one
+    // mode, e.g. behind a mode-dependent path), and truncating to the
+    // smaller one silently removed those methods from consideration.
+    // A method missing from a table simply has zero cost there.
+    static const MethodProfile kEmpty{};
+    const std::size_t n = std::max(interp_run.size(), jit_run.size());
     std::vector<bool> compile(n, false);
     for (std::size_t i = 0; i < n; ++i) {
-        const MethodProfile &ip = interp_run.of(static_cast<MethodId>(i));
-        const MethodProfile &jp = jit_run.of(static_cast<MethodId>(i));
+        const MethodId id = static_cast<MethodId>(i);
+        const MethodProfile &ip =
+            i < interp_run.size() ? interp_run.of(id) : kEmpty;
+        const MethodProfile &jp =
+            i < jit_run.size() ? jit_run.of(id) : kEmpty;
         if (ip.invocations == 0) {
             // Never executed while interpreting: compiling cannot pay off.
             compile[i] = false;

@@ -150,4 +150,15 @@ Heap::validRef(SimAddr addr) const
     return addr >= seg::kHeap + 16 && addr < seg::kHeap + cursor_;
 }
 
+std::uint64_t
+Heap::contentHash() const
+{
+    std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+    for (std::size_t i = 0; i < cursor_; ++i) {
+        h ^= storage_[i];
+        h *= 1099511628211ull;  // FNV prime
+    }
+    return h;
+}
+
 } // namespace jrs

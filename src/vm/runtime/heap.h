@@ -107,6 +107,14 @@ class Heap {
     /** True when @p addr lies within the allocated part of the arena. */
     bool validRef(SimAddr addr) const;
 
+    /**
+     * FNV-1a hash of the allocated part of the arena. The allocator is
+     * a deterministic bump pointer, so two runs that perform the same
+     * allocations and stores in the same order produce the same hash —
+     * the heap component of jrs::check's VmStateDigest.
+     */
+    std::uint64_t contentHash() const;
+
   private:
     std::size_t offsetOf(SimAddr addr) const;
     SimAddr bump(std::size_t bytes);

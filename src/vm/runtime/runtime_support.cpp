@@ -77,9 +77,12 @@ RuntimeSupport::arrayCopy(SimAddr src, std::int32_t src_pos, SimAddr dst,
 {
     if (src == 0 || dst == 0)
         throwBuiltin(BuiltinEx::NullPointer);
+    // Written as `len > length - pos` (never `pos + len > length`):
+    // with pos near INT32_MAX the sum wraps negative and would slip
+    // past the bound; the subtraction stays in range because pos >= 0.
     if (len < 0 || src_pos < 0 || dst_pos < 0
-        || src_pos + len > heap_.arrayLength(src)
-        || dst_pos + len > heap_.arrayLength(dst)
+        || len > heap_.arrayLength(src) - src_pos
+        || len > heap_.arrayLength(dst) - dst_pos
         || heap_.arrayKindOf(src) != heap_.arrayKindOf(dst)) {
         throwBuiltin(BuiltinEx::ArrayIndexOutOfBounds);
     }
