@@ -15,6 +15,15 @@
  *       invariants + event-conservation against the run's own
  *       counters). --arg 0 (default) uses each workload's tinyArg.
  *
+ *       --collector C    run under collector C: nogc (default),
+ *                        marksweep, copying, or all — `all` runs
+ *                        every collector AND demands that the
+ *                        reachable-heap digests agree across them
+ *       --heap-bytes N   heap capacity (k/m/g suffixes OK)
+ *       --gc-every N     collect every N allocations; defaults to 64
+ *                        when a collector is on and no trigger given
+ *       --gc-budget N    collect every N allocated bytes
+ *
  *   jrs_check lint-trace <file.jrstrace> [--no-sidecars]
  *   jrs_check lint-trace --cache-dir DIR
  *       Validate on-disk JRSTRACE streams; with sidecar checking
@@ -32,6 +41,7 @@
 #include "check/differential.h"
 #include "check/fuzz.h"
 #include "check/invariants.h"
+#include "obs/cli.h"
 #include "vm/engine/engine.h"
 
 using namespace jrs;
@@ -48,6 +58,9 @@ usage(const char *msg = nullptr)
            " [--kernels K] [--arg A]\n"
            "       jrs_check diff --all-workloads\n"
            "       jrs_check diff <workload> [--arg N]\n"
+           "                 [--collector nogc|marksweep|copying|all]\n"
+           "                 [--heap-bytes N] [--gc-every N]"
+           " [--gc-budget N]\n"
            "       jrs_check lint-trace <file.jrstrace> [--no-sidecars]\n"
            "       jrs_check lint-trace --cache-dir DIR\n";
     std::exit(2);
@@ -69,10 +82,16 @@ parseU64(const std::string &v, const char *what)
  * when everything holds.
  */
 bool
-checkOneWorkload(const WorkloadInfo &info, std::int32_t arg)
+checkOneWorkload(const WorkloadInfo &info, std::int32_t arg,
+                 const gc::GcOptions &gcOpts, std::size_t heapBytes,
+                 check::VmStateDigest *refOut = nullptr)
 {
     check::DifferentialRunner runner;
+    runner.gc = gcOpts;
+    runner.heapBytes = heapBytes;
     const check::DiffResult r = runner.checkWorkload(info, arg);
+    if (refOut != nullptr)
+        *refOut = r.reference;
     if (!r.agreed) {
         std::cout << r.report;
         return false;
@@ -83,7 +102,8 @@ checkOneWorkload(const WorkloadInfo &info, std::int32_t arg)
          {check::DiffMode::Interp, check::DiffMode::Jit}) {
         const Program prog = info.build();
         check::TraceInvariantChecker checker;
-        EngineConfig cfg = check::makeDiffConfig(mode);
+        EngineConfig cfg = check::makeDiffConfig(mode, gcOpts,
+                                                 heapBytes);
         cfg.sink = &checker;
         ExecutionEngine engine(prog, cfg);
         const RunResult res =
@@ -96,15 +116,68 @@ checkOneWorkload(const WorkloadInfo &info, std::int32_t arg)
             err = check::checkProfileConservation(res);
         if (!err.empty()) {
             std::cout << info.name << " ["
-                      << check::diffModeName(mode)
+                      << check::diffModeName(mode) << "/"
+                      << gc::collectorName(gcOpts.collector)
                       << "] trace invariants FAILED:\n"
                       << err << "\n";
             ok = false;
         }
     }
     if (ok) {
-        std::cout << info.name << ": ok (" << r.reference.str()
-                  << ")\n";
+        std::cout << info.name << " ["
+                  << gc::collectorName(gcOpts.collector) << "]: ok ("
+                  << r.reference.str() << ")\n";
+    }
+    return ok;
+}
+
+/**
+ * The collector configurations `--collector all` runs: each real
+ * collector gets the stress trigger so collections actually happen
+ * on the tiny diff inputs.
+ */
+gc::GcOptions
+collectorConfig(gc::CollectorKind kind, gc::GcOptions base)
+{
+    base.collector = kind;
+    if (kind != gc::CollectorKind::None && base.budgetBytes == 0
+        && base.everyNAllocs == 0) {
+        base.everyNAllocs = 64;
+    }
+    return base;
+}
+
+/**
+ * One workload under every collector: each must agree across the
+ * execution modes, and the reachable-heap digests must agree across
+ * the collectors themselves (nogc is the reference).
+ */
+bool
+checkWorkloadAllCollectors(const WorkloadInfo &info, std::int32_t arg,
+                           const gc::GcOptions &base,
+                           std::size_t heapBytes)
+{
+    bool ok = true;
+    check::VmStateDigest reference;
+    bool haveReference = false;
+    for (const gc::CollectorKind kind : gc::allCollectorKinds()) {
+        const gc::GcOptions opts = collectorConfig(kind, base);
+        check::VmStateDigest digest;
+        ok = checkOneWorkload(info, arg, opts, heapBytes, &digest)
+            && ok;
+        if (kind == gc::CollectorKind::None) {
+            reference = digest;
+            haveReference = true;
+            continue;
+        }
+        if (!haveReference)
+            continue;
+        const std::string diff = check::describeDigestDiff(
+            "nogc", reference, gc::collectorName(kind), digest);
+        if (!diff.empty()) {
+            std::cout << info.name << " cross-collector:\n" << diff;
+            ok = false;
+        }
     }
     return ok;
 }
@@ -155,6 +228,9 @@ cmdDiff(int argc, char **argv)
     std::string workload;
     std::int32_t arg = 0;
     bool all = false;
+    bool allCollectors = false;
+    gc::GcOptions gcOpts;
+    std::size_t heapBytes = kDefaultHeapBytes;
     for (int i = 0; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -167,6 +243,25 @@ cmdDiff(int argc, char **argv)
         } else if (a == "--arg") {
             arg = static_cast<std::int32_t>(
                 parseU64(next(), "--arg expects a number"));
+        } else if (a == "--collector") {
+            const std::string v = next();
+            if (v == "all") {
+                allCollectors = true;
+            } else if (!gc::parseCollector(v, &gcOpts.collector)) {
+                std::cerr << "error: unknown --collector '" << v
+                          << "' (expect nogc, marksweep, copying or"
+                             " all)\n";
+                return 2;
+            }
+        } else if (a == "--heap-bytes") {
+            heapBytes =
+                obs::GcCli::parseSize(next(), "--heap-bytes");
+        } else if (a == "--gc-every") {
+            gcOpts.everyNAllocs =
+                parseU64(next(), "--gc-every expects a number");
+        } else if (a == "--gc-budget") {
+            gcOpts.budgetBytes =
+                obs::GcCli::parseSize(next(), "--gc-budget");
         } else if (!a.empty() && a[0] != '-' && workload.empty()) {
             workload = a;
         } else {
@@ -175,16 +270,23 @@ cmdDiff(int argc, char **argv)
     }
     if (all == !workload.empty())
         usage("diff takes --all-workloads or one workload name");
+    if (!allCollectors)
+        gcOpts = collectorConfig(gcOpts.collector, gcOpts);
 
+    auto checkOne = [&](const WorkloadInfo &info) {
+        return allCollectors
+            ? checkWorkloadAllCollectors(info, arg, gcOpts, heapBytes)
+            : checkOneWorkload(info, arg, gcOpts, heapBytes);
+    };
     bool ok = true;
     if (all) {
         for (const WorkloadInfo &info : allWorkloads())
-            ok = checkOneWorkload(info, arg) && ok;
+            ok = checkOne(info) && ok;
     } else {
         const WorkloadInfo *info = findWorkload(workload);
         if (info == nullptr)
             usage("unknown workload");
-        ok = checkOneWorkload(*info, arg);
+        ok = checkOne(*info);
     }
     std::cout << (ok ? "diff: all modes agree\n"
                      : "diff: DIVERGENCE\n");

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * jrs_gc — run a workload under a collector and report what the GC
+ * did: collection counts, reclaim/copy volume, pause-time histogram
+ * (in emitted collector instructions, the simulator's time unit),
+ * and the cross-collector end-state comparison.
+ *
+ *   jrs_gc stats <workload> [options]    one run, GcStats summary
+ *   jrs_gc pauses <workload> [options]   per-collection pause table
+ *   jrs_gc compare <workload> [options]  nogc vs marksweep vs copying
+ *
+ *   --mode interp|jit|hybrid   execution mode (default: jit)
+ *   --arg N                    workload argument (default: smallArg)
+ *   --tiny                     use the workload's tinyArg instead
+ *   --collector C              nogc | marksweep | copying
+ *                              (stats/pauses; default marksweep)
+ *   --heap-bytes N             heap capacity (k/m/g suffixes OK)
+ *   --gc-budget N              collect every N allocated bytes
+ *   --gc-every N               collect every N allocations; stats and
+ *                              pauses default to 64 when the chosen
+ *                              collector has no trigger configured,
+ *                              so tiny inputs still collect
+ *
+ * compare runs all three collectors under identical triggers and
+ * demands that exit value, allocation counts and the reachable-heap
+ * digest agree bit-for-bit — the collectors may only reshuffle dead
+ * bytes, never change what the program computed.
+ *
+ * Unknown --collector values and malformed sizes exit 2.
+ *
+ * Examples:
+ *   jrs_gc stats compress --collector marksweep --gc-every 64
+ *   jrs_gc pauses javac --collector copying --heap-bytes 8m
+ *   jrs_gc compare db --gc-every 32
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gc/config.h"
+#include "obs/cli.h"
+#include "support/statistics.h"
+#include "support/table.h"
+#include "vm/engine/engine.h"
+#include "vm/engine/policy.h"
+#include "workloads/workload.h"
+
+using namespace jrs;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg != nullptr)
+        std::cerr << "error: " << msg << "\n\n";
+    std::cerr << "usage: jrs_gc <stats|pauses|compare> <workload>"
+                 " [--mode interp|jit|hybrid] [--arg N] [--tiny]"
+              << obs::GcCli::usageText() << obs::ObsCli::usageText()
+              << "\n\nworkloads:\n";
+    for (const WorkloadInfo &w : allWorkloads())
+        std::cerr << "  " << w.name << " — " << w.description << '\n';
+    std::exit(2);
+}
+
+std::shared_ptr<CompilationPolicy>
+parseMode(const std::string &mode)
+{
+    if (mode == "interp")
+        return std::make_shared<NeverCompilePolicy>();
+    if (mode == "jit")
+        return std::make_shared<AlwaysCompilePolicy>();
+    if (mode == "hybrid")
+        return std::make_shared<CounterPolicy>(8);
+    usage("unknown --mode (expect interp, jit, or hybrid)");
+}
+
+/** One run under @p gcOpts; throws VmError when it does not finish. */
+struct GcRun {
+    RunResult result;
+    std::uint64_t liveHash = 0;
+};
+
+GcRun
+runOnce(const WorkloadInfo &w, std::int32_t arg,
+        const std::string &mode, const gc::GcOptions &gcOpts,
+        std::size_t heapBytes)
+{
+    const Program prog = w.build();
+    EngineConfig cfg;
+    cfg.policy = parseMode(mode);
+    cfg.gc = gcOpts;
+    cfg.heapBytes = heapBytes;
+    ExecutionEngine engine(prog, cfg);
+    GcRun out;
+    out.result = engine.run(arg);
+    if (!out.result.completed) {
+        std::cerr << w.name << " did not complete: "
+                  << (out.result.uncaughtException != nullptr
+                          ? out.result.uncaughtException
+                          : "unknown")
+                  << '\n';
+        std::exit(1);
+    }
+    out.liveHash = engine.liveHeapHash();
+    return out;
+}
+
+/** Give the chosen collector a trigger that fires on tiny inputs. */
+gc::GcOptions
+withDefaultTrigger(gc::GcOptions opts)
+{
+    if (opts.collector != gc::CollectorKind::None
+        && opts.budgetBytes == 0 && opts.everyNAllocs == 0) {
+        opts.everyNAllocs = 64;
+    }
+    return opts;
+}
+
+void
+printStats(const gc::GcStats &s, std::uint64_t totalEvents)
+{
+    Table t({"stat", "value"});
+    t.addRow({"collections", std::to_string(s.collections)});
+    t.addRow({"collector events", withCommas(s.gcEvents)});
+    t.addRow({"collector share",
+              fixed(percent(s.gcEvents, totalEvents), 2) + " %"});
+    t.addRow({"bytes freed (marksweep)", withCommas(s.bytesFreed)});
+    t.addRow({"bytes copied (copying)", withCommas(s.bytesCopied)});
+    t.addRow({"live bytes after last GC",
+              withCommas(s.liveBytesLast)});
+    t.addRow({"live objects after last GC",
+              std::to_string(s.liveObjectsLast)});
+    t.addRow({"roots at last GC", std::to_string(s.rootsLast)});
+    t.print(std::cout);
+}
+
+int
+cmdStats(const WorkloadInfo &w, std::int32_t arg,
+         const std::string &mode, const obs::GcCli &gcCli)
+{
+    const gc::GcOptions opts = withDefaultTrigger(gcCli.gc);
+    const GcRun run =
+        runOnce(w, arg, mode, opts, gcCli.heapBytes);
+    std::cout << w.name << " --mode " << mode << " --arg " << arg
+              << " [" << gc::collectorName(opts.collector)
+              << "]: exit=" << run.result.exitValue << ", "
+              << withCommas(run.result.totalEvents) << " events\n\n";
+    printStats(run.result.gcStats, run.result.totalEvents);
+    return 0;
+}
+
+int
+cmdPauses(const WorkloadInfo &w, std::int32_t arg,
+          const std::string &mode, const obs::GcCli &gcCli)
+{
+    const gc::GcOptions opts = withDefaultTrigger(gcCli.gc);
+    const GcRun run =
+        runOnce(w, arg, mode, opts, gcCli.heapBytes);
+    const std::vector<std::uint64_t> &pauses =
+        run.result.gcStats.pauseEvents;
+    std::cout << w.name << " --mode " << mode << " ["
+              << gc::collectorName(opts.collector) << "]: "
+              << pauses.size() << " collections\n";
+    if (pauses.empty())
+        return 0;
+
+    std::uint64_t lo = pauses[0], hi = pauses[0], sum = 0;
+    for (const std::uint64_t p : pauses) {
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+        sum += p;
+    }
+    std::cout << "pause events: min=" << lo << " mean="
+              << sum / pauses.size() << " max=" << hi << "\n\n";
+    Table t({"#", "pause (collector events)"});
+    for (std::size_t i = 0; i < pauses.size(); ++i) {
+        t.addRow({std::to_string(i + 1),
+                  withCommas(pauses[i])});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdCompare(const WorkloadInfo &w, std::int32_t arg,
+           const std::string &mode, const obs::GcCli &gcCli)
+{
+    // Identical triggers for every collector; nogc ignores them.
+    const gc::GcOptions base = withDefaultTrigger([&] {
+        gc::GcOptions o = gcCli.gc;
+        o.collector = gc::CollectorKind::MarkSweep;
+        return o;
+    }());
+
+    Table t({"collector", "exit", "alloc bytes", "collections",
+             "gc events", "live hash"});
+    bool ok = true;
+    std::int32_t refExit = 0;
+    std::size_t refAllocs = 0;
+    std::uint64_t refHash = 0;
+    bool first = true;
+    for (const gc::CollectorKind kind : gc::allCollectorKinds()) {
+        gc::GcOptions opts = base;
+        opts.collector = kind;
+        const GcRun run =
+            runOnce(w, arg, mode, opts, gcCli.heapBytes);
+        const gc::GcStats &s = run.result.gcStats;
+        char hash[32];
+        std::snprintf(hash, sizeof hash, "%016llx",
+                      static_cast<unsigned long long>(run.liveHash));
+        t.addRow({gc::collectorName(kind),
+                  std::to_string(run.result.exitValue),
+                  withCommas(run.result.memory.heapBytes),
+                  std::to_string(s.collections),
+                  withCommas(s.gcEvents), hash});
+        if (first) {
+            refExit = run.result.exitValue;
+            refAllocs = run.result.memory.heapBytes;
+            refHash = run.liveHash;
+            first = false;
+            continue;
+        }
+        if (run.result.exitValue != refExit
+            || run.result.memory.heapBytes != refAllocs
+            || run.liveHash != refHash) {
+            ok = false;
+        }
+    }
+    std::cout << w.name << " --mode " << mode << " --arg " << arg
+              << ":\n";
+    t.print(std::cout);
+    std::cout << "\ncollectors "
+              << (ok ? "agree (exit, allocation volume, reachable-heap"
+                       " digest all identical)"
+                     : "DIVERGE")
+              << '\n';
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    const std::string command = argv[1];
+    if (command != "stats" && command != "pauses"
+        && command != "compare") {
+        usage("unknown command (expect stats, pauses or compare)");
+    }
+    const WorkloadInfo *w = findWorkload(argv[2]);
+    if (w == nullptr)
+        usage("unknown workload");
+
+    std::string mode = "jit";
+    std::int32_t arg = w->smallArg;
+    obs::ObsCli cli;
+    obs::GcCli gcCli;
+    gcCli.gc.collector = gc::CollectorKind::MarkSweep;
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("missing value");
+            return argv[++i];
+        };
+        if (a == "--mode") {
+            mode = next();
+        } else if (a == "--arg") {
+            const std::string v = next();
+            char *end = nullptr;
+            arg = static_cast<std::int32_t>(
+                std::strtol(v.c_str(), &end, 10));
+            if (end == v.c_str() || *end != '\0')
+                usage("--arg expects a number");
+        } else if (a == "--tiny") {
+            arg = w->tinyArg;
+        } else if (cli.tryParse(a, next)
+                   || gcCli.tryParse(a, next)) {
+            continue;
+        } else {
+            usage("unknown option");
+        }
+    }
+
+    cli.setup();
+    int rc = 0;
+    if (command == "stats")
+        rc = cmdStats(*w, arg, mode, gcCli);
+    else if (command == "pauses")
+        rc = cmdPauses(*w, arg, mode, gcCli);
+    else
+        rc = cmdCompare(*w, arg, mode, gcCli);
+    cli.finish(std::cout);
+    return rc;
+}

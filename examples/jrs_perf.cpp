@@ -68,7 +68,8 @@ usage(const char *msg = nullptr)
                  " [--mode interp|jit|counter:N] [--arg N] [--tiny]"
                  " [--model pipeline|cache] [--top N] [--window N]"
                  " [--method NAME]"
-              << obs::ObsCli::usageText() << "\n\nworkloads:\n";
+              << obs::GcCli::usageText() << obs::ObsCli::usageText()
+              << "\n\nworkloads:\n";
     for (const WorkloadInfo &w : allWorkloads())
         std::cerr << "  " << w.name << " — " << w.description << '\n';
     std::exit(2);
@@ -117,6 +118,31 @@ expectEq(const char *what, std::uint64_t got, std::uint64_t want)
 }
 
 /**
+ * Phase cells partition the stream too: mutator phases plus the
+ * Phase::Gc collector cell must reproduce the totals bit-for-bit, so
+ * the mutator-vs-collector CPI split is itself conserved.
+ */
+bool
+checkPhaseSums(const obs::PerfAttribution &perf)
+{
+    obs::PerfCell sum;
+    for (std::size_t p = 0; p < kNumPhases; ++p)
+        sum.merge(perf.phaseCell(static_cast<Phase>(p)));
+    bool ok = expectEq("sum(phase insts)", sum.insts,
+                       perf.totals().insts);
+    for (std::size_t k = 0; k < kNumPerfKinds; ++k) {
+        const auto kind = static_cast<PerfKind>(k);
+        ok &= expectEq(perfKindName(kind), sum.access[k],
+                       perf.totals().access[k]);
+        ok &= expectEq(perfKindName(kind), sum.bad[k],
+                       perf.totals().bad[k]);
+    }
+    ok &= expectEq("sum(phase cycles)", sum.cycles(),
+                   perf.totals().cycles());
+    return ok;
+}
+
+/**
  * Per-method cells (including the unattributed bucket) must sum to
  * the totals cell, counter by counter.
  */
@@ -137,7 +163,7 @@ checkMethodSums(const obs::PerfAttribution &perf)
     }
     ok &= expectEq("sum(method cycles)", sum.cycles(),
                    perf.totals().cycles());
-    return ok;
+    return ok && checkPhaseSums(perf);
 }
 
 /** Totals vs the pipeline model's own aggregate statistics. */
@@ -247,6 +273,7 @@ main(int argc, char **argv)
     std::uint64_t window = 0;
     std::string methodName;
     obs::ObsCli cli;
+    obs::GcCli gcCli;
     for (int i = 3; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -271,7 +298,8 @@ main(int argc, char **argv)
             window = parseU64(next(), "--window");
         } else if (a == "--method") {
             methodName = next();
-        } else if (cli.tryParse(a, next)) {
+        } else if (cli.tryParse(a, next)
+                   || gcCli.tryParse(a, next)) {
             continue;
         } else {
             usage("unknown option");
@@ -284,6 +312,7 @@ main(int argc, char **argv)
     const Program prog = w->build();
     EngineConfig cfg;
     cfg.policy = parseMode(mode);
+    gcCli.apply(cfg);
     TraceBuffer buffer;
     cfg.sink = &buffer;
     ExecutionEngine engine(prog, cfg);
@@ -327,9 +356,19 @@ main(int argc, char **argv)
                   << " cycles, IPC "
                   << fixed(pipe->pipeline().ipc(), 3);
     }
+    if (gcCli.enabled()) {
+        std::cout << ", " << gc::collectorName(cfg.gc.collector)
+                  << ": " << res.gcStats.collections
+                  << " collections / "
+                  << withCommas(res.gcStats.gcEvents)
+                  << " collector events";
+    }
     std::cout << '\n';
 
     if (command == "report") {
+        std::cout << "\nper-phase attribution (mutator vs "
+                     "collector):\n";
+        perf.phaseTable().print(std::cout);
         std::cout << "\nper-method attribution (top " << topN
                   << " by cycles):\n";
         perf.methodTable(topN).print(std::cout);

@@ -21,6 +21,12 @@
  *                      a perf-attribution pipeline (per-method CPI
  *                      stacks, miss/mispredict profiles), without
  *                      perturbing the sweep's own metrics
+ *   --collector C      run every recording under collector C (nogc,
+ *                      marksweep, copying); changes stream identity,
+ *                      so cached GC-less recordings are not reused
+ *   --heap-bytes N     heap capacity override (k/m/g suffixes OK)
+ *   --gc-budget N      collect every N allocated bytes
+ *   --gc-every N       collect every N allocations (stress)
  *
  * Examples:
  *   jrs_sweep fig07 --jobs 8 --progress
@@ -48,7 +54,7 @@ usage(const char *msg = nullptr)
         std::cerr << "error: " << msg << "\n\n";
     std::cerr << "usage: jrs_sweep <grid> [--jobs N] [--json FILE]"
                  " [--cache-dir DIR] [--quiet] [--progress]"
-              << obs::ObsCli::usageText()
+              << obs::GcCli::usageText() << obs::ObsCli::usageText()
               << "\n       jrs_sweep --list\n\ngrids:\n";
     for (const sweep::NamedGrid &g : sweep::allGrids())
         std::cerr << "  " << g.name << " — " << g.description << '\n';
@@ -77,6 +83,7 @@ main(int argc, char **argv)
     sweep::SweepOptions opts;
     std::string jsonPath;
     obs::ObsCli cli;
+    obs::GcCli gcCli;
     bool quiet = false;
     bool progress = false;
     for (int i = 2; i < argc; ++i) {
@@ -101,7 +108,8 @@ main(int argc, char **argv)
             quiet = true;
         } else if (a == "--progress") {
             progress = true;
-        } else if (cli.tryParse(a, next)) {
+        } else if (cli.tryParse(a, next)
+                   || gcCli.tryParse(a, next)) {
             continue;
         } else {
             usage("unknown option");
@@ -134,7 +142,19 @@ main(int argc, char **argv)
     }
 
     sweep::SweepEngine engine(opts);
-    const sweep::SweepResult result = engine.run(grid->build());
+    std::vector<sweep::SweepPoint> points = grid->build();
+    // Collector flags override every point's stream identity (grids
+    // that bake their own GC configuration, like `gc`, are left alone
+    // unless the user asks otherwise).
+    for (sweep::SweepPoint &p : points) {
+        if (gcCli.heapBytes != kDefaultHeapBytes)
+            p.key.heapBytes = gcCli.heapBytes;
+        if (gcCli.enabled() || gcCli.gc.budgetBytes != 0
+            || gcCli.gc.everyNAllocs != 0) {
+            p.key.gc = gcCli.gc;
+        }
+    }
+    const sweep::SweepResult result = engine.run(points);
 
     if (!quiet)
         result.toTable().print(std::cout);

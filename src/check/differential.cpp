@@ -38,10 +38,13 @@ allDiffModes()
 }
 
 EngineConfig
-makeDiffConfig(DiffMode mode)
+makeDiffConfig(DiffMode mode, const gc::GcOptions &gc,
+               std::size_t heap_bytes)
 {
     EngineConfig cfg;
     cfg.maxEvents = kMaxEventsGuard;
+    cfg.gc = gc;
+    cfg.heapBytes = heap_bytes;
     switch (mode) {
       case DiffMode::Interp:
         cfg.policy = std::make_shared<NeverCompilePolicy>();
@@ -59,9 +62,10 @@ makeDiffConfig(DiffMode mode)
 }
 
 VmStateDigest
-runDigest(const Program &prog, DiffMode mode, std::int32_t arg)
+runDigest(const Program &prog, DiffMode mode, std::int32_t arg,
+          const gc::GcOptions &gc, std::size_t heap_bytes)
 {
-    ExecutionEngine engine(prog, makeDiffConfig(mode));
+    ExecutionEngine engine(prog, makeDiffConfig(mode, gc, heap_bytes));
     const RunResult result = engine.run(arg);
     return captureDigest(engine, result);
 }
@@ -71,13 +75,15 @@ DifferentialRunner::runProgram(const Program &prog, std::int32_t arg,
                                const std::string &label)
 {
     DiffResult out;
-    out.reference = runDigest(prog, DiffMode::Interp, arg);
+    out.reference =
+        runDigest(prog, DiffMode::Interp, arg, gc, heapBytes);
 
     std::ostringstream os;
     for (DiffMode mode : allDiffModes()) {
         if (mode == DiffMode::Interp)
             continue;
-        const VmStateDigest d = runDigest(prog, mode, arg);
+        const VmStateDigest d =
+            runDigest(prog, mode, arg, gc, heapBytes);
         const std::string diff =
             describeDigestDiff("interp", out.reference,
                                diffModeName(mode), d);

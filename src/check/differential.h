@@ -44,12 +44,22 @@ const char *diffModeName(DiffMode mode);
 /** The three modes, in comparison order (interp is the reference). */
 const std::vector<DiffMode> &allDiffModes();
 
-/** Engine configuration for @p mode (no sink attached). */
-EngineConfig makeDiffConfig(DiffMode mode);
+/**
+ * Engine configuration for @p mode (no sink attached). @p gc and
+ * @p heap_bytes select the collector configuration under test; the
+ * defaults reproduce the historical GC-less behaviour exactly.
+ */
+EngineConfig makeDiffConfig(DiffMode mode,
+                            const gc::GcOptions &gc = {},
+                            std::size_t heap_bytes
+                            = kDefaultHeapBytes);
 
 /** Digest of one mode's run of @p prog. */
 VmStateDigest runDigest(const Program &prog, DiffMode mode,
-                        std::int32_t arg);
+                        std::int32_t arg,
+                        const gc::GcOptions &gc = {},
+                        std::size_t heap_bytes
+                        = kDefaultHeapBytes);
 
 /** Outcome of one differential comparison. */
 struct DiffResult {
@@ -61,6 +71,11 @@ struct DiffResult {
 /** See file comment. */
 class DifferentialRunner {
   public:
+    /** Collector configuration applied to every mode (default: off). */
+    gc::GcOptions gc;
+    /** Heap capacity for every run. */
+    std::size_t heapBytes = kDefaultHeapBytes;
+
     /**
      * Run @p prog under every mode and compare digests against the
      * interp reference. @p label names the program in reports.

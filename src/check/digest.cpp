@@ -7,10 +7,12 @@ namespace jrs::check {
 bool
 VmStateDigest::operator==(const VmStateDigest &o) const
 {
+    const bool gc = gcEnabled || o.gcEnabled;
     return portableEquals(o)
         && heapAllocations == o.heapAllocations
         && heapBytes == o.heapBytes
-        && heapHash == o.heapHash
+        && (gc ? liveHeapHash == o.liveHeapHash
+               : heapHash == o.heapHash)
         && guestThrows == o.guestThrows
         && throwChainHash == o.throwChainHash;
 }
@@ -39,7 +41,11 @@ VmStateDigest::str() const
        << " heap=" << heapAllocations << "allocs/" << heapBytes << "B"
        << std::hex
        << " heapHash=" << heapHash
-       << std::dec
+       << " liveHash=" << liveHeapHash
+       << std::dec;
+    if (gcEnabled)
+        os << " gc";
+    os
        << " throws=" << guestThrows
        << std::hex
        << " throwHash=" << throwChainHash
@@ -62,6 +68,8 @@ captureDigest(ExecutionEngine &engine, const RunResult &result)
     d.heapAllocations = engine.heap().allocationCount();
     d.heapBytes = engine.heap().bytesAllocated();
     d.heapHash = engine.heap().contentHash();
+    d.liveHeapHash = engine.liveHeapHash();
+    d.gcEnabled = engine.collectorKind() != gc::CollectorKind::None;
     d.guestThrows = result.guestThrows;
     d.throwChainHash = result.throwChainHash;
     d.threadsSpawned = result.threadsSpawned;
@@ -97,12 +105,18 @@ describeDigestDiff(const std::string &name_a, const VmStateDigest &a,
           b.hasExitValue ? std::to_string(b.exitValue) : "-");
     field("output", a.output, b.output);
     if (!threaded) {
+        const bool gc = a.gcEnabled || b.gcEnabled;
         field("heapAllocations", std::to_string(a.heapAllocations),
               std::to_string(b.heapAllocations));
         field("heapBytes", std::to_string(a.heapBytes),
               std::to_string(b.heapBytes));
-        field("heapHash", std::to_string(a.heapHash),
-              std::to_string(b.heapHash));
+        if (gc) {
+            field("liveHeapHash", std::to_string(a.liveHeapHash),
+                  std::to_string(b.liveHeapHash));
+        } else {
+            field("heapHash", std::to_string(a.heapHash),
+                  std::to_string(b.heapHash));
+        }
         field("guestThrows", std::to_string(a.guestThrows),
               std::to_string(b.guestThrows));
         field("throwChainHash", std::to_string(a.throwChainHash),

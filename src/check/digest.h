@@ -45,6 +45,17 @@ struct VmStateDigest {
     std::uint64_t heapAllocations = 0;
     std::uint64_t heapBytes = 0;
     std::uint64_t heapHash = 0;
+    /**
+     * Relocation-independent hash of the reachable heap
+     * (gc/live_digest.h). Always captured; it replaces heapHash in
+     * comparisons when either run had a collector enabled, because
+     * collectors legitimately rewrite dead arena bytes (mark-sweep
+     * fillers) or move objects (copying) without changing the live
+     * graph.
+     */
+    std::uint64_t liveHeapHash = 0;
+    /** True when the producing run had a collector enabled. */
+    bool gcEnabled = false;
 
     std::uint64_t guestThrows = 0;
     std::uint64_t throwChainHash = 0;

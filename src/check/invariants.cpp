@@ -39,6 +39,7 @@ phaseHomeSegment(Phase p)
       case Phase::Translate:  return seg::kTranslateCode;
       case Phase::NativeExec: return seg::kCodeCache;
       case Phase::Runtime:    return seg::kRuntimeCode;
+      case Phase::Gc:         return seg::kRuntimeCode;
     }
     return 0;
 }
@@ -183,13 +184,23 @@ checkProfileConservation(const RunResult &result)
            << " != Translate-phase total "
            << result.inPhase(Phase::Translate) << "\n";
     }
-    if (charged > result.totalEvents) {
-        os << "profiles charge " << charged << " events but the run had "
-           << result.totalEvents << "\n";
-    } else if (result.totalEvents - charged > kMaxUnattributedEvents) {
-        os << (result.totalEvents - charged)
+    // Collector work is attributed to no method by design; it must be
+    // exactly the Phase::Gc share of the stream.
+    const std::uint64_t gc_events = result.inPhase(Phase::Gc);
+    if (result.gcStats.gcEvents != gc_events) {
+        os << "GcStats reports " << result.gcStats.gcEvents
+           << " collector events but the Gc phase has " << gc_events
+           << "\n";
+    }
+    if (charged + gc_events > result.totalEvents) {
+        os << "profiles charge " << charged << " events (+" << gc_events
+           << " GC) but the run had " << result.totalEvents << "\n";
+    } else if (result.totalEvents - charged - gc_events
+               > kMaxUnattributedEvents) {
+        os << (result.totalEvents - charged - gc_events)
            << " events unattributed to any method profile (allowed: "
-           << kMaxUnattributedEvents << ")\n";
+           << kMaxUnattributedEvents << " beyond the " << gc_events
+           << " GC events)\n";
     }
     return os.str();
 }

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The pluggable collector interface.
+ *
+ * A Collector performs exactly one stop-the-world collection per
+ * collect() call, at a safepoint the GcController establishes (only
+ * inside RuntimeSupport allocation entry points, where no C++ code
+ * holds an unrooted reference across the call — see DESIGN.md §9).
+ *
+ * Collectors emit their memory traffic as Phase::Gc trace events
+ * through GcContext, so the architecture models and obs::PerfAttribution
+ * see collector work exactly as they see mutator work.
+ */
+#ifndef JRS_GC_COLLECTOR_H
+#define JRS_GC_COLLECTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gc/roots.h"
+#include "isa/emitter.h"
+#include "vm/runtime/heap.h"
+#include "vm/sync/sync_system.h"
+
+namespace jrs::gc {
+
+/** Simulated pc block of the collector's emitted instructions. */
+inline constexpr SimAddr kGcPc = seg::kRuntimeCode + 0x800;
+
+/** Accumulated collection statistics (one controller lifetime). */
+struct GcStats {
+    std::uint64_t collections = 0;
+    std::uint64_t bytesFreed = 0;      ///< mark-sweep reclaim total
+    std::uint64_t bytesCopied = 0;     ///< copying survivor total
+    std::uint64_t liveBytesLast = 0;   ///< live bytes after last GC
+    std::uint64_t liveObjectsLast = 0; ///< live objects after last GC
+    std::uint64_t rootsLast = 0;       ///< roots visited by last GC
+    std::uint64_t gcEvents = 0;        ///< Phase::Gc instructions emitted
+    /** Per-collection pause length in emitted Gc instructions. */
+    std::vector<std::uint64_t> pauseEvents;
+};
+
+/**
+ * Everything a collection may touch, plus counted Phase::Gc event
+ * emission (the counts feed the pause histogram and gc.* metrics).
+ */
+struct GcContext {
+    Heap &heap;
+    ClassRegistry &registry;
+    std::vector<std::unique_ptr<VmThread>> &threads;
+    SyncSystem &sync;
+    TraceEmitter &emitter;
+    std::uint64_t events = 0;
+
+    void alu(SimAddr pc, NKind kind = NKind::IntAlu) {
+        emitter.alu(Phase::Gc, pc, kind);
+        ++events;
+    }
+    void load(SimAddr pc, SimAddr addr, std::uint8_t size = 4) {
+        emitter.load(Phase::Gc, pc, addr, size);
+        ++events;
+    }
+    void store(SimAddr pc, SimAddr addr, std::uint8_t size = 4) {
+        emitter.store(Phase::Gc, pc, addr, size);
+        ++events;
+    }
+    void branch(SimAddr pc, SimAddr target, bool taken) {
+        emitter.branch(Phase::Gc, pc, target, taken);
+        ++events;
+    }
+    void control(SimAddr pc, NKind kind, SimAddr target) {
+        emitter.control(Phase::Gc, pc, kind, target);
+        ++events;
+    }
+
+    RootSources roots() { return RootSources{registry, threads}; }
+};
+
+/** One garbage-collection strategy. */
+class Collector {
+  public:
+    virtual ~Collector() = default;
+
+    /** Strategy name for reports ("marksweep", "copying"). */
+    virtual const char *name() const = 0;
+
+    /** Run one stop-the-world collection; updates @p stats. */
+    virtual void collect(GcContext &ctx, GcStats &stats) = 0;
+};
+
+} // namespace jrs::gc
+
+#endif // JRS_GC_COLLECTOR_H

@@ -1,0 +1,82 @@
+#include "gc/gc_controller.h"
+
+#include "gc/copying.h"
+#include "gc/mark_sweep.h"
+#include "obs/obs.h"
+
+namespace jrs::gc {
+
+GcController::GcController(
+    const GcOptions &options, Heap &heap, ClassRegistry &registry,
+    std::vector<std::unique_ptr<VmThread>> &threads,
+    SyncSystem &sync, TraceEmitter &emitter)
+    : options_(options), heap_(heap), registry_(registry),
+      threads_(threads), sync_(sync), emitter_(emitter)
+{
+    switch (options_.collector) {
+    case CollectorKind::MarkSweep:
+        collector_ = std::make_unique<MarkSweepCollector>();
+        break;
+    case CollectorKind::Copying: {
+        auto copying = std::make_unique<CopyingCollector>(
+            heap_.capacity());
+        if (heap_.windowCursor() > copying->spaceLimit(0))
+            throw VmError("heap too small for semispace collection");
+        heap_.resetWindow(copying->spaceBase(0), heap_.windowCursor(),
+                          copying->spaceLimit(0));
+        collector_ = std::move(copying);
+        break;
+    }
+    case CollectorKind::None:
+        throw VmError("GcController constructed without a collector");
+    }
+    bytesAtLastGc_ = heap_.bytesAllocated();
+}
+
+void
+GcController::beforeAllocation(std::size_t bytes)
+{
+    ++allocsSinceGc_;
+    bool trigger = false;
+    if (options_.everyNAllocs != 0
+        && allocsSinceGc_ >= options_.everyNAllocs)
+        trigger = true;
+    if (options_.budgetBytes != 0
+        && heap_.bytesAllocated() - bytesAtLastGc_
+               >= options_.budgetBytes)
+        trigger = true;
+    if (!heap_.canAllocate(bytes))
+        trigger = true;
+    if (trigger)
+        collectNow();
+    // If the heap is still too full the allocation itself throws
+    // "heap exhausted" — a genuine out-of-memory condition.
+}
+
+void
+GcController::collectNow()
+{
+    obs::ScopedSpan span("gc.collect", "gc");
+    GcContext ctx{heap_, registry_, threads_, sync_, emitter_};
+    collector_->collect(ctx, stats_);
+    ++stats_.collections;
+    stats_.gcEvents += ctx.events;
+    stats_.pauseEvents.push_back(ctx.events);
+    allocsSinceGc_ = 0;
+    bytesAtLastGc_ = heap_.bytesAllocated();
+
+    obs::count("gc.collections");
+    obs::count("gc.events", ctx.events);
+    obs::observe("gc.pause_events",
+                 static_cast<double>(ctx.events));
+    obs::gaugeSet("gc.live_bytes",
+                  static_cast<double>(stats_.liveBytesLast));
+    if (span.active()) {
+        span.arg("collector", collector_->name());
+        span.arg("pause_events", std::to_string(ctx.events));
+        span.arg("live_bytes",
+                 std::to_string(stats_.liveBytesLast));
+    }
+}
+
+} // namespace jrs::gc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Allocation-triggered safepoints and collection policy.
+ *
+ * The controller owns the configured Collector and decides *when* it
+ * runs. The only safepoints are the RuntimeSupport allocation entry
+ * points (newObject / newArray / throwBuiltin), which call
+ * beforeAllocation() with the upcoming request size; a collection
+ * triggers when
+ *
+ *  - the allocation cannot be satisfied from the current window or
+ *    free list (the backstop — without it the heap just throws), or
+ *  - GcOptions::budgetBytes of new allocation accrued since the last
+ *    collection (the tunable heap budget the sweeps grid over), or
+ *  - GcOptions::everyNAllocs allocations happened since the last
+ *    collection (deterministic stress knob for the test suite).
+ *
+ * Pause "time" is measured in emitted Phase::Gc instructions — the
+ * same currency the architecture models consume — and recorded per
+ * collection (GcStats::pauseEvents) plus into gc.* obs metrics.
+ */
+#ifndef JRS_GC_GC_CONTROLLER_H
+#define JRS_GC_GC_CONTROLLER_H
+
+#include <memory>
+
+#include "gc/collector.h"
+#include "gc/config.h"
+
+namespace jrs::gc {
+
+/** See file comment. Constructed only when a collector is selected. */
+class GcController {
+  public:
+    /**
+     * Binds the collector to the mutator state it will scan. For the
+     * copying collector this also restricts the heap's allocation
+     * window to the first semispace, so everything already interned
+     * by the registry must fit there (throws VmError otherwise).
+     */
+    GcController(const GcOptions &options, Heap &heap,
+                 ClassRegistry &registry,
+                 std::vector<std::unique_ptr<VmThread>> &threads,
+                 SyncSystem &sync, TraceEmitter &emitter);
+
+    /**
+     * Safepoint: the mutator is about to allocate @p bytes (aligned
+     * size not required; used only for the can't-satisfy backstop).
+     * Runs a collection if any trigger fires.
+     */
+    void beforeAllocation(std::size_t bytes);
+
+    /** Force one collection now (tests, jrs_gc compare). */
+    void collectNow();
+
+    CollectorKind kind() const { return options_.collector; }
+    const char *collectorName() const { return collector_->name(); }
+    const GcStats &stats() const { return stats_; }
+
+  private:
+    GcOptions options_;
+    Heap &heap_;
+    ClassRegistry &registry_;
+    std::vector<std::unique_ptr<VmThread>> &threads_;
+    SyncSystem &sync_;
+    TraceEmitter &emitter_;
+    std::unique_ptr<Collector> collector_;
+    GcStats stats_;
+    std::uint64_t allocsSinceGc_ = 0;
+    std::uint64_t bytesAtLastGc_ = 0;
+};
+
+} // namespace jrs::gc
+
+#endif // JRS_GC_GC_CONTROLLER_H

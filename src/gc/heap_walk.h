@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Header-driven object walking shared by the collectors and the live
+ * digest.
+ *
+ * Object sizes are derivable from headers alone: arrays carry their
+ * length, plain objects get their field count from the class registry
+ * (ids at or above the registered classes — builtin exceptions and the
+ * GC filler — have zero fields, mirroring RuntimeSupport::newObject's
+ * clamp). Freed runs are rewritten as filler pseudo-objects by
+ * Heap::setFreeBlocks, so a linear walk from the window base always
+ * parses.
+ *
+ * Reference discovery is hybrid: object fields are untyped, so they
+ * use the heap's store-time ref bitmap; Ref-kind array elements are
+ * structural (only AAstore / ref arraycopy ever write them).
+ */
+#ifndef JRS_GC_HEAP_WALK_H
+#define JRS_GC_HEAP_WALK_H
+
+#include "vm/runtime/class_registry.h"
+#include "vm/runtime/heap.h"
+
+namespace jrs::gc {
+
+/** Aligned allocation size of the object at @p obj, in bytes. */
+inline std::size_t
+objectBytesAt(const Heap &heap, const ClassRegistry &registry,
+              SimAddr obj)
+{
+    std::size_t bytes;
+    if (heap.isArray(obj)) {
+        bytes = 12
+            + static_cast<std::size_t>(heap.arrayLength(obj))
+            * arrayElemSize(heap.arrayKindOf(obj));
+    } else {
+        const ClassId cls = heap.klassOf(obj);
+        const std::uint16_t fields = cls < registry.numClasses()
+            ? registry.klass(cls).numFields
+            : 0;
+        bytes = 8 + 4u * fields;
+    }
+    return (bytes + 7) & ~std::size_t{7};
+}
+
+/**
+ * Invoke @p fn(slotAddr) for every payload slot of @p obj that
+ * currently holds a non-null reference (see file comment for the
+ * classification). Slots are visited in index order.
+ */
+template <class Fn>
+void
+forEachRefSlot(const Heap &heap, const ClassRegistry &registry,
+               SimAddr obj, Fn &&fn)
+{
+    if (heap.isArray(obj)) {
+        if (heap.arrayKindOf(obj) != ArrayKind::Ref)
+            return;
+        const std::int32_t len = heap.arrayLength(obj);
+        for (std::int32_t i = 0; i < len; ++i) {
+            const SimAddr slot = obj + 12 + 4ull * i;
+            if (heap.loadU32(slot) != 0)
+                fn(slot);
+        }
+        return;
+    }
+    const ClassId cls = heap.klassOf(obj);
+    const std::uint16_t fields = cls < registry.numClasses()
+        ? registry.klass(cls).numFields
+        : 0;
+    for (std::uint16_t i = 0; i < fields; ++i) {
+        const SimAddr slot = Heap::fieldAddr(obj, i);
+        if (heap.refSlot(slot) && heap.loadU32(slot) != 0)
+            fn(slot);
+    }
+}
+
+/** Decode a 4-byte heap slot into a full ref address (0 = null). */
+inline SimAddr
+refFromSlot(std::uint32_t bits)
+{
+    return bits == 0 ? 0 : seg::kHeap + bits;
+}
+
+} // namespace jrs::gc
+
+#endif // JRS_GC_HEAP_WALK_H

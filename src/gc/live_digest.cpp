@@ -1,0 +1,115 @@
+#include "gc/live_digest.h"
+
+#include <unordered_map>
+
+#include "gc/heap_walk.h"
+#include "gc/roots.h"
+
+namespace jrs::gc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+class DigestWalker : public RootVisitor {
+  public:
+    DigestWalker(Heap &heap, ClassRegistry &registry)
+        : heap_(heap), registry_(registry) {}
+
+    SimAddr visitRoot(SimAddr ref, RootKind kind) override {
+        mixByte(static_cast<std::uint8_t>(kind));
+        mix32(indexOf(ref));
+        return ref;
+    }
+
+    /** BFS over everything reached from the roots seen so far. */
+    void drain() {
+        while (scan_ < order_.size())
+            hashObject(order_[scan_++]);
+    }
+
+    std::uint64_t hash() const { return hash_; }
+
+  private:
+    void mixByte(std::uint8_t b) {
+        hash_ = (hash_ ^ b) * kFnvPrime;
+    }
+    void mix32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            mixByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** First-visit index of @p obj (1-based; assigns + enqueues). */
+    std::uint32_t indexOf(SimAddr obj) {
+        auto [it, fresh] = index_.emplace(
+            obj, static_cast<std::uint32_t>(order_.size() + 1));
+        if (fresh)
+            order_.push_back(obj);
+        return it->second;
+    }
+
+    /** Hash one slot: visit index for a real ref, raw bits otherwise. */
+    void mixSlot(std::uint32_t bits, bool is_ref) {
+        const SimAddr child = refFromSlot(bits);
+        if (is_ref && bits != 0 && heap_.validRef(child)) {
+            mixByte(1);
+            mix32(indexOf(child));
+        } else {
+            mixByte(0);
+            mix32(bits);
+        }
+    }
+
+    void hashObject(SimAddr obj) {
+        const bool isArray = heap_.isArray(obj);
+        mixByte(isArray ? 1 : 0);
+        if (isArray) {
+            const ArrayKind kind = heap_.arrayKindOf(obj);
+            const std::int32_t len = heap_.arrayLength(obj);
+            mixByte(static_cast<std::uint8_t>(kind));
+            mix32(static_cast<std::uint32_t>(len));
+            const std::size_t esz = arrayElemSize(kind);
+            if (kind == ArrayKind::Ref) {
+                for (std::int32_t i = 0; i < len; ++i)
+                    mixSlot(heap_.loadU32(obj + 12 + 4ull * i), true);
+            } else {
+                // Exact payload bytes (padding stays out of the hash).
+                const std::size_t n = len * esz;
+                for (std::size_t o = 0; o < n; ++o)
+                    mixByte(heap_.loadU8(obj + 12 + o));
+            }
+            return;
+        }
+        const ClassId cls = heap_.klassOf(obj);
+        mix32(cls);
+        const std::uint16_t fields = cls < registry_.numClasses()
+            ? registry_.klass(cls).numFields
+            : 0;
+        for (std::uint16_t i = 0; i < fields; ++i) {
+            const SimAddr slot = Heap::fieldAddr(obj, i);
+            mixSlot(heap_.loadU32(slot), heap_.refSlot(slot));
+        }
+    }
+
+    Heap &heap_;
+    ClassRegistry &registry_;
+    std::uint64_t hash_ = kFnvOffset;
+    std::unordered_map<SimAddr, std::uint32_t> index_;
+    std::vector<SimAddr> order_;
+    std::size_t scan_ = 0;
+};
+
+} // namespace
+
+std::uint64_t
+liveHeapHash(Heap &heap, ClassRegistry &registry,
+             std::vector<std::unique_ptr<VmThread>> &threads)
+{
+    DigestWalker walker(heap, registry);
+    enumerateRoots(RootSources{registry, threads}, walker);
+    walker.drain();
+    return walker.hash();
+}
+
+} // namespace jrs::gc

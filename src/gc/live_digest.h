@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Relocation-independent digest of the reachable heap.
+ *
+ * Heap::contentHash() hashes the raw arena, so it changes whenever an
+ * object moves or a dead block is rewritten as a filler — useless for
+ * comparing a copying collector against the no-GC baseline. This
+ * digest instead walks only the *live* graph in a deterministic order
+ * (statics, string literals, class objects, then threads
+ * outermost-frame-first — the gc/roots.h order), assigns each object
+ * its first-visit index, and hashes shape + payload with every
+ * reference replaced by the referent's visit index. Two heaps with
+ * isomorphic live graphs therefore hash identically regardless of
+ * where objects sit in the arena.
+ *
+ * Slot classification matches the collectors exactly (heap ref bitmap
+ * for object fields, nonzero bits for Ref-array elements); a null
+ * reference hashes the same as raw bits 0. Lockwords are excluded:
+ * they hold sync-policy-dependent thin-lock state, and the digest is
+ * captured when all frames have unwound so every lock is free anyway.
+ */
+#ifndef JRS_GC_LIVE_DIGEST_H
+#define JRS_GC_LIVE_DIGEST_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vm/runtime/class_registry.h"
+#include "vm/runtime/heap.h"
+#include "vm/runtime/thread.h"
+
+namespace jrs::gc {
+
+/** See file comment. Deterministic for a given live graph. */
+std::uint64_t
+liveHeapHash(Heap &heap, ClassRegistry &registry,
+             std::vector<std::unique_ptr<VmThread>> &threads);
+
+} // namespace jrs::gc
+
+#endif // JRS_GC_LIVE_DIGEST_H

@@ -1,0 +1,137 @@
+#include "gc/mark_sweep.h"
+
+#include <unordered_set>
+
+#include "gc/heap_walk.h"
+
+namespace jrs::gc {
+
+namespace {
+
+/** Marking visitor: record reachability, never move anything. */
+class Marker : public RootVisitor {
+  public:
+    Marker(GcContext &ctx) : ctx_(ctx) {}
+
+    SimAddr visitRoot(SimAddr ref, RootKind) override {
+        ++roots_;
+        // Root scan: one load per root slot's referent header.
+        ctx_.load(kGcPc + 0x00, ref);
+        push(ref);
+        return ref;
+    }
+
+    /** Trace until the worklist drains. */
+    void drain() {
+        while (!worklist_.empty()) {
+            const SimAddr obj = worklist_.back();
+            worklist_.pop_back();
+            scan(obj);
+        }
+    }
+
+    bool marked(SimAddr obj) const {
+        return marked_.count(offsetOf(obj)) != 0;
+    }
+
+    std::uint64_t roots() const { return roots_; }
+    std::uint64_t liveObjects() const { return marked_.size(); }
+
+  private:
+    static std::uint32_t offsetOf(SimAddr obj) {
+        return static_cast<std::uint32_t>(obj - seg::kHeap);
+    }
+
+    void push(SimAddr obj) {
+        // Mark test models as a load of the mark word + branch.
+        ctx_.branch(kGcPc + 0x04, kGcPc + 0x10,
+                    marked_.count(offsetOf(obj)) != 0);
+        if (marked_.insert(offsetOf(obj)).second)
+            worklist_.push_back(obj);
+    }
+
+    void scan(SimAddr obj) {
+        // Header load drives the size/shape decode.
+        ctx_.load(kGcPc + 0x10, obj);
+        forEachRefSlot(ctx_.heap, ctx_.registry, obj,
+                       [&](SimAddr slot) {
+                           ctx_.load(kGcPc + 0x14, slot);
+                           const SimAddr child =
+                               refFromSlot(ctx_.heap.loadU32(slot));
+                           if (ctx_.heap.validRef(child))
+                               push(child);
+                       });
+    }
+
+    GcContext &ctx_;
+    std::unordered_set<std::uint32_t> marked_;
+    std::vector<SimAddr> worklist_;
+    std::uint64_t roots_ = 0;
+};
+
+} // namespace
+
+void
+MarkSweepCollector::collect(GcContext &ctx, GcStats &stats)
+{
+    Heap &heap = ctx.heap;
+    ctx.control(kGcPc, NKind::Call, kGcPc + 4);
+
+    Marker marker(ctx);
+    enumerateRoots(ctx.roots(), marker);
+    marker.drain();
+
+    // Linear sweep of the active window: coalesce unmarked runs.
+    std::vector<Heap::FreeBlock> freed;
+    std::uint64_t freedBytes = 0;
+    std::uint64_t liveBytes = 0;
+    std::size_t runStart = 0;
+    std::size_t runBytes = 0;
+    std::size_t off = heap.windowBase();
+    const std::size_t end = heap.windowCursor();
+    while (off < end) {
+        const SimAddr obj = seg::kHeap + off;
+        ctx.load(kGcPc + 0x20, obj);  // header load sizes the block
+        const std::size_t bytes = objectBytesAt(heap, ctx.registry, obj);
+        const bool live = marker.marked(obj);
+        ctx.branch(kGcPc + 0x24, kGcPc + 0x30, live);
+        if (live) {
+            liveBytes += bytes;
+            if (runBytes != 0) {
+                freed.push_back(
+                    {static_cast<std::uint32_t>(runStart),
+                     static_cast<std::uint32_t>(runBytes)});
+                runBytes = 0;
+            }
+        } else {
+            if (runBytes == 0)
+                runStart = off;
+            runBytes += bytes;
+            freedBytes += bytes;
+        }
+        off += bytes;
+    }
+    if (runBytes != 0) {
+        freed.push_back({static_cast<std::uint32_t>(runStart),
+                         static_cast<std::uint32_t>(runBytes)});
+    }
+
+    // The filler headers Heap writes are the sweep's visible stores.
+    for (const Heap::FreeBlock &b : freed)
+        ctx.store(kGcPc + 0x30, seg::kHeap + b.off, 8);
+    heap.setFreeBlocks(std::move(freed));
+
+    // Drop monitors of dead objects; addresses do not change.
+    ctx.sync.relocate([&](SimAddr obj) -> SimAddr {
+        return marker.marked(obj) ? obj : 0;
+    });
+
+    ctx.control(kGcPc + 0x34, NKind::Ret, 0);
+
+    stats.bytesFreed += freedBytes;
+    stats.liveBytesLast = liveBytes;
+    stats.liveObjectsLast = marker.liveObjects();
+    stats.rootsLast = marker.roots();
+}
+
+} // namespace jrs::gc

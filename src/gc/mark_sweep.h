@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Non-moving mark-sweep collector with free-list reallocation.
+ *
+ * Mark: precise roots (gc/roots.h) seed an explicit worklist; tracing
+ * follows the heap's ref bitmap (object fields) and Ref-array elements
+ * (gc/heap_walk.h). Sweep: one linear walk of the active window
+ * derives every block's size from its header, coalesces unmarked runs
+ * and hands them to Heap::setFreeBlocks, which rewrites them as
+ * walkable fillers for the next sweep.
+ *
+ * Because nothing moves, every surviving object keeps its address and
+ * contents: the end-state live digest is bit-identical to the no-GC
+ * baseline for every workload (asserted by tests/test_gc.cpp).
+ */
+#ifndef JRS_GC_MARK_SWEEP_H
+#define JRS_GC_MARK_SWEEP_H
+
+#include "gc/collector.h"
+
+namespace jrs::gc {
+
+/** See file comment. */
+class MarkSweepCollector : public Collector {
+  public:
+    const char *name() const override { return "marksweep"; }
+    void collect(GcContext &ctx, GcStats &stats) override;
+};
+
+} // namespace jrs::gc
+
+#endif // JRS_GC_MARK_SWEEP_H

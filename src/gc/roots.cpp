@@ -1,0 +1,92 @@
+#include "gc/roots.h"
+
+namespace jrs::gc {
+
+const char *
+rootKindName(RootKind kind)
+{
+    switch (kind) {
+      case RootKind::Static:           return "static";
+      case RootKind::StringLiteral:    return "string_literal";
+      case RootKind::ClassObject:      return "class_object";
+      case RootKind::InterpLocal:      return "interp_local";
+      case RootKind::InterpStack:      return "interp_stack";
+      case RootKind::NativeReg:        return "native_reg";
+      case RootKind::NativeSpill:      return "native_spill";
+      case RootKind::SyncObject:       return "sync_object";
+      case RootKind::PendingException: return "pending_exception";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+visitAddrSlot(SimAddr &slot, RootKind kind, RootVisitor &visitor)
+{
+    if (slot != 0)
+        slot = visitor.visitRoot(slot, kind);
+}
+
+void
+visitValueSlot(Value &slot, RootKind kind, RootVisitor &visitor)
+{
+    if (slot.tag() == Tag::Ref && !slot.isNullRef())
+        slot = Value::makeRef(visitor.visitRoot(slot.asRef(), kind));
+}
+
+void
+visitFrame(InterpFrame &f, RootVisitor &visitor)
+{
+    for (Value &v : f.locals)
+        visitValueSlot(v, RootKind::InterpLocal, visitor);
+    for (Value &v : f.stack)
+        visitValueSlot(v, RootKind::InterpStack, visitor);
+    visitAddrSlot(f.syncObj, RootKind::SyncObject, visitor);
+}
+
+void
+visitFrame(NativeFrame &f, RootVisitor &visitor)
+{
+    for (std::uint8_t r = 0; r < 32; ++r) {
+        if (f.regIsRef(r) && f.regs[r] != 0) {
+            f.regs[r] = visitor.visitRoot(f.regs[r],
+                                          RootKind::NativeReg);
+        }
+    }
+    for (std::size_t i = 0; i < f.spills.size(); ++i) {
+        if (i < f.spillRefs.size() && f.spillRefs[i]
+            && f.spills[i] != 0) {
+            f.spills[i] = visitor.visitRoot(f.spills[i],
+                                            RootKind::NativeSpill);
+        }
+    }
+    visitAddrSlot(f.syncObj, RootKind::SyncObject, visitor);
+}
+
+} // namespace
+
+void
+enumerateRoots(RootSources sources, RootVisitor &visitor)
+{
+    for (Value &v : sources.registry.gcStatics())
+        visitValueSlot(v, RootKind::Static, visitor);
+    for (SimAddr &s : sources.registry.gcStringRefs())
+        visitAddrSlot(s, RootKind::StringLiteral, visitor);
+    for (SimAddr &c : sources.registry.gcClassObjects())
+        visitAddrSlot(c, RootKind::ClassObject, visitor);
+
+    for (const std::unique_ptr<VmThread> &tp : sources.threads) {
+        VmThread &t = *tp;
+        visitAddrSlot(t.pendingException, RootKind::PendingException,
+                      visitor);
+        for (Activation &a : t.frames) {
+            if (auto *f = std::get_if<InterpFrame>(&a))
+                visitFrame(*f, visitor);
+            else
+                visitFrame(std::get<NativeFrame>(a), visitor);
+        }
+    }
+}
+
+} // namespace jrs::gc

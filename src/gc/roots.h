@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Precise root enumeration for the pluggable collectors.
+ *
+ * Roots are every VM-held slot that can name a heap object:
+ *
+ *  - class registry: static variables (tagged Values), interned string
+ *    literals, per-class "class objects";
+ *  - interpreter frames: tagged locals and operand-stack slots, plus
+ *    the synchronized-method monitor object;
+ *  - native (JIT) frames: registers and spill slots whose ref bits are
+ *    set (NativeFrame::refMask / spillRefs — maintained by the
+ *    executor, since native registers are untyped u64s), plus the
+ *    monitor object;
+ *  - per-thread pending exception refs during unwinding.
+ *
+ * Lockwords are deliberately NOT roots: they hold thin-lock owner/count
+ * bits whose numeric value can collide with a valid ref encoding (the
+ * test suite's "ref-in-lockword" negative case pins this down).
+ *
+ * The visitor returns the (possibly relocated) address for every root
+ * it is shown; enumerateRoots() writes that address back into the
+ * slot, which is all a moving collector needs to retarget the roots.
+ */
+#ifndef JRS_GC_ROOTS_H
+#define JRS_GC_ROOTS_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vm/runtime/class_registry.h"
+#include "vm/runtime/thread.h"
+
+namespace jrs::gc {
+
+/** What kind of slot a root was found in (stats, tests, reports). */
+enum class RootKind : std::uint8_t {
+    Static,
+    StringLiteral,
+    ClassObject,
+    InterpLocal,
+    InterpStack,
+    NativeReg,
+    NativeSpill,
+    SyncObject,
+    PendingException,
+};
+
+/** Printable name of a RootKind. */
+const char *rootKindName(RootKind kind);
+
+/** Callback protocol of enumerateRoots(); see file comment. */
+class RootVisitor {
+  public:
+    virtual ~RootVisitor() = default;
+
+    /**
+     * Shown one non-null root @p ref of kind @p kind. Returns the
+     * address the slot must hold afterwards (the same address for
+     * non-moving collectors, the forwarded one for copying).
+     */
+    virtual SimAddr visitRoot(SimAddr ref, RootKind kind) = 0;
+};
+
+/** Everything enumerateRoots() walks. */
+struct RootSources {
+    ClassRegistry &registry;
+    std::vector<std::unique_ptr<VmThread>> &threads;
+};
+
+/**
+ * Visit every root slot (null slots are skipped) and write the
+ * visitor's returned address back. Deterministic order: registry
+ * statics, string literals, class objects, then threads in tid order,
+ * frames outermost-first, slots in index order.
+ */
+void enumerateRoots(RootSources sources, RootVisitor &visitor);
+
+} // namespace jrs::gc
+
+#endif // JRS_GC_ROOTS_H

@@ -15,6 +15,8 @@ runWorkload(const RunSpec &spec)
     cfg.syncKind = spec.syncKind;
     cfg.sink = spec.sink;
     cfg.quantum = spec.quantum;
+    cfg.gc = spec.gc;
+    cfg.heapBytes = spec.heapBytes;
 
     ExecutionEngine engine(prog, cfg);
     const std::int32_t arg =
@@ -50,6 +52,8 @@ recordWorkload(const RunSpec &spec)
     cfg.syncKind = spec.syncKind;
     cfg.sink = &fanout;
     cfg.quantum = spec.quantum;
+    cfg.gc = spec.gc;
+    cfg.heapBytes = spec.heapBytes;
     ExecutionEngine engine(prog, cfg);
     const std::int32_t arg =
         spec.arg != 0 ? spec.arg : spec.workload->smallArg;

@@ -27,6 +27,10 @@ struct RunSpec {
     SyncKind syncKind = SyncKind::ThinLock;
     TraceSink *sink = nullptr;
     std::uint64_t quantum = 300;
+    /** Collector configuration (default: the GC-less arena). */
+    gc::GcOptions gc;
+    /** Heap arena capacity in bytes. */
+    std::size_t heapBytes = kDefaultHeapBytes;
 };
 
 /**

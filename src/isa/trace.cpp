@@ -33,6 +33,7 @@ phaseName(Phase phase)
       case Phase::Translate:  return "translate";
       case Phase::NativeExec: return "native_exec";
       case Phase::Runtime:    return "runtime";
+      case Phase::Gc:         return "gc";
     }
     return "unknown";
 }

@@ -79,9 +79,10 @@ enum class Phase : std::uint8_t {
     Translate,   ///< JIT compiler translating a method
     NativeExec,  ///< executing JIT-generated code
     Runtime,     ///< runtime services (sync, allocation, class loading)
+    Gc,          ///< garbage collector (root scan, mark/sweep/copy)
 };
 
-inline constexpr std::size_t kNumPhases = 4;
+inline constexpr std::size_t kNumPhases = 5;
 
 /** Human-readable name of a phase. */
 const char *phaseName(Phase phase);

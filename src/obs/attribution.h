@@ -134,6 +134,11 @@ class MethodContext {
           case Phase::Runtime:
             row = lastRunning_;
             break;
+          case Phase::Gc:
+            // Collector work belongs to no method: the mutator it
+            // interrupted did not ask for it.
+            row = -1;
+            break;
         }
         return row;
     }

@@ -23,11 +23,15 @@
 #ifndef JRS_OBS_CLI_H
 #define JRS_OBS_CLI_H
 
+#include <cstdlib>
+#include <iostream>
 #include <ostream>
 #include <string>
 
+#include "gc/config.h"
 #include "obs/obs.h"
 #include "obs/perf.h"
+#include "vm/runtime/heap.h"
 
 namespace jrs::obs {
 
@@ -100,6 +104,101 @@ struct ObsCli {
             return;
         set.writeJson(perfJson);
         out << "wrote " << perfJson << '\n';
+    }
+};
+
+/**
+ * Shared command-line plumbing for the collector flags, in the same
+ * style as ObsCli:
+ *
+ *   --collector NAME   nogc (default) | marksweep | copying
+ *   --heap-bytes N     heap arena capacity (accepts k/m/g suffix)
+ *   --gc-budget N      collect after N bytes allocated since last GC
+ *   --gc-every N       collect every N allocations (stress knob)
+ *
+ * Unknown collector names and malformed sizes are command-line
+ * errors: the helper prints a message and exits 2 (never throws), so
+ * scripts can distinguish usage errors from run failures.
+ */
+struct GcCli {
+    gc::GcOptions gc;                          ///< --collector/--gc-*
+    std::size_t heapBytes = kDefaultHeapBytes; ///< --heap-bytes
+
+    /** Usage-string fragment for the flags handled here. */
+    static const char *usageText() {
+        return " [--collector nogc|marksweep|copying]"
+               " [--heap-bytes N] [--gc-budget N] [--gc-every N]";
+    }
+
+    /** True when any collector was selected. */
+    bool enabled() const {
+        return gc.collector != gc::CollectorKind::None;
+    }
+
+    /** Apply the parsed flags to an engine configuration. */
+    template <class Config>
+    void apply(Config &cfg) const {
+        cfg.gc = gc;
+        cfg.heapBytes = heapBytes;
+    }
+
+    /**
+     * Parse "N", "Nk", "Nm" or "Ng" (binary multiples); exits 2 on
+     * anything else.
+     */
+    static std::size_t parseSize(const std::string &v,
+                                 const char *what) {
+        char *end = nullptr;
+        const unsigned long long n =
+            std::strtoull(v.c_str(), &end, 10);
+        std::size_t shift = 0;
+        if (end != v.c_str() && *end != '\0') {
+            switch (*end) {
+              case 'k': case 'K': shift = 10; ++end; break;
+              case 'm': case 'M': shift = 20; ++end; break;
+              case 'g': case 'G': shift = 30; ++end; break;
+              default: break;
+            }
+        }
+        if (end == v.c_str() || *end != '\0') {
+            std::cerr << "error: " << what
+                      << " expects a byte count (optionally with a"
+                         " k/m/g suffix), got '" << v << "'\n";
+            std::exit(2);
+        }
+        return static_cast<std::size_t>(n) << shift;
+    }
+
+    /**
+     * Consume @p a when it is one of the flags above; same contract
+     * as ObsCli::tryParse.
+     */
+    template <class NextFn>
+    bool tryParse(const std::string &a, NextFn &&next) {
+        if (a == "--collector") {
+            const std::string v = next();
+            if (!gc::parseCollector(v, &gc.collector)) {
+                std::cerr << "error: unknown --collector '" << v
+                          << "' (expect nogc, marksweep or "
+                             "copying)\n";
+                std::exit(2);
+            }
+            return true;
+        }
+        if (a == "--heap-bytes") {
+            heapBytes = parseSize(next(), "--heap-bytes");
+            return true;
+        }
+        if (a == "--gc-budget") {
+            gc.budgetBytes = parseSize(next(), "--gc-budget");
+            return true;
+        }
+        if (a == "--gc-every") {
+            gc.everyNAllocs = static_cast<std::uint64_t>(
+                parseSize(next(), "--gc-every"));
+            return true;
+        }
+        return false;
     }
 };
 

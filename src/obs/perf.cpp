@@ -184,8 +184,10 @@ PerfAttribution::onEvent(const TraceEvent &ev)
     const int row = ctx_.observe(ev);
     curSlot_ = row >= 0 ? static_cast<std::size_t>(row)
                         : map_->rows();
+    curPhase_ = static_cast<std::size_t>(ev.phase);
     ++totals_.insts;
     ++methodCells_[curSlot_].insts;
+    ++phaseCells_[curPhase_].insts;
 
     curInterp_ = ev.phase == Phase::Interpret;
     if (!bytecodeRanges_.empty() && curInterp_
@@ -226,6 +228,7 @@ PerfAttribution::onOutcome(const Outcome &o)
     };
     fold(totals_);
     fold(methodCells_[curSlot_]);
+    fold(phaseCells_[curPhase_]);
     if (curInterp_ && curOp_ >= 0) {
         fold(opCells_[static_cast<std::size_t>(curOp_)]);
         fold(siteCells_[curSite_].cell);
@@ -246,6 +249,7 @@ PerfAttribution::onRetire(const CpiSample &s)
     };
     fold(totals_);
     fold(methodCells_[curSlot_]);
+    fold(phaseCells_[curPhase_]);
     if (curInterp_ && curOp_ >= 0) {
         fold(opCells_[static_cast<std::size_t>(curOp_)]);
         fold(siteCells_[curSite_].cell);
@@ -311,6 +315,48 @@ PerfAttribution::methodTable(std::size_t n) const
                   withCommas(c.insts), withCommas(
                       c.bad[static_cast<std::size_t>(
                           PerfKind::ICacheFetch)]),
+                  withCommas(dMisses(c)),
+                  fixed(ratePct(dMisses(c), dAcc), 2),
+                  withCommas(mispredicts(c)),
+                  fixed(ratePct(mispredicts(c), pAcc), 2),
+                  withCommas(c.cycles()),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::Base)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::ICache)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::DCache)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::BranchMispredict)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::IndirectTarget)]),
+                  withCommas(c.cpi[static_cast<std::size_t>(
+                      CpiComponent::Backend)])});
+    }
+    return t;
+}
+
+Table
+PerfAttribution::phaseTable() const
+{
+    Table t({"phase", "insts", "imiss", "dmiss", "dmiss%", "mispred",
+             "mp%", "cycles", "base", "icache", "dcache", "branch",
+             "indirect", "backend"});
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const PerfCell &c = phaseCells_[p];
+        if (c.insts == 0 && c.cycles() == 0)
+            continue;
+        const std::uint64_t dAcc =
+            c.access[static_cast<std::size_t>(PerfKind::DCacheLoad)]
+            + c.access[static_cast<std::size_t>(PerfKind::DCacheStore)];
+        const std::uint64_t pAcc =
+            c.access[static_cast<std::size_t>(PerfKind::CondBranch)]
+            + c.access[static_cast<std::size_t>(
+                PerfKind::IndirectTarget)];
+        t.addRow({phaseName(static_cast<Phase>(p)),
+                  withCommas(c.insts),
+                  withCommas(c.bad[static_cast<std::size_t>(
+                      PerfKind::ICacheFetch)]),
                   withCommas(dMisses(c)),
                   fixed(ratePct(dMisses(c), dAcc), 2),
                   withCommas(mispredicts(c)),
@@ -407,6 +453,14 @@ PerfAttribution::runJson(const std::string &label) const
     out += "      \"events\": " + u64(events_) + ",\n";
     out += "      \"cycles\": " + u64(totals_.cycles()) + ",\n";
     out += "      \"totals\": {" + cellJson(totals_) + "},\n";
+    out += "      \"phases\": {\n";
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        out += "        \""
+            + std::string(phaseName(static_cast<Phase>(p))) + "\": {"
+            + cellJson(phaseCells_[p]) + "}";
+        out += p + 1 < kNumPhases ? ",\n" : "\n";
+    }
+    out += "      },\n";
     out += "      \"methods\": [\n";
     const std::vector<MethodRow> rows =
         sortedMethodRows(*map_, methodCells_);

@@ -142,6 +142,19 @@ class PerfAttribution : public TraceSink, public OutcomeListener {
         return methodCells_[row];
     }
 
+    /**
+     * Cell of execution phase @p p. Phase cells partition the stream
+     * exactly (every event has one phase), so summing them reproduces
+     * totals() bit-for-bit — this is what separates mutator cycles
+     * from Phase::Gc collector cycles in one conserved CPI stack.
+     */
+    const PerfCell &phaseCell(Phase p) const {
+        return phaseCells_[static_cast<std::size_t>(p)];
+    }
+
+    /** One row per non-empty phase, hot-first: mutator vs collector. */
+    Table phaseTable() const;
+
     /** True when a Program was supplied (opcode views available). */
     bool hasOpcodes() const { return opt_.program != nullptr; }
 
@@ -202,6 +215,8 @@ class PerfAttribution : public TraceSink, public OutcomeListener {
     /** rows() cells + trailing unattributed bucket. */
     std::vector<PerfCell> methodCells_;
     std::size_t curSlot_;  ///< bucket of the current trace event
+    PerfCell phaseCells_[kNumPhases];
+    std::size_t curPhase_ = 0;  ///< phase of the current trace event
 
     // Opcode/site context (Program-backed; empty when no program).
     struct BytecodeRange {

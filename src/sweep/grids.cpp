@@ -1,5 +1,7 @@
 #include "sweep/grids.h"
 
+#include <algorithm>
+
 #include "arch/bpred/btb.h"
 #include "arch/cache/cache.h"
 #include "support/statistics.h"
@@ -88,6 +90,44 @@ class BtbSizeSweepSink : public TraceSink {
     std::uint64_t indirects_ = 0;
 };
 
+/**
+ * Collector-work profile of one stream, derived purely from the
+ * Phase::Gc event tags: a collection is one Call at kGcPc (every
+ * collector brackets its pause in Call/Ret), and the pause length is
+ * the number of Gc events between them. Works identically on live,
+ * replayed, and disk-loaded streams.
+ */
+class GcPhaseSink : public TraceSink {
+  public:
+    void onEvent(const TraceEvent &ev) override {
+        ++total_;
+        if (ev.phase != Phase::Gc)
+            return;
+        ++gcEvents_;
+        if (ev.kind == NKind::Call)
+            pauses_.push_back(0);
+        if (!pauses_.empty())
+            ++pauses_.back();
+    }
+
+    std::vector<Metric> metrics() const {
+        std::uint64_t maxPause = 0;
+        for (const std::uint64_t p : pauses_)
+            maxPause = std::max(maxPause, p);
+        return {
+            {"collections", static_cast<double>(pauses_.size())},
+            {"gc_events", static_cast<double>(gcEvents_)},
+            {"gc_event_pct", percent(gcEvents_, total_)},
+            {"max_pause_events", static_cast<double>(maxPause)},
+        };
+    }
+
+  private:
+    std::uint64_t total_ = 0;
+    std::uint64_t gcEvents_ = 0;
+    std::vector<std::uint64_t> pauses_;  ///< events per collection
+};
+
 } // namespace
 
 std::string
@@ -121,6 +161,14 @@ std::string
 btbLabel(const std::string &workload, bool jit)
 {
     return "btb/" + workload + "/" + modeLabel(jit);
+}
+
+std::string
+gcLabel(const std::string &workload, gc::CollectorKind collector,
+        std::size_t heapBytes)
+{
+    return "gc/" + workload + "/" + gc::collectorName(collector)
+        + "/h" + std::to_string(heapBytes >> 20) + "m";
 }
 
 std::vector<SweepPoint>
@@ -200,6 +248,35 @@ buildBtbGrid()
 }
 
 std::vector<SweepPoint>
+buildGcGrid()
+{
+    std::vector<SweepPoint> grid;
+    for (const WorkloadInfo *w : gridSuite(false)) {
+        for (const gc::CollectorKind c : kGcGridCollectors) {
+            for (const std::size_t hb : kGcHeapBytes) {
+                TraceKey key = traceKey(w->name, ExecMode::jit());
+                key.gc.collector = c;
+                // Budget a fixed fraction of the heap between
+                // collections: halving the heap halves the
+                // allocation headroom, which is the pressure the
+                // grid sweeps. 1/1024 keeps the budget inside the
+                // suite's (deliberately small) allocation volumes.
+                key.gc.budgetBytes = hb >> 10;
+                key.heapBytes = hb;
+                grid.push_back(makePoint<GcPhaseSink>(
+                    gcLabel(w->name, c, hb), std::move(key),
+                    [] { return std::make_unique<GcPhaseSink>(); },
+                    [](const GcPhaseSink &sink,
+                       const RecordedRun &) {
+                        return sink.metrics();
+                    }));
+            }
+        }
+    }
+    return grid;
+}
+
+std::vector<SweepPoint>
 buildAllGrid()
 {
     std::vector<SweepPoint> grid = buildFig04Grid();
@@ -229,8 +306,13 @@ allGrids()
          "BTB capacity vs indirect-transfer misprediction",
          &buildBtbGrid},
         {"all",
-         "every grid above, sharing one recording per (workload, mode)",
+         "every cache/BTB grid above, sharing one recording per "
+         "(workload, mode)",
          &buildAllGrid},
+        {"gc",
+         "heap-size x collector sweep: collections, collector-event "
+         "share, pause sizes",
+         &buildGcGrid},
     };
     return kGrids;
 }

@@ -29,6 +29,17 @@ inline constexpr std::uint32_t kFig08Lines[] = {16, 32, 64, 128};
 /** BTB-capacity ablation sizes. */
 inline constexpr std::size_t kBtbSizes[] = {64, 256, 1024, 4096};
 
+/** GC-grid heap capacities (the budget is heap/1024, sized so the
+    suite's allocation volumes actually cross it: smaller heaps
+    collect more often — the classic heap-size/pause trade). */
+inline constexpr std::size_t kGcHeapBytes[] = {1u << 20, 4u << 20,
+                                               16u << 20};
+
+/** GC-grid collectors (the two real strategies; nogc is the
+    reference every digest test already covers). */
+inline constexpr gc::CollectorKind kGcGridCollectors[] = {
+    gc::CollectorKind::MarkSweep, gc::CollectorKind::Copying};
+
 /** "interp" / "jit" — the mode component used in grid labels. */
 inline const char *
 modeLabel(bool jit)
@@ -49,13 +60,27 @@ std::string fig07Label(const std::string &workload, bool jit,
 std::string fig08Label(const std::string &workload, bool jit,
                        std::uint32_t lineBytes);
 std::string btbLabel(const std::string &workload, bool jit);
+/** "gc/compress/marksweep/h8m" etc. */
+std::string gcLabel(const std::string &workload,
+                    gc::CollectorKind collector,
+                    std::size_t heapBytes);
 
 /** Grid builders. Cache points emit icache/dcache_miss_pct metrics. */
 std::vector<SweepPoint> buildFig04Grid();
 std::vector<SweepPoint> buildFig07Grid();
 std::vector<SweepPoint> buildFig08Grid();
 std::vector<SweepPoint> buildBtbGrid();
-/** Concatenation of the four (streams shared across experiments). */
+/**
+ * Heap-size × collector grid: every point records its own stream
+ * (collector traffic is part of the stream identity) and reports
+ * collections, collector-event share and pause sizes from the
+ * Phase::Gc tags alone, so replayed/disk-loaded streams measure
+ * identically to live ones.
+ */
+std::vector<SweepPoint> buildGcGrid();
+/** Concatenation of the four cache/BTB grids (streams shared across
+    experiments; the gc grid records distinct streams and stays
+    separate). */
 std::vector<SweepPoint> buildAllGrid();
 
 /** A registered grid. */

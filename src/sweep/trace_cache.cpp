@@ -39,9 +39,20 @@ ExecMode::makePolicy() const
 std::string
 TraceKey::str() const
 {
-    return workload + "-a" + std::to_string(arg) + "-" + mode.id() + "-"
-        + syncKindName(sync) + "-q" + std::to_string(quantum) + "-v"
-        + std::to_string(kTraceVersion);
+    std::string s = workload + "-a" + std::to_string(arg) + "-"
+        + mode.id() + "-" + syncKindName(sync) + "-q"
+        + std::to_string(quantum);
+    // Non-default components only: pre-GC keys (and their on-disk
+    // recordings) must remain byte-identical.
+    if (gc.collector != gc::CollectorKind::None)
+        s += std::string("-") + gc::collectorName(gc.collector);
+    if (heapBytes != kDefaultHeapBytes)
+        s += "-h" + std::to_string(heapBytes);
+    if (gc.budgetBytes != 0)
+        s += "-gb" + std::to_string(gc.budgetBytes);
+    if (gc.everyNAllocs != 0)
+        s += "-ge" + std::to_string(gc.everyNAllocs);
+    return s + "-v" + std::to_string(kTraceVersion);
 }
 
 RunSpec
@@ -56,6 +67,8 @@ TraceKey::toRunSpec() const
     spec.policy = mode.makePolicy();
     spec.syncKind = sync;
     spec.quantum = quantum;
+    spec.gc = gc;
+    spec.heapBytes = heapBytes;
     return spec;
 }
 

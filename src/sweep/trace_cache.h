@@ -60,12 +60,19 @@ struct TraceKey {
     ExecMode mode;
     SyncKind sync = SyncKind::ThinLock;
     std::uint64_t quantum = 300;   ///< green-thread time slice
+    /** Collector configuration baked into the stream (GC events!). */
+    gc::GcOptions gc;
+    /** Heap arena capacity of the recorded run. */
+    std::size_t heapBytes = kDefaultHeapBytes;
 
     /**
      * Canonical, filename-safe string, e.g.
      * "compress-a0-jit-thin_lock-q300-v1". The trailing v component
      * is the JRSTRACE format version, so stale on-disk caches are
-     * never picked up across format changes.
+     * never picked up across format changes. Collector and heap
+     * components ("-marksweep", "-h33554432", "-gb65536", "-ge8")
+     * appear only when non-default, so every pre-GC key — and its
+     * on-disk recording — is unchanged.
      */
     std::string str() const;
 

@@ -1,5 +1,7 @@
 #include "vm/engine/engine.h"
 
+#include "gc/gc_controller.h"
+#include "gc/live_digest.h"
 #include "obs/obs.h"
 #include "vm/sync/monitor_cache.h"
 #include "vm/sync/thin_lock.h"
@@ -106,10 +108,22 @@ ExecutionEngine::ExecutionEngine(const Program &prog, EngineConfig cfg)
     interp_->setFolding(cfg_.interpreterFolding);
     exec_ = std::make_unique<NativeExecutor>(*ctx_);
 
+    if (cfg_.gc.collector != gc::CollectorKind::None) {
+        gc_ = std::make_unique<gc::GcController>(
+            cfg_.gc, *heap_, *registry_, threads_, *sync_, emitter_);
+        runtime_->setGcController(gc_.get());
+    }
+
     profiles_ = ProfileTable(prog_.methods.size());
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
+
+std::uint64_t
+ExecutionEngine::liveHeapHash()
+{
+    return gc::liveHeapHash(*heap_, *registry_, threads_);
+}
 
 std::uint64_t
 ExecutionEngine::eventCount() const
@@ -159,8 +173,11 @@ ExecutionEngine::invokeMethod(VmThread &thread, MethodId target,
             runtime_->throwBuiltin(BuiltinEx::StackOverflow);
         }
         f.spills.assign(nm->numSpills, 0);
-        for (std::uint8_t i = 0; i < nargs; ++i)
+        f.spillRefs.assign(nm->numSpills, false);
+        for (std::uint8_t i = 0; i < nargs; ++i) {
             f.regs[kArgRegBase + i] = args[i].raw();
+            f.setRegRef(kArgRegBase + i, args[i].tag() == Tag::Ref);
+        }
         f.syncObj = sync_obj;
         f.monitorPending = sync_obj != 0;
         thread.frames.emplace_back(std::move(f));
@@ -286,6 +303,7 @@ ExecutionEngine::unwind(VmThread &thread, SimAddr exception,
                 if (in_range && matches(h.catchType)) {
                     nf.ip = h.handlerIdx;
                     nf.regs[kStackRegBase] = exception;
+                    nf.setRegRef(kStackRegBase, true);
                     return;
                 }
             }
@@ -341,21 +359,32 @@ ExecutionEngine::tryOsr(VmThread &thread)
     nf.nm = nm;
     nf.ip = static_cast<std::uint32_t>(nm->bc2n[f->pc]);
     nf.spills.assign(nm->numSpills, 0);
+    nf.spillRefs.assign(nm->numSpills, false);
     const std::size_t spilled_locals =
         m.numLocals > kNumLocalRegs ? m.numLocals - kNumLocalRegs : 0;
     for (std::size_t i = 0; i < f->locals.size(); ++i) {
         const std::uint64_t raw = f->locals[i].raw();
-        if (i < kNumLocalRegs)
+        const bool is_ref = f->locals[i].tag() == Tag::Ref;
+        if (i < kNumLocalRegs) {
             nf.regs[kLocalRegBase + i] = raw;
-        else
+            nf.setRegRef(static_cast<std::uint8_t>(kLocalRegBase + i),
+                         is_ref);
+        } else {
             nf.spills[i - kNumLocalRegs] = raw;
+            nf.spillRefs[i - kNumLocalRegs] = is_ref;
+        }
     }
     for (std::size_t j = 0; j < f->stack.size(); ++j) {
         const std::uint64_t raw = f->stack[j].raw();
-        if (j < kNumStackRegs)
+        const bool is_ref = f->stack[j].tag() == Tag::Ref;
+        if (j < kNumStackRegs) {
             nf.regs[kStackRegBase + j] = raw;
-        else
+            nf.setRegRef(static_cast<std::uint8_t>(kStackRegBase + j),
+                         is_ref);
+        } else {
             nf.spills[spilled_locals + (j - kNumStackRegs)] = raw;
+            nf.spillRefs[spilled_locals + (j - kNumStackRegs)] = is_ref;
+        }
     }
     nf.syncObj = f->syncObj;
     nf.monitorPending = false;  // already held by the interp frame
@@ -403,7 +432,9 @@ ExecutionEngine::deliverReturn(VmThread &thread, const StepResult &r)
                        f->stackAddr(f->stack.size()), 4);
         f->stack.push_back(r.value);
     } else {
-        std::get<NativeFrame>(act).regs[kArgRegBase] = r.value.raw();
+        auto &nf = std::get<NativeFrame>(act);
+        nf.regs[kArgRegBase] = r.value.raw();
+        nf.setRegRef(kArgRegBase, r.value.tag() == Tag::Ref);
     }
 }
 
@@ -431,6 +462,8 @@ ExecutionEngine::stepThread(VmThread &thread)
         }
 
         const std::uint64_t before = counting_.total();
+        const std::uint64_t gc_before =
+            gc_ != nullptr ? gc_->stats().gcEvents : 0;
         translateEventsThisStep_ = 0;
         StepResult r =
             is_interp ? interp_->step(thread) : exec_->step(thread);
@@ -467,9 +500,13 @@ ExecutionEngine::stepThread(VmThread &thread)
 
         // Attribute everything the step caused — including return
         // delivery and unwinding, but excluding translation (already
-        // charged to the compiled method) — to the method that ran.
-        const std::uint64_t delta =
-            counting_.total() - before - translateEventsThisStep_;
+        // charged to the compiled method) and collector work (GC is
+        // attributed to no method; it shows up as Phase::Gc) — to the
+        // method that ran.
+        const std::uint64_t gc_delta =
+            (gc_ != nullptr ? gc_->stats().gcEvents : 0) - gc_before;
+        const std::uint64_t delta = counting_.total() - before
+            - translateEventsThisStep_ - gc_delta;
         MethodProfile &prof = profiles_.of(running);
         if (is_interp)
             prof.interpEvents += delta;
@@ -587,6 +624,9 @@ ExecutionEngine::run(std::int32_t arg)
     result.memory.stackBytes = stack_bytes;
     result.memory.codeCacheBytes = cache_->codeBytes();
     result.memory.translatorBytes = translator_->peakWorkingBytes();
+
+    if (gc_ != nullptr)
+        result.gcStats = gc_->stats();
 
     if (obs::enabled()) {
         publishRunMetrics(result, *cache_);

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "gc/collector.h"
+#include "gc/config.h"
 #include "vm/engine/context.h"
 #include "vm/engine/policy.h"
 #include "vm/engine/profile.h"
@@ -33,6 +35,10 @@
 #include "vm/jit/code_cache.h"
 #include "vm/jit/translator.h"
 #include "vm/native/executor.h"
+
+namespace jrs::gc {
+class GcController;
+} // namespace jrs::gc
 
 namespace jrs {
 
@@ -49,7 +55,7 @@ struct EngineConfig {
     /** Safety cap on simulated instructions (0 = unlimited). */
     std::uint64_t maxEvents = 0;
     /** Heap arena size in bytes. */
-    std::size_t heapBytes = 64u << 20;
+    std::size_t heapBytes = kDefaultHeapBytes;
     /**
      * JIT method inlining + monomorphic devirtualization (the paper's
      * Section 7 proposal). Off by default: the baseline experiments
@@ -70,6 +76,13 @@ struct EngineConfig {
      * methods.
      */
     std::uint64_t osrBackEdgeThreshold = 0;
+    /**
+     * Garbage collection (off by default). With gc.collector set the
+     * engine installs allocation safepoints and collector work shows
+     * up as Phase::Gc trace events; with it off, behaviour — digests,
+     * traces, cycle counts — is bit-identical to a GC-less build.
+     */
+    gc::GcOptions gc;
 };
 
 /** Memory-footprint accounting (Table 1). */
@@ -140,6 +153,8 @@ struct RunResult {
     ProfileTable profiles;
     LockStats lockStats;
     MemoryFootprint memory;
+    /** Collection statistics (all zero when GC is off). */
+    gc::GcStats gcStats;
 
     /** Events in a phase by enum. */
     std::uint64_t inPhase(Phase p) const {
@@ -185,6 +200,19 @@ class ExecutionEngine : public EngineServices {
     /** Access to the code cache (profilers build method maps from it). */
     const CodeCache &codeCache() const { return *cache_; }
 
+    /** The configured collector (CollectorKind::None when GC is off). */
+    gc::CollectorKind collectorKind() const { return cfg_.gc.collector; }
+
+    /** The GC controller, or nullptr when GC is off. */
+    gc::GcController *gcController() { return gc_.get(); }
+
+    /**
+     * Relocation-independent digest of the currently reachable heap
+     * (gc/live_digest.h). Meaningful for cross-collector comparison
+     * once the run has finished and all frames have unwound.
+     */
+    std::uint64_t liveHeapHash();
+
   private:
     void unwind(VmThread &thread, SimAddr exception, const char *name);
     /** Attempt on-stack replacement of the top (interpreter) frame. */
@@ -210,6 +238,7 @@ class ExecutionEngine : public EngineServices {
     std::unique_ptr<NativeExecutor> exec_;
 
     std::vector<std::unique_ptr<VmThread>> threads_;
+    std::unique_ptr<gc::GcController> gc_;
     ProfileTable profiles_;
     std::set<MethodId> uncompilable_;
     std::uint64_t translateEventsThisStep_ = 0;

@@ -678,7 +678,7 @@ Interpreter::step(VmThread &thread)
             checkNull(ref);
             const SimAddr addr = Heap::fieldAddr(ref.asRef(), slot);
             E.store(P, hpc(), addr, 4, ireg::kT1, ireg::kT0);
-            heap.storeU32(addr, v.slotBits());
+            heap.storeSlot(addr, v.slotBits(), op == Op::PutFieldA);
             return finish();
           }
           case Op::GetStaticI: case Op::GetStaticF: case Op::GetStaticA: {

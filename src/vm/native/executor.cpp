@@ -343,10 +343,13 @@ NativeExecutor::step(VmThread &thread)
           case NOp::StRef: {
             const SimAddr a = R(inst.rs1) + inst.imm;
             const std::uint64_t v = R(inst.rs2);
-            heap.storeU32(a, v == 0
-                                 ? 0u
-                                 : static_cast<std::uint32_t>(
-                                       v - seg::kHeap));
+            // Mirror the interpreter's PutFieldA: the store-time ref
+            // bitmap is what the collectors and live digest trace by.
+            heap.storeSlot(a,
+                           v == 0 ? 0u
+                                  : static_cast<std::uint32_t>(
+                                        v - seg::kHeap),
+                           true);
             E.store(P, pc, a, 4, inst.rs1, inst.rs2);
             break;
           }
@@ -602,6 +605,43 @@ NativeExecutor::step(VmThread &thread)
         r.thrown = gt.ref;
         r.thrownName = gt.builtinName;
         return r;
+    }
+
+    // Classify the destination register for precise GC roots: native
+    // registers are untyped u64s, so every write records whether the
+    // result is a reference. AddP results (interior pointers) are
+    // deliberately non-ref — they are consumed by the next memory op
+    // and never live across an allocation.
+    switch (inst.op) {
+      case NOp::LdRef:
+      case NOp::LdStr:
+      case NOp::New:
+      case NOp::NewArr:
+        f.setRegRef(inst.rd, true);
+        break;
+      case NOp::Mov:
+        f.setRegRef(inst.rd, f.regIsRef(inst.rs1));
+        break;
+      case NOp::LdSpill:
+        f.setRegRef(inst.rd,
+                    f.spillRefs[static_cast<std::size_t>(inst.imm)]);
+        break;
+      case NOp::StSpill:
+        f.spillRefs[static_cast<std::size_t>(inst.imm)] =
+            f.regIsRef(inst.rs1);
+        break;
+      case NOp::LdStatic:
+        f.setRegRef(inst.rd,
+                    tagOf(ctx_.registry.program()
+                              .statics[static_cast<std::uint16_t>(
+                                  inst.imm)]
+                              .type)
+                        == Tag::Ref);
+        break;
+      default:
+        if (inst.rd != kNoReg)
+            f.setRegRef(inst.rd, false);
+        break;
     }
 
     f.ip = ip + 1;

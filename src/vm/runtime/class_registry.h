@@ -91,6 +91,14 @@ class ClassRegistry {
      */
     std::size_t metadataBytes() const { return metadataBytes_; }
 
+    // --- GC root access (src/gc/roots.cpp) --------------------------------
+    // Mutable views so a moving collector can rewrite root addresses in
+    // place; non-GC code must keep using the typed accessors above.
+
+    std::vector<Value> &gcStatics() { return statics_; }
+    std::vector<SimAddr> &gcStringRefs() { return stringRefs_; }
+    std::vector<SimAddr> &gcClassObjects() { return classObjects_; }
+
   private:
     const Program *prog_;
     std::vector<Value> statics_;

@@ -25,7 +25,9 @@ makeHeader(ClassId cls, bool is_array, ArrayKind kind)
 
 Heap::Heap(std::size_t capacity_bytes)
     : storage_(capacity_bytes, 0),
-      cursor_(16)  // offset 0 reserved so a null ref is never valid
+      refBits_((capacity_bytes / 4 + 63) / 64 + 1, 0),
+      cursor_(16),  // offset 0 reserved so a null ref is never valid
+      allocLimit_(capacity_bytes)
 {
 }
 
@@ -37,14 +39,48 @@ Heap::offsetOf(SimAddr addr) const
     return static_cast<std::size_t>(addr - seg::kHeap);
 }
 
+bool
+Heap::canAllocate(std::size_t bytes) const
+{
+    const std::size_t aligned = (bytes + 7) & ~std::size_t{7};
+    if (cursor_ + aligned <= allocLimit_)
+        return true;
+    for (const FreeBlock &b : freeList_)
+        if (b.size >= aligned)
+            return true;
+    return false;
+}
+
 SimAddr
 Heap::bump(std::size_t bytes)
 {
     const std::size_t aligned = (bytes + 7) & ~std::size_t{7};
-    if (cursor_ + aligned > storage_.size())
+
+    // First-fit from the sweep's free list (empty without a collector,
+    // so the un-collected path is the original bump allocator).
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        if (it->size < aligned)
+            continue;
+        const std::size_t off = it->off;
+        if (it->size - aligned >= 8) {
+            it->off += static_cast<std::uint32_t>(aligned);
+            it->size -= static_cast<std::uint32_t>(aligned);
+            // The remainder must stay walkable for the next sweep.
+            writeFiller(it->off, it->size);
+        } else {
+            freeList_.erase(it);
+        }
+        clearRange(off, aligned);
+        totalAllocated_ += aligned;
+        ++allocCount_;
+        return seg::kHeap + off;
+    }
+
+    if (cursor_ + aligned > allocLimit_)
         throw VmError("heap exhausted");
     const SimAddr addr = seg::kHeap + cursor_;
     cursor_ += aligned;
+    totalAllocated_ += aligned;
     ++allocCount_;
     return addr;
 }
@@ -83,7 +119,9 @@ Heap::loadU32(SimAddr addr) const
 void
 Heap::storeU32(SimAddr addr, std::uint32_t v)
 {
-    std::memcpy(&storage_[offsetOf(addr)], &v, sizeof(v));
+    const std::size_t off = offsetOf(addr);
+    std::memcpy(&storage_[off], &v, sizeof(v));
+    setRefBit(off, false);
 }
 
 std::uint16_t
@@ -97,7 +135,9 @@ Heap::loadU16(SimAddr addr) const
 void
 Heap::storeU16(SimAddr addr, std::uint16_t v)
 {
-    std::memcpy(&storage_[offsetOf(addr)], &v, sizeof(v));
+    const std::size_t off = offsetOf(addr);
+    std::memcpy(&storage_[off], &v, sizeof(v));
+    setRefBit(off, false);
 }
 
 std::uint8_t
@@ -109,7 +149,9 @@ Heap::loadU8(SimAddr addr) const
 void
 Heap::storeU8(SimAddr addr, std::uint8_t v)
 {
-    storage_[offsetOf(addr)] = v;
+    const std::size_t off = offsetOf(addr);
+    storage_[off] = v;
+    setRefBit(off, false);
 }
 
 ClassId
@@ -159,6 +201,59 @@ Heap::contentHash() const
         h *= 1099511628211ull;  // FNV prime
     }
     return h;
+}
+
+void
+Heap::clearRange(std::size_t off, std::size_t bytes)
+{
+    std::memset(&storage_[off], 0, bytes);
+    for (std::size_t o = off; o < off + bytes; o += 4)
+        setRefBit(o, false);
+}
+
+void
+Heap::writeFiller(std::size_t off, std::size_t size)
+{
+    const SimAddr addr = seg::kHeap + off;
+    if (size >= 16) {
+        storeU32(addr, makeHeader(0, true, ArrayKind::Byte));
+        storeU32(addr + 4, 0);
+        storeU32(addr + 8, static_cast<std::uint32_t>(size - 12));
+    } else {
+        storeU32(addr, makeHeader(kGcFillerClassId, false,
+                                  ArrayKind::Int));
+        storeU32(addr + 4, 0);
+    }
+}
+
+void
+Heap::setFreeBlocks(std::vector<FreeBlock> blocks)
+{
+    for (const FreeBlock &b : blocks) {
+        clearRange(b.off, b.size);
+        writeFiller(b.off, b.size);
+    }
+    freeList_ = std::move(blocks);
+}
+
+void
+Heap::resetWindow(std::size_t base, std::size_t cursor,
+                  std::size_t limit)
+{
+    if (base < 16 || cursor < base || limit < cursor
+        || limit > storage_.size())
+        throw VmError("bad heap allocation window");
+    allocBase_ = base;
+    cursor_ = cursor;
+    allocLimit_ = limit;
+    freeList_.clear();
+}
+
+void
+Heap::rawCopy(std::size_t dst_off, std::size_t src_off,
+              std::size_t bytes)
+{
+    std::memmove(&storage_[dst_off], &storage_[src_off], bytes);
 }
 
 } // namespace jrs

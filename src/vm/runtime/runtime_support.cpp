@@ -1,5 +1,7 @@
 #include "vm/runtime/runtime_support.h"
 
+#include "gc/gc_controller.h"
+
 namespace jrs {
 
 namespace {
@@ -12,12 +14,20 @@ constexpr SimAddr kAllocCursorAddr = seg::kRuntimeData + 0x20;
 
 } // namespace
 
+void
+RuntimeSupport::allocSafepoint(std::size_t bytes)
+{
+    if (gc_ != nullptr)
+        gc_->beforeAllocation((bytes + 7) & ~std::size_t{7});
+}
+
 SimAddr
 RuntimeSupport::newObject(ClassId cls)
 {
     std::uint16_t num_fields = 0;
     if (cls < registry_.numClasses())
         num_fields = registry_.klass(cls).numFields;
+    allocSafepoint(8 + 4u * num_fields);
 
     // Bump-pointer manipulation: load cursor, add, compare, store.
     emitter_.control(Phase::Runtime, kAllocPc, NKind::Call, kAllocPc + 4);
@@ -42,6 +52,8 @@ RuntimeSupport::newArray(ArrayKind kind, std::int32_t length)
 {
     if (length < 0)
         throwBuiltin(BuiltinEx::NegativeArraySize);
+    allocSafepoint(12 + static_cast<std::size_t>(length)
+                            * arrayElemSize(kind));
 
     emitter_.control(Phase::Runtime, kAllocPc + 0x40, NKind::Call,
                      kAllocPc + 0x44);
@@ -66,6 +78,7 @@ RuntimeSupport::newArray(ArrayKind kind, std::int32_t length)
 void
 RuntimeSupport::throwBuiltin(BuiltinEx kind)
 {
+    allocSafepoint(8);
     const SimAddr ex = heap_.allocObject(builtinExClassId(kind), 0);
     emitter_.store(Phase::Runtime, kAllocPc + 0x80, ex, 8);
     throw GuestThrow{ex, builtinExName(kind)};

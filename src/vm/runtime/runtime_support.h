@@ -20,6 +20,10 @@
 #include "vm/runtime/heap.h"
 #include "vm/runtime/vm_error.h"
 
+namespace jrs::gc {
+class GcController;
+} // namespace jrs::gc
+
 namespace jrs {
 
 /**
@@ -72,10 +76,21 @@ class RuntimeSupport {
     /** Clear accumulated output. */
     void clearOutput() { output_.clear(); }
 
+    /**
+     * Install the GC safepoint hook (null = GC off). The allocation
+     * entry points are the only safepoints: no C++ caller holds an
+     * unrooted reference across them (DESIGN.md §9).
+     */
+    void setGcController(gc::GcController *gc) { gc_ = gc; }
+
   private:
+    /** GC safepoint before allocating @p bytes (no-op with GC off). */
+    void allocSafepoint(std::size_t bytes);
+
     ClassRegistry &registry_;
     Heap &heap_;
     TraceEmitter &emitter_;
+    gc::GcController *gc_ = nullptr;
     std::string output_;
 };
 

@@ -55,12 +55,34 @@ struct NativeFrame {
     SimAddr base = 0;      ///< simulated frame base (spill area)
     std::array<std::uint64_t, 32> regs{};
     std::vector<std::uint64_t> spills;
+    /**
+     * Bit i set when regs[i] currently holds an object reference.
+     * Registers are untyped u64s, so the executor classifies every
+     * register write; the GC's root enumeration reads these bits to
+     * stay precise (a conservative scan is unsound here — the heap
+     * segment base fits in 32 bits, so integer values collide with
+     * valid ref encodings).
+     */
+    std::uint32_t refMask = 0;
+    /** Same per-slot ref tracking for the spill area. */
+    std::vector<bool> spillRefs;
     SimAddr syncObj = 0;
     bool monitorPending = false;  ///< synchronized entry not yet acquired
 
     /** Simulated address of spill slot @p slot. */
     SimAddr spillAddr(std::uint16_t slot) const {
         return base + 4u * slot;
+    }
+
+    /** Record whether register @p r holds a reference. */
+    void setRegRef(std::uint8_t r, bool is_ref) {
+        const std::uint32_t bit = 1u << r;
+        refMask = is_ref ? (refMask | bit) : (refMask & ~bit);
+    }
+
+    /** True when register @p r holds a reference. */
+    bool regIsRef(std::uint8_t r) const {
+        return (refMask >> r) & 1u;
     }
 };
 

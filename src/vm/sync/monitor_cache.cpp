@@ -124,4 +124,19 @@ MonitorCacheSync::owns(std::uint32_t tid, SimAddr obj) const
     return it != monitors_.end() && it->second.mon.owner == tid + 1;
 }
 
+void
+MonitorCacheSync::relocate(const std::function<SimAddr(SimAddr)> &fwd)
+{
+    SyncSystem::relocate(fwd);
+    std::unordered_map<SimAddr, Node> rekeyed;
+    rekeyed.reserve(monitors_.size());
+    for (auto &[obj, node] : monitors_) {
+        const SimAddr to = fwd(obj);
+        if (to == 0)
+            continue;  // dead object; its monitor is necessarily free
+        rekeyed.emplace(to, node);
+    }
+    monitors_ = std::move(rekeyed);
+}
+
 } // namespace jrs

@@ -32,6 +32,7 @@ class MonitorCacheSync : public SyncSystem {
     void exit(std::uint32_t tid, SimAddr obj) override;
     bool owns(std::uint32_t tid, SimAddr obj) const override;
     const char *name() const override { return "monitor_cache"; }
+    void relocate(const std::function<SimAddr(SimAddr)> &fwd) override;
 
     /** Monitors currently live in the cache (tests). */
     std::size_t liveMonitors() const { return monitors_.size(); }

@@ -34,4 +34,18 @@ SyncSystem::clearRetry(std::uint32_t tid)
     blockedRetry_.erase(tid);
 }
 
+void
+SyncSystem::relocate(const std::function<SimAddr(SimAddr)> &fwd)
+{
+    for (auto it = blockedRetry_.begin(); it != blockedRetry_.end();) {
+        const SimAddr to = fwd(it->second);
+        if (to == 0) {
+            it = blockedRetry_.erase(it);
+        } else {
+            it->second = to;
+            ++it;
+        }
+    }
+}
+
 } // namespace jrs

@@ -18,6 +18,7 @@
 #define JRS_VM_SYNC_SYNC_SYSTEM_H
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "isa/emitter.h"
@@ -71,6 +72,18 @@ class SyncSystem {
 
     /** Implementation name for reports. */
     virtual const char *name() const = 0;
+
+    /**
+     * GC hook: @p fwd maps an object address to its post-collection
+     * address, or 0 when the object died. Thin/one-bit locks live in
+     * the lockword and move with the object's bytes, so the base
+     * implementation only remaps the blocked-retry markers; address-
+     * keyed implementations (the monitor cache) override to rekey
+     * their tables and drop dead entries (a locked object is always
+     * reachable — its holder's frame roots it — so dropped monitors
+     * are guaranteed free).
+     */
+    virtual void relocate(const std::function<SimAddr(SimAddr)> &fwd);
 
     /** Accumulated statistics. */
     const LockStats &stats() const { return stats_; }

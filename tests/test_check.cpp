@@ -556,7 +556,13 @@ namespace {
 class LintTrace : public testing::Test {
   protected:
     void SetUp() override {
-        dir_ = fs::temp_directory_path() / "jrs-check-lint-test";
+        // Per-test directory: ctest runs each case as its own process,
+        // possibly concurrently, so a shared path would let one test's
+        // TearDown delete another's files mid-run.
+        dir_ = fs::temp_directory_path()
+            / (std::string("jrs-check-lint-test-")
+               + testing::UnitTest::GetInstance()
+                     ->current_test_info()->name());
         fs::remove_all(dir_);
         sweep::TraceCache cache(dir_.string());
         cache.get(sweep::traceKey("hello", sweep::ExecMode::interp()));
