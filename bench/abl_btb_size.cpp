@@ -34,6 +34,8 @@ main(int argc, char **argv)
     opts.cacheDir = args.cacheDir;
     obs::PerfReportSet perfReports;
     bench::attachPerfObserver(opts, args, perfReports);
+    prof::CctReportSet cctReports;
+    bench::attachCctObserver(opts, args, cctReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildBtbGrid());
@@ -42,7 +44,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports);
+        bench::finishObs(args, &perfReports, &cctReports);
         return 1;
     }
 
@@ -71,6 +73,6 @@ main(int argc, char **argv)
 
     if (!args.json.empty())
         result.writeJson(args.json);
-    bench::finishObs(args, &perfReports);
+    bench::finishObs(args, &perfReports, &cctReports);
     return 0;
 }

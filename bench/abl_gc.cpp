@@ -36,6 +36,8 @@ main(int argc, char **argv)
     opts.cacheDir = args.cacheDir;
     obs::PerfReportSet perfReports;
     bench::attachPerfObserver(opts, args, perfReports);
+    prof::CctReportSet cctReports;
+    bench::attachCctObserver(opts, args, cctReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildGcGrid());
@@ -44,7 +46,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports);
+        bench::finishObs(args, &perfReports, &cctReports);
         return 1;
     }
 
@@ -74,6 +76,6 @@ main(int argc, char **argv)
 
     if (!args.json.empty())
         result.writeJson(args.json);
-    bench::finishObs(args, &perfReports);
+    bench::finishObs(args, &perfReports, &cctReports);
     return 0;
 }

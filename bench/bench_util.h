@@ -6,19 +6,25 @@
 #ifndef JRS_BENCH_BENCH_UTIL_H
 #define JRS_BENCH_BENCH_UTIL_H
 
-#include <cstdio>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "obs/cli.h"
+#include "obs/host_stats.h"
 #include "obs/obs.h"
 #include "obs/perf.h"
+#include "prof/bench.h"
+#include "prof/cct.h"
 #include "support/statistics.h"
 #include "support/table.h"
+#include "sweep/cct_observer.h"
 #include "sweep/perf_observer.h"
+#include "vm/runtime/vm_error.h"
 
 namespace jrs::bench {
 
@@ -168,11 +174,14 @@ setupObs(const SweepBenchArgs &args)
  */
 inline void
 finishObs(const SweepBenchArgs &args,
-          const obs::PerfReportSet *perf = nullptr)
+          const obs::PerfReportSet *perf = nullptr,
+          const prof::CctReportSet *cct = nullptr)
 {
     args.obs.finish(std::cout);
     if (perf != nullptr)
         args.obs.writePerf(*perf, std::cout);
+    if (cct != nullptr)
+        args.obs.writeCct(*cct, std::cout);
 }
 
 /**
@@ -189,38 +198,62 @@ attachPerfObserver(sweep::SweepOptions &opts,
 }
 
 /**
- * Append one JSON object to a {"schema": "jrs-bench-sweep-v1",
- * "entries": [...]} trajectory file, creating the file on first use.
- * @p entry must be a complete JSON object ("{...}").
+ * Wire --cct-json/--flame into a sweep (no-op unless one of the flags
+ * was given): see sweep/cct_observer.h. @p reports must outlive the
+ * sweep. Composes with attachPerfObserver — both observers may watch
+ * the same sweep.
  */
 inline void
-appendBenchJson(const std::string &path, const std::string &entry)
+attachCctObserver(sweep::SweepOptions &opts,
+                  const SweepBenchArgs &args,
+                  prof::CctReportSet &reports)
 {
-    std::string body;
-    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
-        char buf[4096];
-        std::size_t n;
-        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-            body.append(buf, n);
-        std::fclose(f);
-    }
-    const std::size_t tail = body.rfind("\n  ]");
-    if (tail == std::string::npos) {
-        body = "{\n  \"schema\": \"jrs-bench-sweep-v1\",\n"
-               "  \"entries\": [\n    "
-            + entry + "\n  ]\n}\n";
-    } else {
-        body.insert(tail, ",\n    " + entry);
-    }
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) {
-        std::cerr << "error: cannot write " << path << '\n';
-        std::exit(1);
-    }
-    const bool ok =
-        std::fwrite(body.data(), 1, body.size(), f) == body.size();
-    if (std::fclose(f) != 0 || !ok) {
-        std::cerr << "error: cannot write " << path << '\n';
+    if (args.obs.cctRequested())
+        sweep::attachCctObserver(opts, reports);
+}
+
+/** Sum of per-point stream events across a finished sweep. */
+inline std::uint64_t
+sweepEvents(const sweep::SweepResult &result)
+{
+    std::uint64_t total = 0;
+    for (const sweep::PointResult &p : result.points)
+        total += p.traceEvents;
+    return total;
+}
+
+/** Build one jrs-bench-v1 run entry from a timed step. */
+inline prof::BenchRun
+benchRun(std::string label, std::uint64_t events, double seconds)
+{
+    prof::BenchRun run;
+    run.label = std::move(label);
+    run.events = events;
+    run.wallSeconds = seconds;
+    run.eventsPerSec =
+        seconds > 0 ? static_cast<double>(events) / seconds : 0;
+    run.peakRssBytes = obs::HostStats::peakRssBytes();
+    return run;
+}
+
+/**
+ * Merge @p runs into the jrs-bench-v1 trajectory file at @p path
+ * (schema in prof/bench.h), replacing same-label entries and creating
+ * the file — or restarting an old-schema/corrupt one — as needed.
+ * Exits non-zero on I/O failure, like the rest of the bench helpers.
+ */
+inline void
+upsertBenchRuns(const std::string &path, const std::string &suite,
+                std::vector<prof::BenchRun> runs)
+{
+    prof::BenchReport report = prof::BenchReport::loadOrEmpty(path,
+                                                              suite);
+    for (prof::BenchRun &run : runs)
+        report.upsert(std::move(run));
+    try {
+        report.writeJson(path);
+    } catch (const VmError &e) {
+        std::cerr << "error: " << e.what() << '\n';
         std::exit(1);
     }
 }

@@ -171,6 +171,8 @@ main(int argc, char **argv)
     opts.cacheDir = args.cacheDir;
     obs::PerfReportSet perfReports;
     bench::attachPerfObserver(opts, args, perfReports);
+    prof::CctReportSet cctReports;
+    bench::attachCctObserver(opts, args, cctReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result = engine.run(
         {timelinePoint(false, &interp), timelinePoint(true, &jit)});
@@ -179,7 +181,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports);
+        bench::finishObs(args, &perfReports, &cctReports);
         return 1;
     }
 
@@ -202,10 +204,10 @@ main(int argc, char **argv)
                      "bit-identical: "
                   << (same ? "yes" : "NO") << '\n';
         if (!same) {
-            bench::finishObs(args, &perfReports);
+            bench::finishObs(args, &perfReports, &cctReports);
             return 1;
         }
     }
-    bench::finishObs(args, &perfReports);
+    bench::finishObs(args, &perfReports, &cctReports);
     return 0;
 }

@@ -11,8 +11,8 @@
  * with streams processed in parallel across `--jobs` workers.
  * `--compare-serial` also runs the pre-sweep implementation (live VM
  * run per point) and checks the two produce bit-identical miss rates;
- * `--bench-json FILE` appends the serial/cold/warm wall times to a
- * perf-trajectory file.
+ * `--bench-json FILE` records serial/cold/warm throughput in a
+ * jrs-bench-v1 trajectory file (prof/bench.h).
  */
 #include <chrono>
 #include <thread>
@@ -111,6 +111,8 @@ main(int argc, char **argv)
     opts.cacheDir = args.cacheDir;
     obs::PerfReportSet perfReports;
     bench::attachPerfObserver(opts, args, perfReports);
+    prof::CctReportSet cctReports;
+    bench::attachCctObserver(opts, args, cctReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildFig07Grid());
@@ -119,7 +121,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports);
+        bench::finishObs(args, &perfReports, &cctReports);
         return 1;
     }
 
@@ -167,31 +169,38 @@ main(int argc, char **argv)
                   << "x) | results bit-identical: "
                   << (same ? "yes" : "NO") << '\n';
         if (!args.benchJson.empty()) {
-            bench::appendBenchJson(
-                args.benchJson,
-                std::string("{\"bench\": \"fig07\", \"jobs\": ")
-                    + std::to_string(result.jobs)
-                    + ", \"hw_threads\": "
-                    + std::to_string(
-                          std::thread::hardware_concurrency())
-                    + ", \"serial_seconds\": "
-                    + fixed(serial.seconds, 4)
-                    + ", \"sweep_cold_seconds\": "
-                    + fixed(result.wallSeconds, 4)
-                    + ", \"sweep_warm_seconds\": "
-                    + fixed(warm.wallSeconds, 4)
-                    + ", \"cold_speedup\": "
-                    + fixed(serial.seconds / result.wallSeconds, 3)
-                    + ", \"warm_speedup\": "
-                    + fixed(serial.seconds / warm.wallSeconds, 3)
-                    + ", \"bit_identical\": "
-                    + (same ? "true" : "false") + "}");
+            // Three jrs-bench-v1 entries sharing one event count (the
+            // same grid's streams) so events_per_sec ratios track the
+            // printed speedups.
+            const std::uint64_t ev = bench::sweepEvents(result);
+            prof::BenchRun sr =
+                bench::benchRun("fig07/serial", ev, serial.seconds);
+            sr.metrics.emplace_back("jobs",
+                                    static_cast<double>(result.jobs));
+            sr.metrics.emplace_back(
+                "hw_threads",
+                static_cast<double>(
+                    std::thread::hardware_concurrency()));
+            prof::BenchRun cold = bench::benchRun(
+                "fig07/sweep_cold", ev, result.wallSeconds);
+            cold.metrics.emplace_back(
+                "speedup_vs_serial",
+                serial.seconds / result.wallSeconds);
+            prof::BenchRun warmRun = bench::benchRun(
+                "fig07/sweep_warm", ev, warm.wallSeconds);
+            warmRun.metrics.emplace_back(
+                "speedup_vs_serial", serial.seconds / warm.wallSeconds);
+            warmRun.metrics.emplace_back("bit_identical",
+                                         same ? 1.0 : 0.0);
+            bench::upsertBenchRuns(
+                args.benchJson, "sweep",
+                {std::move(sr), std::move(cold), std::move(warmRun)});
         }
         if (!same) {
-            bench::finishObs(args, &perfReports);
+            bench::finishObs(args, &perfReports, &cctReports);
             return 1;
         }
     }
-    bench::finishObs(args, &perfReports);
+    bench::finishObs(args, &perfReports, &cctReports);
     return 0;
 }

@@ -108,6 +108,8 @@ main(int argc, char **argv)
     opts.cacheDir = args.cacheDir;
     obs::PerfReportSet perfReports;
     bench::attachPerfObserver(opts, args, perfReports);
+    prof::CctReportSet cctReports;
+    bench::attachCctObserver(opts, args, cctReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildFig08Grid());
@@ -116,7 +118,7 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports);
+        bench::finishObs(args, &perfReports, &cctReports);
         return 1;
     }
 
@@ -177,31 +179,35 @@ main(int argc, char **argv)
                   << "x) | results bit-identical: "
                   << (same ? "yes" : "NO") << '\n';
         if (!args.benchJson.empty()) {
-            bench::appendBenchJson(
-                args.benchJson,
-                std::string("{\"bench\": \"fig08\", \"jobs\": ")
-                    + std::to_string(result.jobs)
-                    + ", \"hw_threads\": "
-                    + std::to_string(
-                          std::thread::hardware_concurrency())
-                    + ", \"serial_seconds\": "
-                    + fixed(serial.seconds, 4)
-                    + ", \"sweep_cold_seconds\": "
-                    + fixed(result.wallSeconds, 4)
-                    + ", \"sweep_warm_seconds\": "
-                    + fixed(warm.wallSeconds, 4)
-                    + ", \"cold_speedup\": "
-                    + fixed(serial.seconds / result.wallSeconds, 3)
-                    + ", \"warm_speedup\": "
-                    + fixed(serial.seconds / warm.wallSeconds, 3)
-                    + ", \"bit_identical\": "
-                    + (same ? "true" : "false") + "}");
+            const std::uint64_t ev = bench::sweepEvents(result);
+            prof::BenchRun sr =
+                bench::benchRun("fig08/serial", ev, serial.seconds);
+            sr.metrics.emplace_back("jobs",
+                                    static_cast<double>(result.jobs));
+            sr.metrics.emplace_back(
+                "hw_threads",
+                static_cast<double>(
+                    std::thread::hardware_concurrency()));
+            prof::BenchRun cold = bench::benchRun(
+                "fig08/sweep_cold", ev, result.wallSeconds);
+            cold.metrics.emplace_back(
+                "speedup_vs_serial",
+                serial.seconds / result.wallSeconds);
+            prof::BenchRun warmRun = bench::benchRun(
+                "fig08/sweep_warm", ev, warm.wallSeconds);
+            warmRun.metrics.emplace_back(
+                "speedup_vs_serial", serial.seconds / warm.wallSeconds);
+            warmRun.metrics.emplace_back("bit_identical",
+                                         same ? 1.0 : 0.0);
+            bench::upsertBenchRuns(
+                args.benchJson, "sweep",
+                {std::move(sr), std::move(cold), std::move(warmRun)});
         }
         if (!same) {
-            bench::finishObs(args, &perfReports);
+            bench::finishObs(args, &perfReports, &cctReports);
             return 1;
         }
     }
-    bench::finishObs(args, &perfReports);
+    bench::finishObs(args, &perfReports, &cctReports);
     return 0;
 }

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * jrs_bench — self-profiled benchmark regression harness.
+ *
+ * Everything else in the tree measures the *simulated* machine; this
+ * binary measures the simulator itself. It executes a fixed workload
+ * matrix, timing each step with obs::HostStats (wall-clock per named
+ * section, simulated instructions pushed through per host second,
+ * peak RSS), and emits a stable "jrs-bench-v1" report (prof/bench.h)
+ * that can be committed as a throughput trajectory and gated on:
+ *
+ *   jrs_bench --suite vm --json bench/BENCH_vm.json
+ *   jrs_bench --compare bench/BENCH_prof.json --max-regress 30
+ *
+ *   --suite NAME     vm | sweep | gc | prof | all (default: all)
+ *                    vm    — live VM record throughput, every
+ *                            workload × {interp, jit}
+ *                    sweep — fig07 grid, cold vs warm replay
+ *                    gc    — GC grid throughput + collection counts
+ *                    prof  — replay overhead: bare pipeline vs
+ *                            attribution vs calling-context profiler
+ *   --tiny           use each workload's tinyArg (vm/prof suites)
+ *   --jobs N         sweep worker threads (sweep/gc suites)
+ *   --json FILE      merge this run's entries into a jrs-bench-v1
+ *                    trajectory file (same-label entries replaced)
+ *   --compare BASE   compare against a baseline jrs-bench-v1 file;
+ *                    exits non-zero when any shared label's
+ *                    events_per_sec regressed beyond the threshold
+ *   --max-regress P  regression threshold in percent (default: 20)
+ *
+ * The figure of merit is events_per_sec — simulated instructions per
+ * host second — which is roughly workload-size independent, so a
+ * --tiny run can still be compared against a full-size baseline with
+ * a generous threshold.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/pipeline/pipeline.h"
+#include "harness/experiment.h"
+#include "obs/host_stats.h"
+#include "obs/perf.h"
+#include "prof/bench.h"
+#include "prof/cct.h"
+#include "support/statistics.h"
+#include "support/table.h"
+#include "sweep/grids.h"
+#include "sweep/sweep.h"
+#include "vm/engine/policy.h"
+#include "vm/runtime/vm_error.h"
+#include "workloads/workload.h"
+
+using namespace jrs;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg != nullptr)
+        std::cerr << "error: " << msg << "\n\n";
+    std::cerr << "usage: jrs_bench [--suite vm|sweep|gc|prof|all]"
+                 " [--tiny] [--jobs N]\n"
+                 "                 [--json FILE] [--compare BASE]"
+                 " [--max-regress PCT]\n";
+    std::exit(2);
+}
+
+struct Args {
+    std::string suite = "all";
+    bool tiny = false;
+    unsigned jobs = 0;
+    std::string jsonPath;
+    std::string comparePath;
+    double maxRegressPct = 20.0;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("missing value");
+            return argv[++i];
+        };
+        if (a == "--suite") {
+            out.suite = next();
+        } else if (a == "--tiny") {
+            out.tiny = true;
+        } else if (a == "--jobs") {
+            const std::string v = next();
+            char *end = nullptr;
+            out.jobs = static_cast<unsigned>(
+                std::strtoul(v.c_str(), &end, 10));
+            if (end == v.c_str() || *end != '\0')
+                usage("--jobs expects a number");
+        } else if (a == "--json") {
+            out.jsonPath = next();
+        } else if (a == "--compare") {
+            out.comparePath = next();
+        } else if (a == "--max-regress") {
+            const std::string v = next();
+            char *end = nullptr;
+            out.maxRegressPct = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0'
+                || out.maxRegressPct < 0) {
+                usage("--max-regress expects a percentage");
+            }
+        } else {
+            usage("unknown option");
+        }
+    }
+    if (out.suite != "vm" && out.suite != "sweep" && out.suite != "gc"
+        && out.suite != "prof" && out.suite != "all") {
+        usage("unknown --suite");
+    }
+    return out;
+}
+
+/** Shared state every suite writes into. */
+struct Bench {
+    const Args &args;
+    obs::HostStats host;
+    prof::BenchReport report;
+};
+
+/** Record one timed step as a jrs-bench-v1 run entry. */
+prof::BenchRun &
+addRun(Bench &b, std::string label, std::uint64_t events,
+       double seconds)
+{
+    prof::BenchRun run;
+    run.label = std::move(label);
+    run.events = events;
+    run.wallSeconds = seconds;
+    run.eventsPerSec =
+        seconds > 0 ? static_cast<double>(events) / seconds : 0;
+    run.peakRssBytes = obs::HostStats::peakRssBytes();
+    b.report.upsert(std::move(run));
+    return b.report.runs.back();
+}
+
+/** The last HostStats entry for @p section, as a run entry. */
+prof::BenchRun &
+addSectionRun(Bench &b, const std::string &section)
+{
+    const obs::HostStats::Totals t = b.host.section(section);
+    return addRun(b, section, t.events, t.seconds);
+}
+
+/** vm: live VM record throughput, every workload × {interp, jit}. */
+void
+suiteVm(Bench &b)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        for (const bool jit : {false, true}) {
+            const std::string label = std::string("vm/") + w.name
+                + (jit ? "/jit" : "/interp");
+            RunSpec spec;
+            spec.workload = &w;
+            spec.arg = b.args.tiny ? w.tinyArg : w.smallArg;
+            spec.policy = jit
+                ? std::static_pointer_cast<CompilationPolicy>(
+                      std::make_shared<AlwaysCompilePolicy>())
+                : std::static_pointer_cast<CompilationPolicy>(
+                      std::make_shared<NeverCompilePolicy>());
+            std::uint64_t events = 0;
+            {
+                obs::HostStats::Section s(b.host, label, &events);
+                const RecordedRun rec = recordWorkload(spec);
+                events = rec.result.totalEvents;
+            }
+            addSectionRun(b, label);
+        }
+    }
+}
+
+/** Sum of per-point stream events across a finished sweep. */
+std::uint64_t
+sweepEvents(const sweep::SweepResult &result)
+{
+    std::uint64_t total = 0;
+    for (const sweep::PointResult &p : result.points)
+        total += p.traceEvents;
+    return total;
+}
+
+/** sweep: fig07 grid, cold record vs warm in-memory replay. */
+void
+suiteSweep(Bench &b)
+{
+    sweep::SweepOptions opts;
+    opts.jobs = b.args.jobs;
+    sweep::SweepEngine engine(opts);
+    std::uint64_t events = 0;
+    {
+        obs::HostStats::Section s(b.host, "sweep/fig07/cold", &events);
+        const sweep::SweepResult cold =
+            engine.run(sweep::buildFig07Grid());
+        if (!cold.allOk())
+            throw VmError("sweep suite: cold fig07 run failed");
+        events = sweepEvents(cold);
+    }
+    addSectionRun(b, "sweep/fig07/cold");
+    events = 0;
+    {
+        obs::HostStats::Section s(b.host, "sweep/fig07/warm", &events);
+        const sweep::SweepResult warm =
+            engine.run(sweep::buildFig07Grid());
+        if (!warm.allOk())
+            throw VmError("sweep suite: warm fig07 run failed");
+        events = sweepEvents(warm);
+    }
+    addSectionRun(b, "sweep/fig07/warm");
+}
+
+/** gc: the GC grid's host throughput plus collection counts. */
+void
+suiteGc(Bench &b)
+{
+    sweep::SweepOptions opts;
+    opts.jobs = b.args.jobs;
+    sweep::SweepEngine engine(opts);
+    std::uint64_t events = 0;
+    double collections = 0, gcEvents = 0;
+    {
+        obs::HostStats::Section s(b.host, "gc/grid", &events);
+        const sweep::SweepResult result =
+            engine.run(sweep::buildGcGrid());
+        if (!result.allOk())
+            throw VmError("gc suite: grid run failed");
+        events = sweepEvents(result);
+        for (const sweep::PointResult &p : result.points) {
+            collections += p.metric("collections");
+            gcEvents += p.metric("gc_events");
+        }
+    }
+    prof::BenchRun &run = addSectionRun(b, "gc/grid");
+    run.metrics.emplace_back("collections", collections);
+    run.metrics.emplace_back("gc_events", gcEvents);
+}
+
+/** prof: replay overhead of the observability pipelines. */
+void
+suiteProf(Bench &b)
+{
+    const WorkloadInfo *w = findWorkload("compress");
+    if (w == nullptr)
+        throw VmError("prof suite: compress workload missing");
+    RunSpec spec;
+    spec.workload = w;
+    spec.arg = b.args.tiny ? w->tinyArg : w->smallArg;
+    RecordedRun rec;
+    std::uint64_t recEvents = 0;
+    {
+        obs::HostStats::Section s(b.host, "prof/record", &recEvents);
+        rec = recordWorkload(spec);
+        recEvents = rec.result.totalEvents;
+    }
+    addSectionRun(b, "prof/record");
+    const std::uint64_t events = rec.result.totalEvents;
+    // The same stream replayed three ways; each entry's relative
+    // events_per_sec is the observer's overhead.
+    double pipeSeconds = 0;
+    {
+        obs::HostStats::Section s(b.host, "prof/replay/pipeline",
+                                  &events);
+        PipelineSim pipe{PipelineConfig{}};
+        rec.trace->replay(pipe);
+    }
+    pipeSeconds = b.host.section("prof/replay/pipeline").seconds;
+    addSectionRun(b, "prof/replay/pipeline");
+    {
+        obs::HostStats::Section s(b.host, "prof/replay/attributed",
+                                  &events);
+        obs::AttributedPipeline attributed(PipelineConfig{},
+                                           rec.methods);
+        rec.trace->replay(attributed);
+    }
+    {
+        prof::BenchRun &run =
+            addSectionRun(b, "prof/replay/attributed");
+        const double sec = run.wallSeconds;
+        if (pipeSeconds > 0)
+            run.metrics.emplace_back("overhead_vs_pipeline",
+                                     sec / pipeSeconds);
+    }
+    {
+        obs::HostStats::Section s(b.host, "prof/replay/cct", &events);
+        prof::CctPipeline cct(PipelineConfig{}, rec.methods);
+        rec.trace->replay(cct);
+    }
+    {
+        prof::BenchRun &run = addSectionRun(b, "prof/replay/cct");
+        const double sec = run.wallSeconds;
+        if (pipeSeconds > 0)
+            run.metrics.emplace_back("overhead_vs_pipeline",
+                                     sec / pipeSeconds);
+    }
+}
+
+void
+printSelfProfile(const Bench &b)
+{
+    Table t({"section", "seconds", "events", "M events/s"});
+    for (const auto &[name, totals] : b.host.sections()) {
+        t.addRow({name, fixed(totals.seconds, 4),
+                  withCommas(totals.events),
+                  fixed(totals.eventsPerSec() / 1e6, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "total " << fixed(b.host.totalSeconds(), 4)
+              << "s, peak RSS "
+              << withCommas(obs::HostStats::peakRssBytes())
+              << " bytes\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+    Bench b{args, {}, {}};
+    b.report.suite = args.suite;
+
+    try {
+        if (args.suite == "vm" || args.suite == "all")
+            suiteVm(b);
+        if (args.suite == "sweep" || args.suite == "all")
+            suiteSweep(b);
+        if (args.suite == "gc" || args.suite == "all")
+            suiteGc(b);
+        if (args.suite == "prof" || args.suite == "all")
+            suiteProf(b);
+    } catch (const VmError &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+
+    printSelfProfile(b);
+
+    if (!args.jsonPath.empty()) {
+        try {
+            prof::BenchReport merged = prof::BenchReport::loadOrEmpty(
+                args.jsonPath, args.suite);
+            for (const prof::BenchRun &run : b.report.runs)
+                merged.upsert(run);
+            merged.writeJson(args.jsonPath);
+        } catch (const VmError &e) {
+            std::cerr << "error: " << e.what() << '\n';
+            return 1;
+        }
+        std::cout << "wrote " << args.jsonPath << '\n';
+    }
+
+    if (!args.comparePath.empty()) {
+        prof::BenchReport baseline;
+        try {
+            baseline = prof::BenchReport::load(args.comparePath);
+        } catch (const VmError &e) {
+            std::cerr << "error: " << e.what() << '\n';
+            return 1;
+        }
+        const prof::CompareResult cmp =
+            prof::compareReports(baseline, b.report,
+                                 args.maxRegressPct);
+        std::cout << '\n'
+                  << "compare vs " << args.comparePath << " (max "
+                  << fixed(args.maxRegressPct, 1) << "% regression):\n"
+                  << cmp.text(args.maxRegressPct);
+        if (cmp.failed)
+            return 1;
+    }
+    return 0;
+}

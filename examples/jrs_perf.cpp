@@ -28,6 +28,11 @@
  *                                --window the timeline is included as
  *                                Perfetto counter tracks
  *   --perf-json FILE             write the jrs-perf-report-v1 report
+ *   --cct-json FILE              write a jrs-cct-v1 calling-context
+ *                                tree (extra replay through a
+ *                                CCT-observed pipeline; its totals are
+ *                                cross-checked like everything else)
+ *   --flame FILE                 folded stacks (flamegraph.pl input)
  *
  * The tool always cross-checks its tables against the model's own
  * aggregate statistics (event counts, cache accesses/misses,
@@ -50,6 +55,7 @@
 #include "obs/cli.h"
 #include "obs/obs.h"
 #include "obs/perf.h"
+#include "prof/cct.h"
 #include "support/statistics.h"
 #include "vm/engine/engine.h"
 #include "vm/engine/policy.h"
@@ -407,9 +413,34 @@ main(int argc, char **argv)
         t.print(std::cout);
     }
 
-    const bool conserved = pipe != nullptr
+    bool conserved = pipe != nullptr
         ? checkPipeline(perf, pipe->pipeline())
         : checkCaches(perf, caches->caches());
+
+    if (cli.cctRequested()) {
+        // One more replay, through the calling-context profiler; its
+        // node totals must partition the pipeline's cycles exactly.
+        prof::CctPipeline cct(PipelineConfig{}, map);
+        buffer.replay(cct);
+        conserved &= expectEq("cct events", cct.cct().totalEvents(),
+                              cct.pipeline().instructions());
+        conserved &= expectEq("cct cycles", cct.cct().totalCycles(),
+                              cct.pipeline().cycles());
+        std::uint64_t nodeCycles = 0;
+        std::uint64_t nodeEvents = 0;
+        for (const prof::CctNode &n : cct.cct().nodes()) {
+            nodeCycles += n.cycles();
+            nodeEvents += n.events;
+        }
+        conserved &= expectEq("sum(cct node cycles)", nodeCycles,
+                              cct.pipeline().cycles());
+        conserved &= expectEq("sum(cct node events)", nodeEvents,
+                              cct.pipeline().instructions());
+        prof::CctReportSet cctReports;
+        cctReports.add(std::string(w->name) + "/" + mode, cct.cct());
+        cli.writeCct(cctReports, std::cout);
+    }
+
     std::cout << "\nconservation vs model aggregates: "
               << (conserved ? "OK" : "FAILED") << '\n';
 

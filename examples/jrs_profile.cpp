@@ -16,6 +16,8 @@
  *   --arg N                      workload argument (default: smallArg)
  *   --tiny                       use the workload's tinyArg instead
  *   --top N                      rows per phase table (default: 10)
+ *   --json FILE                  machine-readable per-phase top-N
+ *                                tables (schema "jrs-profile-v1")
  *   --metrics-json FILE          write a jrs-metrics-v1 snapshot
  *   --trace-json FILE            write Chrome trace-event JSON
  *                                (open in Perfetto / chrome://tracing)
@@ -23,15 +25,27 @@
  *                                perf-attribution pipeline and write a
  *                                jrs-perf-report-v1 report (per-method
  *                                CPI stacks, miss/mispredict profiles)
+ *   --cct-json FILE              jrs-cct-v1 calling-context tree
+ *   --flame FILE                 folded stacks (flamegraph.pl input)
+ *   --collector/--heap-bytes/... collector knobs (see GcCli)
+ *
+ * Differential flamegraphs (two runs of the same workload):
+ *
+ *   --diff-mode MODE             second run in MODE (e.g. interp)
+ *   --diff-collector NAME        second run under collector NAME
+ *   --flame-diff FILE            difffolded output "stack valA valB"
+ *                                (render: flamegraph.pl --negate)
  *
  * Examples:
  *   jrs_profile compress
  *   jrs_profile jess --mode counter:500 --top 5
- *   jrs_profile db --tiny --trace-json db.trace.json
- *   jrs_profile compress --perf-json compress.perf.json
+ *   jrs_profile compress --flame compress.folded
+ *   jrs_profile db --mode jit --diff-mode interp --flame-diff d.folded
+ *   jrs_profile db --diff-collector marksweep --flame-diff gc.folded
  */
 #include <cstdlib>
 #include <iostream>
+#include <fstream>
 #include <string>
 
 #include "arch/pipeline/pipeline.h"
@@ -40,6 +54,7 @@
 #include "obs/cli.h"
 #include "obs/obs.h"
 #include "obs/perf.h"
+#include "prof/cct.h"
 #include "support/statistics.h"
 #include "vm/engine/engine.h"
 #include "vm/engine/policy.h"
@@ -56,8 +71,11 @@ usage(const char *msg = nullptr)
         std::cerr << "error: " << msg << "\n\n";
     std::cerr << "usage: jrs_profile <workload>"
                  " [--mode interp|jit|counter:N] [--arg N] [--tiny]"
-                 " [--top N]"
-              << obs::ObsCli::usageText() << "\n\nworkloads:\n";
+                 " [--top N] [--json FILE]"
+              << obs::ObsCli::usageText()
+              << obs::GcCli::usageText()
+              << "\n       [--diff-mode MODE] [--diff-collector NAME]"
+                 " [--flame-diff FILE]\n\nworkloads:\n";
     for (const WorkloadInfo &w : allWorkloads())
         std::cerr << "  " << w.name << " — " << w.description << '\n';
     std::exit(2);
@@ -94,6 +112,57 @@ parseLong(const std::string &v, const char *what)
     return n;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** One recorded run: the stream plus everything needed to join it. */
+struct Recorded {
+    std::string label;
+    Program prog;
+    TraceBuffer buffer;
+    std::shared_ptr<const obs::MethodMap> map;
+    RunResult res;
+};
+
+/** Run @p w once, recording; exits non-zero on an incomplete run. */
+Recorded
+record(const WorkloadInfo *w, const std::string &mode,
+       std::int32_t arg, const obs::GcCli &gcCli)
+{
+    Recorded r;
+    r.label = std::string(w->name) + "/" + mode;
+    if (gcCli.enabled())
+        r.label += std::string("/") + gc::collectorName(
+            gcCli.gc.collector);
+    r.prog = w->build();
+    EngineConfig cfg;
+    cfg.policy = parseMode(mode);
+    cfg.sink = &r.buffer;
+    gcCli.apply(cfg);
+    ExecutionEngine engine(r.prog, cfg);
+    r.res = engine.run(arg);
+    if (!r.res.completed) {
+        std::cerr << w->name << " did not complete: "
+                  << (r.res.uncaughtException != nullptr
+                          ? r.res.uncaughtException
+                          : "unknown")
+                  << '\n';
+        std::exit(1);
+    }
+    r.map = std::make_shared<const obs::MethodMap>(
+        obs::MethodMap::forRun(engine.registry(), engine.codeCache()));
+    return r;
+}
+
 } // namespace
 
 int
@@ -108,7 +177,12 @@ main(int argc, char **argv)
     std::string mode = "jit";
     std::int32_t arg = w->smallArg;
     std::size_t topN = 10;
+    std::string jsonPath;
+    std::string diffMode;
+    std::string diffCollector;
+    std::string flameDiff;
     obs::ObsCli cli;
+    obs::GcCli gcCli;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -124,12 +198,28 @@ main(int argc, char **argv)
             arg = w->tinyArg;
         } else if (a == "--top") {
             topN = static_cast<std::size_t>(parseLong(next(), "--top"));
+        } else if (a == "--json") {
+            jsonPath = next();
+        } else if (a == "--diff-mode") {
+            diffMode = next();
+        } else if (a == "--diff-collector") {
+            diffCollector = next();
+        } else if (a == "--flame-diff") {
+            flameDiff = next();
         } else if (cli.tryParse(a, next)) {
+            continue;
+        } else if (gcCli.tryParse(a, next)) {
             continue;
         } else {
             usage("unknown option");
         }
     }
+    const bool diffRequested = !diffMode.empty()
+        || !diffCollector.empty();
+    if (!flameDiff.empty() && !diffRequested)
+        usage("--flame-diff needs --diff-mode or --diff-collector");
+    if (diffRequested && flameDiff.empty())
+        usage("--diff-mode/--diff-collector need --flame-diff FILE");
 
     cli.setup();
 
@@ -137,32 +227,15 @@ main(int argc, char **argv)
     // method map built from the finished engine's registry and code
     // cache (the map needs the post-run cache: methods get their
     // code-cache addresses as they are compiled).
-    const Program prog = w->build();
-    EngineConfig cfg;
-    cfg.policy = parseMode(mode);
-    TraceBuffer buffer;
-    cfg.sink = &buffer;
-    ExecutionEngine engine(prog, cfg);
-    const RunResult res = engine.run(arg);
-    if (!res.completed) {
-        std::cerr << w->name << " did not complete: "
-                  << (res.uncaughtException != nullptr
-                          ? res.uncaughtException
-                          : "unknown")
-                  << '\n';
-        return 1;
-    }
-
-    const auto map = std::make_shared<const obs::MethodMap>(
-        obs::MethodMap::forRun(engine.registry(), engine.codeCache()));
-    obs::AttributionSink attr(*map);
-    buffer.replay(attr);
+    Recorded base = record(w, mode, arg, gcCli);
+    obs::AttributionSink attr(*base.map);
+    base.buffer.replay(attr);
 
     std::cout << w->name << " --mode " << mode << " --arg " << arg
-              << ": exit=" << res.exitValue << ", "
-              << withCommas(res.totalEvents)
+              << ": exit=" << base.res.exitValue << ", "
+              << withCommas(base.res.totalEvents)
               << " simulated native instructions, "
-              << res.methodsCompiled << " methods compiled\n";
+              << base.res.methodsCompiled << " methods compiled\n";
     for (std::size_t p = 0; p < kNumPhases; ++p) {
         const Phase phase = static_cast<Phase>(p);
         const std::uint64_t events = attr.phaseEvents(phase);
@@ -172,28 +245,96 @@ main(int argc, char **argv)
                   << phaseName(phase) << " — " << withCommas(events)
                   << " events ("
                   << fixed(100.0 * static_cast<double>(events)
-                               / static_cast<double>(res.totalEvents),
+                               / static_cast<double>(
+                                     base.res.totalEvents),
                            1)
                   << "% of run)\n";
         attr.phaseTable(phase, topN).print(std::cout);
     }
 
-    if (!cli.metricsJson.empty() || !cli.traceJson.empty()
-        || cli.perfRequested()) {
-        std::cout << '\n';
+    if (!jsonPath.empty()) {
+        // The satellite view: the per-phase tables above, verbatim,
+        // as one machine-readable document.
+        std::ofstream f(jsonPath, std::ios::trunc);
+        if (!f) {
+            std::cerr << "error: cannot write " << jsonPath << '\n';
+            return 1;
+        }
+        f << "{\n  \"schema\": \"jrs-profile-v1\",\n";
+        f << "  \"workload\": \"" << w->name << "\",\n";
+        f << "  \"mode\": \"" << jsonEscape(mode) << "\",\n";
+        f << "  \"arg\": " << arg << ",\n";
+        f << "  \"exit\": " << base.res.exitValue << ",\n";
+        f << "  \"total_events\": " << base.res.totalEvents << ",\n";
+        f << "  \"methods_compiled\": " << base.res.methodsCompiled
+          << ",\n";
+        f << "  \"phases\": [\n";
+        bool firstPhase = true;
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+            const Phase phase = static_cast<Phase>(p);
+            const std::uint64_t events = attr.phaseEvents(phase);
+            if (events == 0)
+                continue;
+            if (!firstPhase)
+                f << ",\n";
+            firstPhase = false;
+            f << "    {\"phase\": \"" << phaseName(phase)
+              << "\", \"events\": " << events << ", \"top\": [\n";
+            const auto rows = attr.top(phase, topN);
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                f << "      {\"method\": \""
+                  << jsonEscape(rows[r].name)
+                  << "\", \"events\": " << rows[r].events
+                  << ", \"pct\": " << fixed(rows[r].pct, 4) << '}'
+                  << (r + 1 < rows.size() ? ",\n" : "\n");
+            }
+            f << "    ]}";
+        }
+        f << "\n  ]\n}\n";
+        std::cout << "\nwrote " << jsonPath << '\n';
     }
+
     if (cli.perfRequested()) {
         // Second offline replay, this time through the pipeline model
         // with attribution attached: same stream, richer join.
         obs::PerfOptions popt;
-        popt.program = &prog;
-        obs::AttributedPipeline attributed(PipelineConfig{}, map,
+        popt.program = &base.prog;
+        obs::AttributedPipeline attributed(PipelineConfig{}, base.map,
                                            popt);
-        buffer.replay(attributed);
+        base.buffer.replay(attributed);
         obs::PerfReportSet reports;
-        reports.add(std::string(w->name) + "/" + mode,
-                    attributed.perf());
+        reports.add(base.label, attributed.perf());
+        std::cout << '\n';
         cli.writePerf(reports, std::cout);
+    }
+
+    if (cli.cctRequested() || !flameDiff.empty()) {
+        // Offline replay through the calling-context profiler.
+        prof::CctPipeline cct(PipelineConfig{}, base.map);
+        base.buffer.replay(cct);
+        prof::CctReportSet reports;
+        reports.add(base.label, cct.cct());
+        cli.writeCct(reports, std::cout);
+
+        if (!flameDiff.empty()) {
+            obs::GcCli diffGc = gcCli;
+            if (!diffCollector.empty()
+                && !gc::parseCollector(diffCollector,
+                                       &diffGc.gc.collector)) {
+                std::cerr << "error: unknown --diff-collector '"
+                          << diffCollector << "'\n";
+                return 2;
+            }
+            Recorded other = record(
+                w, diffMode.empty() ? mode : diffMode, arg, diffGc);
+            prof::CctPipeline otherCct(PipelineConfig{}, other.map);
+            other.buffer.replay(otherCct);
+            prof::writeFoldedDiff(cct.cct().foldedLines(),
+                                  otherCct.cct().foldedLines(),
+                                  flameDiff);
+            std::cout << "wrote " << flameDiff << " (" << base.label
+                      << " vs " << other.label << ")\n";
+        }
     }
     cli.finish(std::cout);
     return 0;

@@ -41,6 +41,7 @@
 #include "obs/obs.h"
 #include "support/statistics.h"
 #include "sweep/grids.h"
+#include "sweep/cct_observer.h"
 #include "sweep/perf_observer.h"
 
 using namespace jrs;
@@ -122,6 +123,9 @@ main(int argc, char **argv)
     obs::PerfReportSet perfReports;
     if (cli.perfRequested())
         sweep::attachPerfObserver(opts, perfReports);
+    prof::CctReportSet cctReports;
+    if (cli.cctRequested())
+        sweep::attachCctObserver(opts, cctReports);
     if (progress) {
         // The counts come straight from the registry the sweep engine
         // publishes into (the same numbers --metrics-json snapshots).
@@ -170,5 +174,6 @@ main(int argc, char **argv)
     }
     cli.finish(std::cout);
     cli.writePerf(perfReports, std::cout);
+    cli.writeCct(cctReports, std::cout);
     return result.allOk() ? 0 : 1;
 }

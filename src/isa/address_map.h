@@ -55,6 +55,66 @@ inline constexpr SimAddr kSegmentSize = 0x1000'0000ull;
 
 } // namespace seg
 
+/**
+ * Well-known stub addresses inside the code segments.
+ *
+ * The VM components brand their trace-visible entry/exit points with
+ * fixed synthetic pcs: the interpreter's invoke stubs, the per-method
+ * runtime invoke trampolines the JIT calls through, the runtime
+ * service routines, and the translator's dispatch/emit/setup loops.
+ * The emitting components (interpreter, executor, runtime support,
+ * translator) and the consumers that must recognize call targets
+ * (jrs::prof's calling-context tree) share one definition so the
+ * stream layout cannot silently drift.
+ */
+namespace stub {
+
+/** Interpreter invoke stub (InvokeStatic/Special Call site pc). */
+inline constexpr SimAddr kInvokeStubBase = seg::kInterpCode + 0x800;
+
+/** Per-method invoke trampoline: Call/IndirectCall target. */
+inline constexpr SimAddr kMethodStubBase = seg::kRuntimeCode + 0x1000;
+
+/** Bytes between consecutive method trampolines. */
+inline constexpr SimAddr kMethodStubStride = 0x40;
+
+/** Trampoline address for method @p id. */
+inline constexpr SimAddr methodStubOf(std::uint32_t id) {
+    return kMethodStubBase + kMethodStubStride * id;
+}
+
+/** True if @p a is a per-method invoke trampoline address. */
+inline constexpr bool isMethodStub(SimAddr a) {
+    return a >= kMethodStubBase && a < seg::kRuntimeCode + seg::kSegmentSize &&
+           (a - kMethodStubBase) % kMethodStubStride == 0;
+}
+
+/** MethodId encoded in trampoline address @p a (see isMethodStub). */
+inline constexpr std::uint32_t methodIdOfStub(SimAddr a) {
+    return static_cast<std::uint32_t>((a - kMethodStubBase) /
+                                      kMethodStubStride);
+}
+
+/** Runtime allocation routine (objects at +0x0, arrays at +0x40). */
+inline constexpr SimAddr kAllocPc = seg::kRuntimeCode + 0x500;
+
+/** Runtime System.arraycopy routine. */
+inline constexpr SimAddr kCopyPc = seg::kRuntimeCode + 0x600;
+
+/** Translator bytecode-walk dispatch loop. */
+inline constexpr SimAddr kTransDispatch = seg::kTranslateCode;
+
+/** Translator code-emission routines (per-opcode). */
+inline constexpr SimAddr kTransEmit = seg::kTranslateCode + 0x400;
+
+/** Translator per-compilation setup/install bracket. */
+inline constexpr SimAddr kTransSetup = seg::kTranslateCode + 0x600;
+
+/** Ret pc of the translator's final install return. */
+inline constexpr SimAddr kTransInstallRet = kTransSetup + 4;
+
+} // namespace stub
+
 /** True if @p a falls inside the segment starting at @p base. */
 inline bool
 inSegment(SimAddr a, SimAddr base)

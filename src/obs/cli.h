@@ -8,6 +8,8 @@
  *   --metrics-json FILE   jrs-metrics-v1 registry snapshot
  *   --trace-json FILE     Chrome trace-event JSON (open in Perfetto)
  *   --perf-json FILE      jrs-perf-report-v1 attribution report
+ *   --cct-json FILE       jrs-cct-v1 calling-context tree
+ *   --flame FILE          folded stacks (flamegraph.pl / speedscope)
  *
  * ObsCli centralizes the parse / enable / write-on-exit steps so the
  * flag set stays consistent across jrs_sweep, jrs_profile, jrs_perf
@@ -31,6 +33,7 @@
 #include "gc/config.h"
 #include "obs/obs.h"
 #include "obs/perf.h"
+#include "prof/cct.h"
 #include "vm/runtime/heap.h"
 
 namespace jrs::obs {
@@ -40,11 +43,13 @@ struct ObsCli {
     std::string metricsJson;  ///< --metrics-json output path
     std::string traceJson;    ///< --trace-json output path
     std::string perfJson;     ///< --perf-json output path
+    std::string cctJson;      ///< --cct-json output path
+    std::string flame;        ///< --flame output path
 
     /** Usage-string fragment for the flags handled here. */
     static const char *usageText() {
         return " [--metrics-json FILE] [--trace-json FILE]"
-               " [--perf-json FILE]";
+               " [--perf-json FILE] [--cct-json FILE] [--flame FILE]";
     }
 
     /**
@@ -66,11 +71,24 @@ struct ObsCli {
             perfJson = next();
             return true;
         }
+        if (a == "--cct-json") {
+            cctJson = next();
+            return true;
+        }
+        if (a == "--flame") {
+            flame = next();
+            return true;
+        }
         return false;
     }
 
     /** True when the tool should collect an attribution report. */
     bool perfRequested() const { return !perfJson.empty(); }
+
+    /** True when the tool should build calling-context trees. */
+    bool cctRequested() const {
+        return !cctJson.empty() || !flame.empty();
+    }
 
     /**
      * Enable jrs::obs when registry or tracer output was requested.
@@ -104,6 +122,19 @@ struct ObsCli {
             return;
         set.writeJson(perfJson);
         out << "wrote " << perfJson << '\n';
+    }
+
+    /** Write @p set to the --cct-json/--flame paths requested. */
+    void writeCct(const prof::CctReportSet &set,
+                  std::ostream &out) const {
+        if (!cctJson.empty()) {
+            set.writeJson(cctJson);
+            out << "wrote " << cctJson << '\n';
+        }
+        if (!flame.empty()) {
+            set.writeFolded(flame);
+            out << "wrote " << flame << '\n';
+        }
     }
 };
 

@@ -1,0 +1,62 @@
+#include "obs/host_stats.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace jrs::obs {
+
+void
+HostStats::add(const std::string &name, double seconds,
+               std::uint64_t events)
+{
+    for (auto &s : sections_) {
+        if (s.first == name) {
+            s.second.seconds += seconds;
+            s.second.events += events;
+            ++s.second.entries;
+            return;
+        }
+    }
+    sections_.emplace_back(name, Totals{seconds, events, 1});
+}
+
+HostStats::Totals
+HostStats::section(const std::string &name) const
+{
+    for (const auto &s : sections_) {
+        if (s.first == name)
+            return s.second;
+    }
+    return {};
+}
+
+double
+HostStats::totalSeconds() const
+{
+    double t = 0;
+    for (const auto &s : sections_)
+        t += s.second.seconds;
+    return t;
+}
+
+std::uint64_t
+HostStats::peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // ru_maxrss is bytes on Darwin...
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    // ...and kilobytes on Linux.
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace jrs::obs

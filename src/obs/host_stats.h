@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Host-side self-profiling: where the *simulator's own* time goes.
+ *
+ * Everything else under obs/ measures the simulated machine; this
+ * measures the process running it — wall-clock per named section,
+ * simulated instructions pushed through per host second, and peak
+ * resident set size. jrs_bench feeds these into jrs-bench-v1 reports
+ * (prof/bench.h) so the repo carries a committed throughput
+ * trajectory and CI can gate on regressions.
+ *
+ * Usage:
+ *
+ *   HostStats hs;
+ *   {
+ *       HostStats::Section s(hs, "record", &events);
+ *       ... run ...                       // events counted by caller
+ *   }
+ *   hs.section("record").eventsPerSec();
+ *
+ * All timing goes through obs/clock.h; RSS comes from getrusage
+ * (ru_maxrss), 0 on platforms without it.
+ */
+#ifndef JRS_OBS_HOST_STATS_H
+#define JRS_OBS_HOST_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace jrs::obs {
+
+/** See file comment. */
+class HostStats {
+  public:
+    /** Accumulated figures for one named section. */
+    struct Totals {
+        double seconds = 0;        ///< wall-clock in the section
+        std::uint64_t events = 0;  ///< simulated instructions credited
+        std::uint64_t entries = 0; ///< times the section ran
+
+        /** Simulated instructions per host second; 0 when untimed. */
+        double eventsPerSec() const {
+            return seconds > 0
+                ? static_cast<double>(events) / seconds
+                : 0;
+        }
+    };
+
+    /**
+     * RAII stopwatch for one section entry. @p events, when non-null,
+     * is read at destruction: set it to the number of simulated
+     * instructions the section processed.
+     */
+    class Section {
+      public:
+        Section(HostStats &hs, std::string name,
+                const std::uint64_t *events = nullptr)
+            : hs_(hs), name_(std::move(name)), events_(events),
+              t0_(steadyNow())
+        {
+        }
+        ~Section()
+        {
+            hs_.add(name_, secondsSince(t0_),
+                    events_ != nullptr ? *events_ : 0);
+        }
+        Section(const Section &) = delete;
+        Section &operator=(const Section &) = delete;
+
+      private:
+        HostStats &hs_;
+        std::string name_;
+        const std::uint64_t *events_;
+        SteadyTime t0_;
+    };
+
+    /** Credit @p seconds of wall-clock and @p events to @p name. */
+    void add(const std::string &name, double seconds,
+             std::uint64_t events = 0);
+
+    /** Totals of @p name (zeros when never entered). */
+    Totals section(const std::string &name) const;
+
+    /** All sections in first-use order. */
+    const std::vector<std::pair<std::string, Totals>> &sections() const
+    {
+        return sections_;
+    }
+
+    /** Wall-clock summed over every section. */
+    double totalSeconds() const;
+
+    /**
+     * Peak resident set size of this process, in bytes (getrusage
+     * ru_maxrss; 0 when unavailable). Monotonic over the process
+     * lifetime — sample after the work of interest.
+     */
+    static std::uint64_t peakRssBytes();
+
+  private:
+    std::vector<std::pair<std::string, Totals>> sections_;
+};
+
+} // namespace jrs::obs
+
+#endif // JRS_OBS_HOST_STATS_H

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/clock.h"
 #include "vm/runtime/vm_error.h"
 
 namespace jrs::obs {
@@ -44,17 +45,14 @@ jsonEscape(const std::string &s)
 } // namespace
 
 SpanTracer::SpanTracer()
-    : epoch_(std::chrono::steady_clock::now())
+    : epoch_(steadyNow())
 {
 }
 
 std::uint64_t
 SpanTracer::nowUs() const
 {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - epoch_)
-            .count());
+    return microsSince(epoch_);
 }
 
 std::uint32_t

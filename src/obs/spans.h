@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/clock.h"
+
 namespace jrs::obs {
 
 /** One completed span. */
@@ -98,7 +100,7 @@ class SpanTracer {
     void clear();
 
   private:
-    std::chrono::steady_clock::time_point epoch_;
+    SteadyTime epoch_;  ///< all timestamps relative to this
     mutable std::mutex mu_;
     std::vector<SpanRecord> spans_;
     std::vector<CounterRecord> counters_;

@@ -1,0 +1,467 @@
+#include "prof/bench.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/statistics.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::prof {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Minimal recursive-descent JSON reader, just enough for the
+ * jrs-bench-v1 documents this module itself writes (strings, finite
+ * numbers, objects, arrays, true/false/null; no \\u surrogate pairs).
+ */
+class JsonParser {
+  public:
+    struct Value {
+        enum Kind { Null, Bool, Number, String, Array, Object } kind =
+            Null;
+        bool b = false;
+        double num = 0;
+        std::string str;
+        std::vector<Value> items;
+        std::vector<std::pair<std::string, Value>> fields;
+
+        const Value *field(const std::string &name) const {
+            for (const auto &f : fields) {
+                if (f.first == name)
+                    return &f.second;
+            }
+            return nullptr;
+        }
+    };
+
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    Value parse() {
+        const Value v = value();
+        ws();
+        if (pos_ != s_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const {
+        throw VmError("jrs-bench-v1 parse error at byte " +
+                      std::to_string(pos_) + ": " + why);
+    }
+
+    void ws() {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char peek() {
+        ws();
+        if (pos_ >= s_.size())
+            fail("unexpected end");
+        return s_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume(char c) {
+        if (pos_ < s_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("bad \\u escape");
+                const unsigned code = static_cast<unsigned>(
+                    std::stoul(s_.substr(pos_, 4), nullptr, 16));
+                pos_ += 4;
+                // ASCII subset only — all this module emits.
+                out += static_cast<char>(code & 0x7f);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Value value() {
+        const char c = peek();
+        Value v;
+        if (c == '{') {
+            ++pos_;
+            v.kind = Value::Object;
+            if (!consume('}')) {
+                while (true) {
+                    std::string name = string();
+                    expect(':');
+                    v.fields.emplace_back(std::move(name), value());
+                    if (consume(','))
+                        continue;
+                    expect('}');
+                    break;
+                }
+            }
+        } else if (c == '[') {
+            ++pos_;
+            v.kind = Value::Array;
+            if (!consume(']')) {
+                while (true) {
+                    v.items.push_back(value());
+                    if (consume(','))
+                        continue;
+                    expect(']');
+                    break;
+                }
+            }
+        } else if (c == '"') {
+            v.kind = Value::String;
+            v.str = string();
+        } else if (c == 't') {
+            literal("true");
+            v.kind = Value::Bool;
+            v.b = true;
+        } else if (c == 'f') {
+            literal("false");
+            v.kind = Value::Bool;
+        } else if (c == 'n') {
+            literal("null");
+        } else {
+            v.kind = Value::Number;
+            const std::size_t start = pos_;
+            while (pos_ < s_.size() &&
+                   (std::isdigit(
+                        static_cast<unsigned char>(s_[pos_])) ||
+                    s_[pos_] == '-' || s_[pos_] == '+' ||
+                    s_[pos_] == '.' || s_[pos_] == 'e' ||
+                    s_[pos_] == 'E'))
+                ++pos_;
+            if (pos_ == start)
+                fail("expected a value");
+            try {
+                v.num = std::stod(s_.substr(start, pos_ - start));
+            } catch (const std::exception &) {
+                fail("bad number");
+            }
+        }
+        return v;
+    }
+
+    void literal(const char *lit) {
+        for (const char *p = lit; *p != '\0'; ++p) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                fail(std::string("expected ") + lit);
+            ++pos_;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+double
+numField(const JsonParser::Value &obj, const char *name)
+{
+    const JsonParser::Value *f = obj.field(name);
+    if (f == nullptr || f->kind != JsonParser::Value::Number)
+        throw VmError(std::string("jrs-bench-v1: missing numeric "
+                                  "field \"") +
+                      name + "\"");
+    return f->num;
+}
+
+} // namespace
+
+double
+BenchRun::metric(const std::string &name, double fallback) const
+{
+    for (const auto &m : metrics) {
+        if (m.first == name)
+            return m.second;
+    }
+    return fallback;
+}
+
+const BenchRun *
+BenchReport::find(const std::string &label) const
+{
+    for (const BenchRun &r : runs) {
+        if (r.label == label)
+            return &r;
+    }
+    return nullptr;
+}
+
+void
+BenchReport::upsert(BenchRun run)
+{
+    for (BenchRun &r : runs) {
+        if (r.label == run.label) {
+            r = std::move(run);
+            return;
+        }
+    }
+    runs.push_back(std::move(run));
+}
+
+std::string
+BenchReport::toJson() const
+{
+    std::vector<const BenchRun *> sorted;
+    sorted.reserve(runs.size());
+    for (const BenchRun &r : runs)
+        sorted.push_back(&r);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const BenchRun *a, const BenchRun *b) {
+                  return a->label < b->label;
+              });
+
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"jrs-bench-v1\",\n";
+    os << "  \"suite\": \"" << jsonEscape(suite) << "\",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const BenchRun &r = *sorted[i];
+        os << "    {\"label\": \"" << jsonEscape(r.label)
+           << "\", \"events\": " << r.events
+           << ", \"wall_seconds\": " << jsonNumber(r.wallSeconds)
+           << ", \"events_per_sec\": " << jsonNumber(r.eventsPerSec)
+           << ", \"peak_rss_bytes\": " << r.peakRssBytes;
+        if (!r.metrics.empty()) {
+            os << ", \"metrics\": {";
+            std::vector<std::pair<std::string, double>> ms =
+                r.metrics;
+            std::sort(ms.begin(), ms.end());
+            for (std::size_t m = 0; m < ms.size(); ++m) {
+                if (m > 0)
+                    os << ", ";
+                os << '"' << jsonEscape(ms[m].first)
+                   << "\": " << jsonNumber(ms[m].second);
+            }
+            os << '}';
+        }
+        os << '}' << (i + 1 < sorted.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+void
+BenchReport::writeJson(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        throw VmError("cannot write bench report: " + path);
+    f << toJson();
+}
+
+BenchReport
+BenchReport::parse(const std::string &json)
+{
+    const JsonParser::Value doc = JsonParser(json).parse();
+    if (doc.kind != JsonParser::Value::Object)
+        throw VmError("jrs-bench-v1: document is not an object");
+    const JsonParser::Value *schema = doc.field("schema");
+    if (schema == nullptr || schema->str != "jrs-bench-v1")
+        throw VmError("jrs-bench-v1: bad or missing schema field");
+
+    BenchReport rep;
+    if (const JsonParser::Value *suite = doc.field("suite"))
+        rep.suite = suite->str;
+    const JsonParser::Value *runs = doc.field("runs");
+    if (runs == nullptr || runs->kind != JsonParser::Value::Array)
+        throw VmError("jrs-bench-v1: missing runs array");
+    for (const JsonParser::Value &rv : runs->items) {
+        if (rv.kind != JsonParser::Value::Object)
+            throw VmError("jrs-bench-v1: run is not an object");
+        BenchRun r;
+        const JsonParser::Value *label = rv.field("label");
+        if (label == nullptr ||
+            label->kind != JsonParser::Value::String)
+            throw VmError("jrs-bench-v1: run without a label");
+        r.label = label->str;
+        r.events = static_cast<std::uint64_t>(numField(rv, "events"));
+        r.wallSeconds = numField(rv, "wall_seconds");
+        r.eventsPerSec = numField(rv, "events_per_sec");
+        r.peakRssBytes =
+            static_cast<std::uint64_t>(numField(rv, "peak_rss_bytes"));
+        if (const JsonParser::Value *ms = rv.field("metrics")) {
+            for (const auto &f : ms->fields)
+                r.metrics.emplace_back(f.first, f.second.num);
+        }
+        rep.runs.push_back(std::move(r));
+    }
+    return rep;
+}
+
+BenchReport
+BenchReport::load(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        throw VmError("cannot read bench report: " + path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parse(os.str());
+}
+
+BenchReport
+BenchReport::loadOrEmpty(const std::string &path,
+                         const std::string &suite)
+{
+    std::ifstream probe(path);
+    if (probe) {
+        probe.close();
+        try {
+            BenchReport rep = load(path);
+            if (rep.suite == suite)
+                return rep;
+        } catch (const VmError &) {
+            // Old-schema or corrupt file: start the trajectory over.
+        }
+    }
+    BenchReport rep;
+    rep.suite = suite;
+    return rep;
+}
+
+CompareResult
+compareReports(const BenchReport &baseline, const BenchReport &current,
+               double maxRegressPct)
+{
+    CompareResult out;
+    std::map<std::string, const BenchRun *> base;
+    for (const BenchRun &r : baseline.runs)
+        base[r.label] = &r;
+    std::map<std::string, const BenchRun *> cur;
+    for (const BenchRun &r : current.runs)
+        cur[r.label] = &r;
+
+    for (const auto &[label, b] : base) {
+        const auto it = cur.find(label);
+        if (it == cur.end()) {
+            out.onlyBaseline.push_back(label);
+            continue;
+        }
+        CompareRow row;
+        row.label = label;
+        row.baseline = b->eventsPerSec;
+        row.current = it->second->eventsPerSec;
+        row.deltaPct =
+            row.baseline == 0
+                ? 0
+                : (row.current - row.baseline) / row.baseline * 100.0;
+        row.regressed = row.deltaPct < -maxRegressPct;
+        out.worstDeltaPct = std::min(out.worstDeltaPct, row.deltaPct);
+        out.failed = out.failed || row.regressed;
+        out.rows.push_back(std::move(row));
+    }
+    for (const auto &[label, c] : cur) {
+        (void)c;
+        if (base.find(label) == base.end())
+            out.onlyCurrent.push_back(label);
+    }
+    return out;
+}
+
+std::string
+CompareResult::text(double maxRegressPct) const
+{
+    std::ostringstream os;
+    for (const CompareRow &r : rows) {
+        os << (r.regressed ? "REGRESS " : "ok      ") << r.label
+           << ": " << fixed(r.baseline / 1e6, 2) << "M/s -> "
+           << fixed(r.current / 1e6, 2) << "M/s ("
+           << (r.deltaPct >= 0 ? "+" : "") << fixed(r.deltaPct, 1)
+           << "%)\n";
+    }
+    for (const std::string &l : onlyBaseline)
+        os << "missing " << l << " (present only in baseline)\n";
+    for (const std::string &l : onlyCurrent)
+        os << "new     " << l << " (no baseline)\n";
+    os << (failed ? "FAIL" : "PASS") << ": worst delta "
+       << (worstDeltaPct >= 0 ? "+" : "") << fixed(worstDeltaPct, 1)
+       << "% against a -" << fixed(maxRegressPct, 0)
+       << "% threshold\n";
+    return os.str();
+}
+
+} // namespace jrs::prof

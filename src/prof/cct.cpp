@@ -1,0 +1,511 @@
+#include "prof/cct.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "isa/address_map.h"
+#include "vm/runtime/vm_error.h"
+
+namespace jrs::prof {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Folded-stack phase suffixes, Brendan-Gregg style annotation on the
+ * leaf frame (flamegraph.pl renders _[x]-suffixed frames in their own
+ * hue). Indexed by Phase.
+ */
+const char *const kPhaseSuffix[kNumPhases] = {
+    "_[i]",   // Interpret
+    "_[t]",   // Translate
+    "_[j]",   // NativeExec (JIT-generated code)
+    "_[r]",   // Runtime
+    "_[gc]",  // Gc
+};
+
+} // namespace
+
+const char *
+frameKindName(FrameKind k)
+{
+    switch (k) {
+      case FrameKind::Root:
+        return "root";
+      case FrameKind::Method:
+        return "method";
+      case FrameKind::Runtime:
+        return "runtime";
+      case FrameKind::Translate:
+        return "translate";
+      case FrameKind::Gc:
+        return "gc";
+    }
+    return "?";
+}
+
+CctBuilder::CctBuilder(const obs::MethodMap &map, Options opt)
+    : map_(&map), opt_(opt)
+{
+    nodes_.emplace_back();
+    nodes_[0].kind = FrameKind::Root;
+    nodes_[0].calls = 1;
+    stack_.push_back(0);
+}
+
+int
+CctBuilder::childOf(int parent, FrameKind kind, std::uint64_t key,
+                    std::uint32_t methodId, const char *stubName)
+{
+    for (const int k : nodes_[parent].kids) {
+        if (nodes_[k].key == key)
+            return k;
+    }
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    CctNode &n = nodes_.back();
+    n.key = key;
+    n.kind = kind;
+    n.parent = parent;
+    n.methodId = methodId;
+    n.stubName = stubName;
+    nodes_[parent].kids.push_back(id);
+    return id;
+}
+
+void
+CctBuilder::pushFor(const TraceEvent &ev)
+{
+    if (stack_.size() + overflow_ >= opt_.maxDepth) {
+        ++overflow_;
+        ++overflowPushes_;
+        return;
+    }
+    FrameKind kind;
+    std::uint32_t methodId = 0;
+    const char *stubName = nullptr;
+    std::uint64_t id;
+    if (stub::isMethodStub(ev.target)) {
+        kind = FrameKind::Method;
+        methodId = stub::methodIdOfStub(ev.target);
+        id = methodId;
+    } else if (ev.phase == Phase::Gc) {
+        kind = FrameKind::Gc;
+        stubName = "(gc)";
+        id = 0;
+    } else if (ev.phase == Phase::Translate) {
+        kind = FrameKind::Translate;
+        stubName = "(translate)";
+        id = 0;
+    } else {
+        // Runtime service brackets, named by their call-site pc.
+        kind = FrameKind::Runtime;
+        if (ev.pc == stub::kAllocPc)
+            stubName = "(alloc)";
+        else if (ev.pc == stub::kAllocPc + 0x40)
+            stubName = "(alloc.array)";
+        else if (ev.pc == stub::kCopyPc)
+            stubName = "(arraycopy)";
+        else
+            stubName = "(runtime)";
+        id = ev.pc;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(kind) << 56) | (id & 0xff'ffff'ffff'ffffull);
+    const int child =
+        childOf(stack_.back(), kind, key, methodId, stubName);
+    ++nodes_[child].calls;
+    stack_.push_back(child);
+    maxDepthSeen_ = std::max(maxDepthSeen_, stack_.size());
+}
+
+void
+CctBuilder::popFor(const TraceEvent &ev)
+{
+    FrameKind want;
+    switch (ev.phase) {
+      case Phase::Interpret:
+      case Phase::NativeExec:
+        want = FrameKind::Method;
+        break;
+      case Phase::Runtime:
+        want = FrameKind::Runtime;
+        break;
+      case Phase::Gc:
+        want = FrameKind::Gc;
+        break;
+      case Phase::Translate:
+        // The translator returns from a per-bytecode routine to its
+        // dispatch loop once per translated bytecode; only the final
+        // install return closes the compilation's frame.
+        if (ev.pc != stub::kTransInstallRet)
+            return;
+        want = FrameKind::Translate;
+        break;
+      default:
+        return;
+    }
+    if (overflow_ > 0) {
+        // The innermost open frames were depth-suppressed; this Ret
+        // closes one of them.
+        --overflow_;
+        return;
+    }
+    if (stack_.size() == 1) {
+        ++unmatchedRets_;
+        return;
+    }
+    if (nodes_[stack_.back()].kind != want) {
+        ++mismatchedRets_;
+        return;
+    }
+    stack_.pop_back();
+}
+
+void
+CctBuilder::onEvent(const TraceEvent &ev)
+{
+    // A Translate frame not closed by its install return (the
+    // compilation aborted on an uncompilable construct) ends at the
+    // first event from any other phase.
+    if (ev.phase != Phase::Translate && overflow_ == 0 &&
+        nodes_[stack_.back()].kind == FrameKind::Translate) {
+        stack_.pop_back();
+        ++abandoned_;
+    }
+
+    const int cur = stack_.back();
+    CctNode &n = nodes_[cur];
+
+    // Lazy frame naming (see header): first attributable event wins.
+    if (n.methodRow < 0 &&
+        (n.kind == FrameKind::Method || n.kind == FrameKind::Root)) {
+        int row = -1;
+        if (ev.phase == Phase::NativeExec)
+            row = map_->rowOf(ev.pc);
+        else if (ev.phase == Phase::Interpret && ev.kind == NKind::Load)
+            row = map_->rowOf(ev.mem);
+        if (row >= 0)
+            n.methodRow = row;
+    }
+
+    ++events_;
+    ++n.events;
+    ++n.phaseEvents[static_cast<std::size_t>(ev.phase)];
+    // The CpiSample the model fires while processing this very event
+    // belongs to this context, even when the event itself pushes or
+    // pops a frame (a Call's own cycles are the caller's).
+    attrNode_ = cur;
+
+    if (ev.kind == NKind::Call || ev.kind == NKind::IndirectCall)
+        pushFor(ev);
+    else if (ev.kind == NKind::Ret)
+        popFor(ev);
+}
+
+void
+CctBuilder::onRetire(const CpiSample &s)
+{
+    CctNode &n = nodes_[attrNode_];
+    const std::size_t p = static_cast<std::size_t>(s.phase);
+    for (std::size_t c = 0; c < kNumCpiComponents; ++c)
+        n.cpi[c] += s.cycles[c];
+    const std::uint64_t t = s.total();
+    n.phaseCycles[p] += t;
+    cycles_ += t;
+}
+
+std::string
+CctBuilder::nodeName(const CctNode &n) const
+{
+    if (n.kind == FrameKind::Root) {
+        if (n.methodRow >= 0)
+            return map_->name(n.methodRow);
+        return "(root)";
+    }
+    if (n.kind == FrameKind::Method) {
+        if (n.methodRow >= 0)
+            return map_->name(n.methodRow);
+        return "(method#" + std::to_string(n.methodId) + ")";
+    }
+    return n.stubName;
+}
+
+std::vector<int>
+CctBuilder::sortedKids(const CctNode &n) const
+{
+    std::vector<int> kids = n.kids;
+    std::sort(kids.begin(), kids.end(), [this](int a, int b) {
+        const std::string na = nodeName(nodes_[a]);
+        const std::string nb = nodeName(nodes_[b]);
+        if (na != nb)
+            return na < nb;
+        return nodes_[a].key < nodes_[b].key;
+    });
+    return kids;
+}
+
+template <class Fn>
+void
+CctBuilder::walk(int n, std::vector<int> &path, Fn &&fn) const
+{
+    path.push_back(n);
+    fn(n, path);
+    for (const int k : sortedKids(nodes_[n]))
+        walk(k, path, fn);
+    path.pop_back();
+}
+
+std::vector<FoldedLine>
+CctBuilder::foldedLines() const
+{
+    const bool useCycles = cycles_ > 0;
+    std::vector<FoldedLine> out;
+    std::vector<int> path;
+    walk(0, path, [&](int n, const std::vector<int> &p) {
+        const CctNode &node = nodes_[n];
+        std::string prefix;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            if (i > 0)
+                prefix += ';';
+            prefix += nodeName(nodes_[p[i]]);
+        }
+        for (std::size_t ph = 0; ph < kNumPhases; ++ph) {
+            const std::uint64_t v = useCycles ? node.phaseCycles[ph]
+                                              : node.phaseEvents[ph];
+            if (v == 0)
+                continue;
+            out.push_back({prefix + kPhaseSuffix[ph], v});
+        }
+    });
+    return out;
+}
+
+std::string
+CctBuilder::runJson(const std::string &label) const
+{
+    // Remap node ids to DFS order (children sorted by name) so the
+    // document is deterministic across runs of the same stream.
+    std::vector<int> order;
+    std::vector<int> newId(nodes_.size(), -1);
+    {
+        std::vector<int> path;
+        walk(0, path, [&](int n, const std::vector<int> &) {
+            newId[n] = static_cast<int>(order.size());
+            order.push_back(n);
+        });
+    }
+
+    std::ostringstream os;
+    os << "    {\n";
+    os << "      \"label\": \"" << jsonEscape(label) << "\",\n";
+    os << "      \"value\": \""
+       << (cycles_ > 0 ? "cycles" : "events") << "\",\n";
+    os << "      \"events\": " << events_ << ",\n";
+    os << "      \"cycles\": " << cycles_ << ",\n";
+    os << "      \"nodes_total\": " << nodes_.size() << ",\n";
+    os << "      \"max_depth\": " << maxDepthSeen_ << ",\n";
+    os << "      \"unmatched_rets\": " << unmatchedRets_ << ",\n";
+    os << "      \"mismatched_rets\": " << mismatchedRets_ << ",\n";
+    os << "      \"abandoned_translations\": " << abandoned_ << ",\n";
+    os << "      \"overflow_pushes\": " << overflowPushes_ << ",\n";
+    os << "      \"nodes\": [\n";
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const CctNode &n = nodes_[order[i]];
+        os << "        {\"id\": " << i << ", \"parent\": "
+           << (n.parent < 0 ? -1 : newId[n.parent]) << ", \"name\": \""
+           << jsonEscape(nodeName(n)) << "\", \"kind\": \""
+           << frameKindName(n.kind) << "\", \"calls\": " << n.calls
+           << ", \"events\": " << n.events
+           << ", \"cycles\": " << n.cycles() << ",\n";
+        os << "         \"cpi\": {";
+        for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+            if (c > 0)
+                os << ", ";
+            os << '"'
+               << cpiComponentName(static_cast<CpiComponent>(c))
+               << "\": " << n.cpi[c];
+        }
+        os << "},\n";
+        os << "         \"phases\": {";
+        bool first = true;
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+            if (n.phaseEvents[p] == 0 && n.phaseCycles[p] == 0)
+                continue;
+            if (!first)
+                os << ", ";
+            first = false;
+            os << '"' << phaseName(static_cast<Phase>(p))
+               << "\": {\"events\": " << n.phaseEvents[p]
+               << ", \"cycles\": " << n.phaseCycles[p] << '}';
+        }
+        os << "},\n";
+        os << "         \"children\": [";
+        const std::vector<int> kids = sortedKids(n);
+        for (std::size_t k = 0; k < kids.size(); ++k) {
+            if (k > 0)
+                os << ", ";
+            os << newId[kids[k]];
+        }
+        os << "]}";
+        os << (i + 1 < order.size() ? ",\n" : "\n");
+    }
+    os << "      ]\n";
+    os << "    }";
+    return os.str();
+}
+
+void
+CctReportSet::add(const std::string &label, const CctBuilder &cct)
+{
+    Snapshot snap{cct.runJson(label), cct.foldedLines()};
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto &r : runs_) {
+        if (r.first == label) {
+            r.second = std::move(snap);
+            return;
+        }
+    }
+    runs_.emplace_back(label, std::move(snap));
+}
+
+std::size_t
+CctReportSet::size() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return runs_.size();
+}
+
+std::string
+CctReportSet::toJson() const
+{
+    std::vector<std::pair<std::string, Snapshot>> runs;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        runs = runs_;
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::string out;
+    out += "{\n  \"schema\": \"jrs-cct-v1\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        out += runs[i].second.json;
+        out += i + 1 < runs.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+CctReportSet::writeJson(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        throw VmError("cannot write CCT report: " + path);
+    f << toJson();
+}
+
+void
+CctReportSet::writeFolded(const std::string &path) const
+{
+    std::vector<std::pair<std::string, Snapshot>> runs;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        runs = runs_;
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        throw VmError("cannot write folded stacks: " + path);
+    for (const auto &[label, snap] : runs) {
+        for (const FoldedLine &l : snap.folded) {
+            if (runs.size() > 1)
+                f << label << ';';
+            f << l.stack << ' ' << l.value << '\n';
+        }
+    }
+}
+
+std::vector<FoldedLine>
+CctReportSet::folded(const std::string &label) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[l, snap] : runs_) {
+        if (l == label)
+            return snap.folded;
+    }
+    return {};
+}
+
+std::string
+foldedDiff(const std::vector<FoldedLine> &a,
+           const std::vector<FoldedLine> &b)
+{
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> m;
+    for (const FoldedLine &l : a)
+        m[l.stack].first += l.value;
+    for (const FoldedLine &l : b)
+        m[l.stack].second += l.value;
+    std::string out;
+    for (const auto &[stack, v] : m) {
+        out += stack;
+        out += ' ';
+        out += std::to_string(v.first);
+        out += ' ';
+        out += std::to_string(v.second);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeFoldedDiff(const std::vector<FoldedLine> &a,
+                const std::vector<FoldedLine> &b,
+                const std::string &path)
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        throw VmError("cannot write folded diff: " + path);
+    f << foldedDiff(a, b);
+}
+
+} // namespace jrs::prof

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * --cct-json/--flame support for sweep-engine tools: ride each trace
+ * group's replay with a calling-context-tree observer.
+ *
+ * attachCctObserver registers (via sweep/observers.h, so it composes
+ * with attachPerfObserver) a per-group CctPipeline whose tree lands
+ * in a CctReportSet keyed by the group's TraceKey. The observer rides
+ * the replay fan-out after every point sink, so the sweep's own
+ * metrics stay bit-identical with or without it (the same guarantee
+ * tests/test_perf.cpp asserts for the perf observer; test_prof.cpp
+ * asserts it for this one).
+ */
+#ifndef JRS_SWEEP_CCT_OBSERVER_H
+#define JRS_SWEEP_CCT_OBSERVER_H
+
+#include <memory>
+
+#include "arch/pipeline/pipeline.h"
+#include "prof/cct.h"
+#include "sweep/observers.h"
+#include "sweep/sweep.h"
+
+namespace jrs::sweep {
+
+/**
+ * See file comment. Groups whose recording carries no method map are
+ * skipped. @p reports must outlive the sweep. Call only when the user
+ * asked for CCT output (one extra replay consumer per group).
+ */
+inline void
+attachCctObserver(SweepOptions &opts, prof::CctReportSet &reports)
+{
+    addGroupObserver(
+        opts,
+        [](const TraceKey &, const RecordedRun &run)
+            -> std::unique_ptr<TraceSink> {
+            if (run.methods == nullptr)
+                return nullptr;
+            return std::make_unique<prof::CctPipeline>(
+                PipelineConfig{}, run.methods);
+        },
+        [&reports](const TraceKey &key, const RecordedRun &,
+                   TraceSink &sink) {
+            auto &cct = static_cast<prof::CctPipeline &>(sink);
+            reports.add(key.str(), cct.cct());
+        });
+}
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_CCT_OBSERVER_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Composition of sweep group observers.
+ *
+ * SweepOptions carries a single groupObserver/groupObserved hook
+ * pair; tools that want several independent observers on the same
+ * replay (e.g. --perf-json and --flame together) register each one
+ * through addGroupObserver, which chains with whatever hook is
+ * already installed by fanning the group's stream out to both sinks.
+ * Each observer still receives its own sink instance in its own
+ * observed callback, so the static_cast-to-concrete-type idiom of
+ * perf_observer.h / cct_observer.h keeps working.
+ */
+#ifndef JRS_SWEEP_OBSERVERS_H
+#define JRS_SWEEP_OBSERVERS_H
+
+#include <memory>
+#include <utility>
+
+#include "sweep/sweep.h"
+
+namespace jrs::sweep {
+
+/** Internal: fans a group's replay out to two chained observers. */
+class ObserverPair : public TraceSink {
+  public:
+    std::unique_ptr<TraceSink> a;  ///< earlier-registered (may be null)
+    std::unique_ptr<TraceSink> b;  ///< later-registered (may be null)
+
+    void onEvent(const TraceEvent &ev) override {
+        if (a != nullptr)
+            a->onEvent(ev);
+        if (b != nullptr)
+            b->onEvent(ev);
+    }
+    void onFinish() override {
+        if (a != nullptr)
+            a->onFinish();
+        if (b != nullptr)
+            b->onFinish();
+    }
+};
+
+/**
+ * Register one more group observer on @p opts, preserving any hooks
+ * already installed. @p make may return null to skip a group; @p done
+ * then is not called for it.
+ */
+inline void
+addGroupObserver(
+    SweepOptions &opts,
+    std::function<std::unique_ptr<TraceSink>(const TraceKey &,
+                                             const RecordedRun &)>
+        make,
+    std::function<void(const TraceKey &, const RecordedRun &,
+                       TraceSink &)>
+        done)
+{
+    if (!opts.groupObserver) {
+        opts.groupObserver = std::move(make);
+        opts.groupObserved = std::move(done);
+        return;
+    }
+    auto prevMake = std::move(opts.groupObserver);
+    auto prevDone = std::move(opts.groupObserved);
+    opts.groupObserver = [prevMake, make](const TraceKey &key,
+                                          const RecordedRun &run)
+        -> std::unique_ptr<TraceSink> {
+        auto pair = std::make_unique<ObserverPair>();
+        pair->a = prevMake(key, run);
+        pair->b = make(key, run);
+        if (pair->a == nullptr && pair->b == nullptr)
+            return nullptr;
+        return pair;
+    };
+    opts.groupObserved = [prevDone, done](const TraceKey &key,
+                                          const RecordedRun &run,
+                                          TraceSink &sink) {
+        auto &pair = static_cast<ObserverPair &>(sink);
+        if (pair.a != nullptr && prevDone)
+            prevDone(key, run, *pair.a);
+        if (pair.b != nullptr && done)
+            done(key, run, *pair.b);
+    };
+}
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_OBSERVERS_H

@@ -18,6 +18,7 @@
 
 #include "arch/pipeline/pipeline.h"
 #include "obs/perf.h"
+#include "sweep/observers.h"
 #include "sweep/sweep.h"
 
 namespace jrs::sweep {
@@ -27,24 +28,27 @@ namespace jrs::sweep {
  * (disk recordings predating the .methods sidecar) are skipped.
  * @p reports must outlive the sweep. Call only when the user asked
  * for the report (the observer costs one extra replay consumer per
- * group).
+ * group). Registered via sweep/observers.h, so it composes with
+ * attachCctObserver on the same sweep.
  */
 inline void
 attachPerfObserver(SweepOptions &opts, obs::PerfReportSet &reports)
 {
-    opts.groupObserver = [](const TraceKey &, const RecordedRun &run)
-        -> std::unique_ptr<TraceSink> {
-        if (run.methods == nullptr)
-            return nullptr;
-        return std::make_unique<obs::AttributedPipeline>(
-            PipelineConfig{}, run.methods);
-    };
-    opts.groupObserved = [&reports](const TraceKey &key,
-                                    const RecordedRun &,
-                                    TraceSink &sink) {
-        auto &attributed = static_cast<obs::AttributedPipeline &>(sink);
-        reports.add(key.str(), attributed.perf());
-    };
+    addGroupObserver(
+        opts,
+        [](const TraceKey &, const RecordedRun &run)
+            -> std::unique_ptr<TraceSink> {
+            if (run.methods == nullptr)
+                return nullptr;
+            return std::make_unique<obs::AttributedPipeline>(
+                PipelineConfig{}, run.methods);
+        },
+        [&reports](const TraceKey &key, const RecordedRun &,
+                   TraceSink &sink) {
+            auto &attributed =
+                static_cast<obs::AttributedPipeline &>(sink);
+            reports.add(key.str(), attributed.perf());
+        });
 }
 
 } // namespace jrs::sweep

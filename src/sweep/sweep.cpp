@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/clock.h"
 #include "obs/obs.h"
 #include "support/statistics.h"
 #include "sweep/parallel.h"
@@ -17,13 +18,7 @@ namespace jrs::sweep {
 
 namespace {
 
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
+using obs::secondsSince;
 
 std::string
 jsonEscape(const std::string &s)

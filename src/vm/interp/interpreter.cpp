@@ -9,14 +9,14 @@ namespace jrs {
 
 namespace {
 
-/** Shared invoke-stub region (frame setup code). */
-constexpr SimAddr kInvokeStubBase = seg::kInterpCode + 0x800;
+/** Shared invoke-stub region (frame setup code); see isa/address_map.h. */
+constexpr SimAddr kInvokeStubBase = stub::kInvokeStubBase;
 
 /** Per-method invoke-stub target, for BTB target variety. */
 SimAddr
 invokeStubOf(MethodId id)
 {
-    return seg::kRuntimeCode + 0x1000 + 0x40ull * id;
+    return stub::methodStubOf(id);
 }
 
 /** Bytecodes whose handlers pre-decode their successor when folding. */

@@ -17,8 +17,8 @@ struct TranslationAbort {};
 
 constexpr std::uint8_t kScratch2 = 30;
 
-/** Translator's own dispatch loop address. */
-constexpr SimAddr kTransDispatch = seg::kTranslateCode;
+/** Translator's own dispatch loop address; see isa/address_map.h. */
+constexpr SimAddr kTransDispatch = stub::kTransDispatch;
 
 /** Per-opcode emit-routine base (the translator is a switch, too). */
 SimAddr
@@ -29,10 +29,10 @@ transRoutine(Op op)
 }
 
 /** Instruction-encoding/install routine. */
-constexpr SimAddr kTransEmit = seg::kTranslateCode + 0x400;
+constexpr SimAddr kTransEmit = stub::kTransEmit;
 
 /** Method prologue/epilogue bookkeeping routine. */
-constexpr SimAddr kTransSetup = seg::kTranslateCode + 0x600;
+constexpr SimAddr kTransSetup = stub::kTransSetup;
 
 constexpr int log2Of(std::uint32_t esz)
 {

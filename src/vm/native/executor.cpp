@@ -11,7 +11,7 @@ namespace {
 SimAddr
 callTargetOf(MethodId id)
 {
-    return seg::kRuntimeCode + 0x1000 + 0x40ull * id;
+    return stub::methodStubOf(id);
 }
 
 float

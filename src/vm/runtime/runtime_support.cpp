@@ -6,8 +6,8 @@ namespace jrs {
 
 namespace {
 
-constexpr SimAddr kAllocPc = seg::kRuntimeCode + 0x500;
-constexpr SimAddr kCopyPc = seg::kRuntimeCode + 0x600;
+constexpr SimAddr kAllocPc = stub::kAllocPc;
+constexpr SimAddr kCopyPc = stub::kCopyPc;
 
 /** Simulated address of the allocator's bump cursor. */
 constexpr SimAddr kAllocCursorAddr = seg::kRuntimeData + 0x20;

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * jrs::prof contract tests (prof/cct.h + prof/bench.h):
+ *
+ *  - Conservation: a CCT pass observes exactly
+ *    PipelineSim::instructions() events and cycles() cycles, and both
+ *    totals equal the sum over nodes of self events/cycles, per
+ *    workload and mode — regardless of stack shape.
+ *  - Non-perturbation: a pipeline observed by a CctBuilder produces
+ *    bit-identical timing to a bare one (profiler on == profiler off).
+ *  - Golden stream digests: the hello streams hash to pinned values,
+ *    so refactors of the trace-visible stub addresses
+ *    (isa/address_map.h) cannot silently change recorded streams.
+ *  - Frame discipline on synthetic streams: recursion chains
+ *    contexts, unmatched/mismatched Rets are counted and ignored,
+ *    Translate frames only close on the install return (or are
+ *    abandoned), depth overflow suppresses pushes without losing
+ *    events.
+ *  - Golden folded-flamegraph fixture from hand-built events.
+ *  - jrs-bench-v1 reports round-trip through their JSON and
+ *    compareReports() passes on self, fails on an injected
+ *    regression.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/pipeline/pipeline.h"
+#include "gc/collector.h"
+#include "harness/experiment.h"
+#include "isa/address_map.h"
+#include "isa/trace_buffer.h"
+#include "obs/attribution.h"
+#include "prof/bench.h"
+#include "prof/cct.h"
+#include "vm/engine/policy.h"
+#include "vm/runtime/vm_error.h"
+#include "workloads/workload.h"
+
+namespace jrs {
+namespace {
+
+/** Unique-per-test temp dir, removed at scope exit. */
+struct TempDir {
+    explicit TempDir(const std::string &leaf)
+        : path(std::string(::testing::TempDir()) + leaf)
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+std::shared_ptr<CompilationPolicy>
+policyFor(const std::string &mode)
+{
+    if (mode == "interp")
+        return std::make_shared<NeverCompilePolicy>();
+    if (mode == "jit")
+        return std::make_shared<AlwaysCompilePolicy>();
+    return std::make_shared<CounterPolicy>(8);
+}
+
+/** Record one tiny run; every test replays offline from here. */
+RecordedRun
+recordTiny(const char *workload, const std::string &mode)
+{
+    const WorkloadInfo *w = findWorkload(workload);
+    EXPECT_NE(w, nullptr) << workload;
+    RunSpec s;
+    s.workload = w;
+    s.arg = w->tinyArg;
+    s.policy = policyFor(mode);
+    return recordWorkload(s);
+}
+
+/** The workload x mode matrix the conservation tests run over. */
+const std::vector<std::pair<const char *, const char *>> kMatrix = {
+    {"hello", "interp"},    {"hello", "jit"},  {"hello", "counter"},
+    {"compress", "interp"}, {"compress", "jit"},
+    {"db", "jit"},          {"db", "counter"},
+};
+
+TEST(Cct, ConservesPipelineCyclesAndEvents)
+{
+    for (const auto &[workload, mode] : kMatrix) {
+        SCOPED_TRACE(std::string(workload) + "/" + mode);
+        const RecordedRun rec = recordTiny(workload, mode);
+        ASSERT_NE(rec.methods, nullptr);
+        prof::CctPipeline sink(PipelineConfig{}, rec.methods);
+        rec.trace->replay(sink);
+        const prof::CctBuilder &cct = sink.cct();
+        const PipelineSim &pipe = sink.pipeline();
+
+        // Totals match the model exactly.
+        EXPECT_EQ(cct.totalEvents(), pipe.instructions());
+        EXPECT_EQ(cct.totalCycles(), pipe.cycles());
+
+        // And decompose exactly over the tree: every event and every
+        // CPI-stack sample landed in exactly one node.
+        std::uint64_t events = 0, cycles = 0;
+        std::uint64_t phaseEvents = 0, phaseCycles = 0;
+        for (const prof::CctNode &n : cct.nodes()) {
+            events += n.events;
+            cycles += n.cycles();
+            for (std::size_t p = 0; p < kNumPhases; ++p) {
+                phaseEvents += n.phaseEvents[p];
+                phaseCycles += n.phaseCycles[p];
+            }
+        }
+        EXPECT_EQ(events, cct.totalEvents());
+        EXPECT_EQ(cycles, cct.totalCycles());
+        EXPECT_EQ(phaseEvents, cct.totalEvents());
+        EXPECT_EQ(phaseCycles, cct.totalCycles());
+    }
+}
+
+TEST(Cct, ObserverDoesNotPerturbPipeline)
+{
+    for (const auto &[workload, mode] : kMatrix) {
+        SCOPED_TRACE(std::string(workload) + "/" + mode);
+        const RecordedRun rec = recordTiny(workload, mode);
+        PipelineSim bare((PipelineConfig()));
+        rec.trace->replay(bare);
+        prof::CctPipeline observed(PipelineConfig{}, rec.methods);
+        rec.trace->replay(observed);
+
+        // Profiler on == profiler off, bit for bit.
+        EXPECT_EQ(observed.pipeline().cycles(), bare.cycles());
+        EXPECT_EQ(observed.pipeline().instructions(),
+                  bare.instructions());
+        EXPECT_EQ(observed.pipeline().mispredicts(),
+                  bare.mispredicts());
+        EXPECT_EQ(observed.pipeline().icache().stats().misses(),
+                  bare.icache().stats().misses());
+        EXPECT_EQ(observed.pipeline().dcache().stats().misses(),
+                  bare.dcache().stats().misses());
+    }
+}
+
+/** FNV-1a over every field of every event: the stream's identity. */
+struct DigestSink : TraceSink {
+    std::uint64_t h = 1469598103934665603ull;
+    void put(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    void onEvent(const TraceEvent &e) override
+    {
+        put(e.pc);
+        put(e.mem);
+        put(e.target);
+        put(static_cast<std::uint64_t>(e.kind));
+        put(static_cast<std::uint64_t>(e.phase));
+        put(e.taken ? 1 : 0);
+        put(e.memSize);
+        put(e.rd);
+        put(e.rs1);
+        put(e.rs2);
+    }
+    void onFinish() override {}
+};
+
+TEST(Cct, GoldenStreamDigests)
+{
+    // Pinned digests of the hello streams. These change ONLY when the
+    // VM intentionally emits a different stream; in particular the
+    // trace-visible stub addresses (isa/address_map.h stub::) must
+    // stay where recorded traces put them, or every cached trace and
+    // CCT frame classification silently shifts.
+    const std::uint64_t kHelloInterp = 0xe7ee982cc858c8acull;
+    const std::uint64_t kHelloJit = 0x77a65398f1cfb42dull;
+    DigestSink interp;
+    recordTiny("hello", "interp").trace->replay(interp);
+    DigestSink jit;
+    recordTiny("hello", "jit").trace->replay(jit);
+    EXPECT_EQ(interp.h, kHelloInterp)
+        << "hello/interp stream digest changed: 0x" << std::hex
+        << interp.h;
+    EXPECT_EQ(jit.h, kHelloJit)
+        << "hello/jit stream digest changed: 0x" << std::hex << jit.h;
+}
+
+TraceEvent
+ev(NKind kind, Phase phase, std::uint64_t pc = 0,
+   std::uint64_t target = 0, std::uint64_t mem = 0)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.phase = phase;
+    e.pc = pc;
+    e.target = target;
+    e.mem = mem;
+    return e;
+}
+
+TEST(Cct, RecursiveCallsChainContexts)
+{
+    const obs::MethodMap map;
+    prof::CctBuilder cct(map);
+    const SimAddr fib = stub::methodStubOf(4);
+    // main calls fib, fib calls fib (recursion), both return.
+    cct.onEvent(ev(NKind::Call, Phase::Interpret, 0x10, fib));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+    cct.onEvent(ev(NKind::IndirectCall, Phase::Interpret, 0x20, fib));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+    cct.onEvent(ev(NKind::Ret, Phase::Interpret));
+    cct.onEvent(ev(NKind::Ret, Phase::Interpret));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+
+    // Root -> (method#4) -> (method#4): recursion gets its own
+    // context node rather than merging with its caller.
+    ASSERT_EQ(cct.nodes().size(), 3u);
+    const prof::CctNode &outer = cct.nodes()[1];
+    const prof::CctNode &inner = cct.nodes()[2];
+    EXPECT_EQ(outer.parent, 0);
+    EXPECT_EQ(inner.parent, 1);
+    EXPECT_EQ(cct.nodeName(outer), "(method#4)");
+    EXPECT_EQ(cct.nodeName(inner), "(method#4)");
+    EXPECT_EQ(outer.calls, 1u);
+    EXPECT_EQ(inner.calls, 1u);
+    EXPECT_EQ(cct.maxDepthSeen(), 3u);
+    EXPECT_EQ(cct.unmatchedRets(), 0u);
+    EXPECT_EQ(cct.mismatchedRets(), 0u);
+    // Every event landed in exactly one node.
+    EXPECT_EQ(cct.totalEvents(), 7u);
+    EXPECT_EQ(cct.nodes()[0].events + outer.events + inner.events, 7u);
+}
+
+TEST(Cct, UnbalancedRetsAreCountedAndIgnored)
+{
+    const obs::MethodMap map;
+    prof::CctBuilder cct(map);
+    // A Ret with only the root open (exception unwind shape).
+    cct.onEvent(ev(NKind::Ret, Phase::Interpret));
+    EXPECT_EQ(cct.unmatchedRets(), 1u);
+
+    // A guest Ret while a GC frame is open: wrong kind, ignored.
+    cct.onEvent(ev(NKind::Call, Phase::Gc, gc::kGcPc, 0x1));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Gc));
+    cct.onEvent(ev(NKind::Ret, Phase::Interpret));
+    EXPECT_EQ(cct.mismatchedRets(), 1u);
+    // The matching Gc Ret still closes the frame.
+    cct.onEvent(ev(NKind::Ret, Phase::Gc));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+
+    EXPECT_EQ(cct.totalEvents(), 6u);
+    std::uint64_t sum = 0;
+    for (const prof::CctNode &n : cct.nodes())
+        sum += n.events;
+    EXPECT_EQ(sum, 6u);
+    // Stack is back at the root: a new Gc bracket nests at depth 2.
+    cct.onEvent(ev(NKind::Call, Phase::Gc, gc::kGcPc, 0x1));
+    EXPECT_EQ(cct.maxDepthSeen(), 2u);
+}
+
+TEST(Cct, TranslateFramesCloseOnInstallRetOnly)
+{
+    const obs::MethodMap map;
+    prof::CctBuilder cct(map);
+    // One compilation: Call opens the frame, per-bytecode returns to
+    // the dispatch loop do NOT close it, the install return does.
+    cct.onEvent(ev(NKind::Call, Phase::Translate, stub::kTransDispatch,
+                   stub::kTransEmit));
+    cct.onEvent(ev(NKind::Ret, Phase::Translate, stub::kTransEmit));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Translate));
+    EXPECT_EQ(cct.maxDepthSeen(), 2u);
+    const prof::CctNode &trans = cct.nodes()[1];
+    EXPECT_EQ(cct.nodeName(trans), "(translate)");
+    EXPECT_EQ(trans.events, 2u);
+    cct.onEvent(
+        ev(NKind::Ret, Phase::Translate, stub::kTransInstallRet));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+    EXPECT_EQ(cct.abandonedTranslations(), 0u);
+    EXPECT_EQ(cct.nodes()[0].events, 2u);  // the Call + the IntAlu
+
+    // An abandoned compilation (no install return) is closed by the
+    // first event from another phase.
+    cct.onEvent(ev(NKind::Call, Phase::Translate, stub::kTransDispatch,
+                   stub::kTransEmit));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+    EXPECT_EQ(cct.abandonedTranslations(), 1u);
+    EXPECT_EQ(cct.totalEvents(), 7u);
+}
+
+TEST(Cct, DepthOverflowSuppressesPushesButConservesEvents)
+{
+    const obs::MethodMap map;
+    prof::CctBuilder cct(map, prof::CctOptions{.maxDepth = 3});
+    const SimAddr m = stub::methodStubOf(1);
+    for (int i = 0; i < 6; ++i)
+        cct.onEvent(ev(NKind::Call, Phase::Interpret, 0x10, m));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+    for (int i = 0; i < 6; ++i)
+        cct.onEvent(ev(NKind::Ret, Phase::Interpret));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+
+    // Only maxDepth-1 frames were materialized; the rest were virtual.
+    EXPECT_EQ(cct.maxDepthSeen(), 3u);
+    EXPECT_EQ(cct.overflowPushes(), 4u);
+    EXPECT_EQ(cct.unmatchedRets(), 0u);
+    ASSERT_EQ(cct.nodes().size(), 3u);
+    // The suppressed frames' events accrued to the deepest real one.
+    EXPECT_EQ(cct.totalEvents(), 14u);
+    std::uint64_t sum = 0;
+    for (const prof::CctNode &n : cct.nodes())
+        sum += n.events;
+    EXPECT_EQ(sum, 14u);
+    // All Rets consumed: the final IntAlu sits at the root again.
+    EXPECT_EQ(cct.nodes()[0].events, 2u);
+}
+
+TEST(Cct, GoldenFoldedFixture)
+{
+    obs::MethodMap map;
+    map.add(0x100, 0x200, "main");
+    map.add(0x200, 0x300, "helper");
+    prof::CctBuilder cct(map);
+    // Root names itself from the first bytecode fetch; the callee
+    // frame likewise from its first fetch inside the bracket.
+    cct.onEvent(
+        ev(NKind::Load, Phase::Interpret, seg::kInterpCode, 0, 0x110));
+    cct.onEvent(ev(NKind::Call, Phase::Interpret, 0x10,
+                   stub::methodStubOf(7)));
+    cct.onEvent(
+        ev(NKind::Load, Phase::Interpret, seg::kInterpCode, 0, 0x210));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+    cct.onEvent(ev(NKind::Ret, Phase::Interpret));
+    cct.onEvent(ev(NKind::IntAlu, Phase::Interpret));
+
+    // No pipeline listener fed cycles, so values are self events.
+    const std::vector<prof::FoldedLine> lines = cct.foldedLines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].stack, "main_[i]");
+    EXPECT_EQ(lines[0].value, 3u);
+    EXPECT_EQ(lines[1].stack, "main;helper_[i]");
+    EXPECT_EQ(lines[1].value, 3u);
+
+    // The same tree as difffolded text against a scaled copy.
+    const std::string diff = prof::foldedDiff(lines, lines);
+    EXPECT_EQ(diff, "main;helper_[i] 3 3\nmain_[i] 3 3\n");
+}
+
+TEST(Cct, ReportSetRendersStableJsonAndFoldedPrefixes)
+{
+    const RecordedRun rec = recordTiny("hello", "jit");
+    prof::CctPipeline sink(PipelineConfig{}, rec.methods);
+    rec.trace->replay(sink);
+
+    prof::CctReportSet reports;
+    reports.add("b-run", sink.cct());
+    reports.add("a-run", sink.cct());
+    reports.add("a-run", sink.cct());  // replace, not duplicate
+    EXPECT_EQ(reports.size(), 2u);
+    const std::string json = reports.toJson();
+    EXPECT_NE(json.find("\"jrs-cct-v1\""), std::string::npos);
+    // Runs sorted by label regardless of add order.
+    EXPECT_LT(json.find("\"a-run\""), json.find("\"b-run\""));
+
+    // Multi-run folded files prefix each stack with its run label.
+    TempDir dir("jrs_prof_folded");
+    const std::string path = dir.path + "/multi.folded";
+    reports.writeFolded(path);
+    std::ifstream f(path);
+    std::string first;
+    ASSERT_TRUE(std::getline(f, first));
+    EXPECT_EQ(first.rfind("a-run;", 0), 0u);
+}
+
+TEST(Bench, ReportRoundTripsThroughJson)
+{
+    prof::BenchReport report;
+    report.suite = "vm";
+    prof::BenchRun run;
+    run.label = "vm/compress/jit";
+    run.events = 1234567;
+    run.wallSeconds = 0.25;
+    run.eventsPerSec = 4938268;
+    run.peakRssBytes = 7654321;
+    run.metrics.emplace_back("speedup \"x\"", 1.5);
+    report.upsert(run);
+    run.label = "vm/compress/interp";
+    report.upsert(run);
+
+    const prof::BenchReport parsed =
+        prof::BenchReport::parse(report.toJson());
+    EXPECT_EQ(parsed.suite, "vm");
+    ASSERT_EQ(parsed.runs.size(), 2u);
+    const prof::BenchRun *r = parsed.find("vm/compress/jit");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->events, 1234567u);
+    EXPECT_DOUBLE_EQ(r->wallSeconds, 0.25);
+    EXPECT_DOUBLE_EQ(r->eventsPerSec, 4938268);
+    EXPECT_EQ(r->peakRssBytes, 7654321u);
+    EXPECT_DOUBLE_EQ(r->metric("speedup \"x\""), 1.5);
+    // A second serialize/parse round trip is byte-stable.
+    EXPECT_EQ(parsed.toJson(), report.toJson());
+}
+
+TEST(Bench, CompareSelfPassesAndInjectedRegressionFails)
+{
+    prof::BenchReport base;
+    base.suite = "vm";
+    for (const char *label : {"a", "b", "c"}) {
+        prof::BenchRun run;
+        run.label = label;
+        run.events = 1000;
+        run.wallSeconds = 1.0;
+        run.eventsPerSec = 1000;
+        base.upsert(run);
+    }
+
+    // Self-compare: zero deltas, passes at any threshold.
+    const prof::CompareResult self =
+        prof::compareReports(base, base, 0.0);
+    EXPECT_FALSE(self.failed);
+    EXPECT_EQ(self.rows.size(), 3u);
+    EXPECT_EQ(self.worstDeltaPct, 0.0);
+
+    // Injected regression: "b" is now 40% slower.
+    prof::BenchReport current = base;
+    prof::BenchRun slower = *current.find("b");
+    slower.eventsPerSec = 600;
+    current.upsert(slower);
+    const prof::CompareResult cmp =
+        prof::compareReports(base, current, 20.0);
+    EXPECT_TRUE(cmp.failed);
+    EXPECT_DOUBLE_EQ(cmp.worstDeltaPct, -40.0);
+    bool found = false;
+    for (const prof::CompareRow &row : cmp.rows) {
+        if (row.label == "b") {
+            EXPECT_TRUE(row.regressed);
+            found = true;
+        } else {
+            EXPECT_FALSE(row.regressed);
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_NE(cmp.text(20.0).find("FAIL"), std::string::npos);
+
+    // A generous threshold tolerates the same drop.
+    EXPECT_FALSE(prof::compareReports(base, current, 50.0).failed);
+
+    // Labels on only one side are reported, never failed on.
+    prof::BenchReport grown = base;
+    prof::BenchRun extra;
+    extra.label = "d";
+    extra.events = 1;
+    extra.wallSeconds = 1.0;
+    extra.eventsPerSec = 1;
+    grown.upsert(extra);
+    const prof::CompareResult g =
+        prof::compareReports(base, grown, 20.0);
+    EXPECT_FALSE(g.failed);
+    ASSERT_EQ(g.onlyCurrent.size(), 1u);
+    EXPECT_EQ(g.onlyCurrent[0], "d");
+}
+
+TEST(Bench, LoadOrEmptyRestartsForeignFiles)
+{
+    TempDir dir("jrs_prof_bench_load");
+    const std::string path = dir.path + "/t.json";
+
+    // Missing file: fresh report carrying the suite name.
+    prof::BenchReport fresh = prof::BenchReport::loadOrEmpty(path,
+                                                             "vm");
+    EXPECT_EQ(fresh.suite, "vm");
+    EXPECT_TRUE(fresh.runs.empty());
+
+    // Old-schema file: the trajectory restarts rather than throwing.
+    {
+        std::ofstream f(path);
+        f << "{\"schema\": \"jrs-bench-sweep-v1\", \"entries\": []}\n";
+    }
+    EXPECT_TRUE(prof::BenchReport::loadOrEmpty(path, "vm").runs
+                    .empty());
+    // ...but strict load() rejects it.
+    EXPECT_THROW((void)prof::BenchReport::load(path), VmError);
+
+    // Round trip through disk.
+    prof::BenchRun run;
+    run.label = "x";
+    run.events = 42;
+    run.wallSeconds = 2.0;
+    run.eventsPerSec = 21;
+    fresh.upsert(run);
+    fresh.writeJson(path);
+    const prof::BenchReport back = prof::BenchReport::loadOrEmpty(
+        path, "vm");
+    ASSERT_EQ(back.runs.size(), 1u);
+    EXPECT_EQ(back.runs[0].events, 42u);
+}
+
+} // namespace
+} // namespace jrs
