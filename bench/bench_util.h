@@ -20,10 +20,12 @@
 #include "obs/perf.h"
 #include "prof/bench.h"
 #include "prof/cct.h"
+#include "prof/sampler.h"
 #include "support/statistics.h"
 #include "support/table.h"
 #include "sweep/cct_observer.h"
 #include "sweep/perf_observer.h"
+#include "sweep/sample_observer.h"
 #include "vm/runtime/vm_error.h"
 
 namespace jrs::bench {
@@ -175,13 +177,16 @@ setupObs(const SweepBenchArgs &args)
 inline void
 finishObs(const SweepBenchArgs &args,
           const obs::PerfReportSet *perf = nullptr,
-          const prof::CctReportSet *cct = nullptr)
+          const prof::CctReportSet *cct = nullptr,
+          const prof::SampleReportSet *sample = nullptr)
 {
     args.obs.finish(std::cout);
     if (perf != nullptr)
         args.obs.writePerf(*perf, std::cout);
     if (cct != nullptr)
         args.obs.writeCct(*cct, std::cout);
+    if (sample != nullptr)
+        args.obs.writeSample(*sample, std::cout);
 }
 
 /**
@@ -210,6 +215,21 @@ attachCctObserver(sweep::SweepOptions &opts,
 {
     if (args.obs.cctRequested())
         sweep::attachCctObserver(opts, reports);
+}
+
+/**
+ * Wire --sample-json into a sweep (no-op unless the flag was given):
+ * see sweep/sample_observer.h. @p reports must outlive the sweep.
+ * Composes with the perf and CCT observers.
+ */
+inline void
+attachSampleObserver(sweep::SweepOptions &opts,
+                     const SweepBenchArgs &args,
+                     prof::SampleReportSet &reports)
+{
+    if (args.obs.sampleRequested())
+        sweep::attachSampleObserver(opts, args.obs.sampleOptions(),
+                                    reports);
 }
 
 /** Sum of per-point stream events across a finished sweep. */

@@ -37,6 +37,8 @@ main(int argc, char **argv)
     bench::attachPerfObserver(opts, args, perfReports);
     prof::CctReportSet cctReports;
     bench::attachCctObserver(opts, args, cctReports);
+    prof::SampleReportSet sampleReports;
+    bench::attachSampleObserver(opts, args, sampleReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildFig04Grid());
@@ -45,7 +47,8 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports, &cctReports);
+        bench::finishObs(args, &perfReports, &cctReports,
+                         &sampleReports);
         return 1;
     }
 
@@ -78,6 +81,7 @@ main(int argc, char **argv)
 
     if (!args.json.empty())
         result.writeJson(args.json);
-    bench::finishObs(args, &perfReports, &cctReports);
+    bench::finishObs(args, &perfReports, &cctReports,
+                     &sampleReports);
     return 0;
 }

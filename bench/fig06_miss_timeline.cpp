@@ -173,6 +173,8 @@ main(int argc, char **argv)
     bench::attachPerfObserver(opts, args, perfReports);
     prof::CctReportSet cctReports;
     bench::attachCctObserver(opts, args, cctReports);
+    prof::SampleReportSet sampleReports;
+    bench::attachSampleObserver(opts, args, sampleReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result = engine.run(
         {timelinePoint(false, &interp), timelinePoint(true, &jit)});
@@ -181,7 +183,8 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports, &cctReports);
+        bench::finishObs(args, &perfReports, &cctReports,
+                         &sampleReports);
         return 1;
     }
 
@@ -204,10 +207,12 @@ main(int argc, char **argv)
                      "bit-identical: "
                   << (same ? "yes" : "NO") << '\n';
         if (!same) {
-            bench::finishObs(args, &perfReports, &cctReports);
+            bench::finishObs(args, &perfReports, &cctReports,
+                         &sampleReports);
             return 1;
         }
     }
-    bench::finishObs(args, &perfReports, &cctReports);
+    bench::finishObs(args, &perfReports, &cctReports,
+                     &sampleReports);
     return 0;
 }

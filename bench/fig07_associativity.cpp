@@ -113,6 +113,8 @@ main(int argc, char **argv)
     bench::attachPerfObserver(opts, args, perfReports);
     prof::CctReportSet cctReports;
     bench::attachCctObserver(opts, args, cctReports);
+    prof::SampleReportSet sampleReports;
+    bench::attachSampleObserver(opts, args, sampleReports);
     sweep::SweepEngine engine(opts);
     const sweep::SweepResult result =
         engine.run(sweep::buildFig07Grid());
@@ -121,7 +123,8 @@ main(int argc, char **argv)
             if (!p.ok)
                 std::cerr << p.label << ": " << p.error << '\n';
         }
-        bench::finishObs(args, &perfReports, &cctReports);
+        bench::finishObs(args, &perfReports, &cctReports,
+                         &sampleReports);
         return 1;
     }
 
@@ -197,10 +200,12 @@ main(int argc, char **argv)
                 {std::move(sr), std::move(cold), std::move(warmRun)});
         }
         if (!same) {
-            bench::finishObs(args, &perfReports, &cctReports);
+            bench::finishObs(args, &perfReports, &cctReports,
+                         &sampleReports);
             return 1;
         }
     }
-    bench::finishObs(args, &perfReports, &cctReports);
+    bench::finishObs(args, &perfReports, &cctReports,
+                     &sampleReports);
     return 0;
 }

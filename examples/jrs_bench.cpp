@@ -19,6 +19,7 @@
  *                    gc    — GC grid throughput + collection counts
  *                    prof  — replay overhead: bare pipeline vs
  *                            attribution vs calling-context profiler
+ *                            vs sampling profiler
  *   --tiny           use each workload's tinyArg (vm/prof suites)
  *   --jobs N         sweep worker threads (sweep/gc suites)
  *   --json FILE      merge this run's entries into a jrs-bench-v1
@@ -44,6 +45,7 @@
 #include "obs/perf.h"
 #include "prof/bench.h"
 #include "prof/cct.h"
+#include "prof/sampler.h"
 #include "support/statistics.h"
 #include "support/table.h"
 #include "sweep/grids.h"
@@ -302,6 +304,23 @@ suiteProf(Bench &b)
             run.metrics.emplace_back("overhead_vs_pipeline",
                                      sec / pipeSeconds);
     }
+    std::uint64_t samples = 0;
+    {
+        obs::HostStats::Section s(b.host, "prof/replay/sampled",
+                                  &events);
+        prof::SamplePipeline sp(PipelineConfig{}, rec.methods);
+        rec.trace->replay(sp);
+        samples = sp.sampler().samples();
+    }
+    {
+        prof::BenchRun &run = addSectionRun(b, "prof/replay/sampled");
+        const double sec = run.wallSeconds;
+        if (pipeSeconds > 0)
+            run.metrics.emplace_back("overhead_vs_pipeline",
+                                     sec / pipeSeconds);
+        run.metrics.emplace_back("samples",
+                                 static_cast<double>(samples));
+    }
 }
 
 void
@@ -374,6 +393,15 @@ main(int argc, char **argv)
                   << "compare vs " << args.comparePath << " (max "
                   << fixed(args.maxRegressPct, 1) << "% regression):\n"
                   << cmp.text(args.maxRegressPct);
+        if (!cmp.onlyBaseline.empty()) {
+            // A baseline label with no current counterpart cannot be
+            // gated; make the gap loud instead of silently passing.
+            std::cerr << "warning: " << cmp.onlyBaseline.size()
+                      << " baseline label(s) were not produced by"
+                         " this run and were not compared:\n";
+            for (const std::string &l : cmp.onlyBaseline)
+                std::cerr << "  " << l << '\n';
+        }
         if (cmp.failed)
             return 1;
     }

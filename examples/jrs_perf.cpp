@@ -33,6 +33,12 @@
  *                                CCT-observed pipeline; its totals are
  *                                cross-checked like everything else)
  *   --flame FILE                 folded stacks (flamegraph.pl input)
+ *   --sample-json FILE           write a jrs-sample-v1 sampled profile
+ *                                (extra replay through a sampling-
+ *                                observed pipeline; the model's totals
+ *                                must match the exact replay exactly)
+ *   --sample-period N            mean cycles between samples
+ *   --sample-seed N              sampling PRNG seed
  *
  * The tool always cross-checks its tables against the model's own
  * aggregate statistics (event counts, cache accesses/misses,
@@ -56,6 +62,7 @@
 #include "obs/obs.h"
 #include "obs/perf.h"
 #include "prof/cct.h"
+#include "prof/sampler.h"
 #include "support/statistics.h"
 #include "vm/engine/engine.h"
 #include "vm/engine/policy.h"
@@ -439,6 +446,28 @@ main(int argc, char **argv)
         prof::CctReportSet cctReports;
         cctReports.add(std::string(w->name) + "/" + mode, cct.cct());
         cli.writeCct(cctReports, std::cout);
+    }
+
+    if (cli.sampleRequested()) {
+        // One more replay, through the sampling profiler; sampling is
+        // read-only, so this model must agree with the exact one.
+        prof::SamplePipeline sp(PipelineConfig{}, map,
+                                cli.sampleOptions());
+        buffer.replay(sp);
+        if (pipe != nullptr) {
+            conserved &= expectEq("sampled-replay cycles",
+                                  sp.pipeline().cycles(),
+                                  pipe->pipeline().cycles());
+        }
+        std::cout << "\nsampled profile: "
+                  << withCommas(sp.sampler().samples())
+                  << " samples (period "
+                  << sp.sampler().options().period << ", seed "
+                  << sp.sampler().options().seed << ")\n";
+        prof::SampleReportSet sampleReports;
+        sampleReports.add(std::string(w->name) + "/" + mode,
+                          sp.sampler());
+        cli.writeSample(sampleReports, std::cout);
     }
 
     std::cout << "\nconservation vs model aggregates: "

@@ -27,6 +27,14 @@
  *                                CPI stacks, miss/mispredict profiles)
  *   --cct-json FILE              jrs-cct-v1 calling-context tree
  *   --flame FILE                 folded stacks (flamegraph.pl input)
+ *   --sample-json FILE           jrs-sample-v1 sampled profile
+ *   --sample-period N            mean cycles between samples
+ *   --sample-seed N              sampling PRNG seed
+ *   --calibrate                  replay through both the exact and the
+ *                                sampled profiler and print a
+ *                                per-method sampled-vs-exact error
+ *                                table (share error, top-N overlap,
+ *                                rank agreement)
  *   --collector/--heap-bytes/... collector knobs (see GcCli)
  *
  * Differential flamegraphs (two runs of the same workload):
@@ -40,6 +48,7 @@
  *   jrs_profile compress
  *   jrs_profile jess --mode counter:500 --top 5
  *   jrs_profile compress --flame compress.folded
+ *   jrs_profile compress --calibrate --sample-period 1024
  *   jrs_profile db --mode jit --diff-mode interp --flame-diff d.folded
  *   jrs_profile db --diff-collector marksweep --flame-diff gc.folded
  */
@@ -52,9 +61,11 @@
 #include "isa/trace_buffer.h"
 #include "obs/attribution.h"
 #include "obs/cli.h"
+#include "obs/json.h"
 #include "obs/obs.h"
 #include "obs/perf.h"
 #include "prof/cct.h"
+#include "prof/sampler.h"
 #include "support/statistics.h"
 #include "vm/engine/engine.h"
 #include "vm/engine/policy.h"
@@ -75,7 +86,7 @@ usage(const char *msg = nullptr)
               << obs::ObsCli::usageText()
               << obs::GcCli::usageText()
               << "\n       [--diff-mode MODE] [--diff-collector NAME]"
-                 " [--flame-diff FILE]\n\nworkloads:\n";
+                 " [--flame-diff FILE] [--calibrate]\n\nworkloads:\n";
     for (const WorkloadInfo &w : allWorkloads())
         std::cerr << "  " << w.name << " — " << w.description << '\n';
     std::exit(2);
@@ -112,17 +123,7 @@ parseLong(const std::string &v, const char *what)
     return n;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
+using obs::jsonEscape;
 
 /** One recorded run: the stream plus everything needed to join it. */
 struct Recorded {
@@ -181,6 +182,7 @@ main(int argc, char **argv)
     std::string diffMode;
     std::string diffCollector;
     std::string flameDiff;
+    bool calibrateRequested = false;
     obs::ObsCli cli;
     obs::GcCli gcCli;
     for (int i = 2; i < argc; ++i) {
@@ -206,6 +208,8 @@ main(int argc, char **argv)
             diffCollector = next();
         } else if (a == "--flame-diff") {
             flameDiff = next();
+        } else if (a == "--calibrate") {
+            calibrateRequested = true;
         } else if (cli.tryParse(a, next)) {
             continue;
         } else if (gcCli.tryParse(a, next)) {
@@ -335,6 +339,41 @@ main(int argc, char **argv)
             std::cout << "wrote " << flameDiff << " (" << base.label
                       << " vs " << other.label << ")\n";
         }
+    }
+
+    if (calibrateRequested || cli.sampleRequested()) {
+        // Offline replay through the sampling profiler (cycle clock).
+        prof::SamplePipeline sp(PipelineConfig{}, base.map,
+                                cli.sampleOptions());
+        base.buffer.replay(sp);
+        std::cout << "\nsampled profile: "
+                  << withCommas(sp.sampler().samples())
+                  << " samples (period "
+                  << sp.sampler().options().period << ", seed "
+                  << sp.sampler().options().seed << ")\n";
+
+        if (calibrateRequested) {
+            // Ground truth: the exact profiler over the same stream.
+            prof::CctPipeline exact(PipelineConfig{}, base.map);
+            base.buffer.replay(exact);
+            if (exact.pipeline().cycles()
+                != sp.pipeline().cycles()) {
+                std::cerr << "error: sampled replay perturbed the "
+                             "model ("
+                          << sp.pipeline().cycles() << " cycles vs "
+                          << exact.pipeline().cycles() << ")\n";
+                return 1;
+            }
+            const prof::CalibrationReport rep =
+                prof::calibrate(exact.cct(), sp.sampler(), topN);
+            std::cout << "\nsampled vs exact (per-method "
+                      << rep.value << " shares):\n"
+                      << rep.text(topN);
+        }
+
+        prof::SampleReportSet sampleReports;
+        sampleReports.add(base.label, sp.sampler());
+        cli.writeSample(sampleReports, std::cout);
     }
     cli.finish(std::cout);
     return 0;

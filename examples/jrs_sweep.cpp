@@ -21,6 +21,9 @@
  *                      a perf-attribution pipeline (per-method CPI
  *                      stacks, miss/mispredict profiles), without
  *                      perturbing the sweep's own metrics
+ *   --sample-json F    write a jrs-sample-v1 sampled profile per trace
+ *                      group (--sample-period/--sample-seed select the
+ *                      sampling knobs), same no-perturbation guarantee
  *   --collector C      run every recording under collector C (nogc,
  *                      marksweep, copying); changes stream identity,
  *                      so cached GC-less recordings are not reused
@@ -43,6 +46,7 @@
 #include "sweep/grids.h"
 #include "sweep/cct_observer.h"
 #include "sweep/perf_observer.h"
+#include "sweep/sample_observer.h"
 
 using namespace jrs;
 
@@ -126,6 +130,10 @@ main(int argc, char **argv)
     prof::CctReportSet cctReports;
     if (cli.cctRequested())
         sweep::attachCctObserver(opts, cctReports);
+    prof::SampleReportSet sampleReports;
+    if (cli.sampleRequested())
+        sweep::attachSampleObserver(opts, cli.sampleOptions(),
+                                    sampleReports);
     if (progress) {
         // The counts come straight from the registry the sweep engine
         // publishes into (the same numbers --metrics-json snapshots).
@@ -175,5 +183,6 @@ main(int argc, char **argv)
     cli.finish(std::cout);
     cli.writePerf(perfReports, std::cout);
     cli.writeCct(cctReports, std::cout);
+    cli.writeSample(sampleReports, std::cout);
     return result.allOk() ? 0 : 1;
 }

@@ -10,6 +10,9 @@
  *   --perf-json FILE      jrs-perf-report-v1 attribution report
  *   --cct-json FILE       jrs-cct-v1 calling-context tree
  *   --flame FILE          folded stacks (flamegraph.pl / speedscope)
+ *   --sample-json FILE    jrs-sample-v1 sampled profile
+ *   --sample-period N     mean cycles between samples (default 4096)
+ *   --sample-seed N       PRNG seed for the jittered sample gaps
  *
  * ObsCli centralizes the parse / enable / write-on-exit steps so the
  * flag set stays consistent across jrs_sweep, jrs_profile, jrs_perf
@@ -34,6 +37,7 @@
 #include "obs/obs.h"
 #include "obs/perf.h"
 #include "prof/cct.h"
+#include "prof/sampler.h"
 #include "vm/runtime/heap.h"
 
 namespace jrs::obs {
@@ -45,11 +49,31 @@ struct ObsCli {
     std::string perfJson;     ///< --perf-json output path
     std::string cctJson;      ///< --cct-json output path
     std::string flame;        ///< --flame output path
+    std::string sampleJson;   ///< --sample-json output path
+    std::uint64_t samplePeriod = 0;  ///< --sample-period (0 = default)
+    std::uint64_t sampleSeed = 1;    ///< --sample-seed
 
     /** Usage-string fragment for the flags handled here. */
     static const char *usageText() {
         return " [--metrics-json FILE] [--trace-json FILE]"
-               " [--perf-json FILE] [--cct-json FILE] [--flame FILE]";
+               " [--perf-json FILE] [--cct-json FILE] [--flame FILE]"
+               " [--sample-json FILE] [--sample-period N]"
+               " [--sample-seed N]";
+    }
+
+    /** Parse a decimal count; exits 2 on anything else. */
+    static std::uint64_t parseCount(const std::string &v,
+                                    const char *what) {
+        char *end = nullptr;
+        const unsigned long long n =
+            std::strtoull(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0') {
+            std::cerr << "error: " << what
+                      << " expects a decimal count, got '" << v
+                      << "'\n";
+            std::exit(2);
+        }
+        return n;
     }
 
     /**
@@ -79,6 +103,18 @@ struct ObsCli {
             flame = next();
             return true;
         }
+        if (a == "--sample-json") {
+            sampleJson = next();
+            return true;
+        }
+        if (a == "--sample-period") {
+            samplePeriod = parseCount(next(), "--sample-period");
+            return true;
+        }
+        if (a == "--sample-seed") {
+            sampleSeed = parseCount(next(), "--sample-seed");
+            return true;
+        }
         return false;
     }
 
@@ -88,6 +124,25 @@ struct ObsCli {
     /** True when the tool should build calling-context trees. */
     bool cctRequested() const {
         return !cctJson.empty() || !flame.empty();
+    }
+
+    /** True when the tool should run a sampled profile. */
+    bool sampleRequested() const {
+        return !sampleJson.empty() || samplePeriod != 0;
+    }
+
+    /**
+     * The sampling knobs the flags selected (cycle clock; a period of
+     * 0 falls back to prof::kDefaultSamplePeriod so `--sample-json`
+     * alone works).
+     */
+    prof::SampleOptions sampleOptions() const {
+        prof::SampleOptions opt;
+        opt.period = samplePeriod == 0 ? prof::kDefaultSamplePeriod
+                                       : samplePeriod;
+        opt.seed = sampleSeed;
+        opt.cycleClock = true;
+        return opt;
     }
 
     /**
@@ -135,6 +190,15 @@ struct ObsCli {
             set.writeFolded(flame);
             out << "wrote " << flame << '\n';
         }
+    }
+
+    /** Write @p set to the --sample-json path (no-op when not given). */
+    void writeSample(const prof::SampleReportSet &set,
+                     std::ostream &out) const {
+        if (sampleJson.empty())
+            return;
+        set.writeJson(sampleJson);
+        out << "wrote " << sampleJson << '\n';
     }
 };
 

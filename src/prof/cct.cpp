@@ -1,55 +1,20 @@
 #include "prof/cct.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 
-#include "isa/address_map.h"
+#include "obs/json.h"
 #include "vm/runtime/vm_error.h"
 
 namespace jrs::prof {
 
 namespace {
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+using obs::jsonEscape;
 
-/**
- * Folded-stack phase suffixes, Brendan-Gregg style annotation on the
- * leaf frame (flamegraph.pl renders _[x]-suffixed frames in their own
- * hue). Indexed by Phase.
- */
+/** Brendan-Gregg style leaf annotations, indexed by Phase. */
 const char *const kPhaseSuffix[kNumPhases] = {
     "_[i]",   // Interpret
     "_[t]",   // Translate
@@ -61,25 +26,14 @@ const char *const kPhaseSuffix[kNumPhases] = {
 } // namespace
 
 const char *
-frameKindName(FrameKind k)
+foldedPhaseSuffix(std::size_t p)
 {
-    switch (k) {
-      case FrameKind::Root:
-        return "root";
-      case FrameKind::Method:
-        return "method";
-      case FrameKind::Runtime:
-        return "runtime";
-      case FrameKind::Translate:
-        return "translate";
-      case FrameKind::Gc:
-        return "gc";
-    }
-    return "?";
+    return kPhaseSuffix[p];
 }
 
 CctBuilder::CctBuilder(const obs::MethodMap &map, Options opt)
-    : map_(&map), opt_(opt)
+    : map_(&map),
+      tracker_(&map, FrameTrackerOptions{opt.maxDepth})
 {
     nodes_.emplace_back();
     nodes_[0].kind = FrameKind::Root;
@@ -108,120 +62,21 @@ CctBuilder::childOf(int parent, FrameKind kind, std::uint64_t key,
 }
 
 void
-CctBuilder::pushFor(const TraceEvent &ev)
-{
-    if (stack_.size() + overflow_ >= opt_.maxDepth) {
-        ++overflow_;
-        ++overflowPushes_;
-        return;
-    }
-    FrameKind kind;
-    std::uint32_t methodId = 0;
-    const char *stubName = nullptr;
-    std::uint64_t id;
-    if (stub::isMethodStub(ev.target)) {
-        kind = FrameKind::Method;
-        methodId = stub::methodIdOfStub(ev.target);
-        id = methodId;
-    } else if (ev.phase == Phase::Gc) {
-        kind = FrameKind::Gc;
-        stubName = "(gc)";
-        id = 0;
-    } else if (ev.phase == Phase::Translate) {
-        kind = FrameKind::Translate;
-        stubName = "(translate)";
-        id = 0;
-    } else {
-        // Runtime service brackets, named by their call-site pc.
-        kind = FrameKind::Runtime;
-        if (ev.pc == stub::kAllocPc)
-            stubName = "(alloc)";
-        else if (ev.pc == stub::kAllocPc + 0x40)
-            stubName = "(alloc.array)";
-        else if (ev.pc == stub::kCopyPc)
-            stubName = "(arraycopy)";
-        else
-            stubName = "(runtime)";
-        id = ev.pc;
-    }
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(kind) << 56) | (id & 0xff'ffff'ffff'ffffull);
-    const int child =
-        childOf(stack_.back(), kind, key, methodId, stubName);
-    ++nodes_[child].calls;
-    stack_.push_back(child);
-    maxDepthSeen_ = std::max(maxDepthSeen_, stack_.size());
-}
-
-void
-CctBuilder::popFor(const TraceEvent &ev)
-{
-    FrameKind want;
-    switch (ev.phase) {
-      case Phase::Interpret:
-      case Phase::NativeExec:
-        want = FrameKind::Method;
-        break;
-      case Phase::Runtime:
-        want = FrameKind::Runtime;
-        break;
-      case Phase::Gc:
-        want = FrameKind::Gc;
-        break;
-      case Phase::Translate:
-        // The translator returns from a per-bytecode routine to its
-        // dispatch loop once per translated bytecode; only the final
-        // install return closes the compilation's frame.
-        if (ev.pc != stub::kTransInstallRet)
-            return;
-        want = FrameKind::Translate;
-        break;
-      default:
-        return;
-    }
-    if (overflow_ > 0) {
-        // The innermost open frames were depth-suppressed; this Ret
-        // closes one of them.
-        --overflow_;
-        return;
-    }
-    if (stack_.size() == 1) {
-        ++unmatchedRets_;
-        return;
-    }
-    if (nodes_[stack_.back()].kind != want) {
-        ++mismatchedRets_;
-        return;
-    }
-    stack_.pop_back();
-}
-
-void
 CctBuilder::onEvent(const TraceEvent &ev)
 {
-    // A Translate frame not closed by its install return (the
-    // compilation aborted on an uncompilable construct) ends at the
-    // first event from any other phase.
-    if (ev.phase != Phase::Translate && overflow_ == 0 &&
-        nodes_[stack_.back()].kind == FrameKind::Translate) {
+    // The tracker closes an abandoned Translate frame before the
+    // attribution point; mirror that into the node stack.
+    if (tracker_.begin(ev).closedTranslate)
         stack_.pop_back();
-        ++abandoned_;
-    }
 
     const int cur = stack_.back();
     CctNode &n = nodes_[cur];
 
-    // Lazy frame naming (see header): first attributable event wins.
-    if (n.methodRow < 0 &&
-        (n.kind == FrameKind::Method || n.kind == FrameKind::Root)) {
-        int row = -1;
-        if (ev.phase == Phase::NativeExec)
-            row = map_->rowOf(ev.pc);
-        else if (ev.phase == Phase::Interpret && ev.kind == NKind::Load)
-            row = map_->rowOf(ev.mem);
-        if (row >= 0)
-            n.methodRow = row;
-    }
+    // Mirror the tracker's lazily resolved method row (frames and
+    // nodes advance in lockstep, so the frame at the same depth is
+    // this node's current activation).
+    if (n.methodRow < 0)
+        n.methodRow = tracker_.stack()[stack_.size() - 1].methodRow;
 
     ++events_;
     ++n.events;
@@ -231,10 +86,21 @@ CctBuilder::onEvent(const TraceEvent &ev)
     // pops a frame (a Call's own cycles are the caller's).
     attrNode_ = cur;
 
-    if (ev.kind == NKind::Call || ev.kind == NKind::IndirectCall)
-        pushFor(ev);
-    else if (ev.kind == NKind::Ret)
-        popFor(ev);
+    switch (tracker_.finish(ev)) {
+      case FrameTracker::Action::Push: {
+        const Frame &f = tracker_.stack().back();
+        const int child =
+            childOf(cur, f.kind, f.key, f.methodId, f.stubName);
+        ++nodes_[child].calls;
+        stack_.push_back(child);
+        break;
+      }
+      case FrameTracker::Action::Pop:
+        stack_.pop_back();
+        break;
+      case FrameTracker::Action::None:
+        break;
+    }
 }
 
 void
@@ -338,11 +204,12 @@ CctBuilder::runJson(const std::string &label) const
     os << "      \"events\": " << events_ << ",\n";
     os << "      \"cycles\": " << cycles_ << ",\n";
     os << "      \"nodes_total\": " << nodes_.size() << ",\n";
-    os << "      \"max_depth\": " << maxDepthSeen_ << ",\n";
-    os << "      \"unmatched_rets\": " << unmatchedRets_ << ",\n";
-    os << "      \"mismatched_rets\": " << mismatchedRets_ << ",\n";
-    os << "      \"abandoned_translations\": " << abandoned_ << ",\n";
-    os << "      \"overflow_pushes\": " << overflowPushes_ << ",\n";
+    os << "      \"max_depth\": " << maxDepthSeen() << ",\n";
+    os << "      \"unmatched_rets\": " << unmatchedRets() << ",\n";
+    os << "      \"mismatched_rets\": " << mismatchedRets() << ",\n";
+    os << "      \"abandoned_translations\": " << abandonedTranslations()
+       << ",\n";
+    os << "      \"overflow_pushes\": " << overflowPushes() << ",\n";
     os << "      \"nodes\": [\n";
     for (std::size_t i = 0; i < order.size(); ++i) {
         const CctNode &n = nodes_[order[i]];

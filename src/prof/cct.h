@@ -12,40 +12,20 @@
  * on every node — collector and translation work show up *in the
  * calling context that triggered them*, split per Phase.
  *
- * Frame discipline. The stream's brackets are not uniformly balanced,
- * so each pushed frame records a kind and a Ret only pops a frame of
- * the kind its phase implies:
- *
- *  - Method frames (guest invokes): pushed on Call/IndirectCall to a
- *    per-method trampoline (stub::isMethodStub); popped by
- *    Interpret/NativeExec-phase Rets (guest returns).
- *  - Runtime frames (alloc / arraycopy service routines): balanced
- *    Runtime-phase brackets.
- *  - Gc frames: balanced Phase::Gc brackets at gc::kGcPc.
- *  - Translate frames: ONE Call per compilation but a Ret per
- *    translated bytecode — only the final install return
- *    (pc == stub::kTransInstallRet) pops; a compilation abandoned
- *    mid-way (uncompilable construct) is closed at the first
- *    non-Translate event.
- *
- * Rets that find no matching frame (guest exception unwinds emit no
- * Ret, so a later outer Ret can arrive at the root; green-thread
- * interleavings nest one thread's frames in another's context) are
- * counted and ignored — the tree may then be an approximation of the
- * true context, but attribution still conserves exactly: every event
- * and every CPI sample lands in exactly one node, so
+ * Frame discipline (Method/Runtime/Gc/Translate brackets, lazy
+ * method naming, unmatched-Ret tolerance, depth overflow) lives in
+ * prof/frame_tracker.h, shared with the sampling profiler
+ * (prof/sampler.h); this builder mirrors the tracker's pushes and
+ * pops into a node stack. The stack may then be an approximation of
+ * the true context (exception unwinds, green threads), but
+ * attribution still conserves exactly: every event and every CPI
+ * sample lands in exactly one node, so
  *
  *     sum over nodes of self cycles == PipelineSim::cycles()
  *
  * bit-for-bit (tested in tests/test_prof.cpp), regardless of stack
- * shape.
- *
- * Method frames are named lazily: the trampoline address encodes only
- * the MethodId, so a frame takes its display name from the first
- * MethodMap-attributable event inside it (the bytecode-fetch Load for
- * interpreted code, the native pc for compiled code), falling back to
- * "(method#N)". This keeps the builder independent of the Program, so
- * disk-replayed traces with only a .methods sidecar profile fully.
+ * shape. Method frames fall back to "(method#N)" until the tracker
+ * resolves a MethodMap row.
  *
  * Output: one stable "jrs-cct-v1" JSON document (schema in DESIGN.md
  * §10), Brendan-Gregg folded-stack text (`a;b;c_[i] 123` — the leaf
@@ -68,20 +48,9 @@
 #include "arch/pipeline/pipeline.h"
 #include "isa/trace.h"
 #include "obs/attribution.h"
+#include "prof/frame_tracker.h"
 
 namespace jrs::prof {
-
-/** What kind of bracket opened a CCT frame (see file comment). */
-enum class FrameKind : std::uint8_t {
-    Root,       ///< synthetic outermost frame (entry method)
-    Method,     ///< guest invoke via a per-method trampoline
-    Runtime,    ///< runtime service routine (alloc, arraycopy)
-    Translate,  ///< one JIT compilation
-    Gc,         ///< one collection
-};
-
-/** Human-readable frame-kind name (JSON enum value). */
-const char *frameKindName(FrameKind k);
 
 /** One calling context: a path of frames from the root. */
 struct CctNode {
@@ -123,6 +92,14 @@ struct FoldedLine {
     std::uint64_t value;   ///< self cycles (or events, see foldedLines)
 };
 
+/**
+ * Folded-stack phase suffix for phase index @p p: "_[i]" interpret,
+ * "_[t]" translate, "_[j]" native/JIT, "_[r]" runtime, "_[gc]"
+ * collector (flamegraph.pl renders _[x]-suffixed frames in their own
+ * hue). Shared by the exact and sampled folded writers.
+ */
+const char *foldedPhaseSuffix(std::size_t p);
+
 /** See file comment. */
 class CctBuilder : public TraceSink, public OutcomeListener {
   public:
@@ -148,19 +125,29 @@ class CctBuilder : public TraceSink, public OutcomeListener {
     std::uint64_t totalCycles() const { return cycles_; }
 
     /** Rets that arrived with only the root on the stack. */
-    std::uint64_t unmatchedRets() const { return unmatchedRets_; }
+    std::uint64_t unmatchedRets() const {
+        return tracker_.unmatchedRets();
+    }
 
     /** Rets whose phase did not match the open frame's kind. */
-    std::uint64_t mismatchedRets() const { return mismatchedRets_; }
+    std::uint64_t mismatchedRets() const {
+        return tracker_.mismatchedRets();
+    }
 
     /** Translate frames closed without their install return. */
-    std::uint64_t abandonedTranslations() const { return abandoned_; }
+    std::uint64_t abandonedTranslations() const {
+        return tracker_.abandonedTranslations();
+    }
 
     /** Pushes suppressed by CctOptions::maxDepth. */
-    std::uint64_t overflowPushes() const { return overflowPushes_; }
+    std::uint64_t overflowPushes() const {
+        return tracker_.overflowPushes();
+    }
 
     /** Deepest stack reached (frames, root included). */
-    std::size_t maxDepthSeen() const { return maxDepthSeen_; }
+    std::size_t maxDepthSeen() const {
+        return tracker_.maxDepthSeen();
+    }
 
     const obs::MethodMap &map() const { return *map_; }
 
@@ -184,26 +171,18 @@ class CctBuilder : public TraceSink, public OutcomeListener {
   private:
     int childOf(int parent, FrameKind kind, std::uint64_t key,
                 std::uint32_t methodId, const char *stubName);
-    void pushFor(const TraceEvent &ev);
-    void popFor(const TraceEvent &ev);
     /** DFS over @p n's children sorted by display name. */
     template <class Fn>
     void walk(int n, std::vector<int> &path, Fn &&fn) const;
     std::vector<int> sortedKids(const CctNode &n) const;
 
     const obs::MethodMap *map_;
-    Options opt_;
+    FrameTracker tracker_;       ///< shared frame discipline
     std::vector<CctNode> nodes_;
     std::vector<int> stack_;     ///< node indices, root at [0]
     int attrNode_ = 0;           ///< node receiving the next CpiSample
-    std::uint64_t overflow_ = 0; ///< depth beyond maxDepth (virtual)
     std::uint64_t events_ = 0;
     std::uint64_t cycles_ = 0;
-    std::uint64_t unmatchedRets_ = 0;
-    std::uint64_t mismatchedRets_ = 0;
-    std::uint64_t abandoned_ = 0;
-    std::uint64_t overflowPushes_ = 0;
-    std::size_t maxDepthSeen_ = 1;
 };
 
 /**

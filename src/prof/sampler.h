@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Deterministic statistical sampling profiler over the trace stream,
+ * with ground-truth calibration against the exact profiler.
+ *
+ * The exact passes (obs/perf.h, prof/cct.h) observe every event;
+ * production profilers cannot, they sample. This simulator is in the
+ * rare position of holding bit-exact ground truth for the same run,
+ * so its sampler exists for two jobs: model what a sampling profiler
+ * would have reported, and *quantify* how wrong that report is as a
+ * function of sampling period (bench/abl_sample_period.cpp records
+ * the error-vs-period and overhead-vs-period curves).
+ *
+ * Mechanics. A SamplingProfiler rides the stream like CctBuilder,
+ * maintaining the shared shadow call stack (prof/frame_tracker.h —
+ * one implementation of the Call/Ret frame discipline for both exact
+ * and sampled profilers). A seeded XorShift64 draws jittered sample
+ * gaps uniform in [period/2, period/2 + period) — jitter breaks
+ * lockstep with loop periodicity, the fixed seed keeps every run
+ * bit-reproducible. The sampling clock advances in simulated cycles
+ * when the profiler is wired to a pipeline model (SamplePipeline;
+ * one CpiSample per retired instruction) and in events otherwise.
+ * When the clock crosses a threshold the current stack is interned
+ * into a sampled CCT and the sample is tagged with the event's phase
+ * and opcode kind. Samples attribute at the same point the exact
+ * profiler attributes — after abandoned-Translate close, before the
+ * event's own push/pop — so a period-1 event-clock sampler
+ * reproduces CctBuilder's per-context event counts exactly (tested).
+ *
+ * Sampling is read-only on the stream: a SamplePipeline's model is
+ * bit-identical to a bare PipelineSim, and an exact profiler sharing
+ * the replay is unperturbed (tests/test_sample.cpp).
+ *
+ * Calibration. calibrate() flattens both trees per method name and
+ * compares cycle (or event) shares: per-method share error, top-N
+ * hot-set overlap and pairwise rank agreement. The helpers
+ * topShareOverlap()/shareRankAgreement() are standalone so the
+ * metrics are testable on hand-built profiles.
+ *
+ * Output: one stable "jrs-sample-v1" JSON document (schema in
+ * DESIGN.md §11) and folded-flamegraph text via SampleReportSet,
+ * same conventions as prof/cct.h.
+ */
+#ifndef JRS_PROF_SAMPLER_H
+#define JRS_PROF_SAMPLER_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/outcome.h"
+#include "arch/pipeline/pipeline.h"
+#include "isa/trace.h"
+#include "obs/attribution.h"
+#include "prof/cct.h"
+#include "prof/frame_tracker.h"
+#include "support/random.h"
+
+namespace jrs::prof {
+
+/** Default --sample-period when output is requested without one. */
+inline constexpr std::uint64_t kDefaultSamplePeriod = 4096;
+
+/** Knobs for a sampling pass. */
+struct SampleOptions {
+    /** Mean gap between samples, in clock units (see cycleClock). */
+    std::uint64_t period = kDefaultSamplePeriod;
+    /** PRNG seed for the jittered gaps; same seed, same samples. */
+    std::uint64_t seed = 1;
+    /** Shadow-stack depth bound (prof/frame_tracker.h). */
+    std::size_t maxDepth = 1024;
+    /**
+     * When true the clock advances by each retired instruction's
+     * CpiSample cycles (requires wiring onRetire to the model —
+     * SamplePipeline does); when false, by one per trace event.
+     */
+    bool cycleClock = false;
+};
+
+/**
+ * Next jittered sample gap: uniform in [period/2, period/2 + period),
+ * never 0 (mean ~= period). Exposed for the jitter-bounds test.
+ */
+inline std::uint64_t
+jitteredGap(XorShift64 &prng, std::uint64_t period)
+{
+    const std::uint64_t p = period == 0 ? 1 : period;
+    const std::uint64_t gap = p / 2 + prng.nextBounded(p);
+    return gap == 0 ? 1 : gap;
+}
+
+/** One sampled calling context (same tree conventions as CctNode). */
+struct SampleNode {
+    std::uint64_t key = 0;    ///< identity under parent (kind + id)
+    FrameKind kind = FrameKind::Root;
+    int parent = -1;          ///< node index, -1 for the root
+    std::uint32_t methodId = 0;  ///< Method frames: trampoline id
+    int methodRow = -1;       ///< lazily resolved MethodMap row
+    const char *stubName = nullptr;  ///< non-method display name
+    std::uint64_t samples = 0;  ///< self samples (leaf hits)
+    std::uint64_t phaseSamples[kNumPhases] = {};
+    std::vector<int> kids;    ///< child node indices
+};
+
+/** See file comment. */
+class SamplingProfiler : public TraceSink, public OutcomeListener {
+  public:
+    using Options = SampleOptions;
+
+    /** @p map must outlive the profiler. */
+    explicit SamplingProfiler(const obs::MethodMap &map,
+                              Options opt = {});
+
+    // --- TraceSink (subscribe *before* the model, like CctBuilder)
+    void onEvent(const TraceEvent &ev) override;
+    void onFinish() override {}
+
+    // --- OutcomeListener (wired by SamplePipeline; cycle clock only)
+    void onRetire(const CpiSample &s) override;
+
+    /** All nodes; index 0 is the root. Parent/kids index into this. */
+    const std::vector<SampleNode> &nodes() const { return nodes_; }
+
+    /** Samples taken so far. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Clock advanced so far (cycles or events, per options). */
+    std::uint64_t clockTotal() const { return clock_; }
+
+    /** Samples whose event had opcode kind @p k. */
+    std::uint64_t kindSamples(NKind k) const {
+        return kindSamples_[static_cast<std::size_t>(k)];
+    }
+
+    const Options &options() const { return opt_; }
+    const obs::MethodMap &map() const { return *map_; }
+
+    /** The shared shadow stack (counters, depth). */
+    const FrameTracker &tracker() const { return tracker_; }
+
+    /** Display name of @p n (same naming rules as CctBuilder). */
+    std::string nodeName(const SampleNode &n) const;
+
+    /**
+     * Folded-stack lines, one per node x non-empty phase, values are
+     * self samples. Deterministic order (DFS, children sorted by
+     * name), leaf frames carry the phase suffix — the same folded
+     * conventions as CctBuilder::foldedLines().
+     */
+    std::vector<FoldedLine> foldedLines() const;
+
+    /**
+     * One run object of the "jrs-sample-v1" document, indented for
+     * nesting under "runs". Deterministic node ids and field order.
+     */
+    std::string runJson(const std::string &label) const;
+
+  private:
+    int childOf(int parent, const Frame &f);
+    void maybeSample(Phase phase, NKind kind);
+    void takeSample(Phase phase, NKind kind);
+    template <class Fn>
+    void walk(int n, std::vector<int> &path, Fn &&fn) const;
+    std::vector<int> sortedKids(const SampleNode &n) const;
+
+    const obs::MethodMap *map_;
+    Options opt_;
+    FrameTracker tracker_;
+    XorShift64 prng_;
+    std::vector<SampleNode> nodes_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t nextAt_ = 0;  ///< clock value of the next sample
+    std::uint64_t samples_ = 0;
+    std::uint64_t kindSamples_[kNumNKinds] = {};
+    // The event whose push/pop is still pending (cycle clock: its
+    // CpiSample arrives after onEvent, and must see the stack at the
+    // attribution point — before the event's own push/pop).
+    TraceEvent pendingEv_;
+    bool hasPending_ = false;
+    NKind lastKind_ = NKind::Nop;
+};
+
+/**
+ * Self-contained sweep/bench sink: a PipelineSim observed by a
+ * SamplingProfiler on the cycle clock, with the subscribe-before-
+ * model ordering and the listener hookup wired (the CctPipeline
+ * pattern). The MethodMap is shared so the composite can outlive the
+ * run that built it (sweep replay).
+ */
+class SamplePipeline : public TraceSink {
+  public:
+    SamplePipeline(PipelineConfig cfg,
+                   std::shared_ptr<const obs::MethodMap> map,
+                   SampleOptions opt = {})
+        : map_(std::move(map)), pipe_(cfg),
+          sampler_(*map_, cycleClocked(opt))
+    {
+        pipe_.setListener(&sampler_);
+    }
+
+    void onEvent(const TraceEvent &ev) override {
+        sampler_.onEvent(ev);
+        pipe_.onEvent(ev);
+    }
+    void onFinish() override { sampler_.onFinish(); }
+
+    PipelineSim &pipeline() { return pipe_; }
+    const PipelineSim &pipeline() const { return pipe_; }
+    SamplingProfiler &sampler() { return sampler_; }
+    const SamplingProfiler &sampler() const { return sampler_; }
+
+  private:
+    static SampleOptions cycleClocked(SampleOptions opt) {
+        opt.cycleClock = true;
+        return opt;
+    }
+
+    std::shared_ptr<const obs::MethodMap> map_;
+    PipelineSim pipe_;
+    SamplingProfiler sampler_;
+};
+
+/**
+ * Thread-safe collection of labeled sampled-profile snapshots,
+ * rendered as one "jrs-sample-v1" document and/or one folded-stack
+ * file; same conventions as CctReportSet (runs sorted by label,
+ * re-adding a label replaces its snapshot).
+ */
+class SampleReportSet {
+  public:
+    void add(const std::string &label, const SamplingProfiler &s);
+
+    std::size_t size() const;
+
+    /** The full "jrs-sample-v1" document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws VmError on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+    /** Write all runs' folded lines to @p path (label-prefixed when
+     * more than one run, like CctReportSet::writeFolded). */
+    void writeFolded(const std::string &path) const;
+
+    /** Folded lines of run @p label (empty when absent). */
+    std::vector<FoldedLine> folded(const std::string &label) const;
+
+  private:
+    struct Snapshot {
+        std::string json;
+        std::vector<FoldedLine> folded;
+    };
+    mutable std::mutex mu_;
+    std::vector<std::pair<std::string, Snapshot>> runs_;
+};
+
+/** One method's exact-vs-sampled share comparison. */
+struct CalibrationRow {
+    std::string name;          ///< flat method/frame display name
+    double exactShare = 0;     ///< fraction of exact self value
+    double sampledShare = 0;   ///< fraction of samples
+    std::uint64_t exactValue = 0;   ///< exact self cycles (or events)
+    std::uint64_t sampleCount = 0;  ///< samples landing here
+};
+
+/** Result of calibrate(); see file comment. */
+struct CalibrationReport {
+    /** Union of names, sorted by exact share descending. */
+    std::vector<CalibrationRow> rows;
+    std::string value;          ///< "cycles" or "events" (exact side)
+    std::uint64_t samples = 0;  ///< samples the estimate rests on
+    std::size_t topN = 10;      ///< the N used for topOverlap
+    double meanAbsErrPct = 0;   ///< mean |exact% - sampled%| over rows
+    double maxAbsErrPct = 0;    ///< worst row's |exact% - sampled%|
+    double topOverlap = 0;      ///< top-N hot-set overlap, [0, 1]
+    double rankAgreement = 0;   ///< pairwise rank agreement, [0, 1]
+
+    /** Render the top rows + summary as an aligned text table. */
+    std::string text(std::size_t maxRows = 10) const;
+};
+
+/**
+ * Fraction of the top-@p n entries (by share, ties broken by name)
+ * shared between the two profiles, in [0, 1]. n is clamped to the
+ * smaller profile; empty profiles agree vacuously (1.0).
+ */
+double topShareOverlap(
+    const std::vector<std::pair<std::string, double>> &exact,
+    const std::vector<std::pair<std::string, double>> &sampled,
+    std::size_t n);
+
+/**
+ * Pairwise (Kendall-style) rank agreement over names present in both
+ * profiles: the fraction of name pairs ordered the same way by both,
+ * in [0, 1]. Fewer than two common names agree vacuously (1.0).
+ */
+double shareRankAgreement(
+    const std::vector<std::pair<std::string, double>> &exact,
+    const std::vector<std::pair<std::string, double>> &sampled);
+
+/**
+ * Flatten @p exact (per-name self cycles, or self events when the
+ * exact pass saw no pipeline) and @p sampled (per-name samples) and
+ * compare shares; see file comment. Both must come from the same
+ * replayed stream for the comparison to mean anything.
+ */
+CalibrationReport calibrate(const CctBuilder &exact,
+                            const SamplingProfiler &sampled,
+                            std::size_t topN = 10);
+
+} // namespace jrs::prof
+
+#endif // JRS_PROF_SAMPLER_H

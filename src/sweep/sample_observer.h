@@ -1,0 +1,55 @@
+/**
+ * @file
+ * --sample-json support for sweep-engine tools: ride each trace
+ * group's replay with a sampling-profiler observer.
+ *
+ * attachSampleObserver registers (via sweep/observers.h, so it
+ * composes with attachPerfObserver/attachCctObserver) a per-group
+ * SamplePipeline whose sampled profile lands in a SampleReportSet
+ * keyed by the group's TraceKey. The observer rides the replay
+ * fan-out after every point sink, so the sweep's own metrics stay
+ * bit-identical with or without it (the same guarantee the perf and
+ * CCT observers make; tests/test_sample.cpp asserts it for this one).
+ */
+#ifndef JRS_SWEEP_SAMPLE_OBSERVER_H
+#define JRS_SWEEP_SAMPLE_OBSERVER_H
+
+#include <memory>
+
+#include "arch/pipeline/pipeline.h"
+#include "prof/sampler.h"
+#include "sweep/observers.h"
+#include "sweep/sweep.h"
+
+namespace jrs::sweep {
+
+/**
+ * See file comment. Groups whose recording carries no method map are
+ * skipped. @p reports must outlive the sweep. Call only when the user
+ * asked for sampled output (one extra replay consumer per group).
+ * Every group samples with the same @p opt, so their profiles are
+ * comparable across the sweep.
+ */
+inline void
+attachSampleObserver(SweepOptions &opts, prof::SampleOptions opt,
+                     prof::SampleReportSet &reports)
+{
+    addGroupObserver(
+        opts,
+        [opt](const TraceKey &, const RecordedRun &run)
+            -> std::unique_ptr<TraceSink> {
+            if (run.methods == nullptr)
+                return nullptr;
+            return std::make_unique<prof::SamplePipeline>(
+                PipelineConfig{}, run.methods, opt);
+        },
+        [&reports](const TraceKey &key, const RecordedRun &,
+                   TraceSink &sink) {
+            auto &sp = static_cast<prof::SamplePipeline &>(sink);
+            reports.add(key.str(), sp.sampler());
+        });
+}
+
+} // namespace jrs::sweep
+
+#endif // JRS_SWEEP_SAMPLE_OBSERVER_H

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/clock.h"
+#include "obs/json.h"
 #include "obs/obs.h"
 #include "support/statistics.h"
 #include "sweep/parallel.h"
@@ -18,50 +19,9 @@ namespace jrs::sweep {
 
 namespace {
 
+using obs::jsonEscape;
+using obs::jsonNumber;
 using obs::secondsSince;
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Shortest round-trippable double; JSON has no NaN/Inf, use null. */
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
 
 /** Compact metric formatting for toTable(). */
 std::string
