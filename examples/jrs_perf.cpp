@@ -81,7 +81,9 @@ usage(const char *msg = nullptr)
                  " [--mode interp|jit|counter:N] [--arg N] [--tiny]"
                  " [--model pipeline|cache] [--top N] [--window N]"
                  " [--method NAME]"
-              << obs::GcCli::usageText() << obs::ObsCli::usageText()
+              << obs::GcCli::usageText()
+              << obs::CodeCacheCli::usageText()
+              << obs::ObsCli::usageText()
               << "\n\nworkloads:\n";
     for (const WorkloadInfo &w : allWorkloads())
         std::cerr << "  " << w.name << " — " << w.description << '\n';
@@ -287,6 +289,7 @@ main(int argc, char **argv)
     std::string methodName;
     obs::ObsCli cli;
     obs::GcCli gcCli;
+    obs::CodeCacheCli ccCli;
     for (int i = 3; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -312,7 +315,8 @@ main(int argc, char **argv)
         } else if (a == "--method") {
             methodName = next();
         } else if (cli.tryParse(a, next)
-                   || gcCli.tryParse(a, next)) {
+                   || gcCli.tryParse(a, next)
+                   || ccCli.tryParse(a, next)) {
             continue;
         } else {
             usage("unknown option");
@@ -326,6 +330,7 @@ main(int argc, char **argv)
     EngineConfig cfg;
     cfg.policy = parseMode(mode);
     gcCli.apply(cfg);
+    ccCli.apply(cfg);
     TraceBuffer buffer;
     cfg.sink = &buffer;
     ExecutionEngine engine(prog, cfg);

@@ -9,6 +9,8 @@
  *   --sync S          thin | monitor-cache | one-bit      (default thin)
  *   --inline          enable JIT inlining/devirtualization
  *   --fold            enable interpreter dispatch folding
+ *   --code-cache-bytes N   bound the JIT code cache (0 = unlimited)
+ *   --code-cache-policy P  eviction policy: fifo | lru | cost
  *   --report R[,R...] summary | mix | cache | bpred | ipc | locks | all
  *
  * Examples:
@@ -26,6 +28,7 @@
 #include "arch/mix/instruction_mix.h"
 #include "arch/pipeline/pipeline.h"
 #include "harness/experiment.h"
+#include "obs/cli.h"
 #include "support/statistics.h"
 #include "support/table.h"
 
@@ -43,6 +46,7 @@ struct Options {
     bool folding = false;
     std::string report = "summary";
     std::string traceOut;
+    obs::CodeCacheCli codeCacheCli;
 };
 
 [[noreturn]] void
@@ -56,7 +60,8 @@ usage(const char *msg = nullptr)
            "               [--sync thin|monitor-cache|one-bit] "
            "[--inline] [--fold]\n"
            "               [--report summary,mix,cache,bpred,ipc,"
-           "locks | all] [--trace-out F]\n\nworkloads:";
+           "locks | all] [--trace-out F]\n              "
+        << obs::CodeCacheCli::usageText() << "\n\nworkloads:";
     for (const WorkloadInfo &w : allWorkloads())
         std::cerr << ' ' << w.name;
     std::cerr << '\n';
@@ -111,6 +116,8 @@ parse(int argc, char **argv)
             o.report = next();
         } else if (a == "--trace-out") {
             o.traceOut = next();
+        } else if (o.codeCacheCli.tryParse(a, next)) {
+            // handled
         } else {
             usage("unknown option");
         }
@@ -185,6 +192,7 @@ main(int argc, char **argv)
     cfg.syncKind = o.sync;
     cfg.jitInlining = o.inlining;
     cfg.interpreterFolding = o.folding;
+    o.codeCacheCli.apply(cfg);
     cfg.sink = &sinks;
     ExecutionEngine engine(prog, cfg);
     const RunResult res = engine.run(o.arg);
@@ -219,6 +227,10 @@ main(int argc, char **argv)
                   << "%)\nmethods compiled " << res.methodsCompiled
                   << ", call sites inlined " << res.callsInlined
                   << ", dispatches folded " << res.dispatchesFolded
+                  << "\ncode cache: evictions "
+                  << res.codeCacheEvictions << " ("
+                  << withCommas(res.codeCacheBytesEvicted)
+                  << " bytes), retranslations " << res.retranslations
                   << "\nmemory: interp-equivalent "
                   << withCommas(res.memory.interpreterTotal() / 1024)
                   << " KiB, with JIT "

@@ -59,7 +59,9 @@ usage(const char *msg = nullptr)
         std::cerr << "error: " << msg << "\n\n";
     std::cerr << "usage: jrs_sweep <grid> [--jobs N] [--json FILE]"
                  " [--cache-dir DIR] [--quiet] [--progress]"
-              << obs::GcCli::usageText() << obs::ObsCli::usageText()
+              << obs::GcCli::usageText()
+              << obs::CodeCacheCli::usageText()
+              << obs::ObsCli::usageText()
               << "\n       jrs_sweep --list\n\ngrids:\n";
     for (const sweep::NamedGrid &g : sweep::allGrids())
         std::cerr << "  " << g.name << " — " << g.description << '\n';
@@ -89,6 +91,7 @@ main(int argc, char **argv)
     std::string jsonPath;
     obs::ObsCli cli;
     obs::GcCli gcCli;
+    obs::CodeCacheCli ccCli;
     bool quiet = false;
     bool progress = false;
     for (int i = 2; i < argc; ++i) {
@@ -114,7 +117,8 @@ main(int argc, char **argv)
         } else if (a == "--progress") {
             progress = true;
         } else if (cli.tryParse(a, next)
-                   || gcCli.tryParse(a, next)) {
+                   || gcCli.tryParse(a, next)
+                   || ccCli.tryParse(a, next)) {
             continue;
         } else {
             usage("unknown option");
@@ -165,6 +169,8 @@ main(int argc, char **argv)
             || gcCli.gc.everyNAllocs != 0) {
             p.key.gc = gcCli.gc;
         }
+        if (ccCli.bounded())
+            p.key.codeCache = ccCli.codeCache;
     }
     const sweep::SweepResult result = engine.run(points);
 

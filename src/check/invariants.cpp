@@ -90,12 +90,22 @@ TraceInvariantChecker::onEvent(const TraceEvent &ev)
              + hex(ev.pc) + " outside its home code segment");
     }
 
+    // Generated code is fixed-width: a NativeExec pc off the 4-byte
+    // grid (or outside the segment, caught above) is the signature of
+    // a code-cache cursor-overflow or extent-reuse bug.
+    if (ev.phase == Phase::NativeExec && (ev.pc & 3) != 0)
+        flag("NativeExec pc " + hex(ev.pc) + " not 4-byte aligned");
+
     if (isMemory(ev.kind)) {
         if (ev.mem == 0)
             flag("memory event with null effective address");
         else if (!legalMemSegment(ev.mem))
             flag("memory access at " + hex(ev.mem)
                  + " outside every data-bearing region");
+        else if (inSegment(ev.mem, seg::kCodeCache)
+                 && (ev.mem & 3) != 0)
+            flag("code-cache access at " + hex(ev.mem)
+                 + " not 4-byte aligned");
         if (ev.memSize != 1 && ev.memSize != 2 && ev.memSize != 4
             && ev.memSize != 8) {
             flag("memory access size "

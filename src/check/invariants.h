@@ -13,6 +13,9 @@
  *  - pc lies in the phase's home code segment: Interpret->kInterpCode,
  *    Translate->kTranslateCode, NativeExec->kCodeCache,
  *    Runtime->kRuntimeCode
+ *  - code-cache pcs and accesses sit on the 4-byte instruction grid
+ *    (generated code is fixed-width; misalignment signals a
+ *    cursor-overflow or extent-reuse bug in the managed cache)
  *  - memory events carry a nonzero address inside a data-bearing
  *    address_map region (heap, stacks, class data, translate/runtime
  *    data, code cache installs, interpreter jump tables, translator

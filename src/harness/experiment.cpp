@@ -17,6 +17,7 @@ runWorkload(const RunSpec &spec)
     cfg.quantum = spec.quantum;
     cfg.gc = spec.gc;
     cfg.heapBytes = spec.heapBytes;
+    cfg.codeCache = spec.codeCache;
 
     ExecutionEngine engine(prog, cfg);
     const std::int32_t arg =
@@ -54,6 +55,7 @@ recordWorkload(const RunSpec &spec)
     cfg.quantum = spec.quantum;
     cfg.gc = spec.gc;
     cfg.heapBytes = spec.heapBytes;
+    cfg.codeCache = spec.codeCache;
     ExecutionEngine engine(prog, cfg);
     const std::int32_t arg =
         spec.arg != 0 ? spec.arg : spec.workload->smallArg;

@@ -31,6 +31,8 @@ struct RunSpec {
     gc::GcOptions gc;
     /** Heap arena capacity in bytes. */
     std::size_t heapBytes = kDefaultHeapBytes;
+    /** Code-cache management (default: unlimited, never evicts). */
+    CodeCacheConfig codeCache;
 };
 
 /**

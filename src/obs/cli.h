@@ -38,6 +38,7 @@
 #include "obs/perf.h"
 #include "prof/cct.h"
 #include "prof/sampler.h"
+#include "vm/jit/code_cache.h"
 #include "vm/runtime/heap.h"
 
 namespace jrs::obs {
@@ -291,6 +292,58 @@ struct GcCli {
         if (a == "--gc-every") {
             gc.everyNAllocs = static_cast<std::uint64_t>(
                 parseSize(next(), "--gc-every"));
+            return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Shared command-line plumbing for the managed code cache, in the
+ * same style as GcCli:
+ *
+ *   --code-cache-bytes N     capacity (k/m/g suffix; 0 = unlimited)
+ *   --code-cache-policy P    fifo (default) | lru | cost
+ *
+ * Unknown policy names and malformed sizes print a message and exit 2
+ * (never throw), matching the GcCli error contract.
+ */
+struct CodeCacheCli {
+    CodeCacheConfig codeCache;  ///< --code-cache-bytes/-policy
+
+    /** Usage-string fragment for the flags handled here. */
+    static const char *usageText() {
+        return " [--code-cache-bytes N]"
+               " [--code-cache-policy fifo|lru|cost]";
+    }
+
+    /** True when a bound was set (the policy alone changes nothing). */
+    bool bounded() const { return codeCache.capacityBytes != 0; }
+
+    /** Apply the parsed flags to an engine configuration. */
+    template <class Config>
+    void apply(Config &cfg) const {
+        cfg.codeCache = codeCache;
+    }
+
+    /**
+     * Consume @p a when it is one of the flags above; same contract
+     * as ObsCli::tryParse.
+     */
+    template <class NextFn>
+    bool tryParse(const std::string &a, NextFn &&next) {
+        if (a == "--code-cache-bytes") {
+            codeCache.capacityBytes =
+                GcCli::parseSize(next(), "--code-cache-bytes");
+            return true;
+        }
+        if (a == "--code-cache-policy") {
+            const std::string v = next();
+            if (!parseEvictionPolicy(v, &codeCache.policy)) {
+                std::cerr << "error: unknown --code-cache-policy '"
+                          << v << "' (expect fifo, lru or cost)\n";
+                std::exit(2);
+            }
             return true;
         }
         return false;

@@ -128,6 +128,43 @@ class GcPhaseSink : public TraceSink {
     std::vector<std::uint64_t> pauses_;  ///< events per collection
 };
 
+/**
+ * Translation-work profile of one stream, derived purely from the
+ * phase tags: under a bounded code cache every retranslation shows up
+ * as extra Translate-phase events and evicted methods run interpreted
+ * until recompiled, so the Translate/Interpret shares are the
+ * retranslation overhead. Works identically on live, replayed, and
+ * disk-loaded streams.
+ */
+class TranslatePhaseSink : public TraceSink {
+  public:
+    void onEvent(const TraceEvent &ev) override {
+        ++total_;
+        switch (ev.phase) {
+        case Phase::Translate: ++translate_; break;
+        case Phase::Interpret: ++interp_; break;
+        case Phase::NativeExec: ++native_; break;
+        default: break;
+        }
+    }
+
+    std::vector<Metric> metrics() const {
+        return {
+            {"total_events", static_cast<double>(total_)},
+            {"translate_events", static_cast<double>(translate_)},
+            {"translate_pct", percent(translate_, total_)},
+            {"interp_pct", percent(interp_, total_)},
+            {"native_pct", percent(native_, total_)},
+        };
+    }
+
+  private:
+    std::uint64_t total_ = 0;
+    std::uint64_t translate_ = 0;
+    std::uint64_t interp_ = 0;
+    std::uint64_t native_ = 0;
+};
+
 } // namespace
 
 std::string
@@ -169,6 +206,16 @@ gcLabel(const std::string &workload, gc::CollectorKind collector,
 {
     return "gc/" + workload + "/" + gc::collectorName(collector)
         + "/h" + std::to_string(heapBytes >> 20) + "m";
+}
+
+std::string
+codeCacheLabel(const std::string &workload, std::size_t capacityBytes,
+               EvictionPolicy policy)
+{
+    if (capacityBytes == 0)
+        return "code_cache/" + workload + "/unlimited";
+    return "code_cache/" + workload + "/" + evictionPolicyName(policy)
+        + "/cc" + std::to_string(capacityBytes >> 10) + "k";
 }
 
 std::vector<SweepPoint>
@@ -277,6 +324,34 @@ buildGcGrid()
 }
 
 std::vector<SweepPoint>
+buildCodeCacheGrid()
+{
+    std::vector<SweepPoint> grid;
+    const auto point = [](const WorkloadInfo *w, std::size_t cap,
+                          EvictionPolicy policy) {
+        TraceKey key = traceKey(w->name, ExecMode::jit());
+        key.codeCache.capacityBytes = cap;
+        key.codeCache.policy = policy;
+        return makePoint<TranslatePhaseSink>(
+            codeCacheLabel(w->name, cap, policy), std::move(key),
+            [] { return std::make_unique<TranslatePhaseSink>(); },
+            [](const TranslatePhaseSink &sink, const RecordedRun &) {
+                return sink.metrics();
+            });
+    };
+    for (const WorkloadInfo *w : gridSuite(false)) {
+        // Unlimited baseline: the no-eviction stream the bounded
+        // points are compared against (policy value is ignored).
+        grid.push_back(point(w, 0, EvictionPolicy::kFifo));
+        for (const EvictionPolicy policy : kCodeCachePolicies) {
+            for (const std::size_t cap : kCodeCacheCapacities)
+                grid.push_back(point(w, cap, policy));
+        }
+    }
+    return grid;
+}
+
+std::vector<SweepPoint>
 buildAllGrid()
 {
     std::vector<SweepPoint> grid = buildFig04Grid();
@@ -313,6 +388,10 @@ allGrids()
          "heap-size x collector sweep: collections, collector-event "
          "share, pause sizes",
          &buildGcGrid},
+        {"code_cache",
+         "code-cache capacity x eviction-policy sweep: retranslation "
+         "overhead as Translate/Interpret share",
+         &buildCodeCacheGrid},
     };
     return kGrids;
 }

@@ -40,6 +40,18 @@ inline constexpr std::size_t kGcHeapBytes[] = {1u << 20, 4u << 20,
 inline constexpr gc::CollectorKind kGcGridCollectors[] = {
     gc::CollectorKind::MarkSweep, gc::CollectorKind::Copying};
 
+/** Code-cache-grid capacities, sized against the suite's generated
+    code (~4.7–8.8 KiB per workload under compile-everything): 2 KiB
+    forces sustained eviction pressure everywhere, 4 KiB moderate
+    pressure, and 8 KiB pressures only the code-heavy workloads — the
+    retranslation-overhead curve's knee. */
+inline constexpr std::size_t kCodeCacheCapacities[] = {
+    2u << 10, 4u << 10, 8u << 10};
+
+/** Code-cache-grid eviction policies (all three). */
+inline constexpr EvictionPolicy kCodeCachePolicies[] = {
+    EvictionPolicy::kFifo, EvictionPolicy::kLru, EvictionPolicy::kCost};
+
 /** "interp" / "jit" — the mode component used in grid labels. */
 inline const char *
 modeLabel(bool jit)
@@ -64,6 +76,11 @@ std::string btbLabel(const std::string &workload, bool jit);
 std::string gcLabel(const std::string &workload,
                     gc::CollectorKind collector,
                     std::size_t heapBytes);
+/** "code_cache/compress/lru/cc8k"; capacity 0 =>
+    "code_cache/compress/unlimited" (the no-eviction baseline). */
+std::string codeCacheLabel(const std::string &workload,
+                           std::size_t capacityBytes,
+                           EvictionPolicy policy);
 
 /** Grid builders. Cache points emit icache/dcache_miss_pct metrics. */
 std::vector<SweepPoint> buildFig04Grid();
@@ -78,6 +95,15 @@ std::vector<SweepPoint> buildBtbGrid();
  * identically to live ones.
  */
 std::vector<SweepPoint> buildGcGrid();
+/**
+ * Code-cache capacity × eviction-policy grid (jit mode, plus one
+ * unlimited baseline per workload). Every bounded point records its
+ * own stream — eviction changes what executes natively — and reports
+ * the retranslation overhead purely from phase tags (Translate share
+ * vs the stream), so replayed/disk-loaded streams measure identically
+ * to live ones.
+ */
+std::vector<SweepPoint> buildCodeCacheGrid();
 /** Concatenation of the four cache/BTB grids (streams shared across
     experiments; the gc grid records distinct streams and stays
     separate). */

@@ -52,6 +52,10 @@ TraceKey::str() const
         s += "-gb" + std::to_string(gc.budgetBytes);
     if (gc.everyNAllocs != 0)
         s += "-ge" + std::to_string(gc.everyNAllocs);
+    if (codeCache.capacityBytes != 0) {
+        s += "-cc" + std::to_string(codeCache.capacityBytes) + "-"
+            + evictionPolicyName(codeCache.policy);
+    }
     return s + "-v" + std::to_string(kTraceVersion);
 }
 
@@ -69,6 +73,7 @@ TraceKey::toRunSpec() const
     spec.quantum = quantum;
     spec.gc = gc;
     spec.heapBytes = heapBytes;
+    spec.codeCache = codeCache;
     return spec;
 }
 

@@ -64,6 +64,10 @@ struct TraceKey {
     gc::GcOptions gc;
     /** Heap arena capacity of the recorded run. */
     std::size_t heapBytes = kDefaultHeapBytes;
+    /** Code-cache bound and eviction policy of the recorded run
+     *  (eviction changes the stream: retranslations, interp
+     *  fallback). */
+    CodeCacheConfig codeCache;
 
     /**
      * Canonical, filename-safe string, e.g.
@@ -71,8 +75,9 @@ struct TraceKey {
      * is the JRSTRACE format version, so stale on-disk caches are
      * never picked up across format changes. Collector and heap
      * components ("-marksweep", "-h33554432", "-gb65536", "-ge8")
-     * appear only when non-default, so every pre-GC key — and its
-     * on-disk recording — is unchanged.
+     * and code-cache components ("-cc65536-lru") appear only when
+     * non-default, so every pre-existing key — and its on-disk
+     * recording — is unchanged.
      */
     std::string str() const;
 

@@ -55,6 +55,10 @@ publishRunMetrics(const RunResult &r, const CodeCache &cache)
         .set(static_cast<double>(cache.numMethods()));
     m.counter("vm.code_cache.lookups").add(cache.lookups());
     m.counter("vm.code_cache.lookup_misses").add(cache.lookupMisses());
+    m.counter("vm.code_cache.evictions").add(r.codeCacheEvictions);
+    m.counter("vm.code_cache.bytes_evicted")
+        .add(r.codeCacheBytesEvicted);
+    m.counter("vm.code_cache.retranslations").add(r.retranslations);
 
     const LockStats &ls = r.lockStats;
     m.counter("vm.lock.enters").add(ls.enterOps);
@@ -98,7 +102,15 @@ ExecutionEngine::ExecutionEngine(const Program &prog, EngineConfig cfg)
     sync_ = makeSync(cfg_.syncKind, *heap_, emitter_);
     runtime_ =
         std::make_unique<RuntimeSupport>(*registry_, *heap_, emitter_);
-    cache_ = std::make_unique<CodeCache>();
+    cache_ = std::make_unique<CodeCache>(cfg_.codeCache);
+    cache_->setEvictionHook([this](const NativeMethod &nm) {
+        rearmBase_[nm.id] = profiles_.of(nm.id).invocations;
+    });
+    cache_->setRetranslateCost([this](MethodId id) {
+        auto it = lastTranslateCost_.find(id);
+        return it != lastTranslateCost_.end() ? it->second
+                                              : std::uint64_t{0};
+    });
     translator_ =
         std::make_unique<Translator>(*registry_, *cache_, emitter_);
     translator_->setInlining(cfg_.jitInlining);
@@ -143,15 +155,26 @@ ExecutionEngine::invokeMethod(VmThread &thread, MethodId target,
     ++prof.invocations;
 
     const NativeMethod *nm = cache_->lookup(target);
+    // After eviction the counter policy sees invocations since the
+    // eviction point, so the method must re-earn its translation.
+    const auto rearm = rearmBase_.find(target);
+    const std::uint64_t policyInvocations =
+        rearm != rearmBase_.end() ? prof.invocations - rearm->second
+                                  : prof.invocations;
     if (nm == nullptr && uncompilable_.count(target) == 0
-        && cfg_.policy->shouldCompile(target, prof.invocations)) {
+        && cfg_.policy->shouldCompile(target, policyInvocations)) {
         const std::uint64_t before = counting_.total();
         nm = translator_->translate(target);
         const std::uint64_t delta = counting_.total() - before;
         prof.translateEvents += delta;
         translateEventsThisStep_ += delta;
-        if (nm == nullptr)
+        if (nm == nullptr) {
             uncompilable_.insert(target);
+        } else {
+            lastTranslateCost_[target] = delta;
+            if (rearm != rearmBase_.end())
+                ++retranslations_;
+        }
     }
 
     SimAddr sync_obj = 0;
@@ -345,6 +368,9 @@ ExecutionEngine::tryOsr(VmThread &thread)
             f->backEdges = 0;
             return false;
         }
+        lastTranslateCost_[id] = delta;
+        if (rearmBase_.count(id) != 0)
+            ++retranslations_;
     }
     if (f->pc >= nm->bc2n.size() || nm->bc2n[f->pc] < 0) {
         f->backEdges = 0;
@@ -606,6 +632,9 @@ ExecutionEngine::run(std::int32_t arg)
     result.callsInlined = translator_->callsInlined();
     result.dispatchesFolded = interp_->foldedDispatches();
     result.osrTransitions = osrTransitions_;
+    result.codeCacheEvictions = cache_->evictions();
+    result.codeCacheBytesEvicted = cache_->bytesEvicted();
+    result.retranslations = retranslations_;
     result.bytecodeCounts.assign(interp_->opCounts().begin(),
                                  interp_->opCounts().end());
     result.callsDevirtualized = translator_->callsDevirtualized();

@@ -24,6 +24,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gc/collector.h"
@@ -83,6 +84,15 @@ struct EngineConfig {
      * traces, cycle counts — is bit-identical to a GC-less build.
      */
     gc::GcOptions gc;
+    /**
+     * Code-cache management (vm/jit/code_cache.h). Default is
+     * unlimited capacity — no eviction, layout and accounting
+     * bit-identical to the unmanaged cache. With a capacity set,
+     * translations are evicted under the configured policy; evicted
+     * methods fall back to the interpreter and the counter policy is
+     * re-armed so they must earn retranslation.
+     */
+    CodeCacheConfig codeCache;
 };
 
 /** Memory-footprint accounting (Table 1). */
@@ -134,6 +144,12 @@ struct RunResult {
     std::uint64_t callsDevirtualized = 0;
     std::uint64_t dispatchesFolded = 0;
     std::uint64_t osrTransitions = 0;
+    /** Methods evicted from a bounded code cache. */
+    std::uint64_t codeCacheEvictions = 0;
+    /** Simulated extent bytes recycled by those evictions. */
+    std::uint64_t codeCacheBytesEvicted = 0;
+    /** Successful translations of previously evicted methods. */
+    std::uint64_t retranslations = 0;
     /** Dynamic bytecode counts per opcode (interpreted steps only). */
     std::vector<std::uint64_t> bytecodeCounts;
 
@@ -241,6 +257,18 @@ class ExecutionEngine : public EngineServices {
     std::unique_ptr<gc::GcController> gc_;
     ProfileTable profiles_;
     std::set<MethodId> uncompilable_;
+    /**
+     * Per-method invocation count at the moment of eviction: the
+     * counter policy sees invocations *since* eviction, so a method
+     * must re-earn compilation instead of being retranslated on its
+     * first post-eviction call.
+     */
+    std::unordered_map<MethodId, std::uint64_t> rearmBase_;
+    /** Observed cost (trace events) of each method's last translation;
+     *  feeds the kCost eviction policy's cheapest-to-retranslate
+     *  ranking. */
+    std::unordered_map<MethodId, std::uint64_t> lastTranslateCost_;
+    std::uint64_t retranslations_ = 0;
     std::uint64_t translateEventsThisStep_ = 0;
     std::uint64_t guestThrows_ = 0;
     std::uint64_t throwChainHash_ = 14695981039346656037ull;

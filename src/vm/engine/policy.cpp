@@ -34,6 +34,14 @@ computeOracleDecisions(const ProfileTable &interp_run,
             compile[i] = false;
             continue;
         }
+        if (jp.invocations == 0) {
+            // No JIT-run evidence: jit_cost would read as zero and
+            // unconditionally win the comparison below, marking a
+            // method "compile" on no data at all. Without evidence
+            // that compiling pays, keep interpreting.
+            compile[i] = false;
+            continue;
+        }
         const std::uint64_t interp_cost = ip.interpEvents;
         const std::uint64_t jit_cost =
             jp.translateEvents + jp.nativeEvents;

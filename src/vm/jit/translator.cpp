@@ -1555,8 +1555,15 @@ Translator::translate(MethodId id)
     peakWorking_ = std::max(peakWorking_, mt.workingBytes());
 
     // Install first (assigning the code-cache address), then emit the
-    // install-store trace against the final addresses.
+    // install-store trace against the final addresses. A bounded cache
+    // may refuse a method larger than its whole capacity; the engine
+    // then keeps interpreting it.
     const NativeMethod *installed = cache_.install(std::move(nm));
+    if (installed == nullptr) {
+        obs::count("jit.uncompilable");
+        span.arg("result", "exceeds code cache capacity");
+        return nullptr;
+    }
     mt.traceInstall(*installed);
     ++methods_;
     if (obs::enabled()) {

@@ -266,7 +266,10 @@ TEST(OracleDecisions, AsymmetricTablesKeepEveryMethod)
     ASSERT_EQ(compile.size(), 3u);
     EXPECT_TRUE(compile[0]);   // 600 < 1000
     EXPECT_FALSE(compile[1]);  // never invoked
-    EXPECT_TRUE(compile[2]);   // 0 < 300
+    // No JIT-run evidence for method 2: its jit_cost reads as zero,
+    // which used to win the comparison unconditionally. The oracle now
+    // refuses to compile without evidence.
+    EXPECT_FALSE(compile[2]);
 }
 
 TEST(OracleDecisions, JitTableLargerThanInterp)

@@ -68,11 +68,13 @@ TEST(Policy, OracleDecisionMath)
     // Method 0: expensive to interpret, cheap once compiled.
     interp_run.of(0).invocations = 100;
     interp_run.of(0).interpEvents = 100000;
+    jit_run.of(0).invocations = 100;
     jit_run.of(0).translateEvents = 500;
     jit_run.of(0).nativeEvents = 20000;
     // Method 1: invoked once; translation not amortized.
     interp_run.of(1).invocations = 1;
     interp_run.of(1).interpEvents = 100;
+    jit_run.of(1).invocations = 1;
     jit_run.of(1).translateEvents = 600;
     jit_run.of(1).nativeEvents = 30;
     const auto decisions =
