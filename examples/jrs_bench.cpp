@@ -12,7 +12,8 @@
  *   jrs_bench --suite vm --json bench/BENCH_vm.json
  *   jrs_bench --compare bench/BENCH_prof.json --max-regress 30
  *
- *   --suite NAME     vm | sweep | gc | prof | all (default: all)
+ *   --suite NAME     vm | sweep | gc | prof | shared_cache | all
+ *                    (default: all)
  *                    vm    — live VM record throughput, every
  *                            workload × {interp, jit}
  *                    sweep — fig07 grid, cold vs warm replay
@@ -20,6 +21,10 @@
  *                    prof  — replay overhead: bare pipeline vs
  *                            attribution vs calling-context profiler
  *                            vs sampling profiler
+ *                    shared_cache — code_cache grid with private vs
+ *                            shared translation at 1/2/4/8 workers:
+ *                            host translate ns, shared-hit rate,
+ *                            events/sec
  *   --tiny           use each workload's tinyArg (vm/prof suites)
  *   --jobs N         sweep worker threads (sweep/gc suites)
  *   --json FILE      merge this run's entries into a jrs-bench-v1
@@ -63,7 +68,8 @@ usage(const char *msg = nullptr)
 {
     if (msg != nullptr)
         std::cerr << "error: " << msg << "\n\n";
-    std::cerr << "usage: jrs_bench [--suite vm|sweep|gc|prof|all]"
+    std::cerr << "usage: jrs_bench [--suite "
+                 "vm|sweep|gc|prof|shared_cache|all]"
                  " [--tiny] [--jobs N]\n"
                  "                 [--json FILE] [--compare BASE]"
                  " [--max-regress PCT]\n";
@@ -118,7 +124,8 @@ parseArgs(int argc, char **argv)
         }
     }
     if (out.suite != "vm" && out.suite != "sweep" && out.suite != "gc"
-        && out.suite != "prof" && out.suite != "all") {
+        && out.suite != "prof" && out.suite != "shared_cache"
+        && out.suite != "all") {
         usage("unknown --suite");
     }
     return out;
@@ -323,6 +330,94 @@ suiteProf(Bench &b)
     }
 }
 
+/**
+ * shared_cache: the code_cache grid (18 cache configurations per
+ * workload, one VM per trace group) run with private translation and
+ * again with one process-wide SharedCodeCache, at 1/2/4/8 workers.
+ * All 36 configuration pairs consume the same programs, so shared
+ * runs build each (program, method) once and every other group
+ * attaches — the translate_build_ns drop (and hit rate) is the
+ * benchmark. Streams are bit-identical either way; events match by
+ * construction.
+ *
+ * The grid always runs at tinyArg: translation work is input-size
+ * independent (the same methods compile either way), and eight full
+ * grid sweeps at bench size would be all simulation time.
+ */
+std::vector<sweep::SweepPoint>
+sharedCacheGrid()
+{
+    std::vector<sweep::SweepPoint> grid = sweep::buildCodeCacheGrid();
+    for (sweep::SweepPoint &p : grid) {
+        const WorkloadInfo *w = findWorkload(p.key.workload);
+        if (w != nullptr)
+            p.key.arg = w->tinyArg;
+    }
+    return grid;
+}
+
+void
+suiteSharedCache(Bench &b)
+{
+    for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+        const std::string tag = "/j" + std::to_string(jobs);
+        std::uint64_t events = 0;
+        {
+            const std::string label = "shared_cache/private" + tag;
+            sweep::SweepOptions opts;
+            opts.jobs = jobs;
+            sweep::SweepEngine engine(opts);
+            std::uint64_t buildNs = 0;
+            {
+                obs::HostStats::Section s(b.host, label, &events);
+                const sweep::SweepResult result =
+                    engine.run(sharedCacheGrid());
+                if (!result.allOk())
+                    throw VmError(
+                        "shared_cache suite: private run failed");
+                events = sweepEvents(result);
+                buildNs = result.traces.translateBuildNs;
+            }
+            prof::BenchRun &run = addSectionRun(b, label);
+            run.metrics.emplace_back("translate_build_ns",
+                                     static_cast<double>(buildNs));
+        }
+        {
+            const std::string label = "shared_cache/shared" + tag;
+            sweep::SweepOptions opts;
+            opts.jobs = jobs;
+            opts.sharedCache = std::make_shared<SharedCodeCache>();
+            sweep::SweepEngine engine(opts);
+            sweep::SweepResult result;
+            {
+                obs::HostStats::Section s(b.host, label, &events);
+                result = engine.run(sharedCacheGrid());
+                if (!result.allOk())
+                    throw VmError(
+                        "shared_cache suite: shared run failed");
+                events = sweepEvents(result);
+            }
+            prof::BenchRun &run = addSectionRun(b, label);
+            const SharedCacheStats &s = result.shared;
+            run.metrics.emplace_back(
+                "translate_build_ns",
+                static_cast<double>(result.traces.translateBuildNs));
+            run.metrics.emplace_back(
+                "shared_hits", static_cast<double>(s.sharedHits));
+            run.metrics.emplace_back(
+                "shared_builds", static_cast<double>(s.misses));
+            run.metrics.emplace_back(
+                "shared_hit_rate",
+                s.lookups > 0 ? static_cast<double>(s.sharedHits)
+                        / static_cast<double>(s.lookups)
+                              : 0.0);
+            run.metrics.emplace_back(
+                "build_ns_saved",
+                static_cast<double>(s.buildNsSaved));
+        }
+    }
+}
+
 void
 printSelfProfile(const Bench &b)
 {
@@ -357,6 +452,8 @@ main(int argc, char **argv)
             suiteGc(b);
         if (args.suite == "prof" || args.suite == "all")
             suiteProf(b);
+        if (args.suite == "shared_cache" || args.suite == "all")
+            suiteSharedCache(b);
     } catch (const VmError &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;

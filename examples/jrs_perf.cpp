@@ -331,6 +331,12 @@ main(int argc, char **argv)
     cfg.policy = parseMode(mode);
     gcCli.apply(cfg);
     ccCli.apply(cfg);
+    std::shared_ptr<SharedCodeCache> sharedCache;
+    if (ccCli.sharedCodeCache) {
+        sharedCache = std::make_shared<SharedCodeCache>();
+        cfg.sharedCodeCache = sharedCache;
+        cfg.sharedProgramKey = w->name;
+    }
     TraceBuffer buffer;
     cfg.sink = &buffer;
     ExecutionEngine engine(prog, cfg);

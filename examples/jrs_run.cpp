@@ -10,7 +10,10 @@
  *   --inline          enable JIT inlining/devirtualization
  *   --fold            enable interpreter dispatch folding
  *   --code-cache-bytes N   bound the JIT code cache (0 = unlimited)
- *   --code-cache-policy P  eviction policy: fifo | lru | cost
+ *   --code-cache-policy P  eviction policy: fifo | lru | cost | costpb
+ *   --code-cache-alloc S   extent placement: first | best
+ *   --osr-back-edges N     on-stack replacement threshold (0 = off)
+ *   --shared-code-cache    fetch translations via a shared cache
  *   --report R[,R...] summary | mix | cache | bpred | ipc | locks | all
  *
  * Examples:
@@ -193,6 +196,15 @@ main(int argc, char **argv)
     cfg.jitInlining = o.inlining;
     cfg.interpreterFolding = o.folding;
     o.codeCacheCli.apply(cfg);
+    std::shared_ptr<SharedCodeCache> sharedCache;
+    if (o.codeCacheCli.sharedCodeCache) {
+        // One engine means every fetch is a first request, but the
+        // path (and its accounting) is the same one the sweep
+        // workers share.
+        sharedCache = std::make_shared<SharedCodeCache>();
+        cfg.sharedCodeCache = sharedCache;
+        cfg.sharedProgramKey = o.workload->name;
+    }
     cfg.sink = &sinks;
     ExecutionEngine engine(prog, cfg);
     const RunResult res = engine.run(o.arg);
@@ -231,11 +243,29 @@ main(int argc, char **argv)
                   << res.codeCacheEvictions << " ("
                   << withCommas(res.codeCacheBytesEvicted)
                   << " bytes), retranslations " << res.retranslations
+                  << ", fragmentation "
+                  << fixed(res.codeCacheFreeBytes == 0
+                               ? 0.0
+                               : static_cast<double>(
+                                     res.codeCacheFreeExtents)
+                                   / (static_cast<double>(
+                                          res.codeCacheFreeBytes)
+                                      / 1024.0),
+                           2)
                   << "\nmemory: interp-equivalent "
                   << withCommas(res.memory.interpreterTotal() / 1024)
                   << " KiB, with JIT "
                   << withCommas(res.memory.jitTotal() / 1024)
                   << " KiB\n";
+        if (sharedCache != nullptr) {
+            std::cout << "shared cache: hits "
+                      << res.sharedTranslationHits << ", misses "
+                      << res.sharedTranslationMisses << ", build "
+                      << withCommas(res.translateBuildNs)
+                      << " ns, saved "
+                      << withCommas(res.translateBuildNsSaved)
+                      << " ns\n";
+        }
     }
     if (wants(o, "mix")) {
         std::cout << "\ninstruction mix:\n";

@@ -30,12 +30,22 @@
  *   --heap-bytes N     heap capacity override (k/m/g suffixes OK)
  *   --gc-budget N      collect every N allocated bytes
  *   --gc-every N       collect every N allocations (stress)
+ *   --shared-code-cache  translate once per compatibility key across
+ *                      all sweep workers (vm/jit/shared_cache.h);
+ *                      streams and metrics are bit-identical to
+ *                      private translation, only host-side translate
+ *                      work is saved
+ *   --compare-serial   after the sweep, re-run the grid serially
+ *                      (jobs=1, private translation, fresh in-memory
+ *                      trace cache) and fail unless every point's
+ *                      metrics match bit-for-bit
  *
  * Examples:
  *   jrs_sweep fig07 --jobs 8 --progress
  *   jrs_sweep all --cache-dir /tmp/jrs-traces --json sweep.json
  *   jrs_sweep fig04 --jobs 4 --trace-json fig04.trace.json
  *   jrs_sweep fig09 --perf-json fig09.perf.json
+ *   jrs_sweep code_cache --jobs 8 --shared-code-cache --compare-serial
  */
 #include <cstdlib>
 #include <iostream>
@@ -59,6 +69,7 @@ usage(const char *msg = nullptr)
         std::cerr << "error: " << msg << "\n\n";
     std::cerr << "usage: jrs_sweep <grid> [--jobs N] [--json FILE]"
                  " [--cache-dir DIR] [--quiet] [--progress]"
+                 " [--compare-serial]"
               << obs::GcCli::usageText()
               << obs::CodeCacheCli::usageText()
               << obs::ObsCli::usageText()
@@ -94,6 +105,7 @@ main(int argc, char **argv)
     obs::CodeCacheCli ccCli;
     bool quiet = false;
     bool progress = false;
+    bool compareSerial = false;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -116,6 +128,8 @@ main(int argc, char **argv)
             quiet = true;
         } else if (a == "--progress") {
             progress = true;
+        } else if (a == "--compare-serial") {
+            compareSerial = true;
         } else if (cli.tryParse(a, next)
                    || gcCli.tryParse(a, next)
                    || ccCli.tryParse(a, next)) {
@@ -157,6 +171,9 @@ main(int argc, char **argv)
         };
     }
 
+    if (ccCli.sharedCodeCache)
+        opts.sharedCache = std::make_shared<SharedCodeCache>();
+
     sweep::SweepEngine engine(opts);
     std::vector<sweep::SweepPoint> points = grid->build();
     // Collector flags override every point's stream identity (grids
@@ -171,6 +188,10 @@ main(int argc, char **argv)
         }
         if (ccCli.bounded())
             p.key.codeCache = ccCli.codeCache;
+        if (ccCli.codeCache.strategy != AllocStrategy::kFirstFit)
+            p.key.codeCache.strategy = ccCli.codeCache.strategy;
+        if (ccCli.osrBackEdgeThreshold != 0)
+            p.key.osrBackEdgeThreshold = ccCli.osrBackEdgeThreshold;
     }
     const sweep::SweepResult result = engine.run(points);
 
@@ -182,6 +203,65 @@ main(int argc, char **argv)
               << result.traces.recordings << " recordings, "
               << result.traces.memoryHits << " memory hits, "
               << result.traces.diskLoads << " disk loads)\n";
+    if (result.sharedCacheUsed) {
+        std::cout << "shared code cache: "
+                  << result.shared.sharedHits << " hits, "
+                  << result.shared.misses << " builds, "
+                  << result.shared.contended << " contended; built "
+                  << withCommas(result.shared.buildNs) << " ns, saved "
+                  << withCommas(result.shared.buildNsSaved) << " ns\n";
+    }
+
+    bool comparisonOk = true;
+    if (compareSerial) {
+        // Reference run: one worker, private translation, fresh
+        // in-memory trace cache — every stream is re-recorded from
+        // scratch. Any difference from the (possibly shared-cache,
+        // parallel, disk-cached) sweep above is a determinism bug.
+        sweep::SweepOptions serialOpts;
+        serialOpts.jobs = 1;
+        sweep::SweepEngine serialEngine(serialOpts);
+        const sweep::SweepResult serial = serialEngine.run(points);
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < result.points.size(); ++i) {
+            const sweep::PointResult &a = result.points[i];
+            const sweep::PointResult &b = serial.points[i];
+            std::string why;
+            if (a.ok != b.ok) {
+                why = "ok flag differs";
+            } else if (a.traceEvents != b.traceEvents) {
+                why = "trace events differ: "
+                    + std::to_string(a.traceEvents) + " vs "
+                    + std::to_string(b.traceEvents);
+            } else if (a.metrics.size() != b.metrics.size()) {
+                why = "metric count differs";
+            } else {
+                for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+                    if (a.metrics[m].name != b.metrics[m].name
+                        || a.metrics[m].value != b.metrics[m].value) {
+                        why = "metric " + a.metrics[m].name
+                            + " differs";
+                        break;
+                    }
+                }
+            }
+            if (!why.empty()) {
+                ++mismatches;
+                if (mismatches <= 10)
+                    std::cerr << "MISMATCH " << a.label << ": " << why
+                              << '\n';
+            }
+        }
+        comparisonOk = mismatches == 0;
+        std::cout << "compare-serial: "
+                  << (comparisonOk
+                          ? "all " + std::to_string(
+                                result.points.size())
+                              + " points bit-identical"
+                          : std::to_string(mismatches)
+                              + " points MISMATCHED")
+                  << '\n';
+    }
     if (!jsonPath.empty()) {
         result.writeJson(jsonPath);
         std::cout << "wrote " << jsonPath << '\n';
@@ -190,5 +270,5 @@ main(int argc, char **argv)
     cli.writePerf(perfReports, std::cout);
     cli.writeCct(cctReports, std::cout);
     cli.writeSample(sampleReports, std::cout);
-    return result.allOk() ? 0 : 1;
+    return result.allOk() && comparisonOk ? 0 : 1;
 }

@@ -18,6 +18,9 @@ runWorkload(const RunSpec &spec)
     cfg.gc = spec.gc;
     cfg.heapBytes = spec.heapBytes;
     cfg.codeCache = spec.codeCache;
+    cfg.osrBackEdgeThreshold = spec.osrBackEdgeThreshold;
+    cfg.sharedCodeCache = spec.sharedCache;
+    cfg.sharedProgramKey = spec.workload->name;
 
     ExecutionEngine engine(prog, cfg);
     const std::int32_t arg =
@@ -56,6 +59,9 @@ recordWorkload(const RunSpec &spec)
     cfg.gc = spec.gc;
     cfg.heapBytes = spec.heapBytes;
     cfg.codeCache = spec.codeCache;
+    cfg.osrBackEdgeThreshold = spec.osrBackEdgeThreshold;
+    cfg.sharedCodeCache = spec.sharedCache;
+    cfg.sharedProgramKey = spec.workload->name;
     ExecutionEngine engine(prog, cfg);
     const std::int32_t arg =
         spec.arg != 0 ? spec.arg : spec.workload->smallArg;

@@ -33,6 +33,14 @@ struct RunSpec {
     std::size_t heapBytes = kDefaultHeapBytes;
     /** Code-cache management (default: unlimited, never evicts). */
     CodeCacheConfig codeCache;
+    /** On-stack-replacement back-edge threshold (0 disables). */
+    std::uint64_t osrBackEdgeThreshold = 0;
+    /**
+     * Process-wide shared translation cache (null = private
+     * translation). The program key passed to the engine is the
+     * workload name, so only same-workload runs share artifacts.
+     */
+    std::shared_ptr<SharedCodeCache> sharedCache;
 };
 
 /**

@@ -303,18 +303,25 @@ struct GcCli {
  * same style as GcCli:
  *
  *   --code-cache-bytes N     capacity (k/m/g suffix; 0 = unlimited)
- *   --code-cache-policy P    fifo (default) | lru | cost
+ *   --code-cache-policy P    fifo (default) | lru | cost | costpb
+ *   --code-cache-alloc S     first (default) | best extent placement
+ *   --osr-back-edges N       OSR back-edge threshold (0 = off)
+ *   --shared-code-cache      process-wide shared translation cache
  *
- * Unknown policy names and malformed sizes print a message and exit 2
- * (never throw), matching the GcCli error contract.
+ * Unknown policy/strategy names and malformed sizes print a message
+ * and exit 2 (never throw), matching the GcCli error contract.
  */
 struct CodeCacheCli {
-    CodeCacheConfig codeCache;  ///< --code-cache-bytes/-policy
+    CodeCacheConfig codeCache;  ///< --code-cache-bytes/-policy/-alloc
+    std::uint64_t osrBackEdgeThreshold = 0;  ///< --osr-back-edges
+    bool sharedCodeCache = false;            ///< --shared-code-cache
 
     /** Usage-string fragment for the flags handled here. */
     static const char *usageText() {
         return " [--code-cache-bytes N]"
-               " [--code-cache-policy fifo|lru|cost]";
+               " [--code-cache-policy fifo|lru|cost|costpb]"
+               " [--code-cache-alloc first|best]"
+               " [--osr-back-edges N] [--shared-code-cache]";
     }
 
     /** True when a bound was set (the policy alone changes nothing). */
@@ -324,6 +331,7 @@ struct CodeCacheCli {
     template <class Config>
     void apply(Config &cfg) const {
         cfg.codeCache = codeCache;
+        cfg.osrBackEdgeThreshold = osrBackEdgeThreshold;
     }
 
     /**
@@ -341,9 +349,28 @@ struct CodeCacheCli {
             const std::string v = next();
             if (!parseEvictionPolicy(v, &codeCache.policy)) {
                 std::cerr << "error: unknown --code-cache-policy '"
-                          << v << "' (expect fifo, lru or cost)\n";
+                          << v
+                          << "' (expect fifo, lru, cost or costpb)\n";
                 std::exit(2);
             }
+            return true;
+        }
+        if (a == "--code-cache-alloc") {
+            const std::string v = next();
+            if (!parseAllocStrategy(v, &codeCache.strategy)) {
+                std::cerr << "error: unknown --code-cache-alloc '"
+                          << v << "' (expect first or best)\n";
+                std::exit(2);
+            }
+            return true;
+        }
+        if (a == "--osr-back-edges") {
+            osrBackEdgeThreshold = static_cast<std::uint64_t>(
+                GcCli::parseSize(next(), "--osr-back-edges"));
+            return true;
+        }
+        if (a == "--shared-code-cache") {
+            sharedCodeCache = true;
             return true;
         }
         return false;

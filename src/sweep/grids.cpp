@@ -148,13 +148,29 @@ class TranslatePhaseSink : public TraceSink {
         }
     }
 
-    std::vector<Metric> metrics() const {
+    /**
+     * Stream-phase shares, plus the recorded run's end-of-run
+     * code-cache free-extent accounting (the fragmentation gauge:
+     * free extents per free KiB, matching
+     * ExtentAllocator::fragmentation). The free-extent numbers ride
+     * the recording's meta sidecar, so disk-loaded streams report
+     * the same values as the live run.
+     */
+    std::vector<Metric> metrics(const RecordedRun &run) const {
+        const double freeB =
+            static_cast<double>(run.result.codeCacheFreeBytes);
+        const double freeX =
+            static_cast<double>(run.result.codeCacheFreeExtents);
         return {
             {"total_events", static_cast<double>(total_)},
             {"translate_events", static_cast<double>(translate_)},
             {"translate_pct", percent(translate_, total_)},
             {"interp_pct", percent(interp_, total_)},
             {"native_pct", percent(native_, total_)},
+            {"free_code_bytes", freeB},
+            {"free_code_extents", freeX},
+            {"fragmentation", freeB == 0.0 ? 0.0
+                                           : freeX / (freeB / 1024.0)},
         };
     }
 
@@ -210,12 +226,19 @@ gcLabel(const std::string &workload, gc::CollectorKind collector,
 
 std::string
 codeCacheLabel(const std::string &workload, std::size_t capacityBytes,
-               EvictionPolicy policy)
+               EvictionPolicy policy, AllocStrategy strategy,
+               std::uint64_t osrThreshold)
 {
     if (capacityBytes == 0)
         return "code_cache/" + workload + "/unlimited";
-    return "code_cache/" + workload + "/" + evictionPolicyName(policy)
-        + "/cc" + std::to_string(capacityBytes >> 10) + "k";
+    std::string label = "code_cache/" + workload + "/"
+        + evictionPolicyName(policy) + "/cc"
+        + std::to_string(capacityBytes >> 10) + "k";
+    if (strategy != AllocStrategy::kFirstFit)
+        label += std::string("/") + allocStrategyName(strategy);
+    if (osrThreshold != 0)
+        label += "/osr" + std::to_string(osrThreshold);
+    return label;
 }
 
 std::vector<SweepPoint>
@@ -327,17 +350,24 @@ std::vector<SweepPoint>
 buildCodeCacheGrid()
 {
     std::vector<SweepPoint> grid;
-    const auto point = [](const WorkloadInfo *w, std::size_t cap,
-                          EvictionPolicy policy) {
-        TraceKey key = traceKey(w->name, ExecMode::jit());
+    const auto point =
+        [](const WorkloadInfo *w, std::size_t cap,
+           EvictionPolicy policy,
+           AllocStrategy strategy = AllocStrategy::kFirstFit,
+           std::uint64_t osr = 0) {
+        TraceKey key = traceKey(w->name, osr != 0
+                                             ? ExecMode::counter(8)
+                                             : ExecMode::jit());
         key.codeCache.capacityBytes = cap;
         key.codeCache.policy = policy;
+        key.codeCache.strategy = strategy;
+        key.osrBackEdgeThreshold = osr;
         return makePoint<TranslatePhaseSink>(
-            codeCacheLabel(w->name, cap, policy), std::move(key),
+            codeCacheLabel(w->name, cap, policy, strategy, osr),
+            std::move(key),
             [] { return std::make_unique<TranslatePhaseSink>(); },
-            [](const TranslatePhaseSink &sink, const RecordedRun &) {
-                return sink.metrics();
-            });
+            [](const TranslatePhaseSink &sink,
+               const RecordedRun &run) { return sink.metrics(run); });
     };
     for (const WorkloadInfo *w : gridSuite(false)) {
         // Unlimited baseline: the no-eviction stream the bounded
@@ -347,6 +377,19 @@ buildCodeCacheGrid()
             for (const std::size_t cap : kCodeCacheCapacities)
                 grid.push_back(point(w, cap, policy));
         }
+        // First-fit vs best-fit extent placement under the same
+        // eviction pressure: the fragmentation-gauge comparison.
+        for (const std::size_t cap : kCodeCacheCapacities) {
+            grid.push_back(point(w, cap, EvictionPolicy::kFifo,
+                                 AllocStrategy::kBestFit));
+        }
+        // Tiered combination: counter policy + OSR + bounded cache —
+        // evicted loop-dominated methods recover via on-stack
+        // replacement instead of waiting out the re-armed counter.
+        grid.push_back(point(w, kCodeCacheCapacities[1],
+                             EvictionPolicy::kFifo,
+                             AllocStrategy::kFirstFit,
+                             kCodeCacheOsrThreshold));
     }
     return grid;
 }
@@ -389,8 +432,9 @@ allGrids()
          "share, pause sizes",
          &buildGcGrid},
         {"code_cache",
-         "code-cache capacity x eviction-policy sweep: retranslation "
-         "overhead as Translate/Interpret share",
+         "code-cache capacity x eviction-policy sweep (plus best-fit "
+         "allocation and counter+OSR points): retranslation overhead "
+         "as Translate/Interpret share, fragmentation gauge",
          &buildCodeCacheGrid},
     };
     return kGrids;

@@ -48,9 +48,15 @@ inline constexpr gc::CollectorKind kGcGridCollectors[] = {
 inline constexpr std::size_t kCodeCacheCapacities[] = {
     2u << 10, 4u << 10, 8u << 10};
 
-/** Code-cache-grid eviction policies (all three). */
+/** Code-cache-grid eviction policies (all four). */
 inline constexpr EvictionPolicy kCodeCachePolicies[] = {
-    EvictionPolicy::kFifo, EvictionPolicy::kLru, EvictionPolicy::kCost};
+    EvictionPolicy::kFifo, EvictionPolicy::kLru, EvictionPolicy::kCost,
+    EvictionPolicy::kCostPerByte};
+
+/** OSR back-edge threshold for the code-cache grid's tiered points
+    (counter policy + OSR + bounded cache: evicted loop-dominated
+    methods recover through on-stack replacement). */
+inline constexpr std::uint64_t kCodeCacheOsrThreshold = 32;
 
 /** "interp" / "jit" — the mode component used in grid labels. */
 inline const char *
@@ -77,10 +83,15 @@ std::string gcLabel(const std::string &workload,
                     gc::CollectorKind collector,
                     std::size_t heapBytes);
 /** "code_cache/compress/lru/cc8k"; capacity 0 =>
-    "code_cache/compress/unlimited" (the no-eviction baseline). */
-std::string codeCacheLabel(const std::string &workload,
-                           std::size_t capacityBytes,
-                           EvictionPolicy policy);
+    "code_cache/compress/unlimited" (the no-eviction baseline).
+    Best-fit allocation appends "/best", an OSR threshold appends
+    "/osrN": "code_cache/compress/fifo/cc4k/best",
+    "code_cache/compress/fifo/cc4k/osr32". */
+std::string codeCacheLabel(
+    const std::string &workload, std::size_t capacityBytes,
+    EvictionPolicy policy,
+    AllocStrategy strategy = AllocStrategy::kFirstFit,
+    std::uint64_t osrThreshold = 0);
 
 /** Grid builders. Cache points emit icache/dcache_miss_pct metrics. */
 std::vector<SweepPoint> buildFig04Grid();
@@ -97,11 +108,14 @@ std::vector<SweepPoint> buildBtbGrid();
 std::vector<SweepPoint> buildGcGrid();
 /**
  * Code-cache capacity × eviction-policy grid (jit mode, plus one
- * unlimited baseline per workload). Every bounded point records its
- * own stream — eviction changes what executes natively — and reports
- * the retranslation overhead purely from phase tags (Translate share
- * vs the stream), so replayed/disk-loaded streams measure identically
- * to live ones.
+ * unlimited baseline per workload), extended with best-fit-allocation
+ * points (the fragmentation comparison) and one counter+OSR tiered
+ * point per workload. Every bounded point records its own stream —
+ * eviction changes what executes natively — and reports the
+ * retranslation overhead from phase tags (Translate share vs the
+ * stream) plus the recorded run's fragmentation gauge (persisted in
+ * the meta sidecar), so replayed/disk-loaded streams measure
+ * identically to live ones.
  */
 std::vector<SweepPoint> buildCodeCacheGrid();
 /** Concatenation of the four cache/BTB grids (streams shared across

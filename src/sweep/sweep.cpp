@@ -166,7 +166,24 @@ SweepResult::toJson() const
     out += "  \"traces\": {\"recordings\": "
         + std::to_string(traces.recordings) + ", \"memory_hits\": "
         + std::to_string(traces.memoryHits) + ", \"disk_loads\": "
-        + std::to_string(traces.diskLoads) + "},\n";
+        + std::to_string(traces.diskLoads)
+        + ", \"translate_build_ns\": "
+        + std::to_string(traces.translateBuildNs) + "},\n";
+    if (sharedCacheUsed) {
+        out += "  \"shared_cache\": {\"lookups\": "
+            + std::to_string(shared.lookups) + ", \"hits\": "
+            + std::to_string(shared.sharedHits) + ", \"misses\": "
+            + std::to_string(shared.misses) + ", \"contended\": "
+            + std::to_string(shared.contended) + ", \"deferred\": "
+            + std::to_string(shared.deferred) + ", \"installs\": "
+            + std::to_string(shared.installs) + ", \"evictions\": "
+            + std::to_string(shared.evictions) + ", \"build_ns\": "
+            + std::to_string(shared.buildNs) + ", \"build_ns_saved\": "
+            + std::to_string(shared.buildNsSaved)
+            + ", \"live_entries\": "
+            + std::to_string(shared.liveEntries) + ", \"live_bytes\": "
+            + std::to_string(shared.liveBytes) + "},\n";
+    }
     out += "  \"points\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const PointResult &p = points[i];
@@ -210,6 +227,8 @@ SweepEngine::SweepEngine(SweepOptions options)
     cache_ = options_.cache != nullptr
         ? options_.cache
         : std::make_shared<TraceCache>(options_.cacheDir);
+    if (options_.sharedCache != nullptr)
+        cache_->setSharedCache(options_.sharedCache);
 }
 
 SweepResult
@@ -223,6 +242,9 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
 
     const auto t0 = std::chrono::steady_clock::now();
     const TraceCache::Stats before = cache_->stats();
+    const SharedCacheStats sharedBefore = options_.sharedCache != nullptr
+        ? options_.sharedCache->stats()
+        : SharedCacheStats{};
     obs::ScopedSpan sweepSpan("sweep.run", "sweep");
     sweepSpan.arg("points", std::to_string(grid.size()));
 
@@ -287,6 +309,8 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
             pr.traces.recordings = now.recordings - before.recordings;
             pr.traces.memoryHits = now.memoryHits - before.memoryHits;
             pr.traces.diskLoads = now.diskLoads - before.diskLoads;
+            pr.traces.translateBuildNs =
+                now.translateBuildNs - before.translateBuildNs;
             options_.onProgress(pr);
         }
     };
@@ -409,6 +433,26 @@ SweepEngine::run(const std::vector<SweepPoint> &grid)
     result.traces.recordings = after.recordings - before.recordings;
     result.traces.memoryHits = after.memoryHits - before.memoryHits;
     result.traces.diskLoads = after.diskLoads - before.diskLoads;
+    result.traces.translateBuildNs =
+        after.translateBuildNs - before.translateBuildNs;
+    if (options_.sharedCache != nullptr) {
+        result.sharedCacheUsed = true;
+        const SharedCacheStats s = options_.sharedCache->stats();
+        result.shared.lookups = s.lookups - sharedBefore.lookups;
+        result.shared.sharedHits = s.sharedHits - sharedBefore.sharedHits;
+        result.shared.misses = s.misses - sharedBefore.misses;
+        result.shared.contended = s.contended - sharedBefore.contended;
+        result.shared.deferred = s.deferred - sharedBefore.deferred;
+        result.shared.installs = s.installs - sharedBefore.installs;
+        result.shared.evictions = s.evictions - sharedBefore.evictions;
+        result.shared.bytesEvicted =
+            s.bytesEvicted - sharedBefore.bytesEvicted;
+        result.shared.buildNs = s.buildNs - sharedBefore.buildNs;
+        result.shared.buildNsSaved =
+            s.buildNsSaved - sharedBefore.buildNsSaved;
+        result.shared.liveEntries = s.liveEntries;
+        result.shared.liveBytes = s.liveBytes;
+    }
     return result;
 }
 

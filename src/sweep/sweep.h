@@ -134,6 +134,12 @@ struct SweepResult {
     unsigned jobs = 1;                ///< worker threads used
     double wallSeconds = 0.0;         ///< whole-sweep wall time
     TraceCache::Stats traces;         ///< recordings / hits / disk loads
+    /** True when the sweep ran with SweepOptions::sharedCache. */
+    bool sharedCacheUsed = false;
+    /** Shared translation-cache activity during this sweep (counter
+     *  deltas; live* are end-of-sweep values). All zero without a
+     *  shared cache. */
+    SharedCacheStats shared;
 
     /** Result for @p label, or nullptr. */
     const PointResult *find(const std::string &label) const;
@@ -174,6 +180,16 @@ struct SweepOptions {
     std::shared_ptr<TraceCache> cache;
     /** On-disk cache directory for a private cache ("" = memory only). */
     std::string cacheDir;
+    /**
+     * Process-wide shared translation cache (vm/jit/shared_cache.h):
+     * every VM run this sweep records fetches translation artifacts
+     * through it, so a method is built once per compatibility key
+     * across all workers instead of once per group. Streams — and
+     * therefore every metric — are bit-identical with or without it
+     * (tests/test_shared_cache.cpp asserts this). Null = private
+     * translation per engine.
+     */
+    std::shared_ptr<SharedCodeCache> sharedCache;
     /**
      * Invoked after each completed trace group, serialized under an
      * engine-internal mutex (the callback need not be thread-safe,

@@ -56,6 +56,11 @@ TraceKey::str() const
         s += "-cc" + std::to_string(codeCache.capacityBytes) + "-"
             + evictionPolicyName(codeCache.policy);
     }
+    if (codeCache.strategy != AllocStrategy::kFirstFit)
+        s += std::string("-") + allocStrategyName(codeCache.strategy)
+            + "fit";
+    if (osrBackEdgeThreshold != 0)
+        s += "-osr" + std::to_string(osrBackEdgeThreshold);
     return s + "-v" + std::to_string(kTraceVersion);
 }
 
@@ -74,6 +79,7 @@ TraceKey::toRunSpec() const
     spec.gc = gc;
     spec.heapBytes = heapBytes;
     spec.codeCache = codeCache;
+    spec.osrBackEdgeThreshold = osrBackEdgeThreshold;
     return spec;
 }
 
@@ -99,8 +105,12 @@ TraceCache::TraceCache(std::string dir)
 namespace {
 
 /**
- * Sidecar format: three "key=value" lines. The key line guards
- * against a foreign file reusing the name; events guards truncation.
+ * Sidecar format: "key=value" lines. The key line guards against a
+ * foreign file reusing the name; events guards truncation. The two
+ * freeb/freex lines carry the recorded run's end-of-run code-cache
+ * free-extent accounting (the fragmentation gauge) so disk-loaded
+ * streams report the same value as the live recording; they are
+ * optional on read, so pre-existing sidecars still load (as zeros).
  */
 void
 writeMeta(const std::string &path, const std::string &key,
@@ -110,9 +120,12 @@ writeMeta(const std::string &path, const std::string &key,
     if (f == nullptr)
         throw VmError("cannot write trace meta: " + path);
     const bool ok =
-        std::fprintf(f, "key=%s\nexit=%d\nevents=%llu\n", key.c_str(),
-                     result.exitValue,
-                     static_cast<unsigned long long>(result.totalEvents))
+        std::fprintf(
+            f, "key=%s\nexit=%d\nevents=%llu\nfreeb=%llu\nfreex=%llu\n",
+            key.c_str(), result.exitValue,
+            static_cast<unsigned long long>(result.totalEvents),
+            static_cast<unsigned long long>(result.codeCacheFreeBytes),
+            static_cast<unsigned long long>(result.codeCacheFreeExtents))
         > 0;
     if (std::fclose(f) != 0 || !ok)
         throw VmError("cannot write trace meta: " + path);
@@ -129,10 +142,17 @@ readMeta(const std::string &path, const std::string &key,
     char keyBuf[512] = {};
     int exitValue = 0;
     unsigned long long events = 0;
+    unsigned long long freeBytes = 0;
+    unsigned long long freeExtents = 0;
     const bool ok =
         std::fscanf(f, "key=%511[^\n]\nexit=%d\nevents=%llu", keyBuf,
                     &exitValue, &events)
         == 3;
+    // Optional trailer (recordings made before it simply lack it).
+    const bool hasFree = ok
+        && std::fscanf(f, "\nfreeb=%llu\nfreex=%llu", &freeBytes,
+                       &freeExtents)
+            == 2;
     std::fclose(f);
     if (!ok || key != keyBuf)
         return false;
@@ -141,6 +161,10 @@ readMeta(const std::string &path, const std::string &key,
     result.hasExitValue = true;
     result.exitValue = exitValue;
     result.totalEvents = events;
+    if (hasFree) {
+        result.codeCacheFreeBytes = freeBytes;
+        result.codeCacheFreeExtents = freeExtents;
+    }
     return true;
 }
 
@@ -235,6 +259,10 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
     obs::ScopedSpan span("trace.record", "sweep");
     span.arg("key", keyStr);
     RunSpec spec = key.toRunSpec();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        spec.sharedCache = shared_;
+    }
     spec.sink = liveObserver;
     if (liveObserver != nullptr && observedLive != nullptr)
         *observedLive = true;
@@ -242,6 +270,7 @@ TraceCache::produce(const TraceKey &key, TraceSink *liveObserver,
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.recordings;
+        stats_.translateBuildNs += run->result.translateBuildNs;
     }
     obs::count("trace_cache.recordings");
     if (!dir_.empty()) {
@@ -285,6 +314,13 @@ TraceCache::get(const TraceKey &key, TraceSink *liveObserver,
         promise.set_exception(std::current_exception());
     }
     return mine.get();
+}
+
+void
+TraceCache::setSharedCache(std::shared_ptr<SharedCodeCache> shared)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shared_ = std::move(shared);
 }
 
 TraceCache::Stats

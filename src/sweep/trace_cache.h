@@ -64,20 +64,27 @@ struct TraceKey {
     gc::GcOptions gc;
     /** Heap arena capacity of the recorded run. */
     std::size_t heapBytes = kDefaultHeapBytes;
-    /** Code-cache bound and eviction policy of the recorded run
-     *  (eviction changes the stream: retranslations, interp
-     *  fallback). */
+    /** Code-cache bound, eviction policy and extent-allocation
+     *  strategy of the recorded run (eviction changes the stream:
+     *  retranslations, interp fallback; allocation placement changes
+     *  generated-code addresses). */
     CodeCacheConfig codeCache;
+    /** OSR back-edge threshold of the recorded run (0 = OSR off).
+     *  OSR changes the stream: loop-dominated methods transfer into
+     *  native code mid-frame. */
+    std::uint64_t osrBackEdgeThreshold = 0;
 
     /**
      * Canonical, filename-safe string, e.g.
      * "compress-a0-jit-thin_lock-q300-v1". The trailing v component
      * is the JRSTRACE format version, so stale on-disk caches are
      * never picked up across format changes. Collector and heap
-     * components ("-marksweep", "-h33554432", "-gb65536", "-ge8")
-     * and code-cache components ("-cc65536-lru") appear only when
-     * non-default, so every pre-existing key — and its on-disk
-     * recording — is unchanged.
+     * components ("-marksweep", "-h33554432", "-gb65536", "-ge8"),
+     * code-cache components ("-cc65536-lru", "-bestfit") and the OSR
+     * component ("-osr64") appear only when non-default, so every
+     * pre-existing key — and its on-disk recording — is unchanged.
+     * A SharedCodeCache is deliberately NOT part of the key: shared
+     * and private translation produce bit-identical streams.
      */
     std::string str() const;
 
@@ -97,6 +104,10 @@ class TraceCache {
         std::uint64_t recordings = 0;  ///< VM runs executed
         std::uint64_t memoryHits = 0;  ///< served from process memory
         std::uint64_t diskLoads = 0;   ///< served from the directory
+        /** Host ns the recorded runs spent building translations
+         *  (RunResult::translateBuildNs summed over recordings; the
+         *  number a shared cache shrinks). */
+        std::uint64_t translateBuildNs = 0;
     };
 
     /**
@@ -123,6 +134,16 @@ class TraceCache {
     get(const TraceKey &key, TraceSink *liveObserver = nullptr,
         bool *observedLive = nullptr);
 
+    /**
+     * Route every VM run this cache performs through @p shared
+     * (vm/jit/shared_cache.h): recordings fetch translation artifacts
+     * from the process-wide cache instead of building privately. The
+     * streams recorded are bit-identical either way — the shared
+     * cache is a host-side translation-work saver, not a stream
+     * component — so keys are unaffected. Null detaches.
+     */
+    void setSharedCache(std::shared_ptr<SharedCodeCache> shared);
+
     /** Counters so far (thread-safe snapshot). */
     Stats stats() const;
 
@@ -142,6 +163,7 @@ class TraceCache {
     std::string dir_;
     mutable std::mutex mu_;
     std::map<std::string, Entry> entries_;
+    std::shared_ptr<SharedCodeCache> shared_;
     Stats stats_;
 };
 

@@ -59,6 +59,15 @@ publishRunMetrics(const RunResult &r, const CodeCache &cache)
     m.counter("vm.code_cache.bytes_evicted")
         .add(r.codeCacheBytesEvicted);
     m.counter("vm.code_cache.retranslations").add(r.retranslations);
+    m.gauge("vm.code_cache.free_bytes")
+        .set(static_cast<double>(cache.freeBytes()));
+    m.gauge("vm.code_cache.free_extents")
+        .set(static_cast<double>(cache.freeExtents()));
+    m.gauge("vm.code_cache.fragmentation").set(cache.fragmentation());
+    m.counter("vm.code_cache.shared_hits")
+        .add(r.sharedTranslationHits);
+    m.counter("vm.code_cache.shared_misses")
+        .add(r.sharedTranslationMisses);
 
     const LockStats &ls = r.lockStats;
     m.counter("vm.lock.enters").add(ls.enterOps);
@@ -105,6 +114,22 @@ ExecutionEngine::ExecutionEngine(const Program &prog, EngineConfig cfg)
     cache_ = std::make_unique<CodeCache>(cfg_.codeCache);
     cache_->setEvictionHook([this](const NativeMethod &nm) {
         rearmBase_[nm.id] = profiles_.of(nm.id).invocations;
+        translator_->releaseShared(nm.id);
+        // The OSR counter is re-armed alongside the invocation
+        // counter: a live interpreter frame of the victim restarts its
+        // back-edge count, so a loop-dominated method recovers through
+        // OSR after osrBackEdgeThreshold more back edges instead of
+        // retranslating on the very next one (or waiting out the full
+        // invocation re-earn).
+        if (cfg_.osrBackEdgeThreshold != 0) {
+            for (const auto &t : threads_) {
+                for (Activation &act : t->frames) {
+                    auto *f = std::get_if<InterpFrame>(&act);
+                    if (f != nullptr && f->method->id == nm.id)
+                        f->backEdges = 0;
+                }
+            }
+        }
     });
     cache_->setRetranslateCost([this](MethodId id) {
         auto it = lastTranslateCost_.find(id);
@@ -114,6 +139,13 @@ ExecutionEngine::ExecutionEngine(const Program &prog, EngineConfig cfg)
     translator_ =
         std::make_unique<Translator>(*registry_, *cache_, emitter_);
     translator_->setInlining(cfg_.jitInlining);
+    if (cfg_.sharedCodeCache != nullptr) {
+        translator_->setSharedCache(
+            cfg_.sharedCodeCache, cfg_.sharedProgramKey,
+            cfg_.gc.collector != gc::CollectorKind::None
+                ? gc::collectorName(cfg_.gc.collector)
+                : "");
+    }
     ctx_.reset(new VmContext{*registry_, *heap_, *sync_, *runtime_,
                              emitter_, *this});
     interp_ = std::make_unique<Interpreter>(*ctx_);
@@ -169,7 +201,10 @@ ExecutionEngine::invokeMethod(VmThread &thread, MethodId target,
         prof.translateEvents += delta;
         translateEventsThisStep_ += delta;
         if (nm == nullptr) {
-            uncompilable_.insert(target);
+            // A deferred translation (shared-cache fallback mode) is
+            // retriable, not uncompilable.
+            if (!translator_->lastTranslateDeferred())
+                uncompilable_.insert(target);
         } else {
             lastTranslateCost_[target] = delta;
             if (rearm != rearmBase_.end())
@@ -364,7 +399,8 @@ ExecutionEngine::tryOsr(VmThread &thread)
         profiles_.of(id).translateEvents += delta;
         translateEventsThisStep_ += delta;
         if (nm == nullptr) {
-            uncompilable_.insert(id);
+            if (!translator_->lastTranslateDeferred())
+                uncompilable_.insert(id);
             f->backEdges = 0;
             return false;
         }
@@ -635,6 +671,12 @@ ExecutionEngine::run(std::int32_t arg)
     result.codeCacheEvictions = cache_->evictions();
     result.codeCacheBytesEvicted = cache_->bytesEvicted();
     result.retranslations = retranslations_;
+    result.codeCacheFreeBytes = cache_->freeBytes();
+    result.codeCacheFreeExtents = cache_->freeExtents();
+    result.sharedTranslationHits = translator_->sharedHits();
+    result.sharedTranslationMisses = translator_->sharedMisses();
+    result.translateBuildNs = translator_->buildNs();
+    result.translateBuildNsSaved = translator_->buildNsSaved();
     result.bytecodeCounts.assign(interp_->opCounts().begin(),
                                  interp_->opCounts().end());
     result.callsDevirtualized = translator_->callsDevirtualized();
@@ -659,6 +701,8 @@ ExecutionEngine::run(std::int32_t arg)
 
     if (obs::enabled()) {
         publishRunMetrics(result, *cache_);
+        if (cfg_.sharedCodeCache != nullptr)
+            cfg_.sharedCodeCache->publishMetrics();
         span.arg("events", std::to_string(result.totalEvents));
         span.arg("completed", result.completed ? "true" : "false");
     }

@@ -93,6 +93,23 @@ struct EngineConfig {
      * re-armed so they must earn retranslation.
      */
     CodeCacheConfig codeCache;
+    /**
+     * Process-wide shared translation cache (vm/jit/shared_cache.h).
+     * Null (default) keeps translation fully private. When set, the
+     * engine fetches address-independent translation artifacts through
+     * it — building at most once per compatibility key across all
+     * participating engines — while installing per-engine clones in
+     * its own code cache, so the trace stream stays bit-identical to a
+     * private run. Requires sharedProgramKey.
+     */
+    std::shared_ptr<SharedCodeCache> sharedCodeCache;
+    /**
+     * Program identity for the shared-cache compatibility key
+     * (typically the workload name). Engines running different
+     * programs must pass different keys; ignored without
+     * sharedCodeCache.
+     */
+    std::string sharedProgramKey;
 };
 
 /** Memory-footprint accounting (Table 1). */
@@ -150,6 +167,21 @@ struct RunResult {
     std::uint64_t codeCacheBytesEvicted = 0;
     /** Successful translations of previously evicted methods. */
     std::uint64_t retranslations = 0;
+    /** Free-extent bytes inside the code cache at end of run (0 when
+     *  the allocator never released an extent). */
+    std::uint64_t codeCacheFreeBytes = 0;
+    /** Number of free extents those bytes are split across — together
+     *  with codeCacheFreeBytes this is the fragmentation gauge. */
+    std::uint64_t codeCacheFreeExtents = 0;
+    /** Shared-cache artifacts this engine attached to without
+     *  building (0 without a shared cache). */
+    std::uint64_t sharedTranslationHits = 0;
+    /** Shared-cache requests this engine built itself. */
+    std::uint64_t sharedTranslationMisses = 0;
+    /** Host ns this engine spent building translation artifacts. */
+    std::uint64_t translateBuildNs = 0;
+    /** Host ns shared hits saved this engine. */
+    std::uint64_t translateBuildNsSaved = 0;
     /** Dynamic bytecode counts per opcode (interpreted steps only). */
     std::vector<std::uint64_t> bytecodeCounts;
 

@@ -14,6 +14,7 @@ evictionPolicyName(EvictionPolicy p)
     case EvictionPolicy::kFifo: return "fifo";
     case EvictionPolicy::kLru: return "lru";
     case EvictionPolicy::kCost: return "cost";
+    case EvictionPolicy::kCostPerByte: return "costpb";
     }
     return "?";
 }
@@ -27,46 +28,73 @@ parseEvictionPolicy(const std::string &name, EvictionPolicy *out)
         *out = EvictionPolicy::kLru;
     else if (name == "cost")
         *out = EvictionPolicy::kCost;
+    else if (name == "costpb")
+        *out = EvictionPolicy::kCostPerByte;
     else
         return false;
     return true;
 }
 
-CodeCache::CodeCache(const CodeCacheConfig &cfg) : cfg_(cfg) {}
-
-std::size_t
-CodeCache::usableLimit() const
+const char *
+allocStrategyName(AllocStrategy s)
 {
-    if (!bounded())
-        return cfg_.segmentLimit;
-    return std::min(cfg_.capacityBytes, cfg_.segmentLimit);
+    switch (s) {
+    case AllocStrategy::kFirstFit: return "first";
+    case AllocStrategy::kBestFit: return "best";
+    }
+    return "?";
+}
+
+bool
+parseAllocStrategy(const std::string &name, AllocStrategy *out)
+{
+    if (name == "first" || name == "firstfit" || name == "first-fit")
+        *out = AllocStrategy::kFirstFit;
+    else if (name == "best" || name == "bestfit" || name == "best-fit")
+        *out = AllocStrategy::kBestFit;
+    else
+        return false;
+    return true;
 }
 
 std::size_t
-CodeCache::tryAllocate(std::size_t bytes)
+ExtentAllocator::allocate(std::size_t bytes)
 {
     // Free extents sit below the cursor, so scanning them first keeps
-    // first-fit-by-address exact.
+    // fit-by-address exact for both strategies.
+    auto chosen = free_.end();
     for (auto it = free_.begin(); it != free_.end(); ++it) {
         if (it->second < bytes)
             continue;
-        const std::size_t off = it->first;
-        const std::size_t remain = it->second - bytes;
-        free_.erase(it);
+        if (strategy_ == AllocStrategy::kFirstFit) {
+            chosen = it;
+            break;
+        }
+        // Best-fit: smallest fitting extent; the in-order scan makes
+        // the lowest address win ties.
+        if (chosen == free_.end() || it->second < chosen->second)
+            chosen = it;
+        if (chosen->second == bytes)
+            break;
+    }
+    if (chosen != free_.end()) {
+        const std::size_t off = chosen->first;
+        const std::size_t remain = chosen->second - bytes;
+        free_.erase(chosen);
         if (remain != 0)
             free_.emplace(off + bytes, remain);
         return off;
     }
-    if (cursor_ + bytes <= usableLimit()) {
+    if (cursor_ + bytes <= limit_) {
         const std::size_t off = cursor_;
         cursor_ += bytes;
         return off;
     }
-    return kNoOffset;
+    return kNone;
 }
 
 void
-CodeCache::release(std::size_t off, std::size_t bytes)
+ExtentAllocator::release(std::size_t off, std::size_t bytes)
 {
     auto [it, ok] = free_.emplace(off, bytes);
     (void)ok;
@@ -86,7 +114,8 @@ CodeCache::release(std::size_t off, std::size_t bytes)
         free_.erase(next);
     }
     // Retreat the bump cursor over any top extent (cascades so a fully
-    // evicted cache returns to cursor 0 and eviction loops terminate).
+    // drained allocator returns to cursor 0 and eviction loops
+    // terminate).
     while (!free_.empty()) {
         auto top = std::prev(free_.end());
         if (top->first + top->second != cursor_)
@@ -94,6 +123,38 @@ CodeCache::release(std::size_t off, std::size_t bytes)
         cursor_ = top->first;
         free_.erase(top);
     }
+}
+
+std::size_t
+ExtentAllocator::freeBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &[off, sz] : free_)
+        total += sz;
+    return total;
+}
+
+double
+ExtentAllocator::fragmentation() const
+{
+    const std::size_t bytes = freeBytes();
+    if (bytes == 0)
+        return 0.0;
+    return static_cast<double>(free_.size()) /
+           (static_cast<double>(bytes) / 1024.0);
+}
+
+CodeCache::CodeCache(const CodeCacheConfig &cfg)
+    : cfg_(cfg), alloc_(usableLimit(), cfg.strategy)
+{
+}
+
+std::size_t
+CodeCache::usableLimit() const
+{
+    if (!bounded())
+        return cfg_.segmentLimit;
+    return std::min(cfg_.capacityBytes, cfg_.segmentLimit);
 }
 
 MethodId
@@ -111,6 +172,14 @@ CodeCache::pickVictim() const
         case EvictionPolicy::kLru: key = e.lastUse; break;
         case EvictionPolicy::kCost:
             key = costFn_ ? costFn_(id) : 0;
+            break;
+        case EvictionPolicy::kCostPerByte:
+            // Scaled integer cost density: cost per extent byte in
+            // 1/4096ths, so small relative differences survive the
+            // integer division (extents are 64-byte multiples).
+            key = costFn_ ? costFn_(id) * 4096 /
+                                std::max<std::size_t>(e.extentBytes, 1)
+                          : 0;
             break;
         }
         if (!have || key < bestKey ||
@@ -144,16 +213,16 @@ CodeCache::install(std::unique_ptr<NativeMethod> nm)
     }
     const std::size_t extent =
         (nm->codeBytes() + 63) & ~std::size_t{63};
-    std::size_t off = tryAllocate(extent);
-    if (off == kNoOffset && bounded()) {
-        while (off == kNoOffset && evictOne())
-            off = tryAllocate(extent);
+    std::size_t off = alloc_.allocate(extent);
+    if (off == ExtentAllocator::kNone && bounded()) {
+        while (off == ExtentAllocator::kNone && evictOne())
+            off = alloc_.allocate(extent);
     }
-    if (off == kNoOffset) {
+    if (off == ExtentAllocator::kNone) {
         if (!bounded())
             throw VmError(
                 "code cache overflows its segment: cursor " +
-                std::to_string(cursor_) + " + " +
+                std::to_string(alloc_.cursorBytes()) + " + " +
                 std::to_string(extent) + " bytes exceeds limit " +
                 std::to_string(usableLimit()));
         // Bounded, cache emptied, and the method alone still does not
@@ -185,8 +254,9 @@ CodeCache::uninstall(MethodId id)
     ++evictions_;
     bytesEvicted_ += e.extentBytes;
     liveBytes_ -= e.extentBytes;
-    release(static_cast<std::size_t>(e.nm->codeBase - seg::kCodeCache),
-            e.extentBytes);
+    alloc_.release(
+        static_cast<std::size_t>(e.nm->codeBase - seg::kCodeCache),
+        e.extentBytes);
     retired_.push_back(std::move(e.nm));
     methods_.erase(it);
     return true;
@@ -206,15 +276,6 @@ CodeCache::lookup(MethodId id) const
     // concurrent observers read the atomic counters, never entries.
     const_cast<Entry &>(it->second).lastUse = tick;
     return it->second.nm.get();
-}
-
-std::size_t
-CodeCache::freeBytes() const
-{
-    std::size_t total = 0;
-    for (const auto &[off, sz] : free_)
-        total += sz;
-    return total;
 }
 
 std::vector<const NativeMethod *>

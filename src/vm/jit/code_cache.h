@@ -7,11 +7,13 @@
  * discusses (Section 4.3).
  *
  * The cache is *managed*: with a capacity configured it evicts
- * translations under a pluggable policy (FIFO, LRU-by-dispatch, or
- * cheapest-to-retranslate) and reuses the freed extents through a
- * coalescing free list. The default capacity is unlimited, in which
- * case nothing is ever evicted and allocation degenerates to the
- * historical bump cursor — bit-identical layout and accounting.
+ * translations under a pluggable policy (FIFO, LRU-by-dispatch,
+ * cheapest-to-retranslate, or cheapest-per-extent-byte) and reuses the
+ * freed extents through a coalescing free list held by an
+ * ExtentAllocator (first-fit or best-fit). The default capacity is
+ * unlimited, in which case nothing is ever evicted and allocation
+ * degenerates to the historical bump cursor — bit-identical layout and
+ * accounting.
  *
  * Eviction never frees host memory for a NativeMethod: native frames
  * hold raw pointers across calls, so evicted methods are retired into
@@ -34,16 +36,29 @@ namespace jrs {
 
 /** Victim-selection policy for a bounded code cache. */
 enum class EvictionPolicy : std::uint8_t {
-    kFifo, ///< oldest installation first
-    kLru,  ///< least recently dispatched (by lookup() tick) first
-    kCost, ///< cheapest to retranslate (per the cost callback) first
+    kFifo,        ///< oldest installation first
+    kLru,         ///< least recently dispatched (by lookup() tick) first
+    kCost,        ///< cheapest to retranslate (per the cost callback) first
+    kCostPerByte, ///< cheapest retranslate cost per extent byte first
 };
 
-/** Stable lowercase name ("fifo", "lru", "cost"). */
+/** Stable lowercase name ("fifo", "lru", "cost", "costpb"). */
 const char *evictionPolicyName(EvictionPolicy p);
 
 /** Parse an eviction-policy name. @return false on unknown name. */
 bool parseEvictionPolicy(const std::string &name, EvictionPolicy *out);
+
+/** Placement strategy for recycled extents. */
+enum class AllocStrategy : std::uint8_t {
+    kFirstFit, ///< lowest-address fitting extent (historical default)
+    kBestFit,  ///< smallest fitting extent, lowest address on ties
+};
+
+/** Stable lowercase name ("first", "best"). */
+const char *allocStrategyName(AllocStrategy s);
+
+/** Parse an allocation-strategy name. @return false on unknown name. */
+bool parseAllocStrategy(const std::string &name, AllocStrategy *out);
 
 /** Configuration for a CodeCache. Defaults reproduce the unmanaged
  *  (unbounded, never-evicting) historical behaviour exactly. */
@@ -52,6 +67,8 @@ struct CodeCacheConfig {
     std::size_t capacityBytes = 0;
     /** Victim selection when bounded. */
     EvictionPolicy policy = EvictionPolicy::kFifo;
+    /** Free-extent placement strategy. */
+    AllocStrategy strategy = AllocStrategy::kFirstFit;
     /**
      * Hard ceiling of the backing segment. Generated code must never
      * cross it (beyond lies seg::kRuntimeCode and phase attribution
@@ -59,6 +76,65 @@ struct CodeCacheConfig {
      * exercise overflow without gigabytes of simulated code.
      */
     std::size_t segmentLimit = seg::kSegmentSize;
+};
+
+/**
+ * A coalescing extent allocator over one address range [0, limit).
+ *
+ * Extents are handed out either from the free list (first-fit or
+ * best-fit) or from a bump cursor at the top of the used region.
+ * Releases coalesce with both neighbours and retreat the cursor over
+ * any freed top extent, so a fully drained allocator returns to
+ * cursor 0. All offsets and sizes are caller-aligned (the code cache
+ * uses multiples of 64); the allocator itself imposes no granularity.
+ *
+ * Shared by CodeCache (per-engine simulated placement) and
+ * SharedCodeCache (process-wide artifact byte accounting).
+ */
+class ExtentAllocator {
+  public:
+    static constexpr std::size_t kNone = ~std::size_t{0};
+
+    ExtentAllocator() = default;
+    ExtentAllocator(std::size_t limit, AllocStrategy strategy)
+        : limit_(limit), strategy_(strategy)
+    {
+    }
+
+    /** Allocate @p bytes; @return offset, or kNone if nothing fits. */
+    std::size_t allocate(std::size_t bytes);
+
+    /** Return [off, off+bytes) to the free list, coalescing. */
+    void release(std::size_t off, std::size_t bytes);
+
+    /** Shrink/grow the ceiling (existing allocations unaffected). */
+    void setLimit(std::size_t limit) { limit_ = limit; }
+
+    std::size_t limit() const { return limit_; }
+    AllocStrategy strategy() const { return strategy_; }
+
+    /** High-water mark of the bump cursor. */
+    std::size_t cursorBytes() const { return cursor_; }
+
+    /** Total bytes sitting on the free list. */
+    std::size_t freeBytes() const;
+
+    /** Number of discrete free-list extents. */
+    std::size_t freeExtents() const { return free_.size(); }
+
+    /**
+     * Fragmentation gauge: free extents per free KiB
+     * (freeExtents / (freeBytes/1024)); 0 when nothing is free. A
+     * perfectly coalesced free list scores low, a shattered one high.
+     */
+    double fragmentation() const;
+
+  private:
+    /** Free extents keyed by offset (so first-fit = lowest address). */
+    std::map<std::size_t, std::size_t> free_;
+    std::size_t cursor_ = 0;
+    std::size_t limit_ = seg::kSegmentSize;
+    AllocStrategy strategy_ = AllocStrategy::kFirstFit;
 };
 
 /** Owner of all NativeMethods produced in a run. */
@@ -70,7 +146,7 @@ class CodeCache {
     /** Invoked just before a method's extent is recycled. */
     using EvictionHook = std::function<void(const NativeMethod &)>;
 
-    CodeCache() = default;
+    CodeCache() : alloc_(cfg_.segmentLimit, cfg_.strategy) {}
     explicit CodeCache(const CodeCacheConfig &cfg);
     CodeCache(const CodeCache &) = delete;
     CodeCache &operator=(const CodeCache &) = delete;
@@ -78,13 +154,13 @@ class CodeCache {
     /**
      * Install @p nm: assigns its codeBase and takes ownership.
      *
-     * Allocation is first-fit from the free list (lowest address
-     * first), falling back to the bump cursor. When bounded and space
-     * is short, methods are evicted per the configured policy until
-     * the new method fits. Installing a method whose id is still live
-     * without an intervening uninstall() throws VmError (a
-     * double-compile is an engine bug); reinstall after eviction or
-     * uninstall is legal.
+     * Allocation comes from the free list under the configured
+     * strategy (first-fit by default), falling back to the bump
+     * cursor. When bounded and space is short, methods are evicted per
+     * the configured policy until the new method fits. Installing a
+     * method whose id is still live without an intervening uninstall()
+     * throws VmError (a double-compile is an engine bug); reinstall
+     * after eviction or uninstall is legal.
      *
      * @return the installed method, or nullptr when bounded and the
      *         method alone exceeds capacity (caller keeps
@@ -110,13 +186,16 @@ class CodeCache {
     std::size_t codeBytes() const { return liveBytes_; }
 
     /** High-water mark of the bump cursor, in simulated bytes. */
-    std::size_t cursorBytes() const { return cursor_; }
+    std::size_t cursorBytes() const { return alloc_.cursorBytes(); }
 
     /** Total bytes sitting on the free list. */
-    std::size_t freeBytes() const;
+    std::size_t freeBytes() const { return alloc_.freeBytes(); }
 
     /** Number of discrete free-list extents (coalescing visibility). */
-    std::size_t freeExtents() const { return free_.size(); }
+    std::size_t freeExtents() const { return alloc_.freeExtents(); }
+
+    /** Free-list fragmentation gauge (see ExtentAllocator). */
+    double fragmentation() const { return alloc_.fragmentation(); }
 
     /** Number of live (installed, not evicted) methods. */
     std::size_t numMethods() const { return methods_.size(); }
@@ -148,6 +227,9 @@ class CodeCache {
     /** Configured victim-selection policy. */
     EvictionPolicy policy() const { return cfg_.policy; }
 
+    /** Configured free-extent placement strategy. */
+    AllocStrategy strategy() const { return cfg_.strategy; }
+
     /** Set the retranslation-cost oracle for kCost eviction. */
     void setRetranslateCost(CostFn fn) { costFn_ = std::move(fn); }
 
@@ -162,26 +244,17 @@ class CodeCache {
         std::uint64_t lastUse = 0;    ///< lookups() tick at last hit
     };
 
-    static constexpr std::size_t kNoOffset = ~std::size_t{0};
-
     bool bounded() const { return cfg_.capacityBytes != 0; }
     std::size_t usableLimit() const;
-    /** First-fit allocate @p bytes; kNoOffset if nothing fits. */
-    std::size_t tryAllocate(std::size_t bytes);
-    /** Return [off, off+bytes) to the free list, coalescing. */
-    void release(std::size_t off, std::size_t bytes);
     /** Evict one method per policy. @return false if cache empty. */
     bool evictOne();
     MethodId pickVictim() const;
 
     CodeCacheConfig cfg_;
     std::unordered_map<MethodId, Entry> methods_;
-    /** Free extents, keyed by offset (so first-fit = lowest address;
-     *  all offsets/sizes are multiples of 64). */
-    std::map<std::size_t, std::size_t> free_;
+    ExtentAllocator alloc_;
     /** Evicted methods, kept alive for outstanding native frames. */
     std::vector<std::unique_ptr<NativeMethod>> retired_;
-    std::size_t cursor_ = 0;
     std::size_t liveBytes_ = 0;
     std::uint64_t installSeq_ = 0;
     std::uint64_t evictions_ = 0;

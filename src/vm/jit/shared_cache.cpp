@@ -1,0 +1,212 @@
+#include "vm/jit/shared_cache.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace jrs {
+
+std::string
+TranslationKey::str() const
+{
+    std::string s = program + "/#" + std::to_string(method);
+    if (inlining)
+        s += "+inline";
+    if (!barriers.empty())
+        s += "+" + barriers;
+    return s;
+}
+
+SharedCodeCache::SharedCodeCache(SharedCacheConfig cfg)
+    : cfg_(cfg),
+      alloc_(cfg.capacityBytes == 0 ? ~std::size_t{0}
+                                    : cfg.capacityBytes,
+             cfg.strategy)
+{
+}
+
+std::size_t
+SharedCodeCache::allocateWithEviction(std::size_t bytes)
+{
+    std::size_t off = alloc_.allocate(bytes);
+    while (off == ExtentAllocator::kNone) {
+        // Retire the oldest zero-reference entry with accounted bytes.
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            const Entry &e = it->second;
+            if (e.state != Entry::State::kReady || e.refs != 0 ||
+                e.offset == ExtentAllocator::kNone)
+                continue;
+            if (victim == entries_.end() ||
+                e.installSeq < victim->second.installSeq)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return ExtentAllocator::kNone;
+        alloc_.release(victim->second.offset,
+                       victim->second.extentBytes);
+        ++stats_.evictions;
+        stats_.bytesEvicted += victim->second.extentBytes;
+        entries_.erase(victim);
+        off = alloc_.allocate(bytes);
+    }
+    return off;
+}
+
+std::shared_ptr<const TranslationArtifact>
+SharedCodeCache::acquire(const TranslationKey &key,
+                         const BuildFn &build, bool *sharedHit)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    for (;;) {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            break; // this caller builds
+        Entry &e = it->second;
+        if (e.state == Entry::State::kReady) {
+            ++stats_.sharedHits;
+            stats_.buildNsSaved += e.artifact->buildNs;
+            ++e.refs;
+            if (sharedHit != nullptr)
+                *sharedHit = true;
+            return e.artifact;
+        }
+        // Another worker's build is in flight.
+        ++stats_.contended;
+        if (!cfg_.waitForInflight) {
+            ++stats_.deferred;
+            if (sharedHit != nullptr)
+                *sharedHit = false;
+            return nullptr; // caller interprets and retries later
+        }
+        // Wait for the build to publish (or fail and erase), then
+        // re-examine: on failure the next waiter restarts the
+        // single-flight.
+        ready_.wait(lock);
+    }
+
+    // Single-flight build: reserve the key, run the (expensive) build
+    // outside the lock, publish under it.
+    ++stats_.misses;
+    entries_.emplace(key, Entry{});
+    lock.unlock();
+    std::shared_ptr<const TranslationArtifact> artifact;
+    try {
+        artifact = build();
+    } catch (...) {
+        lock.lock();
+        entries_.erase(key);
+        ready_.notify_all();
+        throw;
+    }
+    lock.lock();
+    Entry &e = entries_[key];
+    e.artifact = artifact;
+    e.state = Entry::State::kReady;
+    e.installSeq = installSeq_++;
+    e.refs = 1;
+    const std::size_t bytes =
+        (artifact->codeBytes() + 63) & ~std::size_t{63};
+    if (bytes != 0) {
+        e.extentBytes = bytes;
+        e.offset = allocateWithEviction(bytes);
+        // When bounded and the artifact cannot fit even after draining
+        // every idle entry, keep it unaccounted (offset == kNone): the
+        // current holders still share it, and release() retires it as
+        // soon as the last reference drops.
+    }
+    ++stats_.installs;
+    ++builds_[key];
+    stats_.buildNs += artifact->buildNs;
+    ready_.notify_all();
+    if (sharedHit != nullptr)
+        *sharedHit = false;
+    return artifact;
+}
+
+void
+SharedCodeCache::release(const TranslationKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.refs == 0)
+        return;
+    Entry &e = it->second;
+    if (--e.refs != 0)
+        return;
+    // Zero-ref entries normally stay resident for future sharers;
+    // over-capacity transients (never byte-accounted) go now.
+    if (cfg_.capacityBytes != 0 && e.extentBytes != 0 &&
+        e.offset == ExtentAllocator::kNone) {
+        ++stats_.evictions;
+        stats_.bytesEvicted += e.extentBytes;
+        entries_.erase(it);
+    }
+}
+
+SharedCacheStats
+SharedCodeCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SharedCacheStats s = stats_;
+    s.liveEntries = entries_.size();
+    std::size_t bytes = 0;
+    for (const auto &[key, e] : entries_) {
+        if (e.offset != ExtentAllocator::kNone)
+            bytes += e.extentBytes;
+    }
+    s.liveBytes = bytes;
+    return s;
+}
+
+std::uint64_t
+SharedCodeCache::buildsFor(const TranslationKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = builds_.find(key);
+    return it == builds_.end() ? 0 : it->second;
+}
+
+std::size_t
+SharedCodeCache::refsOn(const TranslationKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    return it == entries_.end() ? 0 : it->second.refs;
+}
+
+void
+SharedCodeCache::publishMetrics() const
+{
+    if (!obs::enabled())
+        return;
+    const SharedCacheStats s = stats();
+    obs::MetricRegistry &reg = obs::metrics();
+    reg.gauge("code_cache.shared.lookups")
+        .set(static_cast<double>(s.lookups));
+    reg.gauge("code_cache.shared.hits")
+        .set(static_cast<double>(s.sharedHits));
+    reg.gauge("code_cache.shared.misses")
+        .set(static_cast<double>(s.misses));
+    reg.gauge("code_cache.shared.contended")
+        .set(static_cast<double>(s.contended));
+    reg.gauge("code_cache.shared.deferred")
+        .set(static_cast<double>(s.deferred));
+    reg.gauge("code_cache.shared.installs")
+        .set(static_cast<double>(s.installs));
+    reg.gauge("code_cache.shared.evictions")
+        .set(static_cast<double>(s.evictions));
+    reg.gauge("code_cache.shared.bytes_evicted")
+        .set(static_cast<double>(s.bytesEvicted));
+    reg.gauge("code_cache.shared.build_ns")
+        .set(static_cast<double>(s.buildNs));
+    reg.gauge("code_cache.shared.build_ns_saved")
+        .set(static_cast<double>(s.buildNsSaved));
+    reg.gauge("code_cache.shared.live_entries")
+        .set(static_cast<double>(s.liveEntries));
+    reg.gauge("code_cache.shared.live_bytes")
+        .set(static_cast<double>(s.liveBytes));
+}
+
+} // namespace jrs

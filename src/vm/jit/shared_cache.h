@@ -1,0 +1,251 @@
+/**
+ * @file
+ * jrs::shared_cache — one process-wide translation cache serving many
+ * engine instances concurrently: translate once, run on every sweep
+ * worker.
+ *
+ * The sweep engine spins up one VM per trace group, and most groups
+ * compile the *same* methods of the *same* workloads; per-engine code
+ * caches repeat that work per worker. ShareJIT-style sharing fixes
+ * this — with one hard constraint: simulated code-cache addresses
+ * cannot be shared, because install order (and therefore codeBase)
+ * differs per configuration, and traces must stay bit-identical.
+ *
+ * So what is shared is the *host-side* translation work, not simulated
+ * addresses: a TranslationArtifact captures everything a translation
+ * produces that is independent of the assigned codeBase — the
+ * generated instructions, handler/jump-table/bc2n maps, and a compact
+ * replay script for the Translate-phase trace (which bytecode pcs were
+ * processed, at which abstract-stack depths, and which instruction
+ * indices were branch-patched). Each engine installs its own clone of
+ * the code at its own address and re-emits its own Translate-phase
+ * events deterministically from the script, so every stream is
+ * bit-identical to a private-cache run while the expensive codegen
+ * runs once per compatibility key.
+ *
+ * Concurrency contract (single-flight): the first worker to request a
+ * key performs the build outside the lock; concurrent requesters for
+ * the same key either block on a condition variable until the artifact
+ * is Ready (default — deterministic) or, in fallback mode, return
+ * "deferred" so the engine keeps interpreting and retries later.
+ * Entries are reference-counted: an engine holds one reference per
+ * method it has live in its local cache and releases it on local
+ * eviction or engine teardown; a bounded shared cache retires only
+ * zero-reference entries (FIFO among them), with bytes accounted
+ * through the same ExtentAllocator the per-engine cache uses.
+ */
+#ifndef JRS_VM_JIT_SHARED_CACHE_H
+#define JRS_VM_JIT_SHARED_CACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/jit/code_cache.h"
+#include "vm/jit/native_inst.h"
+
+namespace jrs {
+
+/**
+ * Everything one method translation produces that does not depend on
+ * the code-cache address it will be installed at. Built once per
+ * TranslationKey, then cloned into each engine's own CodeCache.
+ */
+struct TranslationArtifact {
+    /** Method has more arguments than argument registers: the
+     *  translator bails before emitting any trace event. */
+    bool rejected = false;
+    /** Translation aborted mid-method (TranslationAbort): the partial
+     *  Translate-phase trace up to and including the aborting pc is
+     *  still emitted, but nothing is installed. */
+    bool aborted = false;
+
+    // --- codegen outputs (cloned into the engine's NativeMethod) ----
+    std::vector<NativeInst> code;
+    std::vector<NativeHandler> handlers;
+    std::vector<std::vector<std::uint32_t>> jumpTables;
+    std::vector<std::int32_t> bc2n;
+    std::uint16_t numSpills = 0;
+
+    // --- Translate-phase replay script ------------------------------
+    /** Bytecode pcs whose dispatch/work events were emitted, in
+     *  order. On abort the last entry is the aborting pc. */
+    std::vector<std::uint32_t> workPcs;
+    /** Abstract-stack depth per pc (work-event addressing). */
+    std::vector<int> depths;
+    /** Instruction indices that were branch-patched (install trace
+     *  replays one read-modify-write per entry). */
+    std::vector<std::uint32_t> patchedIdx;
+
+    // --- translator statistics deltas -------------------------------
+    std::uint64_t bytecodes = 0; ///< completed pcs (excludes abort pc)
+    std::uint64_t callsInlined = 0;
+    std::uint64_t callsDevirtualized = 0;
+    std::size_t workingBytes = 0; ///< compiler working set (success only)
+
+    /** Host nanoseconds the build took — the cost a shared hit saves. */
+    std::uint64_t buildNs = 0;
+
+    /** Simulated code bytes this artifact accounts for when cached. */
+    std::size_t codeBytes() const { return code.size() * 8; }
+};
+
+/**
+ * Compatibility key: two engines may share an artifact only when every
+ * translation-relevant input matches — the program, the method, and
+ * the config bits the translator consults (inlining) or that generated
+ * code could depend on (collector-visible barriers).
+ */
+struct TranslationKey {
+    /** Program identity (workload name; programs are built
+     *  deterministically per workload, independent of run config). */
+    std::string program;
+    MethodId method = 0;
+    bool inlining = false;
+    /** Collector-visible codegen tag (barrier scheme); engines built
+     *  with different collectors never share. */
+    std::string barriers;
+
+    bool operator==(const TranslationKey &o) const
+    {
+        return method == o.method && inlining == o.inlining &&
+               program == o.program && barriers == o.barriers;
+    }
+
+    /** Human-readable form for metrics/debugging. */
+    std::string str() const;
+};
+
+struct TranslationKeyHash {
+    std::size_t operator()(const TranslationKey &k) const
+    {
+        std::size_t h = std::hash<std::string>{}(k.program);
+        h ^= std::hash<std::uint64_t>{}(
+                 (static_cast<std::uint64_t>(k.method) << 1) |
+                 (k.inlining ? 1 : 0)) +
+             0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h ^= std::hash<std::string>{}(k.barriers) +
+             0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return h;
+    }
+};
+
+/** Configuration for a SharedCodeCache. */
+struct SharedCacheConfig {
+    /** Capacity in artifact code bytes; 0 = unlimited (no eviction). */
+    std::size_t capacityBytes = 0;
+    /** Free-extent placement for the byte accounting. */
+    AllocStrategy strategy = AllocStrategy::kFirstFit;
+    /**
+     * When another worker is mid-build for the requested key: true
+     * (default) blocks until the artifact is ready — deterministic,
+     * required for bit-identical streams; false returns "deferred" so
+     * the engine interp-falls-back and retries on the next invocation
+     * (opt-in; the resulting stream depends on thread timing).
+     */
+    bool waitForInflight = true;
+};
+
+/** Aggregate counters (also published as code_cache.shared.*). */
+struct SharedCacheStats {
+    std::uint64_t lookups = 0;    ///< acquire() calls
+    std::uint64_t sharedHits = 0; ///< served an already-built artifact
+    std::uint64_t misses = 0;     ///< this caller performed the build
+    std::uint64_t contended = 0;  ///< arrived while another build ran
+    std::uint64_t deferred = 0;   ///< fallback-mode early returns
+    std::uint64_t installs = 0;   ///< artifacts admitted to the cache
+    std::uint64_t evictions = 0;  ///< zero-ref entries retired
+    std::uint64_t bytesEvicted = 0;
+    std::uint64_t buildNs = 0;      ///< host ns spent building
+    std::uint64_t buildNsSaved = 0; ///< host ns shared hits avoided
+    std::size_t liveEntries = 0;
+    std::size_t liveBytes = 0;
+};
+
+/** Process-wide, thread-safe translation cache; see file comment. */
+class SharedCodeCache {
+  public:
+    using BuildFn =
+        std::function<std::shared_ptr<const TranslationArtifact>()>;
+
+    explicit SharedCodeCache(SharedCacheConfig cfg = {});
+    SharedCodeCache(const SharedCodeCache &) = delete;
+    SharedCodeCache &operator=(const SharedCodeCache &) = delete;
+
+    /**
+     * Fetch the artifact for @p key, building it via @p build if this
+     * is the first request (single-flight: concurrent requesters never
+     * build the same key twice per generation).
+     *
+     * On success the caller holds one reference; pair every non-null
+     * return with a release(). @p sharedHit (optional) reports whether
+     * the artifact came from the cache. Returns nullptr only in
+     * fallback mode (waitForInflight=false) while another worker's
+     * build is in flight — the caller should retry later and must not
+     * release. A throwing @p build erases the in-flight entry, wakes
+     * any waiters (who restart the single-flight), and rethrows.
+     */
+    std::shared_ptr<const TranslationArtifact>
+    acquire(const TranslationKey &key, const BuildFn &build,
+            bool *sharedHit = nullptr);
+
+    /**
+     * Drop one reference to @p key. Zero-reference entries stay cached
+     * (future workers still hit) until capacity pressure retires them.
+     */
+    void release(const TranslationKey &key);
+
+    /** Snapshot of the aggregate counters. */
+    SharedCacheStats stats() const;
+
+    /** Times @p key has been built (generation count; survives
+     *  eviction — single-flight tests pin builds == generations). */
+    std::uint64_t buildsFor(const TranslationKey &key) const;
+
+    /** Current references held on @p key (0 if absent). */
+    std::size_t refsOn(const TranslationKey &key) const;
+
+    /** Publish the counters as code_cache.shared.* obs metrics. */
+    void publishMetrics() const;
+
+    std::size_t capacityBytes() const { return cfg_.capacityBytes; }
+    bool waitForInflight() const { return cfg_.waitForInflight; }
+
+  private:
+    struct Entry {
+        enum class State { kBuilding, kReady };
+        State state = State::kBuilding;
+        std::shared_ptr<const TranslationArtifact> artifact;
+        std::size_t refs = 0;
+        /** Extent offset in the byte accounting; kNone while building
+         *  or when the artifact did not fit (transient entries). */
+        std::size_t offset = ExtentAllocator::kNone;
+        std::size_t extentBytes = 0;
+        std::uint64_t installSeq = 0;
+    };
+
+    /** Caller holds mu_. Retire zero-ref entries (FIFO) until @p bytes
+     *  fit or nothing evictable remains; @return the offset or kNone. */
+    std::size_t allocateWithEviction(std::size_t bytes);
+
+    SharedCacheConfig cfg_;
+    mutable std::mutex mu_;
+    std::condition_variable ready_;
+    std::unordered_map<TranslationKey, Entry, TranslationKeyHash>
+        entries_;
+    std::unordered_map<TranslationKey, std::uint64_t,
+                       TranslationKeyHash>
+        builds_;
+    ExtentAllocator alloc_;
+    std::uint64_t installSeq_ = 0;
+    SharedCacheStats stats_;
+};
+
+} // namespace jrs
+
+#endif // JRS_VM_JIT_SHARED_CACHE_H

@@ -1,5 +1,6 @@
 #include "vm/jit/translator.h"
 
+#include <chrono>
 #include <functional>
 
 #include "obs/obs.h"
@@ -45,11 +46,18 @@ constexpr int log2Of(std::uint32_t esz)
  * One method's translation state. Separating this from Translator keeps
  * the per-method buffers (the compiler's working set) in one place so
  * we can both account for them and model their data traffic.
+ *
+ * A MethodTranslation is *pure codegen*: it emits no trace events and
+ * touches no engine state, writing everything it produces — code,
+ * maps, statistics deltas, and the Translate-phase replay script —
+ * into a TranslationArtifact. That purity is what makes the result
+ * safe to build once and share across engines.
  */
 class Translator::MethodTranslation {
   public:
-    MethodTranslation(Translator &t, const Method &m)
-        : t_(t), m_(m), prog_(t.registry_.program()),
+    MethodTranslation(const Program &prog, const Method &m,
+                      bool inlining, TranslationArtifact &art)
+        : m_(m), prog_(prog), art_(art), inlining_(inlining),
           depths_(computeStackDepths(m, prog_)),
           bc2n_(m.code.size(), -1)
     {
@@ -66,11 +74,13 @@ class Translator::MethodTranslation {
             static_cast<std::uint16_t>(numSpilledLocals_ + stack_spills);
     }
 
-    /** Run the translation; returns the finished method. */
-    std::unique_ptr<NativeMethod> run();
-
-    /** Working-set bytes of this compilation (valid after run()). */
-    std::size_t workingBytes() const { return workingBytes_; }
+    /**
+     * Run the translation, filling the artifact. May throw
+     * TranslationAbort, in which case the artifact holds the partial
+     * replay script (workPcs up to and including the aborting pc) and
+     * the statistics accumulated so far.
+     */
+    void run();
 
   private:
     // --- code emission ---------------------------------------------------
@@ -172,18 +182,10 @@ class Translator::MethodTranslation {
     /** Expand @p callee at call depth @p d (receiver/args on stack). */
     void inlineBody(const Method &callee, int d, bool needs_null_check);
 
-    // --- compiler-cost trace model ----------------------------------------
-    void traceBytecodeWork(std::uint32_t pc, Op op);
-
-  public:
-    /** Emit the install/patch trace (requires the assigned codeBase). */
-    void traceInstall(const NativeMethod &nm);
-
-  private:
-
-    Translator &t_;
     const Method &m_;
     const Program &prog_;
+    TranslationArtifact &art_;
+    bool inlining_ = false;
     std::vector<int> depths_;
     std::vector<std::int32_t> bc2n_;
     std::unique_ptr<NativeMethod> nm_;
@@ -194,7 +196,6 @@ class Translator::MethodTranslation {
     std::vector<Pending> pending_;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> pendingTables_;
     int numSpilledLocals_ = 0;
-    std::size_t workingBytes_ = 0;
 };
 
 void
@@ -220,26 +221,51 @@ Translator::MethodTranslation::prologue()
     }
 }
 
+namespace {
+
+/**
+ * Translate-phase trace emission, replayed from an artifact's script.
+ * These are free functions of (method, script) only — never of
+ * translation state — so a shared artifact re-emits the exact event
+ * sequence a private translation would have produced.
+ */
+
+/** Translator entry: method lookup, buffer setup, handler scan. */
 void
-Translator::MethodTranslation::traceBytecodeWork(std::uint32_t pc, Op op)
+emitTranslateSetup(TraceEmitter &E)
 {
-    TraceEmitter &E = t_.emitter_;
+    E.control(Phase::Translate, kTransSetup + 0x20, NKind::Call,
+              kTransDispatch);
+    for (int k = 0; k < 32; ++k) {
+        E.load(Phase::Translate, kTransSetup + 0x24,
+               seg::kTranslateData + 0x2000 + 8ull * k, 4);
+        E.alu(Phase::Translate, kTransSetup + 0x28);
+        E.alu(Phase::Translate, kTransSetup + 0x2c);
+    }
+}
+
+/** Per-bytecode compiler work: dispatch, operand reads, analysis. */
+void
+emitBytecodeWork(TraceEmitter &E, const Method &m, std::uint32_t pc,
+                 int depth)
+{
     if (!E.enabled())
         return;
+    const Op op = m.opAt(pc);
     const Phase T = Phase::Translate;
 
     // The translator's own opcode dispatch: a load of the bytecode (the
     // method is *data* to the compiler) and an indirect jump into the
     // per-opcode emit routine.
-    E.load(T, kTransDispatch + 0, m_.bytecodeAddr + pc, 1);
+    E.load(T, kTransDispatch + 0, m.bytecodeAddr + pc, 1);
     E.alu(T, kTransDispatch + 4);
     E.control(T, kTransDispatch + 8, NKind::IndirectJump,
               transRoutine(op));
 
     // Operand bytes are read as data too.
-    const std::uint32_t len = instrLength(m_.code, pc);
+    const std::uint32_t len = instrLength(m.code, pc);
     for (std::uint32_t b = 1; b < len; b += 4) {
-        E.load(T, transRoutine(op) + 0, m_.bytecodeAddr + pc + b,
+        E.load(T, transRoutine(op) + 0, m.bytecodeAddr + pc + b,
                static_cast<std::uint8_t>(std::min<std::uint32_t>(
                    4, len - b)));
     }
@@ -249,7 +275,7 @@ Translator::MethodTranslation::traceBytecodeWork(std::uint32_t pc, Op op)
     // segment -> good read locality, exactly what Figure 5 reports.
     const SimAddr rpc = transRoutine(op) + 0x10;
     const SimAddr work = seg::kTranslateData
-        + (static_cast<SimAddr>(depths_[pc] < 0 ? 0 : depths_[pc]) * 8)
+        + (static_cast<SimAddr>(depth < 0 ? 0 : depth) * 8)
         % 0x800;
     // Abstract-stack updates, register-map bookkeeping, liveness and
     // encoding-table lookups: ~36 work units of 4 instructions each,
@@ -265,10 +291,11 @@ Translator::MethodTranslation::traceBytecodeWork(std::uint32_t pc, Op op)
     E.control(T, rpc + 0xa0, NKind::Ret, kTransDispatch);
 }
 
+/** Encode/install stores against the engine's assigned codeBase. */
 void
-Translator::MethodTranslation::traceInstall(const NativeMethod &nm)
+emitInstallTrace(TraceEmitter &E, const NativeMethod &nm,
+                 const std::vector<std::uint32_t> &patchedIdx)
 {
-    TraceEmitter &E = t_.emitter_;
     if (!E.enabled())
         return;
     const Phase T = Phase::Translate;
@@ -291,15 +318,17 @@ Translator::MethodTranslation::traceInstall(const NativeMethod &nm)
                 seg::kTranslateData + 0x1000 + (8ull * i) % 0x1000, 4);
     }
     // Branch patching: read-modify-write of already-installed code.
-    for (const Pending &p : pending_) {
-        E.load(T, kTransEmit + 32, nm.pcOf(p.instIdx), 4);
-        E.store(T, kTransEmit + 36, nm.pcOf(p.instIdx), 4);
+    for (const std::uint32_t idx : patchedIdx) {
+        E.load(T, kTransEmit + 32, nm.pcOf(idx), 4);
+        E.store(T, kTransEmit + 36, nm.pcOf(idx), 4);
     }
     // Code-cache directory insertion.
     E.store(T, kTransSetup + 0,
             seg::kRuntimeData + 0x4000 + 8ull * nm.id, 4);
     E.control(T, kTransSetup + 4, NKind::Ret, kTransDispatch);
 }
+
+} // namespace
 
 void
 Translator::MethodTranslation::patchBranches()
@@ -1213,9 +1242,9 @@ Translator::MethodTranslation::translateOne(std::uint32_t pc, int depth)
       case Op::InvokeSpecial: {
         const MethodId target = readU16(code, pc + 1);
         const Method &callee = prog_.methods[target];
-        if (t_.inlining_ && inlineEligible(callee, d)) {
+        if (inlining_ && inlineEligible(callee, d)) {
             inlineBody(callee, d, op == Op::InvokeSpecial);
-            ++t_.callsInlined_;
+            ++art_.callsInlined;
             break;
         }
         setupArgs(callee.numArgs);
@@ -1242,16 +1271,16 @@ Translator::MethodTranslation::translateOne(std::uint32_t pc, int depth)
         }
         if (rep == nullptr)
             throw VmError("translator: unresolvable vtable slot");
-        if (t_.inlining_) {
+        if (inlining_) {
             // The paper's proposed optimization: replace the indirect
             // branch with the invoked method's code when the target is
             // unambiguous.
             const Method *mono = monomorphicTarget(slot);
             if (mono != nullptr) {
-                ++t_.callsDevirtualized_;
+                ++art_.callsDevirtualized;
                 if (inlineEligible(*mono, d)) {
                     inlineBody(*mono, d, /*needs_null_check=*/true);
-                    ++t_.callsInlined_;
+                    ++art_.callsInlined;
                     break;
                 }
                 // Not inlinable, but still a direct call.
@@ -1485,20 +1514,12 @@ Translator::MethodTranslation::translateOne(std::uint32_t pc, int depth)
     }
 }
 
-std::unique_ptr<NativeMethod>
+void
 Translator::MethodTranslation::run()
 {
-    TraceEmitter &E = t_.emitter_;
-    // Enter the translator: method lookup, buffer setup, exception
-    // table scan.
-    E.control(Phase::Translate, kTransSetup + 0x20, NKind::Call,
-              kTransDispatch);
-    for (int k = 0; k < 32; ++k) {
-        E.load(Phase::Translate, kTransSetup + 0x24,
-               seg::kTranslateData + 0x2000 + 8ull * k, 4);
-        E.alu(Phase::Translate, kTransSetup + 0x28);
-        E.alu(Phase::Translate, kTransSetup + 0x2c);
-    }
+    // The replay script needs the depths even for a partial (aborted)
+    // translation, so publish them before any bytecode is consumed.
+    art_.depths = depths_;
 
     prologue();
 
@@ -1507,9 +1528,12 @@ Translator::MethodTranslation::run()
         const std::uint32_t len = instrLength(m_.code, pc);
         if (depths_[pc] >= 0) {
             bc2n_[pc] = static_cast<std::int32_t>(nm_->code.size());
-            traceBytecodeWork(pc, m_.opAt(pc));
+            // The compiler's dispatch/analysis work for this pc
+            // happens (and is replayed) whether or not translateOne
+            // aborts on it, so record the pc first.
+            art_.workPcs.push_back(pc);
             translateOne(pc, depths_[pc]);
-            ++t_.bytecodes_;
+            ++art_.bytecodes;
         }
         pc += len;
     }
@@ -1522,15 +1546,78 @@ Translator::MethodTranslation::run()
 
     patchBranches();
     mapHandlers();
-    nm_->bc2n = bc2n_;
-    workingBytes_ = m_.code.size() + depths_.size() * 4
+    art_.workingBytes = m_.code.size() + depths_.size() * 4
         + nm_->code.size() * 8 + pending_.size() * 8;
-    return std::move(nm_);
+    art_.patchedIdx.reserve(pending_.size());
+    for (const Pending &p : pending_)
+        art_.patchedIdx.push_back(p.instIdx);
+    art_.bc2n = std::move(bc2n_);
+    art_.numSpills = nm_->numSpills;
+    art_.code = std::move(nm_->code);
+    art_.handlers = std::move(nm_->handlers);
+    art_.jumpTables = std::move(nm_->jumpTables);
+}
+
+std::shared_ptr<const TranslationArtifact>
+Translator::buildArtifact(const Method &m) const
+{
+    auto art = std::make_shared<TranslationArtifact>();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (m.numArgs > kNumArgRegs) {
+        art->rejected = true; // bails before any trace event
+        return art;
+    }
+    MethodTranslation mt(registry_.program(), m, inlining_, *art);
+    try {
+        mt.run();
+    } catch (const TranslationAbort &) {
+        // Partial replay script (up to and including the aborting pc)
+        // stays in the artifact; nothing will be installed.
+        art->aborted = true;
+    }
+    art->buildNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return art;
+}
+
+TranslationKey
+Translator::keyFor(MethodId id) const
+{
+    TranslationKey k;
+    k.program = sharedProgram_;
+    k.method = id;
+    k.inlining = inlining_;
+    k.barriers = sharedBarriers_;
+    return k;
+}
+
+void
+Translator::releaseShared(MethodId id)
+{
+    auto it = pinned_.find(id);
+    if (it == pinned_.end())
+        return;
+    if (shared_ != nullptr)
+        shared_->release(it->second);
+    pinned_.erase(it);
+}
+
+void
+Translator::releaseAll()
+{
+    if (shared_ != nullptr) {
+        for (const auto &[id, key] : pinned_)
+            shared_->release(key);
+    }
+    pinned_.clear();
 }
 
 const NativeMethod *
 Translator::translate(MethodId id)
 {
+    lastTranslateDeferred_ = false;
     const Method &m = registry_.method(id);
     obs::ScopedSpan span("jit.translate", "jit");
     if (span.active())
@@ -1541,47 +1628,109 @@ Translator::translate(MethodId id)
         return nullptr;  // stays interpreted
     }
 
-    const std::uint64_t inlinedBefore = callsInlined_;
-    const std::uint64_t devirtBefore = callsDevirtualized_;
-    MethodTranslation mt(*this, m);
-    std::unique_ptr<NativeMethod> nm;
-    try {
-        nm = mt.run();
-    } catch (const TranslationAbort &) {
+    // Build (or fetch) the address-independent artifact.
+    std::shared_ptr<const TranslationArtifact> art;
+    bool sharedHit = false;
+    bool holdsRef = false;
+    TranslationKey key;
+    if (shared_ != nullptr) {
+        key = keyFor(id);
+        art = shared_->acquire(
+            key, [&] { return buildArtifact(m); }, &sharedHit);
+        if (art == nullptr) {
+            // Fallback mode: another worker is mid-build. Interpret
+            // for now; the engine must not blacklist the method.
+            lastTranslateDeferred_ = true;
+            span.arg("result", "deferred");
+            return nullptr;
+        }
+        holdsRef = true;
+        if (sharedHit) {
+            ++sharedHits_;
+            buildNsSaved_ += art->buildNs;
+        } else {
+            ++sharedMisses_;
+            buildNs_ += art->buildNs;
+        }
+    } else {
+        art = buildArtifact(m);
+        buildNs_ += art->buildNs;
+    }
+    // A reference is only worth holding while the method is live in
+    // this engine's code cache; every bail-out path below drops it.
+    auto dropRef = [&] {
+        if (holdsRef) {
+            shared_->release(key);
+            holdsRef = false;
+        }
+    };
+    if (art->rejected) {
+        dropRef();
+        obs::count("jit.uncompilable");
+        span.arg("result", "uncompilable");
+        return nullptr;
+    }
+
+    // Re-emit this engine's Translate-phase trace from the replay
+    // script: identical event sequence whether the artifact was built
+    // here or attached from the shared cache.
+    emitTranslateSetup(emitter_);
+    for (const std::uint32_t pc : art->workPcs)
+        emitBytecodeWork(emitter_, m, pc, art->depths[pc]);
+    bytecodes_ += art->bytecodes;
+    callsInlined_ += art->callsInlined;
+    callsDevirtualized_ += art->callsDevirtualized;
+
+    if (art->aborted) {
+        dropRef();
         obs::count("jit.uncompilable");
         span.arg("result", "uncompilable");
         return nullptr;  // e.g. calls a callee with too many args
     }
-    peakWorking_ = std::max(peakWorking_, mt.workingBytes());
+    peakWorking_ = std::max(peakWorking_, art->workingBytes);
 
-    // Install first (assigning the code-cache address), then emit the
-    // install-store trace against the final addresses. A bounded cache
-    // may refuse a method larger than its whole capacity; the engine
-    // then keeps interpreting it.
+    // Install this engine's clone (assigning the code-cache address),
+    // then emit the install-store trace against the final addresses.
+    // A bounded cache may refuse a method larger than its whole
+    // capacity; the engine then keeps interpreting it.
+    auto nm = std::make_unique<NativeMethod>();
+    nm->id = m.id;
+    nm->src = &m;
+    nm->numSpills = art->numSpills;
+    nm->code = art->code;
+    nm->handlers = art->handlers;
+    nm->jumpTables = art->jumpTables;
+    nm->bc2n = art->bc2n;
     const NativeMethod *installed = cache_.install(std::move(nm));
     if (installed == nullptr) {
+        dropRef();
         obs::count("jit.uncompilable");
         span.arg("result", "exceeds code cache capacity");
         return nullptr;
     }
-    mt.traceInstall(*installed);
+    if (holdsRef && !pinned_.emplace(id, key).second) {
+        // Already pinned (defensive: should be unreachable because a
+        // live method cannot be reinstalled) — drop the duplicate.
+        shared_->release(key);
+    }
+    emitInstallTrace(emitter_, *installed, art->patchedIdx);
     ++methods_;
     if (obs::enabled()) {
         obs::MetricRegistry &reg = obs::metrics();
         reg.counter("jit.compilations").add(1);
-        reg.counter("jit.calls_inlined")
-            .add(callsInlined_ - inlinedBefore);
+        reg.counter("jit.calls_inlined").add(art->callsInlined);
         reg.counter("jit.calls_devirtualized")
-            .add(callsDevirtualized_ - devirtBefore);
+            .add(art->callsDevirtualized);
         reg.histogram("jit.bytecode_bytes")
             .record(static_cast<double>(m.code.size()));
         reg.histogram("jit.native_insts")
             .record(static_cast<double>(installed->code.size()));
+        if (sharedHit)
+            reg.counter("jit.shared_artifact_hits").add(1);
         span.arg("bytecode_bytes", std::to_string(m.code.size()));
         span.arg("native_insts",
                  std::to_string(installed->code.size()));
-        span.arg("inlined", std::to_string(callsInlined_
-                                           - inlinedBefore));
+        span.arg("inlined", std::to_string(art->callsInlined));
     }
     return installed;
 }

@@ -16,15 +16,27 @@
  * instruction into the code cache. Those compulsory write misses are
  * the dominant translate-phase cache effect the paper isolates
  * (Figures 3 and 5).
+ *
+ * Internally translation is split into a *build* phase (pure codegen,
+ * producing an address-independent TranslationArtifact plus a replay
+ * script for the trace) and an *emit* phase (installing a clone in
+ * this engine's code cache and re-emitting the Translate-phase events
+ * against the assigned addresses). The split is what lets a
+ * process-wide SharedCodeCache run the expensive build once per
+ * compatibility key while every engine's stream stays bit-identical
+ * to a private translation.
  */
 #ifndef JRS_VM_JIT_TRANSLATOR_H
 #define JRS_VM_JIT_TRANSLATOR_H
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <unordered_map>
 
 #include "isa/emitter.h"
 #include "vm/jit/code_cache.h"
+#include "vm/jit/shared_cache.h"
 #include "vm/runtime/class_registry.h"
 
 namespace jrs {
@@ -36,6 +48,8 @@ class Translator {
                TraceEmitter &emitter)
         : registry_(registry), cache_(cache), emitter_(emitter) {}
 
+    ~Translator() { releaseAll(); }
+
     /**
      * Enable method inlining — the paper's Section 7 proposal. Small
      * straight-line leaf callees are expanded at the call site;
@@ -44,6 +58,26 @@ class Translator {
      * baseline experiments model the paper's JITs.
      */
     void setInlining(bool enabled) { inlining_ = enabled; }
+
+    /**
+     * Attach a process-wide shared translation cache. @p program and
+     * @p barriers join the inlining flag in the compatibility key, so
+     * only config-compatible engines share artifacts.
+     */
+    void setSharedCache(std::shared_ptr<SharedCodeCache> shared,
+                        std::string program, std::string barriers)
+    {
+        shared_ = std::move(shared);
+        sharedProgram_ = std::move(program);
+        sharedBarriers_ = std::move(barriers);
+    }
+
+    /** Drop the shared reference held for @p id (call when the local
+     *  code cache evicts the method). */
+    void releaseShared(MethodId id);
+
+    /** Drop every held shared reference (engine teardown). */
+    void releaseAll();
 
     /** Call sites expanded inline (statistics). */
     std::uint64_t callsInlined() const { return callsInlined_; }
@@ -60,9 +94,20 @@ class Translator {
      * Compile @p id, install it in the code cache and emit the
      * Translate-phase trace. Returns nullptr when the method is not
      * compilable (more arguments than argument registers) — the engine
-     * keeps interpreting such methods.
+     * keeps interpreting such methods — or when the translation was
+     * deferred (see lastTranslateDeferred()).
      */
     const NativeMethod *translate(MethodId id);
+
+    /**
+     * True when the last translate() returned nullptr only because a
+     * shared-cache build was in flight elsewhere (fallback mode): the
+     * method is compilable, the engine should interpret now and retry
+     * on a later invocation rather than blacklist it.
+     */
+    bool lastTranslateDeferred() const {
+        return lastTranslateDeferred_;
+    }
 
     /** Methods successfully compiled. */
     std::uint64_t methodsTranslated() const { return methods_; }
@@ -73,8 +118,28 @@ class Translator {
     /** Peak per-method compiler working memory (Table 1 accounting). */
     std::size_t peakWorkingBytes() const { return peakWorking_; }
 
+    /** Shared-cache artifacts this engine attached to without
+     *  building (0 without a shared cache). */
+    std::uint64_t sharedHits() const { return sharedHits_; }
+
+    /** Shared-cache requests this engine had to build itself. */
+    std::uint64_t sharedMisses() const { return sharedMisses_; }
+
+    /** Host ns this engine spent building artifacts. */
+    std::uint64_t buildNs() const { return buildNs_; }
+
+    /** Host ns shared hits saved this engine (sum of the attached
+     *  artifacts' build costs). */
+    std::uint64_t buildNsSaved() const { return buildNsSaved_; }
+
   private:
     class MethodTranslation;
+
+    /** Pure codegen: build @p m's artifact (no trace events). */
+    std::shared_ptr<const TranslationArtifact>
+    buildArtifact(const Method &m) const;
+
+    TranslationKey keyFor(MethodId id) const;
 
     const ClassRegistry &registry_;
     CodeCache &cache_;
@@ -85,6 +150,17 @@ class Translator {
     bool inlining_ = false;
     std::uint64_t callsInlined_ = 0;
     std::uint64_t callsDevirtualized_ = 0;
+
+    std::shared_ptr<SharedCodeCache> shared_;
+    std::string sharedProgram_;
+    std::string sharedBarriers_;
+    /** Shared keys this engine holds a reference on, by method. */
+    std::unordered_map<MethodId, TranslationKey> pinned_;
+    std::uint64_t sharedHits_ = 0;
+    std::uint64_t sharedMisses_ = 0;
+    std::uint64_t buildNs_ = 0;
+    std::uint64_t buildNsSaved_ = 0;
+    bool lastTranslateDeferred_ = false;
 };
 
 } // namespace jrs

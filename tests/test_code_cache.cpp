@@ -183,6 +183,85 @@ TEST(CodeCacheAlloc, LookupCountsHitsAndMisses)
     EXPECT_EQ(cache.lookupMisses(), 1u);
 }
 
+TEST(CodeCacheAlloc, BestFitPicksSmallestHoleFirstFitLowest)
+{
+    // Identical hole pattern — a 128B hole at 64 below a 64B hole at
+    // 256 — served under both strategies.
+    for (const AllocStrategy s :
+         {AllocStrategy::kFirstFit, AllocStrategy::kBestFit}) {
+        ExtentAllocator a(1 << 20, s);
+        EXPECT_EQ(a.allocate(64), 0u);
+        EXPECT_EQ(a.allocate(128), 64u);
+        EXPECT_EQ(a.allocate(64), 192u);
+        EXPECT_EQ(a.allocate(64), 256u);
+        EXPECT_EQ(a.allocate(64), 320u); // top guard: no retreat
+        a.release(64, 128);
+        a.release(256, 64);
+        const std::size_t got = a.allocate(64);
+        if (s == AllocStrategy::kFirstFit)
+            EXPECT_EQ(got, 64u); // lowest address, splits the hole
+        else
+            EXPECT_EQ(got, 256u); // exact fit wins over lower address
+    }
+}
+
+TEST(CodeCacheAlloc, BestFitCacheReusesExactHole)
+{
+    CodeCacheConfig cfg;
+    cfg.strategy = AllocStrategy::kBestFit;
+    CodeCache cache(cfg);
+    cache.install(makeNm(1, 16)); // 64B  @0
+    cache.install(makeNm(2, 32)); // 128B @64
+    cache.install(makeNm(3, 16)); // 64B  @192
+    cache.install(makeNm(4, 16)); // 64B  @256
+    cache.install(makeNm(5, 16)); // 64B  @320 guard
+    cache.uninstall(2);
+    cache.uninstall(4);
+
+    // First-fit would split the 128B hole at 64; best-fit lands in the
+    // exact 64B hole at 256 and leaves the big hole intact.
+    const NativeMethod *m = cache.install(makeNm(6, 16));
+    EXPECT_EQ(offsetOf(m), 256u);
+    EXPECT_EQ(cache.freeExtents(), 1u);
+    EXPECT_EQ(cache.freeBytes(), 128u);
+}
+
+TEST(CodeCacheAlloc, AllocStrategyNamesRoundTrip)
+{
+    EXPECT_STREQ(allocStrategyName(AllocStrategy::kFirstFit), "first");
+    EXPECT_STREQ(allocStrategyName(AllocStrategy::kBestFit), "best");
+    AllocStrategy out = AllocStrategy::kBestFit;
+    for (const char *alias : {"first", "firstfit", "first-fit"}) {
+        out = AllocStrategy::kBestFit;
+        ASSERT_TRUE(parseAllocStrategy(alias, &out)) << alias;
+        EXPECT_EQ(out, AllocStrategy::kFirstFit);
+    }
+    for (const char *alias : {"best", "bestfit", "best-fit"}) {
+        out = AllocStrategy::kFirstFit;
+        ASSERT_TRUE(parseAllocStrategy(alias, &out)) << alias;
+        EXPECT_EQ(out, AllocStrategy::kBestFit);
+    }
+    EXPECT_FALSE(parseAllocStrategy("worst", &out));
+}
+
+TEST(CodeCacheAlloc, FragmentationCountsExtentsPerFreeKiB)
+{
+    ExtentAllocator a(1 << 20, AllocStrategy::kFirstFit);
+    EXPECT_EQ(a.fragmentation(), 0.0);
+    a.allocate(1024);
+    a.allocate(1024);
+    a.allocate(1024);
+    a.allocate(64); // top guard
+    a.release(0, 1024);
+    a.release(2048, 1024);
+    // 2 KiB free shattered across two extents: 1.0 extents per KiB.
+    EXPECT_DOUBLE_EQ(a.fragmentation(), 1.0);
+    // Freeing the middle coalesces all three into one 3 KiB extent.
+    a.release(1024, 1024);
+    EXPECT_EQ(a.freeExtents(), 1u);
+    EXPECT_DOUBLE_EQ(a.fragmentation(), 1.0 / 3.0);
+}
+
 // ---------------------------------------------------------------------
 // Install/uninstall semantics and overflow
 // ---------------------------------------------------------------------
@@ -289,6 +368,33 @@ TEST(CodeCacheEviction, CostEvictsCheapestToRetranslate)
     EXPECT_EQ(cache.lookup(2), nullptr);
 }
 
+TEST(CodeCacheEviction, CostPerByteDividesCostByExtentBytes)
+{
+    // m1: cost 300 over 64B  -> 300*4096/64  = 19200 per-byte key
+    // m2: cost 1000 over 256B -> 1000*4096/256 = 16000 per-byte key
+    // Plain cost evicts m1 (cheapest rebuild); cost-per-byte evicts m2
+    // (least rebuild value per cache byte it occupies).
+    for (const EvictionPolicy p :
+         {EvictionPolicy::kCost, EvictionPolicy::kCostPerByte}) {
+        CodeCache cache = boundedCache(p, 320);
+        cache.setRetranslateCost([](MethodId id) -> std::uint64_t {
+            return id == 1 ? 300 : 1000;
+        });
+        cache.install(makeNm(1, 16)); // 64B
+        cache.install(makeNm(2, 64)); // 256B
+        cache.install(makeNm(3, 16)); // overflow: one victim
+        if (p == EvictionPolicy::kCost) {
+            EXPECT_EQ(cache.lookup(1), nullptr);
+            EXPECT_NE(cache.lookup(2), nullptr);
+        } else {
+            EXPECT_NE(cache.lookup(1), nullptr);
+            EXPECT_EQ(cache.lookup(2), nullptr);
+        }
+        EXPECT_NE(cache.lookup(3), nullptr);
+        EXPECT_EQ(cache.evictions(), 1u);
+    }
+}
+
 TEST(CodeCacheEviction, HookSeesVictimBeforeRecycle)
 {
     CodeCache cache = boundedCache(EvictionPolicy::kFifo);
@@ -310,7 +416,7 @@ TEST(CodeCacheEviction, PolicyNamesRoundTrip)
 {
     for (const EvictionPolicy p :
          {EvictionPolicy::kFifo, EvictionPolicy::kLru,
-          EvictionPolicy::kCost}) {
+          EvictionPolicy::kCost, EvictionPolicy::kCostPerByte}) {
         EvictionPolicy back = EvictionPolicy::kFifo;
         ASSERT_TRUE(parseEvictionPolicy(evictionPolicyName(p), &back));
         EXPECT_EQ(back, p);
@@ -532,6 +638,92 @@ TEST(CodeCacheRearm, EvictedMethodMustEarnRetranslation)
     EXPECT_EQ(fp.nativeInvocations, 5u);
 }
 
+/**
+ * A program whose compiled loop method is evicted while interpreted
+ * frames of it are still live on the stack:
+ *
+ *   rec(n)  recurses to depth 0, then runs a 120-iteration loop whose
+ *           body calls fill0-7; under counter:3 the 3rd recursive call
+ *           compiles rec, so the two outermost frames stay interpreted
+ *           while the inner frames run natively;
+ *   fill0-7 bulky; each compiles during the inner frames' loop,
+ *           flooding a small cache and evicting rec (oldest install).
+ *
+ * When the interpreted outer frames reach their own loops, the
+ * re-armed OSR back-edge counter (reset by the eviction hook) lets
+ * them escape through on-stack replacement — retranslating rec — after
+ * osrBackEdgeThreshold fresh back edges.
+ */
+Program
+osrRecoveryProgram()
+{
+    return test::makeProgramFull([](ProgramBuilder &pb) {
+        ClassBuilder &t = pb.cls("T");
+        for (int i = 0; i < 8; ++i) {
+            MethodBuilder &fill = t.staticMethod(
+                "fill" + std::to_string(i), {VType::Int}, VType::Int);
+            fill.iload(0);
+            for (int j = 0; j < 50; ++j)
+                fill.iconst(j).iadd();
+            fill.ireturn();
+        }
+        {
+            MethodBuilder &m =
+                t.staticMethod("rec", {VType::Int}, VType::Int);
+            m.locals(3); // 0 = n, 1 = acc, 2 = i
+            Label base = m.newLabel(), loop = m.newLabel(),
+                  done = m.newLabel();
+            m.iconst(0).istore(1);
+            m.iload(0).ifle(base);
+            m.iload(0).iconst(1).isub().invokeStatic("T.rec").istore(
+                1);
+            m.bind(base);
+            m.iconst(120).istore(2);
+            m.bind(loop);
+            m.iload(2).ifle(done);
+            for (int i = 0; i < 8; ++i) {
+                m.iload(1)
+                    .invokeStatic("T.fill" + std::to_string(i))
+                    .istore(1);
+            }
+            m.iinc(2, -1);
+            m.gotoL(loop);
+            m.bind(done);
+            m.iload(1).iload(0).iadd().ireturn();
+        }
+        MethodBuilder &main =
+            t.staticMethod("main", {VType::Int}, VType::Int);
+        main.iload(0).invokeStatic("T.rec").ireturn();
+    });
+}
+
+TEST(CodeCacheRearm, OsrRecoversEvictedMethodWithLiveFrames)
+{
+    // Baseline: unlimited cache, nothing evicted.
+    const Program base_prog = osrRecoveryProgram();
+    EngineConfig base_cfg;
+    base_cfg.policy = std::make_shared<CounterPolicy>(3);
+    base_cfg.osrBackEdgeThreshold = 50;
+    ExecutionEngine base_engine(base_prog, base_cfg);
+    const RunResult base = base_engine.run(5);
+    ASSERT_TRUE(base.completed);
+    EXPECT_EQ(base.codeCacheEvictions, 0u);
+
+    // Bounded: the filler flood evicts rec under the interpreted outer
+    // frames; they recover through OSR on the re-armed counter, and
+    // the program still computes the same answer.
+    const Program prog = osrRecoveryProgram();
+    EngineConfig cfg = base_cfg;
+    cfg.codeCache.capacityBytes = 2 << 10;
+    ExecutionEngine engine(prog, cfg);
+    const RunResult res = engine.run(5);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.exitValue, base.exitValue);
+    EXPECT_GT(res.codeCacheEvictions, 0u);
+    EXPECT_GT(res.osrTransitions, 0u);
+    EXPECT_GE(res.retranslations, 1u);
+}
+
 // ---------------------------------------------------------------------
 // Sweep grid determinism
 // ---------------------------------------------------------------------
@@ -552,6 +744,25 @@ TEST(CodeCacheSweep, TraceKeyComponentsOnlyWhenBounded)
     const RunSpec spec = key.toRunSpec();
     EXPECT_EQ(spec.codeCache.capacityBytes, 64u << 10);
     EXPECT_EQ(spec.codeCache.policy, EvictionPolicy::kLru);
+}
+
+TEST(CodeCacheSweep, TraceKeyBestFitAndOsrComponents)
+{
+    sweep::TraceKey key =
+        sweep::traceKey("compress", sweep::ExecMode::jit());
+    const std::string plain = key.str();
+    EXPECT_EQ(plain.find("fit"), std::string::npos);
+    EXPECT_EQ(plain.find("-osr"), std::string::npos);
+
+    key.codeCache.strategy = AllocStrategy::kBestFit;
+    key.osrBackEdgeThreshold = 64;
+    const std::string tagged = key.str();
+    EXPECT_NE(tagged.find("-bestfit"), std::string::npos);
+    EXPECT_NE(tagged.find("-osr64"), std::string::npos);
+
+    const RunSpec spec = key.toRunSpec();
+    EXPECT_EQ(spec.codeCache.strategy, AllocStrategy::kBestFit);
+    EXPECT_EQ(spec.osrBackEdgeThreshold, 64u);
 }
 
 TEST(CodeCacheSweep, GridIsDeterministicAcrossJobs)
